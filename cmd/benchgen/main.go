@@ -1,0 +1,174 @@
+// Command benchgen generates the evaluation workload of §5.2 and exports
+// it for external tools: events and subscriptions as JSON lines, the
+// relevance ground truth as CSV, and a summary to stderr.
+//
+// Usage:
+//
+//	benchgen -out workload/                      # reduced default scale
+//	benchgen -out workload/ -paper               # 166 seeds -> ~14.8k events
+//	benchgen -out workload/ -seeds 100 -per 20 -subs 50
+//	benchgen -out workload/ -themes 5,10 -samples 3
+//
+// Files written: seeds.jsonl, events.jsonl, subscriptions.jsonl (exact and
+// approximate interleaved per line as one object), groundtruth.csv
+// (subscription id, event id pairs), and themes.jsonl (sampled theme
+// combinations when -themes is given).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"thematicep/internal/event"
+	"thematicep/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchgen", flag.ContinueOnError)
+	var (
+		out     = fs.String("out", "workload", "output directory")
+		paper   = fs.Bool("paper", false, "paper-scale workload (166 seeds, ~14.8k events, 94 subs)")
+		seed    = fs.Int64("seed", 7, "generation seed")
+		seeds   = fs.Int("seeds", 0, "seed events (overrides scale preset)")
+		per     = fs.Int("per", 0, "expanded events per seed (overrides preset)")
+		subs    = fs.Int("subs", 0, "subscriptions (overrides preset)")
+		themes  = fs.String("themes", "", "theme sizes 'e,s' to sample combinations for (optional)")
+		samples = fs.Int("samples", 5, "theme combinations to sample when -themes is set")
+		zipf    = fs.Bool("zipf", false, "zipf-distributed theme tag sampling")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := workload.DefaultConfig()
+	if *paper {
+		cfg = workload.PaperConfig()
+	}
+	cfg.Seed = *seed
+	if *seeds > 0 {
+		cfg.SeedEvents = *seeds
+	}
+	if *per > 0 {
+		cfg.ExpandedPerSeed = *per
+	}
+	if *subs > 0 {
+		cfg.Subscriptions = *subs
+	}
+
+	w := workload.Generate(cfg)
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+
+	if err := writeJSONL(filepath.Join(*out, "seeds.jsonl"), len(w.Seeds), func(i int) any {
+		return w.Seeds[i]
+	}); err != nil {
+		return err
+	}
+	if err := writeJSONL(filepath.Join(*out, "events.jsonl"), len(w.Events), func(i int) any {
+		return struct {
+			*event.Event
+			SeedID string `json:"seedId"`
+		}{Event: w.Events[i], SeedID: w.Seeds[w.SeedOf[i]].ID}
+	}); err != nil {
+		return err
+	}
+	if err := writeJSONL(filepath.Join(*out, "subscriptions.jsonl"), len(w.ApproxSubs), func(i int) any {
+		return struct {
+			Exact       *event.Subscription `json:"exact"`
+			Approximate *event.Subscription `json:"approximate"`
+		}{Exact: w.ExactSubs[i], Approximate: w.ApproxSubs[i]}
+	}); err != nil {
+		return err
+	}
+	if err := writeGroundTruth(filepath.Join(*out, "groundtruth.csv"), w); err != nil {
+		return err
+	}
+
+	if *themes != "" {
+		es, ss, err := parseThemeSizes(*themes)
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(*seed))
+		if err := writeJSONL(filepath.Join(*out, "themes.jsonl"), *samples, func(int) any {
+			if *zipf {
+				return w.SampleThemesZipf(rng, es, ss)
+			}
+			return w.SampleThemes(rng, es, ss)
+		}); err != nil {
+			return err
+		}
+	}
+
+	relevant := 0
+	for si := range w.ApproxSubs {
+		relevant += w.RelevantCount(si)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %d seeds, %d events, %d subscriptions, %d relevant pairs\n",
+		*out, len(w.Seeds), len(w.Events), len(w.ApproxSubs), relevant)
+	return nil
+}
+
+func parseThemeSizes(s string) (e, sub int, err error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("themes: want 'e,s', got %q", s)
+	}
+	if e, err = strconv.Atoi(strings.TrimSpace(parts[0])); err != nil {
+		return 0, 0, fmt.Errorf("themes: %w", err)
+	}
+	if sub, err = strconv.Atoi(strings.TrimSpace(parts[1])); err != nil {
+		return 0, 0, fmt.Errorf("themes: %w", err)
+	}
+	return e, sub, nil
+}
+
+func writeJSONL(path string, n int, item func(i int) any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	for i := 0; i < n; i++ {
+		if err := enc.Encode(item(i)); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return f.Close()
+}
+
+func writeGroundTruth(path string, w *workload.Workload) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintln(f, "subscription_id,event_id"); err != nil {
+		return err
+	}
+	for si, sub := range w.ApproxSubs {
+		for ei, ev := range w.Events {
+			if w.Relevant(si, ei) {
+				if _, err := fmt.Fprintf(f, "%s,%s\n", sub.ID, ev.ID); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return f.Close()
+}

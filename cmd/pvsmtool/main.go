@@ -1,0 +1,231 @@
+// Command pvsmtool is an explorer for the parametric vector space model:
+// it answers "why did these two terms (not) match" questions by exposing
+// term vectors, thematic bases, projections, and relatedness scores.
+//
+// Usage:
+//
+//	pvsmtool stats
+//	pvsmtool relatedness [-subtheme "a,b"] [-eventtheme "c,d"] <term1> <term2>
+//	pvsmtool vector [-theme "a,b"] [-n 10] <term>
+//	pvsmtool basis <tag>[,<tag>...]
+//	pvsmtool neighbors [-theme "a,b"] [-n 10] <term>
+//
+// Themes are comma-separated tag lists. All output is plain text.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"thematicep/internal/corpus"
+	"thematicep/internal/index"
+	"thematicep/internal/semantics"
+	"thematicep/internal/text"
+	"thematicep/internal/vocab"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pvsmtool:", err)
+		os.Exit(1)
+	}
+}
+
+type tool struct {
+	corpus *corpus.Corpus
+	space  *semantics.Space
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: pvsmtool <stats|relatedness|vector|basis|neighbors> ...")
+	}
+	fmt.Fprintln(os.Stderr, "building distributional space...")
+	c := corpus.GenerateDefault()
+	t := &tool{
+		corpus: c,
+		space:  semantics.NewSpace(index.Build(c)),
+	}
+	switch args[0] {
+	case "stats":
+		return t.stats()
+	case "relatedness":
+		return t.relatedness(args[1:])
+	case "vector":
+		return t.vector(args[1:])
+	case "basis":
+		return t.basis(args[1:])
+	case "neighbors":
+		return t.neighbors(args[1:])
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func splitTheme(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, tag := range strings.Split(s, ",") {
+		if tag = strings.TrimSpace(tag); tag != "" {
+			out = append(out, tag)
+		}
+	}
+	return out
+}
+
+func (t *tool) stats() error {
+	ix := t.space.Index()
+	kinds := map[corpus.Kind]int{}
+	for _, d := range t.corpus.Docs {
+		kinds[d.Kind]++
+	}
+	fmt.Printf("documents: %d (concept %d, domain %d, entity %d, mixed %d)\n",
+		ix.NumDocs(), kinds[corpus.KindConcept], kinds[corpus.KindDomain],
+		kinds[corpus.KindEntity], kinds[corpus.KindMixed])
+	fmt.Printf("vocabulary: %d tokens\n", ix.VocabSize())
+	fmt.Printf("evaluation domains: %s\n", strings.Join(vocab.DomainNames(), ", "))
+	var distractors []string
+	for _, d := range vocab.DistractorDomains() {
+		distractors = append(distractors, d.Name)
+	}
+	fmt.Printf("distractor domains: %s\n", strings.Join(distractors, ", "))
+	return nil
+}
+
+func (t *tool) relatedness(args []string) error {
+	fs := flag.NewFlagSet("relatedness", flag.ContinueOnError)
+	subTheme := fs.String("subtheme", "", "subscription theme tags (comma separated)")
+	eventTheme := fs.String("eventtheme", "", "event theme tags (comma separated)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("relatedness: two terms expected")
+	}
+	a, b := fs.Arg(0), fs.Arg(1)
+	st, et := splitTheme(*subTheme), splitTheme(*eventTheme)
+
+	full := t.space.NonThematicRelatedness(a, b)
+	fmt.Printf("sm(%q, %q) full space      = %.4f\n", a, b, full)
+	if len(st) > 0 || len(et) > 0 {
+		them := t.space.Relatedness(a, st, b, et)
+		fmt.Printf("sm(%q, %q) with themes    = %.4f\n", a, b, them)
+		pa := t.space.Project(a, st)
+		pb := t.space.Project(b, et)
+		fmt.Printf("projection dims: %q %d -> %d, %q %d -> %d\n",
+			a, t.space.TermVector(a).NNZ(), pa.NNZ(),
+			b, t.space.TermVector(b).NNZ(), pb.NNZ())
+	}
+	return nil
+}
+
+func (t *tool) vector(args []string) error {
+	fs := flag.NewFlagSet("vector", flag.ContinueOnError)
+	theme := fs.String("theme", "", "theme tags (comma separated); empty = full space")
+	n := fs.Int("n", 10, "top components to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("vector: one term expected")
+	}
+	term := fs.Arg(0)
+	v := t.space.Project(term, splitTheme(*theme))
+	if v.IsZero() {
+		fmt.Printf("%q has the zero vector (off-vocabulary or completely filtered)\n", term)
+		return nil
+	}
+	fmt.Printf("%q: %d non-zero dims, norm %.3f; top %d components:\n", term, v.NNZ(), v.Norm(), *n)
+	type comp struct {
+		id int32
+		w  float64
+	}
+	var comps []comp
+	v.Range(func(id int32, w float64) { comps = append(comps, comp{id, w}) })
+	sort.Slice(comps, func(i, j int) bool { return comps[i].w > comps[j].w })
+	for i, c := range comps {
+		if i >= *n {
+			break
+		}
+		fmt.Printf("  %8.3f  %s\n", c.w, t.corpus.Docs[c.id].Title)
+	}
+	return nil
+}
+
+func (t *tool) basis(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("basis: one comma-separated tag list expected")
+	}
+	tags := splitTheme(args[0])
+	basis := t.space.ThemeBasis(tags)
+	fmt.Printf("theme %v selects %d of %d documents\n", tags, len(basis), t.space.Index().NumDocs())
+	byDomain := map[string]int{}
+	for _, id := range basis {
+		d := t.corpus.Docs[id]
+		key := d.Domain
+		if key == "" {
+			key = "(" + d.Kind.String() + ")"
+		}
+		byDomain[key]++
+	}
+	keys := make([]string, 0, len(byDomain))
+	for k := range byDomain {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-36s %d docs\n", k, byDomain[k])
+	}
+	return nil
+}
+
+func (t *tool) neighbors(args []string) error {
+	fs := flag.NewFlagSet("neighbors", flag.ContinueOnError)
+	theme := fs.String("theme", "", "theme tags (comma separated); empty = full space")
+	n := fs.Int("n", 10, "neighbors to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("neighbors: one term expected")
+	}
+	term := fs.Arg(0)
+	tags := splitTheme(*theme)
+
+	// Candidate terms: every concept term of every domain.
+	type scored struct {
+		term string
+		r    float64
+	}
+	var results []scored
+	seen := map[string]bool{text.Canonical(term): true}
+	for _, d := range vocab.AllDomains() {
+		for _, concept := range d.Concepts {
+			for _, cand := range concept.Terms() {
+				key := text.Canonical(cand)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				r := t.space.Relatedness(term, tags, cand, tags)
+				if r > 0 {
+					results = append(results, scored{term: cand, r: r})
+				}
+			}
+		}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].r > results[j].r })
+	fmt.Printf("nearest concept terms to %q (theme %v):\n", term, tags)
+	for i, s := range results {
+		if i >= *n {
+			break
+		}
+		fmt.Printf("  %.4f  %s\n", s.r, s.term)
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"thematicep/internal/eval"
+	"thematicep/internal/matcher"
+	"thematicep/internal/workload"
+)
+
+// runSignificance backs the headline F1 comparison with a paired sign test
+// over per-subscription F1 (the paper's §7 "more quantitative aspects of
+// evaluation" future-work item).
+func runSignificance(e *env0) error {
+	rng := rand.New(rand.NewSource(e.seed))
+	combo := e.work.SampleThemes(rng, 5, 10)
+
+	perSub := func(thematic bool) []float64 {
+		if thematic {
+			e.work.ApplyThemes(combo)
+		} else {
+			e.work.ClearThemes()
+		}
+		e.space.ResetCaches()
+		m := matcher.New(e.space, matcher.WithThematic(thematic))
+		scores := make([][]float64, len(e.work.ApproxSubs))
+		for si, s := range e.work.ApproxSubs {
+			scores[si] = make([]float64, len(e.work.Events))
+			ps := m.PrepareSubscription(s)
+			for ei, ev := range e.work.Events {
+				scores[si][ei] = m.ScorePrepared(ps, m.PrepareEvent(ev))
+			}
+		}
+		return eval.PerSubscriptionF1(scores, e.work.Relevant)
+	}
+	them := perSub(true)
+	non := perSub(false)
+	e.work.ClearThemes()
+
+	r := eval.SignTest(them, non)
+	mt, _ := eval.MeanStd(them)
+	mn, _ := eval.MeanStd(non)
+	fmt.Println("== significance: paired sign test, thematic vs non-thematic per-subscription F1 ==")
+	fmt.Printf("mean F1: thematic %.3f vs non-thematic %.3f\n", mt, mn)
+	fmt.Printf("sign test: %s\n", r)
+	if r.Significant(0.05) {
+		fmt.Println("difference significant at alpha = 0.05")
+	} else {
+		fmt.Println("difference NOT significant at alpha = 0.05 (expected at quick scale)")
+	}
+	fmt.Println()
+	return nil
+}
+
+// runDiag is a development diagnostic (not a paper experiment): it contrasts
+// per-subscription F1 between thematic and non-thematic modes and dumps the
+// per-predicate similarities of the worst regressions.
+func runDiag(e *env0) error {
+	rng := rand.New(rand.NewSource(e.seed))
+	combo := e.work.SampleThemes(rng, 5, 10)
+
+	perSubF1 := func(thematic bool) []float64 {
+		if thematic {
+			e.work.ApplyThemes(combo)
+		} else {
+			e.work.ClearThemes()
+		}
+		e.space.ResetCaches()
+		m := matcher.New(e.space, matcher.WithThematic(thematic))
+		out := make([]float64, len(e.work.ApproxSubs))
+		for si, s := range e.work.ApproxSubs {
+			scores := make([]float64, len(e.work.Events))
+			for ei, ev := range e.work.Events {
+				scores[ei] = m.Score(s, ev)
+			}
+			out[si] = eval.MaxF1(scores, func(ei int) bool { return e.work.Relevant(si, ei) })
+		}
+		return out
+	}
+
+	them := perSubF1(true)
+	non := perSubF1(false)
+
+	type row struct {
+		si    int
+		delta float64
+	}
+	rows := make([]row, len(them))
+	for i := range them {
+		rows[i] = row{si: i, delta: them[i] - non[i]}
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].delta < rows[b].delta })
+
+	fmt.Println("== diag: worst thematic regressions ==")
+	for _, r := range rows[:minInt(5, len(rows))] {
+		sub := e.work.ApproxSubs[r.si]
+		fmt.Printf("sub %s: thematic %.2f vs non %.2f (delta %+.2f) rel=%d\n  %s\n",
+			sub.ID, them[r.si], non[r.si], r.delta, e.work.RelevantCount(r.si), sub)
+		dumpPairs(e, combo, r.si, 2)
+	}
+	fmt.Println("== diag: best thematic wins ==")
+	for i := len(rows) - 1; i >= len(rows)-minInt(3, len(rows)); i-- {
+		r := rows[i]
+		sub := e.work.ApproxSubs[r.si]
+		fmt.Printf("sub %s: thematic %.2f vs non %.2f (delta %+.2f)\n  %s\n",
+			sub.ID, them[r.si], non[r.si], r.delta, sub)
+	}
+	mt, _ := eval.MeanStd(them)
+	mn, _ := eval.MeanStd(non)
+	fmt.Printf("mean per-sub F1: thematic %.3f non %.3f\n", mt, mn)
+	return nil
+}
+
+// dumpPairs prints per-predicate similarities for up to n relevant events of
+// subscription si under both modes (themes must be passed via the combo that
+// was applied to the workload).
+func dumpPairs(e *env0, combo workload.ThemeCombination, si, n int) {
+	sub := e.work.ApproxSubs[si]
+	them := matcher.New(e.space)
+	non := matcher.New(e.space, matcher.WithThematic(false))
+	shown := 0
+	for ei, ev := range e.work.Events {
+		if !e.work.Relevant(si, ei) {
+			continue
+		}
+		e.work.ApplyThemes(combo)
+		simT := them.SimilarityMatrix(sub, ev)
+		e.work.ClearThemes()
+		simN := non.SimilarityMatrix(sub, ev)
+		fmt.Printf("    relevant event %s: %s\n", ev.ID, ev)
+		for pi, p := range sub.Predicates {
+			bestT, bestN := maxOf(simT[pi]), maxOf(simN[pi])
+			fmt.Printf("      pred %q: best sim thematic %.3f / non %.3f\n", p.String(), bestT, bestN)
+		}
+		shown++
+		if shown >= n {
+			break
+		}
+	}
+}
+
+func maxOf(xs []float64) float64 {
+	best := 0.0
+	for _, x := range xs {
+		if x > best {
+			best = x
+		}
+	}
+	return best
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

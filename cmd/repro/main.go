@@ -1,0 +1,314 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §3 for the experiment index).
+//
+// Usage:
+//
+//	repro -exp all                 # run everything at quick scale
+//	repro -exp fig7 -full          # one experiment at paper scale
+//	repro -exp headline -csvdir out
+//
+// Quick scale keeps the full pipeline (corpus → index → space → workload →
+// grid) but reduces the event set and grid so a run completes in minutes on
+// one core. -full switches to the paper-scale workload (166 seeds expanded
+// to ~14.7k events, 94 subscriptions) and the 1..30 grid with 5 samples per
+// cell; expect hours.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"thematicep/internal/corpus"
+	"thematicep/internal/eval"
+	"thematicep/internal/figures"
+	"thematicep/internal/index"
+	"thematicep/internal/matcher"
+	"thematicep/internal/semantics"
+	"thematicep/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
+	var (
+		exp     = fs.String("exp", "all", "experiment: all, fig7, fig8, fig9, fig10, baseline, headline, significance, table1, prior, sweep, topk, ablation, tagging, shape, diag")
+		full    = fs.Bool("full", false, "paper-scale workload and grid (slow)")
+		seed    = fs.Int64("seed", 7, "master seed")
+		csvdir  = fs.String("csvdir", "", "directory for CSV output (optional)")
+		samples = fs.Int("samples", 0, "samples per grid cell (default 2 quick / 5 full)")
+		verbose = fs.Bool("v", false, "per-cell progress")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	env, err := newEnv(*full, *seed, *samples, *verbose, *csvdir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("corpus: %d docs, %d terms; workload: %d events (%d seeds), %d subscriptions\n\n",
+		env.space.Index().NumDocs(), env.space.Index().VocabSize(),
+		len(env.work.Events), len(env.work.Seeds), len(env.work.ApproxSubs))
+
+	experiments := map[string]func(*env0) error{
+		"baseline":     runBaseline,
+		"fig7":         runFigures, // fig7-10 share the grid run
+		"fig8":         runFigures,
+		"fig9":         runFigures,
+		"fig10":        runFigures,
+		"headline":     runHeadline,
+		"table1":       runTable1,
+		"prior":        runPrior,
+		"sweep":        runSweep,
+		"topk":         runTopK,
+		"ablation":     runAblation,
+		"tagging":      runTagging,
+		"shape":        runShape,
+		"diag":         runDiag,
+		"significance": runSignificance,
+	}
+	if *exp == "all" {
+		for _, name := range []string{"baseline", "fig7", "headline", "significance", "table1", "prior", "sweep", "topk", "ablation", "tagging"} {
+			if err := experiments[name](env); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	f, ok := experiments[*exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return f(env)
+}
+
+// env0 carries the shared experiment environment.
+type env0 struct {
+	space   *semantics.Space
+	work    *workload.Workload
+	full    bool
+	seed    int64
+	samples int
+	verbose bool
+	csvdir  string
+
+	// memoized results shared between experiments
+	baselineRes *eval.Result
+	gridCells   []eval.Cell
+}
+
+func newEnv(full bool, seed int64, samples int, verbose bool, csvdir string) (*env0, error) {
+	ccfg := corpus.DefaultConfig()
+	ix := index.Build(corpus.Generate(corpusDomains(), ccfg))
+	space := semantics.NewSpace(ix)
+
+	wcfg := quickWorkloadConfig(seed)
+	if full {
+		wcfg = workload.PaperConfig()
+		wcfg.Seed = seed
+	}
+	if samples <= 0 {
+		samples = 2
+		if full {
+			samples = 5
+		}
+	}
+	if csvdir != "" {
+		if err := os.MkdirAll(csvdir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &env0{
+		space:   space,
+		work:    workload.Generate(wcfg),
+		full:    full,
+		seed:    seed,
+		samples: samples,
+		verbose: verbose,
+		csvdir:  csvdir,
+	}, nil
+}
+
+func quickWorkloadConfig(seed int64) workload.Config {
+	return workload.Config{
+		Seed:            seed,
+		SeedEvents:      80,
+		ExpandedPerSeed: 6,
+		Subscriptions:   40,
+		MaxPredicates:   3,
+	}
+}
+
+func (e *env0) gridSizes() []int {
+	if e.full {
+		return eval.PaperGridSizes()
+	}
+	return eval.DefaultGridSizes()
+}
+
+func (e *env0) progress() func(string) {
+	if !e.verbose {
+		return nil
+	}
+	return func(s string) { fmt.Println("  ", s) }
+}
+
+// baseline runs the non-thematic approximate matcher (E5).
+func (e *env0) baseline() eval.Result {
+	if e.baselineRes != nil {
+		return *e.baselineRes
+	}
+	e.work.ClearThemes()
+	e.space.ResetCaches()
+	m := matcher.New(e.space, matcher.WithThematic(false))
+	res := eval.Run(m, e.work)
+	e.baselineRes = &res
+	return res
+}
+
+// grid runs (and memoizes) the thematic grid (E1-E4).
+func (e *env0) grid() []eval.Cell {
+	if e.gridCells != nil {
+		return e.gridCells
+	}
+	m := matcher.New(e.space)
+	e.gridCells = eval.RunGrid(m, e.space, e.work, eval.GridConfig{
+		Sizes:    e.gridSizes(),
+		Samples:  e.samples,
+		Seed:     e.seed,
+		Progress: e.progress(),
+	})
+	return e.gridCells
+}
+
+func (e *env0) writeCSV(name string, cells []eval.Cell) error {
+	if e.csvdir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(e.csvdir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return figures.CSV(f, cells)
+}
+
+// writeSVG writes one figure file into the csv directory.
+func (e *env0) writeSVG(name string, render func(io.Writer) error) error {
+	if e.csvdir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(e.csvdir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return render(f)
+}
+
+func runBaseline(e *env0) error {
+	res := e.baseline()
+	fmt.Println("== E5: non-thematic approximate baseline (§5.2.5) ==")
+	fmt.Printf("paper:    F1 = 62%%, throughput = 202 events/sec\n")
+	fmt.Printf("measured: F1 = %.0f%%, throughput = %.0f events/sec (%d events x %d subs in %v)\n\n",
+		100*res.F1, res.Throughput, res.Events, res.Subscriptions, res.Elapsed.Round(msRound))
+	return nil
+}
+
+func runFigures(e *env0) error {
+	base := e.baseline()
+	cells := e.grid()
+
+	fmt.Println("== E1/Fig. 7: thematic matcher effectiveness (mean F1 per theme-size cell) ==")
+	figures.Heatmap(os.Stdout, "F1 heatmap (x: event theme size, y: subscription theme size)",
+		cells, func(c eval.Cell) float64 { return c.MeanF1 }, base.F1)
+	fmt.Println()
+
+	fmt.Println("== E2/Fig. 8: effectiveness sample error ==")
+	var f1s, f1errs []float64
+	for _, c := range cells {
+		f1s = append(f1s, c.MeanF1)
+		f1errs = append(f1errs, c.StdF1)
+	}
+	figures.Scatter(os.Stdout, "sample error vs F1", "F1", "std", f1s, f1errs)
+	fmt.Println()
+
+	fmt.Println("== E3/Fig. 9: thematic matcher throughput (mean events/sec per cell) ==")
+	figures.Heatmap(os.Stdout, "throughput heatmap (x: event theme size, y: subscription theme size)",
+		cells, func(c eval.Cell) float64 { return c.MeanThroughput }, base.Throughput)
+	fmt.Println()
+
+	fmt.Println("== E4/Fig. 10: throughput sample error ==")
+	var thrs, thrErrs []float64
+	for _, c := range cells {
+		thrs = append(thrs, c.MeanThroughput)
+		thrErrs = append(thrErrs, c.StdThroughput)
+	}
+	figures.Scatter(os.Stdout, "sample error vs throughput", "events/sec", "std", thrs, thrErrs)
+	fmt.Println()
+
+	if err := e.writeCSV("grid.csv", cells); err != nil {
+		return err
+	}
+	for _, fig := range []struct {
+		name   string
+		render func(io.Writer) error
+	}{
+		{name: "fig7.svg", render: func(w io.Writer) error {
+			return figures.HeatmapSVG(w, "Fig. 7: thematic F1 by theme sizes", cells,
+				func(c eval.Cell) float64 { return c.MeanF1 }, base.F1)
+		}},
+		{name: "fig8.svg", render: func(w io.Writer) error {
+			return figures.ScatterSVG(w, "Fig. 8: effectiveness sample error", "F1", "std", f1s, f1errs)
+		}},
+		{name: "fig9.svg", render: func(w io.Writer) error {
+			return figures.HeatmapSVG(w, "Fig. 9: thematic throughput by theme sizes", cells,
+				func(c eval.Cell) float64 { return c.MeanThroughput }, base.Throughput)
+		}},
+		{name: "fig10.svg", render: func(w io.Writer) error {
+			return figures.ScatterSVG(w, "Fig. 10: throughput sample error", "events/sec", "std", thrs, thrErrs)
+		}},
+	} {
+		if err := e.writeSVG(fig.name, fig.render); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runHeadline(e *env0) error {
+	base := e.baseline()
+	sum := eval.Summarize(e.grid(), base)
+	fmt.Println("== E6: headline claims (§abstract, §5.3) ==")
+	rows := []struct {
+		metric, paper string
+		measured      string
+	}{
+		{"max F1 (thematic)", "~85%", fmt.Sprintf("%.0f%%", 100*sum.MaxF1)},
+		{"mean F1 (thematic)", "71%", fmt.Sprintf("%.0f%%", 100*sum.MeanF1)},
+		{"baseline F1 (non-thematic)", "62%", fmt.Sprintf("%.0f%%", 100*base.F1)},
+		{"F1 cells above baseline", ">70%", fmt.Sprintf("%.0f%%", 100*sum.FracF1AboveBaseline)},
+		{"mean throughput (thematic)", "320 ev/s", fmt.Sprintf("%.0f ev/s", sum.MeanThroughput)},
+		{"baseline throughput", "202 ev/s", fmt.Sprintf("%.0f ev/s", base.Throughput)},
+		{"throughput cells above baseline", ">92%", fmt.Sprintf("%.0f%%", 100*sum.FracThroughputAboveBaseline)},
+		{"throughput improvement", "~150%", fmt.Sprintf("%.0f%%", 100*(sum.MeanThroughput/base.Throughput-1))},
+		{"F1 improvement (mean)", "~15%", fmt.Sprintf("%.0f%%", 100*(sum.MeanF1-base.F1))},
+	}
+	fmt.Printf("%-34s %-12s %s\n", "metric", "paper", "measured")
+	for _, r := range rows {
+		fmt.Printf("%-34s %-12s %s\n", r.metric, r.paper, r.measured)
+	}
+	fmt.Println()
+	return nil
+}
+
+const msRound = 1000000 // one millisecond in time.Duration units

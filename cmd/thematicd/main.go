@@ -1,0 +1,128 @@
+// Command thematicd is the thematic event broker daemon: it builds the
+// distributional space, wires the thematic approximate matcher into a
+// publish/subscribe broker, and serves the wire protocol over TCP.
+//
+// Usage:
+//
+//	thematicd -addr 127.0.0.1:7070 -threshold 0.2
+//
+// Clients (for example cmd/themctl) publish events and register thematic
+// subscriptions; the daemon delivers matching events asynchronously.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"thematicep/internal/broker"
+	"thematicep/internal/corpus"
+	"thematicep/internal/index"
+	"thematicep/internal/matcher"
+	"thematicep/internal/semantics"
+	"thematicep/internal/vocab"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "thematicd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("thematicd", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:7070", "listen address")
+		threshold = fs.Float64("threshold", 0.2, "minimum match score for delivery")
+		thematic  = fs.Bool("thematic", true, "use theme tags (false = non-thematic baseline)")
+		replay    = fs.Int("replay", 256, "replay buffer size (0 disables)")
+		queue     = fs.Int("queue", 64, "per-subscriber queue size")
+		seed      = fs.Int64("seed", 42, "corpus generation seed")
+		indexPath = fs.String("index", "", "index cache file: loaded when present, written after indexing")
+		metrics   = fs.String("metrics", "", "optional HTTP address serving /metrics (Prometheus text format)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ix, err := loadOrBuildIndex(*indexPath, *seed)
+	if err != nil {
+		return err
+	}
+	space := semantics.NewSpace(ix)
+	m := matcher.New(space, matcher.WithThematic(*thematic))
+
+	b := broker.New(m,
+		broker.WithThreshold(*threshold),
+		broker.WithReplayBuffer(*replay),
+		broker.WithQueueSize(*queue),
+	)
+	defer b.Close()
+
+	srv := broker.NewServer(b)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "thematicd listening on %s (thematic=%v threshold=%.2f)\n",
+		bound, *thematic, *threshold)
+
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", broker.MetricsHandler(b))
+		msrv := &http.Server{Addr: *metrics, Handler: mux}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "thematicd: metrics:", err)
+			}
+		}()
+		defer msrv.Close()
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", *metrics)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	st := b.Stats()
+	fmt.Fprintf(os.Stderr, "shutting down: published=%d matched=%d delivered=%d dropped=%d\n",
+		st.Published, st.Matched, st.Delivered, st.Dropped)
+	return nil
+}
+
+// loadOrBuildIndex loads a cached index when path exists, otherwise builds
+// one from the corpus (and caches it when a path was given). Caching
+// addresses the cold-start cost of indexing (§7 future work).
+func loadOrBuildIndex(path string, seed int64) (*index.Index, error) {
+	if path != "" {
+		if f, err := os.Open(path); err == nil {
+			defer f.Close()
+			fmt.Fprintf(os.Stderr, "loading index from %s...\n", path)
+			ix, err := index.ReadFrom(f)
+			if err != nil {
+				return nil, fmt.Errorf("load index: %w", err)
+			}
+			return ix, nil
+		}
+	}
+	fmt.Fprintln(os.Stderr, "building distributional space...")
+	ccfg := corpus.DefaultConfig()
+	ccfg.Seed = seed
+	ix := index.Build(corpus.Generate(vocab.AllDomains(), ccfg))
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("cache index: %w", err)
+		}
+		defer f.Close()
+		if _, err := ix.WriteTo(f); err != nil {
+			return nil, fmt.Errorf("cache index: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "cached index to %s\n", path)
+	}
+	return ix, nil
+}

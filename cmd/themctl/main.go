@@ -1,0 +1,160 @@
+// Command themctl is the client CLI for a thematicd broker.
+//
+// Usage:
+//
+//	themctl publish -addr 127.0.0.1:7070 '<event>'
+//	themctl subscribe -addr 127.0.0.1:7070 [-replay] '<subscription>'
+//	themctl match '<subscription>' '<event>'
+//
+// Events and subscriptions use the paper's notation, e.g.
+//
+//	themctl publish '({energy}, {type: increased energy consumption event, device: computer})'
+//	themctl subscribe '({power}, {type = increased energy usage event~, device~ = laptop~})'
+//
+// subscribe streams deliveries to stdout until interrupted. match runs a
+// local one-shot match (no broker needed) and prints the top-1 mapping.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"thematicep/internal/broker"
+	"thematicep/internal/corpus"
+	"thematicep/internal/event"
+	"thematicep/internal/index"
+	"thematicep/internal/matcher"
+	"thematicep/internal/semantics"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "themctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: themctl <publish|subscribe|match> ...")
+	}
+	switch args[0] {
+	case "publish":
+		return runPublish(args[1:])
+	case "subscribe":
+		return runSubscribe(args[1:])
+	case "match":
+		return runMatch(args[1:])
+	default:
+		return fmt.Errorf("unknown command %q (want publish, subscribe, or match)", args[0])
+	}
+}
+
+func runPublish(args []string) error {
+	fs := flag.NewFlagSet("publish", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "broker address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("publish: exactly one event argument expected")
+	}
+	ev, err := event.ParseEvent(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	c, err := broker.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := c.Publish(ev); err != nil {
+		return err
+	}
+	fmt.Println("published:", ev)
+	return nil
+}
+
+func runSubscribe(args []string) error {
+	fs := flag.NewFlagSet("subscribe", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "broker address")
+	replay := fs.Bool("replay", false, "replay buffered past events first")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("subscribe: exactly one subscription argument expected")
+	}
+	sub, err := event.ParseSubscription(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	c, err := broker.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	id, deliveries, err := c.Subscribe(sub, *replay)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "subscribed as %s; waiting for deliveries (interrupt to stop)\n", id)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	for {
+		select {
+		case d, ok := <-deliveries:
+			if !ok {
+				return fmt.Errorf("connection closed")
+			}
+			tag := "live"
+			if d.Replayed {
+				tag = "replayed"
+			}
+			fmt.Printf("[%s score=%.3f] %s\n", tag, d.Score, d.Event)
+		case <-sig:
+			return nil
+		}
+	}
+}
+
+func runMatch(args []string) error {
+	fs := flag.NewFlagSet("match", flag.ContinueOnError)
+	topK := fs.Int("k", 1, "number of mappings to print")
+	thematic := fs.Bool("thematic", true, "use theme tags")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("match: subscription and event arguments expected")
+	}
+	sub, err := event.ParseSubscription(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	ev, err := event.ParseEvent(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "building distributional space...")
+	space := semantics.NewSpace(index.Build(corpus.GenerateDefault()))
+	m := matcher.New(space, matcher.WithThematic(*thematic))
+
+	mappings := m.MatchTopK(sub, ev, *topK)
+	if len(mappings) == 0 {
+		fmt.Println("no match")
+		return nil
+	}
+	for i, mp := range mappings {
+		fmt.Printf("mapping #%d: score=%.4f probability=%.3f\n", i+1, mp.Score, mp.Probability)
+		for _, c := range mp.Pairs {
+			fmt.Printf("  %-40s <-> %-40s sim=%.3f\n",
+				sub.Predicates[c.Predicate], ev.Tuples[c.Tuple], c.Similarity)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+// Energy management: Linked-Energy-Intelligence-style building monitoring
+// (§5.2.1) where uncertain single-event matches feed complex event
+// processing (§3.5): detect "increased consumption, then a consumption peak
+// within 15 minutes" with a combined probability.
+//
+// Run with: go run ./examples/energy
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"thematicep/internal/cep"
+	"thematicep/internal/corpus"
+	"thematicep/internal/event"
+	"thematicep/internal/index"
+	"thematicep/internal/matcher"
+	"thematicep/internal/semantics"
+)
+
+func main() {
+	space := semantics.NewSpace(index.Build(corpus.GenerateDefault()))
+	m := matcher.New(space)
+
+	consumptionSub := &event.Subscription{
+		Theme: []string{"energy consumption monitoring", "energy efficiency", "environmental monitoring"},
+		Predicates: []event.Predicate{
+			{Attr: "type", Value: "increased energy consumption event", ApproxValue: true},
+		},
+	}
+	peakSub := &event.Subscription{
+		Theme: []string{"energy consumption monitoring", "energy efficiency", "environmental monitoring"},
+		Predicates: []event.Predicate{
+			{Attr: "type", Value: "consumption peak event", ApproxValue: true},
+		},
+	}
+
+	// A stream of heterogeneous building events (different vendors again).
+	theme := []string{"energy consumption monitoring", "power generation", "environmental monitoring", "water management"}
+	now := time.Date(2026, 7, 5, 9, 0, 0, 0, time.UTC)
+	stream := []struct {
+		at time.Time
+		ev *event.Event
+	}{
+		{now, &event.Event{ID: "e1", Theme: theme, Tuples: []event.Tuple{
+			{Attr: "type", Value: "increased electricity usage event"},
+			{Attr: "device", Value: "server rack"},
+			{Attr: "room", Value: "server room"},
+		}}},
+		{now.Add(4 * time.Minute), &event.Event{ID: "e2", Theme: theme, Tuples: []event.Tuple{
+			{Attr: "type", Value: "decreased humidity event"},
+			{Attr: "room", Value: "server room"},
+		}}},
+		{now.Add(9 * time.Minute), &event.Event{ID: "e3", Theme: theme, Tuples: []event.Tuple{
+			{Attr: "type", Value: "peak load event"},
+			{Attr: "zone", Value: "building"},
+		}}},
+	}
+
+	// Single-event matching produces uncertain events; the sequence pattern
+	// composes them.
+	pattern := cep.NewSequence(15*time.Minute, 0.05,
+		func(*event.Event) bool { return true }, // step filters below gate by attaching probability upstream
+		func(*event.Event) bool { return true },
+	)
+	// Feed only events that match each step's subscription, carrying the
+	// matcher's score as probability: step order enforced by the pattern.
+	fmt.Println("stream:")
+	var detections []cep.Detection
+	for _, item := range stream {
+		consumptionScore := m.Score(consumptionSub, item.ev)
+		peakScore := m.Score(peakSub, item.ev)
+		fmt.Printf("  %s %-4s consumption=%.3f peak=%.3f\n",
+			item.at.Format("15:04"), item.ev.ID, consumptionScore, peakScore)
+
+		// Route the event to the step it matches best, above a floor.
+		const floor = 0.45
+		switch {
+		case consumptionScore >= floor && consumptionScore >= peakScore:
+			detections = append(detections, pattern.Observe(cep.UncertainEvent{
+				Event: item.ev, Probability: consumptionScore, At: item.at,
+			})...)
+		case peakScore >= floor:
+			detections = append(detections, pattern.Observe(cep.UncertainEvent{
+				Event: item.ev, Probability: peakScore, At: item.at,
+			})...)
+		}
+	}
+
+	fmt.Println("\ncomplex detections (increased consumption, then peak, within 15 min):")
+	if len(detections) == 0 {
+		fmt.Println("  none")
+		return
+	}
+	for _, d := range detections {
+		fmt.Printf("  %s -> %s with probability %.3f\n",
+			d.Events[0].Event.ID, d.Events[1].Event.ID, d.Probability)
+	}
+}

@@ -1,0 +1,87 @@
+// Thresholds: the language extension beyond the paper's §3.4 — comparison
+// operators combined with semantic attribute relaxation — plus the negation
+// CEP pattern: "a high reading with no shutdown event within 10 minutes".
+//
+// Run with: go run ./examples/thresholds
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"thematicep/internal/cep"
+	"thematicep/internal/corpus"
+	"thematicep/internal/event"
+	"thematicep/internal/index"
+	"thematicep/internal/matcher"
+	"thematicep/internal/semantics"
+)
+
+func main() {
+	space := semantics.NewSpace(index.Build(corpus.GenerateDefault()))
+	m := matcher.New(space)
+
+	// "temperature~ > 30": the attribute is semantically relaxed (any
+	// vendor's name for temperature), the comparison is exact.
+	sub, err := event.ParseSubscription(
+		"({environmental monitoring, climate observation}, {temperature~ > 30, city = galway})")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("subscription:", sub)
+
+	theme := []string{"environmental monitoring", "air quality"}
+	now := time.Date(2026, 7, 5, 14, 0, 0, 0, time.UTC)
+	readings := []struct {
+		at time.Time
+		ev *event.Event
+	}{
+		{now, &event.Event{ID: "r1", Theme: theme, Tuples: []event.Tuple{
+			{Attr: "air temperature", Value: "33.5"},
+			{Attr: "city", Value: "galway"},
+		}}},
+		{now.Add(2 * time.Minute), &event.Event{ID: "r2", Theme: theme, Tuples: []event.Tuple{
+			{Attr: "thermal reading", Value: "29.0"}, // below threshold
+			{Attr: "city", Value: "galway"},
+		}}},
+		{now.Add(4 * time.Minute), &event.Event{ID: "r3", Theme: theme, Tuples: []event.Tuple{
+			{Attr: "heat level", Value: "36.2"},
+			{Attr: "city", Value: "galway"},
+		}}},
+		{now.Add(6 * time.Minute), &event.Event{ID: "r4", Theme: theme, Tuples: []event.Tuple{
+			{Attr: "air temperature", Value: "34.0"},
+			{Attr: "city", Value: "santander"}, // wrong city
+		}}},
+	}
+
+	// Negation: a matched high reading with NO cooling-start event within
+	// 10 minutes escalates to an alarm.
+	alarm := cep.NewNegation(10*time.Minute, 0.1,
+		func(*event.Event) bool { return true }, // triggers are pre-filtered by the matcher
+		cep.AttrEquals("type", "cooling started"),
+	)
+
+	fmt.Println("\nreadings:")
+	var alarms []cep.Detection
+	for _, r := range readings {
+		score := m.Score(sub, r.ev)
+		fmt.Printf("  %s %-3s score=%.3f\n", r.at.Format("15:04"), r.ev.ID, score)
+		if score > 0.3 {
+			alarms = append(alarms, alarm.Observe(cep.UncertainEvent{
+				Event: r.ev, Probability: score, At: r.at,
+			})...)
+		}
+	}
+	// No cooling event ever arrives; flush past the window to emit alarms.
+	alarms = append(alarms, alarm.Flush(now.Add(20*time.Minute))...)
+
+	fmt.Println("\nalarms (high reading, no cooling within 10 min):")
+	for _, a := range alarms {
+		fmt.Printf("  reading %s escalated with probability %.3f\n",
+			a.Events[0].Event.ID, a.Probability)
+	}
+	if len(alarms) == 0 {
+		fmt.Println("  none")
+	}
+}

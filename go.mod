@@ -1,0 +1,3 @@
+module thematicep
+
+go 1.24

@@ -1,0 +1,255 @@
+// Package assign solves the rectangular assignment problems at the heart of
+// the approximate matcher (§3.5): the top-1 mapping is a maximum-weight
+// assignment of subscription predicates to event tuples over the combined
+// similarity matrix, and the top-k mappings are the k best assignments,
+// enumerated with Murty's partitioning algorithm.
+//
+// Weights are arbitrary real numbers; use log-similarities to make the
+// maximum-sum assignment the maximum-product mapping.
+package assign
+
+import (
+	"container/heap"
+	"math"
+)
+
+// NegInf marks a forbidden pair. Any assignment using a NegInf pair is
+// infeasible.
+var NegInf = math.Inf(-1)
+
+// Assignment is a solution: Cols[i] is the column assigned to row i
+// (always a valid column index in a feasible solution), and Total is the sum
+// of the chosen weights.
+type Assignment struct {
+	Cols  []int
+	Total float64
+}
+
+// Best returns the maximum-total assignment of every row to a distinct
+// column. It requires len(weights) <= columns; it returns ok=false when the
+// problem is infeasible (more rows than columns, or no feasible pairing
+// avoiding NegInf weights).
+func Best(weights [][]float64) (Assignment, bool) {
+	return bestConstrained(weights, nil, nil)
+}
+
+// pairKey identifies one (row, col) cell.
+type pairKey struct{ row, col int }
+
+// bestConstrained solves the assignment with forced pairs (row -> col) and
+// forbidden cells. Forced rows keep their forced column; forbidden cells are
+// never used.
+func bestConstrained(weights [][]float64, forced map[int]int, forbidden map[pairKey]bool) (Assignment, bool) {
+	n := len(weights)
+	if n == 0 {
+		return Assignment{}, true
+	}
+	m := len(weights[0])
+	if n > m {
+		return Assignment{}, false
+	}
+
+	// Apply constraints onto a working copy. A forced pair (r, c) removes
+	// competition by forbidding row r's other cells and column c for others.
+	w := make([][]float64, n)
+	usedCol := make(map[int]bool, len(forced))
+	for _, c := range forced {
+		if usedCol[c] {
+			return Assignment{}, false // two rows forced to one column
+		}
+		usedCol[c] = true
+	}
+	for i := 0; i < n; i++ {
+		w[i] = make([]float64, m)
+		fc, isForced := forcedCol(forced, i)
+		for j := 0; j < m; j++ {
+			switch {
+			case isForced && j != fc:
+				w[i][j] = NegInf
+			case !isForced && usedCol[j]:
+				w[i][j] = NegInf
+			case forbidden[pairKey{i, j}]:
+				w[i][j] = NegInf
+			default:
+				w[i][j] = weights[i][j]
+			}
+		}
+		if isForced && weights[i][fc] == NegInf {
+			return Assignment{}, false
+		}
+	}
+	return jv(w)
+}
+
+func forcedCol(forced map[int]int, row int) (int, bool) {
+	if forced == nil {
+		return 0, false
+	}
+	c, ok := forced[row]
+	return c, ok
+}
+
+// jv is the Jonker-Volgenant-style shortest augmenting path algorithm for
+// rectangular maximization (rows <= cols). It converts to minimization
+// internally. Infeasible cells carry NegInf weight (=> +Inf cost).
+func jv(weights [][]float64) (Assignment, bool) {
+	n := len(weights)
+	m := len(weights[0])
+
+	// cost = -weight; +Inf for forbidden.
+	inf := math.Inf(1)
+	cost := func(i, j int) float64 {
+		w := weights[i][j]
+		if w == NegInf {
+			return inf
+		}
+		return -w
+	}
+
+	// 1-based potentials over rows (u) and cols (v); p[j] = row matched to
+	// col j (0 = none). Standard e-maxx formulation.
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1)
+	way := make([]int, m+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := 0; j <= m; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := -1
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost(i0-1, j-1) - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			if j1 < 0 || math.IsInf(delta, 1) {
+				return Assignment{}, false // no feasible augmenting path
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	cols := make([]int, n)
+	total := 0.0
+	for j := 1; j <= m; j++ {
+		if p[j] == 0 {
+			continue
+		}
+		cols[p[j]-1] = j - 1
+		w := weights[p[j]-1][j-1]
+		if w == NegInf {
+			return Assignment{}, false
+		}
+		total += w
+	}
+	return Assignment{Cols: cols, Total: total}, true
+}
+
+// node is a Murty subproblem with its solved assignment.
+type node struct {
+	forced    map[int]int
+	forbidden map[pairKey]bool
+	sol       Assignment
+}
+
+// nodeHeap is a max-heap by solution total.
+type nodeHeap []node
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].sol.Total > h[j].sol.Total }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// TopK returns up to k distinct assignments in non-increasing total order
+// using Murty's algorithm. It returns fewer than k when fewer feasible
+// assignments exist.
+func TopK(weights [][]float64, k int) []Assignment {
+	if k <= 0 {
+		return nil
+	}
+	best, ok := Best(weights)
+	if !ok {
+		return nil
+	}
+	n := len(weights)
+
+	h := &nodeHeap{{forced: nil, forbidden: nil, sol: best}}
+	heap.Init(h)
+	var out []Assignment
+
+	for len(out) < k && h.Len() > 0 {
+		cur := heap.Pop(h).(node)
+		out = append(out, cur.sol)
+
+		// Partition: for each non-forced row (in index order), create a
+		// subproblem that keeps earlier rows at their current columns and
+		// forbids this row's current column.
+		forcedSoFar := make(map[int]int, len(cur.forced))
+		for r, c := range cur.forced {
+			forcedSoFar[r] = c
+		}
+		for row := 0; row < n; row++ {
+			if _, isForced := cur.forced[row]; isForced {
+				continue
+			}
+			forbidden := make(map[pairKey]bool, len(cur.forbidden)+1)
+			for pk := range cur.forbidden {
+				forbidden[pk] = true
+			}
+			forbidden[pairKey{row, cur.sol.Cols[row]}] = true
+
+			forced := make(map[int]int, len(forcedSoFar))
+			for r, c := range forcedSoFar {
+				forced[r] = c
+			}
+
+			if sol, ok := bestConstrained(weights, forced, forbidden); ok {
+				heap.Push(h, node{forced: forced, forbidden: forbidden, sol: sol})
+			}
+			// Subsequent subproblems keep this row fixed.
+			forcedSoFar[row] = cur.sol.Cols[row]
+		}
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package assign
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestBestSimpleSquare(t *testing.T) {
+	w := [][]float64{
+		{1, 2, 3},
+		{2, 4, 6},
+		{3, 6, 9},
+	}
+	sol, ok := Best(w)
+	if !ok {
+		t.Fatal("infeasible")
+	}
+	// Optimal: row0->col0(1), row1->col1(4), row2->col2(9) = 14? Check all
+	// permutations: (0,1,2)=1+4+9=14, (0,2,1)=1+6+6=13, (1,0,2)=2+2+9=13,
+	// (1,2,0)=2+6+3=11, (2,0,1)=3+2+6=11, (2,1,0)=3+4+3=10. Max = 14.
+	if sol.Total != 14 {
+		t.Errorf("Total = %v, want 14 (cols %v)", sol.Total, sol.Cols)
+	}
+}
+
+func TestBestRectangular(t *testing.T) {
+	w := [][]float64{
+		{0.1, 0.9, 0.2, 0.3},
+		{0.8, 0.85, 0.1, 0.2},
+	}
+	sol, ok := Best(w)
+	if !ok {
+		t.Fatal("infeasible")
+	}
+	// row0->col1 (0.9), row1->col0 (0.8) = 1.7 beats row0->col1,row1->col1 (invalid) etc.
+	if math.Abs(sol.Total-1.7) > 1e-12 {
+		t.Errorf("Total = %v, want 1.7", sol.Total)
+	}
+	if sol.Cols[0] != 1 || sol.Cols[1] != 0 {
+		t.Errorf("Cols = %v", sol.Cols)
+	}
+}
+
+func TestBestMoreRowsThanCols(t *testing.T) {
+	w := [][]float64{{1}, {2}}
+	if _, ok := Best(w); ok {
+		t.Error("2 rows x 1 col should be infeasible")
+	}
+}
+
+func TestBestEmpty(t *testing.T) {
+	sol, ok := Best(nil)
+	if !ok || sol.Total != 0 || len(sol.Cols) != 0 {
+		t.Errorf("empty = %+v, %v", sol, ok)
+	}
+}
+
+func TestBestForbiddenCells(t *testing.T) {
+	w := [][]float64{
+		{NegInf, 5},
+		{NegInf, NegInf},
+	}
+	if _, ok := Best(w); ok {
+		t.Error("row of NegInf should be infeasible")
+	}
+	w2 := [][]float64{
+		{NegInf, 5},
+		{3, NegInf},
+	}
+	sol, ok := Best(w2)
+	if !ok || sol.Total != 8 {
+		t.Errorf("sol = %+v, %v; want total 8", sol, ok)
+	}
+}
+
+func TestBestNegativeWeights(t *testing.T) {
+	w := [][]float64{
+		{-1, -2},
+		{-3, -4},
+	}
+	sol, ok := Best(w)
+	if !ok {
+		t.Fatal("infeasible")
+	}
+	// (-1)+(-4) = -5 vs (-2)+(-3) = -5: tie; both optimal.
+	if sol.Total != -5 {
+		t.Errorf("Total = %v, want -5", sol.Total)
+	}
+}
+
+// bruteBest enumerates all injective assignments (reference implementation).
+func bruteBest(w [][]float64) (float64, bool) {
+	n := len(w)
+	if n == 0 {
+		return 0, true
+	}
+	m := len(w[0])
+	if n > m {
+		return 0, false
+	}
+	best := math.Inf(-1)
+	cols := make([]int, n)
+	used := make([]bool, m)
+	var rec func(i int, total float64)
+	rec = func(i int, total float64) {
+		if i == n {
+			if total > best {
+				best = total
+			}
+			return
+		}
+		for j := 0; j < m; j++ {
+			if used[j] || w[i][j] == NegInf {
+				continue
+			}
+			used[j] = true
+			cols[i] = j
+			rec(i+1, total+w[i][j])
+			used[j] = false
+		}
+	}
+	rec(0, 0)
+	if math.IsInf(best, -1) {
+		return 0, false
+	}
+	return best, true
+}
+
+func TestBestMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(5)
+		m := n + r.Intn(4)
+		w := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, m)
+			for j := range w[i] {
+				if r.Intn(6) == 0 {
+					w[i][j] = NegInf
+				} else {
+					w[i][j] = math.Round(r.Float64()*100) / 10
+				}
+			}
+		}
+		want, wantOK := bruteBest(w)
+		got, gotOK := Best(w)
+		if wantOK != gotOK {
+			t.Fatalf("trial %d: feasibility %v vs %v (w=%v)", trial, gotOK, wantOK, w)
+		}
+		if wantOK && math.Abs(got.Total-want) > 1e-9 {
+			t.Fatalf("trial %d: total %v, want %v (w=%v)", trial, got.Total, want, w)
+		}
+		if gotOK {
+			// Verify the assignment is injective and totals correctly.
+			seen := make(map[int]bool)
+			sum := 0.0
+			for i, c := range got.Cols {
+				if c < 0 || c >= m || seen[c] {
+					t.Fatalf("trial %d: invalid cols %v", trial, got.Cols)
+				}
+				seen[c] = true
+				sum += w[i][c]
+			}
+			if math.Abs(sum-got.Total) > 1e-9 {
+				t.Fatalf("trial %d: reported total %v != recomputed %v", trial, got.Total, sum)
+			}
+		}
+	}
+}
+
+// bruteTopK enumerates all assignment totals sorted descending.
+func bruteTopK(w [][]float64) []float64 {
+	n := len(w)
+	if n == 0 {
+		return nil
+	}
+	m := len(w[0])
+	var totals []float64
+	used := make([]bool, m)
+	var rec func(i int, total float64)
+	rec = func(i int, total float64) {
+		if i == n {
+			totals = append(totals, total)
+			return
+		}
+		for j := 0; j < m; j++ {
+			if used[j] || w[i][j] == NegInf {
+				continue
+			}
+			used[j] = true
+			rec(i+1, total+w[i][j])
+			used[j] = false
+		}
+	}
+	rec(0, 0)
+	sort.Sort(sort.Reverse(sort.Float64Slice(totals)))
+	return totals
+}
+
+func TestTopKMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(4)
+		m := n + r.Intn(3)
+		w := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, m)
+			for j := range w[i] {
+				w[i][j] = math.Round(r.Float64()*1000) / 10
+			}
+		}
+		k := 1 + r.Intn(6)
+		want := bruteTopK(w)
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := TopK(w, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d assignments, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if math.Abs(got[i].Total-want[i]) > 1e-9 {
+				t.Fatalf("trial %d: top-%d total %v, want %v", trial, i+1, got[i].Total, want[i])
+			}
+			if i > 0 && got[i].Total > got[i-1].Total+1e-9 {
+				t.Fatalf("trial %d: not sorted: %v after %v", trial, got[i].Total, got[i-1].Total)
+			}
+		}
+	}
+}
+
+func TestTopKDistinctAssignments(t *testing.T) {
+	w := [][]float64{
+		{1, 2, 3},
+		{4, 5, 6},
+	}
+	got := TopK(w, 10)
+	// P(3,2) = 6 feasible assignments.
+	if len(got) != 6 {
+		t.Fatalf("got %d assignments, want 6", len(got))
+	}
+	seen := make(map[[2]int]bool)
+	for _, a := range got {
+		key := [2]int{a.Cols[0], a.Cols[1]}
+		if seen[key] {
+			t.Fatalf("duplicate assignment %v", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestTopKZeroAndInfeasible(t *testing.T) {
+	if got := TopK([][]float64{{1}}, 0); got != nil {
+		t.Error("k=0 should return nil")
+	}
+	if got := TopK([][]float64{{NegInf}}, 3); got != nil {
+		t.Error("infeasible should return nil")
+	}
+}

@@ -1,0 +1,173 @@
+package baseline
+
+import (
+	"testing"
+
+	"thematicep/internal/event"
+	"thematicep/internal/thesaurus"
+)
+
+func ev(tuples ...event.Tuple) *event.Event {
+	return &event.Event{Tuples: tuples}
+}
+
+func TestContentMatcher(t *testing.T) {
+	m := ContentMatcher{}
+	e := ev(
+		event.Tuple{Attr: "type", Value: "increased energy consumption event"},
+		event.Tuple{Attr: "device", Value: "computer"},
+	)
+	tests := []struct {
+		name string
+		sub  *event.Subscription
+		want bool
+	}{
+		{
+			name: "exact match",
+			sub: &event.Subscription{Predicates: []event.Predicate{
+				{Attr: "device", Value: "computer"},
+			}},
+			want: true,
+		},
+		{
+			name: "synonym does not match",
+			sub: &event.Subscription{Predicates: []event.Predicate{
+				{Attr: "device", Value: "laptop"},
+			}},
+			want: false,
+		},
+		{
+			name: "tilde ignored",
+			sub: &event.Subscription{Predicates: []event.Predicate{
+				{Attr: "device", Value: "laptop", ApproxValue: true},
+			}},
+			want: false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := m.Matched(tt.sub, e); got != tt.want {
+				t.Errorf("Matched = %v, want %v", got, tt.want)
+			}
+			wantScore := 0.0
+			if tt.want {
+				wantScore = 1.0
+			}
+			if got := m.Score(tt.sub, e); got != wantScore {
+				t.Errorf("Score = %v, want %v", got, wantScore)
+			}
+		})
+	}
+}
+
+func TestRewritingMatcher(t *testing.T) {
+	m := NewRewriting(thesaurus.Default())
+	e := ev(
+		event.Tuple{Attr: "type", Value: "increased energy consumption event"},
+		event.Tuple{Attr: "device", Value: "computer"},
+		event.Tuple{Attr: "office", Value: "room 112"},
+	)
+	tests := []struct {
+		name string
+		sub  *event.Subscription
+		want bool
+	}{
+		{
+			name: "synonym value with tilde matches",
+			sub: &event.Subscription{Predicates: []event.Predicate{
+				{Attr: "device", Value: "laptop", ApproxValue: true},
+			}},
+			want: true,
+		},
+		{
+			name: "synonym without tilde does not match",
+			sub: &event.Subscription{Predicates: []event.Predicate{
+				{Attr: "device", Value: "laptop"},
+			}},
+			want: false,
+		},
+		{
+			name: "unrelated value does not match",
+			sub: &event.Subscription{Predicates: []event.Predicate{
+				{Attr: "device", Value: "rainfall", ApproxValue: true},
+			}},
+			want: false,
+		},
+		{
+			name: "exact predicate still works",
+			sub: &event.Subscription{Predicates: []event.Predicate{
+				{Attr: "office", Value: "room 112"},
+				{Attr: "device", Value: "pc", ApproxValue: true},
+			}},
+			want: true,
+		},
+		{
+			name: "one failing predicate fails all",
+			sub: &event.Subscription{Predicates: []event.Predicate{
+				{Attr: "device", Value: "laptop", ApproxValue: true},
+				{Attr: "office", Value: "room 999"},
+			}},
+			want: false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := m.Matched(tt.sub, e); got != tt.want {
+				t.Errorf("Matched = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRewritingAttrApproximation(t *testing.T) {
+	m := NewRewriting(thesaurus.Default())
+	// Event uses "urban area" as attribute; subscription uses "city~".
+	e := ev(event.Tuple{Attr: "urban area", Value: "galway"})
+	sub := &event.Subscription{Predicates: []event.Predicate{
+		{Attr: "city", Value: "galway", ApproxAttr: true},
+	}}
+	if !m.Matched(sub, e) {
+		t.Error("attribute rewriting failed for city~ vs urban area")
+	}
+	noTilde := &event.Subscription{Predicates: []event.Predicate{
+		{Attr: "city", Value: "galway"},
+	}}
+	if m.Matched(noTilde, e) {
+		t.Error("attribute matched without tilde")
+	}
+}
+
+func TestRewritingHomographBridges(t *testing.T) {
+	m := NewRewriting(thesaurus.Default())
+	// The rewriting approach cannot disambiguate: "bus~" rewrites to
+	// "coach", which matches a tutoring event's coach. This is the
+	// characteristic false positive thematic matching avoids.
+	e := ev(event.Tuple{Attr: "instructor", Value: "coach"})
+	sub := &event.Subscription{Predicates: []event.Predicate{
+		{Attr: "instructor", Value: "bus", ApproxValue: true},
+	}}
+	if !m.Matched(sub, e) {
+		t.Error("expected the homograph bridge false positive")
+	}
+}
+
+func TestRewriteCount(t *testing.T) {
+	th := thesaurus.Default()
+	m := NewRewriting(th)
+	sub := &event.Subscription{Predicates: []event.Predicate{
+		{Attr: "device", Value: "laptop", ApproxAttr: true, ApproxValue: true},
+		{Attr: "office", Value: "room 112"},
+	}}
+	attrSyn := len(th.Synonyms("device"))
+	valSyn := len(th.Synonyms("laptop"))
+	want := (1 + attrSyn) * (1 + valSyn) * 1
+	if got := m.RewriteCount(sub); got != want {
+		t.Errorf("RewriteCount = %d, want %d", got, want)
+	}
+	exact := &event.Subscription{Predicates: []event.Predicate{
+		{Attr: "a", Value: "b"},
+	}}
+	if got := m.RewriteCount(exact); got != 1 {
+		t.Errorf("RewriteCount(exact) = %d, want 1", got)
+	}
+}

@@ -1,0 +1,337 @@
+// Package broker implements the event-based middleware substrate: a
+// publish/subscribe broker with the three classic decoupling dimensions
+// (Fig. 1) and a pluggable matcher, so the thematic approximate matcher
+// drops in as the broker's matching engine.
+//
+//   - Space decoupling: producers publish to the broker; they never learn
+//     who consumes.
+//   - Time decoupling: a bounded replay buffer lets subscribers that join
+//     later receive earlier events.
+//   - Synchronization decoupling: Publish never blocks on consumers; each
+//     subscriber has a bounded queue drained at its own pace, with a
+//     drop-oldest overflow policy surfaced in the statistics.
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"thematicep/internal/event"
+)
+
+// Matcher decides whether an event is relevant to a subscription and with
+// what score. matcher.Matcher (thematic or not) and the baselines satisfy
+// it via small adapters; see MatchFunc.
+type Matcher interface {
+	Score(s *event.Subscription, e *event.Event) float64
+}
+
+// MatchFunc adapts a plain function to the Matcher interface.
+type MatchFunc func(s *event.Subscription, e *event.Event) float64
+
+// Score implements Matcher.
+func (f MatchFunc) Score(s *event.Subscription, e *event.Event) float64 { return f(s, e) }
+
+// Delivery is one matched event handed to a subscriber.
+type Delivery struct {
+	// Event is the published event.
+	Event *event.Event
+	// SubscriptionID identifies which subscription matched.
+	SubscriptionID string
+	// Score is the matcher's relevance score in (0, 1].
+	Score float64
+	// Replayed marks deliveries that came from the replay buffer rather
+	// than live publication.
+	Replayed bool
+}
+
+// Stats are broker counters; all values are cumulative.
+type Stats struct {
+	Published   uint64 // events accepted by Publish
+	Matched     uint64 // (event, subscription) matches
+	Delivered   uint64 // deliveries handed to subscriber queues
+	Dropped     uint64 // deliveries dropped due to full subscriber queues
+	Subscribers int    // currently active subscriptions
+}
+
+// Option configures a Broker.
+type Option interface {
+	apply(*config)
+}
+
+type config struct {
+	threshold  float64
+	queueSize  int
+	replaySize int
+}
+
+type thresholdOption float64
+
+func (o thresholdOption) apply(c *config) { c.threshold = float64(o) }
+
+// WithThreshold sets the minimum matcher score for delivery (default 0.05;
+// any positive score from a binary matcher passes).
+func WithThreshold(t float64) Option { return thresholdOption(t) }
+
+type queueSizeOption int
+
+func (o queueSizeOption) apply(c *config) { c.queueSize = int(o) }
+
+// WithQueueSize sets each subscriber's buffered queue length (default 64).
+func WithQueueSize(n int) Option { return queueSizeOption(n) }
+
+type replaySizeOption int
+
+func (o replaySizeOption) apply(c *config) { c.replaySize = int(o) }
+
+// WithReplayBuffer sets how many recent events the broker retains for
+// time-decoupled subscribers (default 256; 0 disables replay).
+func WithReplayBuffer(n int) Option { return replaySizeOption(n) }
+
+// Broker routes published events to matching subscribers. It is safe for
+// concurrent use. Close releases all subscribers.
+type Broker struct {
+	matcher Matcher
+	cfg     config
+
+	mu     sync.RWMutex
+	subs   map[string]*Subscriber
+	replay []*event.Event // ring buffer, oldest first
+	stats  Stats
+	closed bool
+	nextID int
+}
+
+// Errors returned by broker operations.
+var (
+	ErrClosed       = errors.New("broker: closed")
+	ErrNilEvent     = errors.New("broker: nil event")
+	ErrDuplicateSub = errors.New("broker: duplicate subscription id")
+)
+
+// New builds a broker around a matcher.
+func New(m Matcher, opts ...Option) *Broker {
+	cfg := config{
+		threshold:  0.05,
+		queueSize:  64,
+		replaySize: 256,
+	}
+	for _, opt := range opts {
+		opt.apply(&cfg)
+	}
+	return &Broker{
+		matcher: m,
+		cfg:     cfg,
+		subs:    make(map[string]*Subscriber),
+	}
+}
+
+// Subscriber is one active subscription with its delivery queue.
+type Subscriber struct {
+	id     string
+	sub    *event.Subscription
+	ch     chan Delivery
+	broker *Broker
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// ID returns the subscription id the broker assigned (or the caller chose).
+func (s *Subscriber) ID() string { return s.id }
+
+// C is the delivery channel. It is closed when the subscriber or the broker
+// closes.
+func (s *Subscriber) C() <-chan Delivery { return s.ch }
+
+// Close cancels the subscription and closes the delivery channel.
+func (s *Subscriber) Close() {
+	s.broker.unsubscribe(s.id)
+}
+
+// SubscribeOption configures one subscription.
+type SubscribeOption interface {
+	applySub(*subConfig)
+}
+
+type subConfig struct {
+	replay bool
+}
+
+type replayOption bool
+
+func (o replayOption) applySub(c *subConfig) { c.replay = bool(o) }
+
+// WithReplay requests that buffered past events be matched and delivered to
+// the new subscriber before live events (time decoupling).
+func WithReplay(enabled bool) SubscribeOption { return replayOption(enabled) }
+
+// Subscribe registers a subscription. If sub.ID is empty the broker assigns
+// one. The returned Subscriber's channel receives matching deliveries until
+// Close.
+func (b *Broker) Subscribe(sub *event.Subscription, opts ...SubscribeOption) (*Subscriber, error) {
+	if err := sub.Validate(); err != nil {
+		return nil, fmt.Errorf("broker: subscribe: %w", err)
+	}
+	var sc subConfig
+	for _, opt := range opts {
+		opt.applySub(&sc)
+	}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	id := sub.ID
+	if id == "" {
+		b.nextID++
+		id = fmt.Sprintf("sub-%d", b.nextID)
+	}
+	if _, exists := b.subs[id]; exists {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateSub, id)
+	}
+	s := &Subscriber{
+		id:     id,
+		sub:    sub,
+		ch:     make(chan Delivery, b.cfg.queueSize),
+		broker: b,
+	}
+	b.subs[id] = s
+	b.stats.Subscribers = len(b.subs)
+	var backlog []*event.Event
+	if sc.replay {
+		backlog = append(backlog, b.replay...)
+	}
+	b.mu.Unlock()
+
+	// Replay outside the lock: matching may be expensive.
+	for _, e := range backlog {
+		if score := b.matcher.Score(sub, e); score >= b.cfg.threshold && score > 0 {
+			b.offer(s, Delivery{Event: e, SubscriptionID: id, Score: score, Replayed: true})
+		}
+	}
+	return s, nil
+}
+
+func (b *Broker) unsubscribe(id string) {
+	b.mu.Lock()
+	s, ok := b.subs[id]
+	if ok {
+		delete(b.subs, id)
+		b.stats.Subscribers = len(b.subs)
+	}
+	b.mu.Unlock()
+	if ok {
+		s.mu.Lock()
+		if !s.closed {
+			s.closed = true
+			close(s.ch)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Publish matches the event against every subscription and enqueues
+// deliveries. It never blocks on slow consumers: when a subscriber's queue
+// is full, the oldest queued delivery is dropped (counted in Stats.Dropped).
+func (b *Broker) Publish(e *event.Event) error {
+	if e == nil {
+		return ErrNilEvent
+	}
+	if err := e.Validate(); err != nil {
+		return fmt.Errorf("broker: publish: %w", err)
+	}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	b.stats.Published++
+	if b.cfg.replaySize > 0 {
+		b.replay = append(b.replay, e)
+		if len(b.replay) > b.cfg.replaySize {
+			b.replay = b.replay[len(b.replay)-b.cfg.replaySize:]
+		}
+	}
+	targets := make([]*Subscriber, 0, len(b.subs))
+	for _, s := range b.subs {
+		targets = append(targets, s)
+	}
+	b.mu.Unlock()
+
+	for _, s := range targets {
+		score := b.matcher.Score(s.sub, e)
+		if score < b.cfg.threshold || score <= 0 {
+			continue
+		}
+		b.mu.Lock()
+		b.stats.Matched++
+		b.mu.Unlock()
+		b.offer(s, Delivery{Event: e, SubscriptionID: s.id, Score: score})
+	}
+	return nil
+}
+
+// offer enqueues a delivery, dropping the oldest entry when full
+// (synchronization decoupling: publishers never block).
+func (b *Broker) offer(s *Subscriber, d Delivery) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	for {
+		select {
+		case s.ch <- d:
+			b.mu.Lock()
+			b.stats.Delivered++
+			b.mu.Unlock()
+			return
+		default:
+			select {
+			case <-s.ch:
+				b.mu.Lock()
+				b.stats.Dropped++
+				b.mu.Unlock()
+			default:
+			}
+		}
+	}
+}
+
+// Stats returns a snapshot of the broker counters.
+func (b *Broker) Stats() Stats {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.stats
+}
+
+// Close shuts the broker down and closes every subscriber channel.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	subs := make([]*Subscriber, 0, len(b.subs))
+	for _, s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.subs = make(map[string]*Subscriber)
+	b.stats.Subscribers = 0
+	b.mu.Unlock()
+
+	for _, s := range subs {
+		s.mu.Lock()
+		if !s.closed {
+			s.closed = true
+			close(s.ch)
+		}
+		s.mu.Unlock()
+	}
+}

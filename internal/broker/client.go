@@ -1,0 +1,192 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"thematicep/internal/event"
+)
+
+// Client connects to a broker Server over TCP. It is safe for concurrent
+// use: requests are serialized, deliveries are dispatched to per
+// subscription channels by a background reader.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex // serializes frame writes
+	reqMu   sync.Mutex // serializes request/response exchanges
+
+	mu      sync.Mutex
+	pending []chan *Frame            // FIFO of waiting response channels
+	subs    map[string]chan Delivery // subscription id -> delivery channel
+	orphans map[string][]Delivery    // deliveries that raced Subscribe's return
+	closed  bool
+	readErr error
+
+	done chan struct{}
+}
+
+// ErrClientClosed is returned by operations on a closed client.
+var ErrClientClosed = errors.New("broker client: closed")
+
+// Dial connects to a broker server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("broker client: %w", err)
+	}
+	c := &Client{
+		conn:    conn,
+		subs:    make(map[string]chan Delivery),
+		orphans: make(map[string][]Delivery),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	for {
+		f, err := ReadFrame(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			pending := c.pending
+			c.pending = nil
+			subs := c.subs
+			c.subs = make(map[string]chan Delivery)
+			c.closed = true
+			c.mu.Unlock()
+			for _, ch := range pending {
+				close(ch)
+			}
+			for _, ch := range subs {
+				close(ch)
+			}
+			return
+		}
+		if f.Type == FrameDelivery {
+			d := Delivery{
+				Event:          f.Event,
+				SubscriptionID: f.SubscriptionID,
+				Score:          f.Score,
+				Replayed:       f.Replay,
+			}
+			// The send happens under the lock so Unsubscribe's close cannot
+			// race it; a full buffer drops the delivery (the same overflow
+			// policy as the broker's subscriber queues), so the reader never
+			// blocks on a slow consumer.
+			c.mu.Lock()
+			if ch := c.subs[f.SubscriptionID]; ch != nil {
+				select {
+				case ch <- d:
+				default:
+				}
+			} else if len(c.orphans[f.SubscriptionID]) < 64 {
+				// The subscribe acknowledgement is still in flight to the
+				// caller; park the delivery until Subscribe registers.
+				c.orphans[f.SubscriptionID] = append(c.orphans[f.SubscriptionID], d)
+			}
+			c.mu.Unlock()
+			continue
+		}
+		// Request responses arrive in request order.
+		c.mu.Lock()
+		var ch chan *Frame
+		if len(c.pending) > 0 {
+			ch = c.pending[0]
+			c.pending = c.pending[1:]
+		}
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- f
+		}
+	}
+}
+
+// request writes a frame and waits for its ok/error response.
+func (c *Client) request(f *Frame) (*Frame, error) {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	ch := make(chan *Frame, 1)
+	c.pending = append(c.pending, ch)
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := WriteFrame(c.conn, f)
+	c.writeMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		return nil, ErrClientClosed
+	}
+	if resp.Type == FrameError {
+		return nil, fmt.Errorf("broker client: server error: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Publish sends an event and waits for the broker's acknowledgement.
+func (c *Client) Publish(e *event.Event) error {
+	_, err := c.request(&Frame{Type: FramePublish, Event: e})
+	return err
+}
+
+// Subscribe registers a subscription. When replay is true, buffered past
+// events are delivered first (marked Replayed). The returned channel is
+// closed on Unsubscribe or when the connection drops; its buffer matches
+// the server-side queue default.
+func (c *Client) Subscribe(sub *event.Subscription, replay bool) (id string, deliveries <-chan Delivery, err error) {
+	resp, err := c.request(&Frame{Type: FrameSubscribe, Subscription: sub, Replay: replay})
+	if err != nil {
+		return "", nil, err
+	}
+	ch := make(chan Delivery, 64)
+	c.mu.Lock()
+	c.subs[resp.SubscriptionID] = ch
+	for _, d := range c.orphans[resp.SubscriptionID] {
+		select {
+		case ch <- d:
+		default:
+		}
+	}
+	delete(c.orphans, resp.SubscriptionID)
+	c.mu.Unlock()
+	return resp.SubscriptionID, ch, nil
+}
+
+// Unsubscribe cancels a subscription and closes its delivery channel.
+func (c *Client) Unsubscribe(id string) error {
+	_, err := c.request(&Frame{Type: FrameUnsubscribe, SubscriptionID: id})
+	c.mu.Lock()
+	if ch, ok := c.subs[id]; ok {
+		delete(c.subs, id)
+		close(ch)
+	}
+	c.mu.Unlock()
+	return err
+}
+
+// Close drops the connection; all delivery channels close.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.done
+	return err
+}

@@ -1,0 +1,30 @@
+package broker
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// MetricsHandler exposes the broker's counters in the Prometheus text
+// exposition format, so a deployed thematicd can be scraped:
+//
+//	mux := http.NewServeMux()
+//	mux.Handle("/metrics", broker.MetricsHandler(b))
+func MetricsHandler(b *Broker) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		st := b.Stats()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		write := func(name, help string, value interface{}) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, value)
+		}
+		write("thematicep_broker_published_total", "Events accepted by Publish.", st.Published)
+		write("thematicep_broker_matched_total", "Event-subscription matches.", st.Matched)
+		write("thematicep_broker_delivered_total", "Deliveries enqueued to subscribers.", st.Delivered)
+		write("thematicep_broker_dropped_total", "Deliveries dropped by the overflow policy.", st.Dropped)
+		write("thematicep_broker_subscribers", "Currently active subscriptions.", st.Subscribers)
+	})
+}

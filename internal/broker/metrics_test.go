@@ -1,0 +1,63 @@
+package broker
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMetricsHandler(t *testing.T) {
+	b := New(exactMatcher())
+	defer b.Close()
+	sub, err := b.Subscribe(parkingSub())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := b.Publish(parkingEvent("p1")); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(MetricsHandler(b))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"thematicep_broker_published_total 1",
+		"thematicep_broker_matched_total 1",
+		"thematicep_broker_delivered_total 1",
+		"thematicep_broker_dropped_total 0",
+		"thematicep_broker_subscribers 1",
+		"# TYPE thematicep_broker_published_total gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsHandlerRejectsPost(t *testing.T) {
+	b := New(exactMatcher())
+	defer b.Close()
+	srv := httptest.NewServer(MetricsHandler(b))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL, "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("status = %d, want 405", resp.StatusCode)
+	}
+}

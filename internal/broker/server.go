@@ -1,0 +1,186 @@
+package broker
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Server exposes a Broker over TCP using the wire protocol. One server
+// serves many client connections; each connection may hold many
+// subscriptions.
+type Server struct {
+	broker *Broker
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer wraps a broker.
+func NewServer(b *Broker) *Server {
+	return &Server{
+		broker: b,
+		conns:  make(map[net.Conn]struct{}),
+	}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:7070") and
+// returns the bound address. Serving happens on background goroutines until
+// Close.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("broker server: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, ErrClosed
+	}
+	s.listener = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// connState tracks one client connection's subscriptions and serializes
+// writes (delivery forwarders and request acknowledgements share the
+// socket).
+type connState struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+	subs    map[string]*Subscriber
+	wg      sync.WaitGroup
+}
+
+func (cs *connState) write(f *Frame) error {
+	cs.writeMu.Lock()
+	defer cs.writeMu.Unlock()
+	return WriteFrame(cs.conn, f)
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	cs := &connState{conn: conn, subs: make(map[string]*Subscriber)}
+	defer func() {
+		for _, sub := range cs.subs {
+			sub.Close()
+		}
+		cs.wg.Wait()
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		switch f.Type {
+		case FramePublish:
+			if err := s.broker.Publish(f.Event); err != nil {
+				cs.write(&Frame{Type: FrameError, Error: err.Error()})
+				continue
+			}
+			cs.write(&Frame{Type: FrameOK})
+
+		case FrameSubscribe:
+			var opts []SubscribeOption
+			if f.Replay {
+				opts = append(opts, WithReplay(true))
+			}
+			sub, err := s.broker.Subscribe(f.Subscription, opts...)
+			if err != nil {
+				cs.write(&Frame{Type: FrameError, Error: err.Error()})
+				continue
+			}
+			cs.subs[sub.ID()] = sub
+			// Acknowledge before starting the forwarder so the OK frame
+			// always precedes the first delivery on the wire.
+			cs.write(&Frame{Type: FrameOK, SubscriptionID: sub.ID()})
+			cs.wg.Add(1)
+			go forwardDeliveries(cs, sub)
+
+		case FrameUnsubscribe:
+			if sub, ok := cs.subs[f.SubscriptionID]; ok {
+				delete(cs.subs, f.SubscriptionID)
+				sub.Close()
+				cs.write(&Frame{Type: FrameOK, SubscriptionID: f.SubscriptionID})
+			} else {
+				cs.write(&Frame{Type: FrameError, Error: "unknown subscription " + f.SubscriptionID})
+			}
+
+		default:
+			cs.write(&Frame{Type: FrameError, Error: "unknown frame type " + f.Type})
+		}
+	}
+}
+
+// forwardDeliveries streams a subscriber's deliveries onto the connection.
+func forwardDeliveries(cs *connState, sub *Subscriber) {
+	defer cs.wg.Done()
+	for d := range sub.C() {
+		err := cs.write(&Frame{
+			Type:           FrameDelivery,
+			Event:          d.Event,
+			SubscriptionID: d.SubscriptionID,
+			Score:          d.Score,
+			Replay:         d.Replayed,
+		})
+		if err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes every connection, and waits for the serving
+// goroutines. The underlying broker is left open (the caller owns it).
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}

@@ -1,0 +1,82 @@
+package broker
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"thematicep/internal/event"
+)
+
+// The wire protocol is length-prefixed JSON: a 4-byte big-endian frame
+// length followed by one JSON-encoded Frame. It is intentionally simple —
+// the paper's contribution is the matching model, not the transport — but
+// complete: publish/subscribe/unsubscribe requests, acknowledgements, and
+// asynchronous delivery frames share one connection.
+
+// Frame types.
+const (
+	FramePublish     = "publish"
+	FrameSubscribe   = "subscribe"
+	FrameUnsubscribe = "unsubscribe"
+	FrameDelivery    = "delivery"
+	FrameOK          = "ok"
+	FrameError       = "error"
+)
+
+// MaxFrameSize bounds a frame's encoded size; larger frames are rejected to
+// protect both sides from corrupt length prefixes.
+const MaxFrameSize = 1 << 20
+
+// Frame is one protocol message.
+type Frame struct {
+	Type           string              `json:"type"`
+	Event          *event.Event        `json:"event,omitempty"`
+	Subscription   *event.Subscription `json:"subscription,omitempty"`
+	SubscriptionID string              `json:"subscriptionId,omitempty"`
+	Score          float64             `json:"score,omitempty"`
+	Replay         bool                `json:"replay,omitempty"`
+	Error          string              `json:"error,omitempty"`
+}
+
+// WriteFrame encodes and writes one frame.
+func WriteFrame(w io.Writer, f *Frame) error {
+	payload, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("wire: encode: %w", err)
+	}
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("wire: frame too large: %d bytes", len(payload))
+	}
+	var header [4]byte
+	binary.BigEndian.PutUint32(header[:], uint32(len(payload)))
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: write payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads and decodes one frame.
+func ReadFrame(r io.Reader) (*Frame, error) {
+	var header [4]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, err // io.EOF passes through for clean shutdown detection
+	}
+	n := binary.BigEndian.Uint32(header[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("wire: frame too large: %d bytes", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire: read payload: %w", err)
+	}
+	var f Frame
+	if err := json.Unmarshal(payload, &f); err != nil {
+		return nil, fmt.Errorf("wire: decode: %w", err)
+	}
+	return &f, nil
+}

@@ -1,0 +1,84 @@
+package cep
+
+import (
+	"sync"
+	"time"
+)
+
+// Count detects "at least N occurrences of X within w" over uncertain
+// events. Because constituents are uncertain, the pattern fires on the
+// EXPECTED count: Σ P(eᵢ) over the window's matching events reaching
+// minExpected. This is the standard expectation semantics for aggregates
+// over probabilistic streams and composes with the matcher's scores
+// directly (e.g. "several increased-consumption readings in 10 minutes").
+type Count struct {
+	filter      Filter
+	window      time.Duration
+	minExpected float64
+
+	mu     sync.Mutex
+	recent []UncertainEvent // matching events, oldest first
+	firing bool             // suppress duplicate detections while above threshold
+}
+
+// NewCount builds a count pattern: a detection fires when the expected
+// number of filter-matching events inside the sliding window reaches
+// minExpected, and re-arms once the expectation falls below it.
+func NewCount(window time.Duration, minExpected float64, filter Filter) *Count {
+	return &Count{
+		filter:      filter,
+		window:      window,
+		minExpected: minExpected,
+	}
+}
+
+// Observe feeds one event; a detection carries the window's matching events
+// and their combined expectation as Probability (capped at 1).
+func (c *Count) Observe(e UncertainEvent) []Detection {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	// Evict expired events and recompute the expectation.
+	keep := c.recent[:0]
+	for _, old := range c.recent {
+		if e.At.Sub(old.At) <= c.window {
+			keep = append(keep, old)
+		}
+	}
+	c.recent = keep
+
+	if c.filter(e.Event) {
+		c.recent = append(c.recent, e)
+	}
+	expected := 0.0
+	for _, ev := range c.recent {
+		expected += ev.Probability
+	}
+	if expected < c.minExpected {
+		c.firing = false
+		return nil
+	}
+	if c.firing {
+		return nil // already fired for this excursion above the threshold
+	}
+	c.firing = true
+	events := make([]UncertainEvent, len(c.recent))
+	copy(events, c.recent)
+	p := expected / float64(len(events))
+	if p > 1 {
+		p = 1
+	}
+	return []Detection{{Events: events, Probability: p}}
+}
+
+// Expected returns the current expected count in the window as of the last
+// observed event time.
+func (c *Count) Expected() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0.0
+	for _, ev := range c.recent {
+		total += ev.Probability
+	}
+	return total
+}

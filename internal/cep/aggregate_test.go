@@ -1,0 +1,82 @@
+package cep
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCountFiresAtExpectedThreshold(t *testing.T) {
+	c := NewCount(time.Minute, 2.0, AttrEquals("type", "spike"))
+
+	if got := c.Observe(ev("spike", 0.9, 0)); len(got) != 0 {
+		t.Fatalf("fired at expectation 0.9: %v", got)
+	}
+	if got := c.Observe(ev("spike", 0.8, 10*time.Second)); len(got) != 0 {
+		t.Fatalf("fired at expectation 1.7: %v", got)
+	}
+	got := c.Observe(ev("spike", 0.7, 20*time.Second))
+	if len(got) != 1 {
+		t.Fatalf("expectation 2.4 did not fire: %v", got)
+	}
+	if len(got[0].Events) != 3 {
+		t.Errorf("constituents = %d, want 3", len(got[0].Events))
+	}
+	if p := got[0].Probability; p <= 0 || p > 1 {
+		t.Errorf("probability = %v", p)
+	}
+}
+
+func TestCountIgnoresNonMatching(t *testing.T) {
+	c := NewCount(time.Minute, 1.0, AttrEquals("type", "spike"))
+	if got := c.Observe(ev("other", 1.0, 0)); len(got) != 0 {
+		t.Fatalf("non-matching event fired: %v", got)
+	}
+	if c.Expected() != 0 {
+		t.Errorf("Expected = %v", c.Expected())
+	}
+}
+
+func TestCountWindowEviction(t *testing.T) {
+	c := NewCount(time.Minute, 2.0, AttrEquals("type", "spike"))
+	c.Observe(ev("spike", 1.0, 0))
+	c.Observe(ev("spike", 0.5, 10*time.Second))
+	// Two minutes later only the new event remains in the window.
+	if got := c.Observe(ev("spike", 1.0, 2*time.Minute)); len(got) != 0 {
+		t.Fatalf("expired events counted: %v", got)
+	}
+	if want := 1.0; c.Expected() != want {
+		t.Errorf("Expected = %v, want %v", c.Expected(), want)
+	}
+}
+
+func TestCountFiresOncePerExcursion(t *testing.T) {
+	c := NewCount(time.Minute, 1.5, AttrEquals("type", "spike"))
+	c.Observe(ev("spike", 1.0, 0))
+	if got := c.Observe(ev("spike", 1.0, time.Second)); len(got) != 1 {
+		t.Fatalf("did not fire: %v", got)
+	}
+	// Still above threshold: no duplicate detection.
+	if got := c.Observe(ev("spike", 1.0, 2*time.Second)); len(got) != 0 {
+		t.Fatalf("duplicate detection: %v", got)
+	}
+	// Window empties, then refills: fires again.
+	if got := c.Observe(ev("spike", 1.0, 5*time.Minute)); len(got) != 0 {
+		t.Fatalf("fired with expectation 1.0: %v", got)
+	}
+	if got := c.Observe(ev("spike", 1.0, 5*time.Minute+time.Second)); len(got) != 1 {
+		t.Fatalf("did not re-arm: %v", got)
+	}
+}
+
+func TestCountCertainEventsBehaveLikeCounting(t *testing.T) {
+	c := NewCount(time.Minute, 3.0, AttrEquals("type", "spike"))
+	c.Observe(ev("spike", 1.0, 0))
+	c.Observe(ev("spike", 1.0, time.Second))
+	got := c.Observe(ev("spike", 1.0, 2*time.Second))
+	if len(got) != 1 {
+		t.Fatalf("3 certain events did not reach count 3")
+	}
+	if got[0].Probability != 1 {
+		t.Errorf("probability = %v, want 1 for certain events", got[0].Probability)
+	}
+}

@@ -1,0 +1,237 @@
+// Package cep implements complex event processing over uncertain single
+// event matches. The paper's single-event matcher attaches probability
+// spaces to its mappings precisely so that they "can feed into a complex
+// event processing module" (§3.5, citing Wasserkrug et al. [26]); this
+// package is that module.
+//
+// Uncertain events carry the matcher's probability. Patterns (sequence,
+// conjunction) detect compositions inside a sliding time window and combine
+// probabilities under the independence assumption standard in CEP over
+// uncertain data: P(composite) = Π P(constituent). Detections below a
+// configurable probability threshold are suppressed.
+package cep
+
+import (
+	"sync"
+	"time"
+
+	"thematicep/internal/event"
+)
+
+// UncertainEvent is one event with the matcher's confidence that it is
+// relevant (e.g. a broker Delivery's score, or a top-k mapping
+// probability).
+type UncertainEvent struct {
+	Event       *event.Event
+	Probability float64
+	At          time.Time
+}
+
+// Filter selects the constituent events of a pattern step.
+type Filter func(*event.Event) bool
+
+// AttrEquals returns a filter matching events whose attr equals value
+// (canonical comparison via the event model).
+func AttrEquals(attr, value string) Filter {
+	return func(e *event.Event) bool {
+		v, ok := e.Value(attr)
+		return ok && event.ExactMatch(&event.Subscription{
+			Predicates: []event.Predicate{{Attr: attr, Value: value}},
+		}, &event.Event{Tuples: []event.Tuple{{Attr: attr, Value: v}}})
+	}
+}
+
+// HasAttr returns a filter matching events that carry the attribute.
+func HasAttr(attr string) Filter {
+	return func(e *event.Event) bool {
+		_, ok := e.Value(attr)
+		return ok
+	}
+}
+
+// Detection is one completed pattern instance.
+type Detection struct {
+	// Events are the constituents in step order.
+	Events []UncertainEvent
+	// Probability is the combined probability of the detection.
+	Probability float64
+}
+
+// Pattern consumes uncertain events and emits completed detections.
+// Implementations are safe for concurrent use.
+type Pattern interface {
+	Observe(e UncertainEvent) []Detection
+}
+
+// Sequence detects step events in order within a sliding window:
+// "A then B then C within w". Each arriving event may extend any open
+// partial instance whose last step it follows.
+type Sequence struct {
+	steps     []Filter
+	window    time.Duration
+	threshold float64
+	maxOpen   int
+
+	mu   sync.Mutex
+	open []partial // partial instances, oldest first
+}
+
+type partial struct {
+	events []UncertainEvent
+	prob   float64
+}
+
+// NewSequence builds a sequence pattern over the given step filters.
+// Detections whose combined probability is below threshold are dropped;
+// at most maxOpen partial instances are retained (oldest evicted first).
+func NewSequence(window time.Duration, threshold float64, steps ...Filter) *Sequence {
+	return &Sequence{
+		steps:     steps,
+		window:    window,
+		threshold: threshold,
+		maxOpen:   1024,
+	}
+}
+
+// Observe feeds one event and returns completed detections.
+func (s *Sequence) Observe(e UncertainEvent) []Detection {
+	if len(s.steps) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	s.evict(e.At)
+	var out []Detection
+
+	// Extend existing partials (iterate a snapshot: extensions are new
+	// instances so one event can extend several partials).
+	for i := range s.open {
+		p := &s.open[i]
+		next := len(p.events)
+		if next >= len(s.steps) || !s.steps[next](e.Event) {
+			continue
+		}
+		extended := partial{
+			events: append(append([]UncertainEvent(nil), p.events...), e),
+			prob:   p.prob * e.Probability,
+		}
+		if len(extended.events) == len(s.steps) {
+			if extended.prob >= s.threshold {
+				out = append(out, Detection{Events: extended.events, Probability: extended.prob})
+			}
+			continue
+		}
+		s.open = append(s.open, extended)
+	}
+
+	// Start a new instance if the event matches step 0.
+	if s.steps[0](e.Event) {
+		if len(s.steps) == 1 {
+			if e.Probability >= s.threshold {
+				out = append(out, Detection{Events: []UncertainEvent{e}, Probability: e.Probability})
+			}
+		} else {
+			s.open = append(s.open, partial{events: []UncertainEvent{e}, prob: e.Probability})
+		}
+	}
+	if len(s.open) > s.maxOpen {
+		s.open = s.open[len(s.open)-s.maxOpen:]
+	}
+	return out
+}
+
+// evict drops partials whose first event fell out of the window.
+func (s *Sequence) evict(now time.Time) {
+	keep := s.open[:0]
+	for _, p := range s.open {
+		if now.Sub(p.events[0].At) <= s.window {
+			keep = append(keep, p)
+		}
+	}
+	s.open = keep
+}
+
+// Conjunction detects one event per filter, in any order, within the
+// window: "A and B within w".
+type Conjunction struct {
+	filters   []Filter
+	window    time.Duration
+	threshold float64
+
+	mu     sync.Mutex
+	recent [][]UncertainEvent // per-filter recent matches, oldest first
+}
+
+// NewConjunction builds a conjunction pattern.
+func NewConjunction(window time.Duration, threshold float64, filters ...Filter) *Conjunction {
+	return &Conjunction{
+		filters:   filters,
+		window:    window,
+		threshold: threshold,
+		recent:    make([][]UncertainEvent, len(filters)),
+	}
+}
+
+// Observe feeds one event and returns completed detections. An event may
+// satisfy several filters; each satisfied slot is considered.
+func (c *Conjunction) Observe(e UncertainEvent) []Detection {
+	if len(c.filters) == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	// Evict expired matches.
+	for i := range c.recent {
+		keep := c.recent[i][:0]
+		for _, old := range c.recent[i] {
+			if e.At.Sub(old.At) <= c.window {
+				keep = append(keep, old)
+			}
+		}
+		c.recent[i] = keep
+	}
+
+	var out []Detection
+	for i, f := range c.filters {
+		if !f(e.Event) {
+			continue
+		}
+		// Try to complete using the freshest match of every other slot.
+		events := make([]UncertainEvent, len(c.filters))
+		prob := e.Probability
+		complete := true
+		for j := range c.filters {
+			if j == i {
+				events[j] = e
+				continue
+			}
+			if n := len(c.recent[j]); n > 0 {
+				events[j] = c.recent[j][n-1]
+				prob *= events[j].Probability
+			} else {
+				complete = false
+				break
+			}
+		}
+		if complete && prob >= c.threshold {
+			out = append(out, Detection{Events: events, Probability: prob})
+		}
+		c.recent[i] = append(c.recent[i], e)
+		if len(c.recent[i]) > 256 {
+			c.recent[i] = c.recent[i][1:]
+		}
+	}
+	return out
+}
+
+// Feed drains a broker-style delivery stream into a pattern, invoking
+// onDetect for every detection. It returns when the channel closes.
+func Feed(events <-chan UncertainEvent, p Pattern, onDetect func(Detection)) {
+	for e := range events {
+		for _, d := range p.Observe(e) {
+			onDetect(d)
+		}
+	}
+}

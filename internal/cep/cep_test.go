@@ -1,0 +1,186 @@
+package cep
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"thematicep/internal/event"
+)
+
+var t0 = time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+
+func ev(typ string, prob float64, at time.Duration) UncertainEvent {
+	return UncertainEvent{
+		Event: &event.Event{Tuples: []event.Tuple{
+			{Attr: "type", Value: typ},
+		}},
+		Probability: prob,
+		At:          t0.Add(at),
+	}
+}
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestAttrEqualsFilter(t *testing.T) {
+	f := AttrEquals("type", "parking event")
+	if !f(ev("Parking Event", 1, 0).Event) {
+		t.Error("canonical equality failed")
+	}
+	if f(ev("energy event", 1, 0).Event) {
+		t.Error("mismatched value matched")
+	}
+	if f(&event.Event{Tuples: []event.Tuple{{Attr: "other", Value: "x"}}}) {
+		t.Error("missing attribute matched")
+	}
+}
+
+func TestHasAttr(t *testing.T) {
+	f := HasAttr("type")
+	if !f(ev("x", 1, 0).Event) || f(&event.Event{Tuples: []event.Tuple{{Attr: "a", Value: "b"}}}) {
+		t.Error("HasAttr wrong")
+	}
+}
+
+func TestSequenceDetects(t *testing.T) {
+	seq := NewSequence(time.Minute, 0,
+		AttrEquals("type", "a"), AttrEquals("type", "b"))
+
+	if got := seq.Observe(ev("a", 0.8, 0)); len(got) != 0 {
+		t.Fatalf("premature detection: %v", got)
+	}
+	got := seq.Observe(ev("b", 0.5, 10*time.Second))
+	if len(got) != 1 {
+		t.Fatalf("detections = %d, want 1", len(got))
+	}
+	if !almostEqual(got[0].Probability, 0.4) {
+		t.Errorf("probability = %v, want 0.4", got[0].Probability)
+	}
+	if len(got[0].Events) != 2 {
+		t.Errorf("constituents = %d", len(got[0].Events))
+	}
+}
+
+func TestSequenceRespectsOrder(t *testing.T) {
+	seq := NewSequence(time.Minute, 0,
+		AttrEquals("type", "a"), AttrEquals("type", "b"))
+	seq.Observe(ev("b", 1, 0)) // b before a: no instance
+	if got := seq.Observe(ev("a", 1, time.Second)); len(got) != 0 {
+		t.Errorf("out-of-order detected: %v", got)
+	}
+}
+
+func TestSequenceWindowExpiry(t *testing.T) {
+	seq := NewSequence(time.Minute, 0,
+		AttrEquals("type", "a"), AttrEquals("type", "b"))
+	seq.Observe(ev("a", 1, 0))
+	if got := seq.Observe(ev("b", 1, 2*time.Minute)); len(got) != 0 {
+		t.Errorf("expired instance completed: %v", got)
+	}
+}
+
+func TestSequenceThreshold(t *testing.T) {
+	seq := NewSequence(time.Minute, 0.5,
+		AttrEquals("type", "a"), AttrEquals("type", "b"))
+	seq.Observe(ev("a", 0.4, 0))
+	if got := seq.Observe(ev("b", 0.6, time.Second)); len(got) != 0 {
+		t.Errorf("0.24 < 0.5 threshold but detected: %v", got)
+	}
+	seq.Observe(ev("a", 0.9, 2*time.Second))
+	// Two open instances: (0.4) and (0.9). Only the second clears the
+	// threshold when completed with b@0.9.
+	if got := seq.Observe(ev("b", 0.9, 3*time.Second)); len(got) != 1 {
+		t.Errorf("0.81 >= 0.5 but detections = %d", len(got))
+	}
+}
+
+func TestSequenceMultipleOpenInstances(t *testing.T) {
+	seq := NewSequence(time.Minute, 0,
+		AttrEquals("type", "a"), AttrEquals("type", "b"))
+	seq.Observe(ev("a", 0.5, 0))
+	seq.Observe(ev("a", 0.7, time.Second))
+	got := seq.Observe(ev("b", 1, 2*time.Second))
+	if len(got) != 2 {
+		t.Fatalf("detections = %d, want 2 (one per open instance)", len(got))
+	}
+}
+
+func TestSequenceSingleStep(t *testing.T) {
+	seq := NewSequence(time.Minute, 0.3, AttrEquals("type", "a"))
+	if got := seq.Observe(ev("a", 0.6, 0)); len(got) != 1 || !almostEqual(got[0].Probability, 0.6) {
+		t.Errorf("single-step sequence: %v", got)
+	}
+	if got := seq.Observe(ev("a", 0.2, time.Second)); len(got) != 0 {
+		t.Errorf("below threshold detected: %v", got)
+	}
+}
+
+func TestSequenceThreeSteps(t *testing.T) {
+	seq := NewSequence(time.Minute, 0,
+		AttrEquals("type", "a"), AttrEquals("type", "b"), AttrEquals("type", "c"))
+	seq.Observe(ev("a", 0.9, 0))
+	seq.Observe(ev("b", 0.8, time.Second))
+	got := seq.Observe(ev("c", 0.7, 2*time.Second))
+	if len(got) != 1 {
+		t.Fatalf("detections = %d", len(got))
+	}
+	if !almostEqual(got[0].Probability, 0.9*0.8*0.7) {
+		t.Errorf("probability = %v", got[0].Probability)
+	}
+}
+
+func TestConjunctionAnyOrder(t *testing.T) {
+	for _, order := range [][2]string{{"a", "b"}, {"b", "a"}} {
+		c := NewConjunction(time.Minute, 0,
+			AttrEquals("type", "a"), AttrEquals("type", "b"))
+		c.Observe(ev(order[0], 0.5, 0))
+		got := c.Observe(ev(order[1], 0.4, time.Second))
+		if len(got) != 1 {
+			t.Fatalf("order %v: detections = %d", order, len(got))
+		}
+		if !almostEqual(got[0].Probability, 0.2) {
+			t.Errorf("order %v: probability = %v", order, got[0].Probability)
+		}
+	}
+}
+
+func TestConjunctionWindowExpiry(t *testing.T) {
+	c := NewConjunction(time.Minute, 0,
+		AttrEquals("type", "a"), AttrEquals("type", "b"))
+	c.Observe(ev("a", 1, 0))
+	if got := c.Observe(ev("b", 1, 2*time.Minute)); len(got) != 0 {
+		t.Errorf("expired conjunction detected: %v", got)
+	}
+}
+
+func TestConjunctionThreshold(t *testing.T) {
+	c := NewConjunction(time.Minute, 0.5,
+		AttrEquals("type", "a"), AttrEquals("type", "b"))
+	c.Observe(ev("a", 0.6, 0))
+	if got := c.Observe(ev("b", 0.6, time.Second)); len(got) != 0 {
+		t.Errorf("below-threshold conjunction detected: %v", got)
+	}
+}
+
+func TestFeedDrainsChannel(t *testing.T) {
+	seq := NewSequence(time.Minute, 0, AttrEquals("type", "a"))
+	ch := make(chan UncertainEvent, 4)
+	ch <- ev("a", 0.9, 0)
+	ch <- ev("x", 0.9, time.Second)
+	ch <- ev("a", 0.8, 2*time.Second)
+	close(ch)
+	var got []Detection
+	Feed(ch, seq, func(d Detection) { got = append(got, d) })
+	if len(got) != 2 {
+		t.Errorf("detections = %d, want 2", len(got))
+	}
+}
+
+func TestEmptyPatterns(t *testing.T) {
+	if got := NewSequence(time.Minute, 0).Observe(ev("a", 1, 0)); got != nil {
+		t.Error("empty sequence detected something")
+	}
+	if got := NewConjunction(time.Minute, 0).Observe(ev("a", 1, 0)); got != nil {
+		t.Error("empty conjunction detected something")
+	}
+}

@@ -1,0 +1,89 @@
+package cep
+
+import (
+	"sync"
+	"time"
+)
+
+// Negation detects the ABSENCE of a canceling event after a trigger:
+// "A not followed by B within w" (e.g. increased consumption with no
+// corresponding shutdown event). Time advances with observed event time;
+// a detection for a trigger at time t is emitted once an event with
+// timestamp beyond t+w arrives, or when Flush is called with such a time.
+//
+// The detection's probability is the trigger's probability discounted by
+// the strongest canceling candidate seen: P = P(trigger) * (1 - maxP(B)).
+// A certain B (probability 1) cancels outright; an uncertain B only lowers
+// confidence — the uncertainty semantics of CEP over probabilistic events.
+type Negation struct {
+	trigger   Filter
+	absent    Filter
+	window    time.Duration
+	threshold float64
+
+	mu   sync.Mutex
+	open []negInstance
+}
+
+type negInstance struct {
+	trigger    UncertainEvent
+	maxCancelP float64
+}
+
+// NewNegation builds a negation pattern.
+func NewNegation(window time.Duration, threshold float64, trigger, absent Filter) *Negation {
+	return &Negation{
+		trigger:   trigger,
+		absent:    absent,
+		window:    window,
+		threshold: threshold,
+	}
+}
+
+// Observe feeds one event; completed (expired) absences are returned.
+func (n *Negation) Observe(e UncertainEvent) []Detection {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	out := n.expire(e.At)
+	if n.absent(e.Event) {
+		for i := range n.open {
+			if e.At.Sub(n.open[i].trigger.At) <= n.window && e.Probability > n.open[i].maxCancelP {
+				n.open[i].maxCancelP = e.Probability
+			}
+		}
+	}
+	if n.trigger(e.Event) {
+		n.open = append(n.open, negInstance{trigger: e})
+	}
+	return out
+}
+
+// Flush advances event time without an event, emitting detections whose
+// windows have closed by now.
+func (n *Negation) Flush(now time.Time) []Detection {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.expire(now)
+}
+
+// expire emits and drops instances whose window closed before now.
+func (n *Negation) expire(now time.Time) []Detection {
+	var out []Detection
+	keep := n.open[:0]
+	for _, inst := range n.open {
+		if now.Sub(inst.trigger.At) <= n.window {
+			keep = append(keep, inst)
+			continue
+		}
+		p := inst.trigger.Probability * (1 - inst.maxCancelP)
+		if p >= n.threshold && p > 0 {
+			out = append(out, Detection{
+				Events:      []UncertainEvent{inst.trigger},
+				Probability: p,
+			})
+		}
+	}
+	n.open = keep
+	return out
+}

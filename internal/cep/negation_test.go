@@ -1,0 +1,100 @@
+package cep
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestNegationDetectsAbsence(t *testing.T) {
+	n := NewNegation(time.Minute, 0,
+		AttrEquals("type", "overload"), AttrEquals("type", "shutdown"))
+
+	if got := n.Observe(ev("overload", 0.9, 0)); len(got) != 0 {
+		t.Fatalf("premature detection: %v", got)
+	}
+	// An unrelated event after the window closes triggers the emission.
+	got := n.Observe(ev("other", 1, 2*time.Minute))
+	if len(got) != 1 {
+		t.Fatalf("detections = %d, want 1", len(got))
+	}
+	if !almostEqual(got[0].Probability, 0.9) {
+		t.Errorf("probability = %v, want 0.9", got[0].Probability)
+	}
+}
+
+func TestNegationCanceledByCertainEvent(t *testing.T) {
+	n := NewNegation(time.Minute, 0,
+		AttrEquals("type", "overload"), AttrEquals("type", "shutdown"))
+	n.Observe(ev("overload", 0.9, 0))
+	n.Observe(ev("shutdown", 1.0, 30*time.Second))
+	if got := n.Observe(ev("other", 1, 2*time.Minute)); len(got) != 0 {
+		t.Errorf("canceled instance detected: %v", got)
+	}
+}
+
+func TestNegationUncertainCancelDiscounts(t *testing.T) {
+	n := NewNegation(time.Minute, 0,
+		AttrEquals("type", "overload"), AttrEquals("type", "shutdown"))
+	n.Observe(ev("overload", 0.8, 0))
+	n.Observe(ev("shutdown", 0.5, 30*time.Second))
+	got := n.Flush(t0.Add(2 * time.Minute))
+	if len(got) != 1 {
+		t.Fatalf("detections = %d, want 1", len(got))
+	}
+	if want := 0.8 * 0.5; !almostEqual(got[0].Probability, want) {
+		t.Errorf("probability = %v, want %v", got[0].Probability, want)
+	}
+}
+
+func TestNegationCancelOutsideWindowIgnored(t *testing.T) {
+	n := NewNegation(time.Minute, 0,
+		AttrEquals("type", "overload"), AttrEquals("type", "shutdown"))
+	n.Observe(ev("overload", 0.8, 0))
+	// This shutdown arrives after the window closed: the expiry fires first,
+	// so the absence is already detected.
+	got := n.Observe(ev("shutdown", 1.0, 3*time.Minute))
+	if len(got) != 1 {
+		t.Fatalf("detections = %d, want 1", len(got))
+	}
+	if !almostEqual(got[0].Probability, 0.8) {
+		t.Errorf("probability = %v", got[0].Probability)
+	}
+}
+
+func TestNegationThreshold(t *testing.T) {
+	n := NewNegation(time.Minute, 0.5,
+		AttrEquals("type", "overload"), AttrEquals("type", "shutdown"))
+	n.Observe(ev("overload", 0.8, 0))
+	n.Observe(ev("shutdown", 0.6, time.Second)) // discount to 0.32 < 0.5
+	if got := n.Flush(t0.Add(2 * time.Minute)); len(got) != 0 {
+		t.Errorf("below-threshold absence detected: %v", got)
+	}
+}
+
+func TestNegationMultipleTriggers(t *testing.T) {
+	n := NewNegation(time.Minute, 0,
+		AttrEquals("type", "overload"), AttrEquals("type", "shutdown"))
+	n.Observe(ev("overload", 0.9, 0))
+	n.Observe(ev("overload", 0.7, 10*time.Second))
+	got := n.Flush(t0.Add(5 * time.Minute))
+	if len(got) != 2 {
+		t.Fatalf("detections = %d, want 2", len(got))
+	}
+	sum := got[0].Probability + got[1].Probability
+	if math.Abs(sum-1.6) > 1e-12 {
+		t.Errorf("probabilities = %v", got)
+	}
+}
+
+func TestNegationFlushIdempotent(t *testing.T) {
+	n := NewNegation(time.Minute, 0,
+		AttrEquals("type", "overload"), AttrEquals("type", "shutdown"))
+	n.Observe(ev("overload", 0.9, 0))
+	if got := n.Flush(t0.Add(2 * time.Minute)); len(got) != 1 {
+		t.Fatalf("first flush = %d detections", len(got))
+	}
+	if got := n.Flush(t0.Add(3 * time.Minute)); len(got) != 0 {
+		t.Errorf("second flush re-emitted: %v", got)
+	}
+}

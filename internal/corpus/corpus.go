@@ -1,0 +1,444 @@
+// Package corpus generates the deterministic synthetic text corpus that
+// substitutes for the Wikipedia 2013 dump used by the paper's ESA measure
+// (§3.1, §4.1). See DESIGN.md §1 for the substitution argument.
+//
+// The corpus is generated from the vocab domains with three document kinds:
+//
+//   - concept documents: built around one concept; its label and synonyms
+//     co-occur with high term frequency, related terms and domain context
+//     appear with lower frequency, and a sample of the domain's top terms
+//     anchors the document to its domain. Synonym relatedness and the
+//     theme-projection basis both come from these documents.
+//
+//   - domain documents: overviews that carry every top term of the domain
+//     plus a sample of concept labels, mirroring portal/overview articles.
+//
+//   - mixed documents: cross-domain noise that samples concept terms from
+//     several domains plus background vocabulary, and never contains top
+//     terms. They create the spurious co-occurrence that corrupts the
+//     non-thematic full space; every thematic basis excludes them because
+//     theme tags never select them. This asymmetry is the corpus-level
+//     mechanism behind the paper's F1 and throughput improvements.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"thematicep/internal/text"
+	"thematicep/internal/vocab"
+)
+
+// Document is one corpus document: a dimension of the distributional vector
+// space (Eq. 1).
+type Document struct {
+	ID     int32
+	Title  string
+	Kind   Kind
+	Domain string // owning domain for concept/domain docs, "" for mixed
+	Tokens []string
+}
+
+// Kind classifies how a document was generated.
+type Kind int
+
+// Document kinds.
+const (
+	KindConcept Kind = iota + 1
+	KindDomain
+	KindMixed
+	KindEntity
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindConcept:
+		return "concept"
+	case KindDomain:
+		return "domain"
+	case KindMixed:
+		return "mixed"
+	case KindEntity:
+		return "entity"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Corpus is an ordered set of documents.
+type Corpus struct {
+	Docs []Document
+}
+
+// Config controls corpus generation. The zero value is not valid; use
+// DefaultConfig.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// DocsPerConcept is the number of documents generated per concept.
+	DocsPerConcept int
+	// DomainDocs is the number of overview documents per domain.
+	DomainDocs int
+	// MixedDocs is the number of cross-domain noise documents.
+	MixedDocs int
+	// EntityDocs is the number of entity documents: catalog-like pages
+	// where dataset entities (appliances, car brands) co-occur with their
+	// siblings and a few home-domain concept terms. Like mixed documents
+	// they carry no top terms, so they corrupt only the full space — the
+	// analog of Wikipedia's long tail of product/brand pages.
+	EntityDocs int
+	// NoiseLexicon is the size of the background vocabulary.
+	NoiseLexicon int
+}
+
+// DefaultConfig returns the configuration used throughout the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		Seed:           42,
+		DocsPerConcept: 6,
+		DomainDocs:     10,
+		MixedDocs:      320,
+		EntityDocs:     260,
+		NoiseLexicon:   400,
+	}
+}
+
+// Generate builds a corpus over the given domains. Identical inputs produce
+// identical corpora.
+func Generate(domains []vocab.Domain, cfg Config) *Corpus {
+	if cfg.DocsPerConcept <= 0 || cfg.DomainDocs < 0 || cfg.MixedDocs < 0 {
+		cfg = DefaultConfig()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	noise := noiseLexicon(cfg.NoiseLexicon)
+	c := &Corpus{}
+
+	add := func(title string, kind Kind, domain string, tokens []string) {
+		c.Docs = append(c.Docs, Document{
+			ID:     int32(len(c.Docs)),
+			Title:  title,
+			Kind:   kind,
+			Domain: domain,
+			Tokens: tokens,
+		})
+	}
+
+	for di, d := range domains {
+		for _, concept := range d.Concepts {
+			for i := 0; i < cfg.DocsPerConcept; i++ {
+				title := fmt.Sprintf("%s/%s #%d", d.Name, concept.Label, i+1)
+				add(title, KindConcept, d.Name, conceptDoc(rng, domains, di, concept, noise))
+			}
+		}
+		for i := 0; i < cfg.DomainDocs; i++ {
+			title := fmt.Sprintf("%s/overview #%d", d.Name, i+1)
+			add(title, KindDomain, d.Name, domainDoc(rng, d, noise))
+		}
+	}
+	catalogs := entityCatalogs(domains)
+	for i := 0; i < cfg.EntityDocs; i++ {
+		cat := catalogs[i%len(catalogs)]
+		title := fmt.Sprintf("entity/%s #%d", cat.name, i/len(catalogs)+1)
+		add(title, KindEntity, "", entityDoc(rng, cat, noise))
+	}
+	for i := 0; i < cfg.MixedDocs; i++ {
+		title := fmt.Sprintf("mixed #%d", i+1)
+		add(title, KindMixed, "", mixedDoc(rng, domains, noise))
+	}
+	return c
+}
+
+// catalog is one entity dataset with the concept terms of its home domain
+// that catalog pages mention.
+type catalog struct {
+	name     string
+	entities []string
+	hooks    []string // home-domain concept terms co-occurring with entities
+	domain   string
+}
+
+// entityCatalogs returns the entity datasets whose members appear in events
+// (appliances in energy-consumption events, car brands on vehicle
+// platforms). Hook terms are only included when their domain is generated.
+func entityCatalogs(domains []vocab.Domain) []catalog {
+	has := make(map[string]bool, len(domains))
+	for _, d := range domains {
+		has[d.Name] = true
+	}
+	cats := []catalog{
+		{
+			name:     "appliances",
+			entities: vocab.Appliances(),
+			hooks:    []string{"energy consumption", "power consumption", "appliance", "device"},
+			domain:   "energy",
+		},
+		{
+			name:     "cars",
+			entities: vocab.CarBrands(),
+			hooks:    []string{"vehicle", "car", "motor vehicle", "driving"},
+			domain:   "transport",
+		},
+	}
+	out := cats[:0]
+	for _, c := range cats {
+		if has[c.domain] {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		return cats[:1]
+	}
+	return out
+}
+
+// entityDoc builds one catalog page: several sibling entities co-occur with
+// each other and a couple of home-domain concept terms. No top terms, so
+// theme bases always exclude these documents.
+func entityDoc(rng *rand.Rand, cat catalog, noise []string) []string {
+	var toks []string
+	emit := func(term string, times int) {
+		for i := 0; i < times; i++ {
+			toks = append(toks, text.Tokenize(term)...)
+			toks = append(toks, noise[rng.Intn(len(noise))])
+		}
+	}
+	n := 4 + rng.Intn(3)
+	for _, j := range rng.Perm(len(cat.entities))[:min(n, len(cat.entities))] {
+		emit(cat.entities[j], 2+rng.Intn(2))
+	}
+	for _, j := range rng.Perm(len(cat.hooks))[:min(2, len(cat.hooks))] {
+		emit(cat.hooks[j], 1)
+	}
+	toks = append(toks, hubTokens(rng, false)...)
+	for i := 0; i < 10; i++ {
+		toks = append(toks, noise[rng.Intn(len(noise))])
+	}
+	return toks
+}
+
+// GenerateDefault builds the evaluation corpus: the six evaluation domains
+// plus the distractor domains (the "rest of Wikipedia"), default
+// configuration.
+func GenerateDefault() *Corpus {
+	return Generate(vocab.AllDomains(), DefaultConfig())
+}
+
+// Len returns the number of documents.
+func (c *Corpus) Len() int { return len(c.Docs) }
+
+// conceptDoc builds one document centred on the concept domains[di] owns.
+func conceptDoc(rng *rand.Rand, domains []vocab.Domain, di int, concept vocab.Concept, noise []string) []string {
+	d := domains[di]
+	var toks []string
+	emit := func(term string, times int) {
+		ts := text.Tokenize(term)
+		for i := 0; i < times; i++ {
+			toks = append(toks, ts...)
+		}
+	}
+	// The concept's own terms dominate the document. Each document carries
+	// the label plus a random subset of the synonyms — surface forms only
+	// partially co-occur in real text, so synonym relatedness is strong but
+	// not trivially saturated.
+	emit(concept.Label, 3+rng.Intn(3))
+	if n := len(concept.Synonyms); n > 0 {
+		take := (n + 1) / 2
+		if take < 2 && n >= 2 {
+			take = 2
+		}
+		for _, j := range rng.Perm(n)[:take] {
+			emit(concept.Synonyms[j], 2+rng.Intn(3))
+		}
+	}
+	// Related terms appear with lower frequency than synonyms but reliably:
+	// concept documents are where label-to-related association lives, and
+	// they are inside every basis that covers the domain.
+	for _, r := range concept.Related {
+		emit(r, 1+rng.Intn(2))
+	}
+	// The domain's top terms anchor the document to its domain: these
+	// occurrences are what put the document into a theme's basis. Each top
+	// term appears independently with probability 3/4, so even a single tag
+	// covers most of its domain's concept documents — mirroring how densely
+	// Wikipedia's portal vocabulary covers domain articles.
+	anchored := false
+	for _, tt := range d.TopTerms {
+		if rng.Intn(4) > 0 {
+			emit(tt, 1+rng.Intn(2))
+			anchored = true
+		}
+	}
+	if !anchored {
+		emit(d.TopTerms[rng.Intn(len(d.TopTerms))], 1)
+	}
+	// Domain context flavour.
+	for _, j := range rng.Perm(len(d.Context))[:min(4, len(d.Context))] {
+		emit(d.Context[j], 1)
+	}
+	// Cross-domain leakage: real encyclopedia articles are topically mixed
+	// (a transport article mentions energy, cities, people), so every
+	// thematic basis retains weak signal for off-theme terms. Each leaked
+	// concept contributes its label AND one synonym: articles mention
+	// entities with their naming redundancy, which is what keeps synonym
+	// pairs weakly related even in bases that miss their domain entirely.
+	leak := func(other vocab.Domain) {
+		oc := other.Concepts[rng.Intn(len(other.Concepts))]
+		emit(oc.Label, 1)
+		if len(oc.Synonyms) > 0 {
+			emit(oc.Synonyms[rng.Intn(len(oc.Synonyms))], 1)
+		}
+		if len(oc.Related) > 0 && rng.Intn(2) == 0 {
+			emit(oc.Related[rng.Intn(len(oc.Related))], 1)
+		}
+	}
+	if len(domains) > 1 {
+		for k := 0; k < 2; k++ {
+			other := domains[rng.Intn(len(domains))]
+			if other.Name == d.Name {
+				continue
+			}
+			leak(other)
+		}
+		// Geography is special: real articles are location-grounded, so
+		// geographic vocabulary appears across every topic. This keeps
+		// place terms measurable in any thematic basis.
+		if d.Name != "geography" && rng.Intn(4) > 0 {
+			for _, other := range domains {
+				if other.Name == "geography" {
+					leak(other)
+					break
+				}
+			}
+		}
+	}
+	// Domain jargon: hub tokens are near-ubiquitous inside evaluation
+	// domains and scattered elsewhere (see vocab.HubTokens).
+	toks = append(toks, hubTokens(rng, vocab.IsEvaluationDomain(d.Name))...)
+	// Background noise.
+	for i := 0; i < 8; i++ {
+		toks = append(toks, noise[rng.Intn(len(noise))])
+	}
+	return toks
+}
+
+// hubTokens samples the jargon tokens for one document: each hub appears
+// with probability 0.85 in evaluation-domain documents and 0.2 elsewhere,
+// and each frame token (near-stopword) with probability 0.9 everywhere.
+func hubTokens(rng *rand.Rand, evalDomain bool) []string {
+	var out []string
+	for _, hub := range vocab.HubTokens() {
+		p := 20
+		if evalDomain {
+			p = 85
+		}
+		if rng.Intn(100) < p {
+			for i := 0; i <= rng.Intn(2); i++ {
+				out = append(out, hub)
+			}
+		}
+	}
+	for _, frame := range vocab.FrameTokens() {
+		if rng.Intn(100) < 90 {
+			out = append(out, frame)
+		}
+	}
+	return out
+}
+
+// domainDoc builds one overview document for a domain.
+func domainDoc(rng *rand.Rand, d vocab.Domain, noise []string) []string {
+	var toks []string
+	emit := func(term string, times int) {
+		ts := text.Tokenize(term)
+		for i := 0; i < times; i++ {
+			toks = append(toks, ts...)
+		}
+	}
+	for _, tt := range d.TopTerms {
+		emit(tt, 2+rng.Intn(2))
+	}
+	// A sample of concept labels (overview mentions, one occurrence each).
+	for _, j := range rng.Perm(len(d.Concepts))[:min(8, len(d.Concepts))] {
+		emit(d.Concepts[j].Label, 1)
+	}
+	for _, j := range rng.Perm(len(d.Context))[:min(6, len(d.Context))] {
+		emit(d.Context[j], 1)
+	}
+	toks = append(toks, hubTokens(rng, vocab.IsEvaluationDomain(d.Name))...)
+	for i := 0; i < 6; i++ {
+		toks = append(toks, noise[rng.Intn(len(noise))])
+	}
+	return toks
+}
+
+// mixedDoc builds one cross-domain noise document. It must never contain a
+// top term: theme tags must not select noise documents into a basis.
+func mixedDoc(rng *rand.Rand, domains []vocab.Domain, noise []string) []string {
+	var toks []string
+	// A noise token separates consecutive terms so that adjacent concept
+	// terms can never accidentally form a top-term phrase (theme bases use
+	// phrase matching and must exclude every mixed document). Terms repeat
+	// so their tf — and hence the document's weight in their full-space
+	// vectors — is substantial.
+	emit := func(term string) {
+		for i := 0; i < 2+rng.Intn(2); i++ {
+			toks = append(toks, text.Tokenize(term)...)
+			toks = append(toks, noise[rng.Intn(len(noise))])
+		}
+	}
+	// Sample concepts from 2-3 distinct domains, mashing senses together
+	// the way general text does. Each sampled concept contributes its label
+	// and one synonym, so the document creates a strong spurious link
+	// between the sampled concepts' vocabularies — the full-space noise
+	// thematic projection removes.
+	nd := 2 + rng.Intn(2)
+	for _, di := range rng.Perm(len(domains))[:min(nd, len(domains))] {
+		d := domains[di]
+		nc := 2 + rng.Intn(2)
+		for _, ci := range rng.Perm(len(d.Concepts))[:min(nc, len(d.Concepts))] {
+			concept := d.Concepts[ci]
+			emit(concept.Label)
+			if len(concept.Synonyms) > 0 {
+				emit(concept.Synonyms[rng.Intn(len(concept.Synonyms))])
+			}
+		}
+	}
+	toks = append(toks, hubTokens(rng, false)...)
+	for i := 0; i < 20; i++ {
+		toks = append(toks, noise[rng.Intn(len(noise))])
+	}
+	return toks
+}
+
+// noiseLexicon generates n deterministic pronounceable background words that
+// cannot collide with real vocabulary (they carry a 'q'+consonant signature
+// absent from English).
+func noiseLexicon(n int) []string {
+	if n <= 0 {
+		n = 400
+	}
+	consonants := []string{"b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z"}
+	vowels := []string{"a", "e", "i", "o", "u"}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		var sb strings.Builder
+		sb.WriteString("q")
+		x := i
+		for s := 0; s < 3; s++ {
+			sb.WriteString(consonants[x%len(consonants)])
+			x /= len(consonants)
+			sb.WriteString(vowels[x%len(vowels)])
+			x /= len(vowels)
+		}
+		out[i] = sb.String()
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,236 @@
+package corpus
+
+import (
+	"reflect"
+	"testing"
+
+	"thematicep/internal/text"
+	"thematicep/internal/vocab"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := GenerateDefault()
+	b := GenerateDefault()
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Docs {
+		if !reflect.DeepEqual(a.Docs[i], b.Docs[i]) {
+			t.Fatalf("doc %d differs between runs", i)
+		}
+	}
+}
+
+func TestGenerateSeedChangesCorpus(t *testing.T) {
+	cfg := DefaultConfig()
+	a := Generate(vocab.Domains(), cfg)
+	cfg.Seed = 7
+	b := Generate(vocab.Domains(), cfg)
+	same := a.Len() == b.Len()
+	if same {
+		same = reflect.DeepEqual(a.Docs[0].Tokens, b.Docs[0].Tokens)
+	}
+	if same {
+		t.Error("different seeds produced an identical first document")
+	}
+}
+
+func TestDocumentIDsAreDense(t *testing.T) {
+	c := GenerateDefault()
+	for i, d := range c.Docs {
+		if d.ID != int32(i) {
+			t.Fatalf("doc %d has ID %d", i, d.ID)
+		}
+	}
+}
+
+func TestCorpusComposition(t *testing.T) {
+	cfg := DefaultConfig()
+	c := Generate(vocab.AllDomains(), cfg)
+	counts := map[Kind]int{}
+	for _, d := range c.Docs {
+		counts[d.Kind]++
+		if len(d.Tokens) == 0 {
+			t.Errorf("doc %q has no tokens", d.Title)
+		}
+		switch d.Kind {
+		case KindConcept, KindDomain:
+			if d.Domain == "" {
+				t.Errorf("doc %q of kind %v lacks a domain", d.Title, d.Kind)
+			}
+		case KindMixed, KindEntity:
+			if d.Domain != "" {
+				t.Errorf("%v doc %q has domain %q", d.Kind, d.Title, d.Domain)
+			}
+		}
+	}
+	concepts := 0
+	for _, d := range vocab.AllDomains() {
+		concepts += len(d.Concepts)
+	}
+	if want := concepts * cfg.DocsPerConcept; counts[KindConcept] != want {
+		t.Errorf("concept docs = %d, want %d", counts[KindConcept], want)
+	}
+	if want := len(vocab.AllDomains()) * cfg.DomainDocs; counts[KindDomain] != want {
+		t.Errorf("domain docs = %d, want %d", counts[KindDomain], want)
+	}
+	if counts[KindMixed] != cfg.MixedDocs {
+		t.Errorf("mixed docs = %d, want %d", counts[KindMixed], cfg.MixedDocs)
+	}
+	if counts[KindEntity] != cfg.EntityDocs {
+		t.Errorf("entity docs = %d, want %d", counts[KindEntity], cfg.EntityDocs)
+	}
+}
+
+// Dataset entities must be in-vocabulary so that event values carry
+// non-zero vectors in the full space.
+func TestEntityTermsInVocabulary(t *testing.T) {
+	c := GenerateDefault()
+	seen := make(map[string]bool)
+	for _, d := range c.Docs {
+		for _, tok := range d.Tokens {
+			seen[tok] = true
+		}
+	}
+	for _, entity := range append(vocab.Appliances(), vocab.CarBrands()...) {
+		for _, tok := range text.Tokenize(entity) {
+			if !seen[tok] {
+				t.Errorf("entity token %q never appears in the corpus", tok)
+			}
+		}
+	}
+}
+
+// The projection mechanism requires that mixed (noise) documents never
+// contain a top-term phrase: theme bases use phrase matching, and a theme
+// tag must never select a noise document into a thematic basis.
+func TestMixedDocsContainNoTopTermPhrase(t *testing.T) {
+	var phrases [][]string
+	for _, d := range vocab.Domains() {
+		for _, tt := range d.TopTerms {
+			phrases = append(phrases, text.Tokenize(tt))
+		}
+	}
+	containsPhrase := func(tokens, phrase []string) bool {
+	outer:
+		for i := 0; i+len(phrase) <= len(tokens); i++ {
+			for j, p := range phrase {
+				if tokens[i+j] != p {
+					continue outer
+				}
+			}
+			return true
+		}
+		return false
+	}
+	c := GenerateDefault()
+	for _, d := range c.Docs {
+		if d.Kind != KindMixed && d.Kind != KindEntity {
+			continue
+		}
+		for _, p := range phrases {
+			if containsPhrase(d.Tokens, p) {
+				t.Fatalf("%v doc %q contains top-term phrase %v", d.Kind, d.Title, p)
+			}
+		}
+	}
+}
+
+// Every domain's top terms must appear in that domain's documents so theme
+// tags have a non-empty basis.
+func TestTopTermsAppearInOwnDomainDocs(t *testing.T) {
+	c := GenerateDefault()
+	domainTokens := make(map[string]map[string]bool)
+	for _, d := range c.Docs {
+		if d.Domain == "" {
+			continue
+		}
+		m := domainTokens[d.Domain]
+		if m == nil {
+			m = make(map[string]bool)
+			domainTokens[d.Domain] = m
+		}
+		for _, tok := range d.Tokens {
+			m[tok] = true
+		}
+	}
+	for _, d := range vocab.Domains() {
+		for _, tt := range d.TopTerms {
+			for _, tok := range text.Tokenize(tt) {
+				if !domainTokens[d.Name][tok] {
+					t.Errorf("top term token %q absent from %s documents", tok, d.Name)
+				}
+			}
+		}
+	}
+}
+
+// Every concept term must appear somewhere in the corpus (in-vocabulary),
+// otherwise semantic expansion would produce terms with zero vectors.
+func TestAllConceptTermsInVocabulary(t *testing.T) {
+	c := GenerateDefault()
+	seen := make(map[string]bool)
+	for _, d := range c.Docs {
+		for _, tok := range d.Tokens {
+			seen[tok] = true
+		}
+	}
+	for _, d := range vocab.Domains() {
+		for _, concept := range d.Concepts {
+			for _, term := range concept.Terms() {
+				for _, tok := range text.Tokenize(term) {
+					if !seen[tok] {
+						t.Errorf("token %q of term %q never appears in the corpus", tok, term)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNoiseLexicon(t *testing.T) {
+	words := noiseLexicon(400)
+	if len(words) != 400 {
+		t.Fatalf("len = %d", len(words))
+	}
+	seen := make(map[string]bool)
+	for _, w := range words {
+		if seen[w] {
+			t.Fatalf("duplicate noise word %q", w)
+		}
+		seen[w] = true
+		if w[0] != 'q' {
+			t.Fatalf("noise word %q lacks the q prefix", w)
+		}
+		if text.IsStopWord(w) {
+			t.Fatalf("noise word %q is a stop word", w)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		k    Kind
+		want string
+	}{
+		{KindConcept, "concept"},
+		{KindDomain, "domain"},
+		{KindMixed, "mixed"},
+		{Kind(99), "Kind(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("Kind.String = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestInvalidConfigFallsBackToDefault(t *testing.T) {
+	c := Generate(vocab.AllDomains(), Config{})
+	if c.Len() == 0 {
+		t.Fatal("zero config produced empty corpus")
+	}
+	if c.Len() != GenerateDefault().Len() {
+		t.Error("zero config did not fall back to default")
+	}
+}

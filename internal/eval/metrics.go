@@ -1,0 +1,130 @@
+// Package eval implements the paper's evaluation framework (§5.1-5.2):
+// effectiveness metrics (Precision, Recall, F1 at the 11 standard recall
+// points, maximal F1), throughput measurement, and the grid of
+// sub-experiments over theme-size combinations that generates Figures 7-10.
+package eval
+
+import (
+	"math"
+	"sort"
+)
+
+// RecallPoints are the 11 standard recall levels of §5.1.
+var RecallPoints = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+
+// MaxF1 computes the maximal F1 over the 11 recall points for one
+// subscription (§5.1): events are ranked by score (descending; zero-score
+// events are not retrieved), precision is interpolated at each recall
+// point, and the best F1 across points is returned. relevant(i) reports the
+// ground truth for event i; scores[i] is the matcher's score for event i.
+func MaxF1(scores []float64, relevant func(i int) bool) float64 {
+	totalRelevant := 0
+	type ranked struct {
+		idx   int
+		score float64
+	}
+	var retrieved []ranked
+	for i, s := range scores {
+		if relevant(i) {
+			totalRelevant++
+		}
+		if s > 0 {
+			retrieved = append(retrieved, ranked{idx: i, score: s})
+		}
+	}
+	if totalRelevant == 0 || len(retrieved) == 0 {
+		return 0
+	}
+	sort.Slice(retrieved, func(a, b int) bool {
+		if retrieved[a].score != retrieved[b].score {
+			return retrieved[a].score > retrieved[b].score
+		}
+		return retrieved[a].idx < retrieved[b].idx
+	})
+
+	// precisionAt[k] and recallAt[k] after retrieving the top k+1 events.
+	tp := 0
+	precisionAt := make([]float64, len(retrieved))
+	recallAt := make([]float64, len(retrieved))
+	for k, r := range retrieved {
+		if relevant(r.idx) {
+			tp++
+		}
+		precisionAt[k] = float64(tp) / float64(k+1)
+		recallAt[k] = float64(tp) / float64(totalRelevant)
+	}
+
+	best := 0.0
+	for _, r := range RecallPoints {
+		if r == 0 {
+			continue // F1 is 0 at recall 0
+		}
+		// Interpolated precision: the maximum precision at any cutoff whose
+		// recall reaches r.
+		p := 0.0
+		for k := range retrieved {
+			if recallAt[k] >= r && precisionAt[k] > p {
+				p = precisionAt[k]
+			}
+		}
+		if p == 0 {
+			continue
+		}
+		f1 := 2 * p * r / (p + r)
+		if f1 > best {
+			best = f1
+		}
+	}
+	return best
+}
+
+// PrecisionRecall computes set-based precision and recall for a binary
+// matcher's decisions (used by Table 1's exact approaches, where the
+// matcher's output is a set rather than a ranking).
+func PrecisionRecall(matched, relevant func(i int) bool, n int) (precision, recall float64) {
+	tp, fp, fn := 0, 0, 0
+	for i := 0; i < n; i++ {
+		switch {
+		case matched(i) && relevant(i):
+			tp++
+		case matched(i):
+			fp++
+		case relevant(i):
+			fn++
+		}
+	}
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	}
+	return precision, recall
+}
+
+// F1 combines precision and recall (§5.1).
+func F1(precision, recall float64) float64 {
+	if precision+recall == 0 {
+		return 0
+	}
+	return 2 * precision * recall / (precision + recall)
+}
+
+// MeanStd returns the mean and (population) standard deviation of xs — the
+// per-cell sample statistics of Figures 8 and 10.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		d := x - mean
+		v += d * d
+	}
+	std = math.Sqrt(v / float64(len(xs)))
+	return mean, std
+}

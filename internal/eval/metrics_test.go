@@ -1,0 +1,120 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMaxF1PerfectRanking(t *testing.T) {
+	// 3 relevant events ranked at the top of 6.
+	scores := []float64{0.9, 0.8, 0.7, 0.3, 0.2, 0.1}
+	relevant := func(i int) bool { return i < 3 }
+	// At recall 1.0 precision is 1.0 -> F1 = 1.
+	if got := MaxF1(scores, relevant); !almostEqual(got, 1) {
+		t.Errorf("MaxF1 = %v, want 1", got)
+	}
+}
+
+func TestMaxF1WorstRanking(t *testing.T) {
+	// Relevant events have score 0: never retrieved.
+	scores := []float64{0, 0, 0.9, 0.8}
+	relevant := func(i int) bool { return i < 2 }
+	if got := MaxF1(scores, relevant); got != 0 {
+		t.Errorf("MaxF1 = %v, want 0", got)
+	}
+}
+
+func TestMaxF1NoRelevant(t *testing.T) {
+	scores := []float64{0.5, 0.4}
+	if got := MaxF1(scores, func(int) bool { return false }); got != 0 {
+		t.Errorf("MaxF1 with empty ground truth = %v, want 0", got)
+	}
+}
+
+func TestMaxF1Interleaved(t *testing.T) {
+	// Ranking: R N R N (scores descending). 2 relevant.
+	// k=1: p=1, r=0.5; k=2: p=.5, r=.5; k=3: p=2/3, r=1; k=4: p=.5, r=1.
+	// Interp p at r=0.5 -> 1; F1(0.5, 1) = 2*.5/1.5 = 2/3.
+	// Interp p at r=1.0 -> 2/3; F1(1, 2/3) = 2*(2/3)/(5/3) = 0.8.
+	scores := []float64{0.9, 0.8, 0.7, 0.6}
+	relevant := func(i int) bool { return i == 0 || i == 2 }
+	if got := MaxF1(scores, relevant); !almostEqual(got, 0.8) {
+		t.Errorf("MaxF1 = %v, want 0.8", got)
+	}
+}
+
+func TestMaxF1PartialRecallCeiling(t *testing.T) {
+	// Only 1 of 4 relevant events is retrieved, as the top hit.
+	// Recall ceiling 0.25: points 0.1 and 0.2 reachable with p=1.
+	// Best F1 = F1(0.2, 1.0) = 2*.2/1.2 = 1/3.
+	scores := []float64{0.9, 0, 0, 0}
+	relevant := func(i int) bool { return true }
+	if got := MaxF1(scores, relevant); !almostEqual(got, 1.0/3.0) {
+		t.Errorf("MaxF1 = %v, want 1/3", got)
+	}
+}
+
+func TestMaxF1TieBreakDeterministic(t *testing.T) {
+	scores := []float64{0.5, 0.5, 0.5}
+	relevant := func(i int) bool { return i == 0 }
+	a := MaxF1(scores, relevant)
+	b := MaxF1(scores, relevant)
+	if a != b {
+		t.Errorf("non-deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	matched := func(i int) bool { return i < 4 }     // 0,1,2,3
+	relevant := func(i int) bool { return i%2 == 0 } // 0,2,4,6,8 of 10
+	p, r := PrecisionRecall(matched, relevant, 10)
+	// TP = {0,2} = 2, FP = {1,3} = 2, FN = {4,6,8} = 3.
+	if !almostEqual(p, 0.5) {
+		t.Errorf("precision = %v, want 0.5", p)
+	}
+	if !almostEqual(r, 0.4) {
+		t.Errorf("recall = %v, want 0.4", r)
+	}
+}
+
+func TestPrecisionRecallEdge(t *testing.T) {
+	p, r := PrecisionRecall(func(int) bool { return false }, func(int) bool { return false }, 5)
+	if p != 0 || r != 0 {
+		t.Errorf("empty case = %v, %v", p, r)
+	}
+}
+
+func TestF1(t *testing.T) {
+	if got := F1(1, 1); !almostEqual(got, 1) {
+		t.Errorf("F1(1,1) = %v", got)
+	}
+	if got := F1(0, 0); got != 0 {
+		t.Errorf("F1(0,0) = %v", got)
+	}
+	if got := F1(0.5, 1); !almostEqual(got, 2.0/3.0) {
+		t.Errorf("F1(0.5,1) = %v", got)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEqual(mean, 5) || !almostEqual(std, 2) {
+		t.Errorf("MeanStd = %v, %v; want 5, 2", mean, std)
+	}
+	mean, std = MeanStd(nil)
+	if mean != 0 || std != 0 {
+		t.Errorf("MeanStd(nil) = %v, %v", mean, std)
+	}
+	mean, std = MeanStd([]float64{3})
+	if mean != 3 || std != 0 {
+		t.Errorf("MeanStd singleton = %v, %v", mean, std)
+	}
+}
+
+func TestRecallPointsShape(t *testing.T) {
+	if len(RecallPoints) != 11 || RecallPoints[0] != 0 || RecallPoints[10] != 1 {
+		t.Errorf("RecallPoints = %v", RecallPoints)
+	}
+}

@@ -1,0 +1,94 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file adds the "more quantitative aspects of evaluation" the paper
+// defers to future work (§7): a paired sign test over per-subscription F1
+// scores, so "thematic outperforms non-thematic" is backed by a p-value
+// rather than a mean comparison alone.
+
+// SignTestResult summarizes a paired sign test between two matched samples.
+type SignTestResult struct {
+	// Wins counts pairs where a > b, Losses pairs where a < b; Ties are
+	// excluded from the test as usual.
+	Wins, Losses, Ties int
+	// PValue is the two-sided binomial probability of a split at least
+	// this extreme under H0 (no difference).
+	PValue float64
+}
+
+// String renders the result compactly.
+func (r SignTestResult) String() string {
+	return fmt.Sprintf("wins=%d losses=%d ties=%d p=%.4f", r.Wins, r.Losses, r.Ties, r.PValue)
+}
+
+// Significant reports whether the difference is significant at level alpha.
+func (r SignTestResult) Significant(alpha float64) bool {
+	return r.Wins+r.Losses > 0 && r.PValue < alpha
+}
+
+// SignTest runs a paired two-sided sign test on equal-length samples a and
+// b (e.g. per-subscription F1 under two matchers). It panics on length
+// mismatch: that is a programming error, not data.
+func SignTest(a, b []float64) SignTestResult {
+	if len(a) != len(b) {
+		panic("eval: SignTest sample length mismatch")
+	}
+	var r SignTestResult
+	for i := range a {
+		switch {
+		case a[i] > b[i]:
+			r.Wins++
+		case a[i] < b[i]:
+			r.Losses++
+		default:
+			r.Ties++
+		}
+	}
+	n := r.Wins + r.Losses
+	if n == 0 {
+		r.PValue = 1
+		return r
+	}
+	k := r.Wins
+	if r.Losses < k {
+		k = r.Losses
+	}
+	// Two-sided: 2 * P(X <= min(wins, losses)) under Binomial(n, 0.5),
+	// capped at 1.
+	p := 0.0
+	for i := 0; i <= k; i++ {
+		p += binomialPMF(n, i)
+	}
+	p *= 2
+	if p > 1 {
+		p = 1
+	}
+	r.PValue = p
+	return r
+}
+
+// binomialPMF computes C(n,k) * 0.5^n in log space for numerical safety.
+func binomialPMF(n, k int) float64 {
+	logC := lgamma(float64(n+1)) - lgamma(float64(k+1)) - lgamma(float64(n-k+1))
+	return math.Exp(logC + float64(n)*math.Log(0.5))
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// PerSubscriptionF1 computes each subscription's maximal F1 for a scores
+// matrix (scores[si][ei]) and ground truth, for use with SignTest.
+func PerSubscriptionF1(scores [][]float64, relevant func(si, ei int) bool) []float64 {
+	out := make([]float64, len(scores))
+	for si := range scores {
+		si := si
+		out[si] = MaxF1(scores[si], func(ei int) bool { return relevant(si, ei) })
+	}
+	return out
+}

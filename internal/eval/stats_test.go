@@ -1,0 +1,94 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSignTestClearWin(t *testing.T) {
+	a := []float64{0.9, 0.8, 0.85, 0.7, 0.9, 0.8, 0.75, 0.9, 0.8, 0.85}
+	b := []float64{0.5, 0.6, 0.55, 0.6, 0.5, 0.6, 0.65, 0.5, 0.6, 0.55}
+	r := SignTest(a, b)
+	if r.Wins != 10 || r.Losses != 0 || r.Ties != 0 {
+		t.Fatalf("counts = %+v", r)
+	}
+	// Two-sided p = 2 * 0.5^10 ≈ 0.00195.
+	if want := 2 * math.Pow(0.5, 10); math.Abs(r.PValue-want) > 1e-9 {
+		t.Errorf("p = %v, want %v", r.PValue, want)
+	}
+	if !r.Significant(0.05) {
+		t.Error("clear win not significant")
+	}
+}
+
+func TestSignTestNoDifference(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	r := SignTest(a, a)
+	if r.Ties != 4 || r.PValue != 1 {
+		t.Errorf("result = %+v", r)
+	}
+	if r.Significant(0.05) {
+		t.Error("all-ties significant")
+	}
+}
+
+func TestSignTestBalanced(t *testing.T) {
+	a := []float64{1, 0, 1, 0, 1, 0}
+	b := []float64{0, 1, 0, 1, 0, 1}
+	r := SignTest(a, b)
+	if r.Wins != 3 || r.Losses != 3 {
+		t.Fatalf("counts = %+v", r)
+	}
+	// min(k)=3, p = 2*sum_{i<=3} C(6,i)/64 = 2*(1+6+15+20)/64 = 1.3125 -> capped 1.
+	if r.PValue != 1 {
+		t.Errorf("p = %v, want 1 (capped)", r.PValue)
+	}
+}
+
+func TestSignTestKnownBinomial(t *testing.T) {
+	// 9 wins, 1 loss: p = 2 * (C(10,0)+C(10,1)) / 2^10 = 2*11/1024.
+	a := make([]float64, 10)
+	b := make([]float64, 10)
+	for i := range a {
+		a[i] = 1
+	}
+	b[0] = 2
+	r := SignTest(a, b)
+	if r.Wins != 9 || r.Losses != 1 {
+		t.Fatalf("counts = %+v", r)
+	}
+	if want := 2.0 * 11.0 / 1024.0; math.Abs(r.PValue-want) > 1e-9 {
+		t.Errorf("p = %v, want %v", r.PValue, want)
+	}
+}
+
+func TestSignTestPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on length mismatch")
+		}
+	}()
+	SignTest([]float64{1}, []float64{1, 2})
+}
+
+func TestSignTestString(t *testing.T) {
+	r := SignTest([]float64{1, 0}, []float64{0, 1})
+	if got := r.String(); got == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestPerSubscriptionF1(t *testing.T) {
+	scores := [][]float64{
+		{0.9, 0.1}, // sub 0: event 0 relevant, ranked first -> F1 1
+		{0.1, 0.9}, // sub 1: event 0 relevant, ranked last
+	}
+	relevant := func(si, ei int) bool { return ei == 0 }
+	got := PerSubscriptionF1(scores, relevant)
+	if len(got) != 2 || got[0] != 1 {
+		t.Errorf("got %v", got)
+	}
+	if got[1] >= got[0] {
+		t.Errorf("badly ranked sub scored %v >= %v", got[1], got[0])
+	}
+}

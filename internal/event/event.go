@@ -1,0 +1,255 @@
+// Package event implements the paper's event model (§3.3) and subscription
+// language model (§3.4).
+//
+// An event is a pair (th, av): a set of theme tags and a set of
+// attribute-value tuples with unique attributes. A subscription is a pair
+// (th, pr): a set of theme tags and a set of conjunctive equality
+// predicates, each a quadruple (attribute, value, approxAttr, approxValue).
+// The tilde operator ~ marks an attribute or value as semantically
+// approximable.
+package event
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"thematicep/internal/text"
+)
+
+// Validation errors.
+var (
+	ErrNoTuples             = errors.New("event: no tuples")
+	ErrNoPredicates         = errors.New("subscription: no predicates")
+	ErrDuplicateAttr        = errors.New("duplicate attribute")
+	ErrEmptyTerm            = errors.New("empty attribute or value")
+	ErrApproxNonEquality    = errors.New("subscription: ~ on the value requires the equality operator")
+	ErrNonNumericComparison = errors.New("subscription: ordering comparison requires a numeric value")
+)
+
+// Tuple is one attribute-value pair of an event.
+type Tuple struct {
+	Attr  string `json:"attr"`
+	Value string `json:"value"`
+}
+
+// String renders the tuple in the paper's event notation "attr: value".
+func (t Tuple) String() string { return t.Attr + ": " + t.Value }
+
+// Event is an instantaneous information item (§3.3): theme tags plus
+// attribute-value tuples.
+type Event struct {
+	// ID identifies the event within a workload or broker; it plays no role
+	// in matching.
+	ID string `json:"id,omitempty"`
+	// Theme is the set of theme tags the (th) component.
+	Theme []string `json:"theme,omitempty"`
+	// Tuples is the payload (av); attributes are unique.
+	Tuples []Tuple `json:"tuples"`
+}
+
+// Validate checks the event model invariants: at least one tuple, no empty
+// attribute or value, no duplicate attribute (in canonical form).
+func (e *Event) Validate() error {
+	if len(e.Tuples) == 0 {
+		return ErrNoTuples
+	}
+	seen := make(map[string]bool, len(e.Tuples))
+	for _, t := range e.Tuples {
+		a := text.Canonical(t.Attr)
+		if a == "" || text.Canonical(t.Value) == "" {
+			return fmt.Errorf("%w: %q", ErrEmptyTerm, t)
+		}
+		if seen[a] {
+			return fmt.Errorf("%w: %q", ErrDuplicateAttr, t.Attr)
+		}
+		seen[a] = true
+	}
+	return nil
+}
+
+// Value returns the value of the tuple whose attribute canonically equals
+// attr, and whether it exists.
+func (e *Event) Value(attr string) (string, bool) {
+	want := text.Canonical(attr)
+	for _, t := range e.Tuples {
+		if text.Canonical(t.Attr) == want {
+			return t.Value, true
+		}
+	}
+	return "", false
+}
+
+// String renders the event in the paper's notation:
+// ({theme...}, {attr: value, ...}).
+func (e *Event) String() string {
+	var sb strings.Builder
+	sb.WriteString("({")
+	sb.WriteString(strings.Join(e.Theme, ", "))
+	sb.WriteString("}, {")
+	parts := make([]string, len(e.Tuples))
+	for i, t := range e.Tuples {
+		parts[i] = t.String()
+	}
+	sb.WriteString(strings.Join(parts, ", "))
+	sb.WriteString("})")
+	return sb.String()
+}
+
+// Predicate is one conjunctive predicate of a subscription: the quadruple
+// (a, v, appa, appv) of §3.4, extended with an operator (the paper's
+// language keeps !=, >, < out "for discourse simplicity"; this
+// implementation supports them, see ops.go). ApproxAttr/ApproxValue
+// correspond to the ~ operator on the attribute and value respectively;
+// value approximation is only meaningful for equality.
+type Predicate struct {
+	Attr        string `json:"attr"`
+	Value       string `json:"value"`
+	Op          Op     `json:"op,omitempty"`
+	ApproxAttr  bool   `json:"approxAttr,omitempty"`
+	ApproxValue bool   `json:"approxValue,omitempty"`
+}
+
+// String renders the predicate in the paper's notation, e.g. "device~ =
+// laptop~" or "temperature~ > 30".
+func (p Predicate) String() string {
+	a, v := p.Attr, p.Value
+	if p.ApproxAttr {
+		a += "~"
+	}
+	if p.ApproxValue {
+		v += "~"
+	}
+	return a + " " + p.Op.String() + " " + v
+}
+
+// Subscription is a pair (th, pr) of theme tags and predicates (§3.4).
+type Subscription struct {
+	// ID identifies the subscription to the broker and evaluation harness.
+	ID string `json:"id,omitempty"`
+	// Theme is the subscription theme tag set.
+	Theme []string `json:"theme,omitempty"`
+	// Predicates is the conjunctive predicate set.
+	Predicates []Predicate `json:"predicates"`
+}
+
+// Validate checks the language model invariants.
+func (s *Subscription) Validate() error {
+	if len(s.Predicates) == 0 {
+		return ErrNoPredicates
+	}
+	seen := make(map[string]bool, len(s.Predicates))
+	for _, p := range s.Predicates {
+		a := text.Canonical(p.Attr)
+		if a == "" || text.Canonical(p.Value) == "" {
+			return fmt.Errorf("%w: %q", ErrEmptyTerm, p)
+		}
+		if seen[a] {
+			return fmt.Errorf("%w: %q", ErrDuplicateAttr, p.Attr)
+		}
+		seen[a] = true
+		if p.Op != OpEq && p.ApproxValue {
+			return fmt.Errorf("%w: %q", ErrApproxNonEquality, p)
+		}
+		if p.Op.Comparable() {
+			if _, ok := parseNumber(p.Value); !ok {
+				return fmt.Errorf("%w: %q", ErrNonNumericComparison, p)
+			}
+		}
+	}
+	return nil
+}
+
+// ApproximationDegree returns the proportion of relaxed attributes and
+// values (§3.4): an exact subscription has degree 0, a fully relaxed one
+// degree 1.
+func (s *Subscription) ApproximationDegree() float64 {
+	if len(s.Predicates) == 0 {
+		return 0
+	}
+	relaxed := 0
+	for _, p := range s.Predicates {
+		if p.ApproxAttr {
+			relaxed++
+		}
+		if p.ApproxValue {
+			relaxed++
+		}
+	}
+	return float64(relaxed) / float64(2*len(s.Predicates))
+}
+
+// Exact returns a copy of s with every ~ removed.
+func (s *Subscription) Exact() *Subscription {
+	out := &Subscription{
+		ID:         s.ID,
+		Theme:      append([]string(nil), s.Theme...),
+		Predicates: make([]Predicate, len(s.Predicates)),
+	}
+	for i, p := range s.Predicates {
+		out.Predicates[i] = Predicate{Attr: p.Attr, Value: p.Value, Op: p.Op}
+	}
+	return out
+}
+
+// Approximate returns a copy of s with every attribute and value relaxed
+// (100% degree of approximation, as in the evaluation §5.2.3).
+func (s *Subscription) Approximate() *Subscription {
+	out := s.Exact()
+	for i := range out.Predicates {
+		out.Predicates[i].ApproxAttr = true
+		if out.Predicates[i].Op == OpEq {
+			out.Predicates[i].ApproxValue = true
+		}
+	}
+	return out
+}
+
+// String renders the subscription in the paper's notation:
+// ({theme...}, {a~ = v~, ...}).
+func (s *Subscription) String() string {
+	var sb strings.Builder
+	sb.WriteString("({")
+	sb.WriteString(strings.Join(s.Theme, ", "))
+	sb.WriteString("}, {")
+	parts := make([]string, len(s.Predicates))
+	for i, p := range s.Predicates {
+		parts[i] = p.String()
+	}
+	sb.WriteString(strings.Join(parts, ", "))
+	sb.WriteString("})")
+	return sb.String()
+}
+
+// ExactMatch reports whether the event satisfies the subscription under
+// exact (content-based) semantics, ignoring every ~: each predicate's
+// attribute must occur in the event with a canonically equal value. This is
+// the SIENA-style matcher of Table 1 and the basis of the evaluation's
+// ground truth (§5.2.3).
+func ExactMatch(s *Subscription, e *Event) bool {
+	for _, p := range s.Predicates {
+		v, ok := e.Value(p.Attr)
+		if !ok || !EvalOp(p.Op, v, p.Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// NormalizeTheme returns the canonical, sorted, de-duplicated form of a
+// theme tag set.
+func NormalizeTheme(theme []string) []string {
+	seen := make(map[string]bool, len(theme))
+	out := make([]string, 0, len(theme))
+	for _, tag := range theme {
+		c := text.Canonical(tag)
+		if c == "" || seen[c] {
+			continue
+		}
+		seen[c] = true
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,235 @@
+package event
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// paperEvent is the running example of §3.3.
+func paperEvent() *Event {
+	return &Event{
+		Theme: []string{"energy", "appliances", "building"},
+		Tuples: []Tuple{
+			{Attr: "type", Value: "increased energy consumption event"},
+			{Attr: "measurement unit", Value: "kilowatt hour"},
+			{Attr: "device", Value: "computer"},
+			{Attr: "office", Value: "room 112"},
+		},
+	}
+}
+
+// paperSubscription is the running example of §3.4.
+func paperSubscription() *Subscription {
+	return &Subscription{
+		Theme: []string{"power", "computers"},
+		Predicates: []Predicate{
+			{Attr: "type", Value: "increased energy usage event", ApproxValue: true},
+			{Attr: "device", Value: "laptop", ApproxAttr: true, ApproxValue: true},
+			{Attr: "office", Value: "room 112"},
+		},
+	}
+}
+
+func TestEventValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		event   *Event
+		wantErr error
+	}{
+		{name: "valid", event: paperEvent(), wantErr: nil},
+		{name: "no tuples", event: &Event{}, wantErr: ErrNoTuples},
+		{
+			name: "duplicate attr",
+			event: &Event{Tuples: []Tuple{
+				{Attr: "device", Value: "laptop"},
+				{Attr: "Device", Value: "computer"}, // canonical duplicate
+			}},
+			wantErr: ErrDuplicateAttr,
+		},
+		{
+			name:    "empty value",
+			event:   &Event{Tuples: []Tuple{{Attr: "device", Value: "  "}}},
+			wantErr: ErrEmptyTerm,
+		},
+		{
+			name:    "empty attr",
+			event:   &Event{Tuples: []Tuple{{Attr: "", Value: "x"}}},
+			wantErr: ErrEmptyTerm,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.event.Validate()
+			if !errors.Is(err, tt.wantErr) {
+				t.Errorf("Validate() = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSubscriptionValidate(t *testing.T) {
+	if err := paperSubscription().Validate(); err != nil {
+		t.Errorf("paper subscription invalid: %v", err)
+	}
+	var empty Subscription
+	if !errors.Is(empty.Validate(), ErrNoPredicates) {
+		t.Error("empty subscription should fail validation")
+	}
+	dup := &Subscription{Predicates: []Predicate{
+		{Attr: "type", Value: "a"},
+		{Attr: "TYPE", Value: "b"},
+	}}
+	if !errors.Is(dup.Validate(), ErrDuplicateAttr) {
+		t.Error("duplicate predicate attrs should fail validation")
+	}
+}
+
+func TestEventValue(t *testing.T) {
+	e := paperEvent()
+	v, ok := e.Value("Device")
+	if !ok || v != "computer" {
+		t.Errorf("Value(Device) = %q, %v", v, ok)
+	}
+	if _, ok := e.Value("missing"); ok {
+		t.Error("Value(missing) found")
+	}
+}
+
+func TestApproximationDegree(t *testing.T) {
+	tests := []struct {
+		name string
+		sub  *Subscription
+		want float64
+	}{
+		{name: "paper example", sub: paperSubscription(), want: 3.0 / 6.0},
+		{name: "exact", sub: paperSubscription().Exact(), want: 0},
+		{name: "full", sub: paperSubscription().Approximate(), want: 1},
+		{name: "empty", sub: &Subscription{}, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.sub.ApproximationDegree(); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("ApproximationDegree = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestExactAndApproximateDoNotAliasOriginal(t *testing.T) {
+	s := paperSubscription()
+	ex := s.Exact()
+	ex.Predicates[0].Value = "changed"
+	ex.Theme[0] = "changed"
+	if s.Predicates[0].Value == "changed" || s.Theme[0] == "changed" {
+		t.Error("Exact() shares memory with the original")
+	}
+}
+
+func TestExactMatch(t *testing.T) {
+	e := paperEvent()
+	tests := []struct {
+		name string
+		sub  *Subscription
+		want bool
+	}{
+		{
+			name: "exact subset matches",
+			sub: &Subscription{Predicates: []Predicate{
+				{Attr: "device", Value: "computer"},
+				{Attr: "office", Value: "room 112"},
+			}},
+			want: true,
+		},
+		{
+			name: "canonicalized comparison",
+			sub: &Subscription{Predicates: []Predicate{
+				{Attr: "Device", Value: "Computer"},
+			}},
+			want: true,
+		},
+		{
+			name: "value mismatch",
+			sub: &Subscription{Predicates: []Predicate{
+				{Attr: "device", Value: "laptop"},
+			}},
+			want: false,
+		},
+		{
+			name: "missing attribute",
+			sub: &Subscription{Predicates: []Predicate{
+				{Attr: "floor", Value: "ground floor"},
+			}},
+			want: false,
+		},
+		{
+			name: "tilde ignored by exact semantics",
+			sub: &Subscription{Predicates: []Predicate{
+				{Attr: "device", Value: "computer", ApproxAttr: true, ApproxValue: true},
+			}},
+			want: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ExactMatch(tt.sub, e); got != tt.want {
+				t.Errorf("ExactMatch = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNormalizeTheme(t *testing.T) {
+	got := NormalizeTheme([]string{"Power", "computers", "POWER", " ", "apples"})
+	want := []string{"apples", "computers", "power"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("NormalizeTheme = %v, want %v", got, want)
+	}
+	if NormalizeTheme(nil) == nil {
+		// empty non-nil slice is fine too; just must not panic
+		t.Log("NormalizeTheme(nil) = nil")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := paperEvent()
+	if got := e.String(); got != "({energy, appliances, building}, {type: increased energy consumption event, measurement unit: kilowatt hour, device: computer, office: room 112})" {
+		t.Errorf("Event.String = %q", got)
+	}
+	s := paperSubscription()
+	if got := s.String(); got != "({power, computers}, {type = increased energy usage event~, device~ = laptop~, office = room 112})" {
+		t.Errorf("Subscription.String = %q", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	e := paperEvent()
+	e.ID = "e1"
+	data, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Event
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*e, back) {
+		t.Errorf("event round trip mismatch: %+v vs %+v", *e, back)
+	}
+
+	s := paperSubscription()
+	s.ID = "s1"
+	data, err = json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var backSub Subscription
+	if err := json.Unmarshal(data, &backSub); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*s, backSub) {
+		t.Errorf("subscription round trip mismatch: %+v vs %+v", *s, backSub)
+	}
+}

@@ -1,0 +1,69 @@
+package event
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSubscription asserts the parser never panics and that anything
+// it accepts is valid and round-trips through String().
+func FuzzParseSubscription(f *testing.F) {
+	seeds := []string{
+		"({power, computers}, {type = increased energy usage event~, device~ = laptop~, office = room 112})",
+		"{type = parking event~}",
+		"({a}, {x = y})",
+		"({energy}, {temperature~ > 30, noise <= 55.5, device != laptop})",
+		"({}, {a = b})",
+		"(,)",
+		"({{{}}})",
+		"{=}",
+		"{a = b, a = c}",
+		"{a ~ = ~ b}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		sub, err := ParseSubscription(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := sub.Validate(); err != nil {
+			t.Fatalf("parser accepted invalid subscription %q: %v", input, err)
+		}
+		// The rendering must re-parse (not necessarily equal: whitespace
+		// inside terms is normalized by rendering).
+		if _, err := ParseSubscription(sub.String()); err != nil {
+			// Terms containing braces/commas/operator symbols may not
+			// round-trip; only flag failures for plain terms.
+			if !strings.ContainsAny(input, "{}(),=<>!~") {
+				t.Fatalf("accepted %q but re-parse of %q failed: %v", input, sub.String(), err)
+			}
+		}
+	})
+}
+
+// FuzzParseEvent asserts the event parser never panics and accepted events
+// validate.
+func FuzzParseEvent(f *testing.F) {
+	seeds := []string{
+		"({energy, appliances}, {type: increased energy consumption event, device: computer})",
+		"{a: b}",
+		"({}, {x: y, z: w})",
+		"{::}",
+		"{a: b, A: c}",
+		"({t1, t2}, {a: b})",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		ev, err := ParseEvent(input)
+		if err != nil {
+			return
+		}
+		if err := ev.Validate(); err != nil {
+			t.Fatalf("parser accepted invalid event %q: %v", input, err)
+		}
+	})
+}

@@ -1,0 +1,103 @@
+package event
+
+import (
+	"strconv"
+	"strings"
+
+	"thematicep/internal/text"
+)
+
+// The paper's language model keeps "Boolean and numeric operators such as
+// !=, >, and <" out of the discussion "for the sake of discourse
+// simplicity" (§3.4). A deployable broker needs them, so the language here
+// supports them as an extension: comparison predicates are exact (never
+// semantically relaxed — relaxing "temperature > 30" is not meaningful),
+// and the approximate matcher short-circuits them before the semantic
+// measure.
+
+// Op is a predicate operator.
+type Op int
+
+// Supported operators. The zero value OpEq keeps plain equality the
+// default, so existing literals and decoded JSON without an "op" field
+// behave as before.
+const (
+	OpEq Op = iota // equality; the only operator the ~ relaxation applies to
+	OpNeq
+	OpLt
+	OpLte
+	OpGt
+	OpGte
+)
+
+// opSymbols orders longer symbols first so the parser matches ">=" before
+// ">".
+var opSymbols = []struct {
+	symbol string
+	op     Op
+}{
+	{symbol: "!=", op: OpNeq},
+	{symbol: ">=", op: OpGte},
+	{symbol: "<=", op: OpLte},
+	{symbol: ">", op: OpGt},
+	{symbol: "<", op: OpLt},
+	{symbol: "=", op: OpEq},
+}
+
+// String renders the operator's symbol.
+func (o Op) String() string {
+	for _, s := range opSymbols {
+		if s.op == o {
+			return s.symbol
+		}
+	}
+	return "=?"
+}
+
+// Comparable reports whether the operator is an ordering comparison
+// requiring numeric values.
+func (o Op) Comparable() bool {
+	switch o {
+	case OpLt, OpLte, OpGt, OpGte:
+		return true
+	default:
+		return false
+	}
+}
+
+// EvalOp evaluates `eventValue op predicateValue` under exact semantics:
+// equality and inequality compare canonical forms; ordering operators
+// compare numerically and are false when either side is not a number
+// (an event reporting "high" cannot satisfy "> 30").
+func EvalOp(op Op, eventValue, predicateValue string) bool {
+	switch op {
+	case OpEq:
+		return text.Canonical(eventValue) == text.Canonical(predicateValue)
+	case OpNeq:
+		return text.Canonical(eventValue) != text.Canonical(predicateValue)
+	}
+	ev, ok1 := parseNumber(eventValue)
+	pv, ok2 := parseNumber(predicateValue)
+	if !ok1 || !ok2 {
+		return false
+	}
+	switch op {
+	case OpLt:
+		return ev < pv
+	case OpLte:
+		return ev <= pv
+	case OpGt:
+		return ev > pv
+	case OpGte:
+		return ev >= pv
+	default:
+		return false
+	}
+}
+
+// parseNumber parses the raw (trimmed) value: canonicalization would split
+// "55.5" at the decimal point.
+func parseNumber(s string) (float64, bool) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	return v, err == nil
+}

@@ -1,0 +1,189 @@
+package event
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestEvalOp(t *testing.T) {
+	tests := []struct {
+		name       string
+		op         Op
+		eventValue string
+		predValue  string
+		want       bool
+	}{
+		{name: "eq match", op: OpEq, eventValue: "Laptop", predValue: "laptop", want: true},
+		{name: "eq mismatch", op: OpEq, eventValue: "laptop", predValue: "computer", want: false},
+		{name: "neq", op: OpNeq, eventValue: "laptop", predValue: "computer", want: true},
+		{name: "neq equal", op: OpNeq, eventValue: "laptop", predValue: "Laptop", want: false},
+		{name: "gt true", op: OpGt, eventValue: "31.5", predValue: "30", want: true},
+		{name: "gt false", op: OpGt, eventValue: "29", predValue: "30", want: false},
+		{name: "gt equal", op: OpGt, eventValue: "30", predValue: "30", want: false},
+		{name: "gte equal", op: OpGte, eventValue: "30", predValue: "30", want: true},
+		{name: "lt", op: OpLt, eventValue: "5", predValue: "10", want: true},
+		{name: "lte equal", op: OpLte, eventValue: "10", predValue: "10", want: true},
+		{name: "gt non-numeric event", op: OpGt, eventValue: "high", predValue: "30", want: false},
+		{name: "gt non-numeric pred", op: OpGt, eventValue: "30", predValue: "high", want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := EvalOp(tt.op, tt.eventValue, tt.predValue); got != tt.want {
+				t.Errorf("EvalOp(%v, %q, %q) = %v, want %v",
+					tt.op, tt.eventValue, tt.predValue, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestOpString(t *testing.T) {
+	tests := []struct {
+		op   Op
+		want string
+	}{
+		{OpEq, "="}, {OpNeq, "!="}, {OpLt, "<"}, {OpLte, "<="},
+		{OpGt, ">"}, {OpGte, ">="}, {Op(99), "=?"},
+	}
+	for _, tt := range tests {
+		if got := tt.op.String(); got != tt.want {
+			t.Errorf("Op(%d).String() = %q, want %q", tt.op, got, tt.want)
+		}
+	}
+}
+
+func TestOpComparable(t *testing.T) {
+	for _, op := range []Op{OpLt, OpLte, OpGt, OpGte} {
+		if !op.Comparable() {
+			t.Errorf("%v not comparable", op)
+		}
+	}
+	for _, op := range []Op{OpEq, OpNeq} {
+		if op.Comparable() {
+			t.Errorf("%v comparable", op)
+		}
+	}
+}
+
+func TestParseSubscriptionWithOperators(t *testing.T) {
+	sub, err := ParseSubscription(
+		"({energy}, {temperature~ > 30, noise <= 55.5, device != laptop, type = parking event~})")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Predicate{
+		{Attr: "temperature", Value: "30", Op: OpGt, ApproxAttr: true},
+		{Attr: "noise", Value: "55.5", Op: OpLte},
+		{Attr: "device", Value: "laptop", Op: OpNeq},
+		{Attr: "type", Value: "parking event", Op: OpEq, ApproxValue: true},
+	}
+	if len(sub.Predicates) != len(want) {
+		t.Fatalf("predicates = %d, want %d", len(sub.Predicates), len(want))
+	}
+	for i, p := range sub.Predicates {
+		if p != want[i] {
+			t.Errorf("predicate %d = %+v, want %+v", i, p, want[i])
+		}
+	}
+}
+
+func TestParseOperatorRoundTrip(t *testing.T) {
+	src := "({energy}, {temperature~ > 30, noise <= 55.5, device != laptop})"
+	s1, err := ParseSubscription(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseSubscription(s1.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", s1.String(), err)
+	}
+	for i := range s1.Predicates {
+		if s1.Predicates[i] != s2.Predicates[i] {
+			t.Errorf("predicate %d round trip: %+v vs %+v", i, s1.Predicates[i], s2.Predicates[i])
+		}
+	}
+}
+
+func TestValidateRejectsApproxNonEquality(t *testing.T) {
+	sub := &Subscription{Predicates: []Predicate{
+		{Attr: "device", Value: "laptop", Op: OpNeq, ApproxValue: true},
+	}}
+	if !errors.Is(sub.Validate(), ErrApproxNonEquality) {
+		t.Errorf("err = %v", sub.Validate())
+	}
+}
+
+func TestValidateRejectsNonNumericComparison(t *testing.T) {
+	sub := &Subscription{Predicates: []Predicate{
+		{Attr: "temperature", Value: "hot", Op: OpGt},
+	}}
+	if !errors.Is(sub.Validate(), ErrNonNumericComparison) {
+		t.Errorf("err = %v", sub.Validate())
+	}
+	ok := &Subscription{Predicates: []Predicate{
+		{Attr: "temperature", Value: "30", Op: OpGt},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("numeric comparison rejected: %v", err)
+	}
+}
+
+func TestExactMatchWithOperators(t *testing.T) {
+	e := &Event{Tuples: []Tuple{
+		{Attr: "temperature", Value: "32"},
+		{Attr: "device", Value: "laptop"},
+	}}
+	tests := []struct {
+		name string
+		sub  *Subscription
+		want bool
+	}{
+		{
+			name: "gt satisfied",
+			sub: &Subscription{Predicates: []Predicate{
+				{Attr: "temperature", Value: "30", Op: OpGt},
+			}},
+			want: true,
+		},
+		{
+			name: "lt not satisfied",
+			sub: &Subscription{Predicates: []Predicate{
+				{Attr: "temperature", Value: "30", Op: OpLt},
+			}},
+			want: false,
+		},
+		{
+			name: "neq satisfied",
+			sub: &Subscription{Predicates: []Predicate{
+				{Attr: "device", Value: "computer", Op: OpNeq},
+			}},
+			want: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ExactMatch(tt.sub, e); got != tt.want {
+				t.Errorf("ExactMatch = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestApproximateKeepsComparisonsExact(t *testing.T) {
+	sub := &Subscription{Predicates: []Predicate{
+		{Attr: "temperature", Value: "30", Op: OpGt},
+		{Attr: "device", Value: "laptop"},
+	}}
+	approx := sub.Approximate()
+	if approx.Predicates[0].ApproxValue {
+		t.Error("comparison value relaxed by Approximate()")
+	}
+	if !approx.Predicates[0].ApproxAttr {
+		t.Error("comparison attribute not relaxed")
+	}
+	if !approx.Predicates[1].ApproxValue {
+		t.Error("equality value not relaxed")
+	}
+	if err := approx.Validate(); err != nil {
+		t.Errorf("approximated subscription invalid: %v", err)
+	}
+}

@@ -1,0 +1,172 @@
+package event
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The textual notation follows the paper's examples:
+//
+//	event:        ({energy, appliances}, {type: increased energy consumption event, device: computer})
+//	subscription: ({power, computers}, {type = increased energy usage event~, device~ = laptop~})
+//
+// The theme part is optional; "{...}" alone denotes an empty theme. Events
+// separate attribute and value with ':', subscriptions with an operator
+// (=, !=, >, >=, <, <= — the comparison operators are this implementation's
+// extension beyond §3.4). A trailing '~' on an attribute or value marks it
+// approximable; value approximation requires '='.
+
+// ParseEvent parses the textual event notation.
+func ParseEvent(s string) (*Event, error) {
+	theme, body, err := splitThemeBody(s)
+	if err != nil {
+		return nil, fmt.Errorf("parse event: %w", err)
+	}
+	e := &Event{Theme: theme}
+	for _, part := range splitList(body) {
+		attr, value, ok := cutUnquoted(part, ':')
+		if !ok {
+			return nil, fmt.Errorf("parse event: tuple %q lacks ':'", part)
+		}
+		attr, value = strings.TrimSpace(attr), strings.TrimSpace(value)
+		if strings.HasSuffix(attr, "~") || strings.HasSuffix(value, "~") {
+			return nil, fmt.Errorf("parse event: tuple %q uses ~ (events carry no approximation)", part)
+		}
+		e.Tuples = append(e.Tuples, Tuple{Attr: attr, Value: value})
+	}
+	if err := e.Validate(); err != nil {
+		return nil, fmt.Errorf("parse event: %w", err)
+	}
+	return e, nil
+}
+
+// ParseSubscription parses the textual subscription notation.
+func ParseSubscription(s string) (*Subscription, error) {
+	theme, body, err := splitThemeBody(s)
+	if err != nil {
+		return nil, fmt.Errorf("parse subscription: %w", err)
+	}
+	sub := &Subscription{Theme: theme}
+	for _, part := range splitList(body) {
+		attr, op, value, ok := cutPredicate(part)
+		if !ok {
+			return nil, fmt.Errorf("parse subscription: predicate %q lacks an operator", part)
+		}
+		p := Predicate{Op: op}
+		attr = strings.TrimSpace(attr)
+		value = strings.TrimSpace(value)
+		if strings.HasSuffix(attr, "~") {
+			p.ApproxAttr = true
+			attr = strings.TrimSpace(strings.TrimSuffix(attr, "~"))
+		}
+		if strings.HasSuffix(value, "~") {
+			p.ApproxValue = true
+			value = strings.TrimSpace(strings.TrimSuffix(value, "~"))
+		}
+		p.Attr, p.Value = attr, value
+		sub.Predicates = append(sub.Predicates, p)
+	}
+	if err := sub.Validate(); err != nil {
+		return nil, fmt.Errorf("parse subscription: %w", err)
+	}
+	return sub, nil
+}
+
+// splitThemeBody splits "({tags}, {body})" or "{body}" into the theme tag
+// list and the body list.
+func splitThemeBody(s string) (theme []string, body string, err error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "(") {
+		if !strings.HasSuffix(s, ")") {
+			return nil, "", fmt.Errorf("unbalanced parentheses in %q", s)
+		}
+		s = strings.TrimSpace(s[1 : len(s)-1])
+		// Expect "{theme}, {body}".
+		themePart, rest, ok := cutBraceGroup(s)
+		if !ok {
+			return nil, "", fmt.Errorf("missing theme group in %q", s)
+		}
+		rest = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), ","))
+		bodyPart, tail, ok := cutBraceGroup(rest)
+		if !ok || strings.TrimSpace(tail) != "" {
+			return nil, "", fmt.Errorf("missing body group in %q", s)
+		}
+		for _, tag := range splitList(themePart) {
+			theme = append(theme, strings.TrimSpace(tag))
+		}
+		return theme, bodyPart, nil
+	}
+	bodyPart, tail, ok := cutBraceGroup(s)
+	if !ok || strings.TrimSpace(tail) != "" {
+		return nil, "", fmt.Errorf("expected {...} in %q", s)
+	}
+	return nil, bodyPart, nil
+}
+
+// cutBraceGroup extracts the content of the leading "{...}" group and
+// returns the remainder after it.
+func cutBraceGroup(s string) (content, rest string, ok bool) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "{") {
+		return "", "", false
+	}
+	depth := 0
+	for i, r := range s {
+		switch r {
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth == 0 {
+				return s[1:i], s[i+1:], true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// splitList splits a comma-separated list, ignoring empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// cutUnquoted splits s at the first occurrence of sep.
+func cutUnquoted(s string, sep byte) (before, after string, ok bool) {
+	i := strings.IndexByte(s, sep)
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+1:], true
+}
+
+// cutPredicate splits a predicate at its operator, matching the longest
+// symbol first ("!=" before "=", ">=" before ">").
+func cutPredicate(s string) (attr string, op Op, value string, ok bool) {
+	best := -1
+	var bestSym string
+	var bestOp Op
+	for _, cand := range opSymbols {
+		i := strings.Index(s, cand.symbol)
+		if i < 0 {
+			continue
+		}
+		// Prefer the earliest operator; at the same position prefer the
+		// longer symbol (opSymbols is ordered longest-first, so the first
+		// match at a position wins).
+		if best == -1 || i < best {
+			best = i
+			bestSym = cand.symbol
+			bestOp = cand.op
+		}
+	}
+	if best < 0 {
+		return s, OpEq, "", false
+	}
+	return s[:best], bestOp, s[best+len(bestSym):], true
+}

@@ -1,0 +1,154 @@
+package event
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseEventPaperExample(t *testing.T) {
+	e, err := ParseEvent("({energy, appliances, building}, {type: increased energy consumption event, measurement unit: kilowatt hour, device: computer, office: room 112})")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(e.Theme, []string{"energy", "appliances", "building"}) {
+		t.Errorf("theme = %v", e.Theme)
+	}
+	want := []Tuple{
+		{Attr: "type", Value: "increased energy consumption event"},
+		{Attr: "measurement unit", Value: "kilowatt hour"},
+		{Attr: "device", Value: "computer"},
+		{Attr: "office", Value: "room 112"},
+	}
+	if !reflect.DeepEqual(e.Tuples, want) {
+		t.Errorf("tuples = %v", e.Tuples)
+	}
+}
+
+func TestParseEventWithoutTheme(t *testing.T) {
+	e, err := ParseEvent("{device: laptop}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Theme) != 0 || len(e.Tuples) != 1 {
+		t.Errorf("event = %+v", e)
+	}
+}
+
+func TestParseEventErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+	}{
+		{name: "empty", give: ""},
+		{name: "no braces", give: "device: laptop"},
+		{name: "missing colon", give: "{device laptop}"},
+		{name: "tilde in event", give: "{device: laptop~}"},
+		{name: "unbalanced", give: "({a}, {b: c}"},
+		{name: "trailing junk", give: "{a: b} extra"},
+		{name: "duplicate attr", give: "{a: b, a: c}"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseEvent(tt.give); err == nil {
+				t.Errorf("ParseEvent(%q) succeeded, want error", tt.give)
+			}
+		})
+	}
+}
+
+func TestParseSubscriptionPaperExample(t *testing.T) {
+	s, err := ParseSubscription("({power, computers}, {type = increased energy usage event~, device~ = laptop~, office = room 112})")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.Theme, []string{"power", "computers"}) {
+		t.Errorf("theme = %v", s.Theme)
+	}
+	want := []Predicate{
+		{Attr: "type", Value: "increased energy usage event", ApproxValue: true},
+		{Attr: "device", Value: "laptop", ApproxAttr: true, ApproxValue: true},
+		{Attr: "office", Value: "room 112"},
+	}
+	if !reflect.DeepEqual(s.Predicates, want) {
+		t.Errorf("predicates = %+v", s.Predicates)
+	}
+}
+
+func TestParseSubscriptionWithoutTheme(t *testing.T) {
+	s, err := ParseSubscription("{type = parking event~}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Theme) != 0 {
+		t.Errorf("theme = %v", s.Theme)
+	}
+	if !s.Predicates[0].ApproxValue || s.Predicates[0].ApproxAttr {
+		t.Errorf("predicate = %+v", s.Predicates[0])
+	}
+}
+
+func TestParseSubscriptionErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+	}{
+		{name: "empty", give: ""},
+		{name: "missing equals", give: "{type laptop}"},
+		{name: "empty body", give: "{}"},
+		{name: "unclosed theme", give: "({a, {b = c})"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseSubscription(tt.give); err == nil {
+				t.Errorf("ParseSubscription(%q) succeeded, want error", tt.give)
+			}
+		})
+	}
+}
+
+// Round trip: String() output parses back to an equivalent object.
+func TestParseRoundTrip(t *testing.T) {
+	subs := []string{
+		"({power, computers}, {type = increased energy usage event~, device~ = laptop~, office = room 112})",
+		"({a}, {x = y})",
+		"({t1, t2, t3}, {p~ = q, r = s~})",
+	}
+	for _, src := range subs {
+		s1, err := ParseSubscription(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		s2, err := ParseSubscription(s1.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", s1.String(), err)
+		}
+		if !reflect.DeepEqual(s1, s2) {
+			t.Errorf("round trip mismatch:\n%+v\n%+v", s1, s2)
+		}
+	}
+	events := []string{
+		"({energy}, {type: parking event, spot: p12})",
+		"{a: b}",
+	}
+	for _, src := range events {
+		e1, err := ParseEvent(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		e2, err := ParseEvent(e1.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", e1.String(), err)
+		}
+		if !reflect.DeepEqual(e1, e2) {
+			t.Errorf("round trip mismatch:\n%+v\n%+v", e1, e2)
+		}
+	}
+}
+
+func TestParseEventErrorMessagesMentionParse(t *testing.T) {
+	_, err := ParseEvent("{device laptop}")
+	if err == nil || !strings.Contains(err.Error(), "parse event") {
+		t.Errorf("error %v lacks context", err)
+	}
+}

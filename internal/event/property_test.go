@@ -1,0 +1,127 @@
+package event
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomSubscription builds a random valid subscription from a small term
+// alphabet (terms contain letters and digits only, so the textual notation
+// round-trips exactly).
+func randomSubscription(rng *rand.Rand) *Subscription {
+	words := []string{"energy", "parking", "noise", "room", "device", "laptop",
+		"zone", "city", "galway", "santander", "increased", "event", "112"}
+	term := func() string {
+		n := 1 + rng.Intn(3)
+		out := ""
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				out += " "
+			}
+			out += words[rng.Intn(len(words))]
+		}
+		return out
+	}
+	sub := &Subscription{}
+	used := map[string]bool{}
+	for len(sub.Predicates) < 1+rng.Intn(4) {
+		attr := term()
+		if used[attr] {
+			continue
+		}
+		used[attr] = true
+		sub.Predicates = append(sub.Predicates, Predicate{
+			Attr:        attr,
+			Value:       term(),
+			ApproxAttr:  rng.Intn(2) == 0,
+			ApproxValue: rng.Intn(2) == 0,
+		})
+	}
+	for i := 0; i < rng.Intn(4); i++ {
+		sub.Theme = append(sub.Theme, term())
+	}
+	return sub
+}
+
+func randomEvent(rng *rand.Rand) *Event {
+	sub := randomSubscription(rng)
+	e := &Event{Theme: sub.Theme}
+	for _, p := range sub.Predicates {
+		e.Tuples = append(e.Tuples, Tuple{Attr: p.Attr, Value: p.Value})
+	}
+	return e
+}
+
+// Property: String() -> Parse round-trips subscriptions built from plain
+// terms.
+func TestSubscriptionStringParseRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		sub := randomSubscription(rng)
+		parsed, err := ParseSubscription(sub.String())
+		if err != nil {
+			t.Fatalf("trial %d: %v (text %q)", trial, err, sub.String())
+		}
+		// Theme nil vs empty slice: normalize for comparison.
+		if len(sub.Theme) == 0 {
+			sub.Theme = nil
+		}
+		if len(parsed.Theme) == 0 {
+			parsed.Theme = nil
+		}
+		if !reflect.DeepEqual(sub.Theme, parsed.Theme) || !reflect.DeepEqual(sub.Predicates, parsed.Predicates) {
+			t.Fatalf("trial %d:\n have %+v\n want %+v", trial, parsed, sub)
+		}
+	}
+}
+
+// Property: String() -> Parse round-trips events, and parsed events are
+// valid.
+func TestEventStringParseRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 200; trial++ {
+		e := randomEvent(rng)
+		parsed, err := ParseEvent(e.String())
+		if err != nil {
+			t.Fatalf("trial %d: %v (text %q)", trial, err, e.String())
+		}
+		if err := parsed.Validate(); err != nil {
+			t.Fatalf("trial %d: parsed event invalid: %v", trial, err)
+		}
+		if !reflect.DeepEqual(e.Tuples, parsed.Tuples) {
+			t.Fatalf("trial %d: tuples differ", trial)
+		}
+	}
+}
+
+// Property: ExactMatch(sub.Exact(), eventOf(sub)) always holds when the
+// event carries the subscription's own tuples.
+func TestExactMatchReflexiveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 200; trial++ {
+		sub := randomSubscription(rng)
+		e := &Event{}
+		for _, p := range sub.Predicates {
+			e.Tuples = append(e.Tuples, Tuple{Attr: p.Attr, Value: p.Value})
+		}
+		if !ExactMatch(sub, e) {
+			t.Fatalf("trial %d: subscription does not match its own tuples", trial)
+		}
+	}
+}
+
+// Property: ApproximationDegree of Approximate() is 1 and of Exact() is 0
+// for any subscription.
+func TestApproximationDegreeExtremesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	for trial := 0; trial < 100; trial++ {
+		sub := randomSubscription(rng)
+		if d := sub.Approximate().ApproximationDegree(); d != 1 {
+			t.Fatalf("Approximate degree = %v", d)
+		}
+		if d := sub.Exact().ApproximationDegree(); d != 0 {
+			t.Fatalf("Exact degree = %v", d)
+		}
+	}
+}

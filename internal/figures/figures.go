@@ -1,0 +1,188 @@
+// Package figures renders the paper's evaluation artifacts as ASCII
+// heatmaps and scatter plots (Figures 7-10) and emits machine-readable CSV.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"thematicep/internal/eval"
+)
+
+// heatRunes index increasing value buckets.
+var heatRunes = []rune(" .:-=+*#%@")
+
+// Heatmap renders a grid of cells as an ASCII heatmap with the event-theme
+// size on the X axis and the subscription-theme size on the Y axis (rows
+// printed top-down from the largest size, matching the paper's layout).
+// value selects the cell metric; baseline, when > 0, marks cells at or
+// below it with lowercase 'o' borders in the legend column counts.
+func Heatmap(w io.Writer, title string, cells []eval.Cell, value func(eval.Cell) float64, baseline float64) {
+	if len(cells) == 0 {
+		fmt.Fprintf(w, "%s: (no cells)\n", title)
+		return
+	}
+	xs := sizes(cells, func(c eval.Cell) int { return c.EventSize })
+	ys := sizes(cells, func(c eval.Cell) int { return c.SubSize })
+	byPos := make(map[[2]int]eval.Cell, len(cells))
+	lo, hi := value(cells[0]), value(cells[0])
+	for _, c := range cells {
+		byPos[[2]int{c.EventSize, c.SubSize}] = c
+		v := value(c)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "  scale: %.3g (%q) .. %.3g (%q)", lo, heatRunes[0], hi, heatRunes[len(heatRunes)-1])
+	if baseline > 0 {
+		fmt.Fprintf(w, "; cells above baseline %.3g are UPPERCASE-marked with their rune, below shown in (.)", baseline)
+	}
+	fmt.Fprintln(w)
+
+	above, total := 0, 0
+	for i := len(ys) - 1; i >= 0; i-- {
+		y := ys[i]
+		fmt.Fprintf(w, "  s=%3d |", y)
+		for _, x := range xs {
+			c, ok := byPos[[2]int{x, y}]
+			if !ok {
+				fmt.Fprint(w, "  ?")
+				continue
+			}
+			v := value(c)
+			total++
+			mark := ' '
+			if baseline > 0 {
+				if v > baseline {
+					above++
+					mark = ' '
+				} else {
+					mark = '('
+				}
+			}
+			fmt.Fprintf(w, " %c%c", mark, bucketRune(v, lo, hi))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprint(w, "        +")
+	fmt.Fprintln(w, strings.Repeat("---", len(xs)))
+	fmt.Fprint(w, "     e = ")
+	for _, x := range xs {
+		fmt.Fprintf(w, "%3d", x)
+	}
+	fmt.Fprintln(w)
+	if baseline > 0 && total > 0 {
+		fmt.Fprintf(w, "  cells above baseline: %d/%d (%.0f%%)\n", above, total, 100*float64(above)/float64(total))
+	}
+}
+
+func bucketRune(v, lo, hi float64) rune {
+	if hi <= lo {
+		return heatRunes[len(heatRunes)/2]
+	}
+	idx := int((v - lo) / (hi - lo) * float64(len(heatRunes)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(heatRunes) {
+		idx = len(heatRunes) - 1
+	}
+	return heatRunes[idx]
+}
+
+func sizes(cells []eval.Cell, get func(eval.Cell) int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, c := range cells {
+		if !seen[get(c)] {
+			seen[get(c)] = true
+			out = append(out, get(c))
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Scatter renders an ASCII scatter plot of (x, y) points — the sample-error
+// figures 8 and 10.
+func Scatter(w io.Writer, title, xLabel, yLabel string, xs, ys []float64) {
+	const width, height = 60, 16
+	if len(xs) == 0 || len(xs) != len(ys) {
+		fmt.Fprintf(w, "%s: (no points)\n", title)
+		return
+	}
+	minX, maxX := minMax(xs)
+	minY, maxY := minMax(ys)
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	for i := range xs {
+		col := scaleTo(xs[i], minX, maxX, width-1)
+		row := height - 1 - scaleTo(ys[i], minY, maxY, height-1)
+		switch grid[row][col] {
+		case ' ':
+			grid[row][col] = '·'
+		case '·':
+			grid[row][col] = 'o'
+		default:
+			grid[row][col] = '@'
+		}
+	}
+	fmt.Fprintf(w, "%s  (density: · o @)\n", title)
+	fmt.Fprintf(w, "  %s: %.3g .. %.3g (vertical)\n", yLabel, minY, maxY)
+	for _, row := range grid {
+		fmt.Fprintf(w, "  |%s\n", string(row))
+	}
+	fmt.Fprintf(w, "  +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(w, "  %s: %.3g .. %.3g (horizontal)\n", xLabel, minX, maxX)
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+func scaleTo(v, lo, hi float64, max int) int {
+	if hi <= lo {
+		return max / 2
+	}
+	idx := int((v - lo) / (hi - lo) * float64(max))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx > max {
+		idx = max
+	}
+	return idx
+}
+
+// CSV writes the grid cells as CSV with a header, for plotting outside the
+// terminal.
+func CSV(w io.Writer, cells []eval.Cell) error {
+	if _, err := fmt.Fprintln(w, "event_theme_size,sub_theme_size,mean_f1,std_f1,mean_throughput,std_throughput,samples"); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		if _, err := fmt.Fprintf(w, "%d,%d,%.6f,%.6f,%.3f,%.3f,%d\n",
+			c.EventSize, c.SubSize, c.MeanF1, c.StdF1, c.MeanThroughput, c.StdThroughput, c.Samples); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"thematicep/internal/eval"
+)
+
+func sampleCells() []eval.Cell {
+	return []eval.Cell{
+		{EventSize: 1, SubSize: 1, MeanF1: 0.1, MeanThroughput: 100, StdF1: 0.02, StdThroughput: 5, Samples: 2},
+		{EventSize: 1, SubSize: 5, MeanF1: 0.7, MeanThroughput: 300, StdF1: 0.05, StdThroughput: 12, Samples: 2},
+		{EventSize: 5, SubSize: 1, MeanF1: 0.2, MeanThroughput: 250, StdF1: 0.01, StdThroughput: 8, Samples: 2},
+		{EventSize: 5, SubSize: 5, MeanF1: 0.8, MeanThroughput: 200, StdF1: 0.03, StdThroughput: 6, Samples: 2},
+	}
+}
+
+func TestHeatmapRendering(t *testing.T) {
+	var sb strings.Builder
+	Heatmap(&sb, "Fig 7", sampleCells(), func(c eval.Cell) float64 { return c.MeanF1 }, 0.6)
+	out := sb.String()
+	for _, want := range []string{"Fig 7", "s=  5", "s=  1", "e =", "above baseline: 2/4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("heatmap output missing %q:\n%s", want, out)
+		}
+	}
+	// Y axis printed top-down: s=5 row before s=1 row.
+	if strings.Index(out, "s=  5") > strings.Index(out, "s=  1") {
+		t.Error("rows not printed top-down")
+	}
+}
+
+func TestHeatmapEmpty(t *testing.T) {
+	var sb strings.Builder
+	Heatmap(&sb, "empty", nil, func(c eval.Cell) float64 { return 0 }, 0)
+	if !strings.Contains(sb.String(), "no cells") {
+		t.Errorf("output = %q", sb.String())
+	}
+}
+
+func TestHeatmapUniformValues(t *testing.T) {
+	cells := []eval.Cell{
+		{EventSize: 1, SubSize: 1, MeanF1: 0.5},
+		{EventSize: 2, SubSize: 1, MeanF1: 0.5},
+	}
+	var sb strings.Builder
+	Heatmap(&sb, "uniform", cells, func(c eval.Cell) float64 { return c.MeanF1 }, 0)
+	if sb.Len() == 0 {
+		t.Error("no output for uniform values")
+	}
+}
+
+func TestScatterRendering(t *testing.T) {
+	var sb strings.Builder
+	xs := []float64{0.1, 0.2, 0.5, 0.8, 0.8}
+	ys := []float64{0.01, 0.25, 0.10, 0.07, 0.07}
+	Scatter(&sb, "Fig 8", "F1", "error", xs, ys)
+	out := sb.String()
+	for _, want := range []string{"Fig 8", "F1:", "error:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scatter output missing %q:\n%s", want, out)
+		}
+	}
+	// The duplicate point must upgrade density to 'o'.
+	if !strings.Contains(out, "o") {
+		t.Error("density upgrade marker missing")
+	}
+}
+
+func TestScatterEmptyAndMismatch(t *testing.T) {
+	var sb strings.Builder
+	Scatter(&sb, "x", "a", "b", nil, nil)
+	if !strings.Contains(sb.String(), "no points") {
+		t.Error("empty scatter not handled")
+	}
+	sb.Reset()
+	Scatter(&sb, "x", "a", "b", []float64{1}, []float64{1, 2})
+	if !strings.Contains(sb.String(), "no points") {
+		t.Error("mismatched lengths not handled")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := CSV(&sb, sampleCells()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want header + 4", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "event_theme_size,sub_theme_size") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1,1,0.100000") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestBucketRuneBounds(t *testing.T) {
+	if r := bucketRune(0, 0, 1); r != heatRunes[0] {
+		t.Errorf("lo rune = %q", r)
+	}
+	if r := bucketRune(1, 0, 1); r != heatRunes[len(heatRunes)-1] {
+		t.Errorf("hi rune = %q", r)
+	}
+	if r := bucketRune(0.5, 0.5, 0.5); r != heatRunes[len(heatRunes)/2] {
+		t.Errorf("degenerate rune = %q", r)
+	}
+}

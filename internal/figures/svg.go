@@ -1,0 +1,223 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"thematicep/internal/eval"
+)
+
+// SVG rendering produces self-contained figure files for the grid
+// experiments — the publishable counterparts of the terminal heatmaps.
+
+const (
+	svgCell    = 22
+	svgPadLeft = 64
+	svgPadTop  = 56
+	svgPadBot  = 72
+	svgPadRt   = 24
+)
+
+// HeatmapSVG renders the grid as an SVG heatmap: x = event theme size,
+// y = subscription theme size (largest at the top, as in the paper's
+// figures). Cells at or below the baseline are hatched with a darker
+// border. value selects the metric.
+func HeatmapSVG(w io.Writer, title string, cells []eval.Cell, value func(eval.Cell) float64, baseline float64) error {
+	if len(cells) == 0 {
+		_, err := fmt.Fprint(w, emptySVG(title))
+		return err
+	}
+	xs := sizes(cells, func(c eval.Cell) int { return c.EventSize })
+	ys := sizes(cells, func(c eval.Cell) int { return c.SubSize })
+	byPos := make(map[[2]int]eval.Cell, len(cells))
+	lo, hi := value(cells[0]), value(cells[0])
+	for _, c := range cells {
+		byPos[[2]int{c.EventSize, c.SubSize}] = c
+		v := value(c)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+
+	width := svgPadLeft + len(xs)*svgCell + svgPadRt
+	height := svgPadTop + len(ys)*svgCell + svgPadBot
+	var b svgBuilder
+	b.open(width, height)
+	b.text(width/2, 24, "middle", 14, title)
+	b.text(width/2, height-12, "middle", 11, "event theme size")
+	b.vtext(16, svgPadTop+len(ys)*svgCell/2, 11, "subscription theme size")
+
+	for yi, y := range ys {
+		row := len(ys) - 1 - yi // largest size at the top
+		py := svgPadTop + row*svgCell
+		b.text(svgPadLeft-8, py+svgCell/2+4, "end", 9, fmt.Sprintf("%d", y))
+		for xi, x := range xs {
+			px := svgPadLeft + xi*svgCell
+			c, ok := byPos[[2]int{x, y}]
+			if !ok {
+				continue
+			}
+			v := value(c)
+			fill := heatColor(v, lo, hi)
+			stroke := "#ffffff"
+			strokeWidth := 1.0
+			if baseline > 0 && v <= baseline {
+				stroke = "#333333"
+				strokeWidth = 1.5
+			}
+			b.rect(px, py, svgCell-1, svgCell-1, fill, stroke, strokeWidth,
+				fmt.Sprintf("e=%d s=%d: %.3f", x, y, v))
+		}
+	}
+	for xi, x := range xs {
+		px := svgPadLeft + xi*svgCell
+		b.text(px+svgCell/2, svgPadTop+len(ys)*svgCell+14, "middle", 9, fmt.Sprintf("%d", x))
+	}
+	// Legend: min/max swatches plus the baseline convention.
+	ly := height - 40
+	b.rect(svgPadLeft, ly, 14, 14, heatColor(lo, lo, hi), "#ffffff", 1, "")
+	b.text(svgPadLeft+20, ly+11, "start", 10, fmt.Sprintf("%.3g", lo))
+	b.rect(svgPadLeft+90, ly, 14, 14, heatColor(hi, lo, hi), "#ffffff", 1, "")
+	b.text(svgPadLeft+110, ly+11, "start", 10, fmt.Sprintf("%.3g", hi))
+	if baseline > 0 {
+		b.rect(svgPadLeft+180, ly, 14, 14, "#dddddd", "#333333", 1.5, "")
+		b.text(svgPadLeft+200, ly+11, "start", 10, fmt.Sprintf("at or below baseline %.3g", baseline))
+	}
+	b.close()
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ScatterSVG renders (x, y) points — the sample-error figures.
+func ScatterSVG(w io.Writer, title, xLabel, yLabel string, xs, ys []float64) error {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		_, err := fmt.Fprint(w, emptySVG(title))
+		return err
+	}
+	const plotW, plotH = 420, 260
+	width := svgPadLeft + plotW + svgPadRt
+	height := svgPadTop + plotH + svgPadBot
+
+	minX, maxX := minMax(xs)
+	minY, maxY := minMax(ys)
+
+	var b svgBuilder
+	b.open(width, height)
+	b.text(width/2, 24, "middle", 14, title)
+	b.text(width/2, height-12, "middle", 11, xLabel)
+	b.vtext(16, svgPadTop+plotH/2, 11, yLabel)
+
+	// Axes.
+	b.line(svgPadLeft, svgPadTop, svgPadLeft, svgPadTop+plotH)
+	b.line(svgPadLeft, svgPadTop+plotH, svgPadLeft+plotW, svgPadTop+plotH)
+	b.text(svgPadLeft-6, svgPadTop+plotH+4, "end", 9, fmt.Sprintf("%.3g", minY))
+	b.text(svgPadLeft-6, svgPadTop+8, "end", 9, fmt.Sprintf("%.3g", maxY))
+	b.text(svgPadLeft, svgPadTop+plotH+16, "middle", 9, fmt.Sprintf("%.3g", minX))
+	b.text(svgPadLeft+plotW, svgPadTop+plotH+16, "middle", 9, fmt.Sprintf("%.3g", maxX))
+
+	for i := range xs {
+		px := svgPadLeft + scaleTo(xs[i], minX, maxX, plotW)
+		py := svgPadTop + plotH - scaleTo(ys[i], minY, maxY, plotH)
+		b.circle(px, py, 3, "#2a6fdb99")
+	}
+	b.close()
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// heatColor maps a value to a blue→red gradient, as in the paper's figures
+// ("colors range from blue (low F1Score) to red (high F1Score)").
+func heatColor(v, lo, hi float64) string {
+	t := 0.5
+	if hi > lo {
+		t = (v - lo) / (hi - lo)
+	}
+	// Interpolate blue (42, 111, 219) -> red (219, 56, 42).
+	r := int(42 + t*(219-42))
+	g := int(111 + t*(56-111))
+	b := int(219 + t*(42-219))
+	return fmt.Sprintf("#%02x%02x%02x", r, g, b)
+}
+
+// svgBuilder accumulates a minimal SVG document.
+type svgBuilder struct {
+	sb []byte
+}
+
+func (b *svgBuilder) appendf(format string, args ...any) {
+	b.sb = append(b.sb, fmt.Sprintf(format, args...)...)
+}
+
+func (b *svgBuilder) open(w, h int) {
+	b.appendf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", w, h)
+	b.appendf(`<rect width="%d" height="%d" fill="#ffffff"/>`+"\n", w, h)
+}
+
+func (b *svgBuilder) close() { b.appendf("</svg>\n") }
+
+func (b *svgBuilder) String() string { return string(b.sb) }
+
+func (b *svgBuilder) rect(x, y, w, h int, fill, stroke string, strokeWidth float64, tooltip string) {
+	b.appendf(`<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="%s" stroke-width="%.1f">`,
+		x, y, w, h, fill, stroke, strokeWidth)
+	if tooltip != "" {
+		b.appendf("<title>%s</title>", xmlEscape(tooltip))
+	}
+	b.appendf("</rect>\n")
+}
+
+func (b *svgBuilder) text(x, y int, anchor string, size int, s string) {
+	b.appendf(`<text x="%d" y="%d" text-anchor="%s" font-size="%d">%s</text>`+"\n",
+		x, y, anchor, size, xmlEscape(s))
+}
+
+func (b *svgBuilder) vtext(x, y, size int, s string) {
+	b.appendf(`<text x="%d" y="%d" text-anchor="middle" font-size="%d" transform="rotate(-90 %d %d)">%s</text>`+"\n",
+		x, y, size, x, y, xmlEscape(s))
+}
+
+func (b *svgBuilder) line(x1, y1, x2, y2 int) {
+	b.appendf(`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#444444"/>`+"\n", x1, y1, x2, y2)
+}
+
+func (b *svgBuilder) circle(cx, cy, r int, fill string) {
+	b.appendf(`<circle cx="%d" cy="%d" r="%d" fill="%s"/>`+"\n", cx, cy, r, fill)
+}
+
+func emptySVG(title string) string {
+	var b svgBuilder
+	b.open(300, 60)
+	b.text(150, 35, "middle", 12, title+": no data")
+	b.close()
+	return b.String()
+}
+
+func xmlEscape(s string) string {
+	var out []byte
+	for _, r := range s {
+		switch r {
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		case '&':
+			out = append(out, "&amp;"...)
+		case '"':
+			out = append(out, "&quot;"...)
+		default:
+			out = append(out, string(r)...)
+		}
+	}
+	return string(out)
+}
+
+// sortedCopy is a small helper for tests.
+func sortedCopy(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,92 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"thematicep/internal/eval"
+)
+
+func TestHeatmapSVG(t *testing.T) {
+	var sb strings.Builder
+	if err := HeatmapSVG(&sb, "Fig 7", sampleCells(), func(c eval.Cell) float64 { return c.MeanF1 }, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "Fig 7", "event theme size", "subscription theme size",
+		"<rect", "<title>e=1 s=1: 0.100</title>", "at or below baseline",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// 4 cells + background + 3 legend swatches = 8 rects.
+	if got := strings.Count(out, "<rect"); got != 8 {
+		t.Errorf("rect count = %d, want 8", got)
+	}
+}
+
+func TestHeatmapSVGEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := HeatmapSVG(&sb, "empty", nil, func(eval.Cell) float64 { return 0 }, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no data") {
+		t.Error("empty SVG lacks placeholder")
+	}
+}
+
+func TestScatterSVG(t *testing.T) {
+	var sb strings.Builder
+	xs := []float64{0.1, 0.5, 0.9}
+	ys := []float64{0.01, 0.05, 0.02}
+	if err := ScatterSVG(&sb, "Fig 8", "F1", "std", xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if got := strings.Count(out, "<circle"); got != 3 {
+		t.Errorf("circle count = %d, want 3", got)
+	}
+	for _, want := range []string{"F1", "std", "<line"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestScatterSVGEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := ScatterSVG(&sb, "x", "a", "b", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no data") {
+		t.Error("empty scatter lacks placeholder")
+	}
+}
+
+func TestHeatColorEndpoints(t *testing.T) {
+	if got := heatColor(0, 0, 1); got != "#2a6fdb" {
+		t.Errorf("low color = %s", got)
+	}
+	if got := heatColor(1, 0, 1); got != "#db382a" {
+		t.Errorf("high color = %s", got)
+	}
+	if got := heatColor(0.5, 0.5, 0.5); got == "" {
+		t.Error("degenerate range produced empty color")
+	}
+}
+
+func TestXMLEscape(t *testing.T) {
+	if got := xmlEscape(`a<b>&"c`); got != "a&lt;b&gt;&amp;&quot;c" {
+		t.Errorf("xmlEscape = %q", got)
+	}
+}
+
+func TestSortedCopy(t *testing.T) {
+	in := []float64{3, 1, 2}
+	out := sortedCopy(in)
+	if out[0] != 1 || out[2] != 3 || in[0] != 3 {
+		t.Errorf("sortedCopy mutated input or failed: %v %v", in, out)
+	}
+}

@@ -1,0 +1,201 @@
+// Package index builds the inverted index over a corpus that encodes the
+// distributional vector space model (paper §4.1, Fig. 5 step 1).
+//
+// Each token has an entry listing the documents it appears in together with
+// its augmented term frequency (Eq. 2). The raw tf values are kept — as the
+// paper requires — "so they can be used later for thematic projection",
+// where only the idf factor (Eq. 3) is recomputed over the thematic basis
+// (Algorithm 1, lines 8-10).
+package index
+
+import (
+	"math"
+	"sort"
+
+	"thematicep/internal/corpus"
+	"thematicep/internal/sparse"
+)
+
+// Posting records one (token, document) pair.
+type Posting struct {
+	Doc int32
+	// TF is the augmented term frequency of Eq. 2:
+	// 0.5 + 0.5*freq(t,d)/max_freq(d). It does not change under projection.
+	TF float64
+	// Positions are the 0-based token offsets of the occurrences, ascending.
+	// They support phrase lookup for multi-word theme tags.
+	Positions []int32
+}
+
+// Index is an immutable inverted index. Build constructs it; all methods are
+// safe for concurrent use afterwards.
+type Index struct {
+	numDocs  int
+	postings map[string][]Posting // sorted by Doc ascending
+}
+
+// Build tokenizes nothing itself: corpus documents already carry normalized,
+// stop-word-free tokens. It computes per-document maximum frequencies and
+// the augmented tf of every posting.
+func Build(c *corpus.Corpus) *Index {
+	ix := &Index{
+		numDocs:  c.Len(),
+		postings: make(map[string][]Posting),
+	}
+	for _, doc := range c.Docs {
+		if len(doc.Tokens) == 0 {
+			continue
+		}
+		positions := make(map[string][]int32, len(doc.Tokens))
+		maxFreq := 0
+		for i, tok := range doc.Tokens {
+			positions[tok] = append(positions[tok], int32(i))
+			if len(positions[tok]) > maxFreq {
+				maxFreq = len(positions[tok])
+			}
+		}
+		for tok, pos := range positions {
+			tf := 0.5 + 0.5*float64(len(pos))/float64(maxFreq)
+			ix.postings[tok] = append(ix.postings[tok], Posting{Doc: doc.ID, TF: tf, Positions: pos})
+		}
+	}
+	for tok := range ix.postings {
+		ps := ix.postings[tok]
+		sort.Slice(ps, func(i, j int) bool { return ps[i].Doc < ps[j].Doc })
+	}
+	return ix
+}
+
+// NumDocs returns |D|, the dimensionality of the full space.
+func (ix *Index) NumDocs() int { return ix.numDocs }
+
+// VocabSize returns the number of distinct tokens.
+func (ix *Index) VocabSize() int { return len(ix.postings) }
+
+// DocFreq returns the document frequency of token.
+func (ix *Index) DocFreq(token string) int { return len(ix.postings[token]) }
+
+// Postings returns the postings list of token (sorted by document id). The
+// returned slice is shared; callers must not modify it.
+func (ix *Index) Postings(token string) []Posting { return ix.postings[token] }
+
+// IDF returns the inverse document frequency of Eq. 3 over the full space:
+// log(|D| / df). Tokens appearing nowhere get 0.
+func (ix *Index) IDF(token string) float64 {
+	df := len(ix.postings[token])
+	if df == 0 || ix.numDocs == 0 {
+		return 0
+	}
+	return math.Log(float64(ix.numDocs) / float64(df))
+}
+
+// Vector returns the token's distributional vector in the full space with
+// TF/IDF weights (Eq. 4, Fig. 5 step 2). Unknown tokens yield the zero
+// vector.
+func (ix *Index) Vector(token string) sparse.Vector {
+	ps := ix.postings[token]
+	if len(ps) == 0 {
+		return sparse.Vector{}
+	}
+	idf := ix.IDF(token)
+	if idf == 0 {
+		// A token in every document carries no distributional signal.
+		return sparse.Vector{}
+	}
+	ids := make([]int32, len(ps))
+	weights := make([]float64, len(ps))
+	for i, p := range ps {
+		ids[i] = p.Doc
+		weights[i] = p.TF * idf
+	}
+	return sparse.New(ids, weights)
+}
+
+// DocsContaining returns the sorted document ids containing token.
+func (ix *Index) DocsContaining(token string) []int32 {
+	ps := ix.postings[token]
+	out := make([]int32, len(ps))
+	for i, p := range ps {
+		out[i] = p.Doc
+	}
+	return out
+}
+
+// Known reports whether the token occurs in the corpus.
+func (ix *Index) Known(token string) bool {
+	_, ok := ix.postings[token]
+	return ok
+}
+
+// PhraseDocs returns the sorted ids of documents containing the tokens as a
+// consecutive phrase. A one-token phrase degenerates to DocsContaining.
+// Multi-word theme tags use phrase semantics when selecting their basis: the
+// tag "land transport" denotes documents about land transport, not every
+// document mentioning "land" or "transport".
+func (ix *Index) PhraseDocs(tokens []string) []int32 {
+	switch len(tokens) {
+	case 0:
+		return nil
+	case 1:
+		return ix.DocsContaining(tokens[0])
+	}
+	// Iterate the rarest token's postings and verify the phrase around each
+	// occurrence via the other tokens' position lists.
+	rarest := 0
+	for i, tok := range tokens {
+		if ix.DocFreq(tok) == 0 {
+			return nil
+		}
+		if ix.DocFreq(tok) < ix.DocFreq(tokens[rarest]) {
+			rarest = i
+		}
+	}
+	var out []int32
+	for _, p := range ix.postings[tokens[rarest]] {
+		if ix.phraseInDoc(tokens, rarest, p) {
+			out = append(out, p.Doc)
+		}
+	}
+	return out
+}
+
+// phraseInDoc reports whether tokens occur consecutively in the document of
+// anchor posting p (which holds the occurrences of tokens[anchorIdx]).
+func (ix *Index) phraseInDoc(tokens []string, anchorIdx int, p Posting) bool {
+	// Positions of every token in this document.
+	pos := make([][]int32, len(tokens))
+	for i, tok := range tokens {
+		if i == anchorIdx {
+			pos[i] = p.Positions
+			continue
+		}
+		ps := ix.postings[tok]
+		j := sort.Search(len(ps), func(j int) bool { return ps[j].Doc >= p.Doc })
+		if j >= len(ps) || ps[j].Doc != p.Doc {
+			return false
+		}
+		pos[i] = ps[j].Positions
+	}
+	for _, start := range pos[anchorIdx] {
+		base := start - int32(anchorIdx)
+		if base < 0 {
+			continue
+		}
+		ok := true
+		for i := range tokens {
+			if i == anchorIdx {
+				continue
+			}
+			want := base + int32(i)
+			k := sort.Search(len(pos[i]), func(k int) bool { return pos[i][k] >= want })
+			if k >= len(pos[i]) || pos[i][k] != want {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}

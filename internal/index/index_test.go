@@ -1,0 +1,175 @@
+package index
+
+import (
+	"math"
+	"testing"
+
+	"thematicep/internal/corpus"
+)
+
+// tinyCorpus builds a hand-checkable corpus:
+//
+//	doc 0: a a b
+//	doc 1: a c
+//	doc 2: b b b c
+func tinyCorpus() *corpus.Corpus {
+	return &corpus.Corpus{Docs: []corpus.Document{
+		{ID: 0, Title: "d0", Kind: corpus.KindConcept, Domain: "x", Tokens: []string{"a", "a", "b"}},
+		{ID: 1, Title: "d1", Kind: corpus.KindConcept, Domain: "x", Tokens: []string{"a", "c"}},
+		{ID: 2, Title: "d2", Kind: corpus.KindConcept, Domain: "x", Tokens: []string{"b", "b", "b", "c"}},
+	}}
+}
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestBuildCounts(t *testing.T) {
+	ix := Build(tinyCorpus())
+	if ix.NumDocs() != 3 {
+		t.Errorf("NumDocs = %d", ix.NumDocs())
+	}
+	if ix.VocabSize() != 3 {
+		t.Errorf("VocabSize = %d", ix.VocabSize())
+	}
+	if ix.DocFreq("a") != 2 || ix.DocFreq("b") != 2 || ix.DocFreq("c") != 2 {
+		t.Errorf("DocFreq wrong: a=%d b=%d c=%d", ix.DocFreq("a"), ix.DocFreq("b"), ix.DocFreq("c"))
+	}
+	if ix.DocFreq("zzz") != 0 {
+		t.Error("DocFreq of unknown != 0")
+	}
+}
+
+func TestAugmentedTF(t *testing.T) {
+	ix := Build(tinyCorpus())
+	// doc 0: freq(a)=2, max=2 -> tf = 0.5 + 0.5*2/2 = 1.0
+	//        freq(b)=1, max=2 -> tf = 0.5 + 0.5*1/2 = 0.75
+	// doc 2: freq(b)=3, max=3 -> tf = 1.0; freq(c)=1 -> 0.5+0.5/3
+	wantTF := map[string]map[int32]float64{
+		"a": {0: 1.0, 1: 1.0},
+		"b": {0: 0.75, 2: 1.0},
+		"c": {1: 1.0, 2: 0.5 + 0.5/3.0},
+	}
+	for tok, docs := range wantTF {
+		for _, p := range ix.Postings(tok) {
+			want, ok := docs[p.Doc]
+			if !ok {
+				t.Errorf("unexpected posting %q in doc %d", tok, p.Doc)
+				continue
+			}
+			if !almostEqual(p.TF, want) {
+				t.Errorf("tf(%q, %d) = %v, want %v", tok, p.Doc, p.TF, want)
+			}
+		}
+	}
+}
+
+func TestIDF(t *testing.T) {
+	ix := Build(tinyCorpus())
+	want := math.Log(3.0 / 2.0)
+	if got := ix.IDF("a"); !almostEqual(got, want) {
+		t.Errorf("IDF(a) = %v, want %v", got, want)
+	}
+	if got := ix.IDF("zzz"); got != 0 {
+		t.Errorf("IDF(unknown) = %v, want 0", got)
+	}
+}
+
+func TestVector(t *testing.T) {
+	ix := Build(tinyCorpus())
+	v := ix.Vector("b")
+	idf := math.Log(3.0 / 2.0)
+	if got := v.Weight(0); !almostEqual(got, 0.75*idf) {
+		t.Errorf("weight(b, d0) = %v, want %v", got, 0.75*idf)
+	}
+	if got := v.Weight(2); !almostEqual(got, 1.0*idf) {
+		t.Errorf("weight(b, d2) = %v, want %v", got, idf)
+	}
+	if got := v.Weight(1); got != 0 {
+		t.Errorf("weight(b, d1) = %v, want 0", got)
+	}
+	if !ix.Vector("zzz").IsZero() {
+		t.Error("Vector(unknown) not zero")
+	}
+}
+
+func TestTermInAllDocsHasZeroVector(t *testing.T) {
+	c := &corpus.Corpus{Docs: []corpus.Document{
+		{ID: 0, Tokens: []string{"x", "y"}},
+		{ID: 1, Tokens: []string{"x"}},
+	}}
+	ix := Build(c)
+	// x appears in every document: idf = log(1) = 0, so the vector vanishes.
+	if !ix.Vector("x").IsZero() {
+		t.Error("vector of ubiquitous term should be zero")
+	}
+	if ix.Vector("y").IsZero() {
+		t.Error("vector of selective term should be non-zero")
+	}
+}
+
+func TestDocsContainingSorted(t *testing.T) {
+	ix := Build(tinyCorpus())
+	docs := ix.DocsContaining("c")
+	if len(docs) != 2 || docs[0] != 1 || docs[1] != 2 {
+		t.Errorf("DocsContaining(c) = %v", docs)
+	}
+	for tok := range map[string]bool{"a": true, "b": true, "c": true} {
+		ds := ix.DocsContaining(tok)
+		for i := 1; i < len(ds); i++ {
+			if ds[i-1] >= ds[i] {
+				t.Errorf("DocsContaining(%q) not strictly sorted: %v", tok, ds)
+			}
+		}
+	}
+}
+
+func TestKnown(t *testing.T) {
+	ix := Build(tinyCorpus())
+	if !ix.Known("a") || ix.Known("zzz") {
+		t.Error("Known wrong")
+	}
+}
+
+func TestEmptyDocSkipped(t *testing.T) {
+	c := &corpus.Corpus{Docs: []corpus.Document{
+		{ID: 0, Tokens: nil},
+		{ID: 1, Tokens: []string{"a"}},
+	}}
+	ix := Build(c)
+	if ix.NumDocs() != 2 {
+		t.Errorf("NumDocs = %d", ix.NumDocs())
+	}
+	if ix.DocFreq("a") != 1 {
+		t.Errorf("DocFreq(a) = %d", ix.DocFreq("a"))
+	}
+}
+
+func TestRealCorpusIndex(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ix := Build(corpus.GenerateDefault())
+	if ix.VocabSize() < 500 {
+		t.Errorf("vocabulary suspiciously small: %d", ix.VocabSize())
+	}
+	// Synonym tokens of one concept must share documents: "usage" and
+	// "consumption" co-occur in energy-consumption concept docs.
+	a := ix.DocsContaining("usage")
+	b := ix.DocsContaining("consumption")
+	shared := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			shared++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	if shared == 0 {
+		t.Error("synonym tokens share no documents; ESA cannot work")
+	}
+}

@@ -1,0 +1,187 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Index persistence addresses the paper's "building an efficient indexing
+// for thematic projection" future-work item (§7): the inverted index is the
+// expensive artifact (Wikipedia-scale in the paper), so brokers save it
+// once and load it at startup instead of re-indexing the corpus.
+//
+// The format is a compact little-endian binary stream:
+//
+//	magic "TEPIDX1\n" | numDocs uvarint | vocab uvarint |
+//	  per token: len uvarint, bytes, postings uvarint,
+//	    per posting: docDelta uvarint, tf float64bits,
+//	      positions uvarint, posDelta uvarint...
+//
+// Doc ids and positions are delta-encoded (they are sorted ascending).
+
+var indexMagic = []byte("TEPIDX1\n")
+
+// ErrBadIndexFile reports a corrupt or incompatible index stream.
+var ErrBadIndexFile = errors.New("index: bad index file")
+
+// WriteTo serializes the index. It returns the number of bytes written.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	if _, err := cw.Write(indexMagic); err != nil {
+		return cw.n, err
+	}
+	writeUvarint(cw, uint64(ix.numDocs))
+	writeUvarint(cw, uint64(len(ix.postings)))
+
+	// Deterministic output: tokens in sorted order.
+	tokens := make([]string, 0, len(ix.postings))
+	for tok := range ix.postings {
+		tokens = append(tokens, tok)
+	}
+	sort.Strings(tokens)
+
+	for _, tok := range tokens {
+		writeUvarint(cw, uint64(len(tok)))
+		if _, err := io.WriteString(cw, tok); err != nil {
+			return cw.n, err
+		}
+		ps := ix.postings[tok]
+		writeUvarint(cw, uint64(len(ps)))
+		prevDoc := int32(0)
+		for _, p := range ps {
+			writeUvarint(cw, uint64(p.Doc-prevDoc))
+			prevDoc = p.Doc
+			var tfBits [8]byte
+			binary.LittleEndian.PutUint64(tfBits[:], math.Float64bits(p.TF))
+			if _, err := cw.Write(tfBits[:]); err != nil {
+				return cw.n, err
+			}
+			writeUvarint(cw, uint64(len(p.Positions)))
+			prevPos := int32(0)
+			for _, pos := range p.Positions {
+				writeUvarint(cw, uint64(pos-prevPos))
+				prevPos = pos
+			}
+		}
+	}
+	if cw.err != nil {
+		return cw.n, cw.err
+	}
+	return cw.n, cw.w.(*bufio.Writer).Flush()
+}
+
+// ReadFrom deserializes an index written by WriteTo.
+func ReadFrom(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(indexMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadIndexFile, err)
+	}
+	for i := range magic {
+		if magic[i] != indexMagic[i] {
+			return nil, fmt.Errorf("%w: wrong magic", ErrBadIndexFile)
+		}
+	}
+	numDocs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: numDocs: %v", ErrBadIndexFile, err)
+	}
+	vocab, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: vocab: %v", ErrBadIndexFile, err)
+	}
+	const maxVocab = 1 << 26
+	if vocab > maxVocab || numDocs > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: implausible sizes", ErrBadIndexFile)
+	}
+
+	ix := &Index{
+		numDocs:  int(numDocs),
+		postings: make(map[string][]Posting, vocab),
+	}
+	tokBuf := make([]byte, 0, 64)
+	for t := uint64(0); t < vocab; t++ {
+		tokLen, err := binary.ReadUvarint(br)
+		if err != nil || tokLen > 1<<16 {
+			return nil, fmt.Errorf("%w: token length", ErrBadIndexFile)
+		}
+		if uint64(cap(tokBuf)) < tokLen {
+			tokBuf = make([]byte, tokLen)
+		}
+		tokBuf = tokBuf[:tokLen]
+		if _, err := io.ReadFull(br, tokBuf); err != nil {
+			return nil, fmt.Errorf("%w: token bytes: %v", ErrBadIndexFile, err)
+		}
+		tok := string(tokBuf)
+
+		nPostings, err := binary.ReadUvarint(br)
+		if err != nil || nPostings > numDocs {
+			return nil, fmt.Errorf("%w: postings count for %q", ErrBadIndexFile, tok)
+		}
+		ps := make([]Posting, 0, nPostings)
+		doc := int32(0)
+		for i := uint64(0); i < nPostings; i++ {
+			docDelta, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: doc delta: %v", ErrBadIndexFile, err)
+			}
+			doc += int32(docDelta)
+			if doc < 0 || uint64(doc) >= numDocs {
+				return nil, fmt.Errorf("%w: doc id out of range", ErrBadIndexFile)
+			}
+			var tfBits [8]byte
+			if _, err := io.ReadFull(br, tfBits[:]); err != nil {
+				return nil, fmt.Errorf("%w: tf: %v", ErrBadIndexFile, err)
+			}
+			tf := math.Float64frombits(binary.LittleEndian.Uint64(tfBits[:]))
+			if tf < 0 || tf > 1 || math.IsNaN(tf) {
+				return nil, fmt.Errorf("%w: tf out of range", ErrBadIndexFile)
+			}
+			nPos, err := binary.ReadUvarint(br)
+			if err != nil || nPos > 1<<20 {
+				return nil, fmt.Errorf("%w: positions count", ErrBadIndexFile)
+			}
+			positions := make([]int32, 0, nPos)
+			pos := int32(0)
+			for j := uint64(0); j < nPos; j++ {
+				posDelta, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, fmt.Errorf("%w: position delta: %v", ErrBadIndexFile, err)
+				}
+				pos += int32(posDelta)
+				positions = append(positions, pos)
+			}
+			ps = append(ps, Posting{Doc: doc, TF: tf, Positions: positions})
+		}
+		ix.postings[tok] = ps
+	}
+	return ix, nil
+}
+
+// countingWriter tracks bytes written and sticks on the first error.
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	if cw.err != nil {
+		return 0, cw.err
+	}
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	cw.err = err
+	return n, err
+}
+
+func writeUvarint(w io.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n]) //nolint:errcheck // countingWriter latches the error
+}

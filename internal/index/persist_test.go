@@ -1,0 +1,115 @@
+package index
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"thematicep/internal/corpus"
+)
+
+func TestIndexRoundTrip(t *testing.T) {
+	orig := Build(tinyCorpus())
+	var buf bytes.Buffer
+	n, err := orig.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, buffer has %d", n, buf.Len())
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumDocs() != orig.NumDocs() || got.VocabSize() != orig.VocabSize() {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d",
+			got.NumDocs(), got.VocabSize(), orig.NumDocs(), orig.VocabSize())
+	}
+	for _, tok := range []string{"a", "b", "c"} {
+		if !reflect.DeepEqual(got.Postings(tok), orig.Postings(tok)) {
+			t.Errorf("postings for %q differ:\n%v\n%v", tok, got.Postings(tok), orig.Postings(tok))
+		}
+	}
+}
+
+func TestIndexRoundTripFullCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	orig := Build(corpus.GenerateDefault())
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.VocabSize() != orig.VocabSize() {
+		t.Fatalf("vocab %d vs %d", got.VocabSize(), orig.VocabSize())
+	}
+	// Spot-check semantic invariants survive: vectors and phrase docs.
+	for _, tok := range []string{"energy", "parking", "coach", "qbaba"} {
+		a, b := orig.Vector(tok), got.Vector(tok)
+		if a.NNZ() != b.NNZ() {
+			t.Errorf("vector nnz for %q: %d vs %d", tok, a.NNZ(), b.NNZ())
+		}
+	}
+	a := orig.PhraseDocs([]string{"land", "transport"})
+	b := got.PhraseDocs([]string{"land", "transport"})
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("phrase docs differ: %v vs %v", a, b)
+	}
+}
+
+func TestWriteToDeterministic(t *testing.T) {
+	ix := Build(tinyCorpus())
+	var a, b bytes.Buffer
+	if _, err := ix.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("serialization is not deterministic")
+	}
+}
+
+func TestReadFromRejectsCorrupt(t *testing.T) {
+	ix := Build(tinyCorpus())
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{name: "empty", data: nil},
+		{name: "wrong magic", data: append([]byte("NOTINDEX"), good[8:]...)},
+		{name: "truncated header", data: good[:9]},
+		{name: "truncated body", data: good[:len(good)-3]},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadFrom(bytes.NewReader(tt.data)); !errors.Is(err, ErrBadIndexFile) {
+				t.Errorf("err = %v, want ErrBadIndexFile", err)
+			}
+		})
+	}
+}
+
+func TestReadFromRejectsImplausibleSizes(t *testing.T) {
+	// magic + numDocs=2^40 -> implausible.
+	data := append([]byte{}, indexMagic...)
+	data = append(data, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01) // huge uvarint
+	data = append(data, 0x01)
+	if _, err := ReadFrom(bytes.NewReader(data)); !errors.Is(err, ErrBadIndexFile) {
+		t.Errorf("err = %v, want ErrBadIndexFile", err)
+	}
+}

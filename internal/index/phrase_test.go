@@ -1,0 +1,129 @@
+package index
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"thematicep/internal/corpus"
+)
+
+// phraseCorpus builds documents from space-separated token strings.
+func phraseCorpus(docs ...string) *corpus.Corpus {
+	c := &corpus.Corpus{}
+	for i, d := range docs {
+		c.Docs = append(c.Docs, corpus.Document{
+			ID:     int32(i),
+			Tokens: strings.Fields(d),
+		})
+	}
+	return c
+}
+
+func TestPhraseDocs(t *testing.T) {
+	ix := Build(phraseCorpus(
+		"land transport policy",    // 0: phrase at start
+		"policy on land transport", // 1: phrase at end
+		"land of transport",        // 2: tokens present, not adjacent
+		"transport land",           // 3: wrong order
+		"x land transport y",       // 4: phrase mid-document
+		"land land transport",      // 5: repeated anchor token
+		"transport land transport", // 6: phrase present after false start
+		"unrelated words only",     // 7: neither token
+		"land",                     // 8: only first token
+	))
+	tests := []struct {
+		name   string
+		phrase []string
+		want   []int32
+	}{
+		{name: "two tokens", phrase: []string{"land", "transport"}, want: []int32{0, 1, 4, 5, 6}},
+		{name: "single token", phrase: []string{"land"}, want: []int32{0, 1, 2, 3, 4, 5, 6, 8}},
+		{name: "three tokens", phrase: []string{"land", "transport", "policy"}, want: []int32{0}},
+		{name: "absent token", phrase: []string{"land", "zzz"}, want: nil},
+		{name: "empty", phrase: nil, want: nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := ix.PhraseDocs(tt.phrase)
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("PhraseDocs(%v) = %v, want %v", tt.phrase, got, tt.want)
+			}
+		})
+	}
+}
+
+// Property: PhraseDocs agrees with a naive substring scan over random
+// documents built from a tiny alphabet (which maximizes adjacency
+// collisions).
+func TestPhraseDocsMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	alphabet := []string{"a", "b", "c", "d"}
+	for trial := 0; trial < 50; trial++ {
+		var docs []string
+		for d := 0; d < 12; d++ {
+			n := 1 + rng.Intn(12)
+			toks := make([]string, n)
+			for i := range toks {
+				toks[i] = alphabet[rng.Intn(len(alphabet))]
+			}
+			docs = append(docs, strings.Join(toks, " "))
+		}
+		ix := Build(phraseCorpus(docs...))
+
+		phraseLen := 1 + rng.Intn(3)
+		phrase := make([]string, phraseLen)
+		for i := range phrase {
+			phrase[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+
+		var want []int32
+		needle := " " + strings.Join(phrase, " ") + " "
+		for d, doc := range docs {
+			if strings.Contains(" "+doc+" ", needle) {
+				want = append(want, int32(d))
+			}
+		}
+		got := ix.PhraseDocs(phrase)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: phrase %v over %v\n got %v\n want %v",
+				trial, phrase, docs, got, want)
+		}
+	}
+}
+
+// The rarest-token anchor must not change results: force different anchors
+// by frequency skew.
+func TestPhraseDocsAnchorChoice(t *testing.T) {
+	// "common" appears in many docs, "rare" in one: anchor should be rare,
+	// but the result must be the same either way.
+	ix := Build(phraseCorpus(
+		"common common common",
+		"common rare common",
+		"rare common", // wrong order for "common rare"
+		"common",
+	))
+	got := ix.PhraseDocs([]string{"common", "rare"})
+	if !reflect.DeepEqual(got, []int32{1}) {
+		t.Errorf("PhraseDocs = %v, want [1]", got)
+	}
+	// "rare common" occurs both inside "common rare common" and in doc 2.
+	got = ix.PhraseDocs([]string{"rare", "common"})
+	if !reflect.DeepEqual(got, []int32{1, 2}) {
+		t.Errorf("PhraseDocs = %v, want [1 2]", got)
+	}
+}
+
+// Repeated tokens inside a phrase ("energy energy") must require genuinely
+// consecutive occurrences.
+func TestPhraseDocsRepeatedToken(t *testing.T) {
+	ix := Build(phraseCorpus(
+		"energy energy saving",
+		"energy saving energy",
+	))
+	got := ix.PhraseDocs([]string{"energy", "energy"})
+	if !reflect.DeepEqual(got, []int32{0}) {
+		t.Errorf("PhraseDocs(energy energy) = %v, want [0]", got)
+	}
+}

@@ -1,0 +1,200 @@
+// Package matcher implements the paper's primary contribution: the
+// approximate probabilistic thematic event matcher M of §3.5 and Fig. 4.
+//
+// Given a subscription s with theme ths and an event e with theme the, the
+// matcher:
+//
+//  1. builds the combined attribute/value similarity matrix using the
+//     parametric semantic measure sm(ths, ·, the, ·) for ~-relaxed parts and
+//     exact comparison for the rest;
+//  2. finds the top-1 mapping σ* — the maximum-probability injective mapping
+//     of predicates to tuples — or the top-k mappings (Murty enumeration);
+//  3. attaches the probability spaces Pσ (per-correspondence, normalized
+//     over candidate tuples) and P (per-mapping, normalized over the
+//     enumerated mappings).
+//
+// Thematic and non-thematic modes differ only in whether themes reach the
+// semantic measure; the non-thematic mode is the paper's baseline (§5.2.5).
+package matcher
+
+import (
+	"math"
+
+	"thematicep/internal/assign"
+	"thematicep/internal/event"
+	"thematicep/internal/semantics"
+)
+
+// Correspondence is one predicate-to-tuple pairing inside a mapping, e.g.
+// (device~ = laptop~ ↔ device: computer).
+type Correspondence struct {
+	// Predicate indexes into the subscription's predicate list.
+	Predicate int
+	// Tuple indexes into the event's tuple list.
+	Tuple int
+	// Similarity is the combined attribute×value similarity in [0,1].
+	Similarity float64
+	// Probability is the correspondence probability within the predicate's
+	// probability space Pσ: Similarity normalized over all candidate tuples.
+	Probability float64
+}
+
+// Mapping is one mapping σ between a subscription and an event: exactly one
+// correspondence per predicate (§3.5).
+type Mapping struct {
+	Pairs []Correspondence
+	// Score is the product of the pair similarities in [0,1]. It is the
+	// matcher's relevance score for ranking events against a subscription.
+	Score float64
+	// Probability is the mapping's probability within the probability space
+	// P over the enumerated mappings. For a top-1 match it is the product of
+	// the correspondence probabilities; MatchTopK renormalizes it over the
+	// returned mappings.
+	Probability float64
+}
+
+// Matched reports whether the mapping clears the given score threshold;
+// a zero-score mapping never matches.
+func (m Mapping) Matched(threshold float64) bool {
+	return m.Score > 0 && m.Score >= threshold
+}
+
+// Option configures a Matcher.
+type Option interface {
+	apply(*options)
+}
+
+type options struct {
+	thematic bool
+}
+
+type thematicOption bool
+
+func (o thematicOption) apply(opts *options) { opts.thematic = bool(o) }
+
+// WithThematic selects thematic (default true) or non-thematic mode. In
+// non-thematic mode the measure sees no themes: the domain-independent esa
+// baseline of §5.2.5.
+func WithThematic(enabled bool) Option { return thematicOption(enabled) }
+
+// Matcher is the approximate semantic single-event matcher M. It is
+// stateless apart from the shared semantic space and safe for concurrent
+// use.
+type Matcher struct {
+	space *semantics.Space
+	opts  options
+}
+
+// New builds a matcher over a semantic space.
+func New(space *semantics.Space, opts ...Option) *Matcher {
+	o := options{thematic: true}
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	return &Matcher{space: space, opts: o}
+}
+
+// Thematic reports whether the matcher passes themes to the measure.
+func (m *Matcher) Thematic() bool { return m.opts.thematic }
+
+// SimilarityMatrix returns the combined attributes-values similarity matrix
+// between the subscription's predicates (rows) and the event's tuples
+// (columns), as in Fig. 4. Entry (i,j) is simAttr(i,j) * simValue(i,j),
+// where each factor is 1 for canonically equal terms, the parametric
+// semantic relatedness for ~-relaxed terms, and 0 for unequal exact terms.
+func (m *Matcher) SimilarityMatrix(s *event.Subscription, e *event.Event) [][]float64 {
+	return m.similarityMatrixPrepared(m.PrepareSubscription(s), m.PrepareEvent(e))
+}
+
+// termSimilarity compares one canonical subscription term against one
+// canonical event term. Canonically equal terms always have similarity 1
+// (even under ~: a term is maximally similar to itself). Without ~,
+// anything else is 0. With ~, the parametric semantic measure decides.
+func (m *Matcher) termSimilarity(subTerm string, approx bool, eventTerm string, subTheme, eventTheme *semantics.CompiledTheme) float64 {
+	if subTerm == eventTerm {
+		return 1
+	}
+	if !approx {
+		return 0
+	}
+	return m.space.RelatednessCompiled(subTerm, subTheme, eventTerm, eventTheme)
+}
+
+// Match runs the top-1 mode: the most probable mapping σ* between s and e.
+// ok is false when no feasible mapping exists (more predicates than tuples)
+// or the best mapping has zero score (some predicate matches no tuple at
+// all).
+func (m *Matcher) Match(s *event.Subscription, e *event.Event) (Mapping, bool) {
+	return m.MatchPrepared(m.PrepareSubscription(s), m.PrepareEvent(e))
+}
+
+// bestMappingHungarian solves the general case (more than three
+// predicates) with the Hungarian solver over log-similarities.
+func (m *Matcher) bestMappingHungarian(sim [][]float64) (Mapping, bool) {
+	sol, feasible := assign.Best(logWeights(sim))
+	if !feasible {
+		return Mapping{}, false
+	}
+	mp := m.mappingFromCols(sim, sol.Cols)
+	if mp.Score == 0 {
+		return Mapping{}, false
+	}
+	return mp, true
+}
+
+// MatchTopK runs the top-k mode: the k most probable mappings in
+// non-increasing score order, with Probability renormalized over the
+// returned set (the probability space P of Fig. 4). Producing top-k
+// mappings "increases the chance of hitting the correct mapping" [13]; they
+// feed complex event processing downstream.
+func (m *Matcher) MatchTopK(s *event.Subscription, e *event.Event, k int) []Mapping {
+	sim := m.SimilarityMatrix(s, e)
+	sols := assign.TopK(logWeights(sim), k)
+	var out []Mapping
+	total := 0.0
+	for _, sol := range sols {
+		mp := m.mappingFromCols(sim, sol.Cols)
+		if mp.Score == 0 {
+			continue // zero-probability mappings carry no information
+		}
+		total += mp.Score
+		out = append(out, mp)
+	}
+	for i := range out {
+		if total > 0 {
+			out[i].Probability = out[i].Score / total
+		}
+	}
+	return out
+}
+
+// Score is a convenience for ranking: the top-1 mapping score, 0 when no
+// feasible mapping exists.
+func (m *Matcher) Score(s *event.Subscription, e *event.Event) float64 {
+	mp, ok := m.Match(s, e)
+	if !ok {
+		return 0
+	}
+	return mp.Score
+}
+
+// logWeights converts similarities to log space so that the maximum-sum
+// assignment is the maximum-product mapping. Zero similarity becomes a
+// forbidden cell only if the whole row has an alternative; to keep the
+// assignment feasible when a predicate matches nothing (its score is then
+// 0), zeros map to a very negative but finite weight.
+func logWeights(sim [][]float64) [][]float64 {
+	const zeroLog = -1e9
+	out := make([][]float64, len(sim))
+	for i, row := range sim {
+		out[i] = make([]float64, len(row))
+		for j, v := range row {
+			if v <= 0 {
+				out[i][j] = zeroLog
+			} else {
+				out[i][j] = math.Log(v)
+			}
+		}
+	}
+	return out
+}

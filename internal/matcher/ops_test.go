@@ -1,0 +1,98 @@
+package matcher
+
+import (
+	"testing"
+
+	"thematicep/internal/event"
+)
+
+// Comparison predicates (the language extension beyond §3.4) combine with
+// semantic attribute relaxation: "temperature~ > 30" matches a tuple whose
+// attribute is semantically a temperature and whose value numerically
+// exceeds 30.
+func TestMatchWithComparisonPredicate(t *testing.T) {
+	m := New(space(t))
+	theme := []string{"environmental monitoring", "climate observation"}
+	sub := &event.Subscription{
+		Theme: theme,
+		Predicates: []event.Predicate{
+			{Attr: "temperature", Value: "30", Op: event.OpGt, ApproxAttr: true},
+		},
+	}
+	hot := &event.Event{
+		Theme: theme,
+		Tuples: []event.Tuple{
+			{Attr: "air temperature", Value: "35.5"},
+			{Attr: "city", Value: "galway"},
+		},
+	}
+	cold := &event.Event{
+		Theme: theme,
+		Tuples: []event.Tuple{
+			{Attr: "air temperature", Value: "12"},
+			{Attr: "city", Value: "galway"},
+		},
+	}
+	textual := &event.Event{
+		Theme: theme,
+		Tuples: []event.Tuple{
+			{Attr: "air temperature", Value: "very hot"},
+		},
+	}
+	if score := m.Score(sub, hot); score <= 0 {
+		t.Errorf("hot event did not match: %v", score)
+	}
+	if score := m.Score(sub, cold); score != 0 {
+		t.Errorf("cold event matched: %v", score)
+	}
+	if score := m.Score(sub, textual); score != 0 {
+		t.Errorf("non-numeric value matched a comparison: %v", score)
+	}
+}
+
+func TestMatchWithNeqPredicate(t *testing.T) {
+	m := New(space(t))
+	sub := &event.Subscription{
+		Predicates: []event.Predicate{
+			{Attr: "device", Value: "laptop", Op: event.OpNeq},
+			{Attr: "room", Value: "room 112"},
+		},
+	}
+	other := &event.Event{Tuples: []event.Tuple{
+		{Attr: "device", Value: "refrigerator"},
+		{Attr: "room", Value: "room 112"},
+	}}
+	same := &event.Event{Tuples: []event.Tuple{
+		{Attr: "device", Value: "laptop"},
+		{Attr: "room", Value: "room 112"},
+	}}
+	if score := m.Score(sub, other); score != 1 {
+		t.Errorf("!= with different value: score %v, want 1", score)
+	}
+	if score := m.Score(sub, same); score != 0 {
+		t.Errorf("!= with equal value matched: %v", score)
+	}
+}
+
+// The exact-semantics operators must behave identically under thematic and
+// non-thematic matchers: themes only affect the ~ relaxations.
+func TestOperatorsThemeInvariant(t *testing.T) {
+	s := space(t)
+	thematic := New(s)
+	nonThematic := New(s, WithThematic(false))
+	sub := &event.Subscription{
+		Theme: []string{"energy policy"},
+		Predicates: []event.Predicate{
+			{Attr: "reading", Value: "100", Op: event.OpGte},
+		},
+	}
+	ev := &event.Event{
+		Theme:  []string{"energy policy"},
+		Tuples: []event.Tuple{{Attr: "reading", Value: "150"}},
+	}
+	a := thematic.Score(sub, ev)
+	b := nonThematic.Score(sub, ev)
+	if a != b || a != 1 {
+		t.Errorf("operator scores differ or wrong: thematic %v, non %v", a, b)
+	}
+}

@@ -1,0 +1,216 @@
+package matcher
+
+import (
+	"thematicep/internal/event"
+	"thematicep/internal/semantics"
+	"thematicep/internal/text"
+)
+
+// PreparedSubscription caches a subscription's canonical terms and compiled
+// theme. Subscriptions are long-lived in a broker; preparing them once
+// removes canonicalization from the per-event hot path.
+type PreparedSubscription struct {
+	sub    *event.Subscription
+	theme  *semantics.CompiledTheme
+	attrs  []string // canonical predicate attributes
+	values []string // canonical predicate values
+}
+
+// Subscription returns the underlying subscription.
+func (p *PreparedSubscription) Subscription() *event.Subscription { return p.sub }
+
+// PreparedEvent caches an event's canonical terms and compiled theme. A
+// broker matches one event against many subscriptions; preparing it once
+// amortizes the canonicalization.
+type PreparedEvent struct {
+	ev     *event.Event
+	theme  *semantics.CompiledTheme
+	attrs  []string
+	values []string
+}
+
+// Event returns the underlying event.
+func (p *PreparedEvent) Event() *event.Event { return p.ev }
+
+// PrepareSubscription canonicalizes a subscription against this matcher's
+// space. The preparation is only valid for matchers sharing the space.
+func (m *Matcher) PrepareSubscription(s *event.Subscription) *PreparedSubscription {
+	p := &PreparedSubscription{
+		sub:    s,
+		attrs:  make([]string, len(s.Predicates)),
+		values: make([]string, len(s.Predicates)),
+	}
+	if m.opts.thematic {
+		p.theme = m.space.Compile(s.Theme)
+	}
+	for i, pred := range s.Predicates {
+		p.attrs[i] = text.Canonical(pred.Attr)
+		p.values[i] = text.Canonical(pred.Value)
+	}
+	return p
+}
+
+// PrepareEvent canonicalizes an event against this matcher's space.
+func (m *Matcher) PrepareEvent(e *event.Event) *PreparedEvent {
+	p := &PreparedEvent{
+		ev:     e,
+		attrs:  make([]string, len(e.Tuples)),
+		values: make([]string, len(e.Tuples)),
+	}
+	if m.opts.thematic {
+		p.theme = m.space.Compile(e.Theme)
+	}
+	for j, t := range e.Tuples {
+		p.attrs[j] = text.Canonical(t.Attr)
+		p.values[j] = text.Canonical(t.Value)
+	}
+	return p
+}
+
+// similarityMatrixPrepared fills sim (reused when capacities allow) with
+// the combined similarities between prepared subscription and event.
+func (m *Matcher) similarityMatrixPrepared(ps *PreparedSubscription, pe *PreparedEvent) [][]float64 {
+	n, mm := len(ps.attrs), len(pe.attrs)
+	sim := make([][]float64, n)
+	cells := make([]float64, n*mm)
+	for i := range sim {
+		sim[i] = cells[i*mm : (i+1)*mm]
+		pred := ps.sub.Predicates[i]
+		for j := 0; j < mm; j++ {
+			attrSim := m.termSimilarity(ps.attrs[i], pred.ApproxAttr, pe.attrs[j], ps.theme, pe.theme)
+			if attrSim == 0 {
+				continue
+			}
+			var valueSim float64
+			if pred.Op == event.OpEq {
+				valueSim = m.termSimilarity(ps.values[i], pred.ApproxValue, pe.values[j], ps.theme, pe.theme)
+			} else if event.EvalOp(pred.Op, pe.ev.Tuples[j].Value, pred.Value) {
+				// Comparison predicates (an extension beyond §3.4) are
+				// exact: they contribute 1 when satisfied and 0 otherwise.
+				// Raw values, not canonical ones, preserve decimals.
+				valueSim = 1
+			}
+			sim[i][j] = attrSim * valueSim
+		}
+	}
+	return sim
+}
+
+// MatchPrepared is Match over prepared inputs.
+func (m *Matcher) MatchPrepared(ps *PreparedSubscription, pe *PreparedEvent) (Mapping, bool) {
+	sim := m.similarityMatrixPrepared(ps, pe)
+	return m.bestMapping(sim)
+}
+
+// ScorePrepared is Score over prepared inputs.
+func (m *Matcher) ScorePrepared(ps *PreparedSubscription, pe *PreparedEvent) float64 {
+	mp, ok := m.MatchPrepared(ps, pe)
+	if !ok {
+		return 0
+	}
+	return mp.Score
+}
+
+// bestMapping finds the top-1 mapping for a similarity matrix, using an
+// exhaustive product maximization for the common small predicate counts and
+// the Hungarian solver beyond.
+func (m *Matcher) bestMapping(sim [][]float64) (Mapping, bool) {
+	n := len(sim)
+	if n == 0 {
+		return Mapping{}, false
+	}
+	mm := len(sim[0])
+	if n > mm {
+		return Mapping{}, false
+	}
+	if n <= 3 {
+		cols, score := bestSmall(sim)
+		if score <= 0 {
+			return Mapping{}, false
+		}
+		return m.mappingFromCols(sim, cols), true
+	}
+	return m.bestMappingHungarian(sim)
+}
+
+// bestSmall exhaustively maximizes the similarity product for n <= 3
+// predicates; returns score 0 when no positive-product assignment exists.
+func bestSmall(sim [][]float64) ([]int, float64) {
+	n, m := len(sim), len(sim[0])
+	best := 0.0
+	var bestCols []int
+	switch n {
+	case 1:
+		bj := -1
+		for j := 0; j < m; j++ {
+			if sim[0][j] > best {
+				best = sim[0][j]
+				bj = j
+			}
+		}
+		if bj >= 0 {
+			bestCols = []int{bj}
+		}
+	case 2:
+		for j := 0; j < m; j++ {
+			if sim[0][j] == 0 {
+				continue
+			}
+			for k := 0; k < m; k++ {
+				if k == j {
+					continue
+				}
+				if p := sim[0][j] * sim[1][k]; p > best {
+					best = p
+					bestCols = []int{j, k}
+				}
+			}
+		}
+	case 3:
+		for j := 0; j < m; j++ {
+			if sim[0][j] == 0 {
+				continue
+			}
+			for k := 0; k < m; k++ {
+				if k == j || sim[1][k] == 0 {
+					continue
+				}
+				pjk := sim[0][j] * sim[1][k]
+				for l := 0; l < m; l++ {
+					if l == j || l == k {
+						continue
+					}
+					if p := pjk * sim[2][l]; p > best {
+						best = p
+						bestCols = []int{j, k, l}
+					}
+				}
+			}
+		}
+	}
+	return bestCols, best
+}
+
+// mappingFromCols assembles a Mapping from an explicit column choice.
+func (m *Matcher) mappingFromCols(sim [][]float64, cols []int) Mapping {
+	mp := Mapping{
+		Pairs: make([]Correspondence, len(cols)),
+		Score: 1,
+	}
+	prob := 1.0
+	for i, j := range cols {
+		rowSum := 0.0
+		for _, v := range sim[i] {
+			rowSum += v
+		}
+		p := 0.0
+		if rowSum > 0 {
+			p = sim[i][j] / rowSum
+		}
+		mp.Pairs[i] = Correspondence{Predicate: i, Tuple: j, Similarity: sim[i][j], Probability: p}
+		mp.Score *= sim[i][j]
+		prob *= p
+	}
+	mp.Probability = prob
+	return mp
+}

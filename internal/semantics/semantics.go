@@ -1,0 +1,489 @@
+// Package semantics implements the paper's distributional-semantics
+// substrate: an ESA-style semantic measure over a corpus index (§3.1) and
+// the Parametric Vector Space Model with thematic projection (§4, Fig. 5,
+// Algorithm 1).
+//
+// The central operation is the parametric semantic measure
+//
+//	sm : T × 2^TH × T × 2^TH → [0,1]
+//
+// (§4.3): given a subscription term and an event term, each with its theme
+// tags, project both terms into their thematic subspaces (Algorithm 1),
+// measure the Euclidean distance of the projections (Eq. 5), and map to
+// relatedness 1/(d+1) (Eq. 6). Empty themes select the full, non-thematic
+// space, which is exactly the paper's non-thematic baseline measure.
+package semantics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"thematicep/internal/index"
+	"thematicep/internal/sparse"
+	"thematicep/internal/text"
+)
+
+// Distance selects the vector distance used by the measure.
+type Distance int
+
+// Supported distances. The paper's Eq. 5 uses Euclidean over the projected
+// vectors (applied here to L2-normalized projections, see Relatedness);
+// §3.1 names cosine as the other standard choice, exercised by the distance
+// ablation (DESIGN.md §4).
+const (
+	Euclidean Distance = iota + 1
+	Cosine
+)
+
+// Option configures a Space.
+type Option interface {
+	apply(*options)
+}
+
+type options struct {
+	distance     Distance
+	recomputeIDF bool
+	caching      bool
+	scoreCache   bool
+}
+
+type distanceOption Distance
+
+func (d distanceOption) apply(o *options) { o.distance = Distance(d) }
+
+// WithDistance selects the distance function (default Euclidean).
+func WithDistance(d Distance) Option { return distanceOption(d) }
+
+type recomputeIDFOption bool
+
+func (r recomputeIDFOption) apply(o *options) { o.recomputeIDF = bool(r) }
+
+// WithIDFRecompute enables or disables the idf recomputation of Algorithm 1
+// lines 8-10 (default enabled). Disabling it keeps the full-space weights
+// after basis filtering; it exists for the ablation benches.
+func WithIDFRecompute(enabled bool) Option { return recomputeIDFOption(enabled) }
+
+type cachingOption bool
+
+func (c cachingOption) apply(o *options) { o.caching = bool(c) }
+
+// WithCaching enables or disables the term-vector, basis, and projection
+// caches (default enabled) — the engineering the paper's §5.3.2 calls
+// "caching and indexing techniques".
+func WithCaching(enabled bool) Option { return cachingOption(enabled) }
+
+type scoreCacheOption bool
+
+func (c scoreCacheOption) apply(o *options) { o.scoreCache = bool(c) }
+
+// WithScoreCache enables memoization of pairwise relatedness scores
+// (default disabled). The paper's normal matcher computes relatedness at
+// match time; its "precomputed esa scores" configuration (§5, the ~91,000
+// ev/s result) corresponds to enabling this and calling PrecomputeScores.
+func WithScoreCache(enabled bool) Option { return scoreCacheOption(enabled) }
+
+// Space is a parametric distributional vector space over an index. It is
+// safe for concurrent use.
+type Space struct {
+	ix   *index.Index
+	opts options
+
+	mu         sync.Mutex
+	termVecs   map[string]sparse.Vector  // full-space term vectors
+	themeBases map[string][]int32        // theme key -> basis doc ids
+	projVecs   map[string]sparse.Vector  // term "\x00" theme id -> projection
+	scores     map[string]float64        // sm() memo
+	themesRaw  map[string]*CompiledTheme // raw joined tags -> compiled theme
+	themesKey  map[string]*CompiledTheme // canonical key -> compiled theme
+}
+
+// CompiledTheme is a resolved theme tag set: its canonical key plus a short
+// interned id used in hot-path cache keys. Compile once per subscription or
+// event and reuse; the zero of themes (nil) means the full space.
+type CompiledTheme struct {
+	// Key is the canonical theme key (ThemeKey of the tags).
+	Key string
+	// Tags are the original tags.
+	Tags []string
+
+	id string // short interned id, stable within one Space
+}
+
+// NewSpace builds a Space over ix.
+func NewSpace(ix *index.Index, opts ...Option) *Space {
+	o := options{
+		distance:     Euclidean,
+		recomputeIDF: true,
+		caching:      true,
+	}
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	return &Space{
+		ix:         ix,
+		opts:       o,
+		termVecs:   make(map[string]sparse.Vector),
+		themeBases: make(map[string][]int32),
+		projVecs:   make(map[string]sparse.Vector),
+		scores:     make(map[string]float64),
+		themesRaw:  make(map[string]*CompiledTheme),
+		themesKey:  make(map[string]*CompiledTheme),
+	}
+}
+
+// Compile resolves a theme tag set once, memoized by the raw joined tags.
+// Relatedness sits on the matching hot path and is called with the same
+// theme slices for every event; recanonicalizing, sorting, and embedding
+// full theme keys into cache keys on every call would dominate matching
+// time. Compile(nil) returns nil: the full space.
+func (s *Space) Compile(theme []string) *CompiledTheme {
+	if len(theme) == 0 {
+		return nil
+	}
+	raw := strings.Join(theme, "\x01")
+	s.mu.Lock()
+	if t, ok := s.themesRaw[raw]; ok {
+		s.mu.Unlock()
+		return t
+	}
+	s.mu.Unlock()
+
+	key := ThemeKey(theme)
+	s.mu.Lock()
+	t, ok := s.themesKey[key]
+	if !ok {
+		t = &CompiledTheme{
+			Key:  key,
+			Tags: append([]string(nil), theme...),
+			id:   "t" + itoa(len(s.themesKey)),
+		}
+		s.themesKey[key] = t
+	}
+	s.themesRaw[raw] = t
+	s.mu.Unlock()
+	return t
+}
+
+// itoa is a minimal non-negative integer formatter (avoids strconv on the
+// compile path; compile volume is tiny but keep it dependency-light).
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Index returns the underlying inverted index.
+func (s *Space) Index() *index.Index { return s.ix }
+
+// TermVector returns the full-space distributional vector of a (possibly
+// multi-word) term: the sum of its tokens' TF/IDF vectors (Eq. 1/4).
+func (s *Space) TermVector(term string) sparse.Vector {
+	key := text.Canonical(term)
+	if s.opts.caching {
+		s.mu.Lock()
+		v, ok := s.termVecs[key]
+		s.mu.Unlock()
+		if ok {
+			return v
+		}
+	}
+	v := s.termVector(key)
+	if s.opts.caching {
+		s.mu.Lock()
+		s.termVecs[key] = v
+		s.mu.Unlock()
+	}
+	return v
+}
+
+func (s *Space) termVector(canonical string) sparse.Vector {
+	var v sparse.Vector
+	for _, tok := range text.Tokenize(canonical) {
+		tv := s.ix.Vector(tok)
+		if tv.IsZero() {
+			continue
+		}
+		if v.IsZero() {
+			v = tv
+		} else {
+			v = sparse.Add(v, tv)
+		}
+	}
+	return v
+}
+
+// ThemeKey returns the canonical cache key of a theme tag set. Tag order
+// and duplicates do not matter.
+func ThemeKey(theme []string) string {
+	if len(theme) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(theme))
+	seen := make(map[string]bool, len(theme))
+	for _, tag := range theme {
+		k := text.Canonical(tag)
+		if k == "" || seen[k] {
+			continue
+		}
+		seen[k] = true
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "|")
+}
+
+// ThemeBasis returns the thematic basis of a theme tag set: the sorted
+// document ids where the theme's distributional vector is non-zero
+// (Fig. 5 steps 2-3). An empty theme yields a nil basis, meaning the full
+// space.
+func (s *Space) ThemeBasis(theme []string) []int32 {
+	return s.basisOf(s.Compile(theme))
+}
+
+func (s *Space) basisOf(t *CompiledTheme) []int32 {
+	if t == nil {
+		return nil
+	}
+	s.mu.Lock()
+	b, ok := s.themeBases[t.Key]
+	s.mu.Unlock()
+	if ok {
+		return b
+	}
+	b = s.themeBasis(t.Key)
+	s.mu.Lock()
+	s.themeBases[t.Key] = b
+	s.mu.Unlock()
+	return b
+}
+
+func (s *Space) themeBasis(themeKey string) []int32 {
+	set := make(map[int32]struct{})
+	for _, tag := range strings.Split(themeKey, "|") {
+		// A multi-word tag selects the documents containing its phrase, not
+		// every document mentioning one of its words: "land transport" must
+		// not pull in every "land" document.
+		for _, d := range s.ix.PhraseDocs(text.Tokenize(tag)) {
+			set[d] = struct{}{}
+		}
+	}
+	basis := make([]int32, 0, len(set))
+	for d := range set {
+		basis = append(basis, d)
+	}
+	sort.Slice(basis, func(i, j int) bool { return basis[i] < basis[j] })
+	return basis
+}
+
+// Project implements Algorithm 1: the thematic projection of term given the
+// theme tag set. Components outside the thematic basis are zeroed; weights
+// inside the basis are recomputed with the basis-relative idf
+// (lines 8-10). An empty theme returns the full-space vector.
+func (s *Space) Project(term string, theme []string) sparse.Vector {
+	return s.ProjectCompiled(text.Canonical(term), s.Compile(theme))
+}
+
+// ProjectCompiled is Project for pre-canonicalized terms and compiled
+// themes — the matching hot path.
+func (s *Space) ProjectCompiled(termKey string, t *CompiledTheme) sparse.Vector {
+	if t == nil {
+		return s.TermVector(termKey)
+	}
+	cacheKey := termKey + "\x00" + t.id
+	if s.opts.caching {
+		s.mu.Lock()
+		v, ok := s.projVecs[cacheKey]
+		s.mu.Unlock()
+		if ok {
+			return v
+		}
+	}
+	v := s.project(termKey, t)
+	if s.opts.caching {
+		s.mu.Lock()
+		s.projVecs[cacheKey] = v
+		s.mu.Unlock()
+	}
+	return v
+}
+
+func (s *Space) project(termKey string, t *CompiledTheme) sparse.Vector {
+	basis := s.basisOf(t)
+	if len(basis) == 0 {
+		// The theme selects nothing: the space is filtered completely
+		// (the paper's "rare terms" outlier case, §5.3.2).
+		return sparse.Vector{}
+	}
+	inBasis := func(doc int32) bool {
+		i := sort.Search(len(basis), func(i int) bool { return basis[i] >= doc })
+		return i < len(basis) && basis[i] == doc
+	}
+	var out sparse.Vector
+	for _, tok := range text.Tokenize(termKey) {
+		ps := s.ix.Postings(tok)
+		if len(ps) == 0 {
+			continue
+		}
+		// df of tok inside the basis.
+		dfB := 0
+		for _, p := range ps {
+			if inBasis(p.Doc) {
+				dfB++
+			}
+		}
+		if dfB == 0 {
+			// No occurrence in the subspace.
+			continue
+		}
+		// Add-one-smoothed basis idf: a token present in every basis
+		// document is heavily down-weighted but not annihilated — without
+		// smoothing, a term naming its own theme ("energy consumption"
+		// under an energy theme) would lose its dominant token entirely and
+		// degrade into residual noise.
+		idfB := math.Log(float64(len(basis)+1) / float64(dfB))
+		ids := make([]int32, 0, dfB)
+		weights := make([]float64, 0, dfB)
+		for _, p := range ps {
+			if inBasis(p.Doc) {
+				ids = append(ids, p.Doc)
+				weights = append(weights, p.TF*idfB)
+			}
+		}
+		tv := sparse.New(ids, weights)
+		if out.IsZero() {
+			out = tv
+		} else {
+			out = sparse.Add(out, tv)
+		}
+	}
+	if !s.opts.recomputeIDF {
+		// Ablation mode: basis filtering only, full-space weights.
+		return sparse.Mask(s.termVector(termKey), basis)
+	}
+	return out
+}
+
+// Relatedness is the parametric semantic measure sm(ths, ts, the, te)
+// (§4.3): thematic projections of both terms, distance (Eq. 5), relatedness
+// (Eq. 6). Passing nil themes measures in the full space (non-thematic
+// mode). Two completely filtered (zero) projections yield 0: the subspace
+// offers no evidence of relatedness.
+func (s *Space) Relatedness(subTerm string, subTheme []string, eventTerm string, eventTheme []string) float64 {
+	return s.RelatednessCompiled(text.Canonical(subTerm), s.Compile(subTheme),
+		text.Canonical(eventTerm), s.Compile(eventTheme))
+}
+
+// RelatednessCompiled is Relatedness for pre-canonicalized terms and
+// compiled themes — the matching hot path.
+func (s *Space) RelatednessCompiled(subTerm string, subTheme *CompiledTheme, eventTerm string, eventTheme *CompiledTheme) float64 {
+	var cacheKey string
+	if s.opts.scoreCache {
+		cacheKey = subTerm + "\x00" + themeID(subTheme) + "\x00" +
+			eventTerm + "\x00" + themeID(eventTheme)
+		s.mu.Lock()
+		r, ok := s.scores[cacheKey]
+		s.mu.Unlock()
+		if ok {
+			return r
+		}
+	}
+	a := s.ProjectCompiled(subTerm, subTheme)
+	b := s.ProjectCompiled(eventTerm, eventTheme)
+	var r float64
+	switch {
+	case a.IsZero() || b.IsZero():
+		// A completely filtered projection offers no evidence of meaning
+		// (the paper's "rare terms ... cause the space to be filtered
+		// completely", §5.3.2); without this rule a zero vector would be
+		// spuriously "close" to everything under Euclidean distance.
+		r = 0
+	case s.opts.distance == Euclidean:
+		// Distance is measured between L2-normalized projections: Eq. 5 on
+		// unit vectors. Normalization makes the measure scale-invariant, so
+		// high-frequency terms with long tf-idf vectors are not penalized
+		// against short ones (a known artifact of raw Euclidean over VSMs).
+		a = sparse.Scale(a, 1/a.Norm())
+		b = sparse.Scale(b, 1/b.Norm())
+		r = 1 / (sparse.Euclidean(a, b) + 1)
+	default:
+		r = sparse.Cosine(a, b)
+	}
+	if s.opts.scoreCache {
+		s.mu.Lock()
+		s.scores[cacheKey] = r
+		s.mu.Unlock()
+	}
+	return r
+}
+
+// NonThematicRelatedness measures relatedness in the full space: the
+// domain-independent esa of the paper's baseline (§5.2.5).
+func (s *Space) NonThematicRelatedness(a, b string) float64 {
+	return s.Relatedness(a, nil, b, nil)
+}
+
+// PrecomputeScores enables the score cache and fills it with all pairwise
+// non-thematic relatedness values between subscription terms and event
+// terms. It reproduces the "precomputed esa scores" configuration of the
+// prior-work comparison (§5, experiment E8): after precomputation, matching
+// those pairs never touches vectors.
+func (s *Space) PrecomputeScores(subTerms, eventTerms []string) {
+	s.opts.scoreCache = true
+	for _, a := range subTerms {
+		for _, b := range eventTerms {
+			s.NonThematicRelatedness(a, b)
+		}
+	}
+}
+
+// PrecomputeProjections warms the projection cache for every (term, theme)
+// pair — the paper's "building an efficient indexing for thematic
+// projection" future-work item (§7): a broker that knows its subscription
+// and event themes ahead of time projects its vocabulary up front and pays
+// only distance computation at match time.
+func (s *Space) PrecomputeProjections(terms []string, themes ...[]string) {
+	for _, theme := range themes {
+		t := s.Compile(theme)
+		for _, term := range terms {
+			s.ProjectCompiled(text.Canonical(term), t)
+		}
+	}
+}
+
+// CacheStats reports cache entry counts (term vectors, theme bases,
+// projections, scores) for observability and cold-start experiments.
+func (s *Space) CacheStats() (termVecs, themeBases, projections, scores int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.termVecs), len(s.themeBases), len(s.projVecs), len(s.scores)
+}
+
+// ResetCaches drops every cache. Cold-start experiments (§7 future work)
+// use it to measure first-event latency.
+func (s *Space) ResetCaches() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.termVecs = make(map[string]sparse.Vector)
+	s.themeBases = make(map[string][]int32)
+	s.projVecs = make(map[string]sparse.Vector)
+	s.scores = make(map[string]float64)
+}
+
+// themeID returns the interned id of a compiled theme ("" for the full
+// space).
+func themeID(t *CompiledTheme) string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}

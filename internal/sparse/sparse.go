@@ -1,0 +1,218 @@
+// Package sparse implements the sparse weighted vectors used by the
+// distributional vector space model (paper §4.1).
+//
+// A term is represented as a weighted vector over document dimensions
+// (Eq. 1). Only non-zero components are stored, matching the paper's note
+// that projection runs in O(|V|) when only non-zero components are kept.
+// Document ids are dense small integers assigned by the index, so vectors
+// are stored as parallel sorted slices rather than maps: this keeps distance
+// computation allocation-free and cache-friendly on the matching hot path.
+package sparse
+
+import (
+	"math"
+	"sort"
+)
+
+// Vector is a sparse vector: sorted unique dimension ids with parallel
+// weights. The zero value is the empty (all-zero) vector and is ready to use.
+type Vector struct {
+	ids     []int32
+	weights []float64
+}
+
+// New builds a Vector from parallel id/weight slices. The input need not be
+// sorted; ids must be unique. New copies both slices.
+func New(ids []int32, weights []float64) Vector {
+	if len(ids) != len(weights) {
+		panic("sparse: ids and weights length mismatch")
+	}
+	v := Vector{
+		ids:     append([]int32(nil), ids...),
+		weights: append([]float64(nil), weights...),
+	}
+	sort.Sort(&v)
+	return v
+}
+
+// FromMap builds a Vector from a dimension→weight map, dropping zero weights.
+func FromMap(m map[int32]float64) Vector {
+	ids := make([]int32, 0, len(m))
+	for id, w := range m {
+		if w != 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	weights := make([]float64, len(ids))
+	for i, id := range ids {
+		weights[i] = m[id]
+	}
+	return Vector{ids: ids, weights: weights}
+}
+
+// Len implements sort.Interface together with Less and Swap.
+func (v *Vector) Len() int { return len(v.ids) }
+
+// Less implements sort.Interface.
+func (v *Vector) Less(i, j int) bool { return v.ids[i] < v.ids[j] }
+
+// Swap implements sort.Interface.
+func (v *Vector) Swap(i, j int) {
+	v.ids[i], v.ids[j] = v.ids[j], v.ids[i]
+	v.weights[i], v.weights[j] = v.weights[j], v.weights[i]
+}
+
+// NNZ returns the number of non-zero components.
+func (v Vector) NNZ() int { return len(v.ids) }
+
+// IsZero reports whether the vector has no non-zero components.
+func (v Vector) IsZero() bool { return len(v.ids) == 0 }
+
+// Dims returns a copy of the non-zero dimension ids in ascending order.
+func (v Vector) Dims() []int32 { return append([]int32(nil), v.ids...) }
+
+// Weight returns the weight of dimension id (0 if absent).
+func (v Vector) Weight(id int32) float64 {
+	i := sort.Search(len(v.ids), func(i int) bool { return v.ids[i] >= id })
+	if i < len(v.ids) && v.ids[i] == id {
+		return v.weights[i]
+	}
+	return 0
+}
+
+// Range calls fn for each non-zero component in ascending id order.
+func (v Vector) Range(fn func(id int32, w float64)) {
+	for i, id := range v.ids {
+		fn(id, v.weights[i])
+	}
+}
+
+// Norm returns the Euclidean (L2) norm.
+func (v Vector) Norm() float64 {
+	var s float64
+	for _, w := range v.weights {
+		s += w * w
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b Vector) float64 {
+	var (
+		s    float64
+		i, j int
+	)
+	for i < len(a.ids) && j < len(b.ids) {
+		switch {
+		case a.ids[i] == b.ids[j]:
+			s += a.weights[i] * b.weights[j]
+			i++
+			j++
+		case a.ids[i] < b.ids[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return s
+}
+
+// Euclidean returns the L2 distance between a and b (paper Eq. 5).
+func Euclidean(a, b Vector) float64 {
+	var (
+		s    float64
+		i, j int
+	)
+	for i < len(a.ids) && j < len(b.ids) {
+		switch {
+		case a.ids[i] == b.ids[j]:
+			d := a.weights[i] - b.weights[j]
+			s += d * d
+			i++
+			j++
+		case a.ids[i] < b.ids[j]:
+			s += a.weights[i] * a.weights[i]
+			i++
+		default:
+			s += b.weights[j] * b.weights[j]
+			j++
+		}
+	}
+	for ; i < len(a.ids); i++ {
+		s += a.weights[i] * a.weights[i]
+	}
+	for ; j < len(b.ids); j++ {
+		s += b.weights[j] * b.weights[j]
+	}
+	return math.Sqrt(s)
+}
+
+// Cosine returns the cosine similarity of a and b in [0,1] for non-negative
+// weights; 0 when either vector is zero. Used by the distance-function
+// ablation (DESIGN.md §4).
+func Cosine(a, b Vector) float64 {
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// Mask returns the components of v whose dimension ids appear in basis.
+// It is the projection primitive: Algorithm 1 zeroes components outside the
+// thematic basis. The basis must be sorted ascending.
+func Mask(v Vector, basis []int32) Vector {
+	var (
+		ids     []int32
+		weights []float64
+		i, j    int
+	)
+	for i < len(v.ids) && j < len(basis) {
+		switch {
+		case v.ids[i] == basis[j]:
+			ids = append(ids, v.ids[i])
+			weights = append(weights, v.weights[i])
+			i++
+			j++
+		case v.ids[i] < basis[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return Vector{ids: ids, weights: weights}
+}
+
+// Scale returns v with every weight multiplied by f.
+func Scale(v Vector, f float64) Vector {
+	out := Vector{
+		ids:     append([]int32(nil), v.ids...),
+		weights: make([]float64, len(v.weights)),
+	}
+	for i, w := range v.weights {
+		out.weights[i] = w * f
+	}
+	return out
+}
+
+// Add returns a + b.
+func Add(a, b Vector) Vector {
+	m := make(map[int32]float64, a.NNZ()+b.NNZ())
+	a.Range(func(id int32, w float64) { m[id] += w })
+	b.Range(func(id int32, w float64) { m[id] += w })
+	return FromMap(m)
+}
+
+// Equal reports whether a and b have identical non-zero components.
+func Equal(a, b Vector) bool {
+	if len(a.ids) != len(b.ids) {
+		return false
+	}
+	for i := range a.ids {
+		if a.ids[i] != b.ids[i] || a.weights[i] != b.weights[i] {
+			return false
+		}
+	}
+	return true
+}

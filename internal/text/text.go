@@ -1,0 +1,106 @@
+// Package text provides tokenization and term normalization shared by the
+// corpus generator, the inverted index, and the event model.
+//
+// The paper (§4.1) tokenizes documents into terms and removes stop words
+// before indexing. Events and subscriptions use single-word or multi-word
+// terms (§3.3); multi-word terms are normalized to an ordered bag of tokens
+// so that "increased energy consumption event" and "energy consumption"
+// share the tokens "energy" and "consumption".
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// stopWords is a compact English stop-word list. It intentionally covers the
+// closed-class words that would otherwise dominate document frequency; the
+// evaluation vocabulary (sensor capabilities, thesaurus concepts) is open
+// class and unaffected.
+var stopWords = map[string]struct{}{
+	"a": {}, "an": {}, "and": {}, "are": {}, "as": {}, "at": {}, "be": {},
+	"but": {}, "by": {}, "for": {}, "from": {}, "has": {}, "have": {},
+	"he": {}, "her": {}, "his": {}, "if": {}, "in": {}, "into": {}, "is": {},
+	"it": {}, "its": {}, "not": {}, "of": {}, "on": {}, "or": {}, "she": {},
+	"such": {}, "that": {}, "the": {}, "their": {}, "then": {}, "there": {},
+	"these": {}, "they": {}, "this": {}, "to": {}, "was": {}, "were": {},
+	"which": {}, "while": {}, "will": {}, "with": {}, "we": {}, "you": {},
+	"i": {}, "our": {}, "us": {}, "them": {}, "than": {}, "so": {}, "also": {},
+	"can": {}, "may": {}, "more": {}, "most": {}, "other": {}, "some": {},
+	"any": {}, "each": {}, "both": {}, "over": {}, "under": {}, "between": {},
+	"about": {}, "after": {}, "before": {}, "during": {}, "through": {},
+	"when": {}, "where": {}, "how": {}, "all": {}, "no": {}, "nor": {},
+	"only": {}, "own": {}, "same": {}, "too": {}, "very": {}, "just": {},
+	"do": {}, "does": {}, "did": {}, "been": {}, "being": {}, "had": {},
+	"having": {}, "would": {}, "should": {}, "could": {}, "here": {},
+	"up": {}, "down": {}, "out": {}, "off": {}, "again": {}, "once": {},
+}
+
+// IsStopWord reports whether the normalized token is an English stop word.
+func IsStopWord(tok string) bool {
+	_, ok := stopWords[tok]
+	return ok
+}
+
+// Normalize lower-cases a raw token and strips leading/trailing
+// non-alphanumeric runes. It returns "" if nothing survives.
+func Normalize(tok string) string {
+	tok = strings.ToLower(tok)
+	tok = strings.TrimFunc(tok, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+	return tok
+}
+
+// Tokenize splits s into normalized, stop-word-filtered tokens.
+// Splitting happens on any rune that is neither a letter nor a digit, so
+// "energy_consumption-event" yields {"energy", "consumption", "event"}.
+func Tokenize(s string) []string {
+	var toks []string
+	appendTok := func(raw string) {
+		t := Normalize(raw)
+		if t == "" || IsStopWord(t) {
+			return
+		}
+		toks = append(toks, t)
+	}
+	start := -1
+	for i, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			appendTok(s[start:i])
+			start = -1
+		}
+	}
+	if start >= 0 {
+		appendTok(s[start:])
+	}
+	return toks
+}
+
+// TokenizeKeepStops is Tokenize without stop-word removal. The event model
+// uses it for exact (non-approximate) comparison, where "room 112" must keep
+// every token.
+func TokenizeKeepStops(s string) []string {
+	var toks []string
+	for _, f := range strings.FieldsFunc(s, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	}) {
+		if t := Normalize(f); t != "" {
+			toks = append(toks, t)
+		}
+	}
+	return toks
+}
+
+// Canonical returns the canonical single-string form of a multi-word term:
+// normalized tokens (stop words kept) joined by single spaces. Two terms are
+// exactly equal in the event model iff their Canonical forms are equal.
+func Canonical(s string) string {
+	return strings.Join(TokenizeKeepStops(s), " ")
+}

@@ -1,0 +1,130 @@
+package text
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalize(t *testing.T) {
+	tests := []struct {
+		give string
+		want string
+	}{
+		{give: "Energy", want: "energy"},
+		{give: "  PARKING.", want: "parking"},
+		{give: "co2,", want: "co2"},
+		{give: "---", want: ""},
+		{give: "", want: ""},
+		{give: "Room-112", want: "room-112"}, // interior punctuation kept by Normalize
+	}
+	for _, tt := range tests {
+		if got := Normalize(tt.give); got != tt.want {
+			t.Errorf("Normalize(%q) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+		want []string
+	}{
+		{
+			name: "multi word term",
+			give: "increased energy consumption event",
+			want: []string{"increased", "energy", "consumption", "event"},
+		},
+		{
+			name: "stop words removed",
+			give: "the energy of the building",
+			want: []string{"energy", "building"},
+		},
+		{
+			name: "punctuation splits",
+			give: "energy_consumption-event",
+			want: []string{"energy", "consumption", "event"},
+		},
+		{
+			name: "mixed case and digits",
+			give: "Room 112 NO2 sensor",
+			want: []string{"room", "112", "no2", "sensor"},
+		},
+		{
+			name: "empty",
+			give: "",
+			want: nil,
+		},
+		{
+			name: "only stop words",
+			give: "the of and",
+			want: nil,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Tokenize(tt.give); !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("Tokenize(%q) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTokenizeKeepStops(t *testing.T) {
+	got := TokenizeKeepStops("the Energy OF Room 112")
+	want := []string{"the", "energy", "of", "room", "112"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TokenizeKeepStops = %v, want %v", got, want)
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	tests := []struct {
+		a, b string
+		same bool
+	}{
+		{a: "Room 112", b: "room  112", same: true},
+		{a: "energy consumption", b: "Energy_Consumption", same: true},
+		{a: "energy consumption", b: "energy usage", same: false},
+		{a: "room 112", b: "room 113", same: false},
+	}
+	for _, tt := range tests {
+		if got := Canonical(tt.a) == Canonical(tt.b); got != tt.same {
+			t.Errorf("Canonical(%q)==Canonical(%q) = %v, want %v", tt.a, tt.b, got, tt.same)
+		}
+	}
+}
+
+func TestTokenizeNeverReturnsStopWordsOrEmpty(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok == "" || IsStopWord(tok) || tok != Normalize(tok) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonicalIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		c := Canonical(s)
+		return Canonical(c) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsStopWord(t *testing.T) {
+	if !IsStopWord("the") {
+		t.Error("IsStopWord(the) = false")
+	}
+	if IsStopWord("energy") {
+		t.Error("IsStopWord(energy) = true")
+	}
+}

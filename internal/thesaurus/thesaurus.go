@@ -1,0 +1,212 @@
+// Package thesaurus provides the EuroVoc-like multi-domain thesaurus the
+// evaluation methodology uses (§5.2): micro-thesauri per domain with top
+// terms, synonym links for semantic expansion and ground-truth generation,
+// and related-term links. It also backs the concept-based rewriting baseline
+// (the WordNet stand-in from the paper's prior-work comparison).
+package thesaurus
+
+import (
+	"fmt"
+	"sort"
+
+	"thematicep/internal/text"
+	"thematicep/internal/vocab"
+)
+
+// T is an immutable thesaurus built from vocab domains. Terms are stored in
+// canonical form (text.Canonical), so lookups are case- and
+// punctuation-insensitive.
+type T struct {
+	domains []vocab.Domain
+	// canonical term -> list of senses (one per concept the term belongs to).
+	senses map[string][]sense
+}
+
+type sense struct {
+	domain  string
+	concept vocab.Concept
+}
+
+// New builds a thesaurus over the given domains. Use vocab.Domains() for the
+// paper's six evaluation domains, or a subset for domain-restricted
+// expansion.
+func New(domains []vocab.Domain) *T {
+	t := &T{
+		domains: domains,
+		senses:  make(map[string][]sense),
+	}
+	for _, d := range domains {
+		for _, c := range d.Concepts {
+			s := sense{domain: d.Name, concept: c}
+			for _, term := range c.Terms() {
+				key := text.Canonical(term)
+				t.senses[key] = append(t.senses[key], s)
+			}
+		}
+	}
+	return t
+}
+
+// Default builds the thesaurus over all six evaluation domains.
+func Default() *T { return New(vocab.Domains()) }
+
+// Restricted builds a thesaurus over the named domains only, mirroring the
+// paper's use of the micro-thesauri conforming to the event themes.
+func Restricted(names ...string) (*T, error) {
+	ds := make([]vocab.Domain, 0, len(names))
+	for _, n := range names {
+		d, ok := vocab.DomainByName(n)
+		if !ok {
+			return nil, fmt.Errorf("thesaurus: unknown domain %q", n)
+		}
+		ds = append(ds, d)
+	}
+	return New(ds), nil
+}
+
+// Domains returns the names of the domains covered by the thesaurus.
+func (t *T) Domains() []string {
+	names := make([]string, len(t.domains))
+	for i, d := range t.domains {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// Known reports whether the term belongs to any concept.
+func (t *T) Known(term string) bool {
+	_, ok := t.senses[text.Canonical(term)]
+	return ok
+}
+
+// Synonyms returns all synonym terms for term across all of its senses,
+// excluding the term itself, sorted and de-duplicated. These are the
+// substitution candidates for semantic expansion (§5.2.2): replacing a term
+// with one of them preserves the ground-truth relevance relation.
+func (t *T) Synonyms(term string) []string {
+	key := text.Canonical(term)
+	var out []string
+	seen := map[string]bool{key: true}
+	for _, s := range t.senses[key] {
+		for _, candidate := range s.concept.Terms() {
+			ck := text.Canonical(candidate)
+			if seen[ck] {
+				continue
+			}
+			seen[ck] = true
+			out = append(out, candidate)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SynonymsInDomain is Synonyms restricted to the senses of one domain. The
+// evaluation expands events with terms "conforming to the theme of the
+// events" (§5.2.2); domain restriction is how that conformance is enforced.
+func (t *T) SynonymsInDomain(term, domain string) []string {
+	key := text.Canonical(term)
+	var out []string
+	seen := map[string]bool{key: true}
+	for _, s := range t.senses[key] {
+		if s.domain != domain {
+			continue
+		}
+		for _, candidate := range s.concept.Terms() {
+			ck := text.Canonical(candidate)
+			if seen[ck] {
+				continue
+			}
+			seen[ck] = true
+			out = append(out, candidate)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Related returns the related (associated but not substitutable) terms of
+// all senses of term, sorted and de-duplicated.
+func (t *T) Related(term string) []string {
+	key := text.Canonical(term)
+	var out []string
+	seen := make(map[string]bool)
+	for _, s := range t.senses[key] {
+		for _, r := range s.concept.Related {
+			rk := text.Canonical(r)
+			if seen[rk] {
+				continue
+			}
+			seen[rk] = true
+			out = append(out, r)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SameConcept reports whether a and b are terms of one shared concept (i.e.
+// synonym-equivalent in at least one sense). It defines the ground-truth
+// equivalence used in §5.2.3.
+func (t *T) SameConcept(a, b string) bool {
+	ka, kb := text.Canonical(a), text.Canonical(b)
+	if ka == kb {
+		return true
+	}
+	for _, sa := range t.senses[ka] {
+		for _, term := range sa.concept.Terms() {
+			if text.Canonical(term) == kb {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DomainsOf returns the sorted names of domains in which term has a sense.
+// Terms with more than one domain are the homographs thematic projection
+// disambiguates.
+func (t *T) DomainsOf(term string) []string {
+	key := text.Canonical(term)
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range t.senses[key] {
+		if !seen[s.domain] {
+			seen[s.domain] = true
+			out = append(out, s.domain)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TopTerms returns the micro-thesaurus top terms of the named domain
+// (theme-tag candidates, §5.2.4).
+func (t *T) TopTerms(domain string) []string {
+	for _, d := range t.domains {
+		if d.Name == domain {
+			return append([]string(nil), d.TopTerms...)
+		}
+	}
+	return nil
+}
+
+// AllTopTerms returns the top terms of every covered domain, in domain
+// order. The paper samples theme tags from this pool.
+func (t *T) AllTopTerms() []string {
+	var out []string
+	for _, d := range t.domains {
+		out = append(out, d.TopTerms...)
+	}
+	return out
+}
+
+// Concepts returns the number of concepts covered (across domains; a
+// homograph counts once per domain sense).
+func (t *T) Concepts() int {
+	n := 0
+	for _, d := range t.domains {
+		n += len(d.Concepts)
+	}
+	return n
+}

@@ -1,0 +1,222 @@
+package thesaurus
+
+import (
+	"reflect"
+	"testing"
+
+	"thematicep/internal/vocab"
+)
+
+func TestDefaultCoversSixDomains(t *testing.T) {
+	th := Default()
+	if got := th.Domains(); !reflect.DeepEqual(got, vocab.DomainNames()) {
+		t.Errorf("Domains = %v", got)
+	}
+	if th.Concepts() < 60 {
+		t.Errorf("Concepts = %d, want >= 60", th.Concepts())
+	}
+}
+
+func TestRestricted(t *testing.T) {
+	th, err := Restricted("energy", "transport")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := th.Domains(); !reflect.DeepEqual(got, []string{"energy", "transport"}) {
+		t.Errorf("Domains = %v", got)
+	}
+	// "temperature" is an environment concept; not in a restricted thesaurus.
+	if th.Known("temperature") {
+		t.Error("restricted thesaurus should not know environment terms")
+	}
+	if _, err := Restricted("astrology"); err == nil {
+		t.Error("Restricted(astrology) should fail")
+	}
+}
+
+func TestSynonymsSymmetricWithinConcept(t *testing.T) {
+	th := Default()
+	syns := th.Synonyms("energy consumption")
+	if len(syns) == 0 {
+		t.Fatal("no synonyms for energy consumption")
+	}
+	found := false
+	for _, s := range syns {
+		if s == "energy usage" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("energy usage not among synonyms: %v", syns)
+	}
+	// Symmetry: energy usage's synonyms must include energy consumption.
+	back := th.Synonyms("energy usage")
+	found = false
+	for _, s := range back {
+		if s == "energy consumption" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("symmetry violated: %v", back)
+	}
+}
+
+func TestSynonymsExcludeSelf(t *testing.T) {
+	th := Default()
+	for _, s := range th.Synonyms("parking") {
+		if s == "parking" {
+			t.Error("Synonyms includes the term itself")
+		}
+	}
+}
+
+func TestSynonymsCanonicalLookup(t *testing.T) {
+	th := Default()
+	a := th.Synonyms("Energy Consumption")
+	b := th.Synonyms("energy_consumption")
+	if !reflect.DeepEqual(a, b) || len(a) == 0 {
+		t.Errorf("canonical lookup mismatch: %v vs %v", a, b)
+	}
+}
+
+func TestHomographHasMultipleDomains(t *testing.T) {
+	th := Default()
+	tests := []struct {
+		term       string
+		minDomains int
+	}{
+		{term: "current", minDomains: 2},
+		{term: "coach", minDomains: 2},
+		{term: "park", minDomains: 2},
+		{term: "class", minDomains: 2},
+		{term: "charge", minDomains: 2},
+		{term: "energy consumption", minDomains: 1},
+	}
+	for _, tt := range tests {
+		if got := th.DomainsOf(tt.term); len(got) < tt.minDomains {
+			t.Errorf("DomainsOf(%q) = %v, want >= %d domains", tt.term, got, tt.minDomains)
+		}
+	}
+}
+
+func TestSynonymsInDomainSeparatesSenses(t *testing.T) {
+	th := Default()
+	energy := th.SynonymsInDomain("current", "energy")
+	env := th.SynonymsInDomain("current", "environment")
+	if len(energy) == 0 || len(env) == 0 {
+		t.Fatalf("current must have senses in both domains: energy=%v env=%v", energy, env)
+	}
+	// The energy sense relates to amperage; the environment sense to tides.
+	has := func(list []string, term string) bool {
+		for _, s := range list {
+			if s == term {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(energy, "amperage") {
+		t.Errorf("energy sense of current lacks amperage: %v", energy)
+	}
+	if has(env, "amperage") {
+		t.Errorf("environment sense of current contains amperage: %v", env)
+	}
+	if !has(env, "tidal current") {
+		t.Errorf("environment sense of current lacks tidal current: %v", env)
+	}
+}
+
+func TestSameConcept(t *testing.T) {
+	th := Default()
+	tests := []struct {
+		a, b string
+		want bool
+	}{
+		{a: "energy consumption", b: "electricity usage", want: true},
+		{a: "energy consumption", b: "energy consumption", want: true},
+		{a: "Energy Consumption", b: "energy usage", want: true},
+		{a: "energy consumption", b: "parking", want: false},
+		{a: "laptop", b: "computer", want: true},
+		{a: "ireland", b: "eire", want: true},
+		{a: "galway", b: "santander", want: false},
+		{a: "unknown-term-xyz", b: "unknown-term-xyz", want: true}, // identity holds even off-vocabulary
+		{a: "unknown-term-xyz", b: "parking", want: false},
+	}
+	for _, tt := range tests {
+		if got := th.SameConcept(tt.a, tt.b); got != tt.want {
+			t.Errorf("SameConcept(%q, %q) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestSameConceptSymmetric(t *testing.T) {
+	th := Default()
+	pairs := [][2]string{
+		{"energy consumption", "power consumption"},
+		{"laptop", "pc"},
+		{"park", "green space"},
+		{"coach", "bus"},
+		{"coach", "tutor"},
+	}
+	for _, p := range pairs {
+		if th.SameConcept(p[0], p[1]) != th.SameConcept(p[1], p[0]) {
+			t.Errorf("SameConcept not symmetric for %v", p)
+		}
+		if !th.SameConcept(p[0], p[1]) {
+			t.Errorf("SameConcept(%q, %q) = false, want true", p[0], p[1])
+		}
+	}
+}
+
+func TestHomographBridging(t *testing.T) {
+	th := Default()
+	// "coach" bridges bus (transport) and tutor (education), but bus and
+	// tutor are NOT the same concept.
+	if th.SameConcept("bus", "tutor") {
+		t.Error("bus and tutor must not be the same concept")
+	}
+}
+
+func TestRelated(t *testing.T) {
+	th := Default()
+	rel := th.Related("parking")
+	if len(rel) == 0 {
+		t.Fatal("parking has no related terms")
+	}
+	for _, r := range rel {
+		if r == "parking" {
+			t.Error("Related contains the term itself")
+		}
+	}
+}
+
+func TestTopTerms(t *testing.T) {
+	th := Default()
+	for _, d := range vocab.DomainNames() {
+		if len(th.TopTerms(d)) < 4 {
+			t.Errorf("TopTerms(%q) too small", d)
+		}
+	}
+	if th.TopTerms("astrology") != nil {
+		t.Error("TopTerms of unknown domain should be nil")
+	}
+	all := th.AllTopTerms()
+	want := 0
+	for _, d := range vocab.Domains() {
+		want += len(d.TopTerms)
+	}
+	if len(all) != want {
+		t.Errorf("AllTopTerms = %d terms, want %d", len(all), want)
+	}
+}
+
+func TestKnown(t *testing.T) {
+	th := Default()
+	if !th.Known("parking") || !th.Known("Parking Space") {
+		t.Error("Known failed for vocabulary terms")
+	}
+	if th.Known("zzz unseen term") {
+		t.Error("Known true for off-vocabulary term")
+	}
+}

@@ -1,0 +1,132 @@
+package vocab
+
+// SensorCapabilities is the paper's Table 3 verbatim: the sensing
+// capabilities of SmartSantander and Linked Energy Intelligence sensors used
+// to synthesize seed events (§5.2.1).
+func SensorCapabilities() []string {
+	return []string{
+		"solar radiation", "particles", "speed", "wind direction",
+		"wind speed", "temperature", "water flow", "atmospheric pressure",
+		"noise", "ozone", "rainfall", "parking", "radiation par", "co",
+		"ground temperature", "light", "no2", "soil moisture tension",
+		"relative humidity", "energy consumption", "cpu usage",
+		"memory usage",
+	}
+}
+
+// Appliances is a BLUED-like set of indoor appliance platforms (§5.2.1).
+func Appliances() []string {
+	return []string{
+		"computer", "laptop", "desktop computer", "monitor", "printer",
+		"refrigerator", "freezer", "microwave", "kettle", "toaster",
+		"washing machine", "tumble dryer", "dishwasher", "television",
+		"air conditioner", "space heater", "iron", "hair dryer",
+		"vacuum cleaner", "coffee maker", "lamp", "projector", "router",
+		"server rack",
+	}
+}
+
+// CarBrands is a Yahoo!-directory-like set of car makes used for vehicle
+// mobile sensor platforms (§5.2.1).
+func CarBrands() []string {
+	return []string{
+		"toyota", "ford", "volkswagen", "renault", "peugeot", "fiat",
+		"opel", "nissan", "honda", "hyundai", "kia", "skoda", "seat",
+		"citroen", "volvo", "bmw", "audi", "mercedes", "mazda", "suzuki",
+	}
+}
+
+// Rooms is a DERI-building-like set of indoor locations (§5.2.1).
+func Rooms() []string {
+	return []string{
+		"room 101", "room 102", "room 103", "room 110", "room 112",
+		"room 201", "room 202", "room 204", "room 210", "room 212",
+		"room 301", "room 302", "meeting room a", "meeting room b",
+		"kitchen", "canteen", "lobby", "server room", "print room",
+		"lecture hall",
+	}
+}
+
+// Desks is a set of desk identifiers inside rooms.
+func Desks() []string {
+	return []string{
+		"desk 101a", "desk 101b", "desk 112a", "desk 112b", "desk 112c",
+		"desk 201a", "desk 204d", "desk 210a", "desk 301c", "desk 302b",
+	}
+}
+
+// Floors is a set of floor identifiers.
+func Floors() []string {
+	return []string{
+		"ground floor", "first floor", "second floor", "third floor",
+		"basement",
+	}
+}
+
+// Zones is a set of site-level zones.
+func Zones() []string {
+	return []string{"building", "campus", "car park", "courtyard", "rooftop"}
+}
+
+// Cities lists the geographic deployment cities (SmartSantander sites plus
+// Galway, §5.2.1).
+func Cities() []string {
+	return []string{"galway", "santander", "guildford", "lubeck", "belgrade"}
+}
+
+// Countries lists deployment countries.
+func Countries() []string {
+	return []string{"ireland", "spain", "united kingdom", "germany", "serbia"}
+}
+
+// Continents lists deployment continents.
+func Continents() []string {
+	return []string{"europe"}
+}
+
+// Streets lists street-level deployment locations.
+func Streets() []string {
+	return []string{
+		"shop street", "quay street", "eyre square", "salthill promenade",
+		"paseo de pereda", "calle alta", "university road", "dock road",
+	}
+}
+
+// Units maps a sensor capability to its measurement unit term.
+func Units() map[string]string {
+	return map[string]string{
+		"solar radiation":       "watt per square meter",
+		"particles":             "microgram per cubic meter",
+		"speed":                 "kilometer per hour",
+		"wind direction":        "degree",
+		"wind speed":            "meter per second",
+		"temperature":           "celsius degree",
+		"water flow":            "liter per second",
+		"atmospheric pressure":  "hectopascal",
+		"noise":                 "decibel",
+		"ozone":                 "microgram per cubic meter",
+		"rainfall":              "millimeter",
+		"parking":               "free spots",
+		"radiation par":         "micromole per square meter",
+		"co":                    "milligram per cubic meter",
+		"ground temperature":    "celsius degree",
+		"light":                 "lux",
+		"no2":                   "microgram per cubic meter",
+		"soil moisture tension": "kilopascal",
+		"relative humidity":     "percent",
+		"energy consumption":    "kilowatt hour",
+		"cpu usage":             "percent",
+		"memory usage":          "megabyte",
+	}
+}
+
+// EventTypeFor returns the event-type term synthesized for a sensor
+// capability, e.g. "increased energy consumption event".
+func EventTypeFor(capability, trend string) string {
+	return trend + " " + capability + " event"
+}
+
+// Trends lists the trend qualifiers used to form event types.
+func Trends() []string {
+	return []string{"increased", "decreased", "high", "low"}
+}

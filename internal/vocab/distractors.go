@@ -1,0 +1,245 @@
+package vocab
+
+// DistractorDomains returns domains that are part of the corpus but NOT of
+// the evaluation's six EuroVoc micro-thesauri: their top terms never enter
+// the theme-tag pool and their documents are therefore outside every
+// thematic basis.
+//
+// They model the bulk of a general corpus like Wikipedia: text about other
+// topics that nevertheless reuses the evaluation vocabulary's surface forms
+// ("coach" trains athletes, a "conductor" leads an orchestra, "current"
+// denotes a bank account, "precipitation" happens in beakers). This
+// off-domain mass dilutes full-space relatedness between in-domain terms —
+// the noise the paper's thematic projection removes.
+func DistractorDomains() []Domain {
+	return distractorDomains
+}
+
+// AllDomains returns the evaluation domains followed by the distractor
+// domains: the full corpus vocabulary.
+func AllDomains() []Domain {
+	out := make([]Domain, 0, len(domains)+len(distractorDomains))
+	out = append(out, domains...)
+	out = append(out, distractorDomains...)
+	return out
+}
+
+var distractorDomains = []Domain{
+	{
+		Name: "sport",
+		TopTerms: []string{
+			"competitive sport", "athletics events", "sports training",
+			"league competition",
+		},
+		Context: []string{
+			"athlete", "tournament", "medal", "referee", "season ticket",
+			"stadium", "supporters", "fixture", "transfer", "warmup",
+		},
+		Concepts: []Concept{
+			{
+				Label:    "training coach",
+				Synonyms: []string{"coach", "head coach", "trainer"},
+				Related:  []string{"training plan", "drill", "fitness", "squad"},
+			},
+			{
+				Label:    "race pace",
+				Synonyms: []string{"pace", "running speed", "tempo", "speed"},
+				Related:  []string{"split time", "marathon", "personal best", "pacer"},
+			},
+			{
+				Label:    "qualifying heat",
+				Synonyms: []string{"heat", "preliminary round", "qualifier"},
+				Related:  []string{"lane draw", "semifinal", "false start"},
+			},
+			{
+				Label:    "running track",
+				Synonyms: []string{"track", "athletics track", "oval"},
+				Related:  []string{"lap", "starting block", "relay", "hurdle"},
+			},
+			{
+				Label:    "championship class",
+				Synonyms: []string{"class", "division", "weight class"},
+				Related:  []string{"promotion", "relegation", "ranking points"},
+			},
+			{
+				Label:    "power lifting",
+				Synonyms: []string{"weightlifting", "power training", "strength sport"},
+				Related:  []string{"barbell", "deadlift", "snatch", "power"},
+			},
+			{
+				Label:    "cycling race",
+				Synonyms: []string{"cycle race", "bike race", "cycling event"},
+				Related:  []string{"peloton", "sprint finish", "time trial", "cycle"},
+			},
+			{
+				Label:    "record attempt",
+				Synonyms: []string{"record", "world record", "best mark"},
+				Related:  []string{"measurement", "official", "ratification"},
+			},
+		},
+	},
+	{
+		Name: "music",
+		TopTerms: []string{
+			"music performance", "musical composition", "concert season",
+			"music recording",
+		},
+		Context: []string{
+			"melody", "harmony", "audience", "encore", "rehearsal",
+			"score sheet", "ensemble", "soloist", "tour", "acoustics",
+		},
+		Concepts: []Concept{
+			{
+				Label:    "orchestra conductor",
+				Synonyms: []string{"conductor", "maestro", "music director"},
+				Related:  []string{"baton", "podium", "symphony", "downbeat"},
+			},
+			{
+				Label:    "musical meter",
+				Synonyms: []string{"meter", "time signature", "rhythm"},
+				Related:  []string{"beat", "bar", "tempo marking", "syncopation"},
+			},
+			{
+				Label:    "keyboard instrument",
+				Synonyms: []string{"keyboard", "piano", "organ"},
+				Related:  []string{"pedal board", "keys", "tuning", "grand piano"},
+			},
+			{
+				Label:    "bass line",
+				Synonyms: []string{"bass", "bassline", "low register"},
+				Related:  []string{"double bass", "groove", "amplifier"},
+			},
+			{
+				Label:    "light show",
+				Synonyms: []string{"stage lighting", "illumination", "lighting design"},
+				Related:  []string{"spotlight", "strobe", "dimmer", "light"},
+			},
+			{
+				Label:    "radio static",
+				Synonyms: []string{"static", "crackle", "radio noise"},
+				Related:  []string{"frequency drift", "tuning dial", "noise"},
+			},
+			{
+				Label:    "concert platform",
+				Synonyms: []string{"platform", "stage", "bandstand stage"},
+				Related:  []string{"curtain", "backstage", "riser"},
+			},
+			{
+				Label:    "music class",
+				Synonyms: []string{"music lesson", "conservatory class", "class"},
+				Related:  []string{"etude", "scales", "recital", "lesson"},
+			},
+		},
+	},
+	{
+		Name: "finance",
+		TopTerms: []string{
+			"financial markets", "banking services", "investment policy",
+			"corporate finance",
+		},
+		Context: []string{
+			"portfolio", "dividend", "broker", "ledger", "audit report",
+			"asset", "liability", "quarterly results", "shareholder",
+		},
+		Concepts: []Concept{
+			{
+				Label:    "current account",
+				Synonyms: []string{"checking account", "demand account", "current"},
+				Related:  []string{"overdraft", "balance", "statement", "deposit"},
+			},
+			{
+				Label:    "bank charge",
+				Synonyms: []string{"charge", "banking fee", "account fee"},
+				Related:  []string{"penalty", "transaction cost", "fee schedule", "fee"},
+			},
+			{
+				Label:    "energy market",
+				Synonyms: []string{"power market", "electricity market", "commodity energy"},
+				Related:  []string{"futures", "spot price", "hedging", "energy"},
+			},
+			{
+				Label:    "stock exchange",
+				Synonyms: []string{"bourse", "securities exchange", "exchange"},
+				Related:  []string{"ticker", "listing", "index", "trading floor"},
+			},
+			{
+				Label:    "interest rate",
+				Synonyms: []string{"rate", "lending rate", "base rate"},
+				Related:  []string{"basis point", "central bank", "yield"},
+			},
+			{
+				Label:    "capital flow",
+				Synonyms: []string{"capital movement", "investment flow", "fund flow"},
+				Related:  []string{"inflow", "outflow", "liquidity", "flow"},
+			},
+			{
+				Label:    "credit class",
+				Synonyms: []string{"credit rating", "rating class", "credit grade"},
+				Related:  []string{"default risk", "bond grade", "class"},
+			},
+			{
+				Label:    "unit trust",
+				Synonyms: []string{"mutual fund", "investment unit", "fund unit"},
+				Related:  []string{"net asset value", "unit price", "unit"},
+			},
+		},
+	},
+	{
+		Name: "science",
+		TopTerms: []string{
+			"laboratory science", "physical chemistry", "experimental method",
+			"scientific publication",
+		},
+		Context: []string{
+			"experiment", "hypothesis", "beaker", "reagent", "microscope",
+			"peer review", "apparatus", "observation", "sample tube",
+		},
+		Concepts: []Concept{
+			{
+				Label:    "chemical precipitation",
+				Synonyms: []string{"precipitation", "precipitate formation", "settling reaction"},
+				Related:  []string{"solution", "filtrate", "crystallization", "solubility"},
+			},
+			{
+				Label:    "biological cell",
+				Synonyms: []string{"cell", "living cell", "cell culture"},
+				Related:  []string{"membrane", "nucleus", "mitosis", "cytoplasm"},
+			},
+			{
+				Label:    "plant biology",
+				Synonyms: []string{"plant", "botany specimen", "plant tissue"},
+				Related:  []string{"chlorophyll", "stoma", "xylem", "photosynthesis"},
+			},
+			{
+				Label:    "thermal conduction",
+				Synonyms: []string{"conduction", "heat conduction", "conductor"},
+				Related:  []string{"thermal gradient", "insulator", "heat transfer"},
+			},
+			{
+				Label:    "gas pressure",
+				Synonyms: []string{"pressure", "partial pressure", "vapor pressure"},
+				Related:  []string{"manometer", "ideal gas", "compression"},
+			},
+			{
+				Label:    "electric charge",
+				Synonyms: []string{"charge", "static charge", "elementary charge"},
+				Related:  []string{"coulomb", "electron", "field", "polarity"},
+			},
+			{
+				Label:    "radiation physics",
+				Synonyms: []string{"radiation", "emission spectrum", "radiant energy"},
+				Related:  []string{"wavelength", "photon", "decay", "half life"},
+			},
+			{
+				Label:    "specimen current",
+				Synonyms: []string{"current", "beam current", "probe current"},
+				Related:  []string{"electron beam", "detector", "measurement error"},
+			},
+			{
+				Label:    "memory experiment",
+				Synonyms: []string{"memory", "recall test", "memory study"},
+				Related:  []string{"stimulus", "participant", "retention", "cognition"},
+			},
+		},
+	},
+}

@@ -1,0 +1,663 @@
+// Package vocab embeds the vocabulary the reproduction is built from:
+//
+//   - the six EuroVoc domains the paper's evaluation uses (§5.2.2):
+//     transport, environment, energy, geography, education and
+//     communications, social questions — each with concept clusters
+//     (synonyms + related terms) and micro-thesaurus "top terms";
+//   - the real-world datasets the seed-event generator combines (§5.2.1):
+//     Table 3 sensor capabilities, BLUED-like appliances, car brands,
+//     DERI-building-like rooms, and SmartSantander/Galway locations.
+//
+// The same clusters drive three substrates so that terms are consistently
+// in-vocabulary, exactly as EuroVoc terms are in Wikipedia:
+//
+//   - internal/corpus generates documents from the clusters (ESA substrate);
+//   - internal/thesaurus exposes clusters as synonym/related lookups
+//     (semantic expansion + ground truth);
+//   - internal/workload draws seed-event attributes and values from the
+//     datasets.
+//
+// Several surface terms deliberately belong to concepts in more than one
+// domain ("park", "coach", "station", "cell", "current", "plant", ...).
+// These homographs are what make the non-thematic matcher err and what
+// thematic projection disambiguates — the paper's central effect.
+package vocab
+
+// A Concept is a cluster of terms with (approximately) one meaning inside
+// one domain. Synonyms are near-equivalent surface forms — the semantic
+// expansion transformation (§5.2.2) replaces a term with one of these.
+// Related terms are associated but not substitutable; they co-occur with the
+// concept in corpus documents and serve as distractors.
+type Concept struct {
+	Label    string
+	Synonyms []string
+	Related  []string
+}
+
+// Terms returns the label and all synonyms.
+func (c Concept) Terms() []string {
+	out := make([]string, 0, 1+len(c.Synonyms))
+	out = append(out, c.Label)
+	out = append(out, c.Synonyms...)
+	return out
+}
+
+// A Domain is a micro-thesaurus: a named set of concepts plus the EuroVoc
+// style "top terms" used as theme-tag candidates (§5.2.4) and context terms
+// that flavor the domain's corpus documents.
+type Domain struct {
+	Name     string
+	TopTerms []string
+	Context  []string
+	Concepts []Concept
+}
+
+// HubTokens are domain-jargon tokens that are near-ubiquitous inside the
+// evaluation domains' documents (sensor talk is full of levels, rates,
+// readings) but only scattered elsewhere. In the full space they bridge
+// unrelated multi-word terms that share them; inside a thematic basis the
+// recomputed idf of Algorithm 1 suppresses them — the projection's
+// precision mechanism.
+func HubTokens() []string {
+	return []string{
+		"level", "unit", "rate", "reading", "measurement", "value",
+		"index", "average", "peak", "monitor", "sample", "scale", "range",
+	}
+}
+
+// FrameTokens are the frame words of event vocabulary ("increased X event"):
+// in a general corpus they are near-stopwords, appearing in nearly every
+// document regardless of topic. The corpus generator sprinkles them
+// uniformly so their idf is close to zero everywhere and they cannot
+// dominate type-value vectors (which they would as rare tokens).
+func FrameTokens() []string {
+	return []string{"event", "increased", "decreased", "high", "low"}
+}
+
+// IsEvaluationDomain reports whether name is one of the six evaluation
+// domains (as opposed to a distractor domain).
+func IsEvaluationDomain(name string) bool {
+	for _, d := range DomainNames() {
+		if d == name {
+			return true
+		}
+	}
+	return false
+}
+
+// DomainNames lists the six evaluation domains in canonical order.
+func DomainNames() []string {
+	return []string{
+		"transport",
+		"environment",
+		"energy",
+		"geography",
+		"education and communications",
+		"social questions",
+	}
+}
+
+// Domains returns the six evaluation domains. The returned slice and its
+// contents must be treated as read-only; callers that need to mutate should
+// copy.
+func Domains() []Domain {
+	return domains
+}
+
+// DomainByName returns the domain with the given name.
+func DomainByName(name string) (Domain, bool) {
+	for _, d := range domains {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Domain{}, false
+}
+
+var domains = []Domain{
+	{
+		Name: "transport",
+		TopTerms: []string{
+			"land transport", "road traffic", "public transport",
+			"transport policy", "vehicle fleet", "urban mobility",
+			"freight transport", "transport infrastructure",
+		},
+		Context: []string{
+			"road", "highway", "driver", "journey", "route", "commute",
+			"wheel", "engine", "fuel", "lane", "junction", "intersection",
+			"timetable", "passenger", "cargo", "logistics", "mobility",
+		},
+		Concepts: []Concept{
+			{
+				Label:    "parking",
+				Synonyms: []string{"parking space", "car park", "parking lot", "garage spot", "parking bay", "park"},
+				Related:  []string{"kerb", "meter", "parking garage", "valet"},
+			},
+			{
+				Label:    "vehicle",
+				Synonyms: []string{"car", "automobile", "motorcar", "motor vehicle"},
+				Related:  []string{"chassis", "sedan", "hatchback", "registration"},
+			},
+			{
+				Label:    "speed",
+				Synonyms: []string{"velocity", "pace", "travel speed", "driving speed"},
+				Related:  []string{"speed limit", "radar", "acceleration", "odometer"},
+			},
+			{
+				Label:    "traffic",
+				Synonyms: []string{"street traffic", "traffic flow", "congestion", "traffic volume"},
+				Related:  []string{"rush hour", "gridlock", "traffic jam", "detour"},
+			},
+			{
+				Label:    "bus",
+				Synonyms: []string{"coach", "motorcoach", "omnibus", "transit bus"},
+				Related:  []string{"bus stop", "bus lane", "fare", "conductor"},
+			},
+			{
+				Label:    "station",
+				Synonyms: []string{"terminal", "depot", "transit station", "interchange"},
+				Related:  []string{"platform", "concourse", "ticket office", "arrival"},
+			},
+			{
+				Label:    "bicycle",
+				Synonyms: []string{"bike", "cycle", "pushbike", "two wheeler"},
+				Related:  []string{"cycle lane", "helmet", "pedal", "saddle"},
+			},
+			{
+				Label:    "truck",
+				Synonyms: []string{"lorry", "heavy goods vehicle", "freight truck", "hgv"},
+				Related:  []string{"trailer", "haulage", "payload", "axle"},
+			},
+			{
+				Label:    "tram",
+				Synonyms: []string{"streetcar", "trolley", "light rail", "tramway"},
+				Related:  []string{"overhead line", "track", "stop", "carriage"},
+			},
+			{
+				Label:    "traffic light",
+				Synonyms: []string{"traffic signal", "stoplight", "signal light", "semaphore", "light"},
+				Related:  []string{"amber", "crossing", "pedestrian signal", "phase"},
+			},
+			{
+				Label:    "road network",
+				Synonyms: []string{"transport network", "street network", "highway network"},
+				Related:  []string{"ring road", "arterial", "bypass", "roundabout"},
+			},
+			{
+				Label:    "ferry",
+				Synonyms: []string{"boat service", "water taxi", "car ferry"},
+				Related:  []string{"harbour", "pier", "crossing time", "deck"},
+			},
+			{
+				Label:    "railway",
+				Synonyms: []string{"railroad", "rail transport", "train service"},
+				Related:  []string{"locomotive", "sleeper", "signal box", "gauge"},
+			},
+			{
+				Label:    "driver assistance",
+				Synonyms: []string{"assisted driving", "driving aid", "autopilot assistance"},
+				Related:  []string{"lane keeping", "cruise control", "collision warning"},
+			},
+			{
+				Label:    "journey time",
+				Synonyms: []string{"travel time", "trip duration", "transit time"},
+				Related:  []string{"delay", "schedule", "estimated arrival"},
+			},
+		},
+	},
+	{
+		Name: "environment",
+		TopTerms: []string{
+			"protection of nature", "environmental monitoring", "pollution control",
+			"climate observation", "natural environment", "air quality",
+			"water management", "environmental policy",
+		},
+		Context: []string{
+			"habitat", "ecosystem", "emission", "pollutant", "weather",
+			"forecast", "sensor reading", "sampling", "conservation",
+			"biodiversity", "meteorology", "atmosphere", "season", "storm",
+		},
+		Concepts: []Concept{
+			{
+				Label:    "temperature",
+				Synonyms: []string{"air temperature", "thermal reading", "heat level", "ambient temperature"},
+				Related:  []string{"thermometer", "celsius", "heatwave", "frost"},
+			},
+			{
+				Label:    "ground temperature",
+				Synonyms: []string{"soil temperature", "surface temperature", "earth temperature"},
+				Related:  []string{"permafrost", "soil probe", "thermal gradient"},
+			},
+			{
+				Label:    "relative humidity",
+				Synonyms: []string{"humidity", "moisture level", "air moisture", "dampness"},
+				Related:  []string{"dew point", "hygrometer", "condensation"},
+			},
+			{
+				Label:    "rainfall",
+				Synonyms: []string{"precipitation", "rain", "rainfall amount", "pluviometry"},
+				Related:  []string{"rain gauge", "drizzle", "downpour", "monsoon"},
+			},
+			{
+				Label:    "wind speed",
+				Synonyms: []string{"wind velocity", "gust speed", "wind strength"},
+				Related:  []string{"anemometer", "gale", "breeze", "beaufort"},
+			},
+			{
+				Label:    "wind direction",
+				Synonyms: []string{"wind bearing", "wind heading", "wind orientation"},
+				Related:  []string{"wind vane", "compass", "northerly", "prevailing wind"},
+			},
+			{
+				Label:    "atmospheric pressure",
+				Synonyms: []string{"barometric pressure", "air pressure", "pressure reading"},
+				Related:  []string{"barometer", "isobar", "anticyclone", "millibar"},
+			},
+			{
+				Label:    "ozone",
+				Synonyms: []string{"ozone level", "o3", "ozone concentration"},
+				Related:  []string{"smog", "ultraviolet", "ozone layer", "photochemical"},
+			},
+			{
+				Label:    "particles",
+				Synonyms: []string{"particulate matter", "particulates", "pm10", "fine dust"},
+				Related:  []string{"aerosol", "soot", "dust", "filtration"},
+			},
+			{
+				Label:    "no2",
+				Synonyms: []string{"nitrogen dioxide", "nox", "nitrogen oxide"},
+				Related:  []string{"exhaust gas", "combustion byproduct", "acid rain"},
+			},
+			{
+				Label:    "co",
+				Synonyms: []string{"carbon monoxide", "co level", "carbon monoxide concentration"},
+				Related:  []string{"flue", "incomplete combustion", "detector alarm"},
+			},
+			{
+				Label:    "noise",
+				Synonyms: []string{"sound level", "noise level", "acoustic level", "din"},
+				Related:  []string{"decibel", "soundscape", "noise abatement", "quiet zone"},
+			},
+			{
+				Label:    "water flow",
+				Synonyms: []string{"flow rate", "water discharge", "stream flow"},
+				Related:  []string{"flume", "weir", "catchment", "flood"},
+			},
+			{
+				Label:    "soil moisture tension",
+				Synonyms: []string{"soil moisture", "soil water tension", "soil wetness"},
+				Related:  []string{"tensiometer", "irrigation", "field capacity", "drought"},
+			},
+			{
+				Label:    "solar radiation",
+				Synonyms: []string{"sunlight", "irradiance", "insolation", "solar exposure"},
+				Related:  []string{"pyranometer", "cloud cover", "uv index", "daylight"},
+			},
+			{
+				Label:    "radiation par",
+				Synonyms: []string{"photosynthetically active radiation", "par level", "par radiation"},
+				Related:  []string{"canopy", "photosynthesis", "quantum sensor", "leaf area"},
+			},
+			{
+				Label:    "vegetation",
+				Synonyms: []string{"plant", "flora", "plant cover", "greenery"},
+				Related:  []string{"leaf", "root", "growth", "botany"},
+			},
+			{
+				Label:    "water current",
+				Synonyms: []string{"current", "river current", "tidal current"},
+				Related:  []string{"tide", "estuary", "drift", "undertow"},
+			},
+		},
+	},
+	{
+		Name: "energy",
+		TopTerms: []string{
+			"energy policy", "electrical energy", "energy consumption monitoring",
+			"power generation", "energy efficiency", "soft energy",
+			"energy grid", "fuel technology",
+		},
+		Context: []string{
+			"grid", "utility", "smart meter", "load", "demand", "supply",
+			"transformer", "substation", "billing", "peak demand", "watt",
+			"renewable", "insulation", "efficiency rating", "outage",
+		},
+		Concepts: []Concept{
+			{
+				Label:    "energy consumption",
+				Synonyms: []string{"energy usage", "electricity usage", "power consumption", "electricity consumption", "energy use"},
+				Related:  []string{"consumption peak", "baseline load", "meter reading", "demand response"},
+			},
+			{
+				Label:    "kilowatt hour",
+				Synonyms: []string{"kwh", "kilowatt hours", "unit of electricity"},
+				Related:  []string{"megawatt", "joule", "tariff", "billing unit"},
+			},
+			{
+				Label:    "power station",
+				Synonyms: []string{"power plant", "generating station", "electricity plant"},
+				Related:  []string{"turbine", "generator", "cooling tower", "boiler"},
+			},
+			{
+				Label:    "electric current",
+				Synonyms: []string{"current", "amperage", "electrical current"},
+				Related:  []string{"ampere", "circuit", "conductor", "resistance"},
+			},
+			{
+				Label:    "voltage",
+				Synonyms: []string{"electric potential", "volt level", "potential difference"},
+				Related:  []string{"volt", "surge", "regulator", "transformer tap"},
+			},
+			{
+				Label:    "battery",
+				Synonyms: []string{"battery cell", "accumulator", "storage cell", "cell"},
+				Related:  []string{"charge cycle", "lithium", "anode", "cathode"},
+			},
+			{
+				Label:    "charging",
+				Synonyms: []string{"charge", "battery charging", "recharge"},
+				Related:  []string{"charger", "charging point", "fast charge", "plug"},
+			},
+			{
+				Label:    "street lighting",
+				Synonyms: []string{"street lights", "public lighting", "streetlamp", "street lamp"},
+				Related:  []string{"lamp post", "luminaire", "dimming", "dusk"},
+			},
+			{
+				Label:    "light",
+				Synonyms: []string{"illumination", "lighting", "light level", "luminosity"},
+				Related:  []string{"lux", "bulb", "led", "brightness"},
+			},
+			{
+				Label:    "consumption peak",
+				Synonyms: []string{"peak usage", "peak demand", "usage peak", "peak load"},
+				Related:  []string{"load curve", "peak hour", "load shedding"},
+			},
+			{
+				Label:    "solar power",
+				Synonyms: []string{"photovoltaic power", "solar energy", "pv generation"},
+				Related:  []string{"solar panel", "inverter", "feed in", "array"},
+			},
+			{
+				Label:    "wind power",
+				Synonyms: []string{"wind energy", "wind generation", "eolic power"},
+				Related:  []string{"wind farm", "rotor", "nacelle", "capacity factor"},
+			},
+			{
+				Label:    "radiation",
+				Synonyms: []string{"nuclear radiation", "ionizing radiation", "radioactivity"},
+				Related:  []string{"reactor", "isotope", "shielding", "dosimeter"},
+			},
+			{
+				Label:    "heating",
+				Synonyms: []string{"space heating", "heat supply", "thermal comfort"},
+				Related:  []string{"radiator", "boiler room", "thermostat", "district heating"},
+			},
+			{
+				Label:    "fuel",
+				Synonyms: []string{"fuel supply", "combustible", "motor fuel"},
+				Related:  []string{"diesel", "petrol", "refinery", "octane"},
+			},
+			{
+				Label:    "appliance",
+				Synonyms: []string{"device", "household appliance", "electrical appliance", "electric device"},
+				Related:  []string{"plug load", "socket", "standby", "rating plate"},
+			},
+			{
+				Label:    "energy saving",
+				Synonyms: []string{"energy conservation", "power saving", "energy reduction"},
+				Related:  []string{"retrofit", "standby loss", "audit", "efficiency measure"},
+			},
+		},
+	},
+	{
+		Name: "geography",
+		TopTerms: []string{
+			"regions of europe", "urban geography", "administrative geography",
+			"city planning", "territorial division", "settlement geography",
+			"geographic location", "regional policy",
+		},
+		Context: []string{
+			"map", "boundary", "district", "province", "coastline", "terrain",
+			"latitude", "longitude", "census", "municipality", "landmark",
+			"neighbourhood", "suburb", "postcode",
+		},
+		Concepts: []Concept{
+			{
+				Label:    "city",
+				Synonyms: []string{"urban area", "town", "municipality", "metropolis"},
+				Related:  []string{"mayor", "city hall", "downtown", "ward"},
+			},
+			{
+				Label:    "country",
+				Synonyms: []string{"nation", "state", "sovereign state", "land"},
+				Related:  []string{"border", "capital", "anthem", "territory"},
+			},
+			{
+				Label:    "continent",
+				Synonyms: []string{"continental region", "landmass", "world region"},
+				Related:  []string{"hemisphere", "tectonic plate", "subcontinent"},
+			},
+			{
+				Label:    "ireland",
+				Synonyms: []string{"eire", "republic of ireland", "irish republic"},
+				Related:  []string{"dublin", "shamrock", "emerald isle", "gaelic"},
+			},
+			{
+				Label:    "galway",
+				Synonyms: []string{"galway city", "city of galway", "galway urban area"},
+				Related:  []string{"corrib", "claddagh", "connacht", "salthill"},
+			},
+			{
+				Label:    "santander",
+				Synonyms: []string{"santander city", "city of santander"},
+				Related:  []string{"cantabria", "bay of biscay", "sardinero"},
+			},
+			{
+				Label:    "europe",
+				Synonyms: []string{"european countries", "european continent", "european region"},
+				Related:  []string{"european union", "eurozone", "schengen"},
+			},
+			{
+				Label:    "zone",
+				Synonyms: []string{"area", "sector", "precinct", "quarter"},
+				Related:  []string{"zoning", "perimeter", "boundary line"},
+			},
+			{
+				Label:    "building",
+				Synonyms: []string{"premises", "edifice", "structure", "property"},
+				Related:  []string{"facade", "storey", "lobby", "architect"},
+			},
+			{
+				Label:    "park",
+				Synonyms: []string{"green space", "public garden", "city park", "recreation ground"},
+				Related:  []string{"lawn", "bench", "playground", "bandstand"},
+			},
+			{
+				Label:    "river",
+				Synonyms: []string{"waterway", "watercourse", "stream"},
+				Related:  []string{"bank", "bridge", "delta", "tributary"},
+			},
+			{
+				Label:    "coast",
+				Synonyms: []string{"shoreline", "seaside", "seashore", "littoral"},
+				Related:  []string{"beach", "cliff", "dune", "promenade"},
+			},
+			{
+				Label:    "region",
+				Synonyms: []string{"province", "county", "administrative region"},
+				Related:  []string{"council", "jurisdiction", "prefecture"},
+			},
+			{
+				Label:    "street",
+				Synonyms: []string{"road", "avenue", "boulevard", "thoroughfare"},
+				Related:  []string{"pavement", "street name", "alley", "crossroads"},
+			},
+		},
+	},
+	{
+		Name: "education and communications",
+		TopTerms: []string{
+			"information technology", "communications systems", "teaching",
+			"data processing", "documentation", "education policy",
+			"computer systems", "information networks",
+		},
+		Context: []string{
+			"curriculum", "lecture", "laboratory", "protocol", "packet",
+			"server", "software", "hardware", "database", "archive",
+			"broadcast", "publication", "literacy", "campus",
+		},
+		Concepts: []Concept{
+			{
+				Label:    "cpu usage",
+				Synonyms: []string{"processor usage", "cpu load", "processor load", "cpu utilization"},
+				Related:  []string{"core", "clock speed", "scheduler", "idle time"},
+			},
+			{
+				Label:    "memory usage",
+				Synonyms: []string{"ram usage", "memory consumption", "memory load", "ram consumption"},
+				Related:  []string{"heap", "swap", "allocation", "cache line"},
+			},
+			{
+				Label:    "computer",
+				Synonyms: []string{"laptop", "workstation", "desktop computer", "notebook computer", "pc"},
+				Related:  []string{"keyboard", "monitor", "operating system", "motherboard"},
+			},
+			{
+				Label:    "network",
+				Synonyms: []string{"computer network", "data network", "internet network"},
+				Related:  []string{"router", "switch", "ethernet", "topology"},
+			},
+			{
+				Label:    "network traffic",
+				Synonyms: []string{"data traffic", "packet traffic", "network load"},
+				Related:  []string{"throughput", "latency", "bandwidth", "congestion window"},
+			},
+			{
+				Label:    "mobile phone",
+				Synonyms: []string{"cell phone", "cellphone", "smartphone", "handset", "cell"},
+				Related:  []string{"sim card", "roaming", "base station", "antenna"},
+			},
+			{
+				Label:    "signal noise",
+				Synonyms: []string{"interference", "static", "signal distortion", "noise"},
+				Related:  []string{"signal to noise", "attenuation", "crosstalk"},
+			},
+			{
+				Label:    "school",
+				Synonyms: []string{"educational institution", "academy", "college"},
+				Related:  []string{"classroom", "teacher", "pupil", "enrolment"},
+			},
+			{
+				Label:    "lesson",
+				Synonyms: []string{"class", "course", "lecture session", "tutorial"},
+				Related:  []string{"syllabus", "homework", "assessment", "seminar"},
+			},
+			{
+				Label:    "tutor",
+				Synonyms: []string{"coach", "instructor", "mentor", "trainer"},
+				Related:  []string{"tuition", "mentoring", "office hours"},
+			},
+			{
+				Label:    "examination",
+				Synonyms: []string{"exam", "test", "assessment exam"},
+				Related:  []string{"grade", "marking", "invigilator", "transcript"},
+			},
+			{
+				Label:    "data storage",
+				Synonyms: []string{"memory", "storage", "disk storage", "data store"},
+				Related:  []string{"gigabyte", "filesystem", "backup", "archive copy"},
+			},
+			{
+				Label:    "broadcasting",
+				Synonyms: []string{"radio broadcasting", "transmission", "radio station"},
+				Related:  []string{"frequency", "studio", "listener", "airwave"},
+			},
+			{
+				Label:    "bandwidth",
+				Synonyms: []string{"data rate", "transfer speed", "link capacity", "speed"},
+				Related:  []string{"megabit", "throughput cap", "line speed"},
+			},
+			{
+				Label:    "sensor node",
+				Synonyms: []string{"sensor device", "iot node", "smart sensor", "sensing device"},
+				Related:  []string{"gateway", "firmware", "telemetry", "mote"},
+			},
+		},
+	},
+	{
+		Name: "social questions",
+		TopTerms: []string{
+			"social policy", "quality of living", "public hygiene",
+			"demography", "social welfare", "housing policy",
+			"community life", "consumer protection",
+		},
+		Context: []string{
+			"household", "citizen", "community", "wellbeing", "survey",
+			"benefit", "care", "volunteer", "charity", "inequality",
+			"population", "family", "neighbour", "civic",
+		},
+		Concepts: []Concept{
+			{
+				Label:    "household",
+				Synonyms: []string{"home", "dwelling", "residence", "family unit"},
+				Related:  []string{"tenancy", "occupant", "utility bill", "rent"},
+			},
+			{
+				Label:    "social class",
+				Synonyms: []string{"class", "social stratum", "socioeconomic group"},
+				Related:  []string{"income bracket", "mobility ladder", "status"},
+			},
+			{
+				Label:    "fee",
+				Synonyms: []string{"charge", "tariff", "levy", "service charge"},
+				Related:  []string{"invoice", "payment", "surcharge", "billing dispute"},
+			},
+			{
+				Label:    "public health",
+				Synonyms: []string{"community health", "population health", "health protection"},
+				Related:  []string{"clinic", "vaccination", "epidemiology", "screening"},
+			},
+			{
+				Label:    "wellbeing",
+				Synonyms: []string{"welfare", "life quality", "life satisfaction"},
+				Related:  []string{"happiness index", "stress", "leisure", "work life balance"},
+			},
+			{
+				Label:    "housing",
+				Synonyms: []string{"accommodation", "dwelling stock", "residential housing"},
+				Related:  []string{"landlord", "mortgage", "social housing", "eviction"},
+			},
+			{
+				Label:    "pressure",
+				Synonyms: []string{"social pressure", "peer pressure", "public pressure"},
+				Related:  []string{"lobbying", "opinion", "campaign", "petition"},
+			},
+			{
+				Label:    "safety",
+				Synonyms: []string{"public safety", "personal safety", "security of citizens"},
+				Related:  []string{"patrol", "emergency call", "hazard", "first aid"},
+			},
+			{
+				Label:    "employment",
+				Synonyms: []string{"work", "occupation", "labour"},
+				Related:  []string{"wage", "contract", "unemployment", "workforce"},
+			},
+			{
+				Label:    "consumer",
+				Synonyms: []string{"customer", "end user", "purchaser"},
+				Related:  []string{"complaint", "refund", "warranty", "retail"},
+			},
+			{
+				Label:    "elderly care",
+				Synonyms: []string{"care of the elderly", "senior care", "aged care"},
+				Related:  []string{"care home", "pension", "assisted living", "carer"},
+			},
+			{
+				Label:    "noise complaint",
+				Synonyms: []string{"noise nuisance", "noise grievance", "disturbance report"},
+				Related:  []string{"night time", "neighbour dispute", "enforcement"},
+			},
+		},
+	},
+}

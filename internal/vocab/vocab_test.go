@@ -1,0 +1,188 @@
+package vocab
+
+import (
+	"strings"
+	"testing"
+
+	"thematicep/internal/text"
+)
+
+func TestDomainsMatchPaperList(t *testing.T) {
+	ds := Domains()
+	names := DomainNames()
+	if len(ds) != 6 || len(names) != 6 {
+		t.Fatalf("want 6 domains, got %d (names %d)", len(ds), len(names))
+	}
+	for i, d := range ds {
+		if d.Name != names[i] {
+			t.Errorf("domain %d = %q, want %q", i, d.Name, names[i])
+		}
+	}
+}
+
+func TestDomainByName(t *testing.T) {
+	d, ok := DomainByName("energy")
+	if !ok || d.Name != "energy" {
+		t.Fatalf("DomainByName(energy) = %v, %v", d.Name, ok)
+	}
+	if _, ok := DomainByName("astrology"); ok {
+		t.Error("DomainByName(astrology) should not exist")
+	}
+}
+
+func TestEveryDomainIsWellFormed(t *testing.T) {
+	for _, d := range Domains() {
+		t.Run(d.Name, func(t *testing.T) {
+			if len(d.TopTerms) < 4 {
+				t.Errorf("too few top terms: %d", len(d.TopTerms))
+			}
+			if len(d.Concepts) < 10 {
+				t.Errorf("too few concepts: %d", len(d.Concepts))
+			}
+			seen := make(map[string]bool)
+			for _, c := range d.Concepts {
+				if c.Label == "" {
+					t.Error("concept with empty label")
+				}
+				if len(c.Synonyms) < 2 {
+					t.Errorf("concept %q has %d synonyms, want >= 2 for semantic expansion", c.Label, len(c.Synonyms))
+				}
+				if seen[c.Label] {
+					t.Errorf("duplicate concept label %q within domain", c.Label)
+				}
+				seen[c.Label] = true
+				for _, s := range c.Synonyms {
+					if s == c.Label {
+						t.Errorf("concept %q lists itself as a synonym", c.Label)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestTermsIncludesLabelAndSynonyms(t *testing.T) {
+	c := Concept{Label: "a", Synonyms: []string{"b", "c"}}
+	got := c.Terms()
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("Terms = %v", got)
+	}
+}
+
+// The disambiguation mechanism requires terms that appear in concepts of
+// more than one domain. Verify the homographs the design depends on exist.
+func TestCrossDomainHomographsExist(t *testing.T) {
+	// term -> the two domains it must appear in
+	homographs := map[string][2]string{
+		"park":    {"transport", "geography"},
+		"coach":   {"transport", "education and communications"},
+		"current": {"energy", "environment"},
+		"cell":    {"energy", "education and communications"},
+		"class":   {"education and communications", "social questions"},
+		"charge":  {"energy", "social questions"},
+		"memory":  {"education and communications", "education and communications"},
+		"plant":   {"energy", "environment"},
+	}
+	domainTerms := make(map[string]map[string]bool) // domain -> token set
+	for _, d := range Domains() {
+		toks := make(map[string]bool)
+		for _, c := range d.Concepts {
+			for _, term := range c.Terms() {
+				for _, tok := range text.Tokenize(term) {
+					toks[tok] = true
+				}
+			}
+		}
+		domainTerms[d.Name] = toks
+	}
+	for term, doms := range homographs {
+		for _, dom := range [2]string{doms[0], doms[1]} {
+			if !domainTerms[dom][term] {
+				t.Errorf("homograph %q missing from domain %q", term, dom)
+			}
+		}
+	}
+}
+
+func TestSensorCapabilitiesMatchTable3(t *testing.T) {
+	caps := SensorCapabilities()
+	if len(caps) != 22 {
+		t.Fatalf("Table 3 has 22 capabilities, got %d", len(caps))
+	}
+	for _, want := range []string{"energy consumption", "parking", "no2", "cpu usage"} {
+		found := false
+		for _, c := range caps {
+			if c == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("capability %q missing", want)
+		}
+	}
+}
+
+func TestUnitsCoverAllCapabilities(t *testing.T) {
+	units := Units()
+	for _, c := range SensorCapabilities() {
+		if units[c] == "" {
+			t.Errorf("no unit for capability %q", c)
+		}
+	}
+	if len(units) != len(SensorCapabilities()) {
+		t.Errorf("units has %d entries, capabilities %d", len(units), len(SensorCapabilities()))
+	}
+}
+
+func TestEventTypeFor(t *testing.T) {
+	got := EventTypeFor("energy consumption", "increased")
+	if got != "increased energy consumption event" {
+		t.Errorf("EventTypeFor = %q", got)
+	}
+}
+
+func TestDatasetsNonEmptyAndLowercase(t *testing.T) {
+	sets := map[string][]string{
+		"Appliances": Appliances(),
+		"CarBrands":  CarBrands(),
+		"Rooms":      Rooms(),
+		"Desks":      Desks(),
+		"Floors":     Floors(),
+		"Zones":      Zones(),
+		"Cities":     Cities(),
+		"Countries":  Countries(),
+		"Continents": Continents(),
+		"Streets":    Streets(),
+		"Trends":     Trends(),
+	}
+	for name, set := range sets {
+		if len(set) == 0 {
+			t.Errorf("%s is empty", name)
+		}
+		for _, s := range set {
+			if s != strings.ToLower(s) {
+				t.Errorf("%s entry %q is not lowercase", name, s)
+			}
+		}
+	}
+}
+
+// Every capability must be resolvable in some domain concept so that
+// semantic expansion can rewrite it: it is either a concept label or a
+// synonym somewhere.
+func TestCapabilitiesAreInVocabulary(t *testing.T) {
+	known := make(map[string]bool)
+	for _, d := range Domains() {
+		for _, c := range d.Concepts {
+			for _, term := range c.Terms() {
+				known[term] = true
+			}
+		}
+	}
+	for _, c := range SensorCapabilities() {
+		if !known[c] {
+			t.Errorf("capability %q is not a term of any domain concept", c)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"thematicep/internal/event"
+)
+
+func TestPartiallyApproximateDegrees(t *testing.T) {
+	src := &event.Subscription{
+		ID: "s",
+		Predicates: []event.Predicate{
+			{Attr: "a", Value: "1"},
+			{Attr: "b", Value: "2"},
+			{Attr: "c", Value: "3"},
+		},
+	}
+	rng := rand.New(rand.NewSource(1))
+	tests := []struct {
+		degree float64
+	}{
+		{degree: 0}, {degree: 0.25}, {degree: 0.5}, {degree: 0.75}, {degree: 1},
+	}
+	for _, tt := range tests {
+		got := PartiallyApproximate(src, tt.degree, rng)
+		// 2*3 = 6 slots; requested round(degree*6).
+		want := math.Round(tt.degree*6) / 6
+		if d := got.ApproximationDegree(); math.Abs(d-want) > 1e-9 {
+			t.Errorf("degree %v: got %v, want %v", tt.degree, d, want)
+		}
+		// Original untouched.
+		if src.ApproximationDegree() != 0 {
+			t.Fatal("source subscription mutated")
+		}
+		// Terms unchanged.
+		for i, p := range got.Predicates {
+			if p.Attr != src.Predicates[i].Attr || p.Value != src.Predicates[i].Value {
+				t.Errorf("terms changed: %+v", p)
+			}
+		}
+	}
+}
+
+func TestPartiallyApproximateClamps(t *testing.T) {
+	src := &event.Subscription{Predicates: []event.Predicate{{Attr: "a", Value: "1"}}}
+	rng := rand.New(rand.NewSource(2))
+	if got := PartiallyApproximate(src, 5.0, rng); got.ApproximationDegree() != 1 {
+		t.Errorf("degree > 1 not clamped: %v", got.ApproximationDegree())
+	}
+	if got := PartiallyApproximate(src, -1, rng); got.ApproximationDegree() != 0 {
+		t.Errorf("negative degree not clamped: %v", got.ApproximationDegree())
+	}
+}
+
+func TestWithSubscriptionsSharesEventsRecomputesTruth(t *testing.T) {
+	w := Generate(testConfig())
+	// Take one subscription known to have relevant events and make a
+	// never-matching one.
+	matching := w.ApproxSubs[0]
+	nonMatching := &event.Subscription{
+		ID: "none",
+		Predicates: []event.Predicate{
+			{Attr: "nonexistent attr", Value: "nonexistent value", ApproxAttr: true, ApproxValue: true},
+		},
+	}
+	sw := w.WithSubscriptions([]*event.Subscription{matching, nonMatching})
+	if len(sw.ApproxSubs) != 2 || len(sw.Events) != len(w.Events) {
+		t.Fatalf("clone shape wrong: %d subs, %d events", len(sw.ApproxSubs), len(sw.Events))
+	}
+	if sw.RelevantCount(0) != w.RelevantCount(0) {
+		t.Errorf("ground truth for carried-over subscription changed: %d vs %d",
+			sw.RelevantCount(0), w.RelevantCount(0))
+	}
+	if sw.RelevantCount(1) != 0 {
+		t.Errorf("never-matching subscription has %d relevant events", sw.RelevantCount(1))
+	}
+	// The clone's thesaurus is shared.
+	if sw.Thesaurus() != w.Thesaurus() {
+		t.Error("thesaurus not shared")
+	}
+}
+
+func TestWithSubscriptionsPartialApproximationGroundTruth(t *testing.T) {
+	w := Generate(testConfig())
+	rng := rand.New(rand.NewSource(3))
+	// Ground truth is computed from the exact core, so any degree of
+	// approximation yields the same relevance sets.
+	subs50 := make([]*event.Subscription, len(w.ExactSubs))
+	for i, s := range w.ExactSubs {
+		subs50[i] = PartiallyApproximate(s, 0.5, rng)
+	}
+	sw := w.WithSubscriptions(subs50)
+	for si := range sw.ApproxSubs {
+		if got, want := sw.RelevantCount(si), w.RelevantCount(si); got != want {
+			t.Fatalf("sub %d: relevant %d, want %d", si, got, want)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ThemeCombination is one sampled pair of theme tag sets for a
+// sub-experiment (§5.2.4). Containment holds by construction: the smaller
+// set is a subset of the larger, reflecting the paper's "the event theme
+// tags set contains the subscription theme tags set or vice versa".
+type ThemeCombination struct {
+	EventTheme []string
+	SubTheme   []string
+}
+
+// ThemePool returns the theme-tag candidate pool: the top terms of the six
+// domains originally used to expand the event set.
+func (w *Workload) ThemePool() []string {
+	return w.th.AllTopTerms()
+}
+
+// SampleThemes draws one combination with the given theme sizes using
+// uniform sampling without replacement from the pool. Sizes are clamped to
+// the pool size.
+func (w *Workload) SampleThemes(rng *rand.Rand, eventSize, subSize int) ThemeCombination {
+	return w.sampleThemes(rng, eventSize, subSize, nil)
+}
+
+// SampleThemesZipf draws one combination with Zipf-distributed tag
+// popularity (s=1.1), modelling realistic human tagging behaviour where a
+// few tags dominate (§7 future work; the tagging ablation of DESIGN.md §4).
+func (w *Workload) SampleThemesZipf(rng *rand.Rand, eventSize, subSize int) ThemeCombination {
+	pool := w.ThemePool()
+	weights := make([]float64, len(pool))
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), 1.1)
+	}
+	return w.sampleThemes(rng, eventSize, subSize, weights)
+}
+
+// sampleThemes draws max(eventSize, subSize) distinct tags (optionally
+// weight-biased) and takes the smaller set as a subset of the larger.
+func (w *Workload) sampleThemes(rng *rand.Rand, eventSize, subSize int, weights []float64) ThemeCombination {
+	pool := w.ThemePool()
+	if eventSize > len(pool) {
+		eventSize = len(pool)
+	}
+	if subSize > len(pool) {
+		subSize = len(pool)
+	}
+	if eventSize < 0 {
+		eventSize = 0
+	}
+	if subSize < 0 {
+		subSize = 0
+	}
+	large := eventSize
+	if subSize > large {
+		large = subSize
+	}
+
+	tags := sampleDistinct(rng, pool, large, weights)
+	small := eventSize
+	if subSize < small {
+		small = subSize
+	}
+	subset := make([]string, small)
+	copy(subset, shuffled(rng, tags)[:small])
+
+	combo := ThemeCombination{}
+	if eventSize >= subSize {
+		combo.EventTheme = tags
+		combo.SubTheme = subset
+	} else {
+		combo.SubTheme = tags
+		combo.EventTheme = subset
+	}
+	return combo
+}
+
+// ApplyThemes stamps the combination onto every event and subscription of
+// the workload (one theme set for all events and one for all subscriptions,
+// as in each of the paper's sub-experiments).
+func (w *Workload) ApplyThemes(combo ThemeCombination) {
+	for _, e := range w.Events {
+		e.Theme = combo.EventTheme
+	}
+	for _, s := range w.ApproxSubs {
+		s.Theme = combo.SubTheme
+	}
+}
+
+// ClearThemes removes all theme tags (the non-thematic baseline
+// configuration).
+func (w *Workload) ClearThemes() {
+	w.ApplyThemes(ThemeCombination{})
+}
+
+// sampleDistinct draws n distinct elements, uniformly when weights is nil,
+// otherwise proportionally to weights (without replacement).
+func sampleDistinct(rng *rand.Rand, pool []string, n int, weights []float64) []string {
+	if n >= len(pool) {
+		return shuffled(rng, pool)[:min(n, len(pool))]
+	}
+	if weights == nil {
+		return shuffled(rng, pool)[:n]
+	}
+	remaining := append([]string(nil), pool...)
+	w := append([]float64(nil), weights...)
+	out := make([]string, 0, n)
+	for len(out) < n {
+		total := 0.0
+		for _, x := range w {
+			total += x
+		}
+		r := rng.Float64() * total
+		idx := 0
+		for i, x := range w {
+			r -= x
+			if r <= 0 {
+				idx = i
+				break
+			}
+		}
+		out = append(out, remaining[idx])
+		remaining = append(remaining[:idx], remaining[idx+1:]...)
+		w = append(w[:idx], w[idx+1:]...)
+	}
+	return out
+}
+
+func shuffled(rng *rand.Rand, in []string) []string {
+	out := append([]string(nil), in...)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

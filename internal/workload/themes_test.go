@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func contains(set []string, x string) bool {
+	for _, s := range set {
+		if s == x {
+			return true
+		}
+	}
+	return false
+}
+
+func isSubset(small, large []string) bool {
+	for _, s := range small {
+		if !contains(large, s) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSampleThemesSizesAndContainment(t *testing.T) {
+	w := Generate(testConfig())
+	rng := rand.New(rand.NewSource(5))
+	cases := [][2]int{{1, 1}, {2, 10}, {10, 2}, {5, 5}, {30, 7}, {7, 30}, {30, 30}}
+	for _, c := range cases {
+		combo := w.SampleThemes(rng, c[0], c[1])
+		if len(combo.EventTheme) != c[0] || len(combo.SubTheme) != c[1] {
+			t.Fatalf("sizes = %d/%d, want %d/%d",
+				len(combo.EventTheme), len(combo.SubTheme), c[0], c[1])
+		}
+		if c[0] <= c[1] {
+			if !isSubset(combo.EventTheme, combo.SubTheme) {
+				t.Errorf("event theme not contained in sub theme for %v", c)
+			}
+		} else if !isSubset(combo.SubTheme, combo.EventTheme) {
+			t.Errorf("sub theme not contained in event theme for %v", c)
+		}
+	}
+}
+
+func TestSampleThemesDistinctTags(t *testing.T) {
+	w := Generate(testConfig())
+	rng := rand.New(rand.NewSource(6))
+	combo := w.SampleThemes(rng, 30, 15)
+	seen := make(map[string]bool)
+	for _, tag := range combo.EventTheme {
+		if seen[tag] {
+			t.Fatalf("duplicate tag %q", tag)
+		}
+		seen[tag] = true
+		if !contains(w.ThemePool(), tag) {
+			t.Fatalf("tag %q not from the pool", tag)
+		}
+	}
+}
+
+func TestSampleThemesClampedToPool(t *testing.T) {
+	w := Generate(testConfig())
+	rng := rand.New(rand.NewSource(7))
+	combo := w.SampleThemes(rng, 1000, -5)
+	if len(combo.EventTheme) != len(w.ThemePool()) {
+		t.Errorf("oversize not clamped: %d", len(combo.EventTheme))
+	}
+	if len(combo.SubTheme) != 0 {
+		t.Errorf("negative size not clamped: %d", len(combo.SubTheme))
+	}
+}
+
+func TestSampleThemesZipfBiased(t *testing.T) {
+	w := Generate(testConfig())
+	rng := rand.New(rand.NewSource(8))
+	pool := w.ThemePool()
+	first := pool[0]
+	countZipf, countUniform := 0, 0
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		if contains(w.SampleThemesZipf(rng, 3, 3).EventTheme, first) {
+			countZipf++
+		}
+		if contains(w.SampleThemes(rng, 3, 3).EventTheme, first) {
+			countUniform++
+		}
+	}
+	if countZipf <= countUniform {
+		t.Errorf("zipf did not bias toward head tag: zipf=%d uniform=%d", countZipf, countUniform)
+	}
+}
+
+func TestApplyAndClearThemes(t *testing.T) {
+	w := Generate(testConfig())
+	rng := rand.New(rand.NewSource(9))
+	combo := w.SampleThemes(rng, 4, 2)
+	w.ApplyThemes(combo)
+	for _, e := range w.Events {
+		if len(e.Theme) != 4 {
+			t.Fatalf("event theme size = %d", len(e.Theme))
+		}
+	}
+	for _, s := range w.ApproxSubs {
+		if len(s.Theme) != 2 {
+			t.Fatalf("sub theme size = %d", len(s.Theme))
+		}
+	}
+	w.ClearThemes()
+	for _, e := range w.Events {
+		if len(e.Theme) != 0 {
+			t.Fatal("ClearThemes left event themes")
+		}
+	}
+}

@@ -1,0 +1,370 @@
+// Package workload synthesizes the evaluation workload of §5.2:
+//
+//   - seed events (166) combining attributes and values from the embedded
+//     SmartSantander/LEI-like datasets (§5.2.1);
+//   - semantically expanded events (~14,743 at paper scale) obtained by
+//     replacing terms with synonyms from the domain-restricted thesaurus
+//     (§5.2.2);
+//   - exact subscriptions (94) drawn from seed-event tuples, and their
+//     fully approximated (~ on everything) counterparts (§5.2.3);
+//   - the relevance ground truth, isomorphic to exact matching between
+//     exact subscriptions and seed events (§5.2.3);
+//   - theme-tag combinations sampled from the domains' top terms (§5.2.4).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"thematicep/internal/event"
+	"thematicep/internal/text"
+	"thematicep/internal/thesaurus"
+	"thematicep/internal/vocab"
+)
+
+// Config controls workload synthesis. The zero value is invalid; use
+// DefaultConfig or PaperConfig.
+type Config struct {
+	// Seed drives all random choices; identical configs yield identical
+	// workloads.
+	Seed int64
+	// SeedEvents is the number of seed events (paper: 166).
+	SeedEvents int
+	// ExpandedPerSeed is the number of expanded variants per seed event
+	// (paper: ~89, for 14,743 total).
+	ExpandedPerSeed int
+	// Subscriptions is the number of exact/approximate subscriptions
+	// (paper: 94).
+	Subscriptions int
+	// MaxPredicates bounds the predicates per subscription.
+	MaxPredicates int
+}
+
+// DefaultConfig is a reduced workload that keeps the full pipeline shape but
+// runs quickly on one core.
+func DefaultConfig() Config {
+	return Config{
+		Seed:            7,
+		SeedEvents:      166,
+		ExpandedPerSeed: 9,
+		Subscriptions:   94,
+		MaxPredicates:   3,
+	}
+}
+
+// PaperConfig is the paper-scale workload: 166 seeds expanded to ~14,743
+// events and 94 subscriptions.
+func PaperConfig() Config {
+	cfg := DefaultConfig()
+	cfg.ExpandedPerSeed = 89
+	return cfg
+}
+
+// Workload is a generated evaluation workload.
+type Workload struct {
+	// Seeds are the seed events (§5.2.1); they carry no theme tags.
+	Seeds []*event.Event
+	// Events are the semantically expanded events (§5.2.2).
+	Events []*event.Event
+	// SeedOf[i] is the index into Seeds of the seed Events[i] expands.
+	SeedOf []int
+	// ExactSubs are the exact subscriptions drawn from seed tuples.
+	ExactSubs []*event.Subscription
+	// ApproxSubs are the corresponding 100%-approximation subscriptions.
+	ApproxSubs []*event.Subscription
+
+	th *thesaurus.T
+	// relevantSeeds[si] is the set of seed indices exactly matching
+	// ExactSubs[si]; the ground truth derives from it.
+	relevantSeeds []map[int]bool
+}
+
+// Generate builds a workload. The thesaurus is restricted to the six
+// evaluation domains (the micro-thesauri "conforming to the theme of the
+// events", §5.2.2).
+func Generate(cfg Config) *Workload {
+	if cfg.SeedEvents <= 0 {
+		cfg = DefaultConfig()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &Workload{th: thesaurus.Default()}
+
+	w.generateSeeds(rng, cfg)
+	w.generateSubscriptions(rng, cfg)
+	w.expandEvents(rng, cfg)
+	w.buildGroundTruth()
+	return w
+}
+
+// Thesaurus returns the thesaurus used for expansion.
+func (w *Workload) Thesaurus() *thesaurus.T { return w.th }
+
+// Relevant reports the ground truth: whether Events[eventIdx] is relevant to
+// ApproxSubs[subIdx]. Per §5.2.3 the relevance function is isomorphic to
+// exact matching between the exact subscription and the seed event the
+// expanded event derives from.
+func (w *Workload) Relevant(subIdx, eventIdx int) bool {
+	return w.relevantSeeds[subIdx][w.SeedOf[eventIdx]]
+}
+
+// RelevantCount returns the number of relevant events for a subscription.
+func (w *Workload) RelevantCount(subIdx int) int {
+	n := 0
+	for ei := range w.Events {
+		if w.Relevant(subIdx, ei) {
+			n++
+		}
+	}
+	return n
+}
+
+// locationSite couples a city with its country so location chains stay
+// coherent (galway -> ireland -> europe).
+type locationSite struct {
+	city, country string
+}
+
+func sites() []locationSite {
+	cities, countries := vocab.Cities(), vocab.Countries()
+	out := make([]locationSite, len(cities))
+	for i := range cities {
+		out[i] = locationSite{city: cities[i], country: countries[i]}
+	}
+	return out
+}
+
+// generateSeeds implements §5.2.1: random combination of dataset attributes
+// and values around one sensor capability per event.
+func (w *Workload) generateSeeds(rng *rand.Rand, cfg Config) {
+	caps := vocab.SensorCapabilities()
+	trends := vocab.Trends()
+	units := vocab.Units()
+	appliances := vocab.Appliances()
+	cars := vocab.CarBrands()
+	rooms := vocab.Rooms()
+	desks := vocab.Desks()
+	floors := vocab.Floors()
+	zones := vocab.Zones()
+	streets := vocab.Streets()
+	allSites := sites()
+
+	indoor := map[string]bool{
+		"energy consumption": true, "cpu usage": true, "memory usage": true,
+		"light": true, "temperature": true, "relative humidity": true,
+	}
+	mobile := map[string]bool{"speed": true, "parking": true, "co": true, "no2": true}
+
+	for i := 0; i < cfg.SeedEvents; i++ {
+		capability := caps[rng.Intn(len(caps))]
+		trend := trends[rng.Intn(len(trends))]
+		site := allSites[rng.Intn(len(allSites))]
+
+		e := &event.Event{ID: fmt.Sprintf("seed-%03d", i)}
+		add := func(attr, value string) {
+			e.Tuples = append(e.Tuples, event.Tuple{Attr: attr, Value: value})
+		}
+		add("type", vocab.EventTypeFor(capability, trend))
+		add("measurement unit", units[capability])
+
+		switch {
+		case indoor[capability]:
+			add("device", appliances[rng.Intn(len(appliances))])
+			if rng.Intn(2) == 0 {
+				add("desk", desks[rng.Intn(len(desks))])
+			}
+			add("room", rooms[rng.Intn(len(rooms))])
+			if rng.Intn(2) == 0 {
+				add("floor", floors[rng.Intn(len(floors))])
+			}
+			add("zone", "building")
+		case mobile[capability] && rng.Intn(2) == 0:
+			add("vehicle", cars[rng.Intn(len(cars))])
+			add("street", streets[rng.Intn(len(streets))])
+		default:
+			add("street", streets[rng.Intn(len(streets))])
+			add("zone", zones[rng.Intn(len(zones))])
+		}
+		add("city", site.city)
+		add("country", site.country)
+		add("continent", "europe")
+		w.Seeds = append(w.Seeds, e)
+	}
+}
+
+// generateSubscriptions implements §5.2.3: exact subscriptions are random
+// tuple subsets of seed events; approximate ones relax every attribute and
+// value.
+func (w *Workload) generateSubscriptions(rng *rand.Rand, cfg Config) {
+	maxPred := cfg.MaxPredicates
+	if maxPred <= 0 {
+		maxPred = 3
+	}
+	seen := make(map[string]bool)
+	for len(w.ExactSubs) < cfg.Subscriptions {
+		seed := w.Seeds[rng.Intn(len(w.Seeds))]
+		n := 1 + rng.Intn(maxPred)
+		if n > len(seed.Tuples) {
+			n = len(seed.Tuples)
+		}
+		picks := rng.Perm(len(seed.Tuples))[:n]
+		sub := &event.Subscription{ID: fmt.Sprintf("sub-%03d", len(w.ExactSubs))}
+		for _, ti := range picks {
+			t := seed.Tuples[ti]
+			sub.Predicates = append(sub.Predicates, event.Predicate{Attr: t.Attr, Value: t.Value})
+		}
+		key := canonicalSubKey(sub)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		w.ExactSubs = append(w.ExactSubs, sub)
+		approx := sub.Approximate()
+		approx.ID = sub.ID + "-approx"
+		w.ApproxSubs = append(w.ApproxSubs, approx)
+	}
+}
+
+func canonicalSubKey(s *event.Subscription) string {
+	parts := make([]string, len(s.Predicates))
+	for i, p := range s.Predicates {
+		parts[i] = text.Canonical(p.Attr) + "=" + text.Canonical(p.Value)
+	}
+	// Order-insensitive key.
+	for i := 1; i < len(parts); i++ {
+		for j := i; j > 0 && parts[j-1] > parts[j]; j-- {
+			parts[j-1], parts[j] = parts[j], parts[j-1]
+		}
+	}
+	return strings.Join(parts, "&")
+}
+
+// expandEvents implements §5.2.2: each expanded event replaces terms of its
+// seed's tuples with synonyms or related terms from the thesaurus. Most
+// expandable tuples are rewritten, producing the strongly heterogeneous
+// event set the paper evaluates on (its 14,743 events cover the semantic
+// variations of 166 seeds).
+func (w *Workload) expandEvents(rng *rand.Rand, cfg Config) {
+	per := cfg.ExpandedPerSeed
+	if per <= 0 {
+		per = 1
+	}
+	for si, seed := range w.Seeds {
+		for v := 0; v < per; v++ {
+			e := &event.Event{ID: fmt.Sprintf("%s-x%03d", seed.ID, v)}
+			for _, t := range seed.Tuples {
+				attr, value := t.Attr, t.Value
+				// Values are rewritten aggressively, attributes
+				// occasionally; ~1 in 8 tuples stays verbatim.
+				if rng.Intn(8) > 0 {
+					if rng.Intn(4) == 0 {
+						attr = w.expandTerm(rng, attr)
+					}
+					value = w.expandTerm(rng, value)
+				}
+				e.Tuples = append(e.Tuples, event.Tuple{Attr: attr, Value: value})
+			}
+			w.Events = append(w.Events, e)
+			w.SeedOf = append(w.SeedOf, si)
+		}
+	}
+}
+
+// relatedExpansionRate is the probability that expandTerm substitutes a
+// related term instead of a synonym, mirroring §5.2.2's "synonyms or
+// related terms from the thesaurus".
+const relatedExpansionRate = 0.3
+
+// expandTerm rewrites term by substituting an embedded thesaurus concept
+// term (the longest known token subsequence) with one of its synonyms or,
+// with probability relatedExpansionRate, one of its related terms. Terms
+// without any known sub-phrase are returned unchanged.
+func (w *Workload) expandTerm(rng *rand.Rand, term string) string {
+	toks := text.TokenizeKeepStops(term)
+	// Try longer sub-phrases first so "energy consumption" wins over
+	// "energy".
+	for length := len(toks); length >= 1; length-- {
+		for start := 0; start+length <= len(toks); start++ {
+			phrase := strings.Join(toks[start:start+length], " ")
+			candidates := w.th.Synonyms(phrase)
+			if len(candidates) == 0 {
+				continue
+			}
+			if related := w.th.Related(phrase); len(related) > 0 && rng.Float64() < relatedExpansionRate {
+				candidates = related
+			}
+			replacement := candidates[rng.Intn(len(candidates))]
+			out := append([]string{}, toks[:start]...)
+			out = append(out, replacement)
+			out = append(out, toks[start+length:]...)
+			return strings.Join(out, " ")
+		}
+	}
+	return term
+}
+
+// buildGroundTruth records, per exact subscription, the seeds it exactly
+// matches.
+func (w *Workload) buildGroundTruth() {
+	w.relevantSeeds = make([]map[int]bool, len(w.ExactSubs))
+	for si, sub := range w.ExactSubs {
+		m := make(map[int]bool)
+		for ei, seed := range w.Seeds {
+			if event.ExactMatch(sub, seed) {
+				m[ei] = true
+			}
+		}
+		w.relevantSeeds[si] = m
+	}
+}
+
+// WithSubscriptions returns a clone of w sharing its seeds and events but
+// carrying the given subscriptions instead. Ground truth is recomputed from
+// the exact versions of the subscriptions, preserving the §5.2.3
+// isomorphism for any degree of approximation.
+func (w *Workload) WithSubscriptions(subs []*event.Subscription) *Workload {
+	out := &Workload{
+		Seeds:  w.Seeds,
+		Events: w.Events,
+		SeedOf: w.SeedOf,
+		th:     w.th,
+	}
+	for _, s := range subs {
+		out.ApproxSubs = append(out.ApproxSubs, s)
+		out.ExactSubs = append(out.ExactSubs, s.Exact())
+	}
+	out.buildGroundTruth()
+	return out
+}
+
+// PartiallyApproximate returns a copy of s with approximately the given
+// degree of approximation (§3.4): degree*2*len(predicates) attribute/value
+// slots, chosen at random, get the ~ operator. Degree 0 returns an exact
+// copy, degree 1 a fully approximate one.
+func PartiallyApproximate(s *event.Subscription, degree float64, rng *rand.Rand) *event.Subscription {
+	out := s.Exact()
+	slots := 2 * len(out.Predicates)
+	relax := int(degree*float64(slots) + 0.5)
+	if relax <= 0 {
+		return out
+	}
+	if relax > slots {
+		relax = slots
+	}
+	for _, slot := range rng.Perm(slots)[:relax] {
+		p := &out.Predicates[slot/2]
+		if slot%2 == 0 {
+			p.ApproxAttr = true
+		} else {
+			p.ApproxValue = true
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"thematicep/internal/event"
+)
+
+func testConfig() Config {
+	return Config{
+		Seed:            1,
+		SeedEvents:      40,
+		ExpandedPerSeed: 5,
+		Subscriptions:   20,
+		MaxPredicates:   3,
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(testConfig())
+	b := Generate(testConfig())
+	if len(a.Events) != len(b.Events) || len(a.ApproxSubs) != len(b.ApproxSubs) {
+		t.Fatal("sizes differ between identical configs")
+	}
+	for i := range a.Events {
+		if !reflect.DeepEqual(a.Events[i], b.Events[i]) {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+	for i := range a.ApproxSubs {
+		if !reflect.DeepEqual(a.ApproxSubs[i], b.ApproxSubs[i]) {
+			t.Fatalf("subscription %d differs", i)
+		}
+	}
+}
+
+func TestWorkloadSizes(t *testing.T) {
+	cfg := testConfig()
+	w := Generate(cfg)
+	if len(w.Seeds) != cfg.SeedEvents {
+		t.Errorf("seeds = %d, want %d", len(w.Seeds), cfg.SeedEvents)
+	}
+	if len(w.Events) != cfg.SeedEvents*cfg.ExpandedPerSeed {
+		t.Errorf("events = %d, want %d", len(w.Events), cfg.SeedEvents*cfg.ExpandedPerSeed)
+	}
+	if len(w.ExactSubs) != cfg.Subscriptions || len(w.ApproxSubs) != cfg.Subscriptions {
+		t.Errorf("subs = %d/%d, want %d", len(w.ExactSubs), len(w.ApproxSubs), cfg.Subscriptions)
+	}
+	if len(w.SeedOf) != len(w.Events) {
+		t.Errorf("SeedOf length mismatch")
+	}
+}
+
+func TestPaperConfigScale(t *testing.T) {
+	cfg := PaperConfig()
+	if cfg.SeedEvents != 166 || cfg.Subscriptions != 94 {
+		t.Errorf("paper config wrong: %+v", cfg)
+	}
+	if got := cfg.SeedEvents * cfg.ExpandedPerSeed; got < 14000 || got > 15500 {
+		t.Errorf("paper-scale events = %d, want ~14,743", got)
+	}
+}
+
+func TestEventsValid(t *testing.T) {
+	w := Generate(testConfig())
+	for _, e := range w.Seeds {
+		if err := e.Validate(); err != nil {
+			t.Fatalf("seed %s invalid: %v", e.ID, err)
+		}
+		if len(e.Tuples) > 10 {
+			t.Errorf("seed %s has %d tuples, want <= 10", e.ID, len(e.Tuples))
+		}
+	}
+	for _, e := range w.Events {
+		if err := e.Validate(); err != nil {
+			t.Fatalf("event %s invalid: %v", e.ID, err)
+		}
+	}
+}
+
+func TestSubscriptionsValidAndFullyApproximate(t *testing.T) {
+	w := Generate(testConfig())
+	for i, s := range w.ApproxSubs {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("sub %s invalid: %v", s.ID, err)
+		}
+		if got := s.ApproximationDegree(); got != 1 {
+			t.Errorf("sub %s degree = %v, want 1 (100%% approximation)", s.ID, got)
+		}
+		if got := w.ExactSubs[i].ApproximationDegree(); got != 0 {
+			t.Errorf("exact sub %s degree = %v, want 0", w.ExactSubs[i].ID, got)
+		}
+	}
+}
+
+func TestSubscriptionsDistinct(t *testing.T) {
+	w := Generate(testConfig())
+	seen := make(map[string]bool)
+	for _, s := range w.ExactSubs {
+		key := canonicalSubKey(s)
+		if seen[key] {
+			t.Fatalf("duplicate subscription %s", s.ID)
+		}
+		seen[key] = true
+	}
+}
+
+// Every exact subscription must exactly match at least one seed (the one it
+// was drawn from), so no subscription has an empty ground truth.
+func TestGroundTruthNonEmpty(t *testing.T) {
+	w := Generate(testConfig())
+	for si := range w.ApproxSubs {
+		if w.RelevantCount(si) == 0 {
+			t.Errorf("subscription %d has no relevant events", si)
+		}
+	}
+}
+
+// Ground truth must be isomorphic to exact matching on seeds: if an
+// expanded event's seed matches the exact subscription, the expanded event
+// is relevant to the approximate subscription.
+func TestGroundTruthIsomorphism(t *testing.T) {
+	w := Generate(testConfig())
+	for si, exact := range w.ExactSubs {
+		for ei := range w.Events {
+			want := event.ExactMatch(exact, w.Seeds[w.SeedOf[ei]])
+			if got := w.Relevant(si, ei); got != want {
+				t.Fatalf("Relevant(%d,%d) = %v, want %v", si, ei, got, want)
+			}
+		}
+	}
+}
+
+// Expansion must actually rewrite terms: a good share of expanded events
+// must differ from their seeds, and replaced values must remain synonyms
+// (ground-truth preserving).
+func TestExpansionRewritesWithSynonyms(t *testing.T) {
+	w := Generate(testConfig())
+	changed := 0
+	for ei, e := range w.Events {
+		seed := w.Seeds[w.SeedOf[ei]]
+		if len(e.Tuples) != len(seed.Tuples) {
+			t.Fatalf("event %s tuple count changed", e.ID)
+		}
+		diff := false
+		for ti := range e.Tuples {
+			if e.Tuples[ti] != seed.Tuples[ti] {
+				diff = true
+			}
+		}
+		if diff {
+			changed++
+		}
+	}
+	if frac := float64(changed) / float64(len(w.Events)); frac < 0.5 {
+		t.Errorf("only %.0f%% of expanded events differ from their seeds", frac*100)
+	}
+}
+
+func TestExpandTermPrefersLongPhrases(t *testing.T) {
+	w := Generate(testConfig())
+	rng := rand.New(rand.NewSource(3))
+	saw := make(map[string]bool)
+	for i := 0; i < 50; i++ {
+		saw[w.expandTerm(rng, "increased energy consumption event")] = true
+	}
+	// "energy consumption" (the long phrase) must be replaced, keeping the
+	// "increased ... event" frame.
+	foundFrame := false
+	for term := range saw {
+		if term == "increased energy consumption event" {
+			continue
+		}
+		if len(term) > len("increased  event") &&
+			term[:10] == "increased " && term[len(term)-6:] == " event" {
+			foundFrame = true
+		}
+	}
+	if !foundFrame {
+		t.Errorf("no frame-preserving expansion seen: %v", keys(saw))
+	}
+}
+
+func TestExpandTermUnknown(t *testing.T) {
+	w := Generate(testConfig())
+	rng := rand.New(rand.NewSource(4))
+	if got := w.expandTerm(rng, "zzz qqq"); got != "zzz qqq" {
+		t.Errorf("unknown term rewritten to %q", got)
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
