@@ -8,6 +8,12 @@
 //
 // Clients (for example cmd/themctl) publish events and register thematic
 // subscriptions; the daemon delivers matching events asynchronously.
+//
+// With -peers, the daemon joins a theme-sharded federation: each broker
+// owns a consistent-hash shard of the theme space, and events are
+// forwarded only to the peers whose shard overlaps their theme tags:
+//
+//	thematicd -addr :7070 -advertise host1:7070 -peers host2:7070,host3:7070
 package main
 
 import (
@@ -16,9 +22,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"thematicep/internal/broker"
+	"thematicep/internal/cluster"
 	"thematicep/internal/corpus"
 	"thematicep/internal/index"
 	"thematicep/internal/matcher"
@@ -44,6 +52,8 @@ func run(args []string) error {
 		seed      = fs.Int64("seed", 42, "corpus generation seed")
 		indexPath = fs.String("index", "", "index cache file: loaded when present, written after indexing")
 		metrics   = fs.String("metrics", "", "optional HTTP address serving /metrics (Prometheus text format)")
+		peers     = fs.String("peers", "", "comma-separated peer broker addresses (enables theme-sharded federation)")
+		advertise = fs.String("advertise", "", "address peers dial for this broker (shard identity; defaults to -addr)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,6 +74,29 @@ func run(args []string) error {
 	defer b.Close()
 
 	srv := broker.NewServer(b)
+
+	var node *cluster.Node
+	var collectors []broker.Collector
+	if *peers != "" {
+		self := *advertise
+		if self == "" {
+			self = *addr
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		node, err = cluster.New(b, cluster.Config{Self: self, Peers: peerList})
+		if err != nil {
+			return err
+		}
+		srv.SetBackend(node)
+		srv.SetPeerHandler(node)
+		collectors = append(collectors, node)
+	}
+
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		return err
@@ -71,10 +104,15 @@ func run(args []string) error {
 	defer srv.Close()
 	fmt.Fprintf(os.Stderr, "thematicd listening on %s (thematic=%v threshold=%.2f)\n",
 		bound, *thematic, *threshold)
+	if node != nil {
+		node.Start()
+		defer node.Close()
+		fmt.Fprintf(os.Stderr, "federation: shard %s peering with %s\n", node.ID(), *peers)
+	}
 
 	if *metrics != "" {
 		mux := http.NewServeMux()
-		mux.Handle("/metrics", broker.MetricsHandler(b))
+		mux.Handle("/metrics", broker.MetricsHandler(b, collectors...))
 		msrv := &http.Server{Addr: *metrics, Handler: mux}
 		go func() {
 			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -91,6 +129,11 @@ func run(args []string) error {
 	st := b.Stats()
 	fmt.Fprintf(os.Stderr, "shutting down: published=%d matched=%d delivered=%d dropped=%d\n",
 		st.Published, st.Matched, st.Delivered, st.Dropped)
+	if node != nil {
+		cs := node.Stats()
+		fmt.Fprintf(os.Stderr, "federation: forwarded=%d received=%d deduped=%d reconnects=%d queueDrops=%d\n",
+			cs.Forwarded, cs.Received, cs.Deduped, cs.PeerReconnects, cs.QueueDrops)
+	}
 	return nil
 }
 

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -92,15 +93,35 @@ func runSubscribe(args []string) error {
 	if err != nil {
 		return err
 	}
-	c, err := broker.Dial(*addr)
-	if err != nil {
-		return err
+	// A clustered broker redirects subscriptions whose theme shard it does
+	// not own; follow the redirect to the owning broker (bounded hops in
+	// case of a misconfigured ring).
+	target := *addr
+	var (
+		c          *broker.Client
+		id         string
+		deliveries <-chan broker.Delivery
+	)
+	for hop := 0; ; hop++ {
+		c, err = broker.Dial(target)
+		if err != nil {
+			return err
+		}
+		id, deliveries, err = c.Subscribe(sub, *replay)
+		var redirect *broker.RedirectError
+		if errors.As(err, &redirect) && hop < 4 {
+			c.Close()
+			fmt.Fprintf(os.Stderr, "redirected to owning shard %s\n", redirect.Addr)
+			target = redirect.Addr
+			continue
+		}
+		if err != nil {
+			c.Close()
+			return err
+		}
+		break
 	}
 	defer c.Close()
-	id, deliveries, err := c.Subscribe(sub, *replay)
-	if err != nil {
-		return err
-	}
 	fmt.Fprintf(os.Stderr, "subscribed as %s; waiting for deliveries (interrupt to stop)\n", id)
 
 	sig := make(chan os.Signal, 1)

@@ -171,6 +171,9 @@ func WithReplay(enabled bool) SubscribeOption { return replayOption(enabled) }
 // one. The returned Subscriber's channel receives matching deliveries until
 // Close.
 func (b *Broker) Subscribe(sub *event.Subscription, opts ...SubscribeOption) (*Subscriber, error) {
+	if sub == nil {
+		return nil, errors.New("broker: subscribe: nil subscription")
+	}
 	if err := sub.Validate(); err != nil {
 		return nil, fmt.Errorf("broker: subscribe: %w", err)
 	}

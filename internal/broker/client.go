@@ -31,6 +31,17 @@ type Client struct {
 // ErrClientClosed is returned by operations on a closed client.
 var ErrClientClosed = errors.New("broker client: closed")
 
+// RedirectError is returned by Subscribe when a clustered broker does not
+// own the subscription's theme shard; Addr is the owning broker to retry
+// against (cmd/themctl follows it automatically).
+type RedirectError struct {
+	Addr string
+}
+
+func (e *RedirectError) Error() string {
+	return fmt.Sprintf("broker client: redirected to %s", e.Addr)
+}
+
 // Dial connects to a broker server.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
@@ -134,6 +145,9 @@ func (c *Client) request(f *Frame) (*Frame, error) {
 	if resp.Type == FrameError {
 		return nil, fmt.Errorf("broker client: server error: %s", resp.Error)
 	}
+	if resp.Type == FrameRedirect {
+		return nil, &RedirectError{Addr: resp.Addr}
+	}
 	return resp, nil
 }
 
@@ -154,6 +168,14 @@ func (c *Client) Subscribe(sub *event.Subscription, replay bool) (id string, del
 	}
 	ch := make(chan Delivery, 64)
 	c.mu.Lock()
+	if c.closed {
+		// The connection died between the acknowledgement and now; the
+		// read loop has already swept c.subs, so registering would leak
+		// an open channel. Hand back a closed one instead.
+		c.mu.Unlock()
+		close(ch)
+		return resp.SubscriptionID, ch, nil
+	}
 	c.subs[resp.SubscriptionID] = ch
 	for _, d := range c.orphans[resp.SubscriptionID] {
 		select {

@@ -1,0 +1,74 @@
+package broker
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"thematicep/internal/event"
+)
+
+// FuzzReadFrame asserts the wire decoder never panics or over-allocates on
+// corrupt length prefixes and truncated or garbage JSON payloads, and that
+// anything it accepts re-encodes (mirroring internal/event/fuzz_test.go
+// for the parsers).
+func FuzzReadFrame(f *testing.F) {
+	// Well-formed frames of each type.
+	for _, fr := range []*Frame{
+		{Type: FrameOK, SubscriptionID: "s1"},
+		{Type: FrameError, Error: "boom"},
+		{Type: FrameHello, NodeID: "10.0.0.1:7070"},
+		{Type: FrameRedirect, Addr: "10.0.0.2:7070"},
+		{Type: FramePublish, Event: &event.Event{
+			Theme:  []string{"land transport"},
+			Tuples: []event.Tuple{{Attr: "type", Value: "parking event"}},
+		}},
+		{Type: FrameForward, NodeID: "n1", Event: &event.Event{
+			ID:     "n1/e1",
+			Tuples: []event.Tuple{{Attr: "a", Value: "b"}},
+		}},
+		{Type: FrameSubscribe, Replay: true, Subscription: &event.Subscription{
+			Predicates: []event.Predicate{{Attr: "type", Value: "parking event"}},
+		}},
+	} {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, fr); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	// Corrupt length prefixes and truncations.
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0, 0, 0, 100, '{'})
+	f.Add([]byte{0, 0, 0, 2, '{', 'x'})
+	huge := make([]byte, 4)
+	binary.BigEndian.PutUint32(huge, MaxFrameSize+1)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		fr, err := ReadFrame(r)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// The declared length can never exceed the cap, so a decoded
+		// frame came from at most 4+MaxFrameSize input bytes.
+		if consumed := len(data) - r.Len(); consumed > 4+MaxFrameSize {
+			t.Fatalf("consumed %d bytes, cap is %d", consumed, 4+MaxFrameSize)
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, fr); err != nil {
+			t.Fatalf("accepted frame %+v does not re-encode: %v", fr, err)
+		}
+		back, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded frame does not decode: %v", err)
+		}
+		if back.Type != fr.Type || back.SubscriptionID != fr.SubscriptionID ||
+			back.NodeID != fr.NodeID || back.Addr != fr.Addr || back.Error != fr.Error {
+			t.Fatalf("round-trip mismatch: %+v vs %+v", fr, back)
+		}
+	})
+}

@@ -1,0 +1,186 @@
+package broker
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServerCloseWithInFlightClients closes the server while several
+// connected clients hold live subscriptions and a publisher is mid-stream:
+// Close must return (no goroutine leak or deadlock), every client's
+// delivery channels must close, and the broker itself must stay usable
+// because the caller owns it.
+func TestServerCloseWithInFlightClients(t *testing.T) {
+	b := New(exactMatcher())
+	defer b.Close()
+	srv := NewServer(b)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 4
+	chans := make([]<-chan Delivery, clients)
+	conns := make([]*Client, clients)
+	for i := 0; i < clients; i++ {
+		c, err := Dial(addr.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+		if _, chans[i], err = c.Subscribe(parkingSub(), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Keep publishes in flight while the server shuts down; errors are
+	// expected once the conn drops, panics and hangs are not.
+	producer, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			if producer.Publish(parkingEvent("p")) != nil {
+				return
+			}
+		}
+	}()
+
+	closed := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Server.Close did not return with in-flight connections")
+	}
+	wg.Wait()
+	producer.Close()
+
+	for i, ch := range chans {
+		deadline := time.After(5 * time.Second)
+		for open := true; open; {
+			select {
+			case _, open = <-ch:
+			case <-deadline:
+				t.Fatalf("client %d delivery channel still open after server close", i)
+			}
+		}
+		conns[i].Close()
+	}
+
+	// The broker survives its server.
+	if b.Stats().Subscribers != 0 {
+		t.Errorf("subscribers = %d after server close, want 0", b.Stats().Subscribers)
+	}
+	sub, err := b.Subscribe(parkingSub())
+	if err != nil {
+		t.Fatalf("broker unusable after server close: %v", err)
+	}
+	sub.Close()
+}
+
+// TestServerSurvivesNilSubscription: a subscribe frame with a null
+// subscription payload must produce an error frame, not a panic that kills
+// the serving goroutine.
+func TestServerSurvivesNilSubscription(t *testing.T) {
+	_, addr := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteFrame(conn, &Frame{Type: FrameSubscribe}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != FrameError {
+		t.Errorf("frame = %+v, want error frame", f)
+	}
+}
+
+// TestReadFrameEOFSemantics pins the shutdown-detection contract: a peer
+// vanishing between frames is a clean io.EOF, vanishing mid-frame is an
+// unexpected-EOF error, never a zero frame.
+func TestReadFrameEOFSemantics(t *testing.T) {
+	// Clean close between frames.
+	if _, err := ReadFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty stream: err = %v, want io.EOF", err)
+	}
+	// Vanished inside the header.
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0})); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated header: err = %v, want unexpected EOF", err)
+	}
+	// Vanished inside the payload.
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 10, '{'})); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated payload: err = %v, want unexpected EOF", err)
+	}
+}
+
+// TestClientPeerVanishesMidFrame kills the server side after writing half
+// a frame: the client must observe the dead connection, close its pending
+// requests and delivery channels, and fail subsequent operations with
+// ErrClientClosed rather than hanging.
+func TestClientPeerVanishesMidFrame(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// Answer the subscribe so the client registers a delivery channel.
+		f, err := ReadFrame(conn)
+		if err != nil || f.Type != FrameSubscribe {
+			conn.Close()
+			return
+		}
+		WriteFrame(conn, &Frame{Type: FrameOK, SubscriptionID: "s1"})
+		// Start a delivery frame but vanish mid-payload.
+		conn.Write([]byte{0, 0, 1, 0, '{', '"'})
+		conn.Close()
+	}()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, deliveries, err := c.Subscribe(parkingSub(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-served
+
+	select {
+	case _, open := <-deliveries:
+		if open {
+			t.Error("received a delivery from a truncated frame")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("delivery channel not closed after peer vanished mid-frame")
+	}
+	if err := c.Publish(parkingEvent("p1")); !errors.Is(err, ErrClientClosed) {
+		t.Errorf("publish after mid-frame disconnect: err = %v, want ErrClientClosed", err)
+	}
+}

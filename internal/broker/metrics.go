@@ -2,15 +2,35 @@ package broker
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 )
+
+// Collector contributes additional metric families to the broker's
+// /metrics output (for example the cluster federation counters).
+type Collector interface {
+	WriteMetrics(w io.Writer)
+}
+
+// WriteCounter emits one cumulative counter in the Prometheus text format.
+func WriteCounter(w io.Writer, name, help string, value uint64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, value)
+}
+
+// WriteGauge emits one gauge in the Prometheus text format.
+func WriteGauge(w io.Writer, name, help string, value int) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, value)
+}
 
 // MetricsHandler exposes the broker's counters in the Prometheus text
 // exposition format, so a deployed thematicd can be scraped:
 //
 //	mux := http.NewServeMux()
 //	mux.Handle("/metrics", broker.MetricsHandler(b))
-func MetricsHandler(b *Broker) http.Handler {
+//
+// Extra collectors (for example a cluster node) append their families to
+// the same endpoint.
+func MetricsHandler(b *Broker, extra ...Collector) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -18,13 +38,13 @@ func MetricsHandler(b *Broker) http.Handler {
 		}
 		st := b.Stats()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		write := func(name, help string, value interface{}) {
-			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, value)
+		WriteCounter(w, "thematicep_broker_published_total", "Events accepted by Publish.", st.Published)
+		WriteCounter(w, "thematicep_broker_matched_total", "Event-subscription matches.", st.Matched)
+		WriteCounter(w, "thematicep_broker_delivered_total", "Deliveries enqueued to subscribers.", st.Delivered)
+		WriteCounter(w, "thematicep_broker_dropped_total", "Deliveries dropped by the overflow policy.", st.Dropped)
+		WriteGauge(w, "thematicep_broker_subscribers", "Currently active subscriptions.", st.Subscribers)
+		for _, c := range extra {
+			c.WriteMetrics(w)
 		}
-		write("thematicep_broker_published_total", "Events accepted by Publish.", st.Published)
-		write("thematicep_broker_matched_total", "Event-subscription matches.", st.Matched)
-		write("thematicep_broker_delivered_total", "Deliveries enqueued to subscribers.", st.Delivered)
-		write("thematicep_broker_dropped_total", "Deliveries dropped by the overflow policy.", st.Dropped)
-		write("thematicep_broker_subscribers", "Currently active subscriptions.", st.Subscribers)
 	})
 }

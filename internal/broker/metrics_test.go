@@ -39,7 +39,9 @@ func TestMetricsHandler(t *testing.T) {
 		"thematicep_broker_delivered_total 1",
 		"thematicep_broker_dropped_total 0",
 		"thematicep_broker_subscribers 1",
-		"# TYPE thematicep_broker_published_total gauge",
+		"# TYPE thematicep_broker_published_total counter",
+		"# TYPE thematicep_broker_dropped_total counter",
+		"# TYPE thematicep_broker_subscribers gauge",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics missing %q in:\n%s", want, out)

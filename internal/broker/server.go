@@ -4,27 +4,101 @@ import (
 	"fmt"
 	"net"
 	"sync"
+
+	"thematicep/internal/event"
 )
 
-// Server exposes a Broker over TCP using the wire protocol. One server
+// SubHandle is one active subscription as the transport layer sees it:
+// *Subscriber satisfies it, and so does a federated handle from
+// internal/cluster.
+type SubHandle interface {
+	ID() string
+	C() <-chan Delivery
+	Close()
+}
+
+// Backend is the pub/sub engine a Server fronts. The local Broker is the
+// default; a cluster node substitutes itself to add theme-routed
+// federation without the server knowing.
+type Backend interface {
+	Publish(e *event.Event) error
+	SubscribeHandle(sub *event.Subscription, opts ...SubscribeOption) (SubHandle, error)
+}
+
+// SubscribeHandle implements Backend over the local broker.
+func (b *Broker) SubscribeHandle(sub *event.Subscription, opts ...SubscribeOption) (SubHandle, error) {
+	s, err := b.Subscribe(sub, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// PeerHandler takes over connections that identify themselves as federation
+// peers with a hello frame. Implemented by internal/cluster; when nil,
+// hello frames are answered with an error.
+type PeerHandler interface {
+	// ServePeer owns the connection until it returns; the server closes
+	// the conn afterwards.
+	ServePeer(conn net.Conn, hello *Frame)
+}
+
+// SubscribeRedirector lets a backend redirect a subscription to the broker
+// owning its theme shard. A non-empty address is sent to the client as a
+// redirect frame instead of registering locally.
+type SubscribeRedirector interface {
+	Redirect(sub *event.Subscription) string
+}
+
+// Server exposes a Backend over TCP using the wire protocol. One server
 // serves many client connections; each connection may hold many
 // subscriptions.
 type Server struct {
-	broker *Broker
+	broker  *Broker
+	backend Backend
 
-	mu       sync.Mutex
-	listener net.Listener
-	conns    map[net.Conn]struct{}
-	wg       sync.WaitGroup
-	closed   bool
+	mu          sync.Mutex
+	listener    net.Listener
+	conns       map[net.Conn]struct{}
+	peerHandler PeerHandler
+	wg          sync.WaitGroup
+	closed      bool
 }
 
 // NewServer wraps a broker.
 func NewServer(b *Broker) *Server {
 	return &Server{
-		broker: b,
-		conns:  make(map[net.Conn]struct{}),
+		broker:  b,
+		backend: b,
+		conns:   make(map[net.Conn]struct{}),
 	}
+}
+
+// SetBackend replaces the engine requests are routed to (for example a
+// cluster node wrapping the broker). Call before traffic arrives.
+func (s *Server) SetBackend(be Backend) {
+	s.mu.Lock()
+	s.backend = be
+	s.mu.Unlock()
+}
+
+// SetPeerHandler installs the handler for inbound federation connections.
+func (s *Server) SetPeerHandler(h PeerHandler) {
+	s.mu.Lock()
+	s.peerHandler = h
+	s.mu.Unlock()
+}
+
+func (s *Server) getBackend() Backend {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.backend
+}
+
+func (s *Server) getPeerHandler() PeerHandler {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peerHandler
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:7070") and
@@ -75,7 +149,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 type connState struct {
 	conn    net.Conn
 	writeMu sync.Mutex
-	subs    map[string]*Subscriber
+	subs    map[string]SubHandle
 	wg      sync.WaitGroup
 }
 
@@ -87,7 +161,7 @@ func (cs *connState) write(f *Frame) error {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
-	cs := &connState{conn: conn, subs: make(map[string]*Subscriber)}
+	cs := &connState{conn: conn, subs: make(map[string]SubHandle)}
 	defer func() {
 		for _, sub := range cs.subs {
 			sub.Close()
@@ -105,19 +179,35 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		switch f.Type {
+		case FrameHello:
+			// The connection is a federation peer, not a client; hand it
+			// to the cluster layer for its lifetime.
+			if h := s.getPeerHandler(); h != nil {
+				h.ServePeer(conn, f)
+				return
+			}
+			cs.write(&Frame{Type: FrameError, Error: "not clustered"})
+
 		case FramePublish:
-			if err := s.broker.Publish(f.Event); err != nil {
+			if err := s.getBackend().Publish(f.Event); err != nil {
 				cs.write(&Frame{Type: FrameError, Error: err.Error()})
 				continue
 			}
 			cs.write(&Frame{Type: FrameOK})
 
 		case FrameSubscribe:
+			be := s.getBackend()
+			if r, ok := be.(SubscribeRedirector); ok {
+				if addr := r.Redirect(f.Subscription); addr != "" {
+					cs.write(&Frame{Type: FrameRedirect, Addr: addr})
+					continue
+				}
+			}
 			var opts []SubscribeOption
 			if f.Replay {
 				opts = append(opts, WithReplay(true))
 			}
-			sub, err := s.broker.Subscribe(f.Subscription, opts...)
+			sub, err := be.SubscribeHandle(f.Subscription, opts...)
 			if err != nil {
 				cs.write(&Frame{Type: FrameError, Error: err.Error()})
 				continue
@@ -145,7 +235,7 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 // forwardDeliveries streams a subscriber's deliveries onto the connection.
-func forwardDeliveries(cs *connState, sub *Subscriber) {
+func forwardDeliveries(cs *connState, sub SubHandle) {
 	defer cs.wg.Done()
 	for d := range sub.C() {
 		err := cs.write(&Frame{

@@ -23,6 +23,15 @@ const (
 	FrameDelivery    = "delivery"
 	FrameOK          = "ok"
 	FrameError       = "error"
+
+	// Federation frames (internal/cluster). A peer broker opens a
+	// connection with a hello identifying its node; forward carries an
+	// event from the publishing broker to the shard owners of its theme
+	// set; redirect tells a client which broker owns its subscription's
+	// themes.
+	FrameHello    = "hello"
+	FrameForward  = "forward"
+	FrameRedirect = "redirect"
 )
 
 // MaxFrameSize bounds a frame's encoded size; larger frames are rejected to
@@ -38,6 +47,11 @@ type Frame struct {
 	Score          float64             `json:"score,omitempty"`
 	Replay         bool                `json:"replay,omitempty"`
 	Error          string              `json:"error,omitempty"`
+	// NodeID identifies the sending broker on federation frames (hello,
+	// forward).
+	NodeID string `json:"nodeId,omitempty"`
+	// Addr is the target broker address on redirect frames.
+	Addr string `json:"addr,omitempty"`
 }
 
 // WriteFrame encodes and writes one frame.
@@ -49,13 +63,14 @@ func WriteFrame(w io.Writer, f *Frame) error {
 	if len(payload) > MaxFrameSize {
 		return fmt.Errorf("wire: frame too large: %d bytes", len(payload))
 	}
-	var header [4]byte
-	binary.BigEndian.PutUint32(header[:], uint32(len(payload)))
-	if _, err := w.Write(header[:]); err != nil {
-		return fmt.Errorf("wire: write header: %w", err)
-	}
-	if _, err := w.Write(payload); err != nil {
-		return fmt.Errorf("wire: write payload: %w", err)
+	// Header and payload go out in one Write so concurrent writers sharing
+	// a conn cannot interleave partial frames, and the hot delivery path
+	// costs one syscall instead of two.
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(payload)))
+	copy(buf[4:], payload)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,536 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"thematicep/internal/broker"
+	"thematicep/internal/event"
+)
+
+// Config describes one broker's place in the federation.
+type Config struct {
+	// Self is this node's identity: the wire address its peers dial
+	// (host:port). It doubles as the shard ID on the ring.
+	Self string
+	// Peers are the other members' wire addresses. Every member must be
+	// configured with the same total membership for the rings to agree.
+	Peers []string
+	// VirtualNodes per member on the ring (DefaultVirtualNodes when 0).
+	VirtualNodes int
+	// ForwardQueue bounds each peer's outbound event queue (default 256).
+	// When full the oldest queued event is dropped, mirroring the
+	// broker's subscriber overflow policy.
+	ForwardQueue int
+	// DedupWindow is how many recent event IDs each subscription
+	// remembers for duplicate suppression (default 1024).
+	DedupWindow int
+	// QueueSize buffers each federated subscription's delivery channel
+	// (default 64), with the same drop-oldest overflow policy.
+	QueueSize int
+	// ReconnectMin/ReconnectMax bound the exponential backoff between
+	// peer dial attempts (defaults 50ms and 2s).
+	ReconnectMin time.Duration
+	ReconnectMax time.Duration
+	// Dial overrides the peer dialer (tests); default is net.Dial("tcp").
+	Dial func(addr string) (net.Conn, error)
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.ForwardQueue <= 0 {
+		out.ForwardQueue = 256
+	}
+	if out.DedupWindow <= 0 {
+		out.DedupWindow = 1024
+	}
+	if out.QueueSize <= 0 {
+		out.QueueSize = 64
+	}
+	if out.ReconnectMin <= 0 {
+		out.ReconnectMin = 50 * time.Millisecond
+	}
+	if out.ReconnectMax < out.ReconnectMin {
+		out.ReconnectMax = 2 * time.Second
+	}
+	if out.Dial == nil {
+		out.Dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	return out
+}
+
+// Stats are the federation counters; all *_total values are cumulative.
+type Stats struct {
+	Forwarded        uint64 // events enqueued toward peer shards
+	Received         uint64 // forwarded events accepted from peers
+	Deduped          uint64 // duplicate deliveries suppressed by event ID
+	PeerReconnects   uint64 // successful peer connections after a drop
+	QueueDrops       uint64 // forwards dropped by the bounded peer queues
+	RemoteDeliveries uint64 // matches sent back to a peer's subscriber
+	RemoteSubs       int    // remote registrations currently hosted here
+	Peers            int    // configured peer links
+	PeersConnected   int    // peer links currently established
+}
+
+// Node federates a local broker with its peers. It implements
+// broker.Backend (so a broker.Server can route client traffic through it),
+// broker.PeerHandler (inbound federation connections), and
+// broker.SubscribeRedirector (pointing clients at the owning shard).
+type Node struct {
+	cfg    Config
+	id     string
+	ring   *Ring
+	broker *broker.Broker
+	peers  map[string]*peer // immutable after New
+
+	mu      sync.Mutex
+	edges   map[string]*edgeSub
+	started bool
+	closed  bool
+
+	nextSub   atomic.Uint64
+	nextEvent atomic.Uint64
+
+	ctrForwarded  atomic.Uint64
+	ctrReceived   atomic.Uint64
+	ctrDeduped    atomic.Uint64
+	ctrReconnects atomic.Uint64
+	ctrQueueDrops atomic.Uint64
+	ctrRemoteDel  atomic.Uint64
+	remoteSubs    atomic.Int64
+}
+
+// New wraps a local broker in a federation node. The node does not dial
+// anyone until Start.
+func New(b *broker.Broker, cfg Config) (*Node, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: Self identity required")
+	}
+	c := cfg.withDefaults()
+	members := append([]string{c.Self}, c.Peers...)
+	n := &Node{
+		cfg:    c,
+		id:     c.Self,
+		ring:   NewRing(members, c.VirtualNodes),
+		broker: b,
+		peers:  make(map[string]*peer),
+		edges:  make(map[string]*edgeSub),
+	}
+	for _, addr := range c.Peers {
+		if addr == "" || addr == c.Self {
+			continue
+		}
+		if _, dup := n.peers[addr]; dup {
+			continue
+		}
+		n.peers[addr] = newPeer(n, addr)
+	}
+	return n, nil
+}
+
+// Start opens the outbound peer links. Links that cannot connect retry
+// forever with exponential backoff, so peers may start in any order.
+func (n *Node) Start() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started || n.closed {
+		return
+	}
+	n.started = true
+	for _, p := range n.peers {
+		go p.run()
+	}
+}
+
+// Ring exposes the node's view of the shard ring.
+func (n *Node) Ring() *Ring { return n.ring }
+
+// ID returns the node's shard identity (its advertised address).
+func (n *Node) ID() string { return n.id }
+
+// Close tears down the peer links and every federated subscription. The
+// underlying broker is left open (the caller owns it).
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	edges := make([]*edgeSub, 0, len(n.edges))
+	for _, e := range n.edges {
+		edges = append(edges, e)
+	}
+	n.mu.Unlock()
+
+	for _, p := range n.peers {
+		p.stop()
+	}
+	for _, e := range edges {
+		e.Close()
+	}
+}
+
+// Publish accepts an event locally and forwards it to every peer whose
+// shard overlaps the event's theme set. Events without an ID are assigned
+// one so downstream de-duplication can identify re-deliveries.
+func (n *Node) Publish(e *event.Event) error {
+	if e == nil {
+		return broker.ErrNilEvent
+	}
+	ev := e
+	if ev.ID == "" {
+		cp := *e
+		cp.ID = fmt.Sprintf("%s/e%d", n.id, n.nextEvent.Add(1))
+		ev = &cp
+	}
+	if err := n.broker.Publish(ev); err != nil {
+		return err
+	}
+	for _, owner := range n.ring.Owners(ev.Theme) {
+		if owner == n.id {
+			continue
+		}
+		if p := n.peers[owner]; p != nil {
+			p.enqueue(ev)
+			n.ctrForwarded.Add(1)
+		}
+	}
+	return nil
+}
+
+// SubscribeHandle registers a subscription locally and on every remote
+// shard owning one of its themes; remote matches flow back over the peer
+// links and are de-duplicated against local matches by event ID. It
+// implements broker.Backend.
+func (n *Node) SubscribeHandle(sub *event.Subscription, opts ...broker.SubscribeOption) (broker.SubHandle, error) {
+	if sub == nil {
+		return nil, fmt.Errorf("cluster: nil subscription")
+	}
+	cp := *sub
+	if cp.ID == "" {
+		cp.ID = fmt.Sprintf("%s/s%d", n.id, n.nextSub.Add(1))
+	}
+	local, err := n.broker.Subscribe(&cp, opts...)
+	if err != nil {
+		return nil, err
+	}
+
+	var owners []string
+	for _, o := range n.ring.Owners(cp.Theme) {
+		if o != n.id {
+			owners = append(owners, o)
+		}
+	}
+	e := &edgeSub{
+		node:   n,
+		id:     cp.ID,
+		sub:    &cp,
+		owners: owners,
+		local:  local,
+		ch:     make(chan broker.Delivery, n.cfg.QueueSize),
+		seen:   make(map[string]bool, n.cfg.DedupWindow),
+	}
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		local.Close()
+		return nil, broker.ErrClosed
+	}
+	n.edges[cp.ID] = e
+	n.mu.Unlock()
+
+	go e.drainLocal()
+	n.nudgePeers(owners)
+	return e, nil
+}
+
+// Redirect implements broker.SubscribeRedirector: a themed subscription
+// arriving at a broker that owns none of its themes is pointed at the
+// primary owning shard, saving the extra federation hop.
+func (n *Node) Redirect(sub *event.Subscription) string {
+	if sub == nil || len(sub.Theme) == 0 {
+		return ""
+	}
+	owners := n.ring.Owners(sub.Theme)
+	for _, o := range owners {
+		if o == n.id {
+			return ""
+		}
+	}
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// DropPeer severs the current connection to a peer (if any), forcing a
+// reconnect with backoff. It returns whether a live link was dropped.
+// Exposed for fault injection in tests and operational drills.
+func (n *Node) DropPeer(id string) bool {
+	p := n.peers[id]
+	if p == nil {
+		return false
+	}
+	return p.dropConn()
+}
+
+// nudgePeers asks the named peer links to reconcile remote registrations.
+func (n *Node) nudgePeers(ids []string) {
+	for _, id := range ids {
+		if p := n.peers[id]; p != nil {
+			p.requestReconcile()
+		}
+	}
+}
+
+// desiredFor returns the subscriptions that should be registered on a
+// given peer shard, keyed by subscription ID.
+func (n *Node) desiredFor(peerID string) map[string]*event.Subscription {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[string]*event.Subscription)
+	for id, e := range n.edges {
+		for _, o := range e.owners {
+			if o == peerID {
+				out[id] = e.sub
+				break
+			}
+		}
+	}
+	return out
+}
+
+// handleRemoteDelivery routes a delivery frame from a peer shard to the
+// local federated subscription it belongs to.
+func (n *Node) handleRemoteDelivery(f *broker.Frame) {
+	if f.Event == nil || f.SubscriptionID == "" {
+		return
+	}
+	n.mu.Lock()
+	e := n.edges[f.SubscriptionID]
+	n.mu.Unlock()
+	if e != nil {
+		e.deliver(broker.Delivery{
+			Event:          f.Event,
+			SubscriptionID: f.SubscriptionID,
+			Score:          f.Score,
+			Replayed:       f.Replay,
+		})
+	}
+}
+
+// ServePeer handles one inbound federation connection (a peer that dialed
+// us and sent hello). It accepts forwarded events into the local broker
+// and hosts the peer's remote subscription registrations, streaming their
+// matches back on the same connection. It implements broker.PeerHandler.
+func (n *Node) ServePeer(conn net.Conn, hello *broker.Frame) {
+	var writeMu sync.Mutex
+	write := func(f *broker.Frame) error {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		return broker.WriteFrame(conn, f)
+	}
+
+	// origin subscription ID -> local registration. Local IDs are assigned
+	// by the broker so a re-registration racing a dead connection's
+	// cleanup cannot collide; the home node's dedup absorbs any overlap.
+	subs := make(map[string]*broker.Subscriber)
+	var wg sync.WaitGroup
+	defer func() {
+		for _, s := range subs {
+			s.Close()
+		}
+		wg.Wait()
+	}()
+
+	for {
+		f, err := broker.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		switch f.Type {
+		case broker.FrameForward:
+			if f.Event == nil {
+				continue
+			}
+			n.ctrReceived.Add(1)
+			// Publish locally only: forwarded events are never
+			// re-forwarded, so federation traffic is a single hop.
+			n.broker.Publish(f.Event)
+
+		case broker.FrameSubscribe:
+			if f.Subscription == nil || f.Subscription.ID == "" {
+				continue
+			}
+			origin := f.Subscription.ID
+			if old, ok := subs[origin]; ok {
+				delete(subs, origin)
+				old.Close()
+			}
+			cp := *f.Subscription
+			cp.ID = "" // let the broker pick a conn-local ID
+			s, err := n.broker.Subscribe(&cp)
+			if err != nil {
+				continue
+			}
+			subs[origin] = s
+			n.remoteSubs.Add(1)
+			wg.Add(1)
+			go func(s *broker.Subscriber, origin string) {
+				defer wg.Done()
+				defer n.remoteSubs.Add(-1)
+				for d := range s.C() {
+					// A failed write means the conn is dying; keep
+					// draining so the broker's queue empties until the
+					// read loop reaps us.
+					if write(&broker.Frame{
+						Type:           broker.FrameDelivery,
+						Event:          d.Event,
+						SubscriptionID: origin,
+						Score:          d.Score,
+						Replay:         d.Replayed,
+					}) == nil {
+						n.ctrRemoteDel.Add(1)
+					}
+				}
+			}(s, origin)
+
+		case broker.FrameUnsubscribe:
+			if s, ok := subs[f.SubscriptionID]; ok {
+				delete(subs, f.SubscriptionID)
+				s.Close()
+			}
+		}
+	}
+}
+
+// Stats returns a snapshot of the federation counters.
+func (n *Node) Stats() Stats {
+	connected := 0
+	for _, p := range n.peers {
+		if p.isConnected() {
+			connected++
+		}
+	}
+	return Stats{
+		Forwarded:        n.ctrForwarded.Load(),
+		Received:         n.ctrReceived.Load(),
+		Deduped:          n.ctrDeduped.Load(),
+		PeerReconnects:   n.ctrReconnects.Load(),
+		QueueDrops:       n.ctrQueueDrops.Load(),
+		RemoteDeliveries: n.ctrRemoteDel.Load(),
+		RemoteSubs:       int(n.remoteSubs.Load()),
+		Peers:            len(n.peers),
+		PeersConnected:   connected,
+	}
+}
+
+// WriteMetrics implements broker.Collector, appending the cluster counter
+// families to the broker's Prometheus endpoint.
+func (n *Node) WriteMetrics(w io.Writer) {
+	st := n.Stats()
+	broker.WriteCounter(w, "thematicep_cluster_forwarded_total", "Events forwarded toward peer shards.", st.Forwarded)
+	broker.WriteCounter(w, "thematicep_cluster_received_total", "Forwarded events accepted from peers.", st.Received)
+	broker.WriteCounter(w, "thematicep_cluster_deduped_total", "Duplicate deliveries suppressed by event ID.", st.Deduped)
+	broker.WriteCounter(w, "thematicep_cluster_peer_reconnects_total", "Peer links re-established after a drop.", st.PeerReconnects)
+	broker.WriteCounter(w, "thematicep_cluster_peer_queue_drops_total", "Forwards dropped by the bounded peer queues.", st.QueueDrops)
+	broker.WriteCounter(w, "thematicep_cluster_remote_deliveries_total", "Matches streamed back to peer subscribers.", st.RemoteDeliveries)
+	broker.WriteGauge(w, "thematicep_cluster_remote_subscriptions", "Remote registrations currently hosted.", st.RemoteSubs)
+	broker.WriteGauge(w, "thematicep_cluster_peers", "Configured peer links.", st.Peers)
+	broker.WriteGauge(w, "thematicep_cluster_peers_connected", "Peer links currently established.", st.PeersConnected)
+}
+
+// edgeSub is one federated subscription: the union of its local broker
+// registration and its remote shard registrations, de-duplicated by event
+// ID. It satisfies broker.SubHandle.
+type edgeSub struct {
+	node   *Node
+	id     string
+	sub    *event.Subscription
+	owners []string // remote shards this subscription is registered on
+	local  *broker.Subscriber
+	ch     chan broker.Delivery
+
+	mu     sync.Mutex
+	closed bool
+	seen   map[string]bool
+	order  []string // FIFO of seen IDs for window eviction
+}
+
+// ID returns the cluster-wide subscription ID.
+func (e *edgeSub) ID() string { return e.id }
+
+// C is the merged, de-duplicated delivery channel.
+func (e *edgeSub) C() <-chan broker.Delivery { return e.ch }
+
+// Close cancels the subscription locally and on every remote shard.
+func (e *edgeSub) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+
+	n := e.node
+	n.mu.Lock()
+	delete(n.edges, e.id)
+	n.mu.Unlock()
+
+	e.local.Close()
+	e.mu.Lock()
+	close(e.ch)
+	e.mu.Unlock()
+	n.nudgePeers(e.owners) // reconcile: peers unsubscribe the remote copy
+}
+
+// drainLocal feeds local broker matches through the dedup filter.
+func (e *edgeSub) drainLocal() {
+	for d := range e.local.C() {
+		d.SubscriptionID = e.id
+		e.deliver(d)
+	}
+	// Local channel closed: the broker shut down (or the subscription was
+	// closed, making this a no-op).
+	e.Close()
+}
+
+// deliver applies the dedup window and enqueues with the broker's
+// drop-oldest overflow policy.
+func (e *edgeSub) deliver(d broker.Delivery) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	if d.Event != nil && d.Event.ID != "" {
+		if e.seen[d.Event.ID] {
+			e.node.ctrDeduped.Add(1)
+			return
+		}
+		e.seen[d.Event.ID] = true
+		e.order = append(e.order, d.Event.ID)
+		if len(e.order) > e.node.cfg.DedupWindow {
+			delete(e.seen, e.order[0])
+			e.order = e.order[1:]
+		}
+	}
+	for {
+		select {
+		case e.ch <- d:
+			return
+		default:
+			select {
+			case <-e.ch:
+			default:
+			}
+		}
+	}
+}

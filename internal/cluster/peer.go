@@ -1,0 +1,238 @@
+package cluster
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"thematicep/internal/broker"
+	"thematicep/internal/event"
+)
+
+// peer is one outbound federation link. The run loop owns the connection:
+// it dials with exponential backoff, identifies itself with a hello frame,
+// reconciles remote subscription registrations, and drains the bounded
+// forward queue. Delivery frames for our remote registrations come back on
+// the same connection and are routed by a companion reader goroutine.
+type peer struct {
+	n    *Node
+	id   string // peer node ID == its wire address
+	addr string
+
+	queue chan *event.Event // bounded forwards; oldest dropped when full
+	nudge chan struct{}     // capacity 1: registration reconcile requests
+	done  chan struct{}
+
+	mu        sync.Mutex
+	conn      net.Conn
+	connected bool
+	stopped   bool
+}
+
+func newPeer(n *Node, addr string) *peer {
+	return &peer{
+		n:     n,
+		id:    addr,
+		addr:  addr,
+		queue: make(chan *event.Event, n.cfg.ForwardQueue),
+		nudge: make(chan struct{}, 1),
+		done:  make(chan struct{}),
+	}
+}
+
+// enqueue offers an event to the forward queue, dropping the oldest queued
+// event when full (the broker's overflow policy: publishers never block on
+// a slow or dead peer).
+func (p *peer) enqueue(e *event.Event) {
+	for {
+		select {
+		case p.queue <- e:
+			return
+		default:
+			select {
+			case <-p.queue:
+				p.n.ctrQueueDrops.Add(1)
+			default:
+			}
+		}
+	}
+}
+
+// requestReconcile asks the run loop to diff desired vs. sent remote
+// registrations; coalesces while one is pending.
+func (p *peer) requestReconcile() {
+	select {
+	case p.nudge <- struct{}{}:
+	default:
+	}
+}
+
+func (p *peer) stop() {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	p.stopped = true
+	conn := p.conn
+	p.mu.Unlock()
+	close(p.done)
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// dropConn severs the live connection (fault injection / admin drain);
+// the run loop reconnects with backoff.
+func (p *peer) dropConn() bool {
+	p.mu.Lock()
+	conn := p.conn
+	p.mu.Unlock()
+	if conn == nil {
+		return false
+	}
+	conn.Close()
+	return true
+}
+
+func (p *peer) setConn(c net.Conn) {
+	p.mu.Lock()
+	p.conn = c
+	p.connected = c != nil
+	stopped := p.stopped
+	p.mu.Unlock()
+	if stopped && c != nil {
+		c.Close()
+	}
+}
+
+func (p *peer) isConnected() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.connected
+}
+
+// sleep waits d or until the peer stops; it reports whether to continue.
+func (p *peer) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-p.done:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+func (p *peer) run() {
+	backoff := p.n.cfg.ReconnectMin
+	everConnected := false
+	for {
+		select {
+		case <-p.done:
+			return
+		default:
+		}
+
+		conn, err := p.n.cfg.Dial(p.addr)
+		if err != nil {
+			if !p.sleep(backoff) {
+				return
+			}
+			if backoff *= 2; backoff > p.n.cfg.ReconnectMax {
+				backoff = p.n.cfg.ReconnectMax
+			}
+			continue
+		}
+		if err := broker.WriteFrame(conn, &broker.Frame{Type: broker.FrameHello, NodeID: p.n.id}); err != nil {
+			conn.Close()
+			if !p.sleep(backoff) {
+				return
+			}
+			if backoff *= 2; backoff > p.n.cfg.ReconnectMax {
+				backoff = p.n.cfg.ReconnectMax
+			}
+			continue
+		}
+		if everConnected {
+			p.n.ctrReconnects.Add(1)
+		}
+		everConnected = true
+		backoff = p.n.cfg.ReconnectMin
+		p.setConn(conn)
+
+		// Reader: deliveries for our remote registrations flow back on
+		// this connection. readErr doubles as the link-down signal.
+		readErr := make(chan struct{})
+		go func() {
+			defer close(readErr)
+			for {
+				f, err := broker.ReadFrame(conn)
+				if err != nil {
+					return
+				}
+				if f.Type == broker.FrameDelivery {
+					p.n.handleRemoteDelivery(f)
+				}
+			}
+		}()
+
+		// Registrations are connection state: re-sync from scratch.
+		sent := make(map[string]bool)
+		p.requestReconcile()
+
+		alive := true
+		for alive {
+			select {
+			case <-p.done:
+				alive = false
+			case <-readErr:
+				alive = false
+			case <-p.nudge:
+				if p.reconcile(conn, sent) != nil {
+					alive = false
+				}
+			case e := <-p.queue:
+				if broker.WriteFrame(conn, &broker.Frame{Type: broker.FrameForward, Event: e, NodeID: p.n.id}) != nil {
+					alive = false
+				}
+			}
+		}
+		p.setConn(nil)
+		conn.Close()
+		<-readErr
+
+		select {
+		case <-p.done:
+			return
+		default:
+		}
+	}
+}
+
+// reconcile diffs the registrations this shard should host for us against
+// what this connection has already sent, subscribing and unsubscribing the
+// difference. Keeping it as state sync (rather than queued control frames)
+// means a dropped queue entry can never lose a registration.
+func (p *peer) reconcile(conn net.Conn, sent map[string]bool) error {
+	desired := p.n.desiredFor(p.id)
+	for id, sub := range desired {
+		if sent[id] {
+			continue
+		}
+		if err := broker.WriteFrame(conn, &broker.Frame{Type: broker.FrameSubscribe, Subscription: sub, NodeID: p.n.id}); err != nil {
+			return err
+		}
+		sent[id] = true
+	}
+	for id := range sent {
+		if _, ok := desired[id]; ok {
+			continue
+		}
+		if err := broker.WriteFrame(conn, &broker.Frame{Type: broker.FrameUnsubscribe, SubscriptionID: id, NodeID: p.n.id}); err != nil {
+			return err
+		}
+		delete(sent, id)
+	}
+	return nil
+}
