@@ -17,6 +17,7 @@ import (
 
 	"thematicep/internal/assign"
 	"thematicep/internal/baseline"
+	"thematicep/internal/broker"
 	"thematicep/internal/corpus"
 	"thematicep/internal/event"
 	"thematicep/internal/index"
@@ -126,6 +127,50 @@ func BenchmarkFig9Throughput(b *testing.B) {
 			reportEventsPerSec(b)
 		})
 	}
+}
+
+// BenchmarkBrokerPublishParallel measures end-to-end Publish throughput on
+// the broker's prepared worker-pool path: one op is one event fanned over
+// every subscription. The broker's default match parallelism is GOMAXPROCS,
+// so `-cpu 1,2,4` sweeps the worker-pool width directly. The semantic
+// caches are warmed by a full pass over the event set first — the
+// steady-state regime of a long-running broker.
+func BenchmarkBrokerPublishParallel(b *testing.B) {
+	e := benchSetup(b)
+	e.work.ApplyThemes(e.combo)
+	defer e.work.ClearThemes()
+	m := matcher.New(semantics.NewSpace(e.ix))
+	br := broker.New(
+		broker.Prepared(m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared),
+		broker.WithThreshold(0.3), broker.WithReplayBuffer(0), broker.WithQueueSize(64))
+	var wg sync.WaitGroup
+	for _, s := range e.work.ApproxSubs {
+		sub, err := br.Subscribe(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wg.Add(1)
+		go func(c <-chan broker.Delivery) {
+			defer wg.Done()
+			for range c {
+			}
+		}(sub.C())
+	}
+	for _, ev := range e.work.Events {
+		if err := br.Publish(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := br.Publish(e.work.Events[i%len(e.work.Events)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportEventsPerSec(b)
+	b.StopTimer()
+	br.Close()
+	wg.Wait()
 }
 
 // BenchmarkNonThematicBaseline (E5) is the paper's §5.2.5 baseline: the

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -40,12 +41,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "experiment: all, fig7, fig8, fig9, fig10, baseline, headline, significance, table1, prior, sweep, topk, ablation, tagging, shape, diag")
-		full    = fs.Bool("full", false, "paper-scale workload and grid (slow)")
-		seed    = fs.Int64("seed", 7, "master seed")
-		csvdir  = fs.String("csvdir", "", "directory for CSV output (optional)")
-		samples = fs.Int("samples", 0, "samples per grid cell (default 2 quick / 5 full)")
-		verbose = fs.Bool("v", false, "per-cell progress")
+		exp      = fs.String("exp", "all", "experiment: all, fig7, fig8, fig9, fig10, baseline, headline, significance, table1, prior, sweep, topk, ablation, tagging, shape, diag")
+		full     = fs.Bool("full", false, "paper-scale workload and grid (slow)")
+		seed     = fs.Int64("seed", 7, "master seed")
+		csvdir   = fs.String("csvdir", "", "directory for CSV output (optional)")
+		samples  = fs.Int("samples", 0, "samples per grid cell (default 2 quick / 5 full)")
+		verbose  = fs.Bool("v", false, "per-cell progress")
+		parallel = fs.Int("parallel", 1, "grid workers; >1 runs cells concurrently with identical F1 results")
+		benchout = fs.String("benchjson", "", "write headline metrics as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,6 +58,8 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	env.parallel = *parallel
+	env.benchjson = *benchout
 	fmt.Printf("corpus: %d docs, %d terms; workload: %d events (%d seeds), %d subscriptions\n\n",
 		env.space.Index().NumDocs(), env.space.Index().VocabSize(),
 		len(env.work.Events), len(env.work.Seeds), len(env.work.ApproxSubs))
@@ -93,13 +98,15 @@ func run(args []string) error {
 
 // env0 carries the shared experiment environment.
 type env0 struct {
-	space   *semantics.Space
-	work    *workload.Workload
-	full    bool
-	seed    int64
-	samples int
-	verbose bool
-	csvdir  string
+	space     *semantics.Space
+	work      *workload.Workload
+	full      bool
+	seed      int64
+	samples   int
+	verbose   bool
+	csvdir    string
+	parallel  int
+	benchjson string
 
 	// memoized results shared between experiments
 	baselineRes *eval.Result
@@ -181,12 +188,21 @@ func (e *env0) grid() []eval.Cell {
 		return e.gridCells
 	}
 	m := matcher.New(e.space)
-	e.gridCells = eval.RunGrid(m, e.space, e.work, eval.GridConfig{
+	cfg := eval.GridConfig{
 		Sizes:    e.gridSizes(),
 		Samples:  e.samples,
 		Seed:     e.seed,
 		Progress: e.progress(),
-	})
+	}
+	if e.parallel > 1 {
+		cfg.Parallelism = e.parallel
+		ix := e.space.Index()
+		cfg.NewScorer = func() (eval.Scorer, *semantics.Space) {
+			sp := semantics.NewSpace(ix)
+			return matcher.New(sp), sp
+		}
+	}
+	e.gridCells = eval.RunGrid(m, e.space, e.work, cfg)
 	return e.gridCells
 }
 
@@ -308,7 +324,35 @@ func runHeadline(e *env0) error {
 		fmt.Printf("%-34s %-12s %s\n", r.metric, r.paper, r.measured)
 	}
 	fmt.Println()
+	if e.benchjson != "" {
+		return writeBenchJSON(e, base, sum)
+	}
 	return nil
+}
+
+// writeBenchJSON emits the headline metrics in a flat machine-readable form
+// for CI artifact tracking.
+func writeBenchJSON(e *env0, base eval.Result, sum eval.GridSummary) error {
+	doc := map[string]any{
+		"experiment":          "headline",
+		"full":                e.full,
+		"seed":                e.seed,
+		"samples":             e.samples,
+		"parallel":            e.parallel,
+		"baseline_f1":         base.F1,
+		"baseline_throughput": base.Throughput,
+		"mean_f1":             sum.MeanF1,
+		"max_f1":              sum.MaxF1,
+		"mean_throughput":     sum.MeanThroughput,
+		"max_throughput":      sum.MaxThroughput,
+		"frac_f1_above":       sum.FracF1AboveBaseline,
+		"frac_thr_above":      sum.FracThroughputAboveBaseline,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(e.benchjson, append(data, '\n'), 0o644)
 }
 
 const msRound = 1000000 // one millisecond in time.Duration units

@@ -54,6 +54,7 @@ func run(args []string) error {
 		metrics   = fs.String("metrics", "", "optional HTTP address serving /metrics (Prometheus text format)")
 		peers     = fs.String("peers", "", "comma-separated peer broker addresses (enables theme-sharded federation)")
 		advertise = fs.String("advertise", "", "address peers dial for this broker (shard identity; defaults to -addr)")
+		parallel  = fs.Int("match-parallelism", 0, "matching worker pool size per publish (0 = GOMAXPROCS, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,11 +67,18 @@ func run(args []string) error {
 	space := semantics.NewSpace(ix)
 	m := matcher.New(space, matcher.WithThematic(*thematic))
 
-	b := broker.New(m,
+	opts := []broker.Option{
 		broker.WithThreshold(*threshold),
 		broker.WithReplayBuffer(*replay),
 		broker.WithQueueSize(*queue),
-	)
+	}
+	if *parallel > 0 {
+		opts = append(opts, broker.WithMatchParallelism(*parallel))
+	}
+	// The Prepared adapter turns on the broker's prepare-once fast path:
+	// subscriptions are canonicalized and theme-compiled at Subscribe time,
+	// events once per publish.
+	b := broker.New(broker.Prepared(m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared), opts...)
 	defer b.Close()
 
 	srv := broker.NewServer(b)

@@ -29,7 +29,10 @@ func run() error {
 	// Broker side: the thematic matcher is the broker's matching engine.
 	space := semantics.NewSpace(index.Build(corpus.GenerateDefault()))
 	m := matcher.New(space)
-	b := broker.New(m, broker.WithThreshold(0.2))
+	// Prepared adapter: the broker compiles each subscription once and each
+	// event once per publish instead of per (event, subscription) pair.
+	b := broker.New(broker.Prepared(m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared),
+		broker.WithThreshold(0.2))
 	defer b.Close()
 
 	srv := broker.NewServer(b)

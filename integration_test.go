@@ -26,8 +26,10 @@ func TestEndToEndPipeline(t *testing.T) {
 	space := semantics.NewSpace(index.Build(corpus.GenerateDefault()))
 	m := matcher.New(space)
 
-	// Broker over TCP.
-	b := broker.New(m, broker.WithThreshold(0.52))
+	// Broker over TCP, on the prepared fast path with a worker pool.
+	b := broker.New(
+		broker.Prepared(m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared),
+		broker.WithThreshold(0.52), broker.WithMatchParallelism(4))
 	defer b.Close()
 	srv := broker.NewServer(b)
 	addr, err := srv.Listen("127.0.0.1:0")

@@ -10,12 +10,27 @@
 //   - Synchronization decoupling: Publish never blocks on consumers; each
 //     subscriber has a bounded queue drained at its own pace, with a
 //     drop-oldest overflow policy surfaced in the statistics.
+//
+// # Concurrency
+//
+// The broker is safe for concurrent use. Publish fans the subscription set
+// out over a bounded worker pool (WithMatchParallelism, default
+// GOMAXPROCS): the publishing goroutine always participates, helper
+// workers are drawn from a broker-wide budget shared by concurrent
+// publishes, and Publish returns only after every match decision and
+// delivery of its event is done — callers keep the synchronous contract.
+// Matchers implementing PreparedMatcher get the prepared fast path: each
+// subscription is prepared once at Subscribe time and each event once per
+// Publish, so the hot loop never recompiles themes or recanonicalizes
+// terms. All Stats counters are atomics; no lock is held while matching.
 package broker
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"thematicep/internal/event"
 )
@@ -32,6 +47,60 @@ type MatchFunc func(s *event.Subscription, e *event.Event) float64
 
 // Score implements Matcher.
 func (f MatchFunc) Score(s *event.Subscription, e *event.Event) float64 { return f(s, e) }
+
+// PreparedMatcher extends Matcher with a prepare-once fast path. The
+// broker prepares every subscription at Subscribe time and every event
+// once per Publish, then scores through ScorePrepared in the hot loop —
+// the prepared forms are opaque to the broker. Implementations must allow
+// concurrent ScorePrepared calls on shared prepared values. Plain Matchers
+// (the baselines) keep working unchanged through the Score path.
+type PreparedMatcher interface {
+	Matcher
+	// PrepareSub returns an opaque prepared form of s, valid for the
+	// lifetime of this matcher.
+	PrepareSub(s *event.Subscription) any
+	// PrepareEv returns an opaque prepared form of e.
+	PrepareEv(e *event.Event) any
+	// ScorePrepared scores prepared forms produced by this matcher.
+	ScorePrepared(sub, ev any) float64
+}
+
+// prepared adapts typed prepare-once methods to PreparedMatcher.
+type prepared[PS, PE any] struct {
+	score         func(*event.Subscription, *event.Event) float64
+	prepareSub    func(*event.Subscription) PS
+	prepareEv     func(*event.Event) PE
+	scorePrepared func(PS, PE) float64
+}
+
+func (p prepared[PS, PE]) Score(s *event.Subscription, e *event.Event) float64 {
+	return p.score(s, e)
+}
+func (p prepared[PS, PE]) PrepareSub(s *event.Subscription) any { return p.prepareSub(s) }
+func (p prepared[PS, PE]) PrepareEv(e *event.Event) any         { return p.prepareEv(e) }
+func (p prepared[PS, PE]) ScorePrepared(sub, ev any) float64 {
+	return p.scorePrepared(sub.(PS), ev.(PE))
+}
+
+// Prepared adapts a matcher exposing typed prepare-once methods (for
+// example *matcher.Matcher) to the PreparedMatcher interface, keeping the
+// broker decoupled from any concrete matcher package:
+//
+//	m := matcher.New(space)
+//	b := broker.New(broker.Prepared(m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared))
+func Prepared[PS, PE any](
+	score func(*event.Subscription, *event.Event) float64,
+	prepareSub func(*event.Subscription) PS,
+	prepareEv func(*event.Event) PE,
+	scorePrepared func(PS, PE) float64,
+) PreparedMatcher {
+	return prepared[PS, PE]{
+		score:         score,
+		prepareSub:    prepareSub,
+		prepareEv:     prepareEv,
+		scorePrepared: scorePrepared,
+	}
+}
 
 // Delivery is one matched event handed to a subscriber.
 type Delivery struct {
@@ -61,9 +130,10 @@ type Option interface {
 }
 
 type config struct {
-	threshold  float64
-	queueSize  int
-	replaySize int
+	threshold   float64
+	queueSize   int
+	replaySize  int
+	parallelism int
 }
 
 type thresholdOption float64
@@ -89,16 +159,39 @@ func (o replaySizeOption) apply(c *config) { c.replaySize = int(o) }
 // time-decoupled subscribers (default 256; 0 disables replay).
 func WithReplayBuffer(n int) Option { return replaySizeOption(n) }
 
+type parallelismOption int
+
+func (o parallelismOption) apply(c *config) { c.parallelism = int(o) }
+
+// WithMatchParallelism bounds the worker pool Publish fans the
+// subscription set out over (default GOMAXPROCS; 1 disables the pool and
+// matches serially on the publisher's goroutine). The bound is broker-wide:
+// concurrent Publish calls share one helper budget, so total matching
+// goroutines never exceed the limit regardless of publisher count.
+func WithMatchParallelism(n int) Option { return parallelismOption(n) }
+
 // Broker routes published events to matching subscribers. It is safe for
 // concurrent use. Close releases all subscribers.
 type Broker struct {
 	matcher Matcher
+	prep    PreparedMatcher // non-nil when matcher supports prepare-once
 	cfg     config
+
+	// sem is the broker-wide helper-worker budget (capacity
+	// parallelism-1); acquisition is non-blocking, so a saturated pool
+	// degrades to publisher-goroutine matching, never to deadlock.
+	sem chan struct{}
+
+	// Cumulative counters; atomics so the match hot loop takes no lock
+	// (and offer cannot deadlock against b.mu).
+	published atomic.Uint64
+	matched   atomic.Uint64
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
 
 	mu     sync.RWMutex
 	subs   map[string]*Subscriber
 	replay []*event.Event // ring buffer, oldest first
-	stats  Stats
 	closed bool
 	nextID int
 }
@@ -110,29 +203,42 @@ var (
 	ErrDuplicateSub = errors.New("broker: duplicate subscription id")
 )
 
-// New builds a broker around a matcher.
+// New builds a broker around a matcher. Matchers also implementing
+// PreparedMatcher (see Prepared) get the prepare-once fast path.
 func New(m Matcher, opts ...Option) *Broker {
 	cfg := config{
-		threshold:  0.05,
-		queueSize:  64,
-		replaySize: 256,
+		threshold:   0.05,
+		queueSize:   64,
+		replaySize:  256,
+		parallelism: runtime.GOMAXPROCS(0),
 	}
 	for _, opt := range opts {
 		opt.apply(&cfg)
 	}
-	return &Broker{
+	if cfg.parallelism < 1 {
+		cfg.parallelism = 1
+	}
+	b := &Broker{
 		matcher: m,
 		cfg:     cfg,
 		subs:    make(map[string]*Subscriber),
 	}
+	if pm, ok := m.(PreparedMatcher); ok {
+		b.prep = pm
+	}
+	if cfg.parallelism > 1 {
+		b.sem = make(chan struct{}, cfg.parallelism-1)
+	}
+	return b
 }
 
 // Subscriber is one active subscription with its delivery queue.
 type Subscriber struct {
-	id     string
-	sub    *event.Subscription
-	ch     chan Delivery
-	broker *Broker
+	id       string
+	sub      *event.Subscription
+	prepared any // prepare-once form, when the matcher supports it
+	ch       chan Delivery
+	broker   *Broker
 
 	mu     sync.Mutex
 	closed bool
@@ -181,6 +287,11 @@ func (b *Broker) Subscribe(sub *event.Subscription, opts ...SubscribeOption) (*S
 	for _, opt := range opts {
 		opt.applySub(&sc)
 	}
+	// Prepare outside the lock: theme compilation may be expensive.
+	var prep any
+	if b.prep != nil {
+		prep = b.prep.PrepareSub(sub)
+	}
 
 	b.mu.Lock()
 	if b.closed {
@@ -197,13 +308,13 @@ func (b *Broker) Subscribe(sub *event.Subscription, opts ...SubscribeOption) (*S
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateSub, id)
 	}
 	s := &Subscriber{
-		id:     id,
-		sub:    sub,
-		ch:     make(chan Delivery, b.cfg.queueSize),
-		broker: b,
+		id:       id,
+		sub:      sub,
+		prepared: prep,
+		ch:       make(chan Delivery, b.cfg.queueSize),
+		broker:   b,
 	}
 	b.subs[id] = s
-	b.stats.Subscribers = len(b.subs)
 	var backlog []*event.Event
 	if sc.replay {
 		backlog = append(backlog, b.replay...)
@@ -212,7 +323,13 @@ func (b *Broker) Subscribe(sub *event.Subscription, opts ...SubscribeOption) (*S
 
 	// Replay outside the lock: matching may be expensive.
 	for _, e := range backlog {
-		if score := b.matcher.Score(sub, e); score >= b.cfg.threshold && score > 0 {
+		var score float64
+		if b.prep != nil {
+			score = b.prep.ScorePrepared(prep, b.prep.PrepareEv(e))
+		} else {
+			score = b.matcher.Score(sub, e)
+		}
+		if score >= b.cfg.threshold && score > 0 {
 			b.offer(s, Delivery{Event: e, SubscriptionID: id, Score: score, Replayed: true})
 		}
 	}
@@ -224,7 +341,6 @@ func (b *Broker) unsubscribe(id string) {
 	s, ok := b.subs[id]
 	if ok {
 		delete(b.subs, id)
-		b.stats.Subscribers = len(b.subs)
 	}
 	b.mu.Unlock()
 	if ok {
@@ -238,8 +354,11 @@ func (b *Broker) unsubscribe(id string) {
 }
 
 // Publish matches the event against every subscription and enqueues
-// deliveries. It never blocks on slow consumers: when a subscriber's queue
-// is full, the oldest queued delivery is dropped (counted in Stats.Dropped).
+// deliveries, fanning the subscription set out over the bounded worker
+// pool (WithMatchParallelism). It returns only after every match decision
+// and delivery of this event is done, and it never blocks on slow
+// consumers: when a subscriber's queue is full, the oldest queued delivery
+// is dropped (counted in Stats.Dropped).
 func (b *Broker) Publish(e *event.Event) error {
 	if e == nil {
 		return ErrNilEvent
@@ -253,7 +372,6 @@ func (b *Broker) Publish(e *event.Event) error {
 		b.mu.Unlock()
 		return ErrClosed
 	}
-	b.stats.Published++
 	if b.cfg.replaySize > 0 {
 		b.replay = append(b.replay, e)
 		if len(b.replay) > b.cfg.replaySize {
@@ -266,17 +384,83 @@ func (b *Broker) Publish(e *event.Event) error {
 	}
 	b.mu.Unlock()
 
-	for _, s := range targets {
-		score := b.matcher.Score(s.sub, e)
-		if score < b.cfg.threshold || score <= 0 {
-			continue
-		}
-		b.mu.Lock()
-		b.stats.Matched++
-		b.mu.Unlock()
-		b.offer(s, Delivery{Event: e, SubscriptionID: s.id, Score: score})
+	b.published.Add(1)
+	var pe any
+	if b.prep != nil && len(targets) > 0 {
+		// Prepare the event once: every worker shares the canonical terms
+		// and compiled theme instead of recomputing them per subscription.
+		pe = b.prep.PrepareEv(e)
 	}
+	b.dispatch(targets, e, pe)
 	return nil
+}
+
+// dispatch scores an event against every target subscriber. With
+// parallelism n > 1, up to n-1 helper workers are drawn from the
+// broker-wide budget and the publisher goroutine always works too; workers
+// pull targets off a shared atomic cursor, so the set is partitioned
+// dynamically and each subscriber is matched exactly once.
+func (b *Broker) dispatch(targets []*Subscriber, e *event.Event, pe any) {
+	n := len(targets)
+	if n == 0 {
+		return
+	}
+	workers := b.cfg.parallelism
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || b.sem == nil {
+		for _, s := range targets {
+			b.matchOne(s, e, pe)
+		}
+		return
+	}
+
+	var cursor atomic.Int64
+	run := func() {
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			b.matchOne(targets[i], e, pe)
+		}
+	}
+	var wg sync.WaitGroup
+spawn:
+	for w := 1; w < workers; w++ {
+		select {
+		case b.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-b.sem }()
+				run()
+			}()
+		default:
+			// Helper budget exhausted by concurrent publishes: the
+			// publisher goroutine absorbs the remainder.
+			break spawn
+		}
+	}
+	run()
+	wg.Wait()
+}
+
+// matchOne scores one (event, subscription) pair and enqueues the delivery
+// on a match. Prepared forms are used when the matcher supports them.
+func (b *Broker) matchOne(s *Subscriber, e *event.Event, pe any) {
+	var score float64
+	if pe != nil && s.prepared != nil {
+		score = b.prep.ScorePrepared(s.prepared, pe)
+	} else {
+		score = b.matcher.Score(s.sub, e)
+	}
+	if score < b.cfg.threshold || score <= 0 {
+		return
+	}
+	b.matched.Add(1)
+	b.offer(s, Delivery{Event: e, SubscriptionID: s.id, Score: score})
 }
 
 // offer enqueues a delivery, dropping the oldest entry when full
@@ -290,16 +474,12 @@ func (b *Broker) offer(s *Subscriber, d Delivery) {
 	for {
 		select {
 		case s.ch <- d:
-			b.mu.Lock()
-			b.stats.Delivered++
-			b.mu.Unlock()
+			b.delivered.Add(1)
 			return
 		default:
 			select {
 			case <-s.ch:
-				b.mu.Lock()
-				b.stats.Dropped++
-				b.mu.Unlock()
+				b.dropped.Add(1)
 			default:
 			}
 		}
@@ -309,8 +489,15 @@ func (b *Broker) offer(s *Subscriber, d Delivery) {
 // Stats returns a snapshot of the broker counters.
 func (b *Broker) Stats() Stats {
 	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return b.stats
+	subscribers := len(b.subs)
+	b.mu.RUnlock()
+	return Stats{
+		Published:   b.published.Load(),
+		Matched:     b.matched.Load(),
+		Delivered:   b.delivered.Load(),
+		Dropped:     b.dropped.Load(),
+		Subscribers: subscribers,
+	}
 }
 
 // Close shuts the broker down and closes every subscriber channel.
@@ -326,7 +513,6 @@ func (b *Broker) Close() {
 		subs = append(subs, s)
 	}
 	b.subs = make(map[string]*Subscriber)
-	b.stats.Subscribers = 0
 	b.mu.Unlock()
 
 	for _, s := range subs {

@@ -3,6 +3,8 @@ package eval
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"thematicep/internal/event"
@@ -16,6 +18,18 @@ import (
 // baselines' 0/1 decisions, both implement it.
 type Scorer interface {
 	Score(s *event.Subscription, e *event.Event) float64
+}
+
+// PreparedScorer is the optional prepare-once extension of Scorer.
+// *matcher.Matcher satisfies it structurally; Run uses it so eval measures
+// the same prepared hot path a production broker runs (subscriptions
+// prepared once, each event prepared once and scored against every
+// prepared subscription).
+type PreparedScorer interface {
+	Scorer
+	PrepareSubscription(s *event.Subscription) *matcher.PreparedSubscription
+	PrepareEvent(e *event.Event) *matcher.PreparedEvent
+	ScorePrepared(ps *matcher.PreparedSubscription, pe *matcher.PreparedEvent) float64
 }
 
 // Result summarizes one sub-experiment: matching quality and time
@@ -43,10 +57,12 @@ func Run(scorer Scorer, w *workload.Workload) Result {
 	}
 
 	start := time.Now()
-	if m, ok := scorer.(*matcher.Matcher); ok {
+	if m, ok := scorer.(PreparedScorer); ok {
 		// Fast path: prepare subscriptions once and each event once, as a
 		// production broker would (subscriptions are long-lived; one event
-		// is matched against every subscription).
+		// is matched against every subscription). Scoring goes through
+		// ScorePrepared end to end, so eval exercises exactly the loop the
+		// broker's worker pool runs.
 		prepared := make([]*matcher.PreparedSubscription, nSubs)
 		for si, s := range w.ApproxSubs {
 			prepared[si] = m.PrepareSubscription(s)
@@ -110,6 +126,15 @@ type GridConfig struct {
 	Zipf bool
 	// Progress, when non-nil, receives a line per completed cell.
 	Progress func(string)
+	// Parallelism runs grid cells on up to this many workers (values <= 1
+	// keep the serial path). Parallel runs require NewScorer.
+	Parallelism int
+	// NewScorer builds an independent scorer+space pair for one worker.
+	// Each worker owns its own semantic space (sub-experiments reset caches,
+	// which must not interleave across cells) and its own workload clone
+	// (theme application mutates the workload in place). The returned space
+	// may be nil for scorers without one.
+	NewScorer func() (Scorer, *semantics.Space)
 }
 
 // DefaultGridSizes is the reduced deterministic grid of DESIGN.md §5.
@@ -134,38 +159,88 @@ func RunGrid(scorer Scorer, space *semantics.Space, w *workload.Workload, cfg Gr
 	if cfg.Samples <= 0 {
 		cfg.Samples = 2
 	}
-	var cells []Cell
+	if cfg.Parallelism > 1 && cfg.NewScorer != nil {
+		return runGridParallel(w, cfg)
+	}
+	cells := make([]Cell, 0, len(cfg.Sizes)*len(cfg.Sizes))
 	for _, es := range cfg.Sizes {
 		for _, ss := range cfg.Sizes {
-			rng := rand.New(rand.NewSource(cfg.Seed ^ int64(es)<<32 ^ int64(ss)<<16))
-			f1s := make([]float64, 0, cfg.Samples)
-			thrs := make([]float64, 0, cfg.Samples)
-			for n := 0; n < cfg.Samples; n++ {
-				var combo workload.ThemeCombination
-				if cfg.Zipf {
-					combo = w.SampleThemesZipf(rng, es, ss)
-				} else {
-					combo = w.SampleThemes(rng, es, ss)
-				}
-				w.ApplyThemes(combo)
-				if space != nil {
-					space.ResetCaches()
-				}
-				res := Run(scorer, w)
-				f1s = append(f1s, res.F1)
-				thrs = append(thrs, res.Throughput)
-			}
-			cell := Cell{EventSize: es, SubSize: ss, Samples: cfg.Samples}
-			cell.MeanF1, cell.StdF1 = MeanStd(f1s)
-			cell.MeanThroughput, cell.StdThroughput = MeanStd(thrs)
-			cells = append(cells, cell)
-			if cfg.Progress != nil {
-				cfg.Progress(fmt.Sprintf("cell e=%d s=%d: F1=%.3f thr=%.0f ev/s",
-					es, ss, cell.MeanF1, cell.MeanThroughput))
-			}
+			cells = append(cells, runGridCell(scorer, space, w, cfg, es, ss))
 		}
 	}
 	w.ClearThemes()
+	return cells
+}
+
+// runGridCell runs the cfg.Samples sub-experiments of one (event size, sub
+// size) cell. The per-cell rng seed depends only on (cfg.Seed, es, ss), so a
+// cell's result is identical whether cells run serially or in parallel.
+func runGridCell(scorer Scorer, space *semantics.Space, w *workload.Workload, cfg GridConfig, es, ss int) Cell {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(es)<<32 ^ int64(ss)<<16))
+	f1s := make([]float64, 0, cfg.Samples)
+	thrs := make([]float64, 0, cfg.Samples)
+	for n := 0; n < cfg.Samples; n++ {
+		var combo workload.ThemeCombination
+		if cfg.Zipf {
+			combo = w.SampleThemesZipf(rng, es, ss)
+		} else {
+			combo = w.SampleThemes(rng, es, ss)
+		}
+		w.ApplyThemes(combo)
+		if space != nil {
+			space.ResetCaches()
+		}
+		res := Run(scorer, w)
+		f1s = append(f1s, res.F1)
+		thrs = append(thrs, res.Throughput)
+	}
+	cell := Cell{EventSize: es, SubSize: ss, Samples: cfg.Samples}
+	cell.MeanF1, cell.StdF1 = MeanStd(f1s)
+	cell.MeanThroughput, cell.StdThroughput = MeanStd(thrs)
+	if cfg.Progress != nil {
+		cfg.Progress(fmt.Sprintf("cell e=%d s=%d: F1=%.3f thr=%.0f ev/s",
+			es, ss, cell.MeanF1, cell.MeanThroughput))
+	}
+	return cell
+}
+
+// runGridParallel distributes grid cells over cfg.Parallelism workers. Each
+// worker gets its own scorer+space from cfg.NewScorer and its own workload
+// clone, so cache resets and theme application stay cell-local. Cells land in
+// a pre-sized slice by index, preserving the serial row-major order; F1
+// values are bit-for-bit identical to the serial run (throughput, a wall-time
+// measurement, is not deterministic on either path).
+func runGridParallel(w *workload.Workload, cfg GridConfig) []Cell {
+	type job struct{ es, ss int }
+	jobs := make([]job, 0, len(cfg.Sizes)*len(cfg.Sizes))
+	for _, es := range cfg.Sizes {
+		for _, ss := range cfg.Sizes {
+			jobs = append(jobs, job{es, ss})
+		}
+	}
+	cells := make([]Cell, len(jobs))
+	var next atomic.Int64
+	workers := cfg.Parallelism
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scorer, space := cfg.NewScorer()
+			local := w.Clone()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				cells[i] = runGridCell(scorer, space, local, cfg, jobs[i].es, jobs[i].ss)
+			}
+		}()
+	}
+	wg.Wait()
 	return cells
 }
 

@@ -150,6 +150,47 @@ func TestRunGridDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunGridParallelMatchesSerial checks the parallel grid runner is a
+// pure wall-clock optimization: cell order, sizes, and F1 statistics are
+// bit-for-bit those of the serial run (throughput, being a wall-time
+// measurement, is exempt). Run with -race: workers share nothing but the
+// immutable index.
+func TestRunGridParallelMatchesSerial(t *testing.T) {
+	space, w := testEnv(t)
+	m := matcher.New(space)
+	cfg := GridConfig{Sizes: []int{2, 5, 8}, Samples: 2, Seed: 11}
+	serial := RunGrid(m, space, w, cfg)
+
+	ix := space.Index()
+	cfg.Parallelism = 4
+	cfg.NewScorer = func() (Scorer, *semantics.Space) {
+		sp := semantics.NewSpace(ix)
+		return matcher.New(sp), sp
+	}
+	par := RunGrid(m, space, w, cfg)
+
+	if len(par) != len(serial) {
+		t.Fatalf("parallel cells = %d, serial = %d", len(par), len(serial))
+	}
+	for i := range serial {
+		s, p := serial[i], par[i]
+		if p.EventSize != s.EventSize || p.SubSize != s.SubSize || p.Samples != s.Samples {
+			t.Errorf("cell %d shape: parallel (%d,%d,%d), serial (%d,%d,%d)",
+				i, p.EventSize, p.SubSize, p.Samples, s.EventSize, s.SubSize, s.Samples)
+		}
+		if p.MeanF1 != s.MeanF1 || p.StdF1 != s.StdF1 {
+			t.Errorf("cell %d F1: parallel %v±%v, serial %v±%v",
+				i, p.MeanF1, p.StdF1, s.MeanF1, s.StdF1)
+		}
+	}
+	// The parallel path must not leave the shared workload themed.
+	for _, e := range w.Events {
+		if len(e.Theme) != 0 {
+			t.Fatal("parallel grid left themes applied to the shared workload")
+		}
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	cells := []Cell{
 		{MeanF1: 0.8, MeanThroughput: 400},

@@ -15,6 +15,17 @@
 //
 // Thematic and non-thematic modes differ only in whether themes reach the
 // semantic measure; the non-thematic mode is the paper's baseline (§5.2.5).
+//
+// # Concurrency
+//
+// A Matcher is stateless apart from the shared semantics.Space (itself
+// safe for concurrent use) and may be called from any number of goroutines.
+// PreparedSubscription and PreparedEvent are immutable after creation and
+// safe to share across goroutines: a broker prepares each subscription once
+// and scores it concurrently against many events. The similarity matrices
+// of the MatchPrepared/ScorePrepared hot path are pooled internally
+// (sync.Pool) and never escape, so the hot loop is allocation-free for the
+// matrix itself.
 package matcher
 
 import (

@@ -1,6 +1,8 @@
 package matcher
 
 import (
+	"sync"
+
 	"thematicep/internal/event"
 	"thematicep/internal/semantics"
 	"thematicep/internal/text"
@@ -67,14 +69,54 @@ func (m *Matcher) PrepareEvent(e *event.Event) *PreparedEvent {
 	return p
 }
 
-// similarityMatrixPrepared fills sim (reused when capacities allow) with
-// the combined similarities between prepared subscription and event.
+// simBuf is a reusable similarity-matrix buffer: one contiguous cell slice
+// plus its row headers. MatchPrepared/ScorePrepared borrow one per call
+// from simPool, so the per-(event, subscription) hot loop allocates
+// nothing for the matrix.
+type simBuf struct {
+	rows  [][]float64
+	cells []float64
+}
+
+var simPool = sync.Pool{New: func() any { return new(simBuf) }}
+
+// matrix returns an n×m zeroed matrix backed by the buffer, growing the
+// backing storage only when the shape outgrows it.
+func (b *simBuf) matrix(n, m int) [][]float64 {
+	if cap(b.cells) < n*m {
+		b.cells = make([]float64, n*m)
+	}
+	cells := b.cells[:n*m]
+	clear(cells)
+	if cap(b.rows) < n {
+		b.rows = make([][]float64, n)
+	}
+	rows := b.rows[:n]
+	for i := range rows {
+		rows[i] = cells[i*m : (i+1)*m]
+	}
+	b.cells, b.rows = cells, rows
+	return rows
+}
+
+// similarityMatrixPrepared allocates and fills a fresh combined similarity
+// matrix between prepared subscription and event.
 func (m *Matcher) similarityMatrixPrepared(ps *PreparedSubscription, pe *PreparedEvent) [][]float64 {
 	n, mm := len(ps.attrs), len(pe.attrs)
 	sim := make([][]float64, n)
 	cells := make([]float64, n*mm)
 	for i := range sim {
 		sim[i] = cells[i*mm : (i+1)*mm]
+	}
+	m.fillSimilarity(sim, ps, pe)
+	return sim
+}
+
+// fillSimilarity writes the combined similarities into a pre-zeroed n×m
+// matrix.
+func (m *Matcher) fillSimilarity(sim [][]float64, ps *PreparedSubscription, pe *PreparedEvent) {
+	mm := len(pe.attrs)
+	for i := range sim {
 		pred := ps.sub.Predicates[i]
 		for j := 0; j < mm; j++ {
 			attrSim := m.termSimilarity(ps.attrs[i], pred.ApproxAttr, pe.attrs[j], ps.theme, pe.theme)
@@ -93,13 +135,19 @@ func (m *Matcher) similarityMatrixPrepared(ps *PreparedSubscription, pe *Prepare
 			sim[i][j] = attrSim * valueSim
 		}
 	}
-	return sim
 }
 
-// MatchPrepared is Match over prepared inputs.
+// MatchPrepared is Match over prepared inputs — the broker's hot path. The
+// similarity matrix is borrowed from a pool and returned before MatchPrepared
+// returns; the produced Mapping copies every value it needs, so nothing
+// pooled escapes.
 func (m *Matcher) MatchPrepared(ps *PreparedSubscription, pe *PreparedEvent) (Mapping, bool) {
-	sim := m.similarityMatrixPrepared(ps, pe)
-	return m.bestMapping(sim)
+	buf := simPool.Get().(*simBuf)
+	sim := buf.matrix(len(ps.attrs), len(pe.attrs))
+	m.fillSimilarity(sim, ps, pe)
+	mp, ok := m.bestMapping(sim)
+	simPool.Put(buf)
+	return mp, ok
 }
 
 // ScorePrepared is Score over prepared inputs.

@@ -12,6 +12,18 @@
 // measure the Euclidean distance of the projections (Eq. 5), and map to
 // relatedness 1/(d+1) (Eq. 6). Empty themes select the full, non-thematic
 // space, which is exactly the paper's non-thematic baseline measure.
+//
+// # Concurrency
+//
+// A Space is safe for concurrent use and built to scale reads across cores:
+// every cache (term vectors, theme bases, projections, memoized scores) is
+// striped over sharded maps with per-shard read-write locks, so concurrent
+// RelatednessCompiled calls on warm caches never serialize on a global
+// lock. Cold entries are single-flighted: a (term, theme) projection missed
+// by N goroutines at once is computed exactly once while the other N-1
+// wait. Compiled themes are interned under a read-mostly lock whose warm
+// path is an RLock. Cached sparse.Vector values are shared between callers
+// and must be treated as immutable.
 package semantics
 
 import (
@@ -19,6 +31,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"thematicep/internal/index"
 	"thematicep/internal/sparse"
@@ -85,18 +98,31 @@ func (c scoreCacheOption) apply(o *options) { o.scoreCache = bool(c) }
 func WithScoreCache(enabled bool) Option { return scoreCacheOption(enabled) }
 
 // Space is a parametric distributional vector space over an index. It is
-// safe for concurrent use.
+// safe for concurrent use; see the package documentation for the
+// concurrency contract.
 type Space struct {
 	ix   *index.Index
 	opts options
 
-	mu         sync.Mutex
-	termVecs   map[string]sparse.Vector  // full-space term vectors
-	themeBases map[string][]int32        // theme key -> basis doc ids
-	projVecs   map[string]sparse.Vector  // term "\x00" theme id -> projection
-	scores     map[string]float64        // sm() memo
-	themesRaw  map[string]*CompiledTheme // raw joined tags -> compiled theme
-	themesKey  map[string]*CompiledTheme // canonical key -> compiled theme
+	// scoreCache gates the sm() memo; atomic because PrecomputeScores may
+	// enable it while matchers are running.
+	scoreCache atomic.Bool
+
+	termVecs   cache[sparse.Vector] // full-space term vectors
+	themeBases cache[[]int32]       // theme key -> basis doc ids
+	projVecs   cache[sparse.Vector] // term "\x00" theme id -> projection
+	scores     cache[float64]       // sm() memo
+
+	themesMu  sync.RWMutex
+	themesRaw map[string]*CompiledTheme // raw joined tags -> compiled theme
+	themesKey map[string]*CompiledTheme // canonical key -> compiled theme
+
+	// Computation counters: how many times the expensive cold paths
+	// actually ran. They certify the single-flight property (computations
+	// == cache entries under concurrent load) and feed cold-start
+	// experiments.
+	termComputes atomic.Uint64
+	projComputes atomic.Uint64
 }
 
 // CompiledTheme is a resolved theme tag set: its canonical key plus a short
@@ -121,16 +147,14 @@ func NewSpace(ix *index.Index, opts ...Option) *Space {
 	for _, opt := range opts {
 		opt.apply(&o)
 	}
-	return &Space{
-		ix:         ix,
-		opts:       o,
-		termVecs:   make(map[string]sparse.Vector),
-		themeBases: make(map[string][]int32),
-		projVecs:   make(map[string]sparse.Vector),
-		scores:     make(map[string]float64),
-		themesRaw:  make(map[string]*CompiledTheme),
-		themesKey:  make(map[string]*CompiledTheme),
+	s := &Space{
+		ix:        ix,
+		opts:      o,
+		themesRaw: make(map[string]*CompiledTheme),
+		themesKey: make(map[string]*CompiledTheme),
 	}
+	s.scoreCache.Store(o.scoreCache)
+	return s
 }
 
 // Compile resolves a theme tag set once, memoized by the raw joined tags.
@@ -143,16 +167,16 @@ func (s *Space) Compile(theme []string) *CompiledTheme {
 		return nil
 	}
 	raw := strings.Join(theme, "\x01")
-	s.mu.Lock()
-	if t, ok := s.themesRaw[raw]; ok {
-		s.mu.Unlock()
+	s.themesMu.RLock()
+	t, ok := s.themesRaw[raw]
+	s.themesMu.RUnlock()
+	if ok {
 		return t
 	}
-	s.mu.Unlock()
 
 	key := ThemeKey(theme)
-	s.mu.Lock()
-	t, ok := s.themesKey[key]
+	s.themesMu.Lock()
+	t, ok = s.themesKey[key]
 	if !ok {
 		t = &CompiledTheme{
 			Key:  key,
@@ -162,7 +186,7 @@ func (s *Space) Compile(theme []string) *CompiledTheme {
 		s.themesKey[key] = t
 	}
 	s.themesRaw[raw] = t
-	s.mu.Unlock()
+	s.themesMu.Unlock()
 	return t
 }
 
@@ -189,24 +213,19 @@ func (s *Space) Index() *index.Index { return s.ix }
 // multi-word) term: the sum of its tokens' TF/IDF vectors (Eq. 1/4).
 func (s *Space) TermVector(term string) sparse.Vector {
 	key := text.Canonical(term)
-	if s.opts.caching {
-		s.mu.Lock()
-		v, ok := s.termVecs[key]
-		s.mu.Unlock()
-		if ok {
-			return v
-		}
+	if !s.opts.caching {
+		return s.termVector(key)
 	}
-	v := s.termVector(key)
-	if s.opts.caching {
-		s.mu.Lock()
-		s.termVecs[key] = v
-		s.mu.Unlock()
+	// get-before-do keeps the warm path free of the do closure, which would
+	// otherwise be heap-allocated on every call.
+	if v, ok := s.termVecs.get(key); ok {
+		return v
 	}
-	return v
+	return s.termVecs.do(key, func() sparse.Vector { return s.termVector(key) })
 }
 
 func (s *Space) termVector(canonical string) sparse.Vector {
+	s.termComputes.Add(1)
 	var v sparse.Vector
 	for _, tok := range text.Tokenize(canonical) {
 		tv := s.ix.Vector(tok)
@@ -254,17 +273,10 @@ func (s *Space) basisOf(t *CompiledTheme) []int32 {
 	if t == nil {
 		return nil
 	}
-	s.mu.Lock()
-	b, ok := s.themeBases[t.Key]
-	s.mu.Unlock()
-	if ok {
+	if b, ok := s.themeBases.get(t.Key); ok {
 		return b
 	}
-	b = s.themeBasis(t.Key)
-	s.mu.Lock()
-	s.themeBases[t.Key] = b
-	s.mu.Unlock()
-	return b
+	return s.themeBases.do(t.Key, func() []int32 { return s.themeBasis(t.Key) })
 }
 
 func (s *Space) themeBasis(themeKey string) []int32 {
@@ -299,25 +311,18 @@ func (s *Space) ProjectCompiled(termKey string, t *CompiledTheme) sparse.Vector 
 	if t == nil {
 		return s.TermVector(termKey)
 	}
+	if !s.opts.caching {
+		return s.project(termKey, t)
+	}
 	cacheKey := termKey + "\x00" + t.id
-	if s.opts.caching {
-		s.mu.Lock()
-		v, ok := s.projVecs[cacheKey]
-		s.mu.Unlock()
-		if ok {
-			return v
-		}
+	if v, ok := s.projVecs.get(cacheKey); ok {
+		return v
 	}
-	v := s.project(termKey, t)
-	if s.opts.caching {
-		s.mu.Lock()
-		s.projVecs[cacheKey] = v
-		s.mu.Unlock()
-	}
-	return v
+	return s.projVecs.do(cacheKey, func() sparse.Vector { return s.project(termKey, t) })
 }
 
 func (s *Space) project(termKey string, t *CompiledTheme) sparse.Vector {
+	s.projComputes.Add(1)
 	basis := s.basisOf(t)
 	if len(basis) == 0 {
 		// The theme selects nothing: the space is filtered completely
@@ -386,17 +391,21 @@ func (s *Space) Relatedness(subTerm string, subTheme []string, eventTerm string,
 // RelatednessCompiled is Relatedness for pre-canonicalized terms and
 // compiled themes — the matching hot path.
 func (s *Space) RelatednessCompiled(subTerm string, subTheme *CompiledTheme, eventTerm string, eventTheme *CompiledTheme) float64 {
-	var cacheKey string
-	if s.opts.scoreCache {
-		cacheKey = subTerm + "\x00" + themeID(subTheme) + "\x00" +
+	if s.scoreCache.Load() {
+		cacheKey := subTerm + "\x00" + themeID(subTheme) + "\x00" +
 			eventTerm + "\x00" + themeID(eventTheme)
-		s.mu.Lock()
-		r, ok := s.scores[cacheKey]
-		s.mu.Unlock()
-		if ok {
+		if r, ok := s.scores.get(cacheKey); ok {
 			return r
 		}
+		return s.scores.do(cacheKey, func() float64 {
+			return s.relatedness(subTerm, subTheme, eventTerm, eventTheme)
+		})
 	}
+	return s.relatedness(subTerm, subTheme, eventTerm, eventTheme)
+}
+
+// relatedness is the uncached measure body of RelatednessCompiled.
+func (s *Space) relatedness(subTerm string, subTheme *CompiledTheme, eventTerm string, eventTheme *CompiledTheme) float64 {
 	a := s.ProjectCompiled(subTerm, subTheme)
 	b := s.ProjectCompiled(eventTerm, eventTheme)
 	var r float64
@@ -418,11 +427,6 @@ func (s *Space) RelatednessCompiled(subTerm string, subTheme *CompiledTheme, eve
 	default:
 		r = sparse.Cosine(a, b)
 	}
-	if s.opts.scoreCache {
-		s.mu.Lock()
-		s.scores[cacheKey] = r
-		s.mu.Unlock()
-	}
 	return r
 }
 
@@ -438,7 +442,7 @@ func (s *Space) NonThematicRelatedness(a, b string) float64 {
 // prior-work comparison (§5, experiment E8): after precomputation, matching
 // those pairs never touches vectors.
 func (s *Space) PrecomputeScores(subTerms, eventTerms []string) {
-	s.opts.scoreCache = true
+	s.scoreCache.Store(true)
 	for _, a := range subTerms {
 		for _, b := range eventTerms {
 			s.NonThematicRelatedness(a, b)
@@ -463,20 +467,25 @@ func (s *Space) PrecomputeProjections(terms []string, themes ...[]string) {
 // CacheStats reports cache entry counts (term vectors, theme bases,
 // projections, scores) for observability and cold-start experiments.
 func (s *Space) CacheStats() (termVecs, themeBases, projections, scores int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.termVecs), len(s.themeBases), len(s.projVecs), len(s.scores)
+	return s.termVecs.len(), s.themeBases.len(), s.projVecs.len(), s.scores.len()
+}
+
+// Computes reports how many times the expensive cold paths actually ran:
+// full-space term-vector constructions and thematic projections
+// (Algorithm 1 executions). Under the single-flight contract each cached
+// entry costs exactly one computation regardless of concurrency.
+func (s *Space) Computes() (termVectors, projections uint64) {
+	return s.termComputes.Load(), s.projComputes.Load()
 }
 
 // ResetCaches drops every cache. Cold-start experiments (§7 future work)
-// use it to measure first-event latency.
+// use it to measure first-event latency. Concurrent computations finishing
+// during a reset may repopulate entries they were already producing.
 func (s *Space) ResetCaches() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.termVecs = make(map[string]sparse.Vector)
-	s.themeBases = make(map[string][]int32)
-	s.projVecs = make(map[string]sparse.Vector)
-	s.scores = make(map[string]float64)
+	s.termVecs.reset()
+	s.themeBases.reset()
+	s.projVecs.reset()
+	s.scores.reset()
 }
 
 // themeID returns the interned id of a compiled theme ("" for the full

@@ -337,6 +337,32 @@ func (w *Workload) WithSubscriptions(subs []*event.Subscription) *Workload {
 	return out
 }
 
+// Clone returns a copy of w that can have themes applied independently of
+// the original: events and approximate subscriptions are fresh structs
+// (ApplyThemes overwrites their Theme fields) sharing the immutable tuple
+// and predicate payloads, ground truth, and thesaurus. The parallel grid
+// runner gives each worker its own clone.
+func (w *Workload) Clone() *Workload {
+	out := &Workload{
+		Seeds:         w.Seeds,
+		SeedOf:        w.SeedOf,
+		ExactSubs:     w.ExactSubs,
+		th:            w.th,
+		relevantSeeds: w.relevantSeeds,
+	}
+	out.Events = make([]*event.Event, len(w.Events))
+	for i, e := range w.Events {
+		cp := *e
+		out.Events[i] = &cp
+	}
+	out.ApproxSubs = make([]*event.Subscription, len(w.ApproxSubs))
+	for i, s := range w.ApproxSubs {
+		cp := *s
+		out.ApproxSubs[i] = &cp
+	}
+	return out
+}
+
 // PartiallyApproximate returns a copy of s with approximately the given
 // degree of approximation (§3.4): degree*2*len(predicates) attribute/value
 // slots, chosen at random, get the ~ operator. Degree 0 returns an exact
