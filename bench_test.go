@@ -445,6 +445,83 @@ func BenchmarkRelatedness(b *testing.B) {
 	}
 }
 
+// BenchmarkRelatednessWarm is the warm steady-state regime of the
+// parametric measure: unit projections cached, so each op is one cached
+// lookup plus the allocation-free sparse.NormalizedEuclidean kernel.
+// AllocsPerOp must be 0 (also asserted in internal/semantics's
+// TestRelatednessWarmZeroAlloc).
+func BenchmarkRelatednessWarm(b *testing.B) {
+	e := benchSetup(b)
+	space := semantics.NewSpace(e.ix)
+	sub := space.Compile(e.combo.SubTheme)
+	evt := space.Compile(e.combo.EventTheme)
+	space.RelatednessCompiled("laptop", sub, "computer", evt) // warm the caches
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		space.RelatednessCompiled("laptop", sub, "computer", evt)
+	}
+}
+
+// BenchmarkBrokerPublishPruned measures Publish throughput with the
+// subscription pruning index on versus off, over a mixed population of
+// exact and fully approximate subscriptions (exact ones are the prunable
+// kind; eval-style 100%-approximate subscriptions always stay candidates).
+func BenchmarkBrokerPublishPruned(b *testing.B) {
+	e := benchSetup(b)
+	e.work.ApplyThemes(e.combo)
+	defer e.work.ClearThemes()
+	for _, pruning := range []bool{false, true} {
+		name := "pruning-off"
+		if pruning {
+			name = "pruning-on"
+		}
+		b.Run(name, func(b *testing.B) {
+			m := matcher.New(semantics.NewSpace(e.ix))
+			br := broker.New(
+				broker.Prepared(m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared),
+				broker.WithPruning(pruning),
+				broker.WithThreshold(0.3), broker.WithReplayBuffer(0), broker.WithQueueSize(64))
+			var wg sync.WaitGroup
+			subscribe := func(s *event.Subscription) {
+				sub, err := br.Subscribe(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				wg.Add(1)
+				go func(c <-chan broker.Delivery) {
+					defer wg.Done()
+					for range c {
+					}
+				}(sub.C())
+			}
+			for i := range e.work.ApproxSubs {
+				subscribe(e.work.ApproxSubs[i])
+				subscribe(e.work.ExactSubs[i])
+			}
+			for _, ev := range e.work.Events {
+				if err := br.Publish(ev); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := br.Publish(e.work.Events[i%len(e.work.Events)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportEventsPerSec(b)
+			b.StopTimer()
+			st := br.Stats()
+			if st.Scanned > 0 {
+				b.ReportMetric(100*float64(st.Pruned)/float64(st.Scanned+st.Pruned), "%pruned")
+			}
+			br.Close()
+			wg.Wait()
+		})
+	}
+}
+
 // BenchmarkAssignment is a micro-bench of the Hungarian top-1 solver on a
 // typical similarity matrix size (3 predicates x 9 tuples).
 func BenchmarkAssignment(b *testing.B) {

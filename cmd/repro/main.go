@@ -19,9 +19,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"path/filepath"
+	"time"
 
+	"thematicep/internal/broker"
 	"thematicep/internal/corpus"
 	"thematicep/internal/eval"
 	"thematicep/internal/figures"
@@ -41,7 +44,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: all, fig7, fig8, fig9, fig10, baseline, headline, significance, table1, prior, sweep, topk, ablation, tagging, shape, diag")
+		exp      = fs.String("exp", "all", "experiment: all, fig7, fig8, fig9, fig10, baseline, headline, significance, table1, prior, sweep, topk, ablation, tagging, shape, diag, pruning")
 		full     = fs.Bool("full", false, "paper-scale workload and grid (slow)")
 		seed     = fs.Int64("seed", 7, "master seed")
 		csvdir   = fs.String("csvdir", "", "directory for CSV output (optional)")
@@ -80,9 +83,10 @@ func run(args []string) error {
 		"shape":        runShape,
 		"diag":         runDiag,
 		"significance": runSignificance,
+		"pruning":      runPruning,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"baseline", "fig7", "headline", "significance", "table1", "prior", "sweep", "topk", "ablation", "tagging"} {
+		for _, name := range []string{"baseline", "fig7", "headline", "significance", "table1", "prior", "sweep", "topk", "ablation", "tagging", "pruning"} {
 			if err := experiments[name](env); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -111,6 +115,13 @@ type env0 struct {
 	// memoized results shared between experiments
 	baselineRes *eval.Result
 	gridCells   []eval.Cell
+	pruningRes  []brokerRun // [full scan, pruned], once runPruning has run
+}
+
+// brokerRun is one timed broker publish pass over the workload.
+type brokerRun struct {
+	Stats   broker.Stats
+	Elapsed time.Duration
 }
 
 func newEnv(full bool, seed int64, samples int, verbose bool, csvdir string) (*env0, error) {
@@ -301,6 +312,90 @@ func runFigures(e *env0) error {
 	return nil
 }
 
+// brokerPass publishes every workload event through a broker holding both
+// the exact and the fully approximate subscriptions, with the pruning index
+// on or off, and returns the broker counters and the publish wall time.
+// Subscriber queues are minimal (the pass measures matching, not delivery
+// consumption; drop-oldest keeps Publish non-blocking), and Matched counts
+// are comparable across passes because matching is queue-independent.
+func (e *env0) brokerPass(pruning bool) (brokerRun, error) {
+	e.space.ResetCaches()
+	m := matcher.New(e.space)
+	b := broker.New(
+		broker.Prepared(m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared),
+		broker.WithPruning(pruning),
+		broker.WithReplayBuffer(0),
+		broker.WithQueueSize(1),
+	)
+	defer b.Close()
+	for i := range e.work.ExactSubs {
+		if _, err := b.Subscribe(e.work.ExactSubs[i]); err != nil {
+			return brokerRun{}, err
+		}
+		if _, err := b.Subscribe(e.work.ApproxSubs[i]); err != nil {
+			return brokerRun{}, err
+		}
+	}
+	start := time.Now()
+	for _, ev := range e.work.Events {
+		if err := b.Publish(ev); err != nil {
+			return brokerRun{}, err
+		}
+	}
+	return brokerRun{Stats: b.Stats(), Elapsed: time.Since(start)}, nil
+}
+
+// pruningComparison runs (and memoizes) the two broker passes over a
+// sampled theme combination. Match counts must agree exactly: pruning only
+// skips pairs that provably score zero.
+func (e *env0) pruningComparison() ([]brokerRun, error) {
+	if e.pruningRes != nil {
+		return e.pruningRes, nil
+	}
+	combo := e.work.SampleThemes(rand.New(rand.NewSource(e.seed)), 2, 1)
+	e.work.ApplyThemes(combo)
+	defer e.work.ClearThemes()
+
+	full, err := e.brokerPass(false)
+	if err != nil {
+		return nil, err
+	}
+	pruned, err := e.brokerPass(true)
+	if err != nil {
+		return nil, err
+	}
+	if full.Stats.Matched != pruned.Stats.Matched {
+		return nil, fmt.Errorf("pruning changed matches: %d full scan vs %d pruned",
+			full.Stats.Matched, pruned.Stats.Matched)
+	}
+	e.pruningRes = []brokerRun{full, pruned}
+	return e.pruningRes, nil
+}
+
+// runPruning compares broker publish throughput with the subscription
+// pruning index on and off (E7; the §7 "efficient indexing for thematic
+// projection" direction).
+func runPruning(e *env0) error {
+	runs, err := e.pruningComparison()
+	if err != nil {
+		return err
+	}
+	full, pruned := runs[0], runs[1]
+
+	nev := float64(len(e.work.Events))
+	fmt.Println("== E7: broker candidate pruning (subindex; §7 indexing direction) ==")
+	fmt.Printf("subscriptions: %d exact + %d approximate; events: %d\n",
+		len(e.work.ExactSubs), len(e.work.ApproxSubs), len(e.work.Events))
+	fmt.Printf("full scan: %d pairs scored, %d matches, %.0f events/sec\n",
+		full.Stats.Scanned, full.Stats.Matched, nev/full.Elapsed.Seconds())
+	fmt.Printf("pruned:    %d pairs scored (%d pruned, %.0f%%), %d matches, %.0f events/sec\n",
+		pruned.Stats.Scanned, pruned.Stats.Pruned,
+		100*float64(pruned.Stats.Pruned)/float64(full.Stats.Scanned),
+		pruned.Stats.Matched, nev/pruned.Elapsed.Seconds())
+	fmt.Println()
+	return nil
+}
+
 func runHeadline(e *env0) error {
 	base := e.baseline()
 	sum := eval.Summarize(e.grid(), base)
@@ -331,7 +426,7 @@ func runHeadline(e *env0) error {
 }
 
 // writeBenchJSON emits the headline metrics in a flat machine-readable form
-// for CI artifact tracking.
+// for CI artifact tracking, plus the broker pruning comparison (E7).
 func writeBenchJSON(e *env0, base eval.Result, sum eval.GridSummary) error {
 	doc := map[string]any{
 		"experiment":          "headline",
@@ -347,6 +442,18 @@ func writeBenchJSON(e *env0, base eval.Result, sum eval.GridSummary) error {
 		"max_throughput":      sum.MaxThroughput,
 		"frac_f1_above":       sum.FracF1AboveBaseline,
 		"frac_thr_above":      sum.FracThroughputAboveBaseline,
+	}
+	if runs, err := e.pruningComparison(); err == nil {
+		full, pruned := runs[0], runs[1]
+		nev := float64(len(e.work.Events))
+		doc["broker_scanned_full"] = full.Stats.Scanned
+		doc["broker_scanned_pruned"] = pruned.Stats.Scanned
+		doc["broker_pruned_pairs"] = pruned.Stats.Pruned
+		doc["broker_matched"] = pruned.Stats.Matched
+		doc["broker_throughput_full"] = nev / full.Elapsed.Seconds()
+		doc["broker_throughput_pruned"] = nev / pruned.Elapsed.Seconds()
+	} else {
+		fmt.Fprintln(os.Stderr, "repro: pruning comparison skipped:", err)
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

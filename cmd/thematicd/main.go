@@ -55,6 +55,7 @@ func run(args []string) error {
 		peers     = fs.String("peers", "", "comma-separated peer broker addresses (enables theme-sharded federation)")
 		advertise = fs.String("advertise", "", "address peers dial for this broker (shard identity; defaults to -addr)")
 		parallel  = fs.Int("match-parallelism", 0, "matching worker pool size per publish (0 = GOMAXPROCS, 1 = serial)")
+		pruning   = fs.Bool("pruning", true, "prune per-publish candidates via the subscription index (recall-preserving)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +72,7 @@ func run(args []string) error {
 		broker.WithThreshold(*threshold),
 		broker.WithReplayBuffer(*replay),
 		broker.WithQueueSize(*queue),
+		broker.WithPruning(*pruning),
 	}
 	if *parallel > 0 {
 		opts = append(opts, broker.WithMatchParallelism(*parallel))
@@ -135,8 +137,8 @@ func run(args []string) error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	st := b.Stats()
-	fmt.Fprintf(os.Stderr, "shutting down: published=%d matched=%d delivered=%d dropped=%d\n",
-		st.Published, st.Matched, st.Delivered, st.Dropped)
+	fmt.Fprintf(os.Stderr, "shutting down: published=%d scanned=%d pruned=%d matched=%d delivered=%d dropped=%d\n",
+		st.Published, st.Scanned, st.Pruned, st.Matched, st.Delivered, st.Dropped)
 	if node != nil {
 		cs := node.Stats()
 		fmt.Fprintf(os.Stderr, "federation: forwarded=%d received=%d deduped=%d reconnects=%d queueDrops=%d\n",

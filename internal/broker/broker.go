@@ -22,7 +22,10 @@
 // Matchers implementing PreparedMatcher get the prepared fast path: each
 // subscription is prepared once at Subscribe time and each event once per
 // Publish, so the hot loop never recompiles themes or recanonicalizes
-// terms. All Stats counters are atomics; no lock is held while matching.
+// terms — and, with pruning on (WithPruning, default), the candidate set
+// itself comes from the internal/subindex pruning index instead of a full
+// scan, skipping subscriptions whose exact predicates this event cannot
+// satisfy. All Stats counters are atomics; no lock is held while matching.
 package broker
 
 import (
@@ -33,6 +36,7 @@ import (
 	"sync/atomic"
 
 	"thematicep/internal/event"
+	"thematicep/internal/subindex"
 )
 
 // Matcher decides whether an event is relevant to a subscription and with
@@ -118,6 +122,8 @@ type Delivery struct {
 // Stats are broker counters; all values are cumulative.
 type Stats struct {
 	Published   uint64 // events accepted by Publish
+	Scanned     uint64 // (event, subscription) pairs scored by the matcher
+	Pruned      uint64 // pairs skipped by the pruning index (provably score 0)
 	Matched     uint64 // (event, subscription) matches
 	Delivered   uint64 // deliveries handed to subscriber queues
 	Dropped     uint64 // deliveries dropped due to full subscriber queues
@@ -134,6 +140,7 @@ type config struct {
 	queueSize   int
 	replaySize  int
 	parallelism int
+	pruning     bool
 }
 
 type thresholdOption float64
@@ -170,12 +177,32 @@ func (o parallelismOption) apply(c *config) { c.parallelism = int(o) }
 // goroutines never exceed the limit regardless of publisher count.
 func WithMatchParallelism(n int) Option { return parallelismOption(n) }
 
+type pruningOption bool
+
+func (o pruningOption) apply(c *config) { c.pruning = bool(o) }
+
+// WithPruning enables or disables the subscription pruning index (default
+// on). When on, Publish builds its candidate set from the event's tuple
+// terms via internal/subindex instead of scanning every subscription;
+// skipped subscriptions provably score 0 under the §3.4 exact-term
+// contract, so delivery sets are identical to the unpruned scan (see the
+// subindex package documentation for the argument). Pruning engages only
+// for matchers implementing PreparedMatcher — the thematic matcher and its
+// non-thematic variant — because those honor the contract; plain Matcher
+// baselines are always scanned in full. Disable it for a PreparedMatcher
+// whose exact-term semantics are looser than canonical equality.
+func WithPruning(enabled bool) Option { return pruningOption(enabled) }
+
 // Broker routes published events to matching subscribers. It is safe for
 // concurrent use. Close releases all subscribers.
 type Broker struct {
 	matcher Matcher
 	prep    PreparedMatcher // non-nil when matcher supports prepare-once
 	cfg     config
+
+	// index prunes the per-publish candidate set (WithPruning); non-nil
+	// only when pruning is on and the matcher supports prepare-once.
+	index *subindex.Index[*Subscriber]
 
 	// sem is the broker-wide helper-worker budget (capacity
 	// parallelism-1); acquisition is non-blocking, so a saturated pool
@@ -185,6 +212,8 @@ type Broker struct {
 	// Cumulative counters; atomics so the match hot loop takes no lock
 	// (and offer cannot deadlock against b.mu).
 	published atomic.Uint64
+	scanned   atomic.Uint64
+	pruned    atomic.Uint64
 	matched   atomic.Uint64
 	delivered atomic.Uint64
 	dropped   atomic.Uint64
@@ -211,6 +240,7 @@ func New(m Matcher, opts ...Option) *Broker {
 		queueSize:   64,
 		replaySize:  256,
 		parallelism: runtime.GOMAXPROCS(0),
+		pruning:     true,
 	}
 	for _, opt := range opts {
 		opt.apply(&cfg)
@@ -225,6 +255,9 @@ func New(m Matcher, opts ...Option) *Broker {
 	}
 	if pm, ok := m.(PreparedMatcher); ok {
 		b.prep = pm
+	}
+	if cfg.pruning && b.prep != nil {
+		b.index = subindex.New[*Subscriber]()
 	}
 	if cfg.parallelism > 1 {
 		b.sem = make(chan struct{}, cfg.parallelism-1)
@@ -315,6 +348,11 @@ func (b *Broker) Subscribe(sub *event.Subscription, opts ...SubscribeOption) (*S
 		broker:   b,
 	}
 	b.subs[id] = s
+	if b.index != nil {
+		// Under b.mu so the index and the subscription map stay in step
+		// (lock order is always b.mu before the index's internal lock).
+		b.index.Add(id, sub, s)
+	}
 	var backlog []*event.Event
 	if sc.replay {
 		backlog = append(backlog, b.replay...)
@@ -341,6 +379,9 @@ func (b *Broker) unsubscribe(id string) {
 	s, ok := b.subs[id]
 	if ok {
 		delete(b.subs, id)
+		if b.index != nil {
+			b.index.Remove(id)
+		}
 	}
 	b.mu.Unlock()
 	if ok {
@@ -378,21 +419,49 @@ func (b *Broker) Publish(e *event.Event) error {
 			b.replay = b.replay[len(b.replay)-b.cfg.replaySize:]
 		}
 	}
-	targets := make([]*Subscriber, 0, len(b.subs))
-	for _, s := range b.subs {
-		targets = append(targets, s)
+	var targets []*Subscriber
+	empty := len(b.subs) == 0
+	if b.index == nil {
+		targets = make([]*Subscriber, 0, len(b.subs))
+		for _, s := range b.subs {
+			targets = append(targets, s)
+		}
 	}
 	b.mu.Unlock()
 
 	b.published.Add(1)
 	var pe any
-	if b.prep != nil && len(targets) > 0 {
+	if b.prep != nil && !empty {
 		// Prepare the event once: every worker shares the canonical terms
 		// and compiled theme instead of recomputing them per subscription.
 		pe = b.prep.PrepareEv(e)
 	}
+	if b.index != nil && !empty {
+		// Candidate set from the pruning index: subscriptions whose exact
+		// predicates cannot all be satisfied by this event's tuples are
+		// skipped before any semantic measure runs. The prepared event's
+		// canonical terms feed the index directly when available.
+		add := func(s *Subscriber) { targets = append(targets, s) }
+		var pruned int
+		if ct, ok := pe.(canonicalTupler); ok {
+			attrs, values := ct.CanonicalTuples()
+			_, pruned = b.index.CandidatesPrepared(attrs, values, add)
+		} else {
+			_, pruned = b.index.Candidates(e, add)
+		}
+		b.pruned.Add(uint64(pruned))
+	}
+
+	b.scanned.Add(uint64(len(targets)))
 	b.dispatch(targets, e, pe)
 	return nil
+}
+
+// canonicalTupler is the optional prepared-event capability the pruning
+// index exploits: pre-canonicalized tuple terms (matcher.PreparedEvent
+// implements it).
+type canonicalTupler interface {
+	CanonicalTuples() (attrs, values []string)
 }
 
 // dispatch scores an event against every target subscriber. With
@@ -493,6 +562,8 @@ func (b *Broker) Stats() Stats {
 	b.mu.RUnlock()
 	return Stats{
 		Published:   b.published.Load(),
+		Scanned:     b.scanned.Load(),
+		Pruned:      b.pruned.Load(),
 		Matched:     b.matched.Load(),
 		Delivered:   b.delivered.Load(),
 		Dropped:     b.dropped.Load(),

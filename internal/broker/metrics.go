@@ -39,6 +39,8 @@ func MetricsHandler(b *Broker, extra ...Collector) http.Handler {
 		st := b.Stats()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		WriteCounter(w, "thematicep_broker_published_total", "Events accepted by Publish.", st.Published)
+		WriteCounter(w, "thematicep_broker_scanned_total", "Event-subscription pairs scored by the matcher.", st.Scanned)
+		WriteCounter(w, "thematicep_broker_pruned_total", "Pairs skipped by the pruning index (provably score 0).", st.Pruned)
 		WriteCounter(w, "thematicep_broker_matched_total", "Event-subscription matches.", st.Matched)
 		WriteCounter(w, "thematicep_broker_delivered_total", "Deliveries enqueued to subscribers.", st.Delivered)
 		WriteCounter(w, "thematicep_broker_dropped_total", "Deliveries dropped by the overflow policy.", st.Dropped)

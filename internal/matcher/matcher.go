@@ -140,9 +140,17 @@ func (m *Matcher) Match(s *event.Subscription, e *event.Event) (Mapping, bool) {
 }
 
 // bestMappingHungarian solves the general case (more than three
-// predicates) with the Hungarian solver over log-similarities.
-func (m *Matcher) bestMappingHungarian(sim [][]float64) (Mapping, bool) {
-	sol, feasible := assign.Best(logWeights(sim))
+// predicates) with the Hungarian solver over log-similarities. When a
+// pooled buffer is supplied the log-weight matrix is borrowed from it
+// instead of allocated.
+func (m *Matcher) bestMappingHungarian(buf *simBuf, sim [][]float64) (Mapping, bool) {
+	var lw [][]float64
+	if buf != nil {
+		lw = buf.logMatrix(sim)
+	} else {
+		lw = logWeights(sim)
+	}
+	sol, feasible := assign.Best(lw)
 	if !feasible {
 		return Mapping{}, false
 	}
@@ -190,15 +198,25 @@ func (m *Matcher) Score(s *event.Subscription, e *event.Event) float64 {
 }
 
 // logWeights converts similarities to log space so that the maximum-sum
-// assignment is the maximum-product mapping. Zero similarity becomes a
-// forbidden cell only if the whole row has an alternative; to keep the
-// assignment feasible when a predicate matches nothing (its score is then
-// 0), zeros map to a very negative but finite weight.
+// assignment is the maximum-product mapping (freshly allocated; the pooled
+// hot path uses simBuf.logMatrix instead).
 func logWeights(sim [][]float64) [][]float64 {
-	const zeroLog = -1e9
 	out := make([][]float64, len(sim))
 	for i, row := range sim {
 		out[i] = make([]float64, len(row))
+	}
+	fillLogWeights(out, sim)
+	return out
+}
+
+// fillLogWeights writes the log-space form of sim into out (same shape).
+// Zero similarity becomes a forbidden cell only if the whole row has an
+// alternative; to keep the assignment feasible when a predicate matches
+// nothing (its score is then 0), zeros map to a very negative but finite
+// weight.
+func fillLogWeights(out, sim [][]float64) {
+	const zeroLog = -1e9
+	for i, row := range sim {
 		for j, v := range row {
 			if v <= 0 {
 				out[i][j] = zeroLog
@@ -207,5 +225,4 @@ func logWeights(sim [][]float64) [][]float64 {
 			}
 		}
 	}
-	return out
 }

@@ -3,6 +3,7 @@ package matcher
 import (
 	"sync"
 
+	"thematicep/internal/assign"
 	"thematicep/internal/event"
 	"thematicep/internal/semantics"
 	"thematicep/internal/text"
@@ -33,6 +34,11 @@ type PreparedEvent struct {
 
 // Event returns the underlying event.
 func (p *PreparedEvent) Event() *event.Event { return p.ev }
+
+// CanonicalTuples returns the canonical attribute and value terms of the
+// event's tuples, index-aligned. Callers must not mutate the slices. The
+// broker's pruning index uses them to skip per-publish recanonicalization.
+func (p *PreparedEvent) CanonicalTuples() (attrs, values []string) { return p.attrs, p.values }
 
 // PrepareSubscription canonicalizes a subscription against this matcher's
 // space. The preparation is only valid for matchers sharing the space.
@@ -70,12 +76,16 @@ func (m *Matcher) PrepareEvent(e *event.Event) *PreparedEvent {
 }
 
 // simBuf is a reusable similarity-matrix buffer: one contiguous cell slice
-// plus its row headers. MatchPrepared/ScorePrepared borrow one per call
-// from simPool, so the per-(event, subscription) hot loop allocates
-// nothing for the matrix.
+// plus its row headers for the similarity matrix, and a second pair for the
+// log-weight matrix the Hungarian solver consumes. MatchPrepared/
+// ScorePrepared borrow one per call from simPool, so the per-(event,
+// subscription) hot loop allocates nothing for either matrix.
 type simBuf struct {
 	rows  [][]float64
 	cells []float64
+
+	logRows  [][]float64
+	logCells []float64
 }
 
 var simPool = sync.Pool{New: func() any { return new(simBuf) }}
@@ -83,20 +93,38 @@ var simPool = sync.Pool{New: func() any { return new(simBuf) }}
 // matrix returns an n×m zeroed matrix backed by the buffer, growing the
 // backing storage only when the shape outgrows it.
 func (b *simBuf) matrix(n, m int) [][]float64 {
-	if cap(b.cells) < n*m {
-		b.cells = make([]float64, n*m)
+	b.rows, b.cells = growMatrix(b.rows, b.cells, n, m)
+	return b.rows
+}
+
+// logMatrix returns the log-weight form of sim (see logWeights) backed by
+// the buffer's second storage pair, so the Hungarian path borrows both of
+// its matrices from the same pooled buffer. assign.Best copies the weights
+// into its own working storage, so returning the buffer to the pool after
+// the solve is safe.
+func (b *simBuf) logMatrix(sim [][]float64) [][]float64 {
+	n, m := len(sim), len(sim[0])
+	b.logRows, b.logCells = growMatrix(b.logRows, b.logCells, n, m)
+	fillLogWeights(b.logRows, sim)
+	return b.logRows
+}
+
+// growMatrix reshapes a rows/cells storage pair to an n×m zeroed matrix,
+// growing the backing storage only when the shape outgrows it.
+func growMatrix(rows [][]float64, cells []float64, n, m int) ([][]float64, []float64) {
+	if cap(cells) < n*m {
+		cells = make([]float64, n*m)
 	}
-	cells := b.cells[:n*m]
+	cells = cells[:n*m]
 	clear(cells)
-	if cap(b.rows) < n {
-		b.rows = make([][]float64, n)
+	if cap(rows) < n {
+		rows = make([][]float64, n)
 	}
-	rows := b.rows[:n]
+	rows = rows[:n]
 	for i := range rows {
 		rows[i] = cells[i*m : (i+1)*m]
 	}
-	b.cells, b.rows = cells, rows
-	return rows
+	return rows, cells
 }
 
 // similarityMatrixPrepared allocates and fills a fresh combined similarity
@@ -145,24 +173,51 @@ func (m *Matcher) MatchPrepared(ps *PreparedSubscription, pe *PreparedEvent) (Ma
 	buf := simPool.Get().(*simBuf)
 	sim := buf.matrix(len(ps.attrs), len(pe.attrs))
 	m.fillSimilarity(sim, ps, pe)
-	mp, ok := m.bestMapping(sim)
+	mp, ok := m.bestMapping(buf, sim)
 	simPool.Put(buf)
 	return mp, ok
 }
 
-// ScorePrepared is Score over prepared inputs.
+// ScorePrepared is Score over prepared inputs — the broker's innermost hot
+// loop. Unlike MatchPrepared it never materializes the Mapping (no Pairs
+// slice), so with warm semantic caches and the common ≤3-predicate
+// subscriptions it performs zero allocations per call (asserted in
+// bench_test.go); the Hungarian path beyond allocates only inside the
+// solver.
 func (m *Matcher) ScorePrepared(ps *PreparedSubscription, pe *PreparedEvent) float64 {
-	mp, ok := m.MatchPrepared(ps, pe)
-	if !ok {
+	buf := simPool.Get().(*simBuf)
+	sim := buf.matrix(len(ps.attrs), len(pe.attrs))
+	m.fillSimilarity(sim, ps, pe)
+	score := m.bestScore(buf, sim)
+	simPool.Put(buf)
+	return score
+}
+
+// bestScore computes only the top-1 mapping score of a similarity matrix.
+func (m *Matcher) bestScore(buf *simBuf, sim [][]float64) float64 {
+	n := len(sim)
+	if n == 0 || n > len(sim[0]) {
 		return 0
 	}
-	return mp.Score
+	if n <= 3 {
+		_, score := bestSmall(sim)
+		return score
+	}
+	sol, feasible := assign.Best(buf.logMatrix(sim))
+	if !feasible {
+		return 0
+	}
+	score := 1.0
+	for i, j := range sol.Cols {
+		score *= sim[i][j]
+	}
+	return score
 }
 
 // bestMapping finds the top-1 mapping for a similarity matrix, using an
 // exhaustive product maximization for the common small predicate counts and
 // the Hungarian solver beyond.
-func (m *Matcher) bestMapping(sim [][]float64) (Mapping, bool) {
+func (m *Matcher) bestMapping(buf *simBuf, sim [][]float64) (Mapping, bool) {
 	n := len(sim)
 	if n == 0 {
 		return Mapping{}, false
@@ -176,17 +231,19 @@ func (m *Matcher) bestMapping(sim [][]float64) (Mapping, bool) {
 		if score <= 0 {
 			return Mapping{}, false
 		}
-		return m.mappingFromCols(sim, cols), true
+		return m.mappingFromCols(sim, cols[:n]), true
 	}
-	return m.bestMappingHungarian(sim)
+	return m.bestMappingHungarian(buf, sim)
 }
 
 // bestSmall exhaustively maximizes the similarity product for n <= 3
 // predicates; returns score 0 when no positive-product assignment exists.
-func bestSmall(sim [][]float64) ([]int, float64) {
+// The column choice comes back in a fixed-size array (use cols[:n]) so the
+// score-only hot path allocates nothing.
+func bestSmall(sim [][]float64) ([3]int, float64) {
 	n, m := len(sim), len(sim[0])
 	best := 0.0
-	var bestCols []int
+	var bestCols [3]int
 	switch n {
 	case 1:
 		bj := -1
@@ -196,9 +253,7 @@ func bestSmall(sim [][]float64) ([]int, float64) {
 				bj = j
 			}
 		}
-		if bj >= 0 {
-			bestCols = []int{bj}
-		}
+		bestCols[0] = bj
 	case 2:
 		for j := 0; j < m; j++ {
 			if sim[0][j] == 0 {
@@ -210,7 +265,7 @@ func bestSmall(sim [][]float64) ([]int, float64) {
 				}
 				if p := sim[0][j] * sim[1][k]; p > best {
 					best = p
-					bestCols = []int{j, k}
+					bestCols = [3]int{j, k, 0}
 				}
 			}
 		}
@@ -230,7 +285,7 @@ func bestSmall(sim [][]float64) ([]int, float64) {
 					}
 					if p := pjk * sim[2][l]; p > best {
 						best = p
-						bestCols = []int{j, k, l}
+						bestCols = [3]int{j, k, l}
 					}
 				}
 			}

@@ -1,0 +1,154 @@
+package semantics
+
+import (
+	"math"
+	"testing"
+
+	"thematicep/internal/sparse"
+	"thematicep/internal/text"
+)
+
+// kernelTerms and kernelThemes span the interesting measure regimes over
+// the evaluation corpus: synonyms, unrelated terms, off-vocabulary terms
+// (zero projections), multi-word terms, and full-space (nil) themes.
+var kernelTerms = []string{
+	"energy consumption", "electricity usage", "laptop", "computer",
+	"rainfall", "parking", "tram", "qqqunknownqqq", "ozone",
+}
+
+var kernelThemes = [][]string{
+	nil,
+	{"energy"},
+	{"transport"},
+	{"energy", "weather"},
+	{"environment", "transport", "energy"},
+}
+
+// oldRelatedness is the pre-kernel hot path preserved as a reference: raw
+// projections, two Scale copies to L2-normalize, then the three-branch
+// Euclidean merge (Eq. 5) and Eq. 6.
+func oldRelatedness(s *Space, aTerm string, at *CompiledTheme, bTerm string, bt *CompiledTheme) float64 {
+	a := s.ProjectCompiled(aTerm, at)
+	b := s.ProjectCompiled(bTerm, bt)
+	if a.IsZero() || b.IsZero() {
+		return 0
+	}
+	a = sparse.Scale(a, 1/a.Norm())
+	b = sparse.Scale(b, 1/b.Norm())
+	return 1 / (sparse.Euclidean(a, b) + 1)
+}
+
+// TestRelatednessKernelIdentity pins the dot-identity kernel to the old
+// Scale+Euclidean path over real corpus projections, across the term/theme
+// grid. The two agree within 1e-7 absolute (the documented cancellation
+// bound of sparse.NormalizedEuclidean); in practice corpus pairs agree to
+// ~1e-12 because projections of distinct terms are far from parallel.
+func TestRelatednessKernelIdentity(t *testing.T) {
+	s := space(t)
+	for _, at := range kernelThemes {
+		for _, bt := range kernelThemes {
+			ca, cb := s.Compile(at), s.Compile(bt)
+			for _, a := range kernelTerms {
+				for _, b := range kernelTerms {
+					ka, kb := text.Canonical(a), text.Canonical(b)
+					got := s.RelatednessCompiled(ka, ca, kb, cb)
+					want := oldRelatedness(s, ka, ca, kb, cb)
+					if math.Abs(got-want) > 1e-7 {
+						t.Errorf("relatedness(%q@%v, %q@%v) = %v, old path %v (Δ=%g)",
+							a, at, b, bt, got, want, got-want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestUnitProjectionCachingOffStillCorrect checks the uncached unit path.
+func TestUnitProjectionCachingOffStillCorrect(t *testing.T) {
+	cached := space(t)
+	raw := NewSpace(evalIndex, WithCaching(false))
+	theme := []string{"energy"}
+	ct, rt := cached.Compile(theme), raw.Compile(theme)
+	for _, term := range kernelTerms {
+		k := text.Canonical(term)
+		a := cached.RelatednessCompiled(k, ct, "laptop", nil)
+		b := raw.RelatednessCompiled(k, rt, "laptop", nil)
+		if math.Abs(a-b) > 1e-12 {
+			t.Errorf("caching on/off disagree for %q: %v vs %v", term, a, b)
+		}
+	}
+}
+
+// TestResetCachesDropsUnitProjections verifies the per-theme unit caches
+// are reset along with the space-wide ones: after a reset, a warm call
+// recomputes the projection (observable via the projection counter).
+func TestResetCachesDropsUnitProjections(t *testing.T) {
+	s := NewSpace(evalIndex)
+	ct := s.Compile([]string{"energy"})
+	s.RelatednessCompiled("laptop", ct, "computer", nil)
+	_, before := s.Computes()
+	s.RelatednessCompiled("laptop", ct, "computer", nil) // warm: no recompute
+	if _, after := s.Computes(); after != before {
+		t.Fatalf("warm call recomputed projections (%d -> %d)", before, after)
+	}
+	s.ResetCaches()
+	s.RelatednessCompiled("laptop", ct, "computer", nil)
+	if _, after := s.Computes(); after == before {
+		t.Error("ResetCaches left unit projections warm: no recompute observed")
+	}
+}
+
+// TestRelatednessWarmZeroAlloc asserts the tentpole property: a warm
+// Euclidean RelatednessCompiled call allocates nothing — no Scale copies,
+// no composite cache keys.
+func TestRelatednessWarmZeroAlloc(t *testing.T) {
+	s := space(t)
+	sub := s.Compile([]string{"energy", "weather"})
+	evt := s.Compile([]string{"transport"})
+	s.RelatednessCompiled("laptop", sub, "computer", evt) // warm the caches
+	allocs := testing.AllocsPerRun(100, func() {
+		s.RelatednessCompiled("laptop", sub, "computer", evt)
+	})
+	if allocs != 0 {
+		t.Errorf("warm RelatednessCompiled: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestCompileRawMemoBounded asserts the themesRaw fix: permuted and
+// duplicated orderings of the same tag set intern to one CompiledTheme and
+// cannot grow the raw memo beyond its cap.
+func TestCompileRawMemoBounded(t *testing.T) {
+	s := NewSpace(evalIndex)
+	base := []string{"energy", "transport", "weather", "environment"}
+	for i := 0; i < 4*themesRawCap; i++ {
+		// A fresh duplication pattern per iteration: the bits of i pick a
+		// distinct sequence of duplicate tags, so every raw joined key is
+		// distinct while the canonical tag set never changes.
+		tags := append([]string{}, base...)
+		for b := 0; b < 12; b++ {
+			if i>>b&1 == 1 {
+				tags = append(tags, "energy")
+			} else {
+				tags = append(tags, "transport")
+			}
+		}
+		if s.Compile(tags) == nil {
+			t.Fatal("Compile returned nil for non-empty theme")
+		}
+	}
+	s.themesMu.RLock()
+	raw, keys := len(s.themesRaw), len(s.themesKey)
+	s.themesMu.RUnlock()
+	if raw > themesRawCap {
+		t.Errorf("themesRaw grew to %d entries, cap is %d", raw, themesRawCap)
+	}
+	if keys != 1 {
+		t.Errorf("themesKey has %d entries, want 1 (all inputs are the same tag set)", keys)
+	}
+	// All permutations must intern to the same compiled theme.
+	a := s.Compile([]string{"weather", "energy", "transport", "environment"})
+	b := s.Compile([]string{"environment", "weather", "transport", "energy"})
+	if a != b {
+		t.Error("permuted tag orders compiled to distinct themes")
+	}
+}

@@ -111,6 +111,7 @@ type Space struct {
 	termVecs   cache[sparse.Vector] // full-space term vectors
 	themeBases cache[[]int32]       // theme key -> basis doc ids
 	projVecs   cache[sparse.Vector] // term "\x00" theme id -> projection
+	unitFull   cache[sparse.Unit]   // term -> unit-normalized full-space vector
 	scores     cache[float64]       // sm() memo
 
 	themesMu  sync.RWMutex
@@ -135,6 +136,14 @@ type CompiledTheme struct {
 	Tags []string
 
 	id string // short interned id, stable within one Space
+
+	// units caches the unit-normalized projections of this theme, keyed by
+	// canonical term alone. Hanging the cache off the compiled theme keeps
+	// the warm Euclidean relatedness path free of composite-key
+	// construction: a term+theme lookup is a single string hash, no
+	// allocation (the projVecs path must concatenate term and theme id into
+	// a fresh key string on every call).
+	units cache[sparse.Unit]
 }
 
 // NewSpace builds a Space over ix.
@@ -157,11 +166,20 @@ func NewSpace(ix *index.Index, opts ...Option) *Space {
 	return s
 }
 
+// themesRawCap bounds the raw-ordering memo of Compile. Every distinct
+// ordering/duplication of the same tag set is a distinct raw key, so an
+// adversarial or highly varied tag stream could otherwise grow the map
+// forever even though the canonical theme set is tiny. When the memo fills
+// up it is simply cleared: hot orderings re-enter on their next call, and
+// themesKey (bounded by genuinely distinct themes) is never dropped.
+const themesRawCap = 1024
+
 // Compile resolves a theme tag set once, memoized by the raw joined tags.
 // Relatedness sits on the matching hot path and is called with the same
 // theme slices for every event; recanonicalizing, sorting, and embedding
 // full theme keys into cache keys on every call would dominate matching
-// time. Compile(nil) returns nil: the full space.
+// time. The raw memo is bounded by themesRawCap. Compile(nil) returns nil:
+// the full space.
 func (s *Space) Compile(theme []string) *CompiledTheme {
 	if len(theme) == 0 {
 		return nil
@@ -184,6 +202,9 @@ func (s *Space) Compile(theme []string) *CompiledTheme {
 			id:   "t" + itoa(len(s.themesKey)),
 		}
 		s.themesKey[key] = t
+	}
+	if len(s.themesRaw) >= themesRawCap {
+		s.themesRaw = make(map[string]*CompiledTheme, themesRawCap)
 	}
 	s.themesRaw[raw] = t
 	s.themesMu.Unlock()
@@ -329,21 +350,28 @@ func (s *Space) project(termKey string, t *CompiledTheme) sparse.Vector {
 		// (the paper's "rare terms" outlier case, §5.3.2).
 		return sparse.Vector{}
 	}
-	inBasis := func(doc int32) bool {
-		i := sort.Search(len(basis), func(i int) bool { return basis[i] >= doc })
-		return i < len(basis) && basis[i] == doc
-	}
 	var out sparse.Vector
 	for _, tok := range text.Tokenize(termKey) {
 		ps := s.ix.Postings(tok)
 		if len(ps) == 0 {
 			continue
 		}
-		// df of tok inside the basis.
+		// df of tok inside the basis: both the postings list and the basis
+		// are sorted by document id, so a single linear merge walk counts
+		// the intersection in O(P+B) — the binary-search-per-posting
+		// alternative costs O(P·log B) and dominated Algorithm 1 on large
+		// themes.
 		dfB := 0
-		for _, p := range ps {
-			if inBasis(p.Doc) {
+		for i, j := 0, 0; i < len(ps) && j < len(basis); {
+			switch d := ps[i].Doc; {
+			case d == basis[j]:
 				dfB++
+				i++
+				j++
+			case d < basis[j]:
+				i++
+			default:
+				j++
 			}
 		}
 		if dfB == 0 {
@@ -358,10 +386,17 @@ func (s *Space) project(termKey string, t *CompiledTheme) sparse.Vector {
 		idfB := math.Log(float64(len(basis)+1) / float64(dfB))
 		ids := make([]int32, 0, dfB)
 		weights := make([]float64, 0, dfB)
-		for _, p := range ps {
-			if inBasis(p.Doc) {
-				ids = append(ids, p.Doc)
-				weights = append(weights, p.TF*idfB)
+		for i, j := 0, 0; i < len(ps) && j < len(basis); {
+			switch d := ps[i].Doc; {
+			case d == basis[j]:
+				ids = append(ids, d)
+				weights = append(weights, ps[i].TF*idfB)
+				i++
+				j++
+			case d < basis[j]:
+				i++
+			default:
+				j++
 			}
 		}
 		tv := sparse.New(ids, weights)
@@ -406,28 +441,62 @@ func (s *Space) RelatednessCompiled(subTerm string, subTheme *CompiledTheme, eve
 
 // relatedness is the uncached measure body of RelatednessCompiled.
 func (s *Space) relatedness(subTerm string, subTheme *CompiledTheme, eventTerm string, eventTheme *CompiledTheme) float64 {
-	a := s.ProjectCompiled(subTerm, subTheme)
-	b := s.ProjectCompiled(eventTerm, eventTheme)
-	var r float64
-	switch {
-	case a.IsZero() || b.IsZero():
-		// A completely filtered projection offers no evidence of meaning
-		// (the paper's "rare terms ... cause the space to be filtered
-		// completely", §5.3.2); without this rule a zero vector would be
-		// spuriously "close" to everything under Euclidean distance.
-		r = 0
-	case s.opts.distance == Euclidean:
+	if s.opts.distance == Euclidean {
 		// Distance is measured between L2-normalized projections: Eq. 5 on
 		// unit vectors. Normalization makes the measure scale-invariant, so
 		// high-frequency terms with long tf-idf vectors are not penalized
 		// against short ones (a known artifact of raw Euclidean over VSMs).
-		a = sparse.Scale(a, 1/a.Norm())
-		b = sparse.Scale(b, 1/b.Norm())
-		r = 1 / (sparse.Euclidean(a, b) + 1)
-	default:
-		r = sparse.Cosine(a, b)
+		// The unit forms are cached per (term, theme) with their norms
+		// precomputed, so the warm path is a single allocation-free merged
+		// dot product via ‖â−b̂‖ = √(2−2·â·b̂) — no Scale copies, no
+		// composite cache keys (see sparse.NormalizedEuclidean for the
+		// float-identity contract).
+		a := s.unitProjection(subTerm, subTheme)
+		if subTerm == eventTerm && subTheme == eventTheme {
+			// Identical term and theme project to the same vector: distance
+			// is exactly 0, relatedness exactly 1. The dot-identity kernel
+			// would lose this exactness (â·â = 1−ε in floats); compiled
+			// themes are interned, so pointer equality decides.
+			if a.IsZero() {
+				return 0
+			}
+			return 1
+		}
+		b := s.unitProjection(eventTerm, eventTheme)
+		if a.IsZero() || b.IsZero() {
+			// A completely filtered projection offers no evidence of meaning
+			// (the paper's "rare terms ... cause the space to be filtered
+			// completely", §5.3.2); without this rule a zero vector would be
+			// spuriously "close" to everything under Euclidean distance.
+			return 0
+		}
+		return 1 / (sparse.NormalizedEuclidean(a, b) + 1)
 	}
-	return r
+	a := s.ProjectCompiled(subTerm, subTheme)
+	b := s.ProjectCompiled(eventTerm, eventTheme)
+	if a.IsZero() || b.IsZero() {
+		return 0
+	}
+	return sparse.Cosine(a, b)
+}
+
+// unitProjection returns the cached unit-normalized thematic projection of
+// a canonical term — the Euclidean hot path's working representation. The
+// full-space forms live in one Space-wide cache; thematic forms live in a
+// per-theme cache keyed by term alone, so the warm lookup never builds a
+// composite key string.
+func (s *Space) unitProjection(termKey string, t *CompiledTheme) sparse.Unit {
+	if !s.opts.caching {
+		return s.ProjectCompiled(termKey, t).Normalize()
+	}
+	c := &s.unitFull
+	if t != nil {
+		c = &t.units
+	}
+	if u, ok := c.get(termKey); ok {
+		return u
+	}
+	return c.do(termKey, func() sparse.Unit { return s.ProjectCompiled(termKey, t).Normalize() })
 }
 
 // NonThematicRelatedness measures relatedness in the full space: the
@@ -459,7 +528,9 @@ func (s *Space) PrecomputeProjections(terms []string, themes ...[]string) {
 	for _, theme := range themes {
 		t := s.Compile(theme)
 		for _, term := range terms {
-			s.ProjectCompiled(text.Canonical(term), t)
+			// Warming the unit form fills the raw projection cache on the
+			// way through, so both representations are hot afterwards.
+			s.unitProjection(text.Canonical(term), t)
 		}
 	}
 }
@@ -485,7 +556,19 @@ func (s *Space) ResetCaches() {
 	s.termVecs.reset()
 	s.themeBases.reset()
 	s.projVecs.reset()
+	s.unitFull.reset()
 	s.scores.reset()
+	s.themesMu.RLock()
+	themes := make([]*CompiledTheme, 0, len(s.themesKey))
+	for _, t := range s.themesKey {
+		themes = append(themes, t)
+	}
+	s.themesMu.RUnlock()
+	// Per-theme unit caches are reset outside themesMu: reset only takes
+	// the per-shard locks, and compiled themes are never deleted.
+	for _, t := range themes {
+		t.units.reset()
+	}
 }
 
 // themeID returns the interned id of a compiled theme ("" for the full

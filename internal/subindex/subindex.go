@@ -1,0 +1,293 @@
+// Package subindex implements the broker's subscription pruning index: a
+// partition of live subscriptions by compiled-theme key and by their exact
+// (non-~) attribute terms, so a publish builds its candidate set from the
+// event's tuple terms instead of scanning every subscription.
+//
+// # Why pruning never loses a delivery
+//
+// The matcher's similarity matrix (§3.5) gives entry (i,j) the product
+// attrSim·valueSim, where an exact (non-~) term contributes 1 on canonical
+// equality and 0 otherwise, and event attributes are unique in canonical
+// form (§3.3, enforced by Event.Validate). Three consequences make skipping
+// safe — a skipped subscription provably scores 0, and the broker never
+// delivers a zero score regardless of threshold:
+//
+//  1. A predicate with an exact attribute a has at most one candidate tuple
+//     (the one whose canonical attribute equals a). If the event has no such
+//     tuple, the predicate's similarity row is all zeros, so every mapping's
+//     product — the score — is 0.
+//  2. If that predicate also has an exact equality value v, the single
+//     candidate tuple must additionally carry a canonically equal value,
+//     else the row is again all zeros.
+//  3. An injective predicates→tuples mapping needs at least as many tuples
+//     as predicates; with fewer, no feasible mapping exists and the score
+//     is 0.
+//
+// Subscriptions with no exact attribute at all land in a conservative
+// approximate-only bucket that is always scored (rule 3 aside), guaranteeing
+// no recall loss: delivery sets are bit-identical to the unpruned scan.
+//
+// The index assumes the matcher honors the §3.4 exact-term contract
+// (canonical equality for non-~ terms). The thematic matcher and the
+// non-thematic baseline do; matchers with looser semantics (for example
+// concept-rewriting over exact terms) must disable pruning.
+//
+// Each subscription is filed under exactly one bucket — its first exact
+// attribute term, or the approximate-only bucket — within its theme group,
+// so candidate enumeration never yields duplicates and needs no
+// deduplication set.
+package subindex
+
+import (
+	"strings"
+	"sync"
+
+	"thematicep/internal/event"
+	"thematicep/internal/text"
+)
+
+// req is one exact requirement the event must satisfy for the subscription
+// to score above zero.
+type req struct {
+	attr  string // canonical exact attribute term; must appear in the event
+	value string // canonical exact equality value; "" means presence-only
+}
+
+// entry is one indexed subscription.
+type entry[T any] struct {
+	id      string
+	payload T
+	npreds  int   // rule 3: events with fewer tuples are infeasible
+	reqs    []req // rules 1 and 2; empty for approximate-only subscriptions
+}
+
+// group partitions one compiled theme's subscriptions by witness term.
+type group[T any] struct {
+	byAttr map[string][]*entry[T] // first exact attr term -> entries
+	approx []*entry[T]            // approximate-only bucket
+}
+
+// loc remembers where an entry was filed so Remove is O(bucket).
+type loc struct {
+	themeKey string
+	witness  string // "" for the approximate-only bucket
+}
+
+// Index partitions live subscriptions by compiled-theme key and exact
+// attribute terms. The zero value is not usable; call New. All methods are
+// safe for concurrent use.
+type Index[T any] struct {
+	mu     sync.RWMutex
+	themes map[string]*group[T]
+	locs   map[string]loc
+}
+
+// New builds an empty index.
+func New[T any]() *Index[T] {
+	return &Index[T]{
+		themes: make(map[string]*group[T]),
+		locs:   make(map[string]loc),
+	}
+}
+
+// themeKey is the canonical theme-set key: the same normalization
+// semantics.Space.Compile interns compiled themes under, so permuted or
+// duplicated tag orderings of one theme share a group.
+func themeKey(theme []string) string {
+	return strings.Join(event.NormalizeTheme(theme), "\x1f")
+}
+
+// requirements derives the exact requirements of a subscription. Only
+// predicates with an exact attribute constrain the event: an approximate
+// attribute may pair with any tuple. An exact equality value tightens the
+// requirement to an (attribute, value) pair; approximate values and
+// ordering comparisons stay presence-only (conservative: the comparison is
+// evaluated by the matcher, never assumed here).
+func requirements(sub *event.Subscription) []req {
+	var rs []req
+	for _, p := range sub.Predicates {
+		if p.ApproxAttr {
+			continue
+		}
+		r := req{attr: text.Canonical(p.Attr)}
+		if p.Op == event.OpEq && !p.ApproxValue {
+			r.value = text.Canonical(p.Value)
+		}
+		rs = append(rs, r)
+	}
+	return rs
+}
+
+// Add files a subscription under its theme group and witness bucket. Adding
+// an id that is already present replaces the previous entry.
+func (ix *Index[T]) Add(id string, sub *event.Subscription, payload T) {
+	e := &entry[T]{
+		id:      id,
+		payload: payload,
+		npreds:  len(sub.Predicates),
+		reqs:    requirements(sub),
+	}
+	witness := ""
+	if len(e.reqs) > 0 {
+		witness = e.reqs[0].attr
+	}
+	key := themeKey(sub.Theme)
+
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, dup := ix.locs[id]; dup {
+		ix.removeLocked(id)
+	}
+	g := ix.themes[key]
+	if g == nil {
+		g = &group[T]{byAttr: make(map[string][]*entry[T])}
+		ix.themes[key] = g
+	}
+	if witness == "" {
+		g.approx = append(g.approx, e)
+	} else {
+		g.byAttr[witness] = append(g.byAttr[witness], e)
+	}
+	ix.locs[id] = loc{themeKey: key, witness: witness}
+}
+
+// Remove unfiles a subscription; unknown ids are a no-op.
+func (ix *Index[T]) Remove(id string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.removeLocked(id)
+}
+
+func (ix *Index[T]) removeLocked(id string) {
+	l, ok := ix.locs[id]
+	if !ok {
+		return
+	}
+	delete(ix.locs, id)
+	g := ix.themes[l.themeKey]
+	if g == nil {
+		return
+	}
+	if l.witness == "" {
+		g.approx = removeEntry(g.approx, id)
+	} else if b := removeEntry(g.byAttr[l.witness], id); len(b) == 0 {
+		delete(g.byAttr, l.witness)
+	} else {
+		g.byAttr[l.witness] = b
+	}
+	if len(g.approx) == 0 && len(g.byAttr) == 0 {
+		delete(ix.themes, l.themeKey)
+	}
+}
+
+func removeEntry[T any](bucket []*entry[T], id string) []*entry[T] {
+	for i, e := range bucket {
+		if e.id == id {
+			last := len(bucket) - 1
+			bucket[i] = bucket[last]
+			bucket[last] = nil
+			return bucket[:last]
+		}
+	}
+	return bucket
+}
+
+// Len returns the number of indexed subscriptions.
+func (ix *Index[T]) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.locs)
+}
+
+// Themes returns the number of distinct compiled-theme groups.
+func (ix *Index[T]) Themes() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.themes)
+}
+
+// attrsPool recycles the per-publish canonical attr -> value map so the
+// candidate walk allocates nothing in steady state.
+var attrsPool = sync.Pool{New: func() any { return make(map[string]string, 16) }}
+
+// Candidates yields the payload of every subscription the event could
+// possibly match, and returns how many were yielded and how many the index
+// pruned (skipped subscriptions provably score 0). The yield callback runs
+// under the index's read lock and must not call back into the index.
+func (ix *Index[T]) Candidates(e *event.Event, yield func(T)) (candidates, pruned int) {
+	attrs := attrsPool.Get().(map[string]string)
+	for _, t := range e.Tuples {
+		attrs[text.Canonical(t.Attr)] = text.Canonical(t.Value)
+	}
+	candidates, pruned = ix.candidates(attrs, len(e.Tuples), yield)
+	clear(attrs)
+	attrsPool.Put(attrs)
+	return candidates, pruned
+}
+
+// CandidatesPrepared is Candidates over pre-canonicalized parallel tuple
+// slices (for example a prepared event's terms), skipping the
+// per-publish canonicalization entirely. attrs and values must be the
+// canonical forms of the event's tuples, index-aligned.
+func (ix *Index[T]) CandidatesPrepared(attrs, values []string, yield func(T)) (candidates, pruned int) {
+	am := attrsPool.Get().(map[string]string)
+	for i, a := range attrs {
+		am[a] = values[i]
+	}
+	candidates, pruned = ix.candidates(am, len(attrs), yield)
+	clear(am)
+	attrsPool.Put(am)
+	return candidates, pruned
+}
+
+// candidates is the shared walk over the canonical attribute map of an
+// event with m tuples.
+func (ix *Index[T]) candidates(attrs map[string]string, m int, yield func(T)) (candidates, pruned int) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	total := len(ix.locs)
+	for _, g := range ix.themes {
+		for _, en := range g.approx {
+			if en.npreds <= m {
+				yield(en.payload)
+				candidates++
+			}
+		}
+		// Only witness buckets named by one of the event's own attribute
+		// terms can hold satisfiable subscriptions; walk the smaller side.
+		if len(attrs) <= len(g.byAttr) {
+			for a := range attrs {
+				candidates += yieldSatisfiable(g.byAttr[a], attrs, m, yield)
+			}
+		} else {
+			for _, bucket := range g.byAttr {
+				candidates += yieldSatisfiable(bucket, attrs, m, yield)
+			}
+		}
+	}
+	return candidates, total - candidates
+}
+
+// yieldSatisfiable yields the bucket entries whose every exact requirement
+// is satisfied by the event's attributes, returning the yielded count.
+func yieldSatisfiable[T any](bucket []*entry[T], attrs map[string]string, m int, yield func(T)) int {
+	n := 0
+	for _, en := range bucket {
+		if en.npreds > m || !satisfies(en.reqs, attrs) {
+			continue
+		}
+		yield(en.payload)
+		n++
+	}
+	return n
+}
+
+func satisfies(reqs []req, attrs map[string]string) bool {
+	for _, r := range reqs {
+		v, ok := attrs[r.attr]
+		if !ok || (r.value != "" && v != r.value) {
+			return false
+		}
+	}
+	return true
+}
