@@ -426,8 +426,24 @@ func runHeadline(e *env0) error {
 }
 
 // writeBenchJSON emits the headline metrics in a flat machine-readable form
-// for CI artifact tracking, plus the broker pruning comparison (E7).
+// for CI artifact tracking, plus the broker pruning comparison (E7) and a
+// per-grid-cell breakdown (wall time and projection-cache hit rate) so cost
+// regressions can be localized to a theme-size regime, not just the mean.
 func writeBenchJSON(e *env0, base eval.Result, sum eval.GridSummary) error {
+	cells := e.grid()
+	grid := make([]map[string]any, 0, len(cells))
+	var wallTotal time.Duration
+	for _, c := range cells {
+		wallTotal += c.Wall
+		grid = append(grid, map[string]any{
+			"event_size":      c.EventSize,
+			"sub_size":        c.SubSize,
+			"mean_f1":         c.MeanF1,
+			"mean_throughput": c.MeanThroughput,
+			"wall_seconds":    c.Wall.Seconds(),
+			"proj_hit_rate":   c.ProjHitRate,
+		})
+	}
 	doc := map[string]any{
 		"experiment":          "headline",
 		"full":                e.full,
@@ -442,6 +458,8 @@ func writeBenchJSON(e *env0, base eval.Result, sum eval.GridSummary) error {
 		"max_throughput":      sum.MaxThroughput,
 		"frac_f1_above":       sum.FracF1AboveBaseline,
 		"frac_thr_above":      sum.FracThroughputAboveBaseline,
+		"grid_wall_seconds":   wallTotal.Seconds(),
+		"grid_cells":          grid,
 	}
 	if runs, err := e.pruningComparison(); err == nil {
 		full, pruned := runs[0], runs[1]

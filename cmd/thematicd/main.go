@@ -17,9 +17,11 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -56,6 +58,7 @@ func run(args []string) error {
 		advertise = fs.String("advertise", "", "address peers dial for this broker (shard identity; defaults to -addr)")
 		parallel  = fs.Int("match-parallelism", 0, "matching worker pool size per publish (0 = GOMAXPROCS, 1 = serial)")
 		pruning   = fs.Bool("pruning", true, "prune per-publish candidates via the subscription index (recall-preserving)")
+		traceN    = fs.Int("trace-sample", 0, "record a pipeline trace for 1 in N published events (0 disables; see /debug/traces)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +79,9 @@ func run(args []string) error {
 	}
 	if *parallel > 0 {
 		opts = append(opts, broker.WithMatchParallelism(*parallel))
+	}
+	if *traceN > 0 {
+		opts = append(opts, broker.WithTraceSampling(*traceN))
 	}
 	// The Prepared adapter turns on the broker's prepare-once fast path:
 	// subscriptions are canonicalized and theme-compiled at Subscribe time,
@@ -122,7 +128,16 @@ func run(args []string) error {
 
 	if *metrics != "" {
 		mux := http.NewServeMux()
-		mux.Handle("/metrics", broker.MetricsHandler(b, collectors...))
+		// The space is a collector too: cache hit/miss/occupancy and
+		// single-flight coalescing land on the same scrape.
+		mux.Handle("/metrics", broker.MetricsHandler(b, append(collectors, space)...))
+		mux.Handle("/debug/traces", b.TracesHandler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		msrv := &http.Server{Addr: *metrics, Handler: mux}
 		go func() {
 			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -130,7 +145,7 @@ func run(args []string) error {
 			}
 		}()
 		defer msrv.Close()
-		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", *metrics)
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics (traces: /debug/traces, pprof: /debug/pprof/, expvar: /debug/vars)\n", *metrics)
 	}
 
 	sig := make(chan os.Signal, 1)

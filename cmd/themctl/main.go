@@ -5,6 +5,7 @@
 //	themctl publish -addr 127.0.0.1:7070 '<event>'
 //	themctl subscribe -addr 127.0.0.1:7070 [-replay] '<subscription>'
 //	themctl match '<subscription>' '<event>'
+//	themctl stats -metrics http://127.0.0.1:9090 [-lint] [-traces] [-raw]
 //
 // Events and subscriptions use the paper's notation, e.g.
 //
@@ -13,6 +14,8 @@
 //
 // subscribe streams deliveries to stdout until interrupted. match runs a
 // local one-shot match (no broker needed) and prints the top-1 mapping.
+// stats scrapes a daemon's metrics endpoint and prints pipeline counters,
+// latency quantiles, cache hit rates, and recent pipeline traces.
 package main
 
 import (
@@ -49,8 +52,10 @@ func run(args []string) error {
 		return runSubscribe(args[1:])
 	case "match":
 		return runMatch(args[1:])
+	case "stats":
+		return runStats(args[1:])
 	default:
-		return fmt.Errorf("unknown command %q (want publish, subscribe, or match)", args[0])
+		return fmt.Errorf("unknown command %q (want publish, subscribe, match, or stats)", args[0])
 	}
 }
 

@@ -1,0 +1,237 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"thematicep/internal/telemetry"
+)
+
+// runStats scrapes a thematicd metrics endpoint and prints a runtime
+// summary: pipeline counters, latency histogram quantiles, cache hit
+// rates, and (with -traces) recent sampled pipeline traces. With -lint the
+// scrape is validated against the exposition-format invariants and the
+// command fails on any violation, so it doubles as a health check in CI.
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	url := fs.String("metrics", "http://127.0.0.1:9090", "metrics endpoint base URL (scheme://host:port)")
+	lint := fs.Bool("lint", false, "validate the exposition format and fail on violations")
+	traces := fs.Bool("traces", false, "also fetch and print /debug/traces")
+	raw := fs.Bool("raw", false, "dump the raw exposition instead of the summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base := strings.TrimSuffix(*url, "/")
+	base = strings.TrimSuffix(base, "/metrics")
+
+	body, err := httpGet(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	if *raw {
+		os.Stdout.Write(body)
+	}
+	if *lint {
+		if err := telemetry.Lint(bytes.NewReader(body)); err != nil {
+			return fmt.Errorf("stats: exposition lint: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "exposition lint: ok")
+	}
+	if !*raw {
+		if err := printSummary(body); err != nil {
+			return fmt.Errorf("stats: %w", err)
+		}
+	}
+	if *traces {
+		tb, err := httpGet(base + "/debug/traces")
+		if err != nil {
+			return fmt.Errorf("stats: traces: %w", err)
+		}
+		printTraces(tb)
+	}
+	return nil
+}
+
+func httpGet(url string) ([]byte, error) {
+	c := &http.Client{Timeout: 10 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func printSummary(body []byte) error {
+	families, err := telemetry.ParseExposition(bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	byName := make(map[string]*telemetry.Family, len(families))
+	for _, f := range families {
+		byName[f.Name] = f
+	}
+	counter := func(name string) float64 {
+		f := byName[name]
+		if f == nil {
+			return 0
+		}
+		total := 0.0
+		for _, s := range f.Samples {
+			total += s.Value
+		}
+		return total
+	}
+
+	fmt.Println("pipeline:")
+	for _, c := range []struct{ label, name string }{
+		{"published", "thematicep_broker_published_total"},
+		{"scanned", "thematicep_broker_scanned_total"},
+		{"pruned", "thematicep_broker_pruned_total"},
+		{"matched", "thematicep_broker_matched_total"},
+		{"delivered", "thematicep_broker_delivered_total"},
+		{"dropped", "thematicep_broker_dropped_total"},
+	} {
+		fmt.Printf("  %-10s %.0f\n", c.label, counter(c.name))
+	}
+
+	fmt.Println("latency (p50 / p95 / count):")
+	for _, h := range []struct{ label, name string }{
+		{"publish", "thematicep_broker_publish_seconds"},
+		{"compile", "thematicep_broker_compile_seconds"},
+		{"enumerate", "thematicep_broker_enumerate_seconds"},
+		{"score", "thematicep_broker_score_seconds"},
+		{"deliver", "thematicep_broker_deliver_seconds"},
+		{"hop", "thematicep_cluster_hop_seconds"},
+	} {
+		f := byName[h.name]
+		if f == nil || f.Type != "histogram" {
+			continue
+		}
+		count, p50, p95 := histogramQuantiles(f)
+		if count == 0 {
+			fmt.Printf("  %-10s (no observations)\n", h.label)
+			continue
+		}
+		fmt.Printf("  %-10s %s / %s / %.0f\n", h.label,
+			time.Duration(p50*float64(time.Second)).Round(time.Microsecond),
+			time.Duration(p95*float64(time.Second)).Round(time.Microsecond), count)
+	}
+
+	if f := byName["thematicep_semantics_cache_hits_total"]; f != nil {
+		miss := byName["thematicep_semantics_cache_misses_total"]
+		fmt.Println("caches (hits / misses):")
+		missFor := func(cache string) float64 {
+			if miss == nil {
+				return 0
+			}
+			for _, s := range miss.Samples {
+				if s.Labels["cache"] == cache {
+					return s.Value
+				}
+			}
+			return 0
+		}
+		sorted := append([]telemetry.Sample(nil), f.Samples...)
+		sort.Slice(sorted, func(i, j int) bool {
+			return sorted[i].Labels["cache"] < sorted[j].Labels["cache"]
+		})
+		for _, s := range sorted {
+			fmt.Printf("  %-12s %.0f / %.0f\n", s.Labels["cache"], s.Value, missFor(s.Labels["cache"]))
+		}
+	}
+	return nil
+}
+
+// histogramQuantiles aggregates every label set of a histogram family into
+// one distribution and estimates p50/p95 by linear interpolation within
+// the containing bucket.
+func histogramQuantiles(f *telemetry.Family) (count, p50, p95 float64) {
+	type bucket struct{ le, cum float64 }
+	sums := map[float64]float64{}
+	for _, s := range f.Samples {
+		if !strings.HasSuffix(s.Name, "_bucket") {
+			continue
+		}
+		le, err := parseLe(s.Labels["le"])
+		if err != nil {
+			continue
+		}
+		sums[le] += s.Value
+	}
+	buckets := make([]bucket, 0, len(sums))
+	for le, cum := range sums {
+		buckets = append(buckets, bucket{le, cum})
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	if len(buckets) == 0 {
+		return 0, 0, 0
+	}
+	count = buckets[len(buckets)-1].cum
+	quantile := func(q float64) float64 {
+		rank := q * count
+		prevLe, prevCum := 0.0, 0.0
+		for _, b := range buckets {
+			if b.cum >= rank {
+				if math.IsInf(b.le, 1) {
+					return prevLe
+				}
+				if b.cum == prevCum {
+					return b.le
+				}
+				return prevLe + (b.le-prevLe)*(rank-prevCum)/(b.cum-prevCum)
+			}
+			prevLe, prevCum = b.le, b.cum
+		}
+		return prevLe
+	}
+	if count > 0 {
+		p50, p95 = quantile(0.5), quantile(0.95)
+	}
+	return count, p50, p95
+}
+
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	var v float64
+	_, err := fmt.Sscanf(s, "%g", &v)
+	return v, err
+}
+
+func printTraces(body []byte) {
+	var traces []telemetry.Trace
+	if err := json.Unmarshal(body, &traces); err != nil {
+		fmt.Fprintf(os.Stderr, "traces: bad JSON: %v\n", err)
+		return
+	}
+	if len(traces) == 0 {
+		fmt.Println("traces: none recorded (is -trace-sample enabled on the daemon?)")
+		return
+	}
+	fmt.Printf("traces (%d recent, newest first):\n", len(traces))
+	for i, tr := range traces {
+		if i >= 5 {
+			fmt.Printf("  ... %d more\n", len(traces)-i)
+			break
+		}
+		fmt.Printf("  %s total=%s\n", tr.EventID, tr.Total.Round(time.Microsecond))
+		for _, sp := range tr.Spans {
+			fmt.Printf("    %-20s +%-12s %s\n", sp.Stage,
+				sp.Offset.Round(time.Microsecond), sp.Duration.Round(time.Microsecond))
+		}
+	}
+}

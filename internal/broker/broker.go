@@ -31,12 +31,14 @@ package broker
 import (
 	"errors"
 	"fmt"
+	"net/http"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"thematicep/internal/event"
 	"thematicep/internal/subindex"
+	"thematicep/internal/telemetry"
 )
 
 // Matcher decides whether an event is relevant to a subscription and with
@@ -141,6 +143,9 @@ type config struct {
 	replaySize  int
 	parallelism int
 	pruning     bool
+	clock       telemetry.Clock
+	traceEvery  int
+	traceOpts   []telemetry.TracerOption
 }
 
 type thresholdOption float64
@@ -181,6 +186,36 @@ type pruningOption bool
 
 func (o pruningOption) apply(c *config) { c.pruning = bool(o) }
 
+type clockOption struct{ c telemetry.Clock }
+
+func (o clockOption) apply(c *config) { c.clock = o.c }
+
+// WithClock sets the clock used for all pipeline stage timing (default
+// telemetry.System). Injecting a telemetry.Manual clock makes bucket
+// placement in the latency histograms exactly reproducible in tests.
+func WithClock(c telemetry.Clock) Option { return clockOption{c} }
+
+type traceSamplingOption struct {
+	every int
+	opts  []telemetry.TracerOption
+}
+
+func (o traceSamplingOption) apply(c *config) {
+	c.traceEvery = o.every
+	c.traceOpts = append(c.traceOpts, o.opts...)
+}
+
+// WithTraceSampling records a pipeline trace (one span per stage: ingest,
+// compile, enumerate, score, and per-match deliver) for one in every n
+// published events, keeping them in a bounded in-memory ring served by
+// TracesHandler. Tracing is off by default (n <= 0): the untraced publish
+// path performs no trace work at all, and even with tracing on the
+// unsampled path is a single atomic add. Extra tracer options (ring size,
+// slog sink) pass through.
+func WithTraceSampling(n int, opts ...telemetry.TracerOption) Option {
+	return traceSamplingOption{n, opts}
+}
+
 // WithPruning enables or disables the subscription pruning index (default
 // on). When on, Publish builds its candidate set from the event's tuple
 // terms via internal/subindex instead of scanning every subscription;
@@ -218,6 +253,18 @@ type Broker struct {
 	delivered atomic.Uint64
 	dropped   atomic.Uint64
 
+	// Pipeline telemetry. The histograms are always on (recording is one
+	// atomic add on a precomputed bucket index); the tracer is nil unless
+	// WithTraceSampling enabled it.
+	clock         telemetry.Clock
+	tracer        *telemetry.Tracer
+	publishHist   *telemetry.Histogram // end-to-end Publish latency
+	compileHist   *telemetry.Histogram // event preparation (theme compile)
+	enumerateHist *telemetry.Histogram // candidate enumeration
+	scoreHist     *telemetry.Histogram // matching fan-out (score stage)
+	deliverHist   *telemetry.Histogram // per-delivery queue handoff
+	candHist      *telemetry.Histogram // candidate-set size distribution
+
 	mu     sync.RWMutex
 	subs   map[string]*Subscriber
 	replay []*event.Event // ring buffer, oldest first
@@ -248,10 +295,29 @@ func New(m Matcher, opts ...Option) *Broker {
 	if cfg.parallelism < 1 {
 		cfg.parallelism = 1
 	}
+	if cfg.clock == nil {
+		cfg.clock = telemetry.System
+	}
+	lat := telemetry.LatencyBuckets()
 	b := &Broker{
 		matcher: m,
 		cfg:     cfg,
 		subs:    make(map[string]*Subscriber),
+		clock:   cfg.clock,
+		tracer: telemetry.NewTracer(cfg.traceEvery,
+			append([]telemetry.TracerOption{telemetry.WithClock(cfg.clock)}, cfg.traceOpts...)...),
+		publishHist: telemetry.NewHistogram("thematicep_broker_publish_seconds",
+			"End-to-end Publish latency (ingest through last delivery).", lat),
+		compileHist: telemetry.NewHistogram("thematicep_broker_compile_seconds",
+			"Event preparation latency (canonicalization and theme compile).", lat),
+		enumerateHist: telemetry.NewHistogram("thematicep_broker_enumerate_seconds",
+			"Candidate enumeration latency (pruning-index lookup or full-scan setup).", lat),
+		scoreHist: telemetry.NewHistogram("thematicep_broker_score_seconds",
+			"Matching fan-out latency per event (all candidate scorings).", lat),
+		deliverHist: telemetry.NewHistogram("thematicep_broker_deliver_seconds",
+			"Per-delivery queue handoff latency.", lat),
+		candHist: telemetry.NewHistogram("thematicep_subindex_candidates",
+			"Candidate-set size per published event (after pruning).", telemetry.SizeBuckets()),
 	}
 	if pm, ok := m.(PreparedMatcher); ok {
 		b.prep = pm
@@ -401,12 +467,14 @@ func (b *Broker) unsubscribe(id string) {
 // consumers: when a subscriber's queue is full, the oldest queued delivery
 // is dropped (counted in Stats.Dropped).
 func (b *Broker) Publish(e *event.Event) error {
+	t0 := b.clock.Now()
 	if e == nil {
 		return ErrNilEvent
 	}
 	if err := e.Validate(); err != nil {
 		return fmt.Errorf("broker: publish: %w", err)
 	}
+	trace := b.tracer.StartAt(e.ID, t0)
 
 	b.mu.Lock()
 	if b.closed {
@@ -430,12 +498,19 @@ func (b *Broker) Publish(e *event.Event) error {
 	b.mu.Unlock()
 
 	b.published.Add(1)
+	trace.AddSpan("ingest", t0)
+
+	tCompile := b.clock.Now()
 	var pe any
 	if b.prep != nil && !empty {
 		// Prepare the event once: every worker shares the canonical terms
 		// and compiled theme instead of recomputing them per subscription.
 		pe = b.prep.PrepareEv(e)
 	}
+	tEnum := b.clock.Now()
+	b.compileHist.ObserveDuration(tEnum.Sub(tCompile))
+	trace.AddSpanDuration("compile", tCompile, tEnum.Sub(tCompile))
+
 	if b.index != nil && !empty {
 		// Candidate set from the pruning index: subscriptions whose exact
 		// predicates cannot all be satisfied by this event's tuples are
@@ -451,9 +526,18 @@ func (b *Broker) Publish(e *event.Event) error {
 		}
 		b.pruned.Add(uint64(pruned))
 	}
+	tScore := b.clock.Now()
+	b.enumerateHist.ObserveDuration(tScore.Sub(tEnum))
+	trace.AddSpanDuration("enumerate", tEnum, tScore.Sub(tEnum))
+	b.candHist.Observe(float64(len(targets)))
 
 	b.scanned.Add(uint64(len(targets)))
-	b.dispatch(targets, e, pe)
+	b.dispatch(targets, e, pe, trace)
+	end := b.clock.Now()
+	b.scoreHist.ObserveDuration(end.Sub(tScore))
+	trace.AddSpanDuration("score", tScore, end.Sub(tScore))
+	b.publishHist.ObserveDuration(end.Sub(t0))
+	trace.Finish()
 	return nil
 }
 
@@ -469,7 +553,7 @@ type canonicalTupler interface {
 // broker-wide budget and the publisher goroutine always works too; workers
 // pull targets off a shared atomic cursor, so the set is partitioned
 // dynamically and each subscriber is matched exactly once.
-func (b *Broker) dispatch(targets []*Subscriber, e *event.Event, pe any) {
+func (b *Broker) dispatch(targets []*Subscriber, e *event.Event, pe any, trace *telemetry.ActiveTrace) {
 	n := len(targets)
 	if n == 0 {
 		return
@@ -480,7 +564,7 @@ func (b *Broker) dispatch(targets []*Subscriber, e *event.Event, pe any) {
 	}
 	if workers <= 1 || b.sem == nil {
 		for _, s := range targets {
-			b.matchOne(s, e, pe)
+			b.matchOne(s, e, pe, trace)
 		}
 		return
 	}
@@ -492,7 +576,7 @@ func (b *Broker) dispatch(targets []*Subscriber, e *event.Event, pe any) {
 			if i >= n {
 				return
 			}
-			b.matchOne(targets[i], e, pe)
+			b.matchOne(targets[i], e, pe, trace)
 		}
 	}
 	var wg sync.WaitGroup
@@ -518,7 +602,7 @@ spawn:
 
 // matchOne scores one (event, subscription) pair and enqueues the delivery
 // on a match. Prepared forms are used when the matcher supports them.
-func (b *Broker) matchOne(s *Subscriber, e *event.Event, pe any) {
+func (b *Broker) matchOne(s *Subscriber, e *event.Event, pe any, trace *telemetry.ActiveTrace) {
 	var score float64
 	if pe != nil && s.prepared != nil {
 		score = b.prep.ScorePrepared(s.prepared, pe)
@@ -529,7 +613,11 @@ func (b *Broker) matchOne(s *Subscriber, e *event.Event, pe any) {
 		return
 	}
 	b.matched.Add(1)
+	t0 := b.clock.Now()
 	b.offer(s, Delivery{Event: e, SubscriptionID: s.id, Score: score})
+	d := b.clock.Now().Sub(t0)
+	b.deliverHist.ObserveDuration(d)
+	trace.AddSpanDuration("deliver", t0, d)
 }
 
 // offer enqueues a delivery, dropping the oldest entry when full
@@ -555,21 +643,58 @@ func (b *Broker) offer(s *Subscriber, d Delivery) {
 	}
 }
 
-// Stats returns a snapshot of the broker counters.
+// Stats returns a snapshot of the broker counters, taken in one pass
+// with no lock held across the counter loads.
+//
+// Counter consistency under concurrent Publish: each counter is advanced
+// downstream-first relative to this snapshot's load order — deliveries and
+// drops are loaded before matches, matches before scans — and in the
+// pipeline itself every Matched increment happens before its delivery is
+// counted. A scrape racing a publish therefore never observes a delivery
+// whose match is missing: absent replay traffic (replayed deliveries are
+// counted in Delivered but have no live match), Delivered <= Matched holds
+// in every snapshot, with at most a transient deficit (a match counted
+// whose delivery lands after the scrape). The same holds pairwise up the
+// pipeline: Matched <= Scanned and, per event, scans are counted before
+// dispatch begins.
 func (b *Broker) Stats() Stats {
 	b.mu.RLock()
 	subscribers := len(b.subs)
 	b.mu.RUnlock()
+	// Load order mirrors reverse pipeline order; do not reorder.
+	dropped := b.dropped.Load()
+	delivered := b.delivered.Load()
+	matched := b.matched.Load()
+	scanned := b.scanned.Load()
+	pruned := b.pruned.Load()
+	published := b.published.Load()
 	return Stats{
-		Published:   b.published.Load(),
-		Scanned:     b.scanned.Load(),
-		Pruned:      b.pruned.Load(),
-		Matched:     b.matched.Load(),
-		Delivered:   b.delivered.Load(),
-		Dropped:     b.dropped.Load(),
+		Published:   published,
+		Scanned:     scanned,
+		Pruned:      pruned,
+		Matched:     matched,
+		Delivered:   delivered,
+		Dropped:     dropped,
 		Subscribers: subscribers,
 	}
 }
+
+// Tracer returns the broker's pipeline tracer (nil unless
+// WithTraceSampling enabled tracing). Collaborators such as the cluster
+// layer use it to attach late spans — forward hops — to a sampled event's
+// trace by event ID.
+func (b *Broker) Tracer() *telemetry.Tracer { return b.tracer }
+
+// TracesHandler serves the ring of recent sampled pipeline traces as JSON
+// (the /debug/traces endpoint). With tracing off it serves an empty array.
+func (b *Broker) TracesHandler() http.Handler { return b.tracer.Handler() }
+
+// Clock returns the clock the broker stamps pipeline stages with.
+func (b *Broker) Clock() telemetry.Clock { return b.clock }
+
+// PublishLatency returns a snapshot of the end-to-end publish latency
+// histogram (for programmatic inspection; /metrics serves the full set).
+func (b *Broker) PublishLatency() telemetry.HistogramSnapshot { return b.publishHist.Snapshot() }
 
 // Close shuts the broker down and closes every subscriber channel.
 func (b *Broker) Close() {

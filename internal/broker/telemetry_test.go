@@ -1,0 +1,242 @@
+package broker
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"thematicep/internal/event"
+	"thematicep/internal/telemetry"
+)
+
+// advancingMatcher advances a manual clock by d on every Score call, so
+// pipeline stage durations are exact and bucket placement is deterministic.
+func advancingMatcher(clk *telemetry.Manual, d time.Duration) Matcher {
+	return MatchFunc(func(s *event.Subscription, e *event.Event) float64 {
+		clk.Advance(d)
+		if event.ExactMatch(s, e) {
+			return 1
+		}
+		return 0
+	})
+}
+
+func TestPublishLatencyExactBucketPlacement(t *testing.T) {
+	clk := telemetry.NewManual(time.Unix(0, 0))
+	// 2ms per score; serial dispatch so the advance count is exact.
+	b := New(advancingMatcher(clk, 2*time.Millisecond),
+		WithClock(clk), WithMatchParallelism(1))
+	defer b.Close()
+
+	if _, err := b.Subscribe(parkingSub()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish(parkingEvent("a1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// One scored subscription advanced the clock exactly 2ms; every other
+	// stage took zero manual time. LatencyBuckets are powers of four from
+	// 1µs: 2ms falls in the (1.024ms, 4.096ms] bucket, index 6.
+	s := b.PublishLatency()
+	if s.Count != 1 {
+		t.Fatalf("publish histogram count = %d, want 1", s.Count)
+	}
+	if s.Counts[6] != 1 {
+		t.Fatalf("2ms publish not in bucket 6 (1.024ms, 4.096ms]: counts %v", s.Counts)
+	}
+	if s.Sum != 0.002 {
+		t.Errorf("sum = %v, want 0.002", s.Sum)
+	}
+
+	score := b.scoreHist.Snapshot()
+	if score.Counts[6] != 1 {
+		t.Errorf("score stage not in bucket 6: counts %v", score.Counts)
+	}
+	for _, h := range []*telemetry.Histogram{b.compileHist, b.enumerateHist} {
+		if got := h.Snapshot(); got.Counts[0] != 1 {
+			t.Errorf("%s: zero-duration stage not in first bucket: counts %v", h.Name(), got.Counts)
+		}
+	}
+	if d := b.deliverHist.Snapshot(); d.Count != 1 {
+		t.Errorf("deliver histogram count = %d, want 1", d.Count)
+	}
+	if c := b.candHist.Snapshot(); c.Count != 1 {
+		t.Errorf("candidate histogram count = %d, want 1", c.Count)
+	}
+}
+
+func TestTraceCoversEveryPipelineStage(t *testing.T) {
+	// Real clock: stage durations come from real elapsed time, and the
+	// matcher sleeps so every span is comfortably non-zero.
+	slow := MatchFunc(func(s *event.Subscription, e *event.Event) float64 {
+		time.Sleep(200 * time.Microsecond)
+		if event.ExactMatch(s, e) {
+			return 1
+		}
+		return 0
+	})
+	b := New(slow, WithTraceSampling(1))
+	defer b.Close()
+	if _, err := b.Subscribe(parkingSub()); err != nil {
+		t.Fatal(err)
+	}
+	ev := parkingEvent("a1")
+	ev.ID = "trace-ev-1"
+	if err := b.Publish(ev); err != nil {
+		t.Fatal(err)
+	}
+
+	traces := b.Tracer().Recent()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.EventID != "trace-ev-1" {
+		t.Errorf("event id = %q", tr.EventID)
+	}
+	stages := map[string]time.Duration{}
+	for _, sp := range tr.Spans {
+		stages[sp.Stage] = sp.Duration
+	}
+	for _, stage := range []string{"ingest", "compile", "enumerate", "score", "deliver"} {
+		d, ok := stages[stage]
+		if !ok {
+			t.Errorf("trace missing stage %q (spans %v)", stage, tr.Spans)
+			continue
+		}
+		if d <= 0 {
+			t.Errorf("stage %q duration = %v, want > 0", stage, d)
+		}
+	}
+	if tr.Total <= 0 {
+		t.Errorf("total = %v, want > 0", tr.Total)
+	}
+}
+
+func TestTraceSamplingOffByDefault(t *testing.T) {
+	b := New(exactMatcher())
+	defer b.Close()
+	if b.Tracer() != nil {
+		t.Fatal("tracing enabled without WithTraceSampling")
+	}
+	if _, err := b.Subscribe(parkingSub()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish(parkingEvent("a1")); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Tracer().Recent(); got != nil {
+		t.Errorf("untraced broker recorded traces: %v", got)
+	}
+}
+
+// TestStatsSnapshotInvariant hammers Publish from several goroutines while
+// scraping Stats, asserting the documented snapshot guarantee: without
+// replay, Delivered <= Matched <= Scanned in every snapshot.
+func TestStatsSnapshotInvariant(t *testing.T) {
+	b := New(exactMatcher(), WithReplayBuffer(0), WithQueueSize(4))
+	defer b.Close()
+	for i := 0; i < 8; i++ {
+		s, err := b.Subscribe(parkingSub())
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { // slow consumer, keeps queues churning
+			for range s.C() {
+				time.Sleep(time.Microsecond)
+			}
+		}()
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b.Publish(parkingEvent(fmt.Sprintf("w%d-%d", w, i)))
+			}
+		}(w)
+	}
+	deadline := time.After(200 * time.Millisecond)
+	for done := false; !done; {
+		select {
+		case <-deadline:
+			done = true
+		default:
+			st := b.Stats()
+			if st.Delivered > st.Matched {
+				t.Fatalf("snapshot skew: Delivered %d > Matched %d", st.Delivered, st.Matched)
+			}
+			if st.Matched > st.Scanned {
+				t.Fatalf("snapshot skew: Matched %d > Scanned %d", st.Matched, st.Scanned)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestBrokerSelfLint(t *testing.T) {
+	b := New(exactMatcher(), WithTraceSampling(1))
+	defer b.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := b.Subscribe(parkingSub()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if err := b.Publish(parkingEvent(fmt.Sprintf("a%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	b.WriteMetrics(telemetry.NewExpo(&sb))
+	out := sb.String()
+	if err := telemetry.Lint(strings.NewReader(out)); err != nil {
+		t.Fatalf("broker exposition fails lint: %v\n%s", err, out)
+	}
+	for _, family := range []string{
+		"thematicep_broker_publish_seconds_bucket",
+		"thematicep_broker_score_seconds_bucket",
+		"thematicep_broker_enumerate_seconds_bucket",
+		"thematicep_broker_deliver_seconds_bucket",
+		"thematicep_broker_compile_seconds_bucket",
+		"thematicep_subindex_candidates_bucket",
+		`thematicep_broker_queue_depth{subscription="sub-1"}`,
+	} {
+		if !strings.Contains(out, family) {
+			t.Errorf("exposition missing %q", family)
+		}
+	}
+}
+
+// BenchmarkBrokerPublishTelemetry isolates the telemetry overhead on the
+// untraced publish path: one subscriber, always matching.
+func BenchmarkBrokerPublishTelemetry(b *testing.B) {
+	br := New(exactMatcher(), WithReplayBuffer(0), WithMatchParallelism(1))
+	defer br.Close()
+	s, err := br.Subscribe(parkingSub())
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		for range s.C() {
+		}
+	}()
+	ev := parkingEvent("a1")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.Publish(ev)
+	}
+}

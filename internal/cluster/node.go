@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"thematicep/internal/broker"
 	"thematicep/internal/event"
+	"thematicep/internal/telemetry"
 )
 
 // Config describes one broker's place in the federation.
@@ -432,7 +434,10 @@ func (n *Node) Stats() Stats {
 }
 
 // WriteMetrics implements broker.Collector, appending the cluster counter
-// families to the broker's Prometheus endpoint.
+// families, per-peer forward-queue depth gauges, and per-peer hop latency
+// histograms to the broker's Prometheus endpoint. Route the writer through
+// a telemetry.Expo (broker.MetricsHandler does) so the per-peer series of
+// one family share a single HELP/TYPE header.
 func (n *Node) WriteMetrics(w io.Writer) {
 	st := n.Stats()
 	broker.WriteCounter(w, "thematicep_cluster_forwarded_total", "Events forwarded toward peer shards.", st.Forwarded)
@@ -444,6 +449,21 @@ func (n *Node) WriteMetrics(w io.Writer) {
 	broker.WriteGauge(w, "thematicep_cluster_remote_subscriptions", "Remote registrations currently hosted.", st.RemoteSubs)
 	broker.WriteGauge(w, "thematicep_cluster_peers", "Configured peer links.", st.Peers)
 	broker.WriteGauge(w, "thematicep_cluster_peers_connected", "Peer links currently established.", st.PeersConnected)
+
+	ids := make([]string, 0, len(n.peers))
+	for id := range n.peers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		p := n.peers[id]
+		broker.WriteGaugeVec(w, "thematicep_cluster_forward_queue_depth",
+			"Forwards waiting in a peer link's bounded queue.",
+			[]telemetry.Label{{Key: "peer", Value: id}}, float64(len(p.queue)))
+	}
+	for _, id := range ids {
+		n.peers[id].hop.WriteMetrics(w)
+	}
 }
 
 // edgeSub is one federated subscription: the union of its local broker

@@ -7,7 +7,15 @@ import (
 
 	"thematicep/internal/broker"
 	"thematicep/internal/event"
+	"thematicep/internal/telemetry"
 )
+
+// forwardItem is one queued forward with its enqueue timestamp, so the hop
+// latency (enqueue to successful wire write) is measurable per peer.
+type forwardItem struct {
+	ev  *event.Event
+	enq time.Time
+}
 
 // peer is one outbound federation link. The run loop owns the connection:
 // it dials with exponential backoff, identifies itself with a hello frame,
@@ -19,9 +27,13 @@ type peer struct {
 	id   string // peer node ID == its wire address
 	addr string
 
-	queue chan *event.Event // bounded forwards; oldest dropped when full
-	nudge chan struct{}     // capacity 1: registration reconcile requests
+	queue chan forwardItem // bounded forwards; oldest dropped when full
+	nudge chan struct{}    // capacity 1: registration reconcile requests
 	done  chan struct{}
+
+	// hop records enqueue-to-wire latency for this link; the peer label
+	// keeps every link a distinct series of one shared family.
+	hop *telemetry.Histogram
 
 	mu        sync.Mutex
 	conn      net.Conn
@@ -34,9 +46,12 @@ func newPeer(n *Node, addr string) *peer {
 		n:     n,
 		id:    addr,
 		addr:  addr,
-		queue: make(chan *event.Event, n.cfg.ForwardQueue),
+		queue: make(chan forwardItem, n.cfg.ForwardQueue),
 		nudge: make(chan struct{}, 1),
 		done:  make(chan struct{}),
+		hop: telemetry.NewHistogram("thematicep_cluster_hop_seconds",
+			"Forward hop latency per peer link (enqueue to wire write).",
+			telemetry.LatencyBuckets(), telemetry.Label{Key: "peer", Value: addr}),
 	}
 }
 
@@ -44,9 +59,10 @@ func newPeer(n *Node, addr string) *peer {
 // event when full (the broker's overflow policy: publishers never block on
 // a slow or dead peer).
 func (p *peer) enqueue(e *event.Event) {
+	item := forwardItem{ev: e, enq: p.n.broker.Clock().Now()}
 	for {
 		select {
-		case p.queue <- e:
+		case p.queue <- item:
 			return
 		default:
 			select {
@@ -192,10 +208,17 @@ func (p *peer) run() {
 				if p.reconcile(conn, sent) != nil {
 					alive = false
 				}
-			case e := <-p.queue:
-				if broker.WriteFrame(conn, &broker.Frame{Type: broker.FrameForward, Event: e, NodeID: p.n.id}) != nil {
+			case item := <-p.queue:
+				if broker.WriteFrame(conn, &broker.Frame{Type: broker.FrameForward, Event: item.ev, NodeID: p.n.id}) != nil {
 					alive = false
+					break
 				}
+				// The hop is done once the frame is on the wire; attach it
+				// to the event's sampled trace (if any) as a late span so
+				// /debug/traces shows the federation leg.
+				hop := p.n.broker.Clock().Now().Sub(item.enq)
+				p.hop.ObserveDuration(hop)
+				p.n.broker.Tracer().AppendSpan(item.ev.ID, "forward:"+p.id, item.enq, hop)
 			}
 		}
 		p.setConn(nil)

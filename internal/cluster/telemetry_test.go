@@ -1,0 +1,120 @@
+package cluster_test
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"thematicep/internal/broker"
+	"thematicep/internal/cluster"
+	"thematicep/internal/event"
+	"thematicep/internal/telemetry"
+)
+
+// startTracedPair builds a 2-node cluster whose first broker samples every
+// event's pipeline trace.
+func startTracedPair(t *testing.T) []*testNode {
+	t.Helper()
+	ns := make([]*testNode, 2)
+	addrs := make([]string, 2)
+	for i := range ns {
+		var opts []broker.Option
+		if i == 0 {
+			opts = append(opts, broker.WithTraceSampling(1))
+		}
+		b := broker.New(exactMatcher(), opts...)
+		srv := broker.NewServer(b)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns[i] = &testNode{b: b, srv: srv, addr: addr.String()}
+		addrs[i] = addr.String()
+	}
+	for i, tn := range ns {
+		node, err := cluster.New(tn.b, cluster.Config{
+			Self:         tn.addr,
+			Peers:        []string{addrs[1-i]},
+			ReconnectMin: 10 * time.Millisecond,
+			ReconnectMax: 200 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tn.srv.SetBackend(node)
+		tn.srv.SetPeerHandler(node)
+		tn.node = node
+	}
+	for _, tn := range ns {
+		tn.node.Start()
+	}
+	t.Cleanup(func() {
+		for _, tn := range ns {
+			tn.node.Close()
+			tn.srv.Close()
+			tn.b.Close()
+		}
+	})
+	return ns
+}
+
+// TestForwardHopInTrace publishes through a 2-node federation and asserts
+// the forward hop appears as a late span on the sampled publish trace,
+// carrying the peer's identity and a non-zero duration.
+func TestForwardHopInTrace(t *testing.T) {
+	ns := startTracedPair(t)
+	n0, n1 := ns[0], ns[1]
+
+	// A theme owned by the remote node forces a forward on publish.
+	tag := findTag(t, n0.node.Ring(), n1.addr)
+	ev := &event.Event{
+		ID:     "hop-ev-1",
+		Theme:  []string{tag},
+		Tuples: []event.Tuple{{Attr: "type", Value: "parking event"}},
+	}
+	if err := n0.node.Publish(ev); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "event received by peer", func() bool {
+		return n1.node.Stats().Received == 1
+	})
+
+	var hop telemetry.Span
+	waitFor(t, "forward hop span on the trace", func() bool {
+		for _, tr := range n0.b.Tracer().Recent() {
+			if tr.EventID != "hop-ev-1" {
+				continue
+			}
+			for _, sp := range tr.Spans {
+				if sp.Stage == "forward:"+n1.addr {
+					hop = sp
+					return true
+				}
+			}
+		}
+		return false
+	})
+	if hop.Duration <= 0 {
+		t.Errorf("forward hop duration = %v, want > 0", hop.Duration)
+	}
+
+	// The hop histogram and queue gauge ride the broker's /metrics.
+	rec := httptest.NewRecorder()
+	broker.MetricsHandler(n0.b, n0.node).ServeHTTP(rec,
+		httptest.NewRequest("GET", "/metrics", nil))
+	body, _ := io.ReadAll(rec.Body)
+	out := string(body)
+	for _, want := range []string{
+		`thematicep_cluster_hop_seconds_count{peer="` + n1.addr + `"} 1`,
+		`thematicep_cluster_forward_queue_depth{peer="` + n1.addr + `"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if err := telemetry.Lint(strings.NewReader(out)); err != nil {
+		t.Errorf("cluster exposition fails lint: %v", err)
+	}
+}

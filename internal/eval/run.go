@@ -166,6 +166,14 @@ type Cell struct {
 	MeanF1, StdF1                 float64
 	MeanThroughput, StdThroughput float64
 	Samples                       int
+	// Wall is the cell's total wall time across its sub-experiments
+	// (sampling, theme application, cache resets, and matching), the
+	// telemetry complement to MeanThroughput's matching-only rate.
+	Wall time.Duration
+	// ProjHitRate is the projection-cache hit rate over the cell's
+	// matching work (0 when the scorer has no space). Caches are reset per
+	// sub-experiment, so this isolates within-sub-experiment reuse.
+	ProjHitRate float64
 }
 
 // GridConfig controls the grid experiment of §5.2.4.
@@ -236,6 +244,11 @@ func runGridCell(scorer Scorer, space *semantics.Space, w *workload.Workload, cf
 	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(es)<<32 ^ int64(ss)<<16))
 	f1s := make([]float64, 0, cfg.Samples)
 	thrs := make([]float64, 0, cfg.Samples)
+	cellStart := time.Now()
+	var projBefore semantics.CacheMetric
+	if space != nil {
+		projBefore = space.ProjectionMetric()
+	}
 	for n := 0; n < cfg.Samples; n++ {
 		var combo workload.ThemeCombination
 		if cfg.Zipf {
@@ -251,12 +264,21 @@ func runGridCell(scorer Scorer, space *semantics.Space, w *workload.Workload, cf
 		f1s = append(f1s, res.F1)
 		thrs = append(thrs, res.Throughput)
 	}
-	cell := Cell{EventSize: es, SubSize: ss, Samples: cfg.Samples}
+	cell := Cell{EventSize: es, SubSize: ss, Samples: cfg.Samples, Wall: time.Since(cellStart)}
+	if space != nil {
+		// Hit rate from this cell's delta of the cumulative counters
+		// (counters survive ResetCaches; only entries are dropped).
+		after := space.ProjectionMetric()
+		hits := after.Hits - projBefore.Hits
+		if total := hits + after.Misses - projBefore.Misses; total > 0 {
+			cell.ProjHitRate = float64(hits) / float64(total)
+		}
+	}
 	cell.MeanF1, cell.StdF1 = MeanStd(f1s)
 	cell.MeanThroughput, cell.StdThroughput = MeanStd(thrs)
 	if cfg.Progress != nil {
-		cfg.Progress(fmt.Sprintf("cell e=%d s=%d: F1=%.3f thr=%.0f ev/s",
-			es, ss, cell.MeanF1, cell.MeanThroughput))
+		cfg.Progress(fmt.Sprintf("cell e=%d s=%d: F1=%.3f thr=%.0f ev/s wall=%s projhit=%.2f",
+			es, ss, cell.MeanF1, cell.MeanThroughput, cell.Wall.Round(time.Millisecond), cell.ProjHitRate))
 	}
 	return cell
 }

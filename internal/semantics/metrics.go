@@ -1,0 +1,123 @@
+package semantics
+
+import (
+	"fmt"
+	"io"
+
+	"thematicep/internal/telemetry"
+)
+
+// CacheMetric is one cache's cumulative lookup and coalescing counters.
+type CacheMetric struct {
+	Name        string  // termvec, themebasis, projection, unit, score
+	Hits        uint64  // lookups answered from the cache
+	Misses      uint64  // lookups that fell through to a computation
+	Entries     int     // current cached entries
+	Waits       uint64  // single-flight waiters coalesced onto another fill
+	WaitSeconds float64 // total time those waiters spent blocked
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (m CacheMetric) HitRate() float64 {
+	if t := m.Hits + m.Misses; t > 0 {
+		return float64(m.Hits) / float64(t)
+	}
+	return 0
+}
+
+// metricOf snapshots one cache's counters.
+func metricOf[V any](name string, c *cache[V]) CacheMetric {
+	h, m := c.stats()
+	w, ws := c.waitStats()
+	return CacheMetric{Name: name, Hits: h, Misses: m, Entries: c.len(), Waits: w, WaitSeconds: ws}
+}
+
+// Metrics snapshots every cache's counters, in a stable order. The unit
+// entry aggregates the full-space unit cache and every compiled theme's
+// per-theme unit cache (the Euclidean hot path's working representation).
+func (s *Space) Metrics() []CacheMetric {
+	unit := metricOf("unit", &s.unitFull)
+	s.themesMu.RLock()
+	themes := make([]*CompiledTheme, 0, len(s.themesKey))
+	for _, t := range s.themesKey {
+		themes = append(themes, t)
+	}
+	s.themesMu.RUnlock()
+	for _, t := range themes {
+		tm := metricOf("unit", &t.units)
+		unit.Hits += tm.Hits
+		unit.Misses += tm.Misses
+		unit.Entries += tm.Entries
+		unit.Waits += tm.Waits
+		unit.WaitSeconds += tm.WaitSeconds
+	}
+	return []CacheMetric{
+		metricOf("termvec", &s.termVecs),
+		metricOf("themebasis", &s.themeBases),
+		metricOf("projection", &s.projVecs),
+		unit,
+		metricOf("score", &s.scores),
+	}
+}
+
+// ProjectionMetric returns the combined counters of the projection working
+// set: the raw projection cache plus the unit caches holding the normalized
+// projections the Euclidean scoring hot path actually reads. This is the
+// hit-rate input for evaluation runs and the repro harness; per-cache
+// breakdowns stay available via Metrics.
+func (s *Space) ProjectionMetric() CacheMetric {
+	var out CacheMetric
+	for _, m := range s.Metrics() {
+		if m.Name == "projection" || m.Name == "unit" {
+			out.Hits += m.Hits
+			out.Misses += m.Misses
+			out.Entries += m.Entries
+			out.Waits += m.Waits
+			out.WaitSeconds += m.WaitSeconds
+		}
+	}
+	out.Name = "projection"
+	return out
+}
+
+// WriteMetrics emits the space's cache statistics in the Prometheus text
+// format, making *Space a broker.Collector (satisfied structurally; this
+// package does not import the broker):
+//
+//   - hit/miss counters, entry gauges, and single-flight wait counters per
+//     cache (cache label: termvec, themebasis, projection, unit, score),
+//   - per-shard projection hit/miss counters and entry gauges (shard
+//     label), exposing stripe skew on the hottest cache.
+//
+// Route the writer through a telemetry.Expo (MetricsHandler does) so the
+// labeled families emit one HELP/TYPE header across all series.
+func (s *Space) WriteMetrics(w io.Writer) {
+	for _, m := range s.Metrics() {
+		l := []telemetry.Label{{Key: "cache", Value: m.Name}}
+		telemetry.WriteCounterVec(w, "thematicep_semantics_cache_hits_total",
+			"Cache lookups answered from the cache.", l, m.Hits)
+		telemetry.WriteCounterVec(w, "thematicep_semantics_cache_misses_total",
+			"Cache lookups that fell through to a computation.", l, m.Misses)
+		telemetry.WriteGaugeVec(w, "thematicep_semantics_cache_entries",
+			"Current cached entries.", l, float64(m.Entries))
+		telemetry.WriteCounterVec(w, "thematicep_semantics_singleflight_waits_total",
+			"Lookups coalesced onto another goroutine's in-progress computation.", l, m.Waits)
+		telemetry.WriteCounterVecFloat(w, "thematicep_semantics_singleflight_wait_seconds_total",
+			"Total time coalesced lookups spent blocked.", l, m.WaitSeconds)
+	}
+	tv, pv := s.Computes()
+	telemetry.WriteCounter(w, "thematicep_semantics_term_computes_total",
+		"Full-space term-vector constructions (cold path).", tv)
+	telemetry.WriteCounter(w, "thematicep_semantics_projection_computes_total",
+		"Thematic projection computations (Algorithm 1 executions).", pv)
+	for i := 0; i < numShards; i++ {
+		h, ms, n := s.projVecs.shardStats(i)
+		l := []telemetry.Label{{Key: "shard", Value: fmt.Sprintf("%d", i)}}
+		telemetry.WriteCounterVec(w, "thematicep_semantics_projection_shard_hits_total",
+			"Projection-cache hits per stripe.", l, h)
+		telemetry.WriteCounterVec(w, "thematicep_semantics_projection_shard_misses_total",
+			"Projection-cache misses per stripe.", l, ms)
+		telemetry.WriteGaugeVec(w, "thematicep_semantics_projection_shard_entries",
+			"Projection-cache entries per stripe.", l, float64(n))
+	}
+}

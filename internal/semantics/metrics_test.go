@@ -1,0 +1,75 @@
+package semantics
+
+import (
+	"strings"
+	"testing"
+
+	"thematicep/internal/telemetry"
+)
+
+func TestSpaceMetricsHitMiss(t *testing.T) {
+	s := NewSpace(evalIndexFor(t))
+	// Cold projection lookups miss; a warm repeat of the same projection
+	// hits. (The warm Relatedness path reads the per-theme unit cache, so
+	// exercise projVecs directly through Project.)
+	s.Project("car", []string{"transport"})
+	cold := s.ProjectionMetric()
+	s.Project("car", []string{"transport"})
+	warm := s.ProjectionMetric()
+
+	if cold.Misses == 0 {
+		t.Error("cold lookups recorded no projection misses")
+	}
+	if warm.Hits <= cold.Hits {
+		t.Errorf("warm repeat added no projection hits: cold %+v warm %+v", cold, warm)
+	}
+	if warm.HitRate() <= 0 {
+		t.Errorf("hit rate = %v, want > 0", warm.HitRate())
+	}
+
+	// The warm Relatedness path shows up on the aggregated unit cache.
+	s.Relatedness("car", []string{"transport"}, "vehicle", []string{"transport"})
+	s.Relatedness("car", []string{"transport"}, "vehicle", []string{"transport"})
+	var unit CacheMetric
+	for _, m := range s.Metrics() {
+		if m.Name == "unit" {
+			unit = m
+		}
+	}
+	if unit.Hits == 0 {
+		t.Errorf("warm relatedness recorded no unit-cache hits: %+v", unit)
+	}
+
+	names := map[string]bool{}
+	for _, m := range s.Metrics() {
+		names[m.Name] = true
+	}
+	for _, want := range []string{"termvec", "themebasis", "projection", "unit", "score"} {
+		if !names[want] {
+			t.Errorf("Metrics missing cache %q", want)
+		}
+	}
+}
+
+func TestSpaceWriteMetricsLints(t *testing.T) {
+	s := NewSpace(evalIndexFor(t))
+	s.Relatedness("car", []string{"transport"}, "vehicle", []string{"transport"})
+	var sb strings.Builder
+	s.WriteMetrics(telemetry.NewExpo(&sb))
+	out := sb.String()
+	if err := telemetry.Lint(strings.NewReader(out)); err != nil {
+		t.Fatalf("semantics exposition fails lint: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		`thematicep_semantics_cache_hits_total{cache="projection"}`,
+		`thematicep_semantics_cache_misses_total{cache="projection"}`,
+		`thematicep_semantics_cache_entries{cache="unit"}`,
+		`thematicep_semantics_singleflight_waits_total{cache="score"}`,
+		`thematicep_semantics_projection_shard_hits_total{shard="0"}`,
+		`thematicep_semantics_projection_shard_entries{shard="63"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

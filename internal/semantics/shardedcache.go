@@ -3,6 +3,8 @@ package semantics
 import (
 	"hash/maphash"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // numShards stripes each cache map. Power of two so the hash can be masked;
@@ -26,6 +28,12 @@ type shard[V any] struct {
 	mu       sync.RWMutex
 	m        map[string]V
 	inflight map[string]*flight[V]
+
+	// Lookup outcome counters. Counted only in get — every public lookup
+	// path probes get before do, so counting in both would double-count
+	// misses. One uncontended atomic add per lookup.
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 // cache is a striped, read-optimized, string-keyed memo with single-flight
@@ -35,6 +43,12 @@ type shard[V any] struct {
 // matching engine). The zero value is ready to use.
 type cache[V any] struct {
 	shards [numShards]shard[V]
+
+	// Single-flight coalescing counters: how many callers waited on
+	// another goroutine's in-progress computation, and for how long in
+	// total. Both touched only on the cold wait path.
+	waits  atomic.Uint64
+	waitNs atomic.Int64
 }
 
 // cacheSeed is shared by every cache; shard placement only needs to be
@@ -55,6 +69,11 @@ func (c *cache[V]) get(key string) (V, bool) {
 	sh.mu.RLock()
 	v, ok := sh.m[key]
 	sh.mu.RUnlock()
+	if ok {
+		sh.hits.Add(1)
+	} else {
+		sh.misses.Add(1)
+	}
 	return v, ok
 }
 
@@ -79,7 +98,10 @@ func (c *cache[V]) do(key string, compute func() V) V {
 	if f, ok := sh.inflight[key]; ok {
 		// Someone else is computing this key: wait for it.
 		sh.mu.Unlock()
+		t0 := time.Now()
 		<-f.done
+		c.waits.Add(1)
+		c.waitNs.Add(int64(time.Since(t0)))
 		if f.ok {
 			return f.val
 		}
@@ -132,6 +154,29 @@ func (c *cache[V]) len() int {
 		sh.mu.RUnlock()
 	}
 	return n
+}
+
+// stats sums the lookup outcome counters across shards.
+func (c *cache[V]) stats() (hits, misses uint64) {
+	for i := range c.shards {
+		hits += c.shards[i].hits.Load()
+		misses += c.shards[i].misses.Load()
+	}
+	return hits, misses
+}
+
+// shardStats reports one stripe's lookup outcomes and occupancy.
+func (c *cache[V]) shardStats(i int) (hits, misses uint64, entries int) {
+	sh := &c.shards[i]
+	sh.mu.RLock()
+	entries = len(sh.m)
+	sh.mu.RUnlock()
+	return sh.hits.Load(), sh.misses.Load(), entries
+}
+
+// waitStats reports the single-flight coalescing counters.
+func (c *cache[V]) waitStats() (waits uint64, waitSeconds float64) {
+	return c.waits.Load(), float64(c.waitNs.Load()) / 1e9
 }
 
 // reset drops every cached entry. In-flight computations finish and publish

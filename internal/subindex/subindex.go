@@ -206,6 +206,41 @@ func (ix *Index[T]) Themes() int {
 	return len(ix.themes)
 }
 
+// Stats describes the index's occupancy for runtime introspection.
+type Stats struct {
+	Subscriptions int // indexed subscriptions
+	Themes        int // distinct compiled-theme groups
+	Buckets       int // exact-term witness buckets across all groups
+	ApproxEntries int // approximate-only subscriptions (never prunable)
+	MaxBucket     int // largest single bucket (witness or approx) occupancy
+}
+
+// Stats walks the index under its read lock and reports occupancy. A
+// large MaxBucket relative to Subscriptions signals a skewed witness term
+// (many subscriptions sharing one exact attribute), which bounds how much
+// the index can prune for events carrying that term.
+func (ix *Index[T]) Stats() Stats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	st := Stats{
+		Subscriptions: len(ix.locs),
+		Themes:        len(ix.themes),
+	}
+	for _, g := range ix.themes {
+		st.Buckets += len(g.byAttr)
+		st.ApproxEntries += len(g.approx)
+		if len(g.approx) > st.MaxBucket {
+			st.MaxBucket = len(g.approx)
+		}
+		for _, bucket := range g.byAttr {
+			if len(bucket) > st.MaxBucket {
+				st.MaxBucket = len(bucket)
+			}
+		}
+	}
+	return st
+}
+
 // attrsPool recycles the per-publish canonical attr -> value map so the
 // candidate walk allocates nothing in steady state.
 var attrsPool = sync.Pool{New: func() any { return make(map[string]string, 16) }}

@@ -1,0 +1,187 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket, allocation-free, atomic histogram in the
+// Prometheus cumulative style: Observe finds the first bucket whose upper
+// bound contains the value and performs one atomic add on that bucket plus
+// one on the sum accumulator. Bounds are fixed at construction (precomputed
+// in both float and integer-nanosecond form), so the record path never
+// allocates and never locks; concurrent Observe and WriteMetrics are safe, with
+// scrapes seeing a consistent-enough snapshot (cumulative bucket counts are
+// recomputed at write time, so they are always monotone and le="+Inf"
+// always equals _count).
+type Histogram struct {
+	name   string
+	help   string
+	labels []Label
+
+	bounds   []float64 // ascending upper bounds; +Inf implicit
+	boundsNs []int64   // bounds in nanoseconds for ObserveDuration
+
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sumMic atomic.Int64    // fixed-point sum, micro-units (1e-6)
+}
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// bounds (the +Inf bucket is implicit). For latency histograms the bounds
+// are in seconds. Optional labels are attached to every exported series.
+func NewHistogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if len(bounds) == 0 {
+		bounds = LatencyBuckets()
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("telemetry: histogram bounds must be ascending: " + name)
+	}
+	h := &Histogram{
+		name:     name,
+		help:     help,
+		labels:   labels,
+		bounds:   append([]float64(nil), bounds...),
+		boundsNs: make([]int64, len(bounds)),
+		counts:   make([]atomic.Uint64, len(bounds)+1),
+	}
+	for i, b := range bounds {
+		ns := b * float64(time.Second)
+		if ns > math.MaxInt64 {
+			ns = math.MaxInt64
+		}
+		h.boundsNs[i] = int64(ns)
+	}
+	return h
+}
+
+// LatencyBuckets is the default latency bucket scheme: exponential powers
+// of four from 1µs to ~4.3s (12 buckets + Inf). The spread covers a cached
+// relatedness lookup (hundreds of ns round up into the first bucket) to a
+// cold-space projection storm, with ~two buckets per decade.
+func LatencyBuckets() []float64 {
+	out := make([]float64, 12)
+	b := 1e-6
+	for i := range out {
+		out[i] = b
+		b *= 4
+	}
+	return out
+}
+
+// SizeBuckets is the default bucket scheme for count-valued distributions
+// (candidate-set sizes, queue depths): 0 and powers of two to 4096.
+func SizeBuckets() []float64 {
+	out := []float64{0}
+	for b := 1.0; b <= 4096; b *= 2 {
+		out = append(out, b)
+	}
+	return out
+}
+
+// Name returns the metric family name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one value (same unit as the bucket bounds).
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for ; i < len(h.bounds) && v > h.bounds[i]; i++ {
+	}
+	h.counts[i].Add(1)
+	h.sumMic.Add(int64(v * 1e6))
+}
+
+// ObserveDuration records one latency. The bucket search compares integer
+// nanoseconds against precomputed bounds, keeping the hot path free of
+// float conversions.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := 0
+	for ; i < len(h.boundsNs) && ns > h.boundsNs[i]; i++ {
+	}
+	h.counts[i].Add(1)
+	h.sumMic.Add(ns / 1e3)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+type HistogramSnapshot struct {
+	Bounds []float64 // upper bounds, +Inf implicit
+	Counts []uint64  // per-bucket (non-cumulative) counts, +Inf last
+	Count  uint64    // total observations
+	Sum    float64   // sum of observed values
+}
+
+// Snapshot copies the histogram counters.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = float64(h.sumMic.Load()) / 1e6
+	return s
+}
+
+// Quantile estimates the q-quantile (0..1) from the bucket counts by
+// assuming a uniform distribution within the containing bucket. The +Inf
+// bucket reports its lower bound. Zero observations report 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	cum := 0.0
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		if i >= len(s.Bounds) { // +Inf bucket
+			return lo
+		}
+		return lo + (s.Bounds[i]-lo)*(rank-prev)/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// WriteMetrics emits the histogram in the Prometheus text exposition format:
+// cumulative _bucket series with le labels, then _sum and _count. The
+// HELP/TYPE header is deduplicated through an Expo writer, so several
+// histograms sharing one family name (distinguished by labels) emit a
+// single header.
+func (h *Histogram) WriteMetrics(w io.Writer) {
+	header(w, h.name, "histogram", h.help)
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", h.name,
+			formatLabels(h.labels, Label{"le", formatFloat(b)}), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", h.name, formatLabels(h.labels, Label{"le", "+Inf"}), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", h.name, formatLabels(h.labels),
+		formatFloat(float64(h.sumMic.Load())/1e6))
+	fmt.Fprintf(w, "%s_count%s %d\n", h.name, formatLabels(h.labels), cum)
+}
+
+// formatFloat renders a float the way Prometheus expects (shortest
+// round-trip representation).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	h := NewHistogram("x_seconds", "test", []float64{0.001, 0.01, 0.1})
+	h.ObserveDuration(500 * time.Microsecond) // bucket 0 (≤ 1ms)
+	h.ObserveDuration(1 * time.Millisecond)   // bucket 0 (bounds are inclusive)
+	h.ObserveDuration(2 * time.Millisecond)   // bucket 1
+	h.ObserveDuration(50 * time.Millisecond)  // bucket 2
+	h.ObserveDuration(2 * time.Second)        // +Inf
+
+	s := h.Snapshot()
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("count = %d, want 5", s.Count)
+	}
+	wantSum := 0.0005 + 0.001 + 0.002 + 0.05 + 2
+	if diff := s.Sum - wantSum; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("sum = %v, want %v", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramObserveValues(t *testing.T) {
+	h := NewHistogram("candidates", "test", []float64{1, 2, 4, 8})
+	for _, v := range []float64{0, 1, 2, 3, 5, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []uint64{2, 1, 1, 1, 1} // ≤1:{0,1} ≤2:{2} ≤4:{3} ≤8:{5} +Inf:{100}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	h := NewHistogram("x_seconds", "latency.", []float64{0.001, 0.01})
+	h.ObserveDuration(500 * time.Microsecond)
+	h.ObserveDuration(5 * time.Millisecond)
+	h.ObserveDuration(5 * time.Second)
+
+	var sb strings.Builder
+	h.WriteMetrics(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP x_seconds latency.",
+		"# TYPE x_seconds histogram",
+		`x_seconds_bucket{le="0.001"} 1`,
+		`x_seconds_bucket{le="0.01"} 2`,
+		`x_seconds_bucket{le="+Inf"} 3`,
+		"x_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if err := Lint(strings.NewReader(out)); err != nil {
+		t.Errorf("self-lint failed: %v\n%s", err, out)
+	}
+}
+
+func TestHistogramLabeledSharedFamily(t *testing.T) {
+	a := NewHistogram("hop_seconds", "hop latency.", []float64{0.1}, Label{"peer", "a:1"})
+	b := NewHistogram("hop_seconds", "hop latency.", []float64{0.1}, Label{"peer", "b:2"})
+	a.ObserveDuration(time.Millisecond)
+	b.ObserveDuration(time.Second)
+
+	var sb strings.Builder
+	e := NewExpo(&sb)
+	a.WriteMetrics(e)
+	b.WriteMetrics(e)
+	out := sb.String()
+	if n := strings.Count(out, "# TYPE hop_seconds histogram"); n != 1 {
+		t.Errorf("TYPE header emitted %d times, want 1:\n%s", n, out)
+	}
+	for _, want := range []string{
+		`hop_seconds_bucket{peer="a:1",le="0.1"} 1`,
+		`hop_seconds_bucket{peer="b:2",le="+Inf"} 1`,
+		`hop_seconds_count{peer="a:1"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if err := Lint(strings.NewReader(out)); err != nil {
+		t.Errorf("self-lint failed: %v\n%s", err, out)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram("x_seconds", "test", LatencyBuckets())
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.ObserveDuration(time.Duration(w*i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != workers*per {
+		t.Errorf("count = %d, want %d", s.Count, workers*per)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram("x", "test", []float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5) // all in the (1,2] bucket
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q < 1 || q > 2 {
+		t.Errorf("p50 = %v, want within (1,2]", q)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+}
+
+// TestHistogramObserveZeroAlloc is the hot-path contract: recording into a
+// histogram allocates nothing.
+func TestHistogramObserveZeroAlloc(t *testing.T) {
+	h := NewHistogram("x_seconds", "test", LatencyBuckets())
+	if n := testing.AllocsPerRun(1000, func() {
+		h.ObserveDuration(37 * time.Microsecond)
+		h.Observe(12)
+	}); n != 0 {
+		t.Errorf("observe allocates %.1f allocs/op, want 0", n)
+	}
+}
+
+// BenchmarkHistogramObserve is the CI-asserted record path: one bounded
+// bucket scan plus two atomic adds, 0 allocs/op.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram("x_seconds", "bench", LatencyBuckets())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ObserveDuration(time.Duration(i%1000) * time.Microsecond)
+	}
+}

@@ -1,0 +1,340 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	Name   string // full series name (including _bucket/_sum/_count suffix)
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one parsed metric family: its metadata plus every sample that
+// belongs to it.
+type Family struct {
+	Name    string
+	Type    string // counter, gauge, histogram, summary, untyped
+	Help    string
+	Samples []Sample
+}
+
+// ParseExposition parses the Prometheus text format into families, keyed by
+// family name, preserving first-seen order. It is intentionally a subset
+// parser (enough for this repo's own output plus linting): full label
+// escaping, HELP/TYPE metadata, histograms' suffixed series.
+func ParseExposition(r io.Reader) ([]*Family, error) {
+	byName := make(map[string]*Family)
+	var order []*Family
+	family := func(name string) *Family {
+		if f, ok := byName[name]; ok {
+			return f
+		}
+		f := &Family{Name: name, Type: "untyped"}
+		byName[name] = f
+		order = append(order, f)
+		return f
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			f := family(name)
+			if f.Help != "" && f.Help != help {
+				return nil, fmt.Errorf("line %d: family %s has conflicting HELP", lineNo, name)
+			}
+			if f.Help != "" {
+				return nil, fmt.Errorf("line %d: duplicate HELP for family %s", lineNo, name)
+			}
+			f.Help = help
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, _ := strings.Cut(rest, " ")
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown type %q for family %s", lineNo, typ, name)
+			}
+			f := family(name)
+			if f.Type != "untyped" {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for family %s", lineNo, name)
+			}
+			if len(f.Samples) > 0 {
+				return nil, fmt.Errorf("line %d: TYPE for family %s after its samples", lineNo, name)
+			}
+			f.Type = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		// A _bucket/_sum/_count series belongs to its base family only
+		// when that family is declared as a distribution; otherwise the
+		// suffix is part of an ordinary metric's name (a gauge may
+		// legitimately end in _bucket).
+		name := s.Name
+		if base := familyOf(s.Name); base != s.Name {
+			if bf, ok := byName[base]; ok && (bf.Type == "histogram" || bf.Type == "summary") {
+				name = base
+			}
+		}
+		f := family(name)
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return order, nil
+}
+
+// familyOf strips the histogram/summary series suffixes, yielding the
+// candidate base-family name (the caller decides whether it applies).
+func familyOf(series string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(series, suf) {
+			return strings.TrimSuffix(series, suf)
+		}
+	}
+	return series
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		s.Name = line[:i]
+		end := strings.LastIndexByte(line, '}')
+		if end < i {
+			return s, fmt.Errorf("unterminated label block: %q", line)
+		}
+		if err := parseLabels(line[i+1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = strings.TrimSpace(line[end+1:])
+	} else {
+		var ok bool
+		s.Name, rest, ok = strings.Cut(line, " ")
+		if !ok {
+			return s, fmt.Errorf("no value: %q", line)
+		}
+	}
+	// Value is the first field of the remainder (an optional timestamp may
+	// follow).
+	val := strings.Fields(rest)
+	if len(val) == 0 {
+		return s, fmt.Errorf("no value: %q", line)
+	}
+	v, err := parseValue(val[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", val[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(v string) (float64, error) {
+	switch v {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(v, 64)
+}
+
+func parseLabels(block string, into map[string]string) error {
+	i := 0
+	for i < len(block) {
+		eq := strings.IndexByte(block[i:], '=')
+		if eq < 0 {
+			return fmt.Errorf("bad label block: %q", block)
+		}
+		key := strings.TrimSpace(block[i : i+eq])
+		i += eq + 1
+		if i >= len(block) || block[i] != '"' {
+			return fmt.Errorf("unquoted label value in %q", block)
+		}
+		i++
+		var sb strings.Builder
+		for i < len(block) && block[i] != '"' {
+			if block[i] == '\\' && i+1 < len(block) {
+				i++
+				switch block[i] {
+				case 'n':
+					sb.WriteByte('\n')
+				default:
+					sb.WriteByte(block[i])
+				}
+			} else {
+				sb.WriteByte(block[i])
+			}
+			i++
+		}
+		if i >= len(block) {
+			return fmt.Errorf("unterminated label value in %q", block)
+		}
+		i++ // closing quote
+		if _, dup := into[key]; dup {
+			return fmt.Errorf("duplicate label %q", key)
+		}
+		into[key] = sb.String()
+		if i < len(block) && block[i] == ',' {
+			i++
+		}
+	}
+	return nil
+}
+
+// Lint parses an exposition and enforces the structural invariants this
+// repo's collectors promise: HELP and TYPE present exactly once per family
+// (enforced during parsing), every sample's family typed, histogram series
+// complete and internally consistent per label set (monotone cumulative
+// bucket counts, an le="+Inf" bucket whose value equals _count, and a
+// _sum), and counters/gauges finite and (for counters) non-negative.
+func Lint(r io.Reader) error {
+	families, err := ParseExposition(r)
+	if err != nil {
+		return err
+	}
+	for _, f := range families {
+		if f.Type == "untyped" {
+			return fmt.Errorf("family %s: missing TYPE", f.Name)
+		}
+		if f.Help == "" {
+			return fmt.Errorf("family %s: missing HELP", f.Name)
+		}
+		if len(f.Samples) == 0 {
+			return fmt.Errorf("family %s: no samples", f.Name)
+		}
+		switch f.Type {
+		case "histogram":
+			if err := lintHistogram(f); err != nil {
+				return fmt.Errorf("family %s: %w", f.Name, err)
+			}
+		case "counter":
+			for _, s := range f.Samples {
+				if math.IsNaN(s.Value) || math.IsInf(s.Value, 0) || s.Value < 0 {
+					return fmt.Errorf("family %s: counter value %v", f.Name, s.Value)
+				}
+			}
+		case "gauge":
+			for _, s := range f.Samples {
+				if math.IsNaN(s.Value) || math.IsInf(s.Value, 0) {
+					return fmt.Errorf("family %s: gauge value %v", f.Name, s.Value)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// lintHistogram checks every label-set series of one histogram family.
+func lintHistogram(f *Family) error {
+	type series struct {
+		buckets []Sample // le-labeled, in exposition order
+		sum     *Sample
+		count   *Sample
+	}
+	byKey := map[string]*series{}
+	keyOf := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var sb strings.Builder
+		for _, k := range keys {
+			sb.WriteString(k)
+			sb.WriteByte('=')
+			sb.WriteString(labels[k])
+			sb.WriteByte(';')
+		}
+		return sb.String()
+	}
+	get := func(labels map[string]string) *series {
+		k := keyOf(labels)
+		if s, ok := byKey[k]; ok {
+			return s
+		}
+		s := &series{}
+		byKey[k] = s
+		return s
+	}
+	for i := range f.Samples {
+		s := f.Samples[i]
+		sr := get(s.Labels)
+		switch {
+		case s.Name == f.Name+"_bucket":
+			if _, ok := s.Labels["le"]; !ok {
+				return fmt.Errorf("bucket sample without le label")
+			}
+			sr.buckets = append(sr.buckets, s)
+		case s.Name == f.Name+"_sum":
+			sr.sum = &f.Samples[i]
+		case s.Name == f.Name+"_count":
+			sr.count = &f.Samples[i]
+		default:
+			return fmt.Errorf("unexpected series %s in histogram family", s.Name)
+		}
+	}
+	for _, sr := range byKey {
+		if sr.sum == nil || sr.count == nil || len(sr.buckets) == 0 {
+			return fmt.Errorf("incomplete histogram series (need _bucket, _sum, _count)")
+		}
+		prevLe := math.Inf(-1)
+		prevCum := -1.0
+		var infCum float64
+		sawInf := false
+		for _, b := range sr.buckets {
+			le, err := parseValue(b.Labels["le"])
+			if err != nil {
+				return fmt.Errorf("bad le %q", b.Labels["le"])
+			}
+			if le <= prevLe {
+				return fmt.Errorf("le bounds not ascending")
+			}
+			prevLe = le
+			if b.Value < prevCum {
+				return fmt.Errorf("cumulative bucket counts not monotone")
+			}
+			prevCum = b.Value
+			if math.IsInf(le, 1) {
+				sawInf = true
+				infCum = b.Value
+			}
+		}
+		if !sawInf {
+			return fmt.Errorf(`missing le="+Inf" bucket`)
+		}
+		if infCum != sr.count.Value {
+			return fmt.Errorf(`le="+Inf" bucket %v != _count %v`, infCum, sr.count.Value)
+		}
+	}
+	return nil
+}

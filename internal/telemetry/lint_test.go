@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodExposition = `# HELP app_requests_total requests.
+# TYPE app_requests_total counter
+app_requests_total 10
+# HELP app_queue_depth queue depth.
+# TYPE app_queue_depth gauge
+app_queue_depth{subscription="a"} 3
+app_queue_depth{subscription="b"} 0
+# HELP app_latency_seconds latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.01"} 2
+app_latency_seconds_bucket{le="0.1"} 5
+app_latency_seconds_bucket{le="+Inf"} 6
+app_latency_seconds_sum 1.5
+app_latency_seconds_count 6
+`
+
+func TestLintAcceptsValid(t *testing.T) {
+	if err := Lint(strings.NewReader(goodExposition)); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+}
+
+func TestParseExposition(t *testing.T) {
+	fams, err := ParseExposition(strings.NewReader(goodExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 3 {
+		t.Fatalf("got %d families, want 3", len(fams))
+	}
+	if fams[1].Name != "app_queue_depth" || len(fams[1].Samples) != 2 {
+		t.Errorf("gauge family = %+v", fams[1])
+	}
+	if fams[1].Samples[0].Labels["subscription"] != "a" {
+		t.Errorf("labels = %v", fams[1].Samples[0].Labels)
+	}
+	if fams[2].Type != "histogram" || len(fams[2].Samples) != 5 {
+		t.Errorf("histogram family = %+v", fams[2])
+	}
+}
+
+func TestLintRejects(t *testing.T) {
+	cases := map[string]string{
+		"duplicate HELP": `# HELP x n.
+# HELP x n.
+# TYPE x counter
+x 1
+`,
+		"duplicate TYPE": `# HELP x n.
+# TYPE x counter
+# TYPE x counter
+x 1
+`,
+		"TYPE after samples": `# HELP x n.
+x 1
+# TYPE x counter
+`,
+		"missing TYPE": `# HELP x n.
+x 1
+`,
+		"missing HELP": `# TYPE x counter
+x 1
+`,
+		"unknown type": `# HELP x n.
+# TYPE x wat
+x 1
+`,
+		"negative counter": `# HELP x n.
+# TYPE x counter
+x -1
+`,
+		"non-monotone buckets": `# HELP h n.
+# TYPE h histogram
+h_bucket{le="0.1"} 5
+h_bucket{le="1"} 3
+h_bucket{le="+Inf"} 5
+h_sum 1
+h_count 5
+`,
+		"descending le": `# HELP h n.
+# TYPE h histogram
+h_bucket{le="1"} 2
+h_bucket{le="0.1"} 2
+h_bucket{le="+Inf"} 2
+h_sum 1
+h_count 2
+`,
+		"+Inf != count": `# HELP h n.
+# TYPE h histogram
+h_bucket{le="0.1"} 2
+h_bucket{le="+Inf"} 5
+h_sum 1
+h_count 6
+`,
+		"missing +Inf": `# HELP h n.
+# TYPE h histogram
+h_bucket{le="0.1"} 2
+h_sum 1
+h_count 2
+`,
+		"missing sum": `# HELP h n.
+# TYPE h histogram
+h_bucket{le="+Inf"} 2
+h_count 2
+`,
+		"bucket without le": `# HELP h n.
+# TYPE h histogram
+h_bucket 2
+h_bucket{le="+Inf"} 2
+h_sum 1
+h_count 2
+`,
+	}
+	for name, in := range cases {
+		if err := Lint(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: lint accepted invalid exposition", name)
+		}
+	}
+}
+
+func TestLintHistogramPerLabelSet(t *testing.T) {
+	// Two label sets of one family, each internally consistent.
+	good := `# HELP h n.
+# TYPE h histogram
+h_bucket{peer="a",le="0.1"} 1
+h_bucket{peer="a",le="+Inf"} 2
+h_sum{peer="a"} 0.3
+h_count{peer="a"} 2
+h_bucket{peer="b",le="0.1"} 7
+h_bucket{peer="b",le="+Inf"} 7
+h_sum{peer="b"} 0.1
+h_count{peer="b"} 7
+`
+	if err := Lint(strings.NewReader(good)); err != nil {
+		t.Errorf("per-label-set histogram rejected: %v", err)
+	}
+	// peer="b" +Inf disagrees with its own _count.
+	bad := strings.Replace(good, `h_count{peer="b"} 7`, `h_count{peer="b"} 9`, 1)
+	if err := Lint(strings.NewReader(bad)); err == nil {
+		t.Error("mismatched per-label-set count accepted")
+	}
+}
+
+func TestParseLabelEscapes(t *testing.T) {
+	in := `# HELP x n.
+# TYPE x gauge
+x{path="a\"b\\c"} 1
+`
+	fams, err := ParseExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fams[0].Samples[0].Labels["path"]; got != `a"b\c` {
+		t.Errorf("unescaped label = %q", got)
+	}
+}
+
+func TestFormatLabelsEscapes(t *testing.T) {
+	got := formatLabels([]Label{{"path", `a"b\c`}})
+	want := `{path="a\"b\\c"}`
+	if got != want {
+		t.Errorf("formatLabels = %s, want %s", got, want)
+	}
+}

@@ -1,0 +1,61 @@
+// Package telemetry is the dependency-free observability layer of the
+// thematic event pipeline: fixed-bucket atomic latency histograms exported
+// in the Prometheus text format, lightweight sampled per-event pipeline
+// traces, and a pluggable clock so tests can assert exact bucket placement
+// deterministically.
+//
+// The package is built for hot paths. Recording into a Histogram is a
+// bounded scan over precomputed bucket bounds plus two atomic adds — no
+// locks, no allocations (asserted by BenchmarkHistogramObserve). Tracing is
+// off by default and sampled when on: an unsampled event costs one atomic
+// add; only the sampled 1-in-N event pays for span bookkeeping.
+//
+// Everything here is stdlib-only so the instrumented packages
+// (internal/broker, internal/semantics, internal/subindex,
+// internal/cluster) stay free of external dependencies.
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the instrumented pipeline. Production code uses
+// System; tests inject a Manual clock and advance it explicitly, making
+// stage durations — and therefore histogram bucket placement — exact.
+type Clock interface {
+	Now() time.Time
+}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+// System is the real wall clock.
+var System Clock = systemClock{}
+
+// Manual is a test clock that only moves when advanced. It is safe for
+// concurrent use.
+type Manual struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewManual builds a manual clock starting at start.
+func NewManual(start time.Time) *Manual {
+	return &Manual{t: start}
+}
+
+// Now returns the clock's current instant.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.t
+}
+
+// Advance moves the clock forward by d.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	m.t = m.t.Add(d)
+	m.mu.Unlock()
+}

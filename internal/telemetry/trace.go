@@ -1,0 +1,256 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one pipeline stage of a trace. Offsets are relative to the trace
+// start; spans may overlap (the deliver span aggregates offers that run
+// inside the score span) and may arrive after the trace finished (cluster
+// forward hops complete after Publish returns).
+type Span struct {
+	Stage    string        `json:"stage"`
+	Offset   time.Duration `json:"offset_ns"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// Trace is the recorded pipeline history of one sampled event.
+type Trace struct {
+	EventID string        `json:"event_id"`
+	Start   time.Time     `json:"start"`
+	Total   time.Duration `json:"total_ns"`
+	Spans   []Span        `json:"spans"`
+}
+
+// TracerOption configures a Tracer.
+type TracerOption interface {
+	applyTracer(*Tracer)
+}
+
+type tracerClockOption struct{ c Clock }
+
+func (o tracerClockOption) applyTracer(t *Tracer) { t.clock = o.c }
+
+// WithClock sets the tracer's clock (default System).
+func WithClock(c Clock) TracerOption { return tracerClockOption{c} }
+
+type ringSizeOption int
+
+func (o ringSizeOption) applyTracer(t *Tracer) { t.ringSize = int(o) }
+
+// WithRingSize bounds the in-memory ring of recent traces (default 64).
+func WithRingSize(n int) TracerOption { return ringSizeOption(n) }
+
+type loggerOption struct {
+	l     *slog.Logger
+	every int
+}
+
+func (o loggerOption) applyTracer(t *Tracer) {
+	t.logger = o.l
+	if o.every > 0 {
+		t.logEvery = uint64(o.every)
+	}
+}
+
+// WithLogger mirrors every logEvery-th finished trace to a slog logger (a
+// sampled sink on top of the tracer's own event sampling; logEvery <= 1
+// logs every sampled trace).
+func WithLogger(l *slog.Logger, logEvery int) TracerOption {
+	return loggerOption{l, logEvery}
+}
+
+// Tracer samples 1-in-every published events and records their pipeline
+// spans into a bounded ring. The unsampled fast path is a single atomic
+// add; all per-span bookkeeping happens only on sampled events, so tracing
+// can stay enabled in production at a coarse sampling rate.
+type Tracer struct {
+	clock    Clock
+	every    uint64
+	ringSize int
+	logger   *slog.Logger
+	logEvery uint64
+
+	seq    atomic.Uint64
+	logSeq atomic.Uint64
+
+	mu   sync.Mutex
+	ring []Trace // ring buffer of finished traces
+	next int     // ring insertion cursor
+}
+
+// NewTracer samples one event in every (1 = every event). every <= 0
+// returns nil: a nil *Tracer is valid and records nothing.
+func NewTracer(every int, opts ...TracerOption) *Tracer {
+	if every <= 0 {
+		return nil
+	}
+	t := &Tracer{
+		clock:    System,
+		every:    uint64(every),
+		ringSize: 64,
+		logEvery: 1,
+	}
+	for _, opt := range opts {
+		opt.applyTracer(t)
+	}
+	return t
+}
+
+// Start begins a trace for an event if this event is sampled; otherwise it
+// returns nil (and a nil *ActiveTrace is safe to use — every method
+// no-ops).
+func (t *Tracer) Start(eventID string) *ActiveTrace {
+	if t == nil {
+		return nil
+	}
+	return t.StartAt(eventID, t.clock.Now())
+}
+
+// StartAt is Start with an explicit anchor, so a caller that timestamped
+// the pipeline entry before the sampling decision can keep every span
+// offset non-negative relative to it.
+func (t *Tracer) StartAt(eventID string, start time.Time) *ActiveTrace {
+	if t == nil {
+		return nil
+	}
+	if (t.seq.Add(1)-1)%t.every != 0 {
+		return nil
+	}
+	return &ActiveTrace{
+		t:  t,
+		tr: Trace{EventID: eventID, Start: start},
+	}
+}
+
+// finish stores a completed trace in the ring and mirrors it to the slog
+// sink.
+func (t *Tracer) finish(tr Trace) {
+	t.mu.Lock()
+	if len(t.ring) < t.ringSize {
+		t.ring = append(t.ring, tr)
+	} else {
+		t.ring[t.next] = tr
+		t.next = (t.next + 1) % t.ringSize
+	}
+	t.mu.Unlock()
+
+	if t.logger != nil && (t.logSeq.Add(1)-1)%t.logEvery == 0 {
+		attrs := make([]any, 0, 2+2*len(tr.Spans))
+		attrs = append(attrs, "event_id", tr.EventID, "total", tr.Total)
+		for _, s := range tr.Spans {
+			attrs = append(attrs, s.Stage, s.Duration)
+		}
+		t.logger.Info("pipeline trace", attrs...)
+	}
+}
+
+// AppendSpan attaches a late span (for example a cluster forward hop) to
+// the most recent trace carrying eventID. It reports whether a trace was
+// found; sampling means most events have none.
+func (t *Tracer) AppendSpan(eventID, stage string, start time.Time, d time.Duration) bool {
+	if t == nil || eventID == "" {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := 0; i < len(t.ring); i++ {
+		// Newest first: walk backwards from the insertion cursor.
+		idx := (t.next - 1 - i + 2*len(t.ring)) % len(t.ring)
+		tr := &t.ring[idx]
+		if tr.EventID != eventID {
+			continue
+		}
+		off := start.Sub(tr.Start)
+		tr.Spans = append(tr.Spans, Span{Stage: stage, Offset: off, Duration: d})
+		if end := off + d; end > tr.Total {
+			tr.Total = end
+		}
+		return true
+	}
+	return false
+}
+
+// Recent returns the ring's traces, newest first.
+func (t *Tracer) Recent() []Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Trace, 0, len(t.ring))
+	for i := 0; i < len(t.ring); i++ {
+		idx := (t.next - 1 - i + 2*len(t.ring)) % len(t.ring)
+		tr := t.ring[idx]
+		tr.Spans = append([]Span(nil), tr.Spans...)
+		out = append(out, tr)
+	}
+	return out
+}
+
+// Handler serves the recent traces as a JSON array (the /debug/traces
+// endpoint). A nil tracer serves an empty array.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		traces := t.Recent()
+		if traces == nil {
+			traces = []Trace{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(traces)
+	})
+}
+
+// ActiveTrace is one in-progress sampled trace. All methods are safe on a
+// nil receiver (the unsampled case) and safe for concurrent use (parallel
+// dispatch workers may add spans concurrently).
+type ActiveTrace struct {
+	t *Tracer
+
+	mu sync.Mutex
+	tr Trace
+}
+
+// AddSpan records a stage that started at start and ends now (per the
+// tracer's clock).
+func (a *ActiveTrace) AddSpan(stage string, start time.Time) {
+	if a == nil {
+		return
+	}
+	a.AddSpanDuration(stage, start, a.t.clock.Now().Sub(start))
+}
+
+// AddSpanDuration records a stage with an explicit duration.
+func (a *ActiveTrace) AddSpanDuration(stage string, start time.Time, d time.Duration) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.tr.Spans = append(a.tr.Spans, Span{Stage: stage, Offset: start.Sub(a.tr.Start), Duration: d})
+	a.mu.Unlock()
+}
+
+// Finish seals the trace (total = now - start) and publishes it to the
+// tracer's ring and slog sink.
+func (a *ActiveTrace) Finish() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.tr.Total = a.t.clock.Now().Sub(a.tr.Start)
+	tr := a.tr
+	tr.Spans = append([]Span(nil), tr.Spans...)
+	a.mu.Unlock()
+	a.t.finish(tr)
+}

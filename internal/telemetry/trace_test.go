@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer(4)
+	sampled := 0
+	for i := 0; i < 16; i++ {
+		if a := tr.Start(fmt.Sprintf("ev-%d", i)); a != nil {
+			sampled++
+			a.Finish()
+		}
+	}
+	if sampled != 4 {
+		t.Errorf("sampled %d of 16 with every=4, want 4", sampled)
+	}
+	if got := len(tr.Recent()); got != 4 {
+		t.Errorf("ring holds %d traces, want 4", got)
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer // disabled tracer
+	a := tr.Start("ev")
+	if a != nil {
+		t.Fatal("nil tracer sampled an event")
+	}
+	a.AddSpan("score", time.Now()) // must not panic
+	a.AddSpanDuration("deliver", time.Now(), time.Millisecond)
+	a.Finish()
+	if tr.AppendSpan("ev", "forward", time.Now(), time.Millisecond) {
+		t.Error("nil tracer accepted a late span")
+	}
+	if tr.Recent() != nil {
+		t.Error("nil tracer returned traces")
+	}
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if strings.TrimSpace(rec.Body.String()) != "[]" {
+		t.Errorf("nil tracer handler body = %q, want []", rec.Body.String())
+	}
+}
+
+func TestTracerSpansDeterministic(t *testing.T) {
+	clk := NewManual(time.Unix(1000, 0))
+	tr := NewTracer(1, WithClock(clk))
+	a := tr.Start("ev-1")
+	if a == nil {
+		t.Fatal("every=1 tracer did not sample")
+	}
+	s0 := clk.Now()
+	clk.Advance(2 * time.Millisecond)
+	a.AddSpan("compile", s0)
+	s1 := clk.Now()
+	clk.Advance(3 * time.Millisecond)
+	a.AddSpan("score", s1)
+	a.Finish()
+
+	got := tr.Recent()
+	if len(got) != 1 {
+		t.Fatalf("got %d traces, want 1", len(got))
+	}
+	trc := got[0]
+	if trc.EventID != "ev-1" || trc.Total != 5*time.Millisecond {
+		t.Errorf("trace = %+v, want ev-1 total 5ms", trc)
+	}
+	if len(trc.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(trc.Spans))
+	}
+	if trc.Spans[0].Stage != "compile" || trc.Spans[0].Duration != 2*time.Millisecond || trc.Spans[0].Offset != 0 {
+		t.Errorf("compile span = %+v", trc.Spans[0])
+	}
+	if trc.Spans[1].Stage != "score" || trc.Spans[1].Duration != 3*time.Millisecond || trc.Spans[1].Offset != 2*time.Millisecond {
+		t.Errorf("score span = %+v", trc.Spans[1])
+	}
+}
+
+func TestTracerRingBound(t *testing.T) {
+	tr := NewTracer(1, WithRingSize(4))
+	for i := 0; i < 10; i++ {
+		a := tr.Start(fmt.Sprintf("ev-%d", i))
+		a.Finish()
+	}
+	got := tr.Recent()
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d traces, want 4", len(got))
+	}
+	// Newest first: ev-9, ev-8, ev-7, ev-6.
+	for i, want := range []string{"ev-9", "ev-8", "ev-7", "ev-6"} {
+		if got[i].EventID != want {
+			t.Errorf("recent[%d] = %s, want %s", i, got[i].EventID, want)
+		}
+	}
+}
+
+func TestTracerAppendSpan(t *testing.T) {
+	clk := NewManual(time.Unix(1000, 0))
+	tr := NewTracer(1, WithClock(clk))
+	a := tr.Start("ev-x")
+	clk.Advance(time.Millisecond)
+	a.Finish()
+
+	// A cluster forward hop lands after the publish trace finished.
+	hopStart := clk.Now()
+	if !tr.AppendSpan("ev-x", "forward:peer-1", hopStart, 4*time.Millisecond) {
+		t.Fatal("AppendSpan did not find the trace")
+	}
+	if tr.AppendSpan("ev-missing", "forward:peer-1", hopStart, time.Millisecond) {
+		t.Error("AppendSpan matched a nonexistent event")
+	}
+	got := tr.Recent()[0]
+	last := got.Spans[len(got.Spans)-1]
+	if last.Stage != "forward:peer-1" || last.Duration != 4*time.Millisecond {
+		t.Errorf("late span = %+v", last)
+	}
+	if got.Total != 5*time.Millisecond { // 1ms publish + 4ms hop from offset 1ms
+		t.Errorf("total = %v, want 5ms (extended by the late span)", got.Total)
+	}
+}
+
+func TestTracerHandlerJSON(t *testing.T) {
+	tr := NewTracer(1)
+	a := tr.Start("ev-json")
+	a.AddSpanDuration("score", a.tr.Start, 2*time.Millisecond)
+	a.Finish()
+
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var traces []Trace
+	if err := json.Unmarshal(rec.Body.Bytes(), &traces); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(traces) != 1 || traces[0].EventID != "ev-json" || len(traces[0].Spans) != 1 {
+		t.Errorf("traces = %+v", traces)
+	}
+
+	rec = httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/debug/traces", nil))
+	if rec.Code != 405 {
+		t.Errorf("POST status = %d, want 405", rec.Code)
+	}
+}
+
+func TestTracerSlogSink(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	tr := NewTracer(1, WithLogger(logger, 2))
+	for i := 0; i < 4; i++ {
+		a := tr.Start(fmt.Sprintf("ev-%d", i))
+		a.AddSpanDuration("score", a.tr.Start, time.Millisecond)
+		a.Finish()
+	}
+	out := buf.String()
+	if n := strings.Count(out, "pipeline trace"); n != 2 {
+		t.Errorf("logged %d traces with logEvery=2, want 2:\n%s", n, out)
+	}
+	if !strings.Contains(out, "event_id=ev-0") || !strings.Contains(out, "score=") {
+		t.Errorf("log line missing event_id/span attrs:\n%s", out)
+	}
+}
+
+func TestManualClock(t *testing.T) {
+	clk := NewManual(time.Unix(42, 0))
+	t0 := clk.Now()
+	clk.Advance(time.Second)
+	if d := clk.Now().Sub(t0); d != time.Second {
+		t.Errorf("advance moved clock by %v, want 1s", d)
+	}
+}
