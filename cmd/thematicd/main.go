@@ -17,19 +17,23 @@
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"thematicep/internal/broker"
 	"thematicep/internal/cluster"
 	"thematicep/internal/corpus"
+	"thematicep/internal/faultinject"
 	"thematicep/internal/index"
 	"thematicep/internal/matcher"
 	"thematicep/internal/semantics"
@@ -59,6 +63,9 @@ func run(args []string) error {
 		parallel  = fs.Int("match-parallelism", 0, "matching worker pool size per publish (0 = GOMAXPROCS, 1 = serial)")
 		pruning   = fs.Bool("pruning", true, "prune per-publish candidates via the subscription index (recall-preserving)")
 		traceN    = fs.Int("trace-sample", 0, "record a pipeline trace for 1 in N published events (0 disables; see /debug/traces)")
+		drainT    = fs.Duration("drain-timeout", 5*time.Second, "max time to flush subscriber queues on SIGTERM before closing anyway")
+		shedMark  = fs.Int("shed-watermark", 0, "shed publishes with an overload error when the match pipeline is saturated and this many are in flight (0 disables)")
+		chaos     = fs.String("chaos", "", "fault injection on peer links, e.g. seed=42,latency=2ms,stall=0.01,stallfor=250ms,reset=0.005,corrupt=0.01 (testing only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,6 +90,9 @@ func run(args []string) error {
 	if *traceN > 0 {
 		opts = append(opts, broker.WithTraceSampling(*traceN))
 	}
+	if *shedMark > 0 {
+		opts = append(opts, broker.WithShedWatermark(*shedMark))
+	}
 	// The Prepared adapter turns on the broker's prepare-once fast path:
 	// subscriptions are canonicalized and theme-compiled at Subscribe time,
 	// events once per publish.
@@ -104,7 +114,19 @@ func run(args []string) error {
 				peerList = append(peerList, p)
 			}
 		}
-		node, err = cluster.New(b, cluster.Config{Self: self, Peers: peerList})
+		ccfg := cluster.Config{Self: self, Peers: peerList}
+		if *chaos != "" {
+			fcfg, err := faultinject.ParseSpec(*chaos)
+			if err != nil {
+				return fmt.Errorf("-chaos: %w", err)
+			}
+			inj := faultinject.New(fcfg)
+			ccfg.Dial = inj.Dialer(func(addr string) (net.Conn, error) {
+				return net.DialTimeout("tcp", addr, 2*time.Second)
+			})
+			fmt.Fprintf(os.Stderr, "CHAOS: peer links run through fault injection (%s)\n", *chaos)
+		}
+		node, err = cluster.New(b, ccfg)
 		if err != nil {
 			return err
 		}
@@ -151,13 +173,27 @@ func run(args []string) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+
+	// Graceful drain: refuse new publishes, flush what subscribers already
+	// have queued, then close — bounded by -drain-timeout so a stuck
+	// consumer cannot hold shutdown hostage. The deferred server/node
+	// closes run after the broker has stopped admitting work.
+	fmt.Fprintf(os.Stderr, "draining (timeout %s)...\n", *drainT)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainT)
+	if err := b.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "drain: gave up after %s: %v\n", *drainT, err)
+	} else {
+		fmt.Fprintln(os.Stderr, "drain: subscriber queues flushed")
+	}
+	cancel()
+
 	st := b.Stats()
-	fmt.Fprintf(os.Stderr, "shutting down: published=%d scanned=%d pruned=%d matched=%d delivered=%d dropped=%d\n",
-		st.Published, st.Scanned, st.Pruned, st.Matched, st.Delivered, st.Dropped)
+	fmt.Fprintf(os.Stderr, "shutting down: published=%d scanned=%d pruned=%d matched=%d delivered=%d dropped=%d shed=%d\n",
+		st.Published, st.Scanned, st.Pruned, st.Matched, st.Delivered, st.Dropped, st.Shed)
 	if node != nil {
 		cs := node.Stats()
-		fmt.Fprintf(os.Stderr, "federation: forwarded=%d received=%d deduped=%d reconnects=%d queueDrops=%d\n",
-			cs.Forwarded, cs.Received, cs.Deduped, cs.PeerReconnects, cs.QueueDrops)
+		fmt.Fprintf(os.Stderr, "federation: forwarded=%d shed=%d received=%d deduped=%d reconnects=%d queueDrops=%d breakerTrips=%d\n",
+			cs.Forwarded, cs.ForwardsShed, cs.Received, cs.Deduped, cs.PeerReconnects, cs.QueueDrops, cs.BreakerTrips)
 	}
 	return nil
 }

@@ -62,6 +62,7 @@ func run(args []string) error {
 func runPublish(args []string) error {
 	fs := flag.NewFlagSet("publish", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7070", "broker address")
+	timeout := fs.Duration("timeout", 0, "per-request timeout; fail fast instead of hanging on a wedged daemon (0 = wait forever)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,7 +73,7 @@ func runPublish(args []string) error {
 	if err != nil {
 		return err
 	}
-	c, err := broker.Dial(*addr)
+	c, err := broker.DialTimeout(*addr, *timeout)
 	if err != nil {
 		return err
 	}
@@ -88,6 +89,7 @@ func runSubscribe(args []string) error {
 	fs := flag.NewFlagSet("subscribe", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7070", "broker address")
 	replay := fs.Bool("replay", false, "replay buffered past events first")
+	timeout := fs.Duration("timeout", 0, "timeout for dial and the subscribe handshake; deliveries still stream indefinitely (0 = wait forever)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -108,7 +110,7 @@ func runSubscribe(args []string) error {
 		deliveries <-chan broker.Delivery
 	)
 	for hop := 0; ; hop++ {
-		c, err = broker.Dial(target)
+		c, err = broker.DialTimeout(target, *timeout)
 		if err != nil {
 			return err
 		}

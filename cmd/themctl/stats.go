@@ -27,13 +27,14 @@ func runStats(args []string) error {
 	lint := fs.Bool("lint", false, "validate the exposition format and fail on violations")
 	traces := fs.Bool("traces", false, "also fetch and print /debug/traces")
 	raw := fs.Bool("raw", false, "dump the raw exposition instead of the summary")
+	timeout := fs.Duration("timeout", 10*time.Second, "HTTP timeout per scrape; fail fast instead of hanging on a wedged daemon")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	base := strings.TrimSuffix(*url, "/")
 	base = strings.TrimSuffix(base, "/metrics")
 
-	body, err := httpGet(base + "/metrics")
+	body, err := httpGet(base+"/metrics", *timeout)
 	if err != nil {
 		return fmt.Errorf("stats: %w", err)
 	}
@@ -52,7 +53,7 @@ func runStats(args []string) error {
 		}
 	}
 	if *traces {
-		tb, err := httpGet(base + "/debug/traces")
+		tb, err := httpGet(base+"/debug/traces", *timeout)
 		if err != nil {
 			return fmt.Errorf("stats: traces: %w", err)
 		}
@@ -61,8 +62,8 @@ func runStats(args []string) error {
 	return nil
 }
 
-func httpGet(url string) ([]byte, error) {
-	c := &http.Client{Timeout: 10 * time.Second}
+func httpGet(url string, timeout time.Duration) ([]byte, error) {
+	c := &http.Client{Timeout: timeout}
 	resp, err := c.Get(url)
 	if err != nil {
 		return nil, err

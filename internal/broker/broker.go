@@ -29,12 +29,14 @@
 package broker
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"thematicep/internal/event"
 	"thematicep/internal/subindex"
@@ -124,6 +126,7 @@ type Delivery struct {
 // Stats are broker counters; all values are cumulative.
 type Stats struct {
 	Published   uint64 // events accepted by Publish
+	Shed        uint64 // publishes rejected by load shedding (ErrOverloaded)
 	Scanned     uint64 // (event, subscription) pairs scored by the matcher
 	Pruned      uint64 // pairs skipped by the pruning index (provably score 0)
 	Matched     uint64 // (event, subscription) matches
@@ -138,14 +141,15 @@ type Option interface {
 }
 
 type config struct {
-	threshold   float64
-	queueSize   int
-	replaySize  int
-	parallelism int
-	pruning     bool
-	clock       telemetry.Clock
-	traceEvery  int
-	traceOpts   []telemetry.TracerOption
+	threshold     float64
+	queueSize     int
+	replaySize    int
+	parallelism   int
+	pruning       bool
+	shedWatermark int
+	clock         telemetry.Clock
+	traceEvery    int
+	traceOpts     []telemetry.TracerOption
 }
 
 type thresholdOption float64
@@ -216,6 +220,19 @@ func WithTraceSampling(n int, opts ...telemetry.TracerOption) Option {
 	return traceSamplingOption{n, opts}
 }
 
+type shedWatermarkOption int
+
+func (o shedWatermarkOption) apply(c *config) { c.shedWatermark = int(o) }
+
+// WithShedWatermark enables publish-side load shedding: when more than n
+// Publish calls are already in flight AND the broker-wide match semaphore
+// is saturated (every helper worker busy), additional publishes are
+// rejected with ErrOverloaded instead of piling onto the contended
+// matcher. Shed publishes are counted in Stats.Shed and exported as
+// thematicep_broker_shed_total — bounded degradation is explicit, never a
+// silent drop. Zero (the default) disables shedding.
+func WithShedWatermark(n int) Option { return shedWatermarkOption(n) }
+
 // WithPruning enables or disables the subscription pruning index (default
 // on). When on, Publish builds its candidate set from the event's tuple
 // terms via internal/subindex instead of scanning every subscription;
@@ -247,11 +264,18 @@ type Broker struct {
 	// Cumulative counters; atomics so the match hot loop takes no lock
 	// (and offer cannot deadlock against b.mu).
 	published atomic.Uint64
+	shed      atomic.Uint64
 	scanned   atomic.Uint64
 	pruned    atomic.Uint64
 	matched   atomic.Uint64
 	delivered atomic.Uint64
 	dropped   atomic.Uint64
+
+	// Drain/shutdown coordination: draining refuses new publishes while
+	// inflight tracks the Publish calls still running, so Drain can wait
+	// for the pipeline to empty without holding b.mu across matching.
+	draining atomic.Bool
+	inflight atomic.Int64
 
 	// Pipeline telemetry. The histograms are always on (recording is one
 	// atomic add on a precomputed bucket index); the tracer is nil unless
@@ -277,6 +301,13 @@ var (
 	ErrClosed       = errors.New("broker: closed")
 	ErrNilEvent     = errors.New("broker: nil event")
 	ErrDuplicateSub = errors.New("broker: duplicate subscription id")
+	// ErrDraining is returned by Publish once Drain has begun: the broker
+	// no longer admits events but is still flushing subscriber queues.
+	ErrDraining = errors.New("broker: draining")
+	// ErrOverloaded is returned by Publish when load shedding
+	// (WithShedWatermark) rejects an event because the matching pipeline
+	// is saturated. The publisher may retry with backoff.
+	ErrOverloaded = errors.New("broker: overloaded, publish shed")
 )
 
 // New builds a broker around a matcher. Matchers also implementing
@@ -474,6 +505,22 @@ func (b *Broker) Publish(e *event.Event) error {
 	if err := e.Validate(); err != nil {
 		return fmt.Errorf("broker: publish: %w", err)
 	}
+	// Admission control. The inflight count is incremented before the
+	// draining check so Drain's wait-for-zero cannot miss a racing
+	// publish: any Publish that passes the check is visible to the poll.
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
+	if b.draining.Load() {
+		return ErrDraining
+	}
+	if w := b.cfg.shedWatermark; w > 0 && b.sem != nil &&
+		len(b.sem) == cap(b.sem) && b.inflight.Load() > int64(w) {
+		// The helper budget is exhausted and more publishes are in flight
+		// than the watermark allows: shed this one instead of queueing
+		// onto a saturated matcher. Counted, surfaced, never silent.
+		b.shed.Add(1)
+		return ErrOverloaded
+	}
 	trace := b.tracer.StartAt(e.ID, t0)
 
 	b.mu.Lock()
@@ -668,8 +715,10 @@ func (b *Broker) Stats() Stats {
 	scanned := b.scanned.Load()
 	pruned := b.pruned.Load()
 	published := b.published.Load()
+	shed := b.shed.Load()
 	return Stats{
 		Published:   published,
+		Shed:        shed,
 		Scanned:     scanned,
 		Pruned:      pruned,
 		Matched:     matched,
@@ -695,6 +744,55 @@ func (b *Broker) Clock() telemetry.Clock { return b.clock }
 // PublishLatency returns a snapshot of the end-to-end publish latency
 // histogram (for programmatic inspection; /metrics serves the full set).
 func (b *Broker) PublishLatency() telemetry.HistogramSnapshot { return b.publishHist.Snapshot() }
+
+// Drain shuts the broker down gracefully: it stops admitting publishes
+// (Publish returns ErrDraining), waits for every in-flight Publish to
+// finish, then waits for the subscriber queues to be consumed before
+// closing. If ctx expires first, the broker is closed anyway — undelivered
+// queue entries are released by the channel close — and ctx's error is
+// returned. A nil return means every queued delivery for a live subscriber
+// was flushed. Drain is idempotent and safe to race with Close, Publish,
+// and Subscribe.
+func (b *Broker) Drain(ctx context.Context) error {
+	b.draining.Store(true)
+	defer b.Close()
+
+	// Phase 1: let in-flight publishes complete so every delivery that was
+	// admitted reaches its queue. New publishes bounce off the draining
+	// flag, so the count can only fall (modulo admission-check blips that
+	// exit immediately).
+	const poll = 2 * time.Millisecond
+	for b.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+
+	// Phase 2: wait for the subscribers to consume their queues. A
+	// subscriber that never reads keeps its depth pinned and the drain
+	// runs into the deadline — which is why Drain takes a context.
+	for {
+		b.mu.RLock()
+		pending := 0
+		for _, s := range b.subs {
+			pending += len(s.ch)
+		}
+		b.mu.RUnlock()
+		if pending == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Draining reports whether Drain has begun (new publishes are refused).
+func (b *Broker) Draining() bool { return b.draining.Load() }
 
 // Close shuts the broker down and closes every subscriber channel.
 func (b *Broker) Close() {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"thematicep/internal/event"
 )
@@ -14,6 +15,11 @@ import (
 // subscription channels by a background reader.
 type Client struct {
 	conn net.Conn
+
+	// timeout bounds each request/response exchange (zero = unbounded).
+	// On expiry the connection is torn down: against a wedged daemon the
+	// caller gets a fast, clear error rather than a hang.
+	timeout time.Duration
 
 	writeMu sync.Mutex // serializes frame writes
 	reqMu   sync.Mutex // serializes request/response exchanges
@@ -31,6 +37,12 @@ type Client struct {
 // ErrClientClosed is returned by operations on a closed client.
 var ErrClientClosed = errors.New("broker client: closed")
 
+// ErrRequestTimeout is returned by requests on a client built with
+// DialTimeout when the broker does not answer within the timeout. The
+// connection is closed as a side effect (responses can no longer be
+// matched to requests once one has been abandoned).
+var ErrRequestTimeout = errors.New("broker client: request timed out")
+
 // RedirectError is returned by Subscribe when a clustered broker does not
 // own the subscription's theme shard; Addr is the owning broker to retry
 // against (cmd/themctl follows it automatically).
@@ -43,13 +55,28 @@ func (e *RedirectError) Error() string {
 }
 
 // Dial connects to a broker server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+func Dial(addr string) (*Client, error) { return DialTimeout(addr, 0) }
+
+// DialTimeout connects to a broker server with a bound on both the dial
+// and every subsequent request/response exchange (publish, subscribe,
+// unsubscribe acknowledgements). A wedged or unreachable daemon produces a
+// timeout error within d instead of hanging the caller; streaming delivery
+// reads are not bounded (an idle subscription is legitimate). d <= 0 means
+// no timeout, identical to Dial.
+func DialTimeout(addr string, d time.Duration) (*Client, error) {
+	var conn net.Conn
+	var err error
+	if d > 0 {
+		conn, err = net.DialTimeout("tcp", addr, d)
+	} else {
+		conn, err = net.Dial("tcp", addr)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("broker client: %w", err)
 	}
 	c := &Client{
 		conn:    conn,
+		timeout: d,
 		subs:    make(map[string]chan Delivery),
 		orphans: make(map[string][]Delivery),
 		done:    make(chan struct{}),
@@ -133,12 +160,30 @@ func (c *Client) request(f *Frame) (*Frame, error) {
 	c.mu.Unlock()
 
 	c.writeMu.Lock()
+	if c.timeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	}
 	err := WriteFrame(c.conn, f)
 	c.writeMu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-	resp, ok := <-ch
+	var resp *Frame
+	var ok bool
+	if c.timeout > 0 {
+		t := time.NewTimer(c.timeout)
+		defer t.Stop()
+		select {
+		case resp, ok = <-ch:
+		case <-t.C:
+			// Abandoning a pending response desynchronizes the FIFO; the
+			// connection is useless now, so fail fast and tear it down.
+			c.conn.Close()
+			return nil, ErrRequestTimeout
+		}
+	} else {
+		resp, ok = <-ch
+	}
 	if !ok {
 		return nil, ErrClientClosed
 	}

@@ -91,6 +91,101 @@ func TestServerCloseWithInFlightClients(t *testing.T) {
 	sub.Close()
 }
 
+// TestHandshakeDeadlineDropsSilentConn: a connection that never sends its
+// first frame is dropped at the handshake timeout instead of holding a
+// serving goroutine forever — while a connection that has identified
+// itself may idle indefinitely (subscribers legitimately wait).
+func TestHandshakeDeadlineDropsSilentConn(t *testing.T) {
+	b := New(exactMatcher())
+	defer b.Close()
+	srv := NewServer(b)
+	srv.SetHandshakeTimeout(100 * time.Millisecond)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Silent connection: closed by the server within the timeout.
+	silent, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer silent.Close()
+	silent.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := silent.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server wrote to a silent connection instead of closing it")
+	} else if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+		t.Fatal("silent connection still open 5s past a 100ms handshake timeout")
+	}
+
+	// A connection that handshakes promptly may then idle past the
+	// timeout: the deadline must be cleared after the first frame.
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, deliveries, err := c.Subscribe(parkingSub(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond) // 3x the handshake timeout
+	producer, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer producer.Close()
+	if err := producer.Publish(parkingEvent("idle-ok")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-deliveries:
+		if v, _ := d.Event.Value("spot"); v != "idle-ok" {
+			t.Errorf("delivery = %+v, want spot=idle-ok", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("idle subscriber connection was dropped by the handshake deadline")
+	}
+}
+
+// TestClientRequestTimeout: a DialTimeout client against a daemon that
+// accepts but never answers fails the request within the timeout with
+// ErrRequestTimeout rather than hanging.
+func TestClientRequestTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // wedged daemon: reads nothing, answers nothing
+		}
+	}()
+
+	c, err := DialTimeout(ln.Addr().String(), 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	err = c.Publish(parkingEvent("p"))
+	if err == nil {
+		t.Fatal("publish against a wedged daemon succeeded")
+	}
+	if !errors.Is(err, ErrRequestTimeout) && !errors.Is(err, ErrClientClosed) {
+		t.Errorf("err = %v, want ErrRequestTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("publish took %v against a 100ms timeout", elapsed)
+	}
+}
+
 // TestServerSurvivesNilSubscription: a subscribe frame with a null
 // subscription payload must produce an error frame, not a panic that kills
 // the serving goroutine.

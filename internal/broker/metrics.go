@@ -54,12 +54,18 @@ func WriteGaugeVec(w io.Writer, name, help string, labels []telemetry.Label, val
 func (b *Broker) WriteMetrics(w io.Writer) {
 	st := b.Stats()
 	WriteCounter(w, "thematicep_broker_published_total", "Events accepted by Publish.", st.Published)
+	WriteCounter(w, "thematicep_broker_shed_total", "Publishes rejected by load shedding (saturated match pipeline).", st.Shed)
 	WriteCounter(w, "thematicep_broker_scanned_total", "Event-subscription pairs scored by the matcher.", st.Scanned)
 	WriteCounter(w, "thematicep_broker_pruned_total", "Pairs skipped by the pruning index (provably score 0).", st.Pruned)
 	WriteCounter(w, "thematicep_broker_matched_total", "Event-subscription matches.", st.Matched)
 	WriteCounter(w, "thematicep_broker_delivered_total", "Deliveries enqueued to subscribers.", st.Delivered)
 	WriteCounter(w, "thematicep_broker_dropped_total", "Deliveries dropped by the overflow policy.", st.Dropped)
 	WriteGauge(w, "thematicep_broker_subscribers", "Currently active subscriptions.", st.Subscribers)
+	draining := 0
+	if b.Draining() {
+		draining = 1
+	}
+	WriteGauge(w, "thematicep_broker_draining", "1 while the broker is draining (refusing publishes, flushing queues).", draining)
 
 	b.publishHist.WriteMetrics(w)
 	b.compileHist.WriteMetrics(w)

@@ -4,9 +4,16 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"thematicep/internal/event"
 )
+
+// DefaultHandshakeTimeout bounds how long a freshly accepted connection
+// may stay silent before sending its first frame. A peer (or port
+// scanner) that connects but never identifies itself would otherwise hold
+// a serving goroutine forever.
+const DefaultHandshakeTimeout = 10 * time.Second
 
 // SubHandle is one active subscription as the transport layer sees it:
 // *Subscriber satisfies it, and so does a federated handle from
@@ -57,21 +64,38 @@ type Server struct {
 	broker  *Broker
 	backend Backend
 
-	mu          sync.Mutex
-	listener    net.Listener
-	conns       map[net.Conn]struct{}
-	peerHandler PeerHandler
-	wg          sync.WaitGroup
-	closed      bool
+	mu               sync.Mutex
+	listener         net.Listener
+	conns            map[net.Conn]struct{}
+	peerHandler      PeerHandler
+	handshakeTimeout time.Duration
+	wg               sync.WaitGroup
+	closed           bool
 }
 
 // NewServer wraps a broker.
 func NewServer(b *Broker) *Server {
 	return &Server{
-		broker:  b,
-		backend: b,
-		conns:   make(map[net.Conn]struct{}),
+		broker:           b,
+		backend:          b,
+		conns:            make(map[net.Conn]struct{}),
+		handshakeTimeout: DefaultHandshakeTimeout,
 	}
+}
+
+// SetHandshakeTimeout overrides how long a new connection may wait before
+// its first frame (DefaultHandshakeTimeout). Zero or negative disables the
+// bound. Call before traffic arrives.
+func (s *Server) SetHandshakeTimeout(d time.Duration) {
+	s.mu.Lock()
+	s.handshakeTimeout = d
+	s.mu.Unlock()
+}
+
+func (s *Server) getHandshakeTimeout() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.handshakeTimeout
 }
 
 // SetBackend replaces the engine requests are routed to (for example a
@@ -173,10 +197,23 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 
+	// Handshake bound: the first frame must arrive within the handshake
+	// timeout or the connection is dropped — a peer that connects but
+	// never identifies cannot hold this goroutine forever. Once the
+	// connection has proven itself the deadline is cleared: an idle
+	// subscriber waiting for deliveries is legitimate.
+	if d := s.getHandshakeTimeout(); d > 0 {
+		conn.SetReadDeadline(time.Now().Add(d))
+	}
+	first := true
 	for {
 		f, err := ReadFrame(conn)
 		if err != nil {
 			return
+		}
+		if first {
+			first = false
+			conn.SetReadDeadline(time.Time{})
 		}
 		switch f.Type {
 		case FrameHello:

@@ -32,6 +32,13 @@ const (
 	FrameHello    = "hello"
 	FrameForward  = "forward"
 	FrameRedirect = "redirect"
+
+	// Liveness frames for federation links: each side pings on an
+	// interval and answers pings with pongs, so a silent (stalled or
+	// partitioned) link is distinguishable from an idle one and can be
+	// dropped by the read deadline.
+	FramePing = "ping"
+	FramePong = "pong"
 )
 
 // MaxFrameSize bounds a frame's encoded size; larger frames are rejected to

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position. The zero value is closed
+// (traffic flows).
+type BreakerState int32
+
+const (
+	// BreakerClosed: the link is healthy; forwards queue normally.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: the cooldown elapsed and one probe connection is
+	// being attempted; forwards still shed until it succeeds.
+	BreakerHalfOpen
+	// BreakerOpen: the peer is considered down; dials pause for the
+	// cooldown and forwards shed immediately instead of queueing.
+	BreakerOpen
+)
+
+// String renders the state for logs and tests.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// breaker is a per-peer circuit breaker over connection-level failures
+// (failed dials, failed hellos, link deaths). It trips open after
+// Threshold consecutive failures; after Cooldown one half-open probe is
+// allowed, and a successful probe re-closes it. It is safe for concurrent
+// use: the run loop drives Allow/Success/Failure while enqueue and the
+// metrics scraper read State.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	trips    uint64
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Allow reports whether a connection attempt may proceed. While open it
+// returns false until the cooldown elapses, then transitions to half-open
+// and admits exactly one probe; further probes are refused until that one
+// resolves via Success or Failure.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: a probe is already in flight
+		return false
+	}
+}
+
+// Success records a healthy connection: the breaker closes and the
+// consecutive-failure count resets.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+}
+
+// Failure records one connection-level failure. A closed breaker trips
+// open at the threshold; a half-open probe failure re-opens immediately
+// (and restarts the cooldown).
+func (b *breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	switch b.state {
+	case BreakerClosed:
+		if b.failures >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			b.trips++
+		}
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.trips++
+	case BreakerOpen:
+		// Already open (e.g. a racing link death); keep the original
+		// cooldown clock so probes are not starved by late failures.
+	}
+}
+
+// State returns the breaker's current position.
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker has transitioned to open.
+func (b *breaker) Trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerStateMachine drives the closed → open → half-open → closed
+// cycle with a fake clock and pins the transition rules.
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(0, 0)
+	bk := newBreaker(3, time.Second, func() time.Time { return now })
+
+	if got := bk.State(); got != BreakerClosed {
+		t.Fatalf("initial state = %v, want closed", got)
+	}
+	if !bk.Allow() {
+		t.Fatal("closed breaker must allow")
+	}
+
+	// Failures below the threshold keep it closed; a success resets the streak.
+	bk.Failure()
+	bk.Failure()
+	bk.Success()
+	bk.Failure()
+	bk.Failure()
+	if got := bk.State(); got != BreakerClosed {
+		t.Fatalf("state after interrupted streak = %v, want closed", got)
+	}
+
+	// The threshold-th consecutive failure trips it open.
+	bk.Failure()
+	if got := bk.State(); got != BreakerOpen {
+		t.Fatalf("state after 3 consecutive failures = %v, want open", got)
+	}
+	if bk.Trips() != 1 {
+		t.Errorf("trips = %d, want 1", bk.Trips())
+	}
+	if bk.Allow() {
+		t.Fatal("open breaker allowed before cooldown")
+	}
+
+	// Cooldown elapses: exactly one half-open probe is admitted.
+	now = now.Add(time.Second)
+	if !bk.Allow() {
+		t.Fatal("cooldown elapsed but no probe admitted")
+	}
+	if got := bk.State(); got != BreakerHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", got)
+	}
+	if bk.Allow() {
+		t.Fatal("second concurrent probe admitted")
+	}
+
+	// Probe failure re-opens and restarts the cooldown.
+	bk.Failure()
+	if got := bk.State(); got != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	if bk.Trips() != 2 {
+		t.Errorf("trips = %d, want 2", bk.Trips())
+	}
+	if bk.Allow() {
+		t.Fatal("probe admitted immediately after a failed probe")
+	}
+
+	// Second probe succeeds: closed, failure streak cleared.
+	now = now.Add(time.Second)
+	if !bk.Allow() {
+		t.Fatal("no probe after second cooldown")
+	}
+	bk.Success()
+	if got := bk.State(); got != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", got)
+	}
+	bk.Failure()
+	bk.Failure()
+	if got := bk.State(); got != BreakerClosed {
+		t.Fatalf("failure streak survived the success reset: %v", got)
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for s, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerHalfOpen: "half-open",
+		BreakerOpen:     "open",
+		BreakerState(9): "unknown",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}

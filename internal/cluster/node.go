@@ -34,11 +34,30 @@ type Config struct {
 	// QueueSize buffers each federated subscription's delivery channel
 	// (default 64), with the same drop-oldest overflow policy.
 	QueueSize int
-	// ReconnectMin/ReconnectMax bound the exponential backoff between
-	// peer dial attempts (defaults 50ms and 2s).
+	// ReconnectMin/ReconnectMax bound the full-jitter exponential backoff
+	// between peer dial attempts (defaults 50ms and 2s).
 	ReconnectMin time.Duration
 	ReconnectMax time.Duration
-	// Dial overrides the peer dialer (tests); default is net.Dial("tcp").
+	// WriteTimeout bounds every frame write on a peer link (default 2s).
+	// A stalled TCP peer surfaces as a timed-out write and a breaker
+	// failure, never as a wedged forward goroutine.
+	WriteTimeout time.Duration
+	// HeartbeatInterval is how often a link sends ping frames (default
+	// 1s); HeartbeatTimeout is how long a link may stay silent before the
+	// read deadline declares it dead (default 3x the interval, and always
+	// at least one interval).
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// BreakerThreshold is how many consecutive connection-level failures
+	// (failed dial, failed hello, link death) open a peer's circuit
+	// breaker (default 5). While open, forwards to that peer are shed
+	// immediately (counted in Stats.ForwardsShed) instead of queueing,
+	// and dials pause for BreakerCooldown (default 1s) before a single
+	// half-open probe is attempted.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Dial overrides the peer dialer (tests, fault injection); default is
+	// net.DialTimeout("tcp", addr, WriteTimeout).
 	Dial func(addr string) (net.Conn, error)
 }
 
@@ -59,8 +78,24 @@ func (c *Config) withDefaults() Config {
 	if out.ReconnectMax < out.ReconnectMin {
 		out.ReconnectMax = 2 * time.Second
 	}
+	if out.WriteTimeout <= 0 {
+		out.WriteTimeout = 2 * time.Second
+	}
+	if out.HeartbeatInterval <= 0 {
+		out.HeartbeatInterval = time.Second
+	}
+	if out.HeartbeatTimeout < out.HeartbeatInterval {
+		out.HeartbeatTimeout = 3 * out.HeartbeatInterval
+	}
+	if out.BreakerThreshold <= 0 {
+		out.BreakerThreshold = 5
+	}
+	if out.BreakerCooldown <= 0 {
+		out.BreakerCooldown = time.Second
+	}
 	if out.Dial == nil {
-		out.Dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+		timeout := out.WriteTimeout
+		out.Dial = func(addr string) (net.Conn, error) { return net.DialTimeout("tcp", addr, timeout) }
 	}
 	return out
 }
@@ -72,10 +107,13 @@ type Stats struct {
 	Deduped          uint64 // duplicate deliveries suppressed by event ID
 	PeerReconnects   uint64 // successful peer connections after a drop
 	QueueDrops       uint64 // forwards dropped by the bounded peer queues
+	ForwardsShed     uint64 // forwards shed because a peer's breaker was not closed
+	BreakerTrips     uint64 // circuit-breaker transitions to open, summed over peers
 	RemoteDeliveries uint64 // matches sent back to a peer's subscriber
 	RemoteSubs       int    // remote registrations currently hosted here
 	Peers            int    // configured peer links
 	PeersConnected   int    // peer links currently established
+	PeersOpen        int    // peer links whose breaker is currently open or half-open
 }
 
 // Node federates a local broker with its peers. It implements
@@ -102,6 +140,7 @@ type Node struct {
 	ctrDeduped    atomic.Uint64
 	ctrReconnects atomic.Uint64
 	ctrQueueDrops atomic.Uint64
+	ctrShed       atomic.Uint64
 	ctrRemoteDel  atomic.Uint64
 	remoteSubs    atomic.Int64
 }
@@ -198,8 +237,14 @@ func (n *Node) Publish(e *event.Event) error {
 			continue
 		}
 		if p := n.peers[owner]; p != nil {
-			p.enqueue(ev)
-			n.ctrForwarded.Add(1)
+			if p.enqueue(ev) {
+				n.ctrForwarded.Add(1)
+			} else {
+				// The peer's breaker is open (or probing): shed now rather
+				// than queue toward a dead link. Never silent — counted and
+				// exported.
+				n.ctrShed.Add(1)
+			}
 		}
 	}
 	return nil
@@ -336,6 +381,9 @@ func (n *Node) ServePeer(conn net.Conn, hello *broker.Frame) {
 	write := func(f *broker.Frame) error {
 		writeMu.Lock()
 		defer writeMu.Unlock()
+		// Bounded write: a peer that stops reading cannot wedge the
+		// delivery forwarders sharing this connection.
+		conn.SetWriteDeadline(time.Now().Add(n.cfg.WriteTimeout))
 		return broker.WriteFrame(conn, f)
 	}
 
@@ -352,11 +400,18 @@ func (n *Node) ServePeer(conn net.Conn, hello *broker.Frame) {
 	}()
 
 	for {
+		// The peer pings every HeartbeatInterval; a link silent past the
+		// heartbeat timeout is dead (stall or partition), and the deadline
+		// frees this goroutine instead of leaking it.
+		conn.SetReadDeadline(time.Now().Add(n.cfg.HeartbeatTimeout))
 		f, err := broker.ReadFrame(conn)
 		if err != nil {
 			return
 		}
 		switch f.Type {
+		case broker.FramePing:
+			write(&broker.Frame{Type: broker.FramePong, NodeID: n.id})
+
 		case broker.FrameForward:
 			if f.Event == nil {
 				continue
@@ -414,11 +469,16 @@ func (n *Node) ServePeer(conn net.Conn, hello *broker.Frame) {
 
 // Stats returns a snapshot of the federation counters.
 func (n *Node) Stats() Stats {
-	connected := 0
+	connected, open := 0, 0
+	var trips uint64
 	for _, p := range n.peers {
 		if p.isConnected() {
 			connected++
 		}
+		if p.bk.State() != BreakerClosed {
+			open++
+		}
+		trips += p.bk.Trips()
 	}
 	return Stats{
 		Forwarded:        n.ctrForwarded.Load(),
@@ -426,11 +486,25 @@ func (n *Node) Stats() Stats {
 		Deduped:          n.ctrDeduped.Load(),
 		PeerReconnects:   n.ctrReconnects.Load(),
 		QueueDrops:       n.ctrQueueDrops.Load(),
+		ForwardsShed:     n.ctrShed.Load(),
+		BreakerTrips:     trips,
 		RemoteDeliveries: n.ctrRemoteDel.Load(),
 		RemoteSubs:       int(n.remoteSubs.Load()),
 		Peers:            len(n.peers),
 		PeersConnected:   connected,
+		PeersOpen:        open,
 	}
+}
+
+// PeerStates returns every peer link's circuit-breaker position, keyed by
+// peer ID. Used by tests and operational drills to assert recovery (all
+// breakers back to closed after a partition heals).
+func (n *Node) PeerStates() map[string]BreakerState {
+	out := make(map[string]BreakerState, len(n.peers))
+	for id, p := range n.peers {
+		out[id] = p.bk.State()
+	}
+	return out
 }
 
 // WriteMetrics implements broker.Collector, appending the cluster counter
@@ -445,6 +519,8 @@ func (n *Node) WriteMetrics(w io.Writer) {
 	broker.WriteCounter(w, "thematicep_cluster_deduped_total", "Duplicate deliveries suppressed by event ID.", st.Deduped)
 	broker.WriteCounter(w, "thematicep_cluster_peer_reconnects_total", "Peer links re-established after a drop.", st.PeerReconnects)
 	broker.WriteCounter(w, "thematicep_cluster_peer_queue_drops_total", "Forwards dropped by the bounded peer queues.", st.QueueDrops)
+	broker.WriteCounter(w, "thematicep_cluster_forwards_shed_total", "Forwards shed because a peer circuit breaker was not closed.", st.ForwardsShed)
+	broker.WriteCounter(w, "thematicep_cluster_breaker_trips_total", "Peer circuit-breaker transitions to open.", st.BreakerTrips)
 	broker.WriteCounter(w, "thematicep_cluster_remote_deliveries_total", "Matches streamed back to peer subscribers.", st.RemoteDeliveries)
 	broker.WriteGauge(w, "thematicep_cluster_remote_subscriptions", "Remote registrations currently hosted.", st.RemoteSubs)
 	broker.WriteGauge(w, "thematicep_cluster_peers", "Configured peer links.", st.Peers)
@@ -460,6 +536,11 @@ func (n *Node) WriteMetrics(w io.Writer) {
 		broker.WriteGaugeVec(w, "thematicep_cluster_forward_queue_depth",
 			"Forwards waiting in a peer link's bounded queue.",
 			[]telemetry.Label{{Key: "peer", Value: id}}, float64(len(p.queue)))
+	}
+	for _, id := range ids {
+		broker.WriteGaugeVec(w, "thematicep_cluster_breaker_state",
+			"Peer circuit-breaker position (0 closed, 1 half-open, 2 open).",
+			[]telemetry.Label{{Key: "peer", Value: id}}, float64(n.peers[id].bk.State()))
 	}
 	for _, id := range ids {
 		n.peers[id].hop.WriteMetrics(w)

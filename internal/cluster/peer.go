@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"math/rand/v2"
 	"net"
 	"sync"
 	"time"
@@ -18,10 +19,16 @@ type forwardItem struct {
 }
 
 // peer is one outbound federation link. The run loop owns the connection:
-// it dials with exponential backoff, identifies itself with a hello frame,
-// reconciles remote subscription registrations, and drains the bounded
-// forward queue. Delivery frames for our remote registrations come back on
-// the same connection and are routed by a companion reader goroutine.
+// it dials with jittered exponential backoff gated by a circuit breaker,
+// identifies itself with a hello frame, reconciles remote subscription
+// registrations, exchanges heartbeats, and drains the bounded forward
+// queue. Delivery frames for our remote registrations come back on the
+// same connection and are routed by a companion reader goroutine.
+//
+// Every read and write on the link carries a deadline: writes are bounded
+// by Config.WriteTimeout and reads by Config.HeartbeatTimeout, so a
+// stalled TCP peer surfaces as a timed-out operation and a breaker
+// failure, never as a wedged goroutine.
 type peer struct {
 	n    *Node
 	id   string // peer node ID == its wire address
@@ -30,6 +37,12 @@ type peer struct {
 	queue chan forwardItem // bounded forwards; oldest dropped when full
 	nudge chan struct{}    // capacity 1: registration reconcile requests
 	done  chan struct{}
+
+	// bk gates dialing and sheds forwards while the peer is considered
+	// down. Success is recorded only when the peer proves liveness by
+	// sending a frame back, so a wedged-but-accepting TCP peer still
+	// accumulates failures.
+	bk *breaker
 
 	// hop records enqueue-to-wire latency for this link; the peer label
 	// keeps every link a distinct series of one shared family.
@@ -49,21 +62,28 @@ func newPeer(n *Node, addr string) *peer {
 		queue: make(chan forwardItem, n.cfg.ForwardQueue),
 		nudge: make(chan struct{}, 1),
 		done:  make(chan struct{}),
+		bk:    newBreaker(n.cfg.BreakerThreshold, n.cfg.BreakerCooldown, nil),
 		hop: telemetry.NewHistogram("thematicep_cluster_hop_seconds",
 			"Forward hop latency per peer link (enqueue to wire write).",
 			telemetry.LatencyBuckets(), telemetry.Label{Key: "peer", Value: addr}),
 	}
 }
 
-// enqueue offers an event to the forward queue, dropping the oldest queued
-// event when full (the broker's overflow policy: publishers never block on
-// a slow or dead peer).
-func (p *peer) enqueue(e *event.Event) {
+// enqueue offers an event to the forward queue and reports whether it was
+// accepted. While the peer's breaker is not closed the forward is shed
+// immediately (the peer is down; queueing would only delay the drop and
+// hold memory), otherwise the oldest queued event is dropped when the
+// queue is full (the broker's overflow policy: publishers never block on a
+// slow or dead peer).
+func (p *peer) enqueue(e *event.Event) bool {
+	if p.bk.State() != BreakerClosed {
+		return false
+	}
 	item := forwardItem{ev: e, enq: p.n.broker.Clock().Now()}
 	for {
 		select {
 		case p.queue <- item:
-			return
+			return true
 		default:
 			select {
 			case <-p.queue:
@@ -128,6 +148,13 @@ func (p *peer) isConnected() bool {
 	return p.connected
 }
 
+// writeFrame writes one frame with the link write deadline armed, so a
+// stalled peer produces a timeout error instead of blocking the run loop.
+func (p *peer) writeFrame(conn net.Conn, f *broker.Frame) error {
+	conn.SetWriteDeadline(time.Now().Add(p.n.cfg.WriteTimeout))
+	return broker.WriteFrame(conn, f)
+}
+
 // sleep waits d or until the peer stops; it reports whether to continue.
 func (p *peer) sleep(d time.Duration) bool {
 	t := time.NewTimer(d)
@@ -140,6 +167,34 @@ func (p *peer) sleep(d time.Duration) bool {
 	}
 }
 
+// sleepBackoff sleeps a full-jitter draw from (0, backoff] and doubles the
+// ceiling toward ReconnectMax. Full jitter desynchronizes redials: when a
+// restarted shard comes back, its peers reconnect spread over the backoff
+// window instead of as a thundering herd of simultaneous dials.
+func (p *peer) sleepBackoff(backoff *time.Duration) bool {
+	d := time.Duration(rand.Int64N(int64(*backoff))) + 1
+	if !p.sleep(d) {
+		return false
+	}
+	if *backoff *= 2; *backoff > p.n.cfg.ReconnectMax {
+		*backoff = p.n.cfg.ReconnectMax
+	}
+	return true
+}
+
+// breakerWait is how long the run loop dozes between Allow polls while the
+// breaker is open: an eighth of the cooldown, clamped to [5ms, 250ms].
+func (p *peer) breakerWait() time.Duration {
+	d := p.n.cfg.BreakerCooldown / 8
+	if d < 5*time.Millisecond {
+		d = 5 * time.Millisecond
+	}
+	if d > 250*time.Millisecond {
+		d = 250 * time.Millisecond
+	}
+	return d
+}
+
 func (p *peer) run() {
 	backoff := p.n.cfg.ReconnectMin
 	everConnected := false
@@ -150,23 +205,30 @@ func (p *peer) run() {
 		default:
 		}
 
-		conn, err := p.n.cfg.Dial(p.addr)
-		if err != nil {
-			if !p.sleep(backoff) {
+		if !p.bk.Allow() {
+			if !p.sleep(p.breakerWait()) {
 				return
-			}
-			if backoff *= 2; backoff > p.n.cfg.ReconnectMax {
-				backoff = p.n.cfg.ReconnectMax
 			}
 			continue
 		}
-		if err := broker.WriteFrame(conn, &broker.Frame{Type: broker.FrameHello, NodeID: p.n.id}); err != nil {
-			conn.Close()
-			if !p.sleep(backoff) {
+
+		conn, err := p.n.cfg.Dial(p.addr)
+		if err != nil {
+			p.bk.Failure()
+			if !p.sleepBackoff(&backoff) {
 				return
 			}
-			if backoff *= 2; backoff > p.n.cfg.ReconnectMax {
-				backoff = p.n.cfg.ReconnectMax
+			continue
+		}
+		// Hello, then an immediate ping: the breaker closes only when the
+		// peer answers (first frame received), so an accepting-but-dead
+		// endpoint cannot reset the failure streak by merely accepting.
+		if p.writeFrame(conn, &broker.Frame{Type: broker.FrameHello, NodeID: p.n.id}) != nil ||
+			p.writeFrame(conn, &broker.Frame{Type: broker.FramePing, NodeID: p.n.id}) != nil {
+			conn.Close()
+			p.bk.Failure()
+			if !p.sleepBackoff(&backoff) {
+				return
 			}
 			continue
 		}
@@ -178,17 +240,28 @@ func (p *peer) run() {
 		p.setConn(conn)
 
 		// Reader: deliveries for our remote registrations flow back on
-		// this connection. readErr doubles as the link-down signal.
+		// this connection. readErr doubles as the link-down signal. Each
+		// read is bounded by the heartbeat timeout — the peer's pongs (or
+		// its traffic) must keep arriving or the link is declared dead.
 		readErr := make(chan struct{})
 		go func() {
 			defer close(readErr)
+			first := true
 			for {
+				conn.SetReadDeadline(time.Now().Add(p.n.cfg.HeartbeatTimeout))
 				f, err := broker.ReadFrame(conn)
 				if err != nil {
 					return
 				}
-				if f.Type == broker.FrameDelivery {
+				if first {
+					first = false
+					p.bk.Success() // liveness proven: half-open probe passes
+				}
+				switch f.Type {
+				case broker.FrameDelivery:
 					p.n.handleRemoteDelivery(f)
+				case broker.FramePong:
+					// Liveness only; the refreshed read deadline is the effect.
 				}
 			}
 		}()
@@ -197,20 +270,25 @@ func (p *peer) run() {
 		sent := make(map[string]bool)
 		p.requestReconcile()
 
-		alive := true
+		hb := time.NewTicker(p.n.cfg.HeartbeatInterval)
+		alive, linkFailed := true, false
 		for alive {
 			select {
 			case <-p.done:
 				alive = false
 			case <-readErr:
-				alive = false
+				alive, linkFailed = false, true
+			case <-hb.C:
+				if p.writeFrame(conn, &broker.Frame{Type: broker.FramePing, NodeID: p.n.id}) != nil {
+					alive, linkFailed = false, true
+				}
 			case <-p.nudge:
 				if p.reconcile(conn, sent) != nil {
-					alive = false
+					alive, linkFailed = false, true
 				}
 			case item := <-p.queue:
-				if broker.WriteFrame(conn, &broker.Frame{Type: broker.FrameForward, Event: item.ev, NodeID: p.n.id}) != nil {
-					alive = false
+				if p.writeFrame(conn, &broker.Frame{Type: broker.FrameForward, Event: item.ev, NodeID: p.n.id}) != nil {
+					alive, linkFailed = false, true
 					break
 				}
 				// The hop is done once the frame is on the wire; attach it
@@ -221,9 +299,18 @@ func (p *peer) run() {
 				p.n.broker.Tracer().AppendSpan(item.ev.ID, "forward:"+p.id, item.enq, hop)
 			}
 		}
+		hb.Stop()
 		p.setConn(nil)
 		conn.Close()
 		<-readErr
+		if linkFailed {
+			select {
+			case <-p.done:
+				// Shutting down: the severed link is ours, not a peer fault.
+			default:
+				p.bk.Failure()
+			}
+		}
 
 		select {
 		case <-p.done:
@@ -243,7 +330,7 @@ func (p *peer) reconcile(conn net.Conn, sent map[string]bool) error {
 		if sent[id] {
 			continue
 		}
-		if err := broker.WriteFrame(conn, &broker.Frame{Type: broker.FrameSubscribe, Subscription: sub, NodeID: p.n.id}); err != nil {
+		if err := p.writeFrame(conn, &broker.Frame{Type: broker.FrameSubscribe, Subscription: sub, NodeID: p.n.id}); err != nil {
 			return err
 		}
 		sent[id] = true
@@ -252,7 +339,7 @@ func (p *peer) reconcile(conn net.Conn, sent map[string]bool) error {
 		if _, ok := desired[id]; ok {
 			continue
 		}
-		if err := broker.WriteFrame(conn, &broker.Frame{Type: broker.FrameUnsubscribe, SubscriptionID: id, NodeID: p.n.id}); err != nil {
+		if err := p.writeFrame(conn, &broker.Frame{Type: broker.FrameUnsubscribe, SubscriptionID: id, NodeID: p.n.id}); err != nil {
 			return err
 		}
 		delete(sent, id)

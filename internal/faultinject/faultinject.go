@@ -1,0 +1,299 @@
+// Package faultinject wraps net.Conn and net.Listener values with a
+// deterministic, seeded fault injector: injected latency, write stalls,
+// partial writes, mid-frame connection resets, byte corruption, and whole
+// network partitions. It exists so the federation layer's failure handling
+// (deadlines, heartbeats, circuit breakers, reconnect backoff) can be
+// exercised by tests and soak runs against realistic network messiness
+// without any external tooling.
+//
+// All randomness flows through one seeded PRNG, so a given seed replays
+// the same fault sequence for the same sequence of I/O operations. Faults
+// are injected on the wrapped side only; deadlines set by the application
+// pass through to the underlying connection, which is what turns an
+// injected stall into a visible timeout instead of a wedged goroutine.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrPartitioned is returned by dials and I/O on injected conns while the
+// injector's partition is engaged.
+var ErrPartitioned = errors.New("faultinject: network partitioned")
+
+// Config selects which faults to inject and how often. Probabilities are
+// per I/O operation in [0, 1]; zero values disable a fault class.
+type Config struct {
+	// Seed makes the fault sequence reproducible. Two injectors with the
+	// same seed and the same operation sequence inject the same faults.
+	Seed int64
+	// LatencyMin/LatencyMax bound a uniform per-operation delay injected
+	// before reads and writes (both zero disables latency injection).
+	LatencyMin time.Duration
+	LatencyMax time.Duration
+	// StallProb is the chance a write stalls for StallFor before being
+	// attempted — long enough stalls trip the writer's deadline.
+	StallProb float64
+	StallFor  time.Duration
+	// PartialProb is the chance a write delivers only a prefix of its
+	// payload and then fails, simulating a connection dying mid-frame.
+	PartialProb float64
+	// ResetProb is the chance an operation closes the underlying
+	// connection and fails, simulating a peer reset mid-stream.
+	ResetProb float64
+	// CorruptProb is the chance one byte of a read or written payload is
+	// flipped, simulating wire corruption. Frame decoding downstream is
+	// expected to reject the damage and drop the link.
+	CorruptProb float64
+}
+
+// Stats counts injected faults by class; all values are cumulative.
+type Stats struct {
+	Latencies  uint64 // operations delayed
+	Stalls     uint64 // writes stalled for StallFor
+	Partials   uint64 // writes truncated mid-payload
+	Resets     uint64 // connections reset mid-operation
+	Corruptions uint64 // payload bytes flipped
+	Partitioned uint64 // operations refused by an engaged partition
+}
+
+// Injector injects the configured faults into every connection it wraps.
+// It is safe for concurrent use; the partition switch may be toggled while
+// traffic is flowing.
+type Injector struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	partitioned atomic.Bool
+
+	latencies   atomic.Uint64
+	stalls      atomic.Uint64
+	partials    atomic.Uint64
+	resets      atomic.Uint64
+	corruptions atomic.Uint64
+	refusals    atomic.Uint64
+}
+
+// New builds an injector from cfg. The zero Config injects nothing (but
+// the partition switch still works), which makes an always-present
+// injector cheap to wire in.
+func New(cfg Config) *Injector {
+	return &Injector{
+		cfg: cfg,
+		rng: rand.New(rand.NewPCG(uint64(cfg.Seed), uint64(cfg.Seed)^0x9e3779b97f4a7c15)),
+	}
+}
+
+// Partition engages (true) or heals (false) a full network partition:
+// while engaged, every dial and every operation on a wrapped connection
+// fails with ErrPartitioned. Healing lets subsequent dials through; the
+// application's reconnect machinery is responsible for recovery.
+func (i *Injector) Partition(on bool) { i.partitioned.Store(on) }
+
+// Partitioned reports whether the partition is engaged.
+func (i *Injector) Partitioned() bool { return i.partitioned.Load() }
+
+// Stats returns a snapshot of the injected-fault counters.
+func (i *Injector) Stats() Stats {
+	return Stats{
+		Latencies:   i.latencies.Load(),
+		Stalls:      i.stalls.Load(),
+		Partials:    i.partials.Load(),
+		Resets:      i.resets.Load(),
+		Corruptions: i.corruptions.Load(),
+		Partitioned: i.refusals.Load(),
+	}
+}
+
+// roll draws from the shared PRNG; a single lock keeps the sequence
+// deterministic for a given seed and operation order.
+func (i *Injector) roll() float64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.rng.Float64()
+}
+
+func (i *Injector) latency() time.Duration {
+	if i.cfg.LatencyMax <= 0 {
+		return 0
+	}
+	span := i.cfg.LatencyMax - i.cfg.LatencyMin
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if span <= 0 {
+		return i.cfg.LatencyMin
+	}
+	return i.cfg.LatencyMin + time.Duration(i.rng.Int64N(int64(span)))
+}
+
+// pick returns a random index in [0, n); used to choose the corrupted byte.
+func (i *Injector) pick(n int) int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return int(i.rng.Int64N(int64(n)))
+}
+
+// Wrap returns c with the injector's faults applied to its reads and
+// writes. Deadlines and addresses pass through to c.
+func (i *Injector) Wrap(c net.Conn) net.Conn { return &conn{Conn: c, inj: i} }
+
+// Dialer wraps a dial function: dials fail while partitioned, and
+// successful connections are fault-wrapped.
+func (i *Injector) Dialer(dial func(addr string) (net.Conn, error)) func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		if i.partitioned.Load() {
+			i.refusals.Add(1)
+			return nil, fmt.Errorf("dial %s: %w", addr, ErrPartitioned)
+		}
+		c, err := dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		return i.Wrap(c), nil
+	}
+}
+
+// Listener wraps ln so every accepted connection is fault-wrapped.
+func (i *Injector) Listener(ln net.Listener) net.Listener { return &listener{Listener: ln, inj: i} }
+
+type listener struct {
+	net.Listener
+	inj *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.inj.Wrap(c), nil
+}
+
+// conn applies the injector's faults around an underlying connection.
+type conn struct {
+	net.Conn
+	inj *Injector
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	i := c.inj
+	if i.partitioned.Load() {
+		i.refusals.Add(1)
+		c.Conn.Close()
+		return 0, ErrPartitioned
+	}
+	if d := i.latency(); d > 0 {
+		i.latencies.Add(1)
+		time.Sleep(d)
+	}
+	if i.cfg.ResetProb > 0 && i.roll() < i.cfg.ResetProb {
+		i.resets.Add(1)
+		c.Conn.Close()
+		return 0, errors.New("faultinject: connection reset")
+	}
+	n, err := c.Conn.Read(p)
+	if n > 0 && i.cfg.CorruptProb > 0 && i.roll() < i.cfg.CorruptProb {
+		i.corruptions.Add(1)
+		p[i.pick(n)] ^= 0xff
+	}
+	return n, err
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	i := c.inj
+	if i.partitioned.Load() {
+		i.refusals.Add(1)
+		c.Conn.Close()
+		return 0, ErrPartitioned
+	}
+	if d := i.latency(); d > 0 {
+		i.latencies.Add(1)
+		time.Sleep(d)
+	}
+	if i.cfg.StallProb > 0 && i.roll() < i.cfg.StallProb {
+		// The stall happens before the underlying write, so a write
+		// deadline set by the caller fires on the attempt that follows.
+		i.stalls.Add(1)
+		time.Sleep(i.cfg.StallFor)
+	}
+	if i.cfg.ResetProb > 0 && i.roll() < i.cfg.ResetProb {
+		i.resets.Add(1)
+		c.Conn.Close()
+		return 0, errors.New("faultinject: connection reset")
+	}
+	if len(p) > 1 && i.cfg.PartialProb > 0 && i.roll() < i.cfg.PartialProb {
+		i.partials.Add(1)
+		n, err := c.Conn.Write(p[:len(p)/2])
+		c.Conn.Close()
+		if err != nil {
+			return n, err
+		}
+		return n, errors.New("faultinject: partial write")
+	}
+	if i.cfg.CorruptProb > 0 && i.roll() < i.cfg.CorruptProb {
+		i.corruptions.Add(1)
+		cp := make([]byte, len(p))
+		copy(cp, p)
+		if len(cp) > 0 {
+			cp[i.pick(len(cp))] ^= 0xff
+		}
+		return c.Conn.Write(cp)
+	}
+	return c.Conn.Write(p)
+}
+
+// ParseSpec parses a comma-separated k=v fault specification, the format
+// of thematicd's -chaos flag, e.g.
+//
+//	seed=42,latency=2ms,stall=0.01,stallfor=250ms,partial=0.005,reset=0.005,corrupt=0.01
+//
+// Keys: seed (int), latency (max duration; latencymin optionally bounds it
+// below), stall/partial/reset/corrupt (probabilities), stallfor (duration).
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	cfg.StallFor = 250 * time.Millisecond
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return cfg, fmt.Errorf("faultinject: bad spec entry %q (want key=value)", kv)
+		}
+		var err error
+		switch strings.ToLower(strings.TrimSpace(k)) {
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+		case "latency":
+			cfg.LatencyMax, err = time.ParseDuration(strings.TrimSpace(v))
+		case "latencymin":
+			cfg.LatencyMin, err = time.ParseDuration(strings.TrimSpace(v))
+		case "stall":
+			cfg.StallProb, err = strconv.ParseFloat(strings.TrimSpace(v), 64)
+		case "stallfor":
+			cfg.StallFor, err = time.ParseDuration(strings.TrimSpace(v))
+		case "partial":
+			cfg.PartialProb, err = strconv.ParseFloat(strings.TrimSpace(v), 64)
+		case "reset":
+			cfg.ResetProb, err = strconv.ParseFloat(strings.TrimSpace(v), 64)
+		case "corrupt":
+			cfg.CorruptProb, err = strconv.ParseFloat(strings.TrimSpace(v), 64)
+		default:
+			return cfg, fmt.Errorf("faultinject: unknown spec key %q", k)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("faultinject: spec %q: %w", kv, err)
+		}
+	}
+	return cfg, nil
+}

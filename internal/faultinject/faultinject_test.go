@@ -1,0 +1,188 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipe returns both ends of an in-memory connection with faults injected
+// on the first end.
+func pipe(i *Injector) (net.Conn, net.Conn) {
+	a, b := net.Pipe()
+	return i.Wrap(a), b
+}
+
+// TestDeterministicSequence: two injectors with the same seed make the
+// same fault decisions for the same operation sequence.
+func TestDeterministicSequence(t *testing.T) {
+	sequence := func(seed int64) []bool {
+		i := New(Config{Seed: seed, ResetProb: 0.5})
+		out := make([]bool, 64)
+		for k := range out {
+			out[k] = i.roll() < i.cfg.ResetProb
+		}
+		return out
+	}
+	a, b := sequence(7), sequence(7)
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("same seed diverged at draw %d", k)
+		}
+	}
+	if c := sequence(8); func() bool {
+		for k := range a {
+			if a[k] != c[k] {
+				return false
+			}
+		}
+		return true
+	}() {
+		t.Error("different seeds produced an identical 64-draw sequence")
+	}
+}
+
+// TestCorruptionFlipsBytes: with CorruptProb 1 every write arrives
+// damaged, and the original buffer is left untouched.
+func TestCorruptionFlipsBytes(t *testing.T) {
+	i := New(Config{Seed: 1, CorruptProb: 1})
+	a, b := pipe(i)
+	defer a.Close()
+	defer b.Close()
+
+	payload := []byte("hello, federation")
+	orig := append([]byte(nil), payload...)
+	go a.Write(payload)
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, orig) {
+		t.Error("payload arrived uncorrupted with CorruptProb=1")
+	}
+	if !bytes.Equal(payload, orig) {
+		t.Error("corruption mutated the caller's buffer")
+	}
+	if i.Stats().Corruptions == 0 {
+		t.Error("corruption not counted")
+	}
+}
+
+// TestPartitionFailsIO: an engaged partition refuses dials and fails
+// reads/writes on live connections; healing lets dials through again.
+func TestPartitionFailsIO(t *testing.T) {
+	i := New(Config{Seed: 1})
+	a, b := pipe(i)
+	defer a.Close()
+	defer b.Close()
+
+	i.Partition(true)
+	if _, err := a.Write([]byte("x")); !errors.Is(err, ErrPartitioned) {
+		t.Errorf("write during partition: err = %v, want ErrPartitioned", err)
+	}
+	dial := i.Dialer(func(addr string) (net.Conn, error) {
+		t.Fatal("inner dial reached during partition")
+		return nil, nil
+	})
+	if _, err := dial("example:1"); !errors.Is(err, ErrPartitioned) {
+		t.Errorf("dial during partition: err = %v, want ErrPartitioned", err)
+	}
+
+	i.Partition(false)
+	dialed := false
+	dial = i.Dialer(func(addr string) (net.Conn, error) {
+		dialed = true
+		c, _ := net.Pipe()
+		return c, nil
+	})
+	if _, err := dial("example:1"); err != nil || !dialed {
+		t.Errorf("dial after heal: err = %v, dialed = %v", err, dialed)
+	}
+	if i.Stats().Partitioned < 2 {
+		t.Errorf("partition refusals = %d, want >= 2", i.Stats().Partitioned)
+	}
+}
+
+// TestStallRespectsWriteDeadline: a stalled write against a deadline-armed
+// conn fails with a timeout instead of blocking for the stall duration's
+// underlying write.
+func TestStallRespectsWriteDeadline(t *testing.T) {
+	i := New(Config{Seed: 1, StallProb: 1, StallFor: 50 * time.Millisecond})
+	a, b := pipe(i)
+	defer a.Close()
+	defer b.Close()
+
+	// Nobody reads b, so the underlying pipe write can only end via the
+	// deadline, which the stall has already burned past.
+	a.SetWriteDeadline(time.Now().Add(10 * time.Millisecond))
+	start := time.Now()
+	_, err := a.Write([]byte("stalled"))
+	if err == nil {
+		t.Fatal("stalled write succeeded against an unread pipe")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Errorf("err = %v, want a net timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("stalled write took %v, deadline did not bound it", elapsed)
+	}
+	if i.Stats().Stalls == 0 {
+		t.Error("stall not counted")
+	}
+}
+
+// TestPartialWriteTruncates: a partial fault delivers a strict prefix and
+// reports an error so framing layers see a broken link, not silence.
+func TestPartialWriteTruncates(t *testing.T) {
+	i := New(Config{Seed: 1, PartialProb: 1})
+	a, b := pipe(i)
+	defer a.Close()
+	defer b.Close()
+
+	payload := []byte("0123456789abcdef")
+	errCh := make(chan error, 1)
+	var wrote int
+	go func() {
+		n, err := a.Write(payload)
+		wrote = n
+		errCh <- err
+	}()
+	got := make([]byte, len(payload)/2)
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err == nil {
+		t.Error("partial write reported success")
+	}
+	if wrote >= len(payload) {
+		t.Errorf("partial write reported %d bytes, want a strict prefix", wrote)
+	}
+	if !bytes.Equal(got, payload[:len(got)]) {
+		t.Error("prefix delivered by partial write is not the payload prefix")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("seed=42, latency=2ms, stall=0.01, stallfor=100ms, partial=0.005, reset=0.005, corrupt=0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 42 || cfg.LatencyMax != 2*time.Millisecond || cfg.StallProb != 0.01 ||
+		cfg.StallFor != 100*time.Millisecond || cfg.PartialProb != 0.005 ||
+		cfg.ResetProb != 0.005 || cfg.CorruptProb != 0.01 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if _, err := ParseSpec("bogus=1"); err == nil {
+		t.Error("unknown key accepted")
+	}
+	if _, err := ParseSpec("seed"); err == nil {
+		t.Error("missing value accepted")
+	}
+	if cfg, err := ParseSpec(""); err != nil || cfg.Seed != 0 {
+		t.Errorf("empty spec: cfg = %+v, err = %v", cfg, err)
+	}
+}
