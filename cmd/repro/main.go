@@ -44,7 +44,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: all, fig7, fig8, fig9, fig10, baseline, headline, significance, table1, prior, sweep, topk, ablation, tagging, shape, diag, pruning")
+		exp      = fs.String("exp", "all", "experiment: all, fig7, fig8, fig9, fig10, baseline, headline, significance, table1, prior, sweep, topk, ablation, tagging, shape, diag, pruning, burst")
 		full     = fs.Bool("full", false, "paper-scale workload and grid (slow)")
 		seed     = fs.Int64("seed", 7, "master seed")
 		csvdir   = fs.String("csvdir", "", "directory for CSV output (optional)")
@@ -84,6 +84,7 @@ func run(args []string) error {
 		"diag":         runDiag,
 		"significance": runSignificance,
 		"pruning":      runPruning,
+		"burst":        runBurst,
 	}
 	if *exp == "all" {
 		for _, name := range []string{"baseline", "fig7", "headline", "significance", "table1", "prior", "sweep", "topk", "ablation", "tagging", "pruning"} {

@@ -36,6 +36,7 @@ import (
 	"thematicep/internal/faultinject"
 	"thematicep/internal/index"
 	"thematicep/internal/matcher"
+	"thematicep/internal/query"
 	"thematicep/internal/semantics"
 	"thematicep/internal/vocab"
 )
@@ -66,6 +67,7 @@ func run(args []string) error {
 		drainT    = fs.Duration("drain-timeout", 5*time.Second, "max time to flush subscriber queues on SIGTERM before closing anyway")
 		shedMark  = fs.Int("shed-watermark", 0, "shed publishes with an overload error when the match pipeline is saturated and this many are in flight (0 disables)")
 		chaos     = fs.String("chaos", "", "fault injection on peer links, e.g. seed=42,latency=2ms,stall=0.01,stallfor=250ms,reset=0.005,corrupt=0.01 (testing only)")
+		queryTick = fs.Duration("query-tick", time.Second, "continuous-query flush interval: quiet streams fire pending negation/aggregate windows this often (<=0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -135,6 +137,23 @@ func run(args []string) error {
 		collectors = append(collectors, node)
 	}
 
+	// The continuous-query engine runs over the clustered backend when
+	// federated (so a registered query sees the same deliveries a
+	// subscriber would) and hooks the broker's drain so pending
+	// negation/aggregate windows fire before shutdown.
+	var backend broker.Backend = b
+	if node != nil {
+		backend = node
+	}
+	eng := query.New(backend,
+		query.WithFlushInterval(*queryTick),
+		query.WithTracer(b.Tracer()),
+	)
+	defer eng.Close()
+	srv.SetQueryRegistrar(eng)
+	b.OnDrain(eng.Drain)
+	collectors = append(collectors, eng)
+
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		return err
@@ -194,6 +213,10 @@ func run(args []string) error {
 		cs := node.Stats()
 		fmt.Fprintf(os.Stderr, "federation: forwarded=%d shed=%d received=%d deduped=%d reconnects=%d queueDrops=%d breakerTrips=%d\n",
 			cs.Forwarded, cs.ForwardsShed, cs.Received, cs.Deduped, cs.PeerReconnects, cs.QueueDrops, cs.BreakerTrips)
+	}
+	for _, qs := range eng.Stats() {
+		fmt.Fprintf(os.Stderr, "query %s (%s): fed=%d deduped=%d detections=%d dropped=%d window=%d\n",
+			qs.Name, qs.Kind, qs.Fed, qs.Deduped, qs.Detections, qs.Dropped, qs.Occupancy)
 	}
 	return nil
 }

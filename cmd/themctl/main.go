@@ -4,6 +4,7 @@
 //
 //	themctl publish -addr 127.0.0.1:7070 '<event>'
 //	themctl subscribe -addr 127.0.0.1:7070 [-replay] '<subscription>'
+//	themctl query -addr 127.0.0.1:7070 -name surge -kind count -window 30s -min 3 '<subscription>'
 //	themctl match '<subscription>' '<event>'
 //	themctl stats -metrics http://127.0.0.1:9090 [-lint] [-traces] [-raw]
 //
@@ -12,8 +13,12 @@
 //	themctl publish '({energy}, {type: increased energy consumption event, device: computer})'
 //	themctl subscribe '({power}, {type = increased energy usage event~, device~ = laptop~})'
 //
-// subscribe streams deliveries to stdout until interrupted. match runs a
-// local one-shot match (no broker needed) and prints the top-1 mapping.
+// subscribe streams deliveries to stdout until interrupted. query
+// registers a continuous query (count, sequence, conjunction, negation)
+// fed by the subscription's matches and streams its detections; on a
+// clustered broker both follow redirects to the owning theme shard.
+// match runs a local one-shot match (no broker needed) and prints the
+// top-1 mapping.
 // stats scrapes a daemon's metrics endpoint and prints pipeline counters,
 // latency quantiles, cache hit rates, and recent pipeline traces.
 package main
@@ -24,7 +29,9 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
+	"time"
 
 	"thematicep/internal/broker"
 	"thematicep/internal/corpus"
@@ -52,10 +59,12 @@ func run(args []string) error {
 		return runSubscribe(args[1:])
 	case "match":
 		return runMatch(args[1:])
+	case "query":
+		return runQuery(args[1:])
 	case "stats":
 		return runStats(args[1:])
 	default:
-		return fmt.Errorf("unknown command %q (want publish, subscribe, match, or stats)", args[0])
+		return fmt.Errorf("unknown command %q (want publish, subscribe, query, match, or stats)", args[0])
 	}
 }
 
@@ -146,6 +155,115 @@ func runSubscribe(args []string) error {
 			fmt.Printf("[%s score=%.3f] %s\n", tag, d.Score, d.Event)
 		case <-sig:
 			return nil
+		}
+	}
+}
+
+// stepList collects repeated -step flags as attr or attr=value pairs.
+type stepList []broker.QueryStep
+
+func (s *stepList) String() string {
+	var parts []string
+	for _, st := range *s {
+		if st.Value == "" {
+			parts = append(parts, st.Attr)
+		} else {
+			parts = append(parts, st.Attr+"="+st.Value)
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func (s *stepList) Set(v string) error {
+	attr, value, _ := strings.Cut(v, "=")
+	attr = strings.TrimSpace(attr)
+	if attr == "" {
+		return fmt.Errorf("step needs an attribute (attr or attr=value)")
+	}
+	*s = append(*s, broker.QueryStep{Attr: attr, Value: strings.TrimSpace(value)})
+	return nil
+}
+
+func runQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "broker address")
+	name := fs.String("name", "", "query name (must be unique on the broker)")
+	kind := fs.String("kind", "count", "pattern kind: count, sequence, conjunction, negation")
+	window := fs.Duration("window", 30*time.Second, "pattern window")
+	min := fs.Float64("min", 1, "count: minimum expected events in the window")
+	threshold := fs.Float64("threshold", 0, "sequence/conjunction/negation: minimum composite probability")
+	timeout := fs.Duration("timeout", 0, "timeout for dial and the register handshake; detections still stream indefinitely (0 = wait forever)")
+	var steps stepList
+	fs.Var(&steps, "step", "pattern step, attr or attr=value (repeatable; order matters for sequence; negation takes trigger then absent)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("query: -name is required")
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("query: exactly one subscription argument expected (the feeding subscription)")
+	}
+	sub, err := event.ParseSubscription(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	spec := &broker.QuerySpec{
+		Name:         *name,
+		Kind:         *kind,
+		Subscription: sub,
+		Window:       *window,
+		Threshold:    *threshold,
+		MinExpected:  *min,
+		Steps:        steps,
+	}
+
+	// A clustered broker redirects queries whose theme shard it does not
+	// own, exactly like subscriptions: the window state must live on the
+	// owning broker. Follow the redirect with bounded hops.
+	target := *addr
+	var (
+		c          *broker.Client
+		id         string
+		detections <-chan broker.QueryDetection
+	)
+	for hop := 0; ; hop++ {
+		c, err = broker.DialTimeout(target, *timeout)
+		if err != nil {
+			return err
+		}
+		id, detections, err = c.Query(spec)
+		var redirect *broker.RedirectError
+		if errors.As(err, &redirect) && hop < 4 {
+			c.Close()
+			fmt.Fprintf(os.Stderr, "redirected to owning shard %s\n", redirect.Addr)
+			target = redirect.Addr
+			continue
+		}
+		if err != nil {
+			c.Close()
+			return err
+		}
+		break
+	}
+	defer c.Close()
+	fmt.Fprintf(os.Stderr, "query %s registered (%s over %v); waiting for detections (interrupt to stop)\n",
+		id, *kind, *window)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	for {
+		select {
+		case d, ok := <-detections:
+			if !ok {
+				return fmt.Errorf("connection closed")
+			}
+			fmt.Printf("[detect %s p=%.3f at=%s]\n", d.Query, d.Probability, d.At.Format(time.RFC3339Nano))
+			for _, ev := range d.Events {
+				fmt.Printf("  %s\n", ev)
+			}
+		case <-sig:
+			return c.UnregisterQuery(id)
 		}
 	}
 }

@@ -116,6 +116,7 @@ func printSummary(body []byte) error {
 		{"score", "thematicep_broker_score_seconds"},
 		{"deliver", "thematicep_broker_deliver_seconds"},
 		{"hop", "thematicep_cluster_hop_seconds"},
+		{"detect", "thematicep_query_detect_seconds"},
 	} {
 		f := byName[h.name]
 		if f == nil || f.Type != "histogram" {
@@ -129,6 +130,30 @@ func printSummary(body []byte) error {
 		fmt.Printf("  %-10s %s / %s / %.0f\n", h.label,
 			time.Duration(p50*float64(time.Second)).Round(time.Microsecond),
 			time.Duration(p95*float64(time.Second)).Round(time.Microsecond), count)
+	}
+
+	if f := byName["thematicep_query_detections_total"]; f != nil && len(f.Samples) > 0 {
+		fed := byName["thematicep_query_events_total"]
+		fedFor := func(query string) float64 {
+			if fed == nil {
+				return 0
+			}
+			for _, s := range fed.Samples {
+				if s.Labels["query"] == query {
+					return s.Value
+				}
+			}
+			return 0
+		}
+		fmt.Println("queries (detections / events fed):")
+		sorted := append([]telemetry.Sample(nil), f.Samples...)
+		sort.Slice(sorted, func(i, j int) bool {
+			return sorted[i].Labels["query"] < sorted[j].Labels["query"]
+		})
+		for _, s := range sorted {
+			q := s.Labels["query"]
+			fmt.Printf("  %-12s %.0f / %.0f\n", q, s.Value, fedFor(q))
+		}
 	}
 
 	if f := byName["thematicep_semantics_cache_hits_total"]; f != nil {

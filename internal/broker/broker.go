@@ -121,6 +121,11 @@ type Delivery struct {
 	// Replayed marks deliveries that came from the replay buffer rather
 	// than live publication.
 	Replayed bool
+	// At is the broker's admission timestamp for the delivery (when the
+	// match was made). Downstream consumers — the continuous-query engine,
+	// latency probes — use it as the event's time in window semantics and
+	// to measure event-to-detection latency.
+	At time.Time
 }
 
 // Stats are broker counters; all values are cumulative.
@@ -294,6 +299,14 @@ type Broker struct {
 	replay []*event.Event // ring buffer, oldest first
 	closed bool
 	nextID int
+
+	// drainHooks run once inside Drain, after in-flight publishes settle
+	// and before queue flushing — the point where attached stream
+	// processors (the continuous-query engine) flush pending windows so
+	// their final emissions still ride the draining queues.
+	drainMu       sync.Mutex
+	drainHooks    []func()
+	drainHooksRun bool
 }
 
 // Errors returned by broker operations.
@@ -465,7 +478,7 @@ func (b *Broker) Subscribe(sub *event.Subscription, opts ...SubscribeOption) (*S
 			score = b.matcher.Score(sub, e)
 		}
 		if score >= b.cfg.threshold && score > 0 {
-			b.offer(s, Delivery{Event: e, SubscriptionID: id, Score: score, Replayed: true})
+			b.offer(s, Delivery{Event: e, SubscriptionID: id, Score: score, Replayed: true, At: b.clock.Now()})
 		}
 	}
 	return s, nil
@@ -661,7 +674,7 @@ func (b *Broker) matchOne(s *Subscriber, e *event.Event, pe any, trace *telemetr
 	}
 	b.matched.Add(1)
 	t0 := b.clock.Now()
-	b.offer(s, Delivery{Event: e, SubscriptionID: s.id, Score: score})
+	b.offer(s, Delivery{Event: e, SubscriptionID: s.id, Score: score, At: t0})
 	d := b.clock.Now().Sub(t0)
 	b.deliverHist.ObserveDuration(d)
 	trace.AddSpanDuration("deliver", t0, d)
@@ -770,6 +783,20 @@ func (b *Broker) Drain(ctx context.Context) error {
 		}
 	}
 
+	// The pipeline is quiet: run the drain hooks exactly once so stream
+	// processors can flush pending windows (negation expiries, open
+	// aggregates) while subscriber queues are still being consumed.
+	b.drainMu.Lock()
+	hooks := b.drainHooks
+	ran := b.drainHooksRun
+	b.drainHooksRun = true
+	b.drainMu.Unlock()
+	if !ran {
+		for _, fn := range hooks {
+			fn()
+		}
+	}
+
 	// Phase 2: wait for the subscribers to consume their queues. A
 	// subscriber that never reads keeps its depth pinned and the drain
 	// runs into the deadline — which is why Drain takes a context.
@@ -793,6 +820,16 @@ func (b *Broker) Drain(ctx context.Context) error {
 
 // Draining reports whether Drain has begun (new publishes are refused).
 func (b *Broker) Draining() bool { return b.draining.Load() }
+
+// OnDrain registers fn to run once during Drain, after in-flight publishes
+// have settled and before subscriber queues are flushed. Hooks must not
+// publish (Drain is refusing events); they may still emit on their own
+// channels. Registration after Drain has passed the hook point is a no-op.
+func (b *Broker) OnDrain(fn func()) {
+	b.drainMu.Lock()
+	b.drainHooks = append(b.drainHooks, fn)
+	b.drainMu.Unlock()
+}
 
 // Close shuts the broker down and closes every subscriber channel.
 func (b *Broker) Close() {

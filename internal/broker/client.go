@@ -24,12 +24,14 @@ type Client struct {
 	writeMu sync.Mutex // serializes frame writes
 	reqMu   sync.Mutex // serializes request/response exchanges
 
-	mu      sync.Mutex
-	pending []chan *Frame            // FIFO of waiting response channels
-	subs    map[string]chan Delivery // subscription id -> delivery channel
-	orphans map[string][]Delivery    // deliveries that raced Subscribe's return
-	closed  bool
-	readErr error
+	mu       sync.Mutex
+	pending  []chan *Frame                  // FIFO of waiting response channels
+	subs     map[string]chan Delivery       // subscription id -> delivery channel
+	orphans  map[string][]Delivery          // deliveries that raced Subscribe's return
+	queries  map[string]chan QueryDetection // query name -> detection channel
+	qorphans map[string][]QueryDetection    // detections that raced Query's return
+	closed   bool
+	readErr  error
 
 	done chan struct{}
 }
@@ -75,11 +77,13 @@ func DialTimeout(addr string, d time.Duration) (*Client, error) {
 		return nil, fmt.Errorf("broker client: %w", err)
 	}
 	c := &Client{
-		conn:    conn,
-		timeout: d,
-		subs:    make(map[string]chan Delivery),
-		orphans: make(map[string][]Delivery),
-		done:    make(chan struct{}),
+		conn:     conn,
+		timeout:  d,
+		subs:     make(map[string]chan Delivery),
+		orphans:  make(map[string][]Delivery),
+		queries:  make(map[string]chan QueryDetection),
+		qorphans: make(map[string][]QueryDetection),
+		done:     make(chan struct{}),
 	}
 	go c.readLoop()
 	return c, nil
@@ -96,6 +100,8 @@ func (c *Client) readLoop() {
 			c.pending = nil
 			subs := c.subs
 			c.subs = make(map[string]chan Delivery)
+			queries := c.queries
+			c.queries = make(map[string]chan QueryDetection)
 			c.closed = true
 			c.mu.Unlock()
 			for _, ch := range pending {
@@ -104,7 +110,31 @@ func (c *Client) readLoop() {
 			for _, ch := range subs {
 				close(ch)
 			}
+			for _, ch := range queries {
+				close(ch)
+			}
 			return
+		}
+		if f.Type == FrameDetect {
+			d := QueryDetection{
+				Query:       f.QueryName,
+				Probability: f.Probability,
+				Events:      f.Events,
+				At:          f.At,
+			}
+			// Same discipline as deliveries: route under the lock, never
+			// block the reader, park detections that raced Query's return.
+			c.mu.Lock()
+			if ch := c.queries[f.QueryName]; ch != nil {
+				select {
+				case ch <- d:
+				default:
+				}
+			} else if len(c.qorphans[f.QueryName]) < 64 {
+				c.qorphans[f.QueryName] = append(c.qorphans[f.QueryName], d)
+			}
+			c.mu.Unlock()
+			continue
 		}
 		if f.Type == FrameDelivery {
 			d := Delivery{
@@ -112,6 +142,7 @@ func (c *Client) readLoop() {
 				SubscriptionID: f.SubscriptionID,
 				Score:          f.Score,
 				Replayed:       f.Replay,
+				At:             f.At,
 			}
 			// The send happens under the lock so Unsubscribe's close cannot
 			// race it; a full buffer drops the delivery (the same overflow
@@ -231,6 +262,47 @@ func (c *Client) Subscribe(sub *event.Subscription, replay bool) (id string, del
 	delete(c.orphans, resp.SubscriptionID)
 	c.mu.Unlock()
 	return resp.SubscriptionID, ch, nil
+}
+
+// Query registers a continuous query and returns its detection stream.
+// The channel is closed by UnregisterQuery or when the connection drops.
+// On a clustered broker that does not own the query's theme shard, the
+// error is a *RedirectError naming the owning broker.
+func (c *Client) Query(spec *QuerySpec) (name string, detections <-chan QueryDetection, err error) {
+	resp, err := c.request(&Frame{Type: FrameQuery, Query: spec})
+	if err != nil {
+		return "", nil, err
+	}
+	ch := make(chan QueryDetection, 64)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		close(ch)
+		return resp.QueryName, ch, nil
+	}
+	c.queries[resp.QueryName] = ch
+	for _, d := range c.qorphans[resp.QueryName] {
+		select {
+		case ch <- d:
+		default:
+		}
+	}
+	delete(c.qorphans, resp.QueryName)
+	c.mu.Unlock()
+	return resp.QueryName, ch, nil
+}
+
+// UnregisterQuery cancels a continuous query and closes its detection
+// channel.
+func (c *Client) UnregisterQuery(name string) error {
+	_, err := c.request(&Frame{Type: FrameUnsubscribe, QueryName: name})
+	c.mu.Lock()
+	if ch, ok := c.queries[name]; ok {
+		delete(c.queries, name)
+		close(ch)
+	}
+	c.mu.Unlock()
+	return err
 }
 
 // Unsubscribe cancels a subscription and closes its delivery channel.

@@ -57,6 +57,21 @@ type SubscribeRedirector interface {
 	Redirect(sub *event.Subscription) string
 }
 
+// QueryHandle is one active continuous query as the transport layer sees
+// it: a named detection stream, closed by the client's unsubscribe or by
+// connection teardown.
+type QueryHandle interface {
+	Name() string
+	C() <-chan QueryDetection
+	Close()
+}
+
+// QueryRegistrar owns continuous queries (implemented by query.Engine).
+// When nil, query frames are answered with an error.
+type QueryRegistrar interface {
+	RegisterQuery(spec *QuerySpec) (QueryHandle, error)
+}
+
 // Server exposes a Backend over TCP using the wire protocol. One server
 // serves many client connections; each connection may hold many
 // subscriptions.
@@ -68,6 +83,7 @@ type Server struct {
 	listener         net.Listener
 	conns            map[net.Conn]struct{}
 	peerHandler      PeerHandler
+	queries          QueryRegistrar
 	handshakeTimeout time.Duration
 	wg               sync.WaitGroup
 	closed           bool
@@ -111,6 +127,20 @@ func (s *Server) SetPeerHandler(h PeerHandler) {
 	s.mu.Lock()
 	s.peerHandler = h
 	s.mu.Unlock()
+}
+
+// SetQueryRegistrar installs the continuous-query engine behind query
+// frames. Call before traffic arrives.
+func (s *Server) SetQueryRegistrar(qr QueryRegistrar) {
+	s.mu.Lock()
+	s.queries = qr
+	s.mu.Unlock()
+}
+
+func (s *Server) getQueryRegistrar() QueryRegistrar {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queries
 }
 
 func (s *Server) getBackend() Backend {
@@ -174,6 +204,7 @@ type connState struct {
 	conn    net.Conn
 	writeMu sync.Mutex
 	subs    map[string]SubHandle
+	queries map[string]QueryHandle
 	wg      sync.WaitGroup
 }
 
@@ -185,10 +216,17 @@ func (cs *connState) write(f *Frame) error {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
-	cs := &connState{conn: conn, subs: make(map[string]SubHandle)}
+	cs := &connState{
+		conn:    conn,
+		subs:    make(map[string]SubHandle),
+		queries: make(map[string]QueryHandle),
+	}
 	defer func() {
 		for _, sub := range cs.subs {
 			sub.Close()
+		}
+		for _, q := range cs.queries {
+			q.Close()
 		}
 		cs.wg.Wait()
 		conn.Close()
@@ -256,7 +294,48 @@ func (s *Server) serveConn(conn net.Conn) {
 			cs.wg.Add(1)
 			go forwardDeliveries(cs, sub)
 
+		case FrameQuery:
+			qr := s.getQueryRegistrar()
+			if qr == nil {
+				cs.write(&Frame{Type: FrameError, Error: "continuous queries not supported"})
+				continue
+			}
+			if f.Query == nil {
+				cs.write(&Frame{Type: FrameError, Error: "query frame without spec"})
+				continue
+			}
+			// Shard placement: the query's feeding subscription decides the
+			// owner, exactly like a plain subscribe — window state must live
+			// where the theme's events land.
+			if r, ok := s.getBackend().(SubscribeRedirector); ok && f.Query.Subscription != nil {
+				if addr := r.Redirect(f.Query.Subscription); addr != "" {
+					cs.write(&Frame{Type: FrameRedirect, Addr: addr})
+					continue
+				}
+			}
+			q, err := qr.RegisterQuery(f.Query)
+			if err != nil {
+				cs.write(&Frame{Type: FrameError, Error: err.Error()})
+				continue
+			}
+			cs.queries[q.Name()] = q
+			// Acknowledge before starting the forwarder so the OK frame
+			// always precedes the first detect frame on the wire.
+			cs.write(&Frame{Type: FrameOK, QueryName: q.Name()})
+			cs.wg.Add(1)
+			go forwardDetections(cs, q)
+
 		case FrameUnsubscribe:
+			if f.QueryName != "" {
+				if q, ok := cs.queries[f.QueryName]; ok {
+					delete(cs.queries, f.QueryName)
+					q.Close()
+					cs.write(&Frame{Type: FrameOK, QueryName: f.QueryName})
+				} else {
+					cs.write(&Frame{Type: FrameError, Error: "unknown query " + f.QueryName})
+				}
+				continue
+			}
 			if sub, ok := cs.subs[f.SubscriptionID]; ok {
 				delete(cs.subs, f.SubscriptionID)
 				sub.Close()
@@ -281,6 +360,25 @@ func forwardDeliveries(cs *connState, sub SubHandle) {
 			SubscriptionID: d.SubscriptionID,
 			Score:          d.Score,
 			Replay:         d.Replayed,
+			At:             d.At,
+		})
+		if err != nil {
+			return
+		}
+	}
+}
+
+// forwardDetections streams a continuous query's detections onto the
+// connection.
+func forwardDetections(cs *connState, q QueryHandle) {
+	defer cs.wg.Done()
+	for d := range q.C() {
+		err := cs.write(&Frame{
+			Type:        FrameDetect,
+			QueryName:   d.Query,
+			Events:      d.Events,
+			Probability: d.Probability,
+			At:          d.At,
 		})
 		if err != nil {
 			return

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"thematicep/internal/event"
 )
@@ -39,6 +40,14 @@ const (
 	// dropped by the read deadline.
 	FramePing = "ping"
 	FramePong = "pong"
+
+	// Continuous-query frames (internal/query). A query frame registers a
+	// named CEP pattern fed by a thematic subscription; detect frames
+	// stream its detections back asynchronously, like delivery frames for
+	// a subscription. A clustered broker answers query with redirect when
+	// another node owns the feeding subscription's theme shard.
+	FrameQuery  = "query"
+	FrameDetect = "detect"
 )
 
 // MaxFrameSize bounds a frame's encoded size; larger frames are rejected to
@@ -59,6 +68,69 @@ type Frame struct {
 	NodeID string `json:"nodeId,omitempty"`
 	// Addr is the target broker address on redirect frames.
 	Addr string `json:"addr,omitempty"`
+	// At is the broker's admission timestamp on delivery frames, letting
+	// downstream consumers (the query engine, latency probes) measure
+	// event-to-detection latency.
+	At time.Time `json:"at,omitempty"`
+	// Query is the continuous-query definition on query frames.
+	Query *QuerySpec `json:"query,omitempty"`
+	// QueryName names the continuous query on detect frames, on query
+	// acknowledgements, and on unsubscribe frames that cancel a query.
+	QueryName string `json:"queryName,omitempty"`
+	// Events are a detection's constituent events on detect frames.
+	Events []*event.Event `json:"events,omitempty"`
+	// Probability is the detection's combined probability on detect frames.
+	Probability float64 `json:"probability,omitempty"`
+}
+
+// QuerySpec defines one continuous query: a named CEP pattern over the
+// stream selected by a thematic subscription. The subscription routes and
+// scores events exactly like a regular subscription — its match score
+// becomes the constituent probability — while Kind, Window, and the
+// step filters shape the composite pattern evaluated on the owning shard.
+type QuerySpec struct {
+	// Name identifies the query; detections carry it back.
+	Name string `json:"name"`
+	// Kind selects the pattern: "sequence", "conjunction", "negation", or
+	// "count".
+	Kind string `json:"kind"`
+	// Subscription selects and scores the feeding event stream (themes +
+	// predicates). In cluster mode its first theme tag decides the owning
+	// shard.
+	Subscription *event.Subscription `json:"subscription"`
+	// Window is the pattern's sliding time window.
+	Window time.Duration `json:"windowNs"`
+	// Threshold suppresses detections whose combined probability falls
+	// below it.
+	Threshold float64 `json:"threshold,omitempty"`
+	// MinExpected is the expected-count firing threshold for count queries.
+	MinExpected float64 `json:"minExpected,omitempty"`
+	// Steps are the pattern's constituent filters: ordered steps for
+	// sequence, unordered for conjunction, [trigger, absent] for negation,
+	// and an optional single filter for count (matching everything when
+	// empty).
+	Steps []QueryStep `json:"steps,omitempty"`
+}
+
+// QueryStep is one constituent filter of a continuous query, matching
+// events whose attribute equals a value (canonical comparison), or merely
+// carries the attribute when Value is empty.
+type QueryStep struct {
+	Attr  string `json:"attr"`
+	Value string `json:"value,omitempty"`
+}
+
+// QueryDetection is one completed pattern instance streamed back to the
+// client that registered the query.
+type QueryDetection struct {
+	// Query is the registered query's name.
+	Query string
+	// Probability is the combined probability of the detection.
+	Probability float64
+	// Events are the constituent events in pattern order.
+	Events []*event.Event
+	// At is when the engine emitted the detection.
+	At time.Time
 }
 
 // WriteFrame encodes and writes one frame.

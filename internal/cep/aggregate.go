@@ -3,6 +3,8 @@ package cep
 import (
 	"sync"
 	"time"
+
+	"thematicep/internal/telemetry"
 )
 
 // Count detects "at least N occurrences of X within w" over uncertain
@@ -15,6 +17,7 @@ type Count struct {
 	filter      Filter
 	window      time.Duration
 	minExpected float64
+	clock       telemetry.Clock
 
 	mu     sync.Mutex
 	recent []UncertainEvent // matching events, oldest first
@@ -29,24 +32,27 @@ func NewCount(window time.Duration, minExpected float64, filter Filter) *Count {
 		filter:      filter,
 		window:      window,
 		minExpected: minExpected,
+		clock:       telemetry.System,
 	}
+}
+
+// WithClock replaces the clock used to stamp events that arrive without a
+// timestamp. Returns the pattern for chaining.
+func (c *Count) WithClock(clock telemetry.Clock) *Count {
+	c.clock = clock
+	return c
 }
 
 // Observe feeds one event; a detection carries the window's matching events
 // and their combined expectation as Probability (capped at 1).
 func (c *Count) Observe(e UncertainEvent) []Detection {
+	if e.At.IsZero() {
+		e.At = c.clock.Now()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
-	// Evict expired events and recompute the expectation.
-	keep := c.recent[:0]
-	for _, old := range c.recent {
-		if e.At.Sub(old.At) <= c.window {
-			keep = append(keep, old)
-		}
-	}
-	c.recent = keep
-
+	c.evict(e.At)
 	if c.filter(e.Event) {
 		c.recent = append(c.recent, e)
 	}
@@ -69,6 +75,46 @@ func (c *Count) Observe(e UncertainEvent) []Detection {
 		p = 1
 	}
 	return []Detection{{Events: events, Probability: p}}
+}
+
+// evict drops expired events and re-arms the pattern once the remaining
+// expectation falls below the threshold, so a later excursion fires again.
+func (c *Count) evict(now time.Time) {
+	keep := c.recent[:0]
+	for _, old := range c.recent {
+		if now.Sub(old.At) <= c.window {
+			keep = append(keep, old)
+		}
+	}
+	c.recent = keep
+	if c.firing {
+		expected := 0.0
+		for _, ev := range c.recent {
+			expected += ev.Probability
+		}
+		if expected < c.minExpected {
+			c.firing = false
+		}
+	}
+}
+
+// Flush advances event time without an event: expired events leave the
+// window and the pattern re-arms when the expectation drops below the
+// threshold, so a quiet stream doesn't leave a stale excursion latched.
+// Counts have no time-driven emissions, so Flush never detects.
+func (c *Count) Flush(now time.Time) []Detection {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evict(now)
+	return nil
+}
+
+// Occupancy reports the number of matching events inside the window as of
+// the last observed event time.
+func (c *Count) Occupancy() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.recent)
 }
 
 // Expected returns the current expected count in the window as of the last

@@ -6,15 +6,16 @@ import (
 )
 
 func TestCountFiresAtExpectedThreshold(t *testing.T) {
-	c := NewCount(time.Minute, 2.0, AttrEquals("type", "spike"))
+	clk := newClock()
+	c := NewCount(time.Minute, 2.0, AttrEquals("type", "spike")).WithClock(clk)
 
-	if got := c.Observe(ev("spike", 0.9, 0)); len(got) != 0 {
+	if got := observeAt(c, clk, 0, "spike", 0.9); len(got) != 0 {
 		t.Fatalf("fired at expectation 0.9: %v", got)
 	}
-	if got := c.Observe(ev("spike", 0.8, 10*time.Second)); len(got) != 0 {
+	if got := observeAt(c, clk, 10*time.Second, "spike", 0.8); len(got) != 0 {
 		t.Fatalf("fired at expectation 1.7: %v", got)
 	}
-	got := c.Observe(ev("spike", 0.7, 20*time.Second))
+	got := observeAt(c, clk, 20*time.Second, "spike", 0.7)
 	if len(got) != 1 {
 		t.Fatalf("expectation 2.4 did not fire: %v", got)
 	}
@@ -27,8 +28,9 @@ func TestCountFiresAtExpectedThreshold(t *testing.T) {
 }
 
 func TestCountIgnoresNonMatching(t *testing.T) {
-	c := NewCount(time.Minute, 1.0, AttrEquals("type", "spike"))
-	if got := c.Observe(ev("other", 1.0, 0)); len(got) != 0 {
+	clk := newClock()
+	c := NewCount(time.Minute, 1.0, AttrEquals("type", "spike")).WithClock(clk)
+	if got := observeAt(c, clk, 0, "other", 1.0); len(got) != 0 {
 		t.Fatalf("non-matching event fired: %v", got)
 	}
 	if c.Expected() != 0 {
@@ -37,11 +39,12 @@ func TestCountIgnoresNonMatching(t *testing.T) {
 }
 
 func TestCountWindowEviction(t *testing.T) {
-	c := NewCount(time.Minute, 2.0, AttrEquals("type", "spike"))
-	c.Observe(ev("spike", 1.0, 0))
-	c.Observe(ev("spike", 0.5, 10*time.Second))
+	clk := newClock()
+	c := NewCount(time.Minute, 2.0, AttrEquals("type", "spike")).WithClock(clk)
+	observeAt(c, clk, 0, "spike", 1.0)
+	observeAt(c, clk, 10*time.Second, "spike", 0.5)
 	// Two minutes later only the new event remains in the window.
-	if got := c.Observe(ev("spike", 1.0, 2*time.Minute)); len(got) != 0 {
+	if got := observeAt(c, clk, 2*time.Minute, "spike", 1.0); len(got) != 0 {
 		t.Fatalf("expired events counted: %v", got)
 	}
 	if want := 1.0; c.Expected() != want {
@@ -50,33 +53,108 @@ func TestCountWindowEviction(t *testing.T) {
 }
 
 func TestCountFiresOncePerExcursion(t *testing.T) {
-	c := NewCount(time.Minute, 1.5, AttrEquals("type", "spike"))
-	c.Observe(ev("spike", 1.0, 0))
-	if got := c.Observe(ev("spike", 1.0, time.Second)); len(got) != 1 {
+	clk := newClock()
+	c := NewCount(time.Minute, 1.5, AttrEquals("type", "spike")).WithClock(clk)
+	observeAt(c, clk, 0, "spike", 1.0)
+	if got := observeAt(c, clk, time.Second, "spike", 1.0); len(got) != 1 {
 		t.Fatalf("did not fire: %v", got)
 	}
 	// Still above threshold: no duplicate detection.
-	if got := c.Observe(ev("spike", 1.0, 2*time.Second)); len(got) != 0 {
+	if got := observeAt(c, clk, 2*time.Second, "spike", 1.0); len(got) != 0 {
 		t.Fatalf("duplicate detection: %v", got)
 	}
 	// Window empties, then refills: fires again.
-	if got := c.Observe(ev("spike", 1.0, 5*time.Minute)); len(got) != 0 {
+	if got := observeAt(c, clk, 5*time.Minute, "spike", 1.0); len(got) != 0 {
 		t.Fatalf("fired with expectation 1.0: %v", got)
 	}
-	if got := c.Observe(ev("spike", 1.0, 5*time.Minute+time.Second)); len(got) != 1 {
+	if got := observeAt(c, clk, 5*time.Minute+time.Second, "spike", 1.0); len(got) != 1 {
 		t.Fatalf("did not re-arm: %v", got)
 	}
 }
 
 func TestCountCertainEventsBehaveLikeCounting(t *testing.T) {
-	c := NewCount(time.Minute, 3.0, AttrEquals("type", "spike"))
-	c.Observe(ev("spike", 1.0, 0))
-	c.Observe(ev("spike", 1.0, time.Second))
-	got := c.Observe(ev("spike", 1.0, 2*time.Second))
+	clk := newClock()
+	c := NewCount(time.Minute, 3.0, AttrEquals("type", "spike")).WithClock(clk)
+	observeAt(c, clk, 0, "spike", 1.0)
+	observeAt(c, clk, time.Second, "spike", 1.0)
+	got := observeAt(c, clk, 2*time.Second, "spike", 1.0)
 	if len(got) != 1 {
 		t.Fatalf("3 certain events did not reach count 3")
 	}
 	if got[0].Probability != 1 {
 		t.Errorf("probability = %v, want 1 for certain events", got[0].Probability)
+	}
+}
+
+func TestCountBoundaryEventStaysInWindow(t *testing.T) {
+	// An event whose age is EXACTLY the window length is still inside:
+	// eviction uses a strict > comparison (now.Sub(At) <= window keeps).
+	clk := newClock()
+	c := NewCount(time.Minute, 2.0, AttrEquals("type", "spike")).WithClock(clk)
+	observeAt(c, clk, 0, "spike", 1.0)
+	got := observeAt(c, clk, time.Minute, "spike", 1.0)
+	if len(got) != 1 {
+		t.Fatalf("boundary event evicted: expectation = %v", c.Expected())
+	}
+	// One nanosecond past the boundary the first event leaves the window.
+	c2 := NewCount(time.Minute, 2.0, AttrEquals("type", "spike"))
+	c2.Observe(ev("spike", 1.0, 0))
+	if got := c2.Observe(ev("spike", 1.0, time.Minute+time.Nanosecond)); len(got) != 0 {
+		t.Fatalf("event beyond boundary still counted: %v", got)
+	}
+}
+
+func TestCountOutOfOrderTimestamps(t *testing.T) {
+	// A late event with an earlier At must not evict fresher events:
+	// eviction compares against the newcomer's At, and negative ages pass
+	// the <= window test.
+	c := NewCount(time.Minute, 3.0, AttrEquals("type", "spike"))
+	c.Observe(ev("spike", 1.0, 10*time.Second))
+	c.Observe(ev("spike", 1.0, 20*time.Second))
+	got := c.Observe(ev("spike", 1.0, 5*time.Second)) // late straggler
+	if len(got) != 1 {
+		t.Fatalf("out-of-order event broke the window: expectation = %v", c.Expected())
+	}
+	if c.Occupancy() != 3 {
+		t.Errorf("occupancy = %d, want 3", c.Occupancy())
+	}
+}
+
+func TestCountThresholdCrossingOnEvict(t *testing.T) {
+	// Firing state must re-arm when eviction (not a lull in matches) drops
+	// the expectation below the threshold — including via Flush with no
+	// event arriving at all.
+	clk := newClock()
+	c := NewCount(time.Minute, 2.0, AttrEquals("type", "spike")).WithClock(clk)
+	observeAt(c, clk, 0, "spike", 1.0)
+	if got := observeAt(c, clk, time.Second, "spike", 1.0); len(got) != 1 {
+		t.Fatalf("did not fire: %v", got)
+	}
+	// Quiet stream: Flush drains the window and re-arms.
+	if got := c.Flush(t0.Add(3 * time.Minute)); len(got) != 0 {
+		t.Fatalf("count flush emitted: %v", got)
+	}
+	if c.Occupancy() != 0 {
+		t.Fatalf("occupancy after flush = %d", c.Occupancy())
+	}
+	// Next excursion fires again.
+	observeAt(c, clk, 4*time.Minute, "spike", 1.0)
+	if got := observeAt(c, clk, 4*time.Minute+time.Second, "spike", 1.0); len(got) != 1 {
+		t.Errorf("did not fire after flush re-arm: %v", got)
+	}
+}
+
+func TestCountEvictRearmsWithinObserve(t *testing.T) {
+	clk := newClock()
+	c := NewCount(time.Minute, 2.0, AttrEquals("type", "spike")).WithClock(clk)
+	observeAt(c, clk, 0, "spike", 1.0)
+	if got := observeAt(c, clk, time.Second, "spike", 1.0); len(got) != 1 {
+		t.Fatalf("did not fire: %v", got)
+	}
+	// Far-future events evict the old excursion inside Observe; the second
+	// new event crosses the threshold again and must fire.
+	observeAt(c, clk, 10*time.Minute, "spike", 1.0)
+	if got := observeAt(c, clk, 10*time.Minute+time.Second, "spike", 1.0); len(got) != 1 {
+		t.Errorf("eviction inside Observe did not re-arm: %v", got)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"thematicep/internal/event"
+	"thematicep/internal/telemetry"
 )
 
 // UncertainEvent is one event with the matcher's confidence that it is
@@ -63,6 +64,23 @@ type Pattern interface {
 	Observe(e UncertainEvent) []Detection
 }
 
+// Flusher is a Pattern whose window state advances with time as well as
+// with events. Flush moves event time to now without an event: expired
+// state is evicted, and patterns with time-driven emissions (Negation)
+// return the detections whose windows closed. Every pattern in this
+// package implements Flusher, so a driver (the query engine's ticker, or
+// Broker.Drain) can close windows on a quiet stream.
+type Flusher interface {
+	Flush(now time.Time) []Detection
+}
+
+// Occupant is a Pattern that reports how much window state it holds —
+// open partials, buffered matches, pending triggers. Exposed so engines
+// can export window-occupancy gauges.
+type Occupant interface {
+	Occupancy() int
+}
+
 // Sequence detects step events in order within a sliding window:
 // "A then B then C within w". Each arriving event may extend any open
 // partial instance whose last step it follows.
@@ -71,6 +89,7 @@ type Sequence struct {
 	window    time.Duration
 	threshold float64
 	maxOpen   int
+	clock     telemetry.Clock
 
 	mu   sync.Mutex
 	open []partial // partial instances, oldest first
@@ -90,13 +109,24 @@ func NewSequence(window time.Duration, threshold float64, steps ...Filter) *Sequ
 		window:    window,
 		threshold: threshold,
 		maxOpen:   1024,
+		clock:     telemetry.System,
 	}
+}
+
+// WithClock replaces the clock used to stamp events that arrive without a
+// timestamp. Returns the pattern for chaining.
+func (s *Sequence) WithClock(c telemetry.Clock) *Sequence {
+	s.clock = c
+	return s
 }
 
 // Observe feeds one event and returns completed detections.
 func (s *Sequence) Observe(e UncertainEvent) []Detection {
 	if len(s.steps) == 0 {
 		return nil
+	}
+	if e.At.IsZero() {
+		e.At = s.clock.Now()
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -152,12 +182,29 @@ func (s *Sequence) evict(now time.Time) {
 	s.open = keep
 }
 
+// Flush advances event time without an event, evicting expired partials.
+// Sequences have no time-driven emissions, so Flush never detects.
+func (s *Sequence) Flush(now time.Time) []Detection {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evict(now)
+	return nil
+}
+
+// Occupancy reports the number of open partial instances.
+func (s *Sequence) Occupancy() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.open)
+}
+
 // Conjunction detects one event per filter, in any order, within the
 // window: "A and B within w".
 type Conjunction struct {
 	filters   []Filter
 	window    time.Duration
 	threshold float64
+	clock     telemetry.Clock
 
 	mu     sync.Mutex
 	recent [][]UncertainEvent // per-filter recent matches, oldest first
@@ -169,8 +216,16 @@ func NewConjunction(window time.Duration, threshold float64, filters ...Filter) 
 		filters:   filters,
 		window:    window,
 		threshold: threshold,
+		clock:     telemetry.System,
 		recent:    make([][]UncertainEvent, len(filters)),
 	}
+}
+
+// WithClock replaces the clock used to stamp events that arrive without a
+// timestamp. Returns the pattern for chaining.
+func (c *Conjunction) WithClock(clock telemetry.Clock) *Conjunction {
+	c.clock = clock
+	return c
 }
 
 // Observe feeds one event and returns completed detections. An event may
@@ -179,19 +234,13 @@ func (c *Conjunction) Observe(e UncertainEvent) []Detection {
 	if len(c.filters) == 0 {
 		return nil
 	}
+	if e.At.IsZero() {
+		e.At = c.clock.Now()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
-	// Evict expired matches.
-	for i := range c.recent {
-		keep := c.recent[i][:0]
-		for _, old := range c.recent[i] {
-			if e.At.Sub(old.At) <= c.window {
-				keep = append(keep, old)
-			}
-		}
-		c.recent[i] = keep
-	}
+	c.evict(e.At)
 
 	var out []Detection
 	for i, f := range c.filters {
@@ -224,6 +273,39 @@ func (c *Conjunction) Observe(e UncertainEvent) []Detection {
 		}
 	}
 	return out
+}
+
+// evict drops per-filter matches that fell out of the window.
+func (c *Conjunction) evict(now time.Time) {
+	for i := range c.recent {
+		keep := c.recent[i][:0]
+		for _, old := range c.recent[i] {
+			if now.Sub(old.At) <= c.window {
+				keep = append(keep, old)
+			}
+		}
+		c.recent[i] = keep
+	}
+}
+
+// Flush advances event time without an event, evicting expired matches.
+// Conjunctions have no time-driven emissions, so Flush never detects.
+func (c *Conjunction) Flush(now time.Time) []Detection {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evict(now)
+	return nil
+}
+
+// Occupancy reports the number of buffered per-filter matches.
+func (c *Conjunction) Occupancy() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for i := range c.recent {
+		n += len(c.recent[i])
+	}
+	return n
 }
 
 // Feed drains a broker-style delivery stream into a pattern, invoking

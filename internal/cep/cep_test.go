@@ -6,28 +6,50 @@ import (
 	"time"
 
 	"thematicep/internal/event"
+	"thematicep/internal/telemetry"
 )
 
 var t0 = time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
 
+// ev builds an uncertain event with an explicit event-time offset from t0,
+// for tests that exercise event-time semantics directly (out-of-order
+// arrivals, Feed).
 func ev(typ string, prob float64, at time.Duration) UncertainEvent {
+	e := raw(typ, prob)
+	e.At = t0.Add(at)
+	return e
+}
+
+// raw builds an uncertain event WITHOUT a timestamp; the observing pattern
+// stamps it from its injected clock.
+func raw(typ string, prob float64) UncertainEvent {
 	return UncertainEvent{
 		Event: &event.Event{Tuples: []event.Tuple{
 			{Attr: "type", Value: typ},
 		}},
 		Probability: prob,
-		At:          t0.Add(at),
 	}
+}
+
+// newClock returns a Manual clock at t0. Tests drive pattern time through
+// it instead of stamping At, so eviction and expiry exercise the injected
+// clock path deterministically.
+func newClock() *telemetry.Manual { return telemetry.NewManual(t0) }
+
+// observeAt moves the clock to t0+off and observes a timestampless event.
+func observeAt(p Pattern, clk *telemetry.Manual, off time.Duration, typ string, prob float64) []Detection {
+	clk.Advance(t0.Add(off).Sub(clk.Now()))
+	return p.Observe(raw(typ, prob))
 }
 
 func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
 
 func TestAttrEqualsFilter(t *testing.T) {
 	f := AttrEquals("type", "parking event")
-	if !f(ev("Parking Event", 1, 0).Event) {
+	if !f(raw("Parking Event", 1).Event) {
 		t.Error("canonical equality failed")
 	}
-	if f(ev("energy event", 1, 0).Event) {
+	if f(raw("energy event", 1).Event) {
 		t.Error("mismatched value matched")
 	}
 	if f(&event.Event{Tuples: []event.Tuple{{Attr: "other", Value: "x"}}}) {
@@ -37,19 +59,20 @@ func TestAttrEqualsFilter(t *testing.T) {
 
 func TestHasAttr(t *testing.T) {
 	f := HasAttr("type")
-	if !f(ev("x", 1, 0).Event) || f(&event.Event{Tuples: []event.Tuple{{Attr: "a", Value: "b"}}}) {
+	if !f(raw("x", 1).Event) || f(&event.Event{Tuples: []event.Tuple{{Attr: "a", Value: "b"}}}) {
 		t.Error("HasAttr wrong")
 	}
 }
 
 func TestSequenceDetects(t *testing.T) {
+	clk := newClock()
 	seq := NewSequence(time.Minute, 0,
-		AttrEquals("type", "a"), AttrEquals("type", "b"))
+		AttrEquals("type", "a"), AttrEquals("type", "b")).WithClock(clk)
 
-	if got := seq.Observe(ev("a", 0.8, 0)); len(got) != 0 {
+	if got := observeAt(seq, clk, 0, "a", 0.8); len(got) != 0 {
 		t.Fatalf("premature detection: %v", got)
 	}
-	got := seq.Observe(ev("b", 0.5, 10*time.Second))
+	got := observeAt(seq, clk, 10*time.Second, "b", 0.5)
 	if len(got) != 1 {
 		t.Fatalf("detections = %d, want 1", len(got))
 	}
@@ -59,68 +82,77 @@ func TestSequenceDetects(t *testing.T) {
 	if len(got[0].Events) != 2 {
 		t.Errorf("constituents = %d", len(got[0].Events))
 	}
+	if got[0].Events[0].At != t0 {
+		t.Errorf("clock stamping: first constituent At = %v, want %v", got[0].Events[0].At, t0)
+	}
 }
 
 func TestSequenceRespectsOrder(t *testing.T) {
+	clk := newClock()
 	seq := NewSequence(time.Minute, 0,
-		AttrEquals("type", "a"), AttrEquals("type", "b"))
-	seq.Observe(ev("b", 1, 0)) // b before a: no instance
-	if got := seq.Observe(ev("a", 1, time.Second)); len(got) != 0 {
+		AttrEquals("type", "a"), AttrEquals("type", "b")).WithClock(clk)
+	observeAt(seq, clk, 0, "b", 1) // b before a: no instance
+	if got := observeAt(seq, clk, time.Second, "a", 1); len(got) != 0 {
 		t.Errorf("out-of-order detected: %v", got)
 	}
 }
 
 func TestSequenceWindowExpiry(t *testing.T) {
+	clk := newClock()
 	seq := NewSequence(time.Minute, 0,
-		AttrEquals("type", "a"), AttrEquals("type", "b"))
-	seq.Observe(ev("a", 1, 0))
-	if got := seq.Observe(ev("b", 1, 2*time.Minute)); len(got) != 0 {
+		AttrEquals("type", "a"), AttrEquals("type", "b")).WithClock(clk)
+	observeAt(seq, clk, 0, "a", 1)
+	if got := observeAt(seq, clk, 2*time.Minute, "b", 1); len(got) != 0 {
 		t.Errorf("expired instance completed: %v", got)
 	}
 }
 
 func TestSequenceThreshold(t *testing.T) {
+	clk := newClock()
 	seq := NewSequence(time.Minute, 0.5,
-		AttrEquals("type", "a"), AttrEquals("type", "b"))
-	seq.Observe(ev("a", 0.4, 0))
-	if got := seq.Observe(ev("b", 0.6, time.Second)); len(got) != 0 {
+		AttrEquals("type", "a"), AttrEquals("type", "b")).WithClock(clk)
+	observeAt(seq, clk, 0, "a", 0.4)
+	if got := observeAt(seq, clk, time.Second, "b", 0.6); len(got) != 0 {
 		t.Errorf("0.24 < 0.5 threshold but detected: %v", got)
 	}
-	seq.Observe(ev("a", 0.9, 2*time.Second))
+	observeAt(seq, clk, 2*time.Second, "a", 0.9)
 	// Two open instances: (0.4) and (0.9). Only the second clears the
 	// threshold when completed with b@0.9.
-	if got := seq.Observe(ev("b", 0.9, 3*time.Second)); len(got) != 1 {
+	if got := observeAt(seq, clk, 3*time.Second, "b", 0.9); len(got) != 1 {
 		t.Errorf("0.81 >= 0.5 but detections = %d", len(got))
 	}
 }
 
 func TestSequenceMultipleOpenInstances(t *testing.T) {
+	clk := newClock()
 	seq := NewSequence(time.Minute, 0,
-		AttrEquals("type", "a"), AttrEquals("type", "b"))
-	seq.Observe(ev("a", 0.5, 0))
-	seq.Observe(ev("a", 0.7, time.Second))
-	got := seq.Observe(ev("b", 1, 2*time.Second))
+		AttrEquals("type", "a"), AttrEquals("type", "b")).WithClock(clk)
+	observeAt(seq, clk, 0, "a", 0.5)
+	observeAt(seq, clk, time.Second, "a", 0.7)
+	got := observeAt(seq, clk, 2*time.Second, "b", 1)
 	if len(got) != 2 {
 		t.Fatalf("detections = %d, want 2 (one per open instance)", len(got))
 	}
 }
 
 func TestSequenceSingleStep(t *testing.T) {
-	seq := NewSequence(time.Minute, 0.3, AttrEquals("type", "a"))
-	if got := seq.Observe(ev("a", 0.6, 0)); len(got) != 1 || !almostEqual(got[0].Probability, 0.6) {
+	clk := newClock()
+	seq := NewSequence(time.Minute, 0.3, AttrEquals("type", "a")).WithClock(clk)
+	if got := observeAt(seq, clk, 0, "a", 0.6); len(got) != 1 || !almostEqual(got[0].Probability, 0.6) {
 		t.Errorf("single-step sequence: %v", got)
 	}
-	if got := seq.Observe(ev("a", 0.2, time.Second)); len(got) != 0 {
+	if got := observeAt(seq, clk, time.Second, "a", 0.2); len(got) != 0 {
 		t.Errorf("below threshold detected: %v", got)
 	}
 }
 
 func TestSequenceThreeSteps(t *testing.T) {
+	clk := newClock()
 	seq := NewSequence(time.Minute, 0,
-		AttrEquals("type", "a"), AttrEquals("type", "b"), AttrEquals("type", "c"))
-	seq.Observe(ev("a", 0.9, 0))
-	seq.Observe(ev("b", 0.8, time.Second))
-	got := seq.Observe(ev("c", 0.7, 2*time.Second))
+		AttrEquals("type", "a"), AttrEquals("type", "b"), AttrEquals("type", "c")).WithClock(clk)
+	observeAt(seq, clk, 0, "a", 0.9)
+	observeAt(seq, clk, time.Second, "b", 0.8)
+	got := observeAt(seq, clk, 2*time.Second, "c", 0.7)
 	if len(got) != 1 {
 		t.Fatalf("detections = %d", len(got))
 	}
@@ -129,12 +161,29 @@ func TestSequenceThreeSteps(t *testing.T) {
 	}
 }
 
+func TestSequenceFlushEvictsAndReportsOccupancy(t *testing.T) {
+	clk := newClock()
+	seq := NewSequence(time.Minute, 0,
+		AttrEquals("type", "a"), AttrEquals("type", "b")).WithClock(clk)
+	observeAt(seq, clk, 0, "a", 1)
+	if got := seq.Occupancy(); got != 1 {
+		t.Fatalf("occupancy = %d, want 1", got)
+	}
+	if got := seq.Flush(t0.Add(2 * time.Minute)); len(got) != 0 {
+		t.Fatalf("sequence flush emitted: %v", got)
+	}
+	if got := seq.Occupancy(); got != 0 {
+		t.Errorf("occupancy after flush = %d, want 0", got)
+	}
+}
+
 func TestConjunctionAnyOrder(t *testing.T) {
 	for _, order := range [][2]string{{"a", "b"}, {"b", "a"}} {
+		clk := newClock()
 		c := NewConjunction(time.Minute, 0,
-			AttrEquals("type", "a"), AttrEquals("type", "b"))
-		c.Observe(ev(order[0], 0.5, 0))
-		got := c.Observe(ev(order[1], 0.4, time.Second))
+			AttrEquals("type", "a"), AttrEquals("type", "b")).WithClock(clk)
+		observeAt(c, clk, 0, order[0], 0.5)
+		got := observeAt(c, clk, time.Second, order[1], 0.4)
 		if len(got) != 1 {
 			t.Fatalf("order %v: detections = %d", order, len(got))
 		}
@@ -145,20 +194,39 @@ func TestConjunctionAnyOrder(t *testing.T) {
 }
 
 func TestConjunctionWindowExpiry(t *testing.T) {
+	clk := newClock()
 	c := NewConjunction(time.Minute, 0,
-		AttrEquals("type", "a"), AttrEquals("type", "b"))
-	c.Observe(ev("a", 1, 0))
-	if got := c.Observe(ev("b", 1, 2*time.Minute)); len(got) != 0 {
+		AttrEquals("type", "a"), AttrEquals("type", "b")).WithClock(clk)
+	observeAt(c, clk, 0, "a", 1)
+	if got := observeAt(c, clk, 2*time.Minute, "b", 1); len(got) != 0 {
 		t.Errorf("expired conjunction detected: %v", got)
 	}
 }
 
 func TestConjunctionThreshold(t *testing.T) {
+	clk := newClock()
 	c := NewConjunction(time.Minute, 0.5,
-		AttrEquals("type", "a"), AttrEquals("type", "b"))
-	c.Observe(ev("a", 0.6, 0))
-	if got := c.Observe(ev("b", 0.6, time.Second)); len(got) != 0 {
+		AttrEquals("type", "a"), AttrEquals("type", "b")).WithClock(clk)
+	observeAt(c, clk, 0, "a", 0.6)
+	if got := observeAt(c, clk, time.Second, "b", 0.6); len(got) != 0 {
 		t.Errorf("below-threshold conjunction detected: %v", got)
+	}
+}
+
+func TestConjunctionFlushEvictsAndReportsOccupancy(t *testing.T) {
+	clk := newClock()
+	c := NewConjunction(time.Minute, 0,
+		AttrEquals("type", "a"), AttrEquals("type", "b")).WithClock(clk)
+	observeAt(c, clk, 0, "a", 1)
+	observeAt(c, clk, time.Second, "a", 1)
+	if got := c.Occupancy(); got != 2 {
+		t.Fatalf("occupancy = %d, want 2", got)
+	}
+	if got := c.Flush(t0.Add(2 * time.Minute)); len(got) != 0 {
+		t.Fatalf("conjunction flush emitted: %v", got)
+	}
+	if got := c.Occupancy(); got != 0 {
+		t.Errorf("occupancy after flush = %d, want 0", got)
 	}
 }
 
@@ -173,6 +241,23 @@ func TestFeedDrainsChannel(t *testing.T) {
 	Feed(ch, seq, func(d Detection) { got = append(got, d) })
 	if len(got) != 2 {
 		t.Errorf("detections = %d, want 2", len(got))
+	}
+}
+
+func TestFeedGoroutineShutdown(t *testing.T) {
+	seq := NewSequence(time.Minute, 0, AttrEquals("type", "a"))
+	ch := make(chan UncertainEvent)
+	done := make(chan struct{})
+	go func() {
+		Feed(ch, seq, func(Detection) {})
+		close(done)
+	}()
+	ch <- ev("a", 1, 0)
+	close(ch)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Feed did not return after channel close")
 	}
 }
 

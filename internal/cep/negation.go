@@ -3,6 +3,8 @@ package cep
 import (
 	"sync"
 	"time"
+
+	"thematicep/internal/telemetry"
 )
 
 // Negation detects the ABSENCE of a canceling event after a trigger:
@@ -20,6 +22,7 @@ type Negation struct {
 	absent    Filter
 	window    time.Duration
 	threshold float64
+	clock     telemetry.Clock
 
 	mu   sync.Mutex
 	open []negInstance
@@ -37,11 +40,22 @@ func NewNegation(window time.Duration, threshold float64, trigger, absent Filter
 		absent:    absent,
 		window:    window,
 		threshold: threshold,
+		clock:     telemetry.System,
 	}
+}
+
+// WithClock replaces the clock used to stamp events that arrive without a
+// timestamp. Returns the pattern for chaining.
+func (n *Negation) WithClock(clock telemetry.Clock) *Negation {
+	n.clock = clock
+	return n
 }
 
 // Observe feeds one event; completed (expired) absences are returned.
 func (n *Negation) Observe(e UncertainEvent) []Detection {
+	if e.At.IsZero() {
+		e.At = n.clock.Now()
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 
@@ -86,4 +100,11 @@ func (n *Negation) expire(now time.Time) []Detection {
 	}
 	n.open = keep
 	return out
+}
+
+// Occupancy reports the number of pending (unexpired) trigger instances.
+func (n *Negation) Occupancy() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.open)
 }

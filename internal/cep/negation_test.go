@@ -7,14 +7,15 @@ import (
 )
 
 func TestNegationDetectsAbsence(t *testing.T) {
+	clk := newClock()
 	n := NewNegation(time.Minute, 0,
-		AttrEquals("type", "overload"), AttrEquals("type", "shutdown"))
+		AttrEquals("type", "overload"), AttrEquals("type", "shutdown")).WithClock(clk)
 
-	if got := n.Observe(ev("overload", 0.9, 0)); len(got) != 0 {
+	if got := observeAt(n, clk, 0, "overload", 0.9); len(got) != 0 {
 		t.Fatalf("premature detection: %v", got)
 	}
 	// An unrelated event after the window closes triggers the emission.
-	got := n.Observe(ev("other", 1, 2*time.Minute))
+	got := observeAt(n, clk, 2*time.Minute, "other", 1)
 	if len(got) != 1 {
 		t.Fatalf("detections = %d, want 1", len(got))
 	}
@@ -24,21 +25,24 @@ func TestNegationDetectsAbsence(t *testing.T) {
 }
 
 func TestNegationCanceledByCertainEvent(t *testing.T) {
+	clk := newClock()
 	n := NewNegation(time.Minute, 0,
-		AttrEquals("type", "overload"), AttrEquals("type", "shutdown"))
-	n.Observe(ev("overload", 0.9, 0))
-	n.Observe(ev("shutdown", 1.0, 30*time.Second))
-	if got := n.Observe(ev("other", 1, 2*time.Minute)); len(got) != 0 {
+		AttrEquals("type", "overload"), AttrEquals("type", "shutdown")).WithClock(clk)
+	observeAt(n, clk, 0, "overload", 0.9)
+	observeAt(n, clk, 30*time.Second, "shutdown", 1.0)
+	if got := observeAt(n, clk, 2*time.Minute, "other", 1); len(got) != 0 {
 		t.Errorf("canceled instance detected: %v", got)
 	}
 }
 
 func TestNegationUncertainCancelDiscounts(t *testing.T) {
+	clk := newClock()
 	n := NewNegation(time.Minute, 0,
-		AttrEquals("type", "overload"), AttrEquals("type", "shutdown"))
-	n.Observe(ev("overload", 0.8, 0))
-	n.Observe(ev("shutdown", 0.5, 30*time.Second))
-	got := n.Flush(t0.Add(2 * time.Minute))
+		AttrEquals("type", "overload"), AttrEquals("type", "shutdown")).WithClock(clk)
+	observeAt(n, clk, 0, "overload", 0.8)
+	observeAt(n, clk, 30*time.Second, "shutdown", 0.5)
+	clk.Advance(90 * time.Second)
+	got := n.Flush(clk.Now())
 	if len(got) != 1 {
 		t.Fatalf("detections = %d, want 1", len(got))
 	}
@@ -48,12 +52,13 @@ func TestNegationUncertainCancelDiscounts(t *testing.T) {
 }
 
 func TestNegationCancelOutsideWindowIgnored(t *testing.T) {
+	clk := newClock()
 	n := NewNegation(time.Minute, 0,
-		AttrEquals("type", "overload"), AttrEquals("type", "shutdown"))
-	n.Observe(ev("overload", 0.8, 0))
+		AttrEquals("type", "overload"), AttrEquals("type", "shutdown")).WithClock(clk)
+	observeAt(n, clk, 0, "overload", 0.8)
 	// This shutdown arrives after the window closed: the expiry fires first,
 	// so the absence is already detected.
-	got := n.Observe(ev("shutdown", 1.0, 3*time.Minute))
+	got := observeAt(n, clk, 3*time.Minute, "shutdown", 1.0)
 	if len(got) != 1 {
 		t.Fatalf("detections = %d, want 1", len(got))
 	}
@@ -63,20 +68,25 @@ func TestNegationCancelOutsideWindowIgnored(t *testing.T) {
 }
 
 func TestNegationThreshold(t *testing.T) {
+	clk := newClock()
 	n := NewNegation(time.Minute, 0.5,
-		AttrEquals("type", "overload"), AttrEquals("type", "shutdown"))
-	n.Observe(ev("overload", 0.8, 0))
-	n.Observe(ev("shutdown", 0.6, time.Second)) // discount to 0.32 < 0.5
+		AttrEquals("type", "overload"), AttrEquals("type", "shutdown")).WithClock(clk)
+	observeAt(n, clk, 0, "overload", 0.8)
+	observeAt(n, clk, time.Second, "shutdown", 0.6) // discount to 0.32 < 0.5
 	if got := n.Flush(t0.Add(2 * time.Minute)); len(got) != 0 {
 		t.Errorf("below-threshold absence detected: %v", got)
 	}
 }
 
 func TestNegationMultipleTriggers(t *testing.T) {
+	clk := newClock()
 	n := NewNegation(time.Minute, 0,
-		AttrEquals("type", "overload"), AttrEquals("type", "shutdown"))
-	n.Observe(ev("overload", 0.9, 0))
-	n.Observe(ev("overload", 0.7, 10*time.Second))
+		AttrEquals("type", "overload"), AttrEquals("type", "shutdown")).WithClock(clk)
+	observeAt(n, clk, 0, "overload", 0.9)
+	observeAt(n, clk, 10*time.Second, "overload", 0.7)
+	if got := n.Occupancy(); got != 2 {
+		t.Fatalf("occupancy = %d, want 2", got)
+	}
 	got := n.Flush(t0.Add(5 * time.Minute))
 	if len(got) != 2 {
 		t.Fatalf("detections = %d, want 2", len(got))
@@ -85,12 +95,16 @@ func TestNegationMultipleTriggers(t *testing.T) {
 	if math.Abs(sum-1.6) > 1e-12 {
 		t.Errorf("probabilities = %v", got)
 	}
+	if got := n.Occupancy(); got != 0 {
+		t.Errorf("occupancy after flush = %d, want 0", got)
+	}
 }
 
 func TestNegationFlushIdempotent(t *testing.T) {
+	clk := newClock()
 	n := NewNegation(time.Minute, 0,
-		AttrEquals("type", "overload"), AttrEquals("type", "shutdown"))
-	n.Observe(ev("overload", 0.9, 0))
+		AttrEquals("type", "overload"), AttrEquals("type", "shutdown")).WithClock(clk)
+	observeAt(n, clk, 0, "overload", 0.9)
 	if got := n.Flush(t0.Add(2 * time.Minute)); len(got) != 1 {
 		t.Fatalf("first flush = %d detections", len(got))
 	}

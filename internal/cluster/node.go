@@ -368,6 +368,7 @@ func (n *Node) handleRemoteDelivery(f *broker.Frame) {
 			SubscriptionID: f.SubscriptionID,
 			Score:          f.Score,
 			Replayed:       f.Replay,
+			At:             f.At,
 		})
 	}
 }
@@ -452,6 +453,7 @@ func (n *Node) ServePeer(conn net.Conn, hello *broker.Frame) {
 						SubscriptionID: origin,
 						Score:          d.Score,
 						Replay:         d.Replayed,
+						At:             d.At,
 					}) == nil {
 						n.ctrRemoteDel.Add(1)
 					}

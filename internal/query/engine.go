@@ -1,0 +1,546 @@
+// Package query is the continuous-query engine: it registers CEP patterns
+// the way the broker registers subscriptions and runs them against the
+// live delivery stream. The paper builds its probabilistic single-event
+// matcher precisely so matches "can feed into a complex event processing
+// module" (§3.5); this package closes that loop. Each named query owns a
+// thematic subscription that selects and scores its feeding stream — the
+// match score becomes the constituent probability — and a cep pattern
+// (sequence, conjunction, negation, count) that turns scored deliveries
+// into detections.
+//
+// In cluster mode the engine runs on the theme shard that owns the query's
+// feeding subscription: the broker server redirects query frames exactly
+// like subscribe frames, so window state always lives where the theme's
+// events land, and the backend's federated subscription (with its event-ID
+// dedup) feeds tags the shard does not own. The engine adds its own
+// event-ID dedup ring on top, so a replayed or re-forwarded event cannot
+// enter a window twice — detections stay duplicate-free across a
+// partition/heal cycle.
+//
+// Time-driven emissions (negation expiry, aggregate re-arming) need a
+// driver even when no events arrive: a ticker flushes every pattern on an
+// interval, and Broker.OnDrain hooks the engine's Drain so shutdown closes
+// all open windows and emits what they still hold.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"thematicep/internal/broker"
+	"thematicep/internal/cep"
+	"thematicep/internal/event"
+	"thematicep/internal/telemetry"
+)
+
+// Query kinds (QuerySpec.Kind).
+const (
+	KindSequence    = "sequence"
+	KindConjunction = "conjunction"
+	KindNegation    = "negation"
+	KindCount       = "count"
+)
+
+// DefaultFlushInterval is how often the engine flushes pattern windows on
+// a quiet stream.
+const DefaultFlushInterval = time.Second
+
+// dedupWindow bounds the engine's per-query event-ID dedup ring, mirroring
+// the federation edge dedup size.
+const dedupWindow = 1024
+
+// Errors returned by Register.
+var (
+	ErrClosed         = errors.New("query: engine closed")
+	ErrDuplicateQuery = errors.New("query: duplicate query name")
+)
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithClock replaces the wall clock (tests use telemetry.Manual). The
+// clock is shared with every pattern the engine builds.
+func WithClock(c telemetry.Clock) Option { return func(e *Engine) { e.clock = c } }
+
+// WithTracer attaches the broker's tracer so detections append
+// "query:<name>" spans to sampled event traces.
+func WithTracer(tr *telemetry.Tracer) Option { return func(e *Engine) { e.tracer = tr } }
+
+// WithFlushInterval overrides how often pattern windows are flushed on a
+// quiet stream (DefaultFlushInterval); d <= 0 disables the ticker, leaving
+// flushing to FlushExpired callers and Drain.
+func WithFlushInterval(d time.Duration) Option { return func(e *Engine) { e.flushEvery = d } }
+
+// WithDetectionBuffer sets each query's detection channel capacity
+// (default 64, the broker's queue default). Overflow drops the oldest
+// pending detection, mirroring the broker's delivery policy.
+func WithDetectionBuffer(n int) Option { return func(e *Engine) { e.buf = n } }
+
+// Engine owns named continuous queries over one backend (a local broker or
+// a cluster node). It implements broker.QueryRegistrar for the wire server
+// and broker.Collector for /metrics.
+type Engine struct {
+	be         broker.Backend
+	clock      telemetry.Clock
+	tracer     *telemetry.Tracer
+	flushEvery time.Duration
+	buf        int
+
+	detectHist *telemetry.Histogram // event-to-detection latency
+
+	mu      sync.Mutex
+	queries map[string]*Query
+	closed  bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds an engine over a backend and starts its flush ticker.
+func New(be broker.Backend, opts ...Option) *Engine {
+	e := &Engine{
+		be:         be,
+		clock:      telemetry.System,
+		flushEvery: DefaultFlushInterval,
+		buf:        64,
+		queries:    make(map[string]*Query),
+		done:       make(chan struct{}),
+		detectHist: telemetry.NewHistogram("thematicep_query_detect_seconds",
+			"Event-to-detection latency: detection emission minus the newest constituent's admission.",
+			telemetry.LatencyBuckets()),
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.buf < 1 {
+		e.buf = 1
+	}
+	if e.flushEvery > 0 {
+		e.wg.Add(1)
+		go e.flushLoop()
+	}
+	return e
+}
+
+// Register validates a spec, builds its pattern, subscribes the feeding
+// stream on the backend, and starts the feed goroutine.
+func (e *Engine) Register(spec *broker.QuerySpec) (*Query, error) {
+	if spec == nil {
+		return nil, errors.New("query: nil spec")
+	}
+	if spec.Name == "" {
+		return nil, errors.New("query: empty name")
+	}
+	if spec.Window <= 0 {
+		return nil, fmt.Errorf("query %q: window must be positive", spec.Name)
+	}
+	if spec.Subscription == nil {
+		return nil, fmt.Errorf("query %q: missing feeding subscription", spec.Name)
+	}
+	pattern, err := buildPattern(spec, e.clock)
+	if err != nil {
+		return nil, err
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, ok := e.queries[spec.Name]; ok {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateQuery, spec.Name)
+	}
+	// Reserve the name before subscribing (the subscribe may be slow on a
+	// federated backend); a racing Register of the same name must lose.
+	e.queries[spec.Name] = nil
+	e.mu.Unlock()
+
+	sub, err := e.be.SubscribeHandle(spec.Subscription)
+	if err != nil {
+		e.mu.Lock()
+		delete(e.queries, spec.Name)
+		e.mu.Unlock()
+		return nil, fmt.Errorf("query %q: subscribe: %w", spec.Name, err)
+	}
+
+	q := &Query{
+		eng:     e,
+		name:    spec.Name,
+		spec:    spec,
+		pattern: pattern,
+		sub:     sub,
+		ch:      make(chan broker.QueryDetection, e.buf),
+		seen:    make(map[string]struct{}, dedupWindow),
+	}
+	e.mu.Lock()
+	if e.closed {
+		delete(e.queries, spec.Name)
+		e.mu.Unlock()
+		sub.Close()
+		return nil, ErrClosed
+	}
+	e.queries[spec.Name] = q
+	e.mu.Unlock()
+
+	q.wg.Add(1)
+	go q.run()
+	return q, nil
+}
+
+// RegisterQuery implements broker.QueryRegistrar.
+func (e *Engine) RegisterQuery(spec *broker.QuerySpec) (broker.QueryHandle, error) {
+	return e.Register(spec)
+}
+
+// Get returns a registered query by name.
+func (e *Engine) Get(name string) (*Query, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	q, ok := e.queries[name]
+	return q, ok && q != nil
+}
+
+// snapshot copies the live query set.
+func (e *Engine) snapshot() []*Query {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*Query, 0, len(e.queries))
+	for _, q := range e.queries {
+		if q != nil {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+func (e *Engine) flushLoop() {
+	defer e.wg.Done()
+	t := time.NewTicker(e.flushEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-t.C:
+			e.FlushExpired()
+		}
+	}
+}
+
+// FlushExpired advances every pattern to the current clock time, emitting
+// detections whose windows have closed — the driver that lets a quiet
+// stream still fire negation expiries. It returns the number of
+// detections emitted.
+func (e *Engine) FlushExpired() int {
+	now := e.clock.Now()
+	total := 0
+	for _, q := range e.snapshot() {
+		total += q.flush(now, 0)
+	}
+	return total
+}
+
+// Drain force-closes every open window with end-of-stream semantics: each
+// pattern is flushed to now + its window, so pending negation and
+// aggregate state emits its final detections. Broker.OnDrain runs this
+// between quiescing publishes and flushing subscriber queues, so the
+// emissions still reach connected clients.
+func (e *Engine) Drain() {
+	now := e.clock.Now()
+	for _, q := range e.snapshot() {
+		q.flush(now, q.spec.Window+time.Nanosecond)
+	}
+}
+
+// Close stops the flush ticker and shuts every query down.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	qs := make([]*Query, 0, len(e.queries))
+	for _, q := range e.queries {
+		if q != nil {
+			qs = append(qs, q)
+		}
+	}
+	e.queries = make(map[string]*Query)
+	e.mu.Unlock()
+
+	close(e.done)
+	e.wg.Wait()
+	for _, q := range qs {
+		q.shutdown()
+	}
+}
+
+// unregister removes q from the engine if it is still the registered
+// holder of its name.
+func (e *Engine) unregister(q *Query) {
+	e.mu.Lock()
+	if cur, ok := e.queries[q.name]; ok && cur == q {
+		delete(e.queries, q.name)
+	}
+	e.mu.Unlock()
+}
+
+// QueryStats is one query's counters.
+type QueryStats struct {
+	Name       string
+	Kind       string
+	Fed        uint64 // deliveries fed into the pattern
+	Deduped    uint64 // duplicate event IDs suppressed before the pattern
+	Detections uint64 // detections emitted
+	Dropped    uint64 // detections dropped by the overflow policy
+	Occupancy  int    // window state held by the pattern
+}
+
+// Stats snapshots every registered query, sorted by name.
+func (e *Engine) Stats() []QueryStats {
+	qs := e.snapshot()
+	out := make([]QueryStats, 0, len(qs))
+	for _, q := range qs {
+		out = append(out, q.stats())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DetectLatency snapshots the event-to-detection latency histogram.
+func (e *Engine) DetectLatency() telemetry.HistogramSnapshot { return e.detectHist.Snapshot() }
+
+// buildPattern compiles a spec into a clock-injected cep pattern.
+func buildPattern(spec *broker.QuerySpec, clock telemetry.Clock) (cep.Pattern, error) {
+	filters := make([]cep.Filter, len(spec.Steps))
+	for i, st := range spec.Steps {
+		if st.Attr == "" {
+			return nil, fmt.Errorf("query %q: step %d: empty attribute", spec.Name, i)
+		}
+		if st.Value == "" {
+			filters[i] = cep.HasAttr(st.Attr)
+		} else {
+			filters[i] = cep.AttrEquals(st.Attr, st.Value)
+		}
+	}
+	switch spec.Kind {
+	case KindSequence:
+		if len(filters) == 0 {
+			return nil, fmt.Errorf("query %q: sequence needs at least one step", spec.Name)
+		}
+		return cep.NewSequence(spec.Window, spec.Threshold, filters...).WithClock(clock), nil
+	case KindConjunction:
+		if len(filters) == 0 {
+			return nil, fmt.Errorf("query %q: conjunction needs at least one step", spec.Name)
+		}
+		return cep.NewConjunction(spec.Window, spec.Threshold, filters...).WithClock(clock), nil
+	case KindNegation:
+		if len(filters) != 2 {
+			return nil, fmt.Errorf("query %q: negation needs exactly two steps (trigger, absent)", spec.Name)
+		}
+		return cep.NewNegation(spec.Window, spec.Threshold, filters[0], filters[1]).WithClock(clock), nil
+	case KindCount:
+		if len(filters) > 1 {
+			return nil, fmt.Errorf("query %q: count takes at most one step", spec.Name)
+		}
+		f := cep.Filter(func(*event.Event) bool { return true })
+		if len(filters) == 1 {
+			f = filters[0]
+		}
+		min := spec.MinExpected
+		if min <= 0 {
+			min = 1
+		}
+		return cep.NewCount(spec.Window, min, f).WithClock(clock), nil
+	}
+	return nil, fmt.Errorf("query %q: unknown kind %q", spec.Name, spec.Kind)
+}
+
+// Query is one registered continuous query: a feeding subscription, a cep
+// pattern, and a detection stream. It implements broker.QueryHandle.
+type Query struct {
+	eng     *Engine
+	name    string
+	spec    *broker.QuerySpec
+	pattern cep.Pattern
+	sub     broker.SubHandle
+	ch      chan broker.QueryDetection
+
+	// Event-ID dedup ring: the federation edge already dedups across
+	// peers, but the engine guards its window state independently so a
+	// replayed delivery or an operator re-feed cannot double-count.
+	seen  map[string]struct{}
+	order []string
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+
+	fed        atomic.Uint64
+	deduped    atomic.Uint64
+	detections atomic.Uint64
+	dropped    atomic.Uint64
+}
+
+// Name returns the query's registered name.
+func (q *Query) Name() string { return q.name }
+
+// C is the detection stream; closed by Close (or engine shutdown).
+func (q *Query) C() <-chan broker.QueryDetection { return q.ch }
+
+// Spec returns the registered spec.
+func (q *Query) Spec() *broker.QuerySpec { return q.spec }
+
+// Close unregisters the query, stops its feed, and closes the detection
+// channel. Safe to call more than once.
+func (q *Query) Close() {
+	q.eng.unregister(q)
+	q.shutdown()
+}
+
+func (q *Query) shutdown() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	q.mu.Unlock()
+	q.sub.Close() // closes the delivery channel, run() exits
+	q.wg.Wait()
+	close(q.ch)
+}
+
+// run feeds the subscription's deliveries into the pattern.
+func (q *Query) run() {
+	defer q.wg.Done()
+	for d := range q.sub.C() {
+		q.observe(d)
+	}
+}
+
+// observe converts one delivery into an uncertain event (probability =
+// match score, event time = broker admission time) and feeds the pattern.
+func (q *Query) observe(d broker.Delivery) {
+	if d.Event == nil {
+		return
+	}
+	if d.Event.ID != "" && q.duplicate(d.Event.ID) {
+		q.deduped.Add(1)
+		return
+	}
+	q.fed.Add(1)
+	at := d.At
+	if at.IsZero() {
+		at = q.eng.clock.Now()
+	}
+	dets := q.pattern.Observe(cep.UncertainEvent{
+		Event:       d.Event,
+		Probability: d.Score,
+		At:          at,
+	})
+	if len(dets) == 0 {
+		return
+	}
+	now := q.eng.clock.Now()
+	for _, det := range dets {
+		q.emit(det, now)
+	}
+	if tr := q.eng.tracer; tr != nil {
+		// Late span on the completing event's trace: how long after
+		// admission the detection fired.
+		tr.AppendSpan(d.Event.ID, "query:"+q.name, at, now.Sub(at))
+	}
+}
+
+// duplicate records an event ID and reports whether it was already seen,
+// evicting oldest-first past the ring capacity.
+func (q *Query) duplicate(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.seen[id]; ok {
+		return true
+	}
+	q.seen[id] = struct{}{}
+	q.order = append(q.order, id)
+	if len(q.order) > dedupWindow {
+		delete(q.seen, q.order[0])
+		q.order = q.order[1:]
+	}
+	return false
+}
+
+// flush advances the pattern to now+pad and emits any resulting
+// detections, returning how many fired.
+func (q *Query) flush(now time.Time, pad time.Duration) int {
+	f, ok := q.pattern.(cep.Flusher)
+	if !ok {
+		return 0
+	}
+	dets := f.Flush(now.Add(pad))
+	for _, det := range dets {
+		q.emit(det, now)
+	}
+	return len(dets)
+}
+
+// emit records telemetry and enqueues a detection, dropping the oldest
+// pending one when the consumer lags (the broker's overflow policy).
+func (q *Query) emit(det cep.Detection, now time.Time) {
+	events := make([]*event.Event, len(det.Events))
+	var newest time.Time
+	for i, ue := range det.Events {
+		events[i] = ue.Event
+		if ue.At.After(newest) {
+			newest = ue.At
+		}
+	}
+	if !newest.IsZero() {
+		q.eng.detectHist.ObserveDuration(now.Sub(newest))
+	}
+	q.detections.Add(1)
+	d := broker.QueryDetection{
+		Query:       q.name,
+		Probability: det.Probability,
+		Events:      events,
+		At:          now,
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	for {
+		select {
+		case q.ch <- d:
+			return
+		default:
+			select {
+			case <-q.ch:
+				q.dropped.Add(1)
+			default:
+			}
+		}
+	}
+}
+
+func (q *Query) stats() QueryStats {
+	st := QueryStats{
+		Name:       q.name,
+		Kind:       q.spec.Kind,
+		Fed:        q.fed.Load(),
+		Deduped:    q.deduped.Load(),
+		Detections: q.detections.Load(),
+		Dropped:    q.dropped.Load(),
+	}
+	if o, ok := q.pattern.(cep.Occupant); ok {
+		st.Occupancy = o.Occupancy()
+	}
+	return st
+}

@@ -1,0 +1,462 @@
+package query
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"thematicep/internal/broker"
+	"thematicep/internal/event"
+	"thematicep/internal/telemetry"
+)
+
+var t0 = time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+
+// exactMatcher scores 1 on exact predicate match, 0 otherwise.
+func exactMatcher() broker.Matcher {
+	return broker.MatchFunc(func(s *event.Subscription, e *event.Event) float64 {
+		if event.ExactMatch(s, e) {
+			return 1
+		}
+		return 0
+	})
+}
+
+func typedEvent(id, typ string) *event.Event {
+	return &event.Event{
+		ID:    id,
+		Theme: []string{"energy"},
+		Tuples: []event.Tuple{
+			{Attr: "type", Value: typ},
+		},
+	}
+}
+
+func typedSub(typ string) *event.Subscription {
+	return &event.Subscription{
+		Theme:      []string{"energy"},
+		Predicates: []event.Predicate{{Attr: "type", Value: typ}},
+	}
+}
+
+func countSpec(name string, window time.Duration, min float64) *broker.QuerySpec {
+	return &broker.QuerySpec{
+		Name:         name,
+		Kind:         KindCount,
+		Subscription: typedSub("spike"),
+		Window:       window,
+		MinExpected:  min,
+		Steps:        []broker.QueryStep{{Attr: "type", Value: "spike"}},
+	}
+}
+
+func recvDetection(t *testing.T, ch <-chan broker.QueryDetection) broker.QueryDetection {
+	t.Helper()
+	select {
+	case d, ok := <-ch:
+		if !ok {
+			t.Fatal("detection channel closed")
+		}
+		return d
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for detection")
+		return broker.QueryDetection{}
+	}
+}
+
+func TestCountQueryDetectsBurst(t *testing.T) {
+	b := broker.New(exactMatcher())
+	defer b.Close()
+	e := New(b, WithFlushInterval(-1))
+	defer e.Close()
+
+	q, err := e.Register(countSpec("burst", time.Minute, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := b.Publish(typedEvent("", "spike")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := recvDetection(t, q.C())
+	if d.Query != "burst" || len(d.Events) != 3 || d.Probability != 1 {
+		t.Errorf("detection = %+v", d)
+	}
+	st := e.Stats()
+	if len(st) != 1 || st[0].Detections != 1 || st[0].Fed != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st[0].Occupancy != 3 {
+		t.Errorf("occupancy = %d, want 3", st[0].Occupancy)
+	}
+}
+
+func TestQueryOverWireEndToEnd(t *testing.T) {
+	b := broker.New(exactMatcher())
+	defer b.Close()
+	e := New(b, WithFlushInterval(-1))
+	defer e.Close()
+	srv := broker.NewServer(b)
+	srv.SetQueryRegistrar(e)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := broker.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	name, detections, err := c.Query(countSpec("wire-burst", time.Minute, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "wire-burst" {
+		t.Fatalf("name = %q", name)
+	}
+	// Duplicate names are rejected across the wire.
+	if _, _, err := c.Query(countSpec("wire-burst", time.Minute, 2)); err == nil {
+		t.Fatal("duplicate query accepted")
+	}
+
+	for i := 0; i < 2; i++ {
+		if err := c.Publish(typedEvent("", "spike")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case d := <-detections:
+		if d.Query != "wire-burst" || len(d.Events) != 2 {
+			t.Errorf("detection = %+v", d)
+		}
+		if d.At.IsZero() {
+			t.Error("detection At not carried over the wire")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for wire detection")
+	}
+
+	if err := c.UnregisterQuery("wire-burst"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Get("wire-burst"); ok {
+		t.Error("query still registered after UnregisterQuery")
+	}
+	// The name is free again.
+	if _, _, err := c.Query(countSpec("wire-burst", time.Minute, 2)); err != nil {
+		t.Fatalf("re-register after unregister: %v", err)
+	}
+}
+
+func TestConnTeardownClosesQueries(t *testing.T) {
+	b := broker.New(exactMatcher())
+	defer b.Close()
+	e := New(b, WithFlushInterval(-1))
+	defer e.Close()
+	srv := broker.NewServer(b)
+	srv.SetQueryRegistrar(e)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := broker.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Query(countSpec("ephemeral", time.Minute, 2)); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := e.Get("ephemeral"); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("query survived connection teardown")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestNegationFiresOnQuietStreamViaFlush(t *testing.T) {
+	clk := telemetry.NewManual(t0)
+	b := broker.New(exactMatcher(), broker.WithClock(clk))
+	defer b.Close()
+	e := New(b, WithClock(clk), WithFlushInterval(-1))
+	defer e.Close()
+
+	q, err := e.Register(&broker.QuerySpec{
+		Name:         "no-shutdown",
+		Kind:         KindNegation,
+		Subscription: typedSub("overload"),
+		Window:       time.Minute,
+		Steps: []broker.QueryStep{
+			{Attr: "type", Value: "overload"},
+			{Attr: "type", Value: "shutdown"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish(typedEvent("e1", "overload")); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the feed goroutine to absorb the trigger.
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats()[0].Fed == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("trigger never fed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Quiet stream: nothing else arrives. Advancing the clock past the
+	// window and flushing emits the absence detection.
+	if n := e.FlushExpired(); n != 0 {
+		t.Fatalf("premature flush emissions: %d", n)
+	}
+	clk.Advance(2 * time.Minute)
+	if n := e.FlushExpired(); n != 1 {
+		t.Fatalf("flush emissions = %d, want 1", n)
+	}
+	d := recvDetection(t, q.C())
+	if d.Query != "no-shutdown" || len(d.Events) != 1 {
+		t.Errorf("detection = %+v", d)
+	}
+}
+
+func TestTickerDrivesQuietStreamEmissions(t *testing.T) {
+	b := broker.New(exactMatcher())
+	defer b.Close()
+	// Real clock, short window, fast ticker: no events after the trigger,
+	// the ticker alone must fire the negation.
+	e := New(b, WithFlushInterval(10*time.Millisecond))
+	defer e.Close()
+
+	q, err := e.Register(&broker.QuerySpec{
+		Name:         "quiet",
+		Kind:         KindNegation,
+		Subscription: typedSub("overload"),
+		Window:       30 * time.Millisecond,
+		Steps: []broker.QueryStep{
+			{Attr: "type", Value: "overload"},
+			{Attr: "type", Value: "shutdown"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish(typedEvent("e1", "overload")); err != nil {
+		t.Fatal(err)
+	}
+	d := recvDetection(t, q.C())
+	if d.Query != "quiet" {
+		t.Errorf("detection = %+v", d)
+	}
+}
+
+func TestDrainFlushesPendingWindows(t *testing.T) {
+	b := broker.New(exactMatcher())
+	defer b.Close()
+	e := New(b, WithFlushInterval(-1))
+	defer e.Close()
+	b.OnDrain(e.Drain)
+
+	q, err := e.Register(&broker.QuerySpec{
+		Name:         "pending",
+		Kind:         KindNegation,
+		Subscription: typedSub("overload"),
+		Window:       time.Hour, // far beyond the test's lifetime
+		Steps: []broker.QueryStep{
+			{Attr: "type", Value: "overload"},
+			{Attr: "type", Value: "shutdown"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish(typedEvent("e1", "overload")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats()[0].Fed == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("trigger never fed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Drain must force the hour-long window closed and emit the pending
+	// absence before shutdown completes.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := b.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	d := recvDetection(t, q.C())
+	if d.Query != "pending" || len(d.Events) != 1 {
+		t.Errorf("detection = %+v", d)
+	}
+}
+
+// stubBackend hands the test direct control of the delivery channel.
+type stubBackend struct {
+	mu   sync.Mutex
+	subs []*stubSub
+}
+
+type stubSub struct {
+	id string
+	ch chan broker.Delivery
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func (s *stubSub) ID() string                { return s.id }
+func (s *stubSub) C() <-chan broker.Delivery { return s.ch }
+func (s *stubSub) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+	}
+}
+
+func (b *stubBackend) Publish(e *event.Event) error { return nil }
+
+func (b *stubBackend) SubscribeHandle(sub *event.Subscription, opts ...broker.SubscribeOption) (broker.SubHandle, error) {
+	s := &stubSub{id: "stub", ch: make(chan broker.Delivery, 64)}
+	b.mu.Lock()
+	b.subs = append(b.subs, s)
+	b.mu.Unlock()
+	return s, nil
+}
+
+func TestEngineDedupsEventIDs(t *testing.T) {
+	be := &stubBackend{}
+	e := New(be, WithFlushInterval(-1))
+	defer e.Close()
+
+	q, err := e.Register(countSpec("dedup", time.Minute, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = q
+	sub := be.subs[0]
+	ev := typedEvent("dup-1", "spike")
+	for i := 0; i < 3; i++ {
+		sub.ch <- broker.Delivery{Event: ev, SubscriptionID: "stub", Score: 1, At: t0}
+	}
+	sub.ch <- broker.Delivery{Event: typedEvent("other", "spike"), SubscriptionID: "stub", Score: 1, At: t0}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := e.Stats()[0]
+		if st.Fed+st.Deduped == 4 {
+			if st.Fed != 2 || st.Deduped != 2 {
+				t.Fatalf("fed = %d, deduped = %d; want 2, 2", st.Fed, st.Deduped)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats never settled: %+v", e.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	be := &stubBackend{}
+	e := New(be, WithFlushInterval(-1))
+	defer e.Close()
+
+	cases := []*broker.QuerySpec{
+		nil,
+		{Kind: KindCount, Window: time.Minute, Subscription: typedSub("x")},                                           // no name
+		{Name: "w", Kind: KindCount, Subscription: typedSub("x")},                                                     // no window
+		{Name: "s", Kind: KindCount, Window: time.Minute},                                                             // no subscription
+		{Name: "k", Kind: "bogus", Window: time.Minute, Subscription: typedSub("x")},                                  // bad kind
+		{Name: "n", Kind: KindNegation, Window: time.Minute, Subscription: typedSub("x")},                             // negation arity
+		{Name: "q", Kind: KindSequence, Window: time.Minute, Subscription: typedSub("x")},                             // empty sequence
+		{Name: "e", Kind: KindCount, Window: time.Minute, Subscription: typedSub("x"), Steps: []broker.QueryStep{{}}}, // empty attr
+	}
+	for i, spec := range cases {
+		if _, err := e.Register(spec); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+
+	if _, err := e.Register(countSpec("dup", time.Minute, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Register(countSpec("dup", time.Minute, 1)); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	b := broker.New(exactMatcher())
+	defer b.Close()
+	e := New(b, WithFlushInterval(-1))
+	defer e.Close()
+	if _, err := e.Register(countSpec("expo", time.Minute, 2)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		b.Publish(typedEvent("", "spike"))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats()[0].Detections == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no detection")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var sb strings.Builder
+	expo := telemetry.NewExpo(&sb)
+	e.WriteMetrics(expo)
+	out := sb.String()
+	for _, want := range []string{
+		`thematicep_query_active 1`,
+		`thematicep_query_detections_total{query="expo"} 1`,
+		`thematicep_query_events_total{query="expo"} 2`,
+		`thematicep_query_window_events{query="expo"} 2`,
+		"thematicep_query_detect_seconds_bucket",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := telemetry.Lint(strings.NewReader(out)); err != nil {
+		t.Errorf("exposition lint: %v", err)
+	}
+}
+
+func BenchmarkQueryObserve(b *testing.B) {
+	be := &stubBackend{}
+	e := New(be, WithFlushInterval(-1))
+	defer e.Close()
+	q, err := e.Register(countSpec("bench", time.Minute, 1e12))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Non-matching type: the pattern evicts and recomputes but never
+	// accumulates, so the benchmark measures the steady observe path.
+	ev := typedEvent("", "other")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.observe(broker.Delivery{Event: ev, SubscriptionID: "stub", Score: 1, At: t0})
+	}
+}

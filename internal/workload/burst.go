@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"thematicep/internal/event"
+)
+
+// BurstConfig parameterizes the bursty workload of DESIGN.md §12: a
+// Poisson background stream of spike-typed events on one theme, overlaid
+// with theme-correlated bursts where the rate jumps. A count query with a
+// threshold above the background window expectation but below the burst
+// expectation should detect every burst and nothing else; the scorer
+// turns its detections into precision/recall/delay.
+type BurstConfig struct {
+	Seed           int64
+	Duration       time.Duration // total timeline span
+	BackgroundRate float64       // background events per second
+	BurstRate      float64       // additional events per second inside a burst
+	BurstLen       time.Duration // length of each burst window
+	Bursts         int           // number of burst windows
+	Theme          string        // theme tag carried by every event
+	BurstType      string        // value of the "type" attribute on every event
+}
+
+// DefaultBurstConfig is sized for an in-process run: ~0.5 events/s of
+// background noise against 50 events/s bursts, far enough apart that a
+// window threshold separates them cleanly.
+func DefaultBurstConfig() BurstConfig {
+	return BurstConfig{
+		Seed:           1,
+		Duration:       60 * time.Second,
+		BackgroundRate: 0.5,
+		BurstRate:      50,
+		BurstLen:       2 * time.Second,
+		Bursts:         4,
+		Theme:          "energy",
+		BurstType:      "spike",
+	}
+}
+
+// BurstWindow is one ground-truth burst interval, as offsets from the
+// start of the timeline.
+type BurstWindow struct {
+	Start time.Duration
+	End   time.Duration
+}
+
+// TimedEvent is an event with its offset from the start of the timeline.
+type TimedEvent struct {
+	At    time.Duration
+	Event *event.Event
+	Burst int // index into Timeline.Windows, -1 for background
+}
+
+// BurstTimeline is a generated bursty workload: a time-ordered event
+// stream plus the ground-truth burst windows it was built from.
+type BurstTimeline struct {
+	Config  BurstConfig
+	Events  []TimedEvent
+	Windows []BurstWindow
+}
+
+// GenerateBurst builds a deterministic bursty timeline. Background events
+// arrive as a Poisson process at BackgroundRate over the whole span; each
+// of the Bursts windows is placed in its own equal slice of the span
+// (uniformly within the slack, so windows never overlap and a quiet gap
+// separates consecutive bursts) and filled with a Poisson process at
+// BurstRate. The same seed always yields the same timeline.
+func GenerateBurst(cfg BurstConfig) (*BurstTimeline, error) {
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("workload: burst duration must be positive")
+	}
+	if cfg.BackgroundRate < 0 || cfg.BurstRate <= 0 {
+		return nil, fmt.Errorf("workload: rates must be non-negative (burst rate positive)")
+	}
+	if cfg.Bursts < 0 {
+		return nil, fmt.Errorf("workload: burst count must be non-negative")
+	}
+	if cfg.Bursts > 0 {
+		segment := cfg.Duration / time.Duration(cfg.Bursts)
+		if cfg.BurstLen <= 0 || cfg.BurstLen >= segment {
+			return nil, fmt.Errorf("workload: burst length %v must fit inside a %v segment with slack",
+				cfg.BurstLen, segment)
+		}
+	}
+	if cfg.Theme == "" || cfg.BurstType == "" {
+		return nil, fmt.Errorf("workload: theme and burst type are required")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tl := &BurstTimeline{Config: cfg}
+
+	// Burst windows: one per equal segment, offset uniformly within the
+	// slack. Keeping each window strictly inside its segment guarantees
+	// non-overlap and a quiet gap between consecutive bursts.
+	segment := time.Duration(0)
+	if cfg.Bursts > 0 {
+		segment = cfg.Duration / time.Duration(cfg.Bursts)
+	}
+	for i := 0; i < cfg.Bursts; i++ {
+		slack := segment - cfg.BurstLen
+		start := time.Duration(i)*segment + time.Duration(rng.Int63n(int64(slack)))
+		tl.Windows = append(tl.Windows, BurstWindow{Start: start, End: start + cfg.BurstLen})
+	}
+
+	mk := func(id string, at time.Duration, src string, burst int) TimedEvent {
+		return TimedEvent{
+			At:    at,
+			Burst: burst,
+			Event: &event.Event{
+				ID:    id,
+				Theme: []string{cfg.Theme},
+				Tuples: []event.Tuple{
+					{Attr: "type", Value: cfg.BurstType},
+					{Attr: "src", Value: src},
+				},
+			},
+		}
+	}
+
+	// Background: Poisson arrivals across the whole span.
+	for i, at := 0, poissonStep(rng, cfg.BackgroundRate); at < cfg.Duration; i, at = i+1, at+poissonStep(rng, cfg.BackgroundRate) {
+		tl.Events = append(tl.Events, mk(fmt.Sprintf("bg-%d", i), at, "background", -1))
+	}
+	// Bursts: Poisson arrivals within each window at the burst rate.
+	for w, win := range tl.Windows {
+		for i, at := 0, win.Start+poissonStep(rng, cfg.BurstRate); at < win.End; i, at = i+1, at+poissonStep(rng, cfg.BurstRate) {
+			tl.Events = append(tl.Events, mk(fmt.Sprintf("burst-%d-%d", w, i), at, "burst", w))
+		}
+	}
+	sort.SliceStable(tl.Events, func(i, j int) bool { return tl.Events[i].At < tl.Events[j].At })
+	return tl, nil
+}
+
+// poissonStep draws one exponential inter-arrival gap for a Poisson
+// process of the given rate (events per second). A zero rate yields an
+// effectively infinite gap, i.e. no events.
+func poissonStep(rng *rand.Rand, rate float64) time.Duration {
+	if rate <= 0 {
+		return time.Duration(1<<62 - 1)
+	}
+	return time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+}
+
+// BurstScore grades a detector's output against the ground truth.
+type BurstScore struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+	Precision      float64 // TP / (TP+FP); 1 when nothing was reported
+	Recall         float64 // TP / bursts; 1 when there were no bursts
+	MeanDelay      time.Duration
+	MaxDelay       time.Duration
+}
+
+// Score matches detection offsets against the burst windows. A detection
+// credits the earliest unmatched window containing it (extended by slack
+// past its end, for detectors whose window must fill before crossing the
+// threshold); each window is credited at most once, so a duplicate
+// detection of the same burst counts as a false positive, as does any
+// detection outside every window. Delay is measured from the window start
+// to the detection.
+func (tl *BurstTimeline) Score(detections []time.Duration, slack time.Duration) BurstScore {
+	var sc BurstScore
+	matched := make([]bool, len(tl.Windows))
+	var totalDelay time.Duration
+	for _, at := range detections {
+		credited := false
+		for i, w := range tl.Windows {
+			if matched[i] || at < w.Start || at > w.End+slack {
+				continue
+			}
+			matched[i] = true
+			credited = true
+			d := at - w.Start
+			totalDelay += d
+			if d > sc.MaxDelay {
+				sc.MaxDelay = d
+			}
+			break
+		}
+		if credited {
+			sc.TruePositives++
+		} else {
+			sc.FalsePositives++
+		}
+	}
+	for _, m := range matched {
+		if !m {
+			sc.FalseNegatives++
+		}
+	}
+	sc.Precision = 1
+	if sc.TruePositives+sc.FalsePositives > 0 {
+		sc.Precision = float64(sc.TruePositives) / float64(sc.TruePositives+sc.FalsePositives)
+	}
+	sc.Recall = 1
+	if len(tl.Windows) > 0 {
+		sc.Recall = float64(sc.TruePositives) / float64(len(tl.Windows))
+	}
+	if sc.TruePositives > 0 {
+		sc.MeanDelay = totalDelay / time.Duration(sc.TruePositives)
+	}
+	return sc
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGenerateBurstDeterministic(t *testing.T) {
+	cfg := DefaultBurstConfig()
+	a, err := GenerateBurst(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateBurst(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) || len(a.Windows) != len(b.Windows) {
+		t.Fatalf("same seed diverged: %d/%d events, %d/%d windows",
+			len(a.Events), len(b.Events), len(a.Windows), len(b.Windows))
+	}
+	for i := range a.Events {
+		if a.Events[i].At != b.Events[i].At || a.Events[i].Event.ID != b.Events[i].Event.ID {
+			t.Fatalf("event %d diverged: %v/%q vs %v/%q", i,
+				a.Events[i].At, a.Events[i].Event.ID, b.Events[i].At, b.Events[i].Event.ID)
+		}
+	}
+	c, err := GenerateBurst(BurstConfig{
+		Seed: cfg.Seed + 1, Duration: cfg.Duration, BackgroundRate: cfg.BackgroundRate,
+		BurstRate: cfg.BurstRate, BurstLen: cfg.BurstLen, Bursts: cfg.Bursts,
+		Theme: cfg.Theme, BurstType: cfg.BurstType,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Windows[0] == a.Windows[0] {
+		t.Error("different seeds produced identical first burst window")
+	}
+}
+
+func TestGenerateBurstShape(t *testing.T) {
+	cfg := DefaultBurstConfig()
+	tl, err := GenerateBurst(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Windows) != cfg.Bursts {
+		t.Fatalf("windows = %d, want %d", len(tl.Windows), cfg.Bursts)
+	}
+	for i, w := range tl.Windows {
+		if w.Start < 0 || w.End > cfg.Duration || w.End-w.Start != cfg.BurstLen {
+			t.Errorf("window %d = %+v out of shape", i, w)
+		}
+		if i > 0 && w.Start <= tl.Windows[i-1].End {
+			t.Errorf("window %d overlaps previous (%v <= %v)", i, w.Start, tl.Windows[i-1].End)
+		}
+	}
+	var last time.Duration
+	inBurst, background := 0, 0
+	for i, te := range tl.Events {
+		if te.At < last {
+			t.Fatalf("event %d out of order: %v after %v", i, te.At, last)
+		}
+		last = te.At
+		if te.At < 0 || te.At > cfg.Duration+cfg.BurstLen {
+			t.Errorf("event %d at %v outside the timeline", i, te.At)
+		}
+		if err := te.Event.Validate(); err != nil {
+			t.Fatalf("event %d invalid: %v", i, err)
+		}
+		if te.Burst >= 0 {
+			inBurst++
+			w := tl.Windows[te.Burst]
+			if te.At < w.Start || te.At > w.End {
+				t.Errorf("burst event %d at %v outside its window %+v", i, te.At, w)
+			}
+		} else {
+			background++
+		}
+	}
+	// Expected counts: background rate*span, burst rate*len per burst.
+	// Poisson with these means stays well within a factor of two.
+	wantBg := cfg.BackgroundRate * cfg.Duration.Seconds()
+	wantBurst := cfg.BurstRate * cfg.BurstLen.Seconds() * float64(cfg.Bursts)
+	if f := float64(background); f < wantBg/2 || f > wantBg*2 {
+		t.Errorf("background events = %d, want about %.0f", background, wantBg)
+	}
+	if f := float64(inBurst); f < wantBurst/2 || f > wantBurst*2 {
+		t.Errorf("burst events = %d, want about %.0f", inBurst, wantBurst)
+	}
+}
+
+func TestGenerateBurstValidation(t *testing.T) {
+	base := DefaultBurstConfig()
+	bad := []func(*BurstConfig){
+		func(c *BurstConfig) { c.Duration = 0 },
+		func(c *BurstConfig) { c.BurstRate = 0 },
+		func(c *BurstConfig) { c.BackgroundRate = -1 },
+		func(c *BurstConfig) { c.Bursts = -1 },
+		func(c *BurstConfig) { c.BurstLen = c.Duration }, // cannot fit a segment
+		func(c *BurstConfig) { c.Theme = "" },
+		func(c *BurstConfig) { c.BurstType = "" },
+	}
+	for i, mutate := range bad {
+		cfg := base
+		mutate(&cfg)
+		if _, err := GenerateBurst(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestBurstScorePerfect(t *testing.T) {
+	tl, err := GenerateBurst(DefaultBurstConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var det []time.Duration
+	for _, w := range tl.Windows {
+		det = append(det, w.Start+100*time.Millisecond)
+	}
+	sc := tl.Score(det, 0)
+	if sc.Precision != 1 || sc.Recall != 1 || sc.FalsePositives != 0 || sc.FalseNegatives != 0 {
+		t.Errorf("perfect detections scored %+v", sc)
+	}
+	if sc.MeanDelay != 100*time.Millisecond || sc.MaxDelay != 100*time.Millisecond {
+		t.Errorf("delay = %v/%v, want 100ms", sc.MeanDelay, sc.MaxDelay)
+	}
+}
+
+func TestBurstScorePenalties(t *testing.T) {
+	tl, err := GenerateBurst(DefaultBurstConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0 := tl.Windows[0]
+	// One hit, one duplicate of the same burst, one spurious detection in
+	// the quiet gap; the other three bursts are missed.
+	gap := (tl.Windows[0].End + tl.Windows[1].Start) / 2
+	sc := tl.Score([]time.Duration{w0.Start + time.Second, w0.Start + time.Second, gap}, 0)
+	if sc.TruePositives != 1 || sc.FalsePositives != 2 || sc.FalseNegatives != 3 {
+		t.Fatalf("score = %+v, want TP=1 FP=2 FN=3", sc)
+	}
+	if sc.Precision != 1.0/3 || sc.Recall != 0.25 {
+		t.Errorf("precision/recall = %v/%v, want 1/3 and 1/4", sc.Precision, sc.Recall)
+	}
+	// Slack credits a detection that lands just after the window closes.
+	late := tl.Windows[1].End + 50*time.Millisecond
+	sc = tl.Score([]time.Duration{late}, 100*time.Millisecond)
+	if sc.TruePositives != 1 {
+		t.Errorf("late detection within slack scored %+v, want one TP", sc)
+	}
+	if sc = tl.Score(nil, 0); sc.Precision != 1 || sc.Recall != 0 {
+		t.Errorf("empty detections scored %+v, want precision 1 recall 0", sc)
+	}
+}
