@@ -141,7 +141,7 @@ func BenchmarkBrokerPublishParallel(b *testing.B) {
 	defer e.work.ClearThemes()
 	m := matcher.New(semantics.NewSpace(e.ix))
 	br := broker.New(
-		broker.Prepared(m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared),
+		broker.PreparedBatch(m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared, m.ScoreBatch),
 		broker.WithThreshold(0.3), broker.WithReplayBuffer(0), broker.WithQueueSize(64))
 	var wg sync.WaitGroup
 	for _, s := range e.work.ApproxSubs {
@@ -479,7 +479,7 @@ func BenchmarkBrokerPublishPruned(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			m := matcher.New(semantics.NewSpace(e.ix))
 			br := broker.New(
-				broker.Prepared(m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared),
+				broker.PreparedBatch(m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared, m.ScoreBatch),
 				broker.WithPruning(pruning),
 				broker.WithThreshold(0.3), broker.WithReplayBuffer(0), broker.WithQueueSize(64))
 			var wg sync.WaitGroup

@@ -8,6 +8,7 @@
 //	benchgen -out workload/ -paper               # 166 seeds -> ~14.8k events
 //	benchgen -out workload/ -seeds 100 -per 20 -subs 50
 //	benchgen -out workload/ -themes 5,10 -samples 3
+//	benchgen -out workload/ -scale 100000        # 100k-subscription scale tier
 //
 // Files written: seeds.jsonl, events.jsonl, subscriptions.jsonl (exact and
 // approximate interleaved per line as one object), groundtruth.csv
@@ -48,9 +49,14 @@ func run(args []string) error {
 		themes  = fs.String("themes", "", "theme sizes 'e,s' to sample combinations for (optional)")
 		samples = fs.Int("samples", 5, "theme combinations to sample when -themes is set")
 		zipf    = fs.Bool("zipf", false, "zipf-distributed theme tag sampling")
+		scale   = fs.Int("scale", 0, "scale-tier population: N subscriptions (e.g. 100000) over a zipf-skewed shared vocabulary")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *scale > 0 {
+		return runScale(*out, *scale, *seed)
 	}
 
 	cfg := workload.DefaultConfig()
@@ -120,6 +126,32 @@ func run(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s: %d seeds, %d events, %d subscriptions, %d relevant pairs\n",
 		*out, len(w.Seeds), len(w.Events), len(w.ApproxSubs), relevant)
+	return nil
+}
+
+// runScale exports a scale-tier population (workload.GenerateScale):
+// plain subscriptions.jsonl / events.jsonl, no expansion ground truth —
+// the tier exists to load-test matching at 100k+ subscriptions, not to
+// measure effectiveness.
+func runScale(out string, n int, seed int64) error {
+	cfg := workload.DefaultScaleConfig(n)
+	cfg.Seed = seed
+	w := workload.GenerateScale(cfg)
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	if err := writeJSONL(filepath.Join(out, "subscriptions.jsonl"), len(w.Subs), func(i int) any {
+		return w.Subs[i]
+	}); err != nil {
+		return err
+	}
+	if err := writeJSONL(filepath.Join(out, "events.jsonl"), len(w.Events), func(i int) any {
+		return w.Events[i]
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: scale tier, %d subscriptions, %d events\n",
+		out, len(w.Subs), len(w.Events))
 	return nil
 }
 

@@ -44,7 +44,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: all, fig7, fig8, fig9, fig10, baseline, headline, significance, table1, prior, sweep, topk, ablation, tagging, shape, diag, pruning, burst")
+		exp      = fs.String("exp", "all", "experiment: all, fig7, fig8, fig9, fig10, baseline, headline, significance, table1, prior, sweep, topk, ablation, tagging, shape, diag, pruning, burst, scale")
 		full     = fs.Bool("full", false, "paper-scale workload and grid (slow)")
 		seed     = fs.Int64("seed", 7, "master seed")
 		csvdir   = fs.String("csvdir", "", "directory for CSV output (optional)")
@@ -85,6 +85,7 @@ func run(args []string) error {
 		"significance": runSignificance,
 		"pruning":      runPruning,
 		"burst":        runBurst,
+		"scale":        runScale,
 	}
 	if *exp == "all" {
 		for _, name := range []string{"baseline", "fig7", "headline", "significance", "table1", "prior", "sweep", "topk", "ablation", "tagging", "pruning"} {
@@ -323,7 +324,7 @@ func (e *env0) brokerPass(pruning bool) (brokerRun, error) {
 	e.space.ResetCaches()
 	m := matcher.New(e.space)
 	b := broker.New(
-		broker.Prepared(m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared),
+		broker.PreparedBatch(m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared, m.ScoreBatch),
 		broker.WithPruning(pruning),
 		broker.WithReplayBuffer(0),
 		broker.WithQueueSize(1),

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"thematicep/internal/broker"
+	"thematicep/internal/matcher"
+	"thematicep/internal/workload"
+)
+
+// scaleTiers are the subscription population sizes of the scale
+// experiment (E8). -full adds a fourth half-million tier.
+func (e *env0) scaleTiers() []int {
+	tiers := []int{1_000, 10_000, 100_000}
+	if e.full {
+		tiers = append(tiers, 500_000)
+	}
+	return tiers
+}
+
+// scaleRow is one tier's measurements.
+type scaleRow struct {
+	Subs          int     `json:"subs"`
+	Events        int     `json:"events"`
+	CandPerEvent  float64 `json:"candidates_per_event"`
+	PrunedPercent float64 `json:"pruned_percent"`
+	Matched       uint64  `json:"matched"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	WallSeconds   float64 `json:"wall_seconds"`
+}
+
+// scalePass subscribes every scale subscription, publishes every scale
+// event through the batch-scoring broker, and returns counters + wall
+// time of the publish loop. Queue size is minimal with drop-oldest, so
+// the pass measures enumeration + scoring, not delivery consumption.
+func (e *env0) scalePass(w *workload.ScaleWorkload, pruning bool, parallelism int) (brokerRun, error) {
+	e.space.ResetCaches()
+	m := matcher.New(e.space)
+	b := broker.New(
+		broker.PreparedBatch(m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared, m.ScoreBatch),
+		broker.WithPruning(pruning),
+		broker.WithReplayBuffer(0),
+		broker.WithQueueSize(1),
+		broker.WithMatchParallelism(parallelism),
+	)
+	defer b.Close()
+	for _, s := range w.Subs {
+		if _, err := b.Subscribe(s); err != nil {
+			return brokerRun{}, err
+		}
+	}
+	start := time.Now()
+	for _, ev := range w.Events {
+		if err := b.Publish(ev); err != nil {
+			return brokerRun{}, err
+		}
+	}
+	return brokerRun{Stats: b.Stats(), Elapsed: time.Since(start)}, nil
+}
+
+// runScale is E8: Internet-scale matching. Each tier generates a fresh
+// zipf-skewed population, publishes the event stream through the
+// inverted-index + batch-scoring broker, and reports the headline
+// candidates-per-event figure alongside publish throughput. The smallest
+// tier is cross-checked against a full scan: pruning must not change the
+// match count.
+func runScale(e *env0) error {
+	tiers := e.scaleTiers()
+	fmt.Println("== E8: Internet-scale matching (inverted subscription index + columnar batch scoring) ==")
+	fmt.Printf("%-10s %-8s %-18s %-10s %-10s %-12s %s\n",
+		"subs", "events", "candidates/event", "pruned%", "matched", "events/sec", "wall")
+
+	rows := make([]scaleRow, 0, len(tiers))
+	for i, n := range tiers {
+		cfg := workload.DefaultScaleConfig(n)
+		cfg.Seed = e.seed
+		w := workload.GenerateScale(cfg)
+
+		run, err := e.scalePass(w, true, e.parallel)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			// Equivalence gate at the tractable tier: the full scan must
+			// find exactly the matches the pruned index admits.
+			full, err := e.scalePass(w, false, e.parallel)
+			if err != nil {
+				return err
+			}
+			if full.Stats.Matched != run.Stats.Matched {
+				return fmt.Errorf("scale tier %d: pruning changed matches: %d full scan vs %d pruned",
+					n, full.Stats.Matched, run.Stats.Matched)
+			}
+		}
+
+		nev := float64(len(w.Events))
+		pairs := float64(run.Stats.Scanned + run.Stats.Pruned)
+		row := scaleRow{
+			Subs:          n,
+			Events:        len(w.Events),
+			CandPerEvent:  float64(run.Stats.Scanned) / nev,
+			PrunedPercent: 100 * float64(run.Stats.Pruned) / pairs,
+			Matched:       run.Stats.Matched,
+			EventsPerSec:  nev / run.Elapsed.Seconds(),
+			WallSeconds:   run.Elapsed.Seconds(),
+		}
+		rows = append(rows, row)
+		fmt.Printf("%-10d %-8d %-18.1f %-10.2f %-10d %-12.0f %v\n",
+			row.Subs, row.Events, row.CandPerEvent, row.PrunedPercent,
+			row.Matched, row.EventsPerSec, run.Elapsed.Round(msRound))
+	}
+	fmt.Println()
+
+	if e.benchjson != "" {
+		doc := map[string]any{
+			"experiment": "scale",
+			"seed":       e.seed,
+			"parallel":   e.parallel,
+			"tiers":      rows,
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(e.benchjson, append(data, '\n'), 0o644)
+	}
+	return nil
+}

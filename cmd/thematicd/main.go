@@ -95,10 +95,11 @@ func run(args []string) error {
 	if *shedMark > 0 {
 		opts = append(opts, broker.WithShedWatermark(*shedMark))
 	}
-	// The Prepared adapter turns on the broker's prepare-once fast path:
-	// subscriptions are canonicalized and theme-compiled at Subscribe time,
-	// events once per publish.
-	b := broker.New(broker.Prepared(m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared), opts...)
+	// The PreparedBatch adapter turns on the broker's prepare-once fast
+	// path (subscriptions canonicalized and theme-compiled at Subscribe
+	// time, events once per publish) plus columnar batch scoring of each
+	// event's candidate set.
+	b := broker.New(broker.PreparedBatch(m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared, m.ScoreBatch), opts...)
 	defer b.Close()
 
 	srv := broker.NewServer(b)

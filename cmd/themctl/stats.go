@@ -132,6 +132,45 @@ func printSummary(body []byte) error {
 			time.Duration(p95*float64(time.Second)).Round(time.Microsecond), count)
 	}
 
+	// Subscription-index occupancy and the candidates-per-event
+	// distribution: the inverted index's pruning effectiveness at a glance.
+	gauge := func(name string) (float64, bool) {
+		f := byName[name]
+		if f == nil || len(f.Samples) == 0 {
+			return 0, false
+		}
+		return f.Samples[0].Value, true
+	}
+	if subs, ok := gauge("thematicep_subindex_subscriptions"); ok {
+		fmt.Println("subindex:")
+		fmt.Printf("  %-14s %.0f\n", "subscriptions", subs)
+		for _, g := range []struct{ label, name string }{
+			{"themes", "thematicep_subindex_themes"},
+			{"buckets", "thematicep_subindex_buckets"},
+			{"terms", "thematicep_subindex_terms"},
+			{"approx-only", "thematicep_subindex_approx_entries"},
+			{"max bucket", "thematicep_subindex_max_bucket"},
+			{"free slots", "thematicep_subindex_free_slots"},
+		} {
+			if v, ok := gauge(g.name); ok {
+				fmt.Printf("  %-14s %.0f\n", g.label, v)
+			}
+		}
+		if v, ok := gauge("thematicep_subindex_avg_bucket"); ok {
+			fmt.Printf("  %-14s %.2f\n", "avg bucket", v)
+		}
+		if f := byName["thematicep_subindex_candidates_per_event"]; f != nil && f.Type == "histogram" {
+			count, p50, p95 := histogramQuantiles(f)
+			if count > 0 {
+				fmt.Printf("  %-14s p50 %.0f / p95 %.0f over %.0f events", "candidates", p50, p95, count)
+				if subs > 0 {
+					fmt.Printf(" (p95 = %.1f%% of live subs)", 100*p95/subs)
+				}
+				fmt.Println()
+			}
+		}
+	}
+
 	if f := byName["thematicep_query_detections_total"]; f != nil && len(f.Samples) > 0 {
 		fed := byName["thematicep_query_events_total"]
 		fedFor := func(query string) float64 {

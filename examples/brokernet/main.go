@@ -29,9 +29,10 @@ func run() error {
 	// Broker side: the thematic matcher is the broker's matching engine.
 	space := semantics.NewSpace(index.Build(corpus.GenerateDefault()))
 	m := matcher.New(space)
-	// Prepared adapter: the broker compiles each subscription once and each
-	// event once per publish instead of per (event, subscription) pair.
-	b := broker.New(broker.Prepared(m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared),
+	// PreparedBatch adapter: the broker compiles each subscription once and
+	// each event once per publish instead of per (event, subscription)
+	// pair, and scores each event's candidates in one columnar sweep.
+	b := broker.New(broker.PreparedBatch(m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared, m.ScoreBatch),
 		broker.WithThreshold(0.2))
 	defer b.Close()
 

@@ -28,7 +28,7 @@ func TestEndToEndPipeline(t *testing.T) {
 
 	// Broker over TCP, on the prepared fast path with a worker pool.
 	b := broker.New(
-		broker.Prepared(m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared),
+		broker.PreparedBatch(m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared, m.ScoreBatch),
 		broker.WithThreshold(0.52), broker.WithMatchParallelism(4))
 	defer b.Close()
 	srv := broker.NewServer(b)

@@ -1,0 +1,124 @@
+package broker
+
+import (
+	"fmt"
+	"testing"
+
+	"thematicep/internal/event"
+	"thematicep/internal/matcher"
+)
+
+func preparedBatchThematic(t testing.TB) PreparedMatcher {
+	m := matcher.New(evalSpace(t))
+	return PreparedBatch(m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared, m.ScoreBatch)
+}
+
+// runBrokerWith is runBroker with an explicit matcher: subscribe all,
+// publish all (unsubscribing a third halfway), return delivery set + stats.
+func runBrokerWith(t *testing.T, pm PreparedMatcher, subs []*event.Subscription, events []*event.Event, opts ...Option) (map[deliveryKey]bool, Stats) {
+	t.Helper()
+	base := []Option{
+		WithQueueSize(len(events) + 1),
+		WithReplayBuffer(0),
+	}
+	b := New(pm, append(base, opts...)...)
+
+	handles := make([]*Subscriber, len(subs))
+	for i, s := range subs {
+		h, err := b.Subscribe(s)
+		if err != nil {
+			t.Fatalf("subscribe %q: %v", s.ID, err)
+		}
+		handles[i] = h
+	}
+	for i, e := range events {
+		if i == len(events)/2 {
+			for j := 0; j < len(handles); j += 3 {
+				handles[j].Close()
+			}
+		}
+		if err := b.Publish(e); err != nil {
+			t.Fatalf("publish %q: %v", e.ID, err)
+		}
+	}
+	st := b.Stats()
+	b.Close()
+
+	got := make(map[deliveryKey]bool)
+	for _, h := range handles {
+		for d := range h.C() {
+			got[deliveryKey{d.SubscriptionID, d.Event.ID, d.Score}] = true
+		}
+	}
+	return got, st
+}
+
+func diffDeliveries(t *testing.T, label string, want, got map[deliveryKey]bool) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Errorf("%s: delivery counts differ: want %d, got %d", label, len(want), len(got))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("%s: lost delivery %+v", label, k)
+		}
+	}
+	for k := range got {
+		if !want[k] {
+			t.Errorf("%s: invented delivery %+v", label, k)
+		}
+	}
+}
+
+// TestBatchDeliveryEquivalence is the batch-dispatch acceptance criterion:
+// a broker scoring through ScoreBatchPrepared must produce the exact
+// delivery set — including bit-identical scores — of the serial
+// ScorePrepared broker, serially and under the parallel chunked
+// dispatcher, with and without pruning.
+func TestBatchDeliveryEquivalence(t *testing.T) {
+	for _, seed := range []int64{3, 42} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			subs, events := mixedThemeWorkload(t, seed)
+			serial, serialStats := runBrokerWith(t, preparedThematic(t), subs, events, WithMatchParallelism(1))
+
+			batch, batchStats := runBrokerWith(t, preparedBatchThematic(t), subs, events, WithMatchParallelism(1))
+			diffDeliveries(t, "batch serial", serial, batch)
+
+			batchPar, _ := runBrokerWith(t, preparedBatchThematic(t), subs, events, WithMatchParallelism(4))
+			diffDeliveries(t, "batch parallel", serial, batchPar)
+
+			batchFull, _ := runBrokerWith(t, preparedBatchThematic(t), subs, events, WithMatchParallelism(4), WithPruning(false))
+			diffDeliveries(t, "batch full-scan", serial, batchFull)
+
+			if batchStats.Matched != serialStats.Matched || batchStats.Scanned != serialStats.Scanned {
+				t.Errorf("stats differ: batch scanned/matched %d/%d, serial %d/%d",
+					batchStats.Scanned, batchStats.Matched, serialStats.Scanned, serialStats.Matched)
+			}
+		})
+	}
+}
+
+// TestBatchDispatchChunks drives a candidate set wider than one dispatch
+// chunk (multiple ScoreBatchPrepared sweeps per publish, parallel workers)
+// and checks it against the serial broker.
+func TestBatchDispatchChunks(t *testing.T) {
+	baseSubs, events := mixedThemeWorkload(t, 11)
+	var subs []*event.Subscription
+	for rep := 0; rep < 12; rep++ {
+		for _, s := range baseSubs {
+			cp := *s
+			cp.ID = fmt.Sprintf("%s-r%d", s.ID, rep)
+			subs = append(subs, &cp)
+		}
+	}
+	if len(subs) <= 2*batchChunkSize {
+		t.Fatalf("population %d does not exceed two chunks (%d)", len(subs), batchChunkSize)
+	}
+	events = events[:12]
+	serial, _ := runBrokerWith(t, preparedThematic(t), subs, events, WithMatchParallelism(1))
+	batch, _ := runBrokerWith(t, preparedBatchThematic(t), subs, events, WithMatchParallelism(4))
+	diffDeliveries(t, "chunked batch", serial, batch)
+	if len(serial) == 0 {
+		t.Fatal("workload produced no deliveries; equivalence is vacuous")
+	}
+}

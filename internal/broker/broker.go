@@ -110,6 +110,69 @@ func Prepared[PS, PE any](
 	}
 }
 
+// BatchMatcher extends PreparedMatcher with columnar batch scoring: one
+// prepared event swept across a whole candidate batch, sharing per-term
+// similarity work between subscriptions. The broker batches dispatch
+// through it when available. Scores must be bit-identical to calling
+// ScorePrepared per subscription — batching is a performance capability,
+// never a semantic one — and concurrent ScoreBatchPrepared calls on shared
+// prepared values must be allowed.
+type BatchMatcher interface {
+	PreparedMatcher
+	// ScoreBatchPrepared appends one score per prepared subscription (in
+	// order) to out and returns it.
+	ScoreBatchPrepared(subs []any, ev any, out []float64) []float64
+}
+
+// preparedBatch adapts typed batch-scoring methods to BatchMatcher. It is
+// a distinct type (not a field on prepared) so that a matcher adapted
+// through Prepared never spuriously satisfies the BatchMatcher assertion.
+type preparedBatch[PS, PE any] struct {
+	prepared[PS, PE]
+	scoreBatch func([]PS, PE, []float64) []float64
+	subsPool   sync.Pool // *[]PS scratch for the any -> PS conversion
+}
+
+func (p *preparedBatch[PS, PE]) ScoreBatchPrepared(subs []any, ev any, out []float64) []float64 {
+	bufp, _ := p.subsPool.Get().(*[]PS)
+	if bufp == nil {
+		bufp = new([]PS)
+	}
+	typed := (*bufp)[:0]
+	for _, s := range subs {
+		typed = append(typed, s.(PS))
+	}
+	out = p.scoreBatch(typed, ev.(PE), out)
+	clear(typed) // drop prepared-subscription references before pooling
+	*bufp = typed[:0]
+	p.subsPool.Put(bufp)
+	return out
+}
+
+// PreparedBatch is Prepared plus a typed batch scorer (for example
+// *matcher.Matcher's ScoreBatch):
+//
+//	m := matcher.New(space)
+//	b := broker.New(broker.PreparedBatch(
+//		m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared, m.ScoreBatch))
+func PreparedBatch[PS, PE any](
+	score func(*event.Subscription, *event.Event) float64,
+	prepareSub func(*event.Subscription) PS,
+	prepareEv func(*event.Event) PE,
+	scorePrepared func(PS, PE) float64,
+	scoreBatch func([]PS, PE, []float64) []float64,
+) PreparedMatcher {
+	return &preparedBatch[PS, PE]{
+		prepared: prepared[PS, PE]{
+			score:         score,
+			prepareSub:    prepareSub,
+			prepareEv:     prepareEv,
+			scorePrepared: scorePrepared,
+		},
+		scoreBatch: scoreBatch,
+	}
+}
+
 // Delivery is one matched event handed to a subscriber.
 type Delivery struct {
 	// Event is the published event.
@@ -255,6 +318,7 @@ func WithPruning(enabled bool) Option { return pruningOption(enabled) }
 type Broker struct {
 	matcher Matcher
 	prep    PreparedMatcher // non-nil when matcher supports prepare-once
+	batch   BatchMatcher    // non-nil when matcher also supports batch scoring
 	cfg     config
 
 	// index prunes the per-publish candidate set (WithPruning); non-nil
@@ -360,11 +424,14 @@ func New(m Matcher, opts ...Option) *Broker {
 			"Matching fan-out latency per event (all candidate scorings).", lat),
 		deliverHist: telemetry.NewHistogram("thematicep_broker_deliver_seconds",
 			"Per-delivery queue handoff latency.", lat),
-		candHist: telemetry.NewHistogram("thematicep_subindex_candidates",
-			"Candidate-set size per published event (after pruning).", telemetry.SizeBuckets()),
+		candHist: telemetry.NewHistogram("thematicep_subindex_candidates_per_event",
+			"Candidates enumerated per published event (after pruning).", telemetry.SizeBuckets()),
 	}
 	if pm, ok := m.(PreparedMatcher); ok {
 		b.prep = pm
+	}
+	if bm, ok := m.(BatchMatcher); ok {
+		b.batch = bm
 	}
 	if cfg.pruning && b.prep != nil {
 		b.index = subindex.New[*Subscriber]()
@@ -592,7 +659,11 @@ func (b *Broker) Publish(e *event.Event) error {
 	b.candHist.Observe(float64(len(targets)))
 
 	b.scanned.Add(uint64(len(targets)))
-	b.dispatch(targets, e, pe, trace)
+	if b.batch != nil && pe != nil {
+		b.dispatchBatch(targets, e, pe, trace)
+	} else {
+		b.dispatch(targets, e, pe, trace)
+	}
 	end := b.clock.Now()
 	b.scoreHist.ObserveDuration(end.Sub(tScore))
 	trace.AddSpanDuration("score", tScore, end.Sub(tScore))
@@ -669,6 +740,12 @@ func (b *Broker) matchOne(s *Subscriber, e *event.Event, pe any, trace *telemetr
 	} else {
 		score = b.matcher.Score(s.sub, e)
 	}
+	b.deliverScored(s, e, score, trace)
+}
+
+// deliverScored applies the threshold and enqueues the delivery — the
+// shared tail of the serial and batch match paths.
+func (b *Broker) deliverScored(s *Subscriber, e *event.Event, score float64, trace *telemetry.ActiveTrace) {
 	if score < b.cfg.threshold || score <= 0 {
 		return
 	}
@@ -678,6 +755,92 @@ func (b *Broker) matchOne(s *Subscriber, e *event.Event, pe any, trace *telemetr
 	d := b.clock.Now().Sub(t0)
 	b.deliverHist.ObserveDuration(d)
 	trace.AddSpanDuration("deliver", t0, d)
+}
+
+// batchChunkSize is the unit of work the batch dispatcher hands a worker:
+// large enough that the per-chunk row memo amortizes across many
+// subscriptions, small enough that the worker pool still load-balances a
+// skewed candidate set.
+const batchChunkSize = 256
+
+// batchScoreBuf is the pooled per-chunk scratch of the batch dispatcher.
+type batchScoreBuf struct {
+	subs   []any
+	scores []float64
+}
+
+var batchScorePool = sync.Pool{New: func() any { return new(batchScoreBuf) }}
+
+// dispatchBatch is dispatch through the matcher's columnar batch scorer:
+// workers pull fixed-size chunks of the candidate set off a shared atomic
+// cursor and score each chunk in one ScoreBatchPrepared sweep. Requires a
+// prepared event (pe non-nil), which implies every subscriber carries a
+// prepared form.
+func (b *Broker) dispatchBatch(targets []*Subscriber, e *event.Event, pe any, trace *telemetry.ActiveTrace) {
+	n := len(targets)
+	if n == 0 {
+		return
+	}
+	chunks := (n + batchChunkSize - 1) / batchChunkSize
+	workers := b.cfg.parallelism
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 || b.sem == nil {
+		for lo := 0; lo < n; lo += batchChunkSize {
+			b.matchBatch(targets[lo:min(lo+batchChunkSize, n)], e, pe, trace)
+		}
+		return
+	}
+
+	var cursor atomic.Int64
+	run := func() {
+		for {
+			c := int(cursor.Add(1)) - 1
+			if c >= chunks {
+				return
+			}
+			lo := c * batchChunkSize
+			b.matchBatch(targets[lo:min(lo+batchChunkSize, n)], e, pe, trace)
+		}
+	}
+	var wg sync.WaitGroup
+spawn:
+	for w := 1; w < workers; w++ {
+		select {
+		case b.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-b.sem }()
+				run()
+			}()
+		default:
+			// Helper budget exhausted by concurrent publishes: the
+			// publisher goroutine absorbs the remainder.
+			break spawn
+		}
+	}
+	run()
+	wg.Wait()
+}
+
+// matchBatch scores one contiguous chunk of candidates in a single batch
+// sweep and enqueues the resulting deliveries.
+func (b *Broker) matchBatch(chunk []*Subscriber, e *event.Event, pe any, trace *telemetry.ActiveTrace) {
+	buf := batchScorePool.Get().(*batchScoreBuf)
+	subs := buf.subs[:0]
+	for _, s := range chunk {
+		subs = append(subs, s.prepared)
+	}
+	scores := b.batch.ScoreBatchPrepared(subs, pe, buf.scores[:0])
+	for i, s := range chunk {
+		b.deliverScored(s, e, scores[i], trace)
+	}
+	clear(subs) // drop subscriber references before pooling
+	buf.subs = subs[:0]
+	buf.scores = scores[:0]
+	batchScorePool.Put(buf)
 }
 
 // offer enqueues a delivery, dropping the oldest entry when full

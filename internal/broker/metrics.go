@@ -98,7 +98,10 @@ func (b *Broker) WriteMetrics(w io.Writer) {
 		WriteGauge(w, "thematicep_subindex_themes", "Distinct theme groups in the pruning index.", ix.Themes)
 		WriteGauge(w, "thematicep_subindex_buckets", "Exact-term posting buckets in the pruning index.", ix.Buckets)
 		WriteGauge(w, "thematicep_subindex_approx_entries", "Approximate-only subscriptions (never prunable).", ix.ApproxEntries)
-		WriteGauge(w, "thematicep_subindex_max_bucket", "Largest posting-bucket occupancy.", ix.MaxBucket)
+		WriteGauge(w, "thematicep_subindex_max_bucket", "Largest posting-list occupancy.", ix.MaxBucket)
+		WriteGauge(w, "thematicep_subindex_terms", "Interned exact terms (attributes plus attribute-value pairs).", ix.Terms)
+		WriteGauge(w, "thematicep_subindex_free_slots", "Recycled dense subscription ids awaiting reuse.", ix.FreeSlots)
+		WriteGaugeFloat(w, "thematicep_subindex_avg_bucket", "Mean posting-list occupancy across anchor terms.", ix.AvgBucket)
 	}
 }
 

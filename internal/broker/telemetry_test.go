@@ -211,7 +211,7 @@ func TestBrokerSelfLint(t *testing.T) {
 		"thematicep_broker_enumerate_seconds_bucket",
 		"thematicep_broker_deliver_seconds_bucket",
 		"thematicep_broker_compile_seconds_bucket",
-		"thematicep_subindex_candidates_bucket",
+		"thematicep_subindex_candidates_per_event_bucket",
 		`thematicep_broker_queue_depth{subscription="sub-1"}`,
 	} {
 		if !strings.Contains(out, family) {

@@ -26,7 +26,7 @@ func TestFullStackExpositionLints(t *testing.T) {
 	space := semantics.NewSpace(index.Build(corpus.GenerateDefault()))
 	m := matcher.New(space)
 	b := broker.New(
-		broker.Prepared(m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared),
+		broker.PreparedBatch(m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared, m.ScoreBatch),
 		broker.WithThreshold(0.1),
 		broker.WithTraceSampling(1),
 	)

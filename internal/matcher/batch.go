@@ -1,0 +1,143 @@
+package matcher
+
+import (
+	"slices"
+	"sync"
+
+	"thematicep/internal/event"
+	"thematicep/internal/semantics"
+)
+
+// The batch scorer exploits what row-at-a-time ScorePrepared cannot: the
+// candidates of one event share a small vocabulary of predicate terms, so
+// the same (term, theme) similarity row is recomputed thousands of times
+// per publish at scale. ScoreBatch memoizes each distinct row — the
+// similarities of one subscription term against every event tuple — in a
+// contiguous arena and assembles each subscription's similarity matrix
+// from those shared columns, so the semantic measure runs once per
+// distinct term, not once per (subscription, term) pair.
+
+// rowKind distinguishes attribute rows (swept against the event's
+// canonical attributes) from value rows (swept against its values).
+type rowKind uint8
+
+const (
+	rowAttr rowKind = iota
+	rowValue
+)
+
+// rowKey identifies one memoizable similarity row. The compiled theme is
+// interned (pointer identity) and the term canonical, so the key is a flat
+// comparable struct — no composite string building on the warm path.
+type rowKey struct {
+	kind   rowKind
+	approx bool
+	theme  *semantics.CompiledTheme
+	term   string
+}
+
+// batchBuf is the pooled per-call state of ScoreBatch: the row memo table,
+// the row arena (stride = event tuple count), and the usual similarity
+// matrix buffers. Rows live as arena offsets, not slices, so arena growth
+// never invalidates them.
+type batchBuf struct {
+	sim   simBuf
+	rows  map[rowKey]int
+	arena []float64
+}
+
+var batchPool = sync.Pool{New: func() any { return &batchBuf{rows: make(map[rowKey]int)} }}
+
+// termRow returns the arena offset of the similarity row for one
+// subscription term against the event's terms, computing and memoizing it
+// on first sight. The row semantics are exactly termSimilarity's: canonical
+// equality always scores 1 (even across themes), exact terms otherwise 0,
+// approximate terms the parametric measure — swept column-wise through
+// semantics.RelatednessRow.
+func (m *Matcher) termRow(bb *batchBuf, kind rowKind, term string, approx bool, subTheme *semantics.CompiledTheme, pe *PreparedEvent) int {
+	key := rowKey{kind: kind, approx: approx, theme: subTheme, term: term}
+	if off, ok := bb.rows[key]; ok {
+		return off
+	}
+	evTerms := pe.attrs
+	if kind == rowValue {
+		evTerms = pe.values
+	}
+	off := len(bb.arena)
+	mm := len(evTerms)
+	bb.arena = slices.Grow(bb.arena, mm)[:off+mm]
+	row := bb.arena[off : off+mm]
+	if !approx {
+		for j, et := range evTerms {
+			if term == et {
+				row[j] = 1
+			} else {
+				row[j] = 0
+			}
+		}
+	} else {
+		m.space.RelatednessRow(term, subTheme, evTerms, pe.theme, row)
+		// termSimilarity scores canonically equal terms 1 regardless of
+		// theme; RelatednessRow's identity rule is narrower (same compiled
+		// theme), so restore the broader contract here.
+		for j, et := range evTerms {
+			if term == et {
+				row[j] = 1
+			}
+		}
+	}
+	bb.rows[key] = off
+	return off
+}
+
+// ScoreBatch scores one prepared event against a batch of prepared
+// subscriptions, appending one score per subscription (in order) to out
+// and returning it. Scores are bit-identical to calling ScorePrepared per
+// subscription: the similarity cells come from the same termSimilarity /
+// EvalOp semantics in the same combination order, and the mapping search
+// is the same bestScore. With warm semantic caches and ≤3-predicate
+// subscriptions the whole sweep is allocation-free (asserted in
+// batch_test.go); only the Hungarian path beyond allocates, inside the
+// solver, exactly as ScorePrepared does.
+func (m *Matcher) ScoreBatch(subs []*PreparedSubscription, pe *PreparedEvent, out []float64) []float64 {
+	bb := batchPool.Get().(*batchBuf)
+	mm := len(pe.attrs)
+	for _, ps := range subs {
+		n := len(ps.attrs)
+		if n == 0 || n > mm {
+			// No feasible injective mapping; ScorePrepared's bestScore
+			// returns 0 for the same shapes.
+			out = append(out, 0)
+			continue
+		}
+		sim := bb.sim.matrix(n, mm)
+		for i := 0; i < n; i++ {
+			pred := ps.sub.Predicates[i]
+			aOff := m.termRow(bb, rowAttr, ps.attrs[i], pred.ApproxAttr, ps.theme, pe)
+			row := sim[i]
+			if pred.Op == event.OpEq {
+				vOff := m.termRow(bb, rowValue, ps.values[i], pred.ApproxValue, ps.theme, pe)
+				arow := bb.arena[aOff : aOff+mm]
+				vrow := bb.arena[vOff : vOff+mm]
+				for j := 0; j < mm; j++ {
+					row[j] = arow[j] * vrow[j]
+				}
+			} else {
+				arow := bb.arena[aOff : aOff+mm]
+				for j := 0; j < mm; j++ {
+					// Comparison predicates contribute the attribute
+					// similarity when satisfied over raw values, exactly as
+					// fillSimilarity does.
+					if arow[j] != 0 && event.EvalOp(pred.Op, pe.ev.Tuples[j].Value, pred.Value) {
+						row[j] = arow[j]
+					}
+				}
+			}
+		}
+		out = append(out, m.bestScore(&bb.sim, sim))
+	}
+	clear(bb.rows)
+	bb.arena = bb.arena[:0]
+	batchPool.Put(bb)
+	return out
+}

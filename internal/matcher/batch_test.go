@@ -1,0 +1,170 @@
+package matcher
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"thematicep/internal/event"
+	"thematicep/internal/workload"
+)
+
+// batchPopulation prepares a varied subscription population — exact,
+// fully approximate, partially approximate, comparison-op, and
+// infeasible-shape subscriptions — against the evaluation workload.
+func batchPopulation(t testing.TB, m *Matcher) ([]*PreparedSubscription, []*PreparedEvent) {
+	t.Helper()
+	w := workload.Generate(workload.Config{
+		Seed: 13, SeedEvents: 24, ExpandedPerSeed: 3, Subscriptions: 30, MaxPredicates: 3,
+	})
+	w.ApplyThemes(w.SampleThemes(rand.New(rand.NewSource(5)), 2, 2))
+
+	rng := rand.New(rand.NewSource(17))
+	var subs []*event.Subscription
+	for i, s := range w.ApproxSubs {
+		subs = append(subs, s)
+		subs = append(subs, workload.PartiallyApproximate(s, 0.5, rng))
+		if i%5 == 0 {
+			subs = append(subs, s.Exact())
+		}
+	}
+	// Comparison predicates exercise the raw-value EvalOp path.
+	subs = append(subs,
+		&event.Subscription{Predicates: []event.Predicate{
+			{Attr: "room", Value: "100", Op: event.OpGt},
+			{Attr: "type", Value: "parking", ApproxValue: true},
+		}},
+		&event.Subscription{Theme: []string{"energy"}, Predicates: []event.Predicate{
+			{Attr: "floor", Value: "3", Op: event.OpLte, ApproxAttr: true},
+		}},
+		// More predicates than most events have tuples: infeasible shape.
+		&event.Subscription{Predicates: []event.Predicate{
+			{Attr: "a1", Value: "v", ApproxValue: true}, {Attr: "a2", Value: "v", ApproxValue: true},
+			{Attr: "a3", Value: "v", ApproxValue: true}, {Attr: "a4", Value: "v", ApproxValue: true},
+			{Attr: "a5", Value: "v", ApproxValue: true}, {Attr: "a6", Value: "v", ApproxValue: true},
+			{Attr: "a7", Value: "v", ApproxValue: true}, {Attr: "a8", Value: "v", ApproxValue: true},
+			{Attr: "a9", Value: "v", ApproxValue: true}, {Attr: "a10", Value: "v", ApproxValue: true},
+			{Attr: "a11", Value: "v", ApproxValue: true}, {Attr: "a12", Value: "v", ApproxValue: true},
+		}},
+	)
+
+	var ps []*PreparedSubscription
+	for _, s := range subs {
+		ps = append(ps, m.PrepareSubscription(s))
+	}
+	var pe []*PreparedEvent
+	for i, e := range w.Events {
+		if i >= 20 {
+			break
+		}
+		pe = append(pe, m.PrepareEvent(e))
+	}
+	return ps, pe
+}
+
+// TestScoreBatchMatchesScorePrepared is the bit-identity contract: the
+// columnar batch sweep must produce exactly the floats the row-at-a-time
+// path produces, for every subscription shape, so batch dispatch can never
+// change a delivery set.
+func TestScoreBatchMatchesScorePrepared(t *testing.T) {
+	m := New(space(t))
+	subs, events := batchPopulation(t, m)
+	var out []float64
+	for ei, pe := range events {
+		out = m.ScoreBatch(subs, pe, out[:0])
+		if len(out) != len(subs) {
+			t.Fatalf("event %d: ScoreBatch returned %d scores for %d subs", ei, len(out), len(subs))
+		}
+		for si, ps := range subs {
+			want := m.ScorePrepared(ps, pe)
+			if out[si] != want {
+				t.Errorf("event %d sub %d: batch %v != serial %v", ei, si, out[si], want)
+			}
+		}
+	}
+}
+
+// TestScoreBatchNonThematic covers the non-thematic matcher mode (nil
+// compiled themes share one memo row space).
+func TestScoreBatchNonThematic(t *testing.T) {
+	m := New(space(t), WithThematic(false))
+	subs, events := batchPopulation(t, m)
+	var out []float64
+	for ei, pe := range events[:5] {
+		out = m.ScoreBatch(subs, pe, out[:0])
+		for si, ps := range subs {
+			if want := m.ScorePrepared(ps, pe); out[si] != want {
+				t.Errorf("event %d sub %d: batch %v != serial %v", ei, si, out[si], want)
+			}
+		}
+	}
+}
+
+// TestScoreBatchZeroAlloc gates the warm columnar sweep at 0 allocs/op for
+// the common ≤3-predicate population, same idiom as the ScorePrepared gate.
+func TestScoreBatchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race mode: sync.Pool drops Puts at random, warm path is not alloc-free")
+	}
+	m := New(space(t))
+	sub, ev := benchPair()
+	subs := make([]*PreparedSubscription, 0, 32)
+	for i := 0; i < 32; i++ {
+		s := *sub
+		s.Predicates = append([]event.Predicate(nil), sub.Predicates...)
+		// Vary one value so rows overlap but are not all identical.
+		s.Predicates[i%3].Value = fmt.Sprintf("%s %d", s.Predicates[i%3].Value, i%4)
+		subs = append(subs, m.PrepareSubscription(&s))
+	}
+	pe := m.PrepareEvent(ev)
+	scores := make([]float64, 0, len(subs))
+	scores = m.ScoreBatch(subs, pe, scores[:0]) // warm caches, memo map, arena
+	if allocs := testing.AllocsPerRun(100, func() {
+		scores = m.ScoreBatch(subs, pe, scores[:0])
+	}); allocs != 0 {
+		t.Errorf("warm ScoreBatch: %v allocs/op, want 0", allocs)
+	}
+	nonzero := 0
+	for _, s := range scores {
+		if s > 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Fatal("batch produced no positive scores; population is degenerate")
+	}
+}
+
+// BenchmarkScoreBatch measures the columnar sweep against the equivalent
+// serial ScorePrepared loop over the same 64-subscription candidate batch.
+func BenchmarkScoreBatch(b *testing.B) {
+	m := New(space(b))
+	sub, ev := benchPair()
+	var subs []*PreparedSubscription
+	for i := 0; i < 64; i++ {
+		s := *sub
+		s.Predicates = append([]event.Predicate(nil), sub.Predicates...)
+		s.Predicates[i%3].Value = fmt.Sprintf("%s %d", s.Predicates[i%3].Value, i%8)
+		subs = append(subs, m.PrepareSubscription(&s))
+	}
+	pe := m.PrepareEvent(ev)
+	var scores []float64
+	b.Run("batch", func(b *testing.B) {
+		scores = m.ScoreBatch(subs, pe, scores[:0])
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			scores = m.ScoreBatch(subs, pe, scores[:0])
+		}
+	})
+	b.Run("serial", func(b *testing.B) {
+		m.ScorePrepared(subs[0], pe)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, ps := range subs {
+				m.ScorePrepared(ps, pe)
+			}
+		}
+	})
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package matcher
+
+const raceEnabled = false

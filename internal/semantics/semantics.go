@@ -499,6 +499,46 @@ func (s *Space) unitProjection(termKey string, t *CompiledTheme) sparse.Unit {
 	return c.do(termKey, func() sparse.Unit { return s.ProjectCompiled(termKey, t).Normalize() })
 }
 
+// RelatednessRow fills out[j] with RelatednessCompiled(subTerm, subTheme,
+// eventTerms[j], eventTheme) for every j — the columnar batch-scoring
+// primitive. On the Euclidean path the subscription term's unit projection
+// is resolved once and swept across the whole event-term column, instead
+// of being re-fetched per pair as the scalar call does; every arithmetic
+// step is otherwise identical to RelatednessCompiled, so the row is
+// bit-identical to |eventTerms| scalar calls. The cosine and score-cache
+// configurations fall back to the scalar measure per element.
+// len(out) must be at least len(eventTerms).
+func (s *Space) RelatednessRow(subTerm string, subTheme *CompiledTheme, eventTerms []string, eventTheme *CompiledTheme, out []float64) {
+	if s.opts.distance != Euclidean || s.scoreCache.Load() {
+		for j, et := range eventTerms {
+			out[j] = s.RelatednessCompiled(subTerm, subTheme, et, eventTheme)
+		}
+		return
+	}
+	a := s.unitProjection(subTerm, subTheme)
+	aZero := a.IsZero()
+	for j, et := range eventTerms {
+		if subTerm == et && subTheme == eventTheme {
+			if aZero {
+				out[j] = 0
+			} else {
+				out[j] = 1
+			}
+			continue
+		}
+		if aZero {
+			out[j] = 0
+			continue
+		}
+		b := s.unitProjection(et, eventTheme)
+		if b.IsZero() {
+			out[j] = 0
+			continue
+		}
+		out[j] = 1 / (sparse.NormalizedEuclidean(a, b) + 1)
+	}
+}
+
 // NonThematicRelatedness measures relatedness in the full space: the
 // domain-independent esa of the paper's baseline (§5.2.5).
 func (s *Space) NonThematicRelatedness(a, b string) float64 {

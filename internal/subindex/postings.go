@@ -1,0 +1,155 @@
+package subindex
+
+// Posting-list primitives: sorted dense uint32 id slices with galloping
+// (exponential-probe) search. Galloping plays the role of skip pointers in
+// a classic inverted index — instead of materialized skip nodes, a reader
+// that needs to advance far ahead probes exponentially (1, 2, 4, ...) and
+// then binary-searches the final octave, so advancing within a list of
+// length n to a target k positions ahead costs O(log k), not O(k) and not
+// O(log n). Intersections of lists with very different lengths therefore
+// run in roughly |short|·log(|long|/|short|) comparisons, which is what
+// makes candidate enumeration sublinear in subscription count when an
+// event's terms are selective.
+
+// gallop returns the smallest index i in xs[from:] such that xs[i] >=
+// target, or len(xs) when every remaining element is smaller. xs must be
+// sorted ascending. It exponentially widens the probe window starting at
+// from, then binary-searches inside the final window.
+func gallop(xs []uint32, from int, target uint32) int {
+	n := len(xs)
+	if from >= n || xs[from] >= target {
+		return from
+	}
+	// Invariant: xs[lo] < target. Probe lo+1, lo+2, lo+4, ... until the
+	// window end reaches or passes an element >= target.
+	lo, step := from, 1
+	for lo+step < n && xs[lo+step] < target {
+		lo += step
+		step <<= 1
+	}
+	hi := lo + step
+	if hi > n {
+		hi = n
+	}
+	// Binary search in (lo, hi]: xs[lo] < target, xs[hi] >= target or hi==n.
+	lo++
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if xs[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// intersect2 appends the sorted intersection of a and b to dst and returns
+// it. Both inputs must be sorted ascending with unique elements. The
+// shorter list drives; the longer is advanced by galloping search, so the
+// cost is output-sensitive rather than linear in the longer list.
+func intersect2(dst, a, b []uint32) []uint32 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	pos := 0
+	for _, x := range a {
+		pos = gallop(b, pos, x)
+		if pos >= len(b) {
+			break
+		}
+		if b[pos] == x {
+			dst = append(dst, x)
+			pos++
+		}
+	}
+	return dst
+}
+
+// intersectAll appends the sorted intersection of every list to dst and
+// returns it. With no lists it returns dst unchanged; with one list it
+// appends a copy. Lists must be sorted ascending with unique elements.
+// The fold starts from the shortest list so intermediate results shrink as
+// fast as possible.
+func intersectAll(dst []uint32, lists ...[]uint32) []uint32 {
+	switch len(lists) {
+	case 0:
+		return dst
+	case 1:
+		return append(dst, lists[0]...)
+	}
+	shortest := 0
+	for i, l := range lists {
+		if len(l) < len(lists[shortest]) {
+			shortest = i
+		}
+	}
+	start := len(dst)
+	dst = intersect2(dst, lists[shortest], lists[(shortest+1)%len(lists)])
+	// Fold the remaining lists against the accumulated prefix in place.
+	for i := range lists {
+		if i == shortest || i == (shortest+1)%len(lists) {
+			continue
+		}
+		acc := dst[start:]
+		out := dst[start:start]
+		pos := 0
+		for _, x := range acc {
+			pos = gallop(lists[i], pos, x)
+			if pos >= len(lists[i]) {
+				break
+			}
+			if lists[i][pos] == x {
+				out = append(out, x)
+				pos++
+			}
+		}
+		dst = dst[:start+len(out)]
+	}
+	return dst
+}
+
+// containsAll reports whether every element of sub appears in super. Both
+// must be sorted ascending; sub is typically a subscription's requirement
+// terms (a handful) and super the event's term ids, so each membership
+// check is one galloping search continuing from the previous position.
+func containsAll(sub, super []uint32) bool {
+	pos := 0
+	for _, x := range sub {
+		pos = gallop(super, pos, x)
+		if pos >= len(super) || super[pos] != x {
+			return false
+		}
+	}
+	return true
+}
+
+// insertSorted inserts x into sorted xs, keeping it sorted. Duplicate
+// insertion is a no-op. The common broker pattern — monotonically growing
+// dense ids — appends without moving anything.
+func insertSorted(xs []uint32, x uint32) []uint32 {
+	n := len(xs)
+	if n == 0 || xs[n-1] < x {
+		return append(xs, x)
+	}
+	i := gallop(xs, 0, x)
+	if i < n && xs[i] == x {
+		return xs
+	}
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = x
+	return xs
+}
+
+// deleteSorted removes x from sorted xs, compacting the slice in place —
+// no tombstones: a removed subscription costs one memmove now instead of a
+// dead entry on every future enumeration.
+func deleteSorted(xs []uint32, x uint32) []uint32 {
+	i := gallop(xs, 0, x)
+	if i >= len(xs) || xs[i] != x {
+		return xs
+	}
+	copy(xs[i:], xs[i+1:])
+	return xs[:len(xs)-1]
+}

@@ -1,0 +1,152 @@
+package subindex
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// naiveIntersect is the oracle: map-based set intersection, sorted.
+func naiveIntersect(lists ...[]uint32) []uint32 {
+	if len(lists) == 0 {
+		return nil
+	}
+	counts := make(map[uint32]int)
+	for _, l := range lists {
+		seen := make(map[uint32]bool)
+		for _, x := range l {
+			if !seen[x] {
+				seen[x] = true
+				counts[x]++
+			}
+		}
+	}
+	var out []uint32
+	for x, c := range counts {
+		if c == len(lists) {
+			out = append(out, x)
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+func sortedSet(xs []uint32) []uint32 {
+	slices.Sort(xs)
+	return slices.Compact(xs)
+}
+
+func TestGallop(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		xs := make([]uint32, rng.Intn(64))
+		for i := range xs {
+			xs[i] = uint32(rng.Intn(100))
+		}
+		xs = sortedSet(xs)
+		for target := uint32(0); target <= 100; target++ {
+			for from := 0; from <= len(xs); from++ {
+				got := gallop(xs, from, target)
+				want := from
+				for want < len(xs) && xs[want] < target {
+					want++
+				}
+				if got != want {
+					t.Fatalf("gallop(%v, %d, %d) = %d, want %d", xs, from, target, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestIntersectProperty drives the galloping intersection against the
+// naive map-based oracle over random list shapes, including the skewed
+// short-vs-long case galloping exists for.
+func TestIntersectProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		nlists := 2 + rng.Intn(4)
+		lists := make([][]uint32, nlists)
+		for i := range lists {
+			// Mix tiny and large lists with overlapping ranges.
+			n := rng.Intn(3 + rng.Intn(200))
+			l := make([]uint32, n)
+			for j := range l {
+				l[j] = uint32(rng.Intn(150))
+			}
+			lists[i] = sortedSet(l)
+		}
+		want := naiveIntersect(lists...)
+
+		got2 := intersect2(nil, lists[0], lists[1])
+		if want2 := naiveIntersect(lists[0], lists[1]); !slices.Equal(got2, want2) {
+			t.Fatalf("intersect2(%v, %v) = %v, want %v", lists[0], lists[1], got2, want2)
+		}
+		gotAll := intersectAll(nil, lists...)
+		if !slices.Equal(gotAll, want) {
+			t.Fatalf("intersectAll(%v) = %v, want %v", lists, gotAll, want)
+		}
+
+		// containsAll agrees with the subset relation.
+		sub, super := lists[0], lists[1]
+		wantSub := len(naiveIntersect(sub, super)) == len(sub)
+		if got := containsAll(sub, super); got != wantSub {
+			t.Fatalf("containsAll(%v, %v) = %v, want %v", sub, super, got, wantSub)
+		}
+	}
+}
+
+func TestInsertDeleteSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var xs []uint32
+	oracle := map[uint32]bool{}
+	for op := 0; op < 2000; op++ {
+		x := uint32(rng.Intn(80))
+		if rng.Intn(2) == 0 {
+			xs = insertSorted(xs, x)
+			oracle[x] = true
+		} else {
+			xs = deleteSorted(xs, x)
+			delete(oracle, x)
+		}
+		want := make([]uint32, 0, len(oracle))
+		for k := range oracle {
+			want = append(want, k)
+		}
+		slices.Sort(want)
+		if !slices.Equal(xs, want) {
+			t.Fatalf("op %d: xs = %v, want %v", op, xs, want)
+		}
+	}
+}
+
+// FuzzIntersect decodes two arbitrary byte strings into sorted term-id
+// sets and checks the galloping intersection and containment against the
+// naive oracle.
+func FuzzIntersect(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{2, 3, 4})
+	f.Add([]byte{}, []byte{0})
+	f.Add([]byte{255, 0, 128, 7}, []byte{7, 7, 7})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		decode := func(bs []byte) []uint32 {
+			xs := make([]uint32, len(bs))
+			for i, v := range bs {
+				// Spread ids so runs and gaps both occur.
+				xs[i] = uint32(v) * uint32(i%5+1)
+			}
+			return sortedSet(xs)
+		}
+		la, lb := decode(a), decode(b)
+		want := naiveIntersect(la, lb)
+		if got := intersect2(nil, la, lb); !slices.Equal(got, want) {
+			t.Fatalf("intersect2(%v, %v) = %v, want %v", la, lb, got, want)
+		}
+		if got := intersectAll(nil, la, lb); !slices.Equal(got, want) {
+			t.Fatalf("intersectAll(%v, %v) = %v, want %v", la, lb, got, want)
+		}
+		wantSub := len(want) == len(la)
+		if got := containsAll(la, lb); got != wantSub {
+			t.Fatalf("containsAll(%v, %v) = %v, want %v", la, lb, got, wantSub)
+		}
+	})
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package subindex
+
+const raceEnabled = false

@@ -1,7 +1,11 @@
-// Package subindex implements the broker's subscription pruning index: a
-// partition of live subscriptions by compiled-theme key and by their exact
-// (non-~) attribute terms, so a publish builds its candidate set from the
-// event's tuple terms instead of scanning every subscription.
+// Package subindex implements the broker's subscription pruning index as
+// an inverted index: sorted posting lists of dense uint32 subscription ids
+// keyed by compiled-theme group and by interned exact terms — a term is
+// either an exact (non-~) attribute or an exact (attribute, value) equality
+// pair. A publish turns the event's tuples into a sorted term-id set once,
+// then intersects that set against each group's anchor-term list with
+// galloping (skip-pointer) search, so candidate enumeration is sublinear in
+// the number of live subscriptions and allocation-free on the warm path.
 //
 // # Why pruning never loses a delivery
 //
@@ -23,22 +27,35 @@
 //     as predicates; with fewer, no feasible mapping exists and the score
 //     is 0.
 //
-// Subscriptions with no exact attribute at all land in a conservative
-// approximate-only bucket that is always scored (rule 3 aside), guaranteeing
-// no recall loss: delivery sets are bit-identical to the unpruned scan.
+// In inverted-index terms: rules 1 and 2 say a subscription's requirement
+// term set must be a subset of the event's term set, rule 3 caps predicate
+// count by tuple count. Subscriptions with no exact term at all land in a
+// conservative approximate-only posting that is always scored (rule 3
+// aside), guaranteeing no recall loss: delivery sets are bit-identical to
+// the unpruned scan.
 //
 // The index assumes the matcher honors the §3.4 exact-term contract
 // (canonical equality for non-~ terms). The thematic matcher and the
 // non-thematic baseline do; matchers with looser semantics (for example
 // concept-rewriting over exact terms) must disable pruning.
 //
-// Each subscription is filed under exactly one bucket — its first exact
-// attribute term, or the approximate-only bucket — within its theme group,
-// so candidate enumeration never yields duplicates and needs no
-// deduplication set.
+// # Layout
+//
+// Every live subscription owns a dense uint32 id allocated from a free
+// list, indexing parallel columns (payload, predicate count, sorted
+// requirement-term row). Within its theme group the subscription is posted
+// under exactly one anchor term — the requirement term with the shortest
+// posting list at insert time, a cheap rarest-first heuristic — so
+// enumeration never yields duplicates and needs no deduplication set. An
+// anchor hit is only a candidate's witness; the full requirement row is
+// then verified by galloping containment against the event's term set.
+// Remove compacts posting lists in place (no tombstones) and recycles the
+// dense id. Interned term ids are never reclaimed; the interner is bounded
+// by the vocabulary of exact terms ever subscribed, not by churn.
 package subindex
 
 import (
+	"slices"
 	"strings"
 	"sync"
 
@@ -46,47 +63,48 @@ import (
 	"thematicep/internal/text"
 )
 
-// req is one exact requirement the event must satisfy for the subscription
-// to score above zero.
-type req struct {
-	attr  string // canonical exact attribute term; must appear in the event
-	value string // canonical exact equality value; "" means presence-only
-}
-
-// entry is one indexed subscription.
-type entry[T any] struct {
-	id      string
-	payload T
-	npreds  int   // rule 3: events with fewer tuples are infeasible
-	reqs    []req // rules 1 and 2; empty for approximate-only subscriptions
-}
-
-// group partitions one compiled theme's subscriptions by witness term.
+// group holds one compiled theme's posting lists.
 type group[T any] struct {
-	byAttr map[string][]*entry[T] // first exact attr term -> entries
-	approx []*entry[T]            // approximate-only bucket
+	key         string
+	approx      []uint32            // approximate-only posting: always candidates
+	anchorTerms []uint32            // sorted term ids that have a posting here
+	posts       map[uint32][]uint32 // anchor term id -> sorted dense sub ids
 }
 
-// loc remembers where an entry was filed so Remove is O(bucket).
-type loc struct {
-	themeKey string
-	witness  string // "" for the approximate-only bucket
-}
-
-// Index partitions live subscriptions by compiled-theme key and exact
-// attribute terms. The zero value is not usable; call New. All methods are
-// safe for concurrent use.
+// Index is the inverted subscription index. The zero value is not usable;
+// call New. All methods are safe for concurrent use.
 type Index[T any] struct {
-	mu     sync.RWMutex
+	mu sync.RWMutex
+
+	// Term interner. A presence-only requirement (exact attribute) interns
+	// the attribute; an exact equality requirement interns the
+	// (attribute, value) pair as its own term. Nested maps keep warm-path
+	// lookups free of key concatenation.
+	attrIDs  map[string]uint32
+	pairIDs  map[string]map[string]uint32
+	nextTerm uint32
+
 	themes map[string]*group[T]
-	locs   map[string]loc
+	locs   map[string]uint32 // external id -> dense id
+
+	// Columnar per-dense-id state, indexed by dense id.
+	ext      []string
+	payloads []T
+	npreds   []int32    // rule 3: events with fewer tuples are infeasible
+	reqs     [][]uint32 // sorted unique requirement term ids; empty = approx-only
+	grp      []*group[T]
+	anchor   []uint32 // posting the sub is filed under; valid iff len(reqs) > 0
+
+	free []uint32 // recycled dense ids
 }
 
 // New builds an empty index.
 func New[T any]() *Index[T] {
 	return &Index[T]{
-		themes: make(map[string]*group[T]),
-		locs:   make(map[string]loc),
+		attrIDs: make(map[string]uint32),
+		pairIDs: make(map[string]map[string]uint32),
+		themes:  make(map[string]*group[T]),
+		locs:    make(map[string]uint32),
 	}
 }
 
@@ -97,40 +115,65 @@ func themeKey(theme []string) string {
 	return strings.Join(event.NormalizeTheme(theme), "\x1f")
 }
 
+// reqSpec is one exact requirement before interning.
+type reqSpec struct {
+	attr     string
+	value    string
+	hasValue bool
+}
+
 // requirements derives the exact requirements of a subscription. Only
 // predicates with an exact attribute constrain the event: an approximate
 // attribute may pair with any tuple. An exact equality value tightens the
-// requirement to an (attribute, value) pair; approximate values and
+// requirement to an (attribute, value) pair term; approximate values and
 // ordering comparisons stay presence-only (conservative: the comparison is
 // evaluated by the matcher, never assumed here).
-func requirements(sub *event.Subscription) []req {
-	var rs []req
+func requirements(sub *event.Subscription) []reqSpec {
+	var rs []reqSpec
 	for _, p := range sub.Predicates {
 		if p.ApproxAttr {
 			continue
 		}
-		r := req{attr: text.Canonical(p.Attr)}
+		r := reqSpec{attr: text.Canonical(p.Attr)}
 		if p.Op == event.OpEq && !p.ApproxValue {
 			r.value = text.Canonical(p.Value)
+			r.hasValue = true
 		}
 		rs = append(rs, r)
 	}
 	return rs
 }
 
-// Add files a subscription under its theme group and witness bucket. Adding
+// intern returns the term id for a requirement, assigning the next id on
+// first sight. Caller holds the write lock.
+func (ix *Index[T]) intern(sp reqSpec) uint32 {
+	if sp.hasValue {
+		pm := ix.pairIDs[sp.attr]
+		if pm == nil {
+			pm = make(map[string]uint32)
+			ix.pairIDs[sp.attr] = pm
+		}
+		t, ok := pm[sp.value]
+		if !ok {
+			t = ix.nextTerm
+			ix.nextTerm++
+			pm[sp.value] = t
+		}
+		return t
+	}
+	t, ok := ix.attrIDs[sp.attr]
+	if !ok {
+		t = ix.nextTerm
+		ix.nextTerm++
+		ix.attrIDs[sp.attr] = t
+	}
+	return t
+}
+
+// Add files a subscription under its theme group and anchor posting. Adding
 // an id that is already present replaces the previous entry.
 func (ix *Index[T]) Add(id string, sub *event.Subscription, payload T) {
-	e := &entry[T]{
-		id:      id,
-		payload: payload,
-		npreds:  len(sub.Predicates),
-		reqs:    requirements(sub),
-	}
-	witness := ""
-	if len(e.reqs) > 0 {
-		witness = e.reqs[0].attr
-	}
+	specs := requirements(sub) // canonicalization outside the lock
 	key := themeKey(sub.Theme)
 
 	ix.mu.Lock()
@@ -138,20 +181,59 @@ func (ix *Index[T]) Add(id string, sub *event.Subscription, payload T) {
 	if _, dup := ix.locs[id]; dup {
 		ix.removeLocked(id)
 	}
+
+	var reqIDs []uint32
+	for _, sp := range specs {
+		reqIDs = insertSorted(reqIDs, ix.intern(sp))
+	}
+
+	var d uint32
+	if n := len(ix.free); n > 0 {
+		d = ix.free[n-1]
+		ix.free = ix.free[:n-1]
+		ix.ext[d] = id
+		ix.payloads[d] = payload
+		ix.npreds[d] = int32(len(sub.Predicates))
+		ix.reqs[d] = reqIDs
+	} else {
+		d = uint32(len(ix.ext))
+		ix.ext = append(ix.ext, id)
+		ix.payloads = append(ix.payloads, payload)
+		ix.npreds = append(ix.npreds, int32(len(sub.Predicates)))
+		ix.reqs = append(ix.reqs, reqIDs)
+		ix.grp = append(ix.grp, nil)
+		ix.anchor = append(ix.anchor, 0)
+	}
+
 	g := ix.themes[key]
 	if g == nil {
-		g = &group[T]{byAttr: make(map[string][]*entry[T])}
+		g = &group[T]{key: key, posts: make(map[uint32][]uint32)}
 		ix.themes[key] = g
 	}
-	if witness == "" {
-		g.approx = append(g.approx, e)
+	ix.grp[d] = g
+	if len(reqIDs) == 0 {
+		g.approx = insertSorted(g.approx, d)
 	} else {
-		g.byAttr[witness] = append(g.byAttr[witness], e)
+		// Anchor on the requirement term with the shortest posting list at
+		// insert time: a rarest-first heuristic that keeps postings flat and
+		// maximizes the chance the anchor term is absent from an event.
+		best := reqIDs[0]
+		for _, t := range reqIDs[1:] {
+			if len(g.posts[t]) < len(g.posts[best]) {
+				best = t
+			}
+		}
+		if len(g.posts[best]) == 0 {
+			g.anchorTerms = insertSorted(g.anchorTerms, best)
+		}
+		g.posts[best] = insertSorted(g.posts[best], d)
+		ix.anchor[d] = best
 	}
-	ix.locs[id] = loc{themeKey: key, witness: witness}
+	ix.locs[id] = d
 }
 
-// Remove unfiles a subscription; unknown ids are a no-op.
+// Remove unfiles a subscription, compacting its posting list in place and
+// recycling its dense id; unknown ids are a no-op.
 func (ix *Index[T]) Remove(id string) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
@@ -159,37 +241,32 @@ func (ix *Index[T]) Remove(id string) {
 }
 
 func (ix *Index[T]) removeLocked(id string) {
-	l, ok := ix.locs[id]
+	d, ok := ix.locs[id]
 	if !ok {
 		return
 	}
 	delete(ix.locs, id)
-	g := ix.themes[l.themeKey]
-	if g == nil {
-		return
-	}
-	if l.witness == "" {
-		g.approx = removeEntry(g.approx, id)
-	} else if b := removeEntry(g.byAttr[l.witness], id); len(b) == 0 {
-		delete(g.byAttr, l.witness)
+	g := ix.grp[d]
+	if len(ix.reqs[d]) == 0 {
+		g.approx = deleteSorted(g.approx, d)
 	} else {
-		g.byAttr[l.witness] = b
-	}
-	if len(g.approx) == 0 && len(g.byAttr) == 0 {
-		delete(ix.themes, l.themeKey)
-	}
-}
-
-func removeEntry[T any](bucket []*entry[T], id string) []*entry[T] {
-	for i, e := range bucket {
-		if e.id == id {
-			last := len(bucket) - 1
-			bucket[i] = bucket[last]
-			bucket[last] = nil
-			return bucket[:last]
+		a := ix.anchor[d]
+		if p := deleteSorted(g.posts[a], d); len(p) == 0 {
+			delete(g.posts, a)
+			g.anchorTerms = deleteSorted(g.anchorTerms, a)
+		} else {
+			g.posts[a] = p
 		}
 	}
-	return bucket
+	if len(g.approx) == 0 && len(g.anchorTerms) == 0 {
+		delete(ix.themes, g.key)
+	}
+	var zero T
+	ix.ext[d] = ""
+	ix.payloads[d] = zero
+	ix.reqs[d] = nil
+	ix.grp[d] = nil
+	ix.free = append(ix.free, d)
 }
 
 // Len returns the number of indexed subscriptions.
@@ -210,14 +287,17 @@ func (ix *Index[T]) Themes() int {
 type Stats struct {
 	Subscriptions int // indexed subscriptions
 	Themes        int // distinct compiled-theme groups
-	Buckets       int // exact-term witness buckets across all groups
+	Buckets       int // anchor posting lists across all groups
 	ApproxEntries int // approximate-only subscriptions (never prunable)
-	MaxBucket     int // largest single bucket (witness or approx) occupancy
+	MaxBucket     int // longest single posting list (anchor or approx)
+	Terms         int // interned exact terms (attrs + attr/value pairs)
+	FreeSlots     int // recycled dense ids awaiting reuse
+	AvgBucket     float64
 }
 
 // Stats walks the index under its read lock and reports occupancy. A
-// large MaxBucket relative to Subscriptions signals a skewed witness term
-// (many subscriptions sharing one exact attribute), which bounds how much
+// large MaxBucket relative to Subscriptions signals a skewed anchor term
+// (many subscriptions posted under one exact term), which bounds how much
 // the index can prune for events carrying that term.
 func (ix *Index[T]) Stats() Stats {
 	ix.mu.RLock()
@@ -225,104 +305,121 @@ func (ix *Index[T]) Stats() Stats {
 	st := Stats{
 		Subscriptions: len(ix.locs),
 		Themes:        len(ix.themes),
+		Terms:         int(ix.nextTerm),
+		FreeSlots:     len(ix.free),
 	}
+	posted := 0
 	for _, g := range ix.themes {
-		st.Buckets += len(g.byAttr)
+		st.Buckets += len(g.anchorTerms)
 		st.ApproxEntries += len(g.approx)
 		if len(g.approx) > st.MaxBucket {
 			st.MaxBucket = len(g.approx)
 		}
-		for _, bucket := range g.byAttr {
-			if len(bucket) > st.MaxBucket {
-				st.MaxBucket = len(bucket)
+		for _, p := range g.posts {
+			posted += len(p)
+			if len(p) > st.MaxBucket {
+				st.MaxBucket = len(p)
 			}
 		}
+	}
+	if st.Buckets > 0 {
+		st.AvgBucket = float64(posted) / float64(st.Buckets)
 	}
 	return st
 }
 
-// attrsPool recycles the per-publish canonical attr -> value map so the
-// candidate walk allocates nothing in steady state.
-var attrsPool = sync.Pool{New: func() any { return make(map[string]string, 16) }}
+// enumBuf holds the per-publish scratch for candidate enumeration so the
+// warm path allocates nothing in steady state.
+type enumBuf struct {
+	attrs  []string // canonical tuple attrs (Candidates only)
+	values []string // canonical tuple values (Candidates only)
+	terms  []uint32 // event's sorted term-id set
+	hits   []uint32 // per-group anchor-term intersection
+}
+
+var enumPool = sync.Pool{New: func() any { return new(enumBuf) }}
 
 // Candidates yields the payload of every subscription the event could
 // possibly match, and returns how many were yielded and how many the index
 // pruned (skipped subscriptions provably score 0). The yield callback runs
 // under the index's read lock and must not call back into the index.
 func (ix *Index[T]) Candidates(e *event.Event, yield func(T)) (candidates, pruned int) {
-	attrs := attrsPool.Get().(map[string]string)
+	buf := enumPool.Get().(*enumBuf)
 	for _, t := range e.Tuples {
-		attrs[text.Canonical(t.Attr)] = text.Canonical(t.Value)
+		buf.attrs = append(buf.attrs, text.Canonical(t.Attr))
+		buf.values = append(buf.values, text.Canonical(t.Value))
 	}
-	candidates, pruned = ix.candidates(attrs, len(e.Tuples), yield)
-	clear(attrs)
-	attrsPool.Put(attrs)
+	candidates, pruned = ix.candidates(buf, buf.attrs, buf.values, len(e.Tuples), yield)
+	// Drop string references before pooling so the buffer never pins event
+	// vocabulary.
+	clear(buf.attrs)
+	clear(buf.values)
+	buf.attrs, buf.values = buf.attrs[:0], buf.values[:0]
+	enumPool.Put(buf)
 	return candidates, pruned
 }
 
 // CandidatesPrepared is Candidates over pre-canonicalized parallel tuple
-// slices (for example a prepared event's terms), skipping the
-// per-publish canonicalization entirely. attrs and values must be the
-// canonical forms of the event's tuples, index-aligned.
+// slices (for example a prepared event's terms), skipping the per-publish
+// canonicalization entirely. attrs and values must be the canonical forms
+// of the event's tuples, index-aligned.
 func (ix *Index[T]) CandidatesPrepared(attrs, values []string, yield func(T)) (candidates, pruned int) {
-	am := attrsPool.Get().(map[string]string)
-	for i, a := range attrs {
-		am[a] = values[i]
-	}
-	candidates, pruned = ix.candidates(am, len(attrs), yield)
-	clear(am)
-	attrsPool.Put(am)
+	buf := enumPool.Get().(*enumBuf)
+	candidates, pruned = ix.candidates(buf, attrs, values, len(attrs), yield)
+	enumPool.Put(buf)
 	return candidates, pruned
 }
 
-// candidates is the shared walk over the canonical attribute map of an
-// event with m tuples.
-func (ix *Index[T]) candidates(attrs map[string]string, m int, yield func(T)) (candidates, pruned int) {
+// candidates is the shared enumeration over an event with m tuples whose
+// canonical attrs/values are index-aligned. It runs entirely under the
+// read lock: (1) map the event's tuples to the sorted set of interned term
+// ids they carry; (2) per theme group, yield the approximate-only posting
+// (feasibility aside) and gallop-intersect the event's term set with the
+// group's anchor terms; (3) for each anchor hit, walk its posting list and
+// yield every subscription whose full requirement row is contained in the
+// event's term set. Terms no subscription ever required are not interned
+// and vanish in step 1, so enumeration cost tracks posting occupancy, not
+// event width times subscription count.
+func (ix *Index[T]) candidates(buf *enumBuf, attrs, values []string, m int, yield func(T)) (candidates, pruned int) {
 	ix.mu.RLock()
-	defer ix.mu.RUnlock()
 	total := len(ix.locs)
+	terms := buf.terms[:0]
+	for i, a := range attrs {
+		if id, ok := ix.attrIDs[a]; ok {
+			terms = append(terms, id)
+		}
+		if pm := ix.pairIDs[a]; pm != nil {
+			if id, ok := pm[values[i]]; ok {
+				terms = append(terms, id)
+			}
+		}
+	}
+	slices.Sort(terms)
+	terms = slices.Compact(terms)
+	m32 := int32(m)
+	hits := buf.hits
 	for _, g := range ix.themes {
-		for _, en := range g.approx {
-			if en.npreds <= m {
-				yield(en.payload)
+		for _, d := range g.approx {
+			if ix.npreds[d] <= m32 {
+				yield(ix.payloads[d])
 				candidates++
 			}
 		}
-		// Only witness buckets named by one of the event's own attribute
-		// terms can hold satisfiable subscriptions; walk the smaller side.
-		if len(attrs) <= len(g.byAttr) {
-			for a := range attrs {
-				candidates += yieldSatisfiable(g.byAttr[a], attrs, m, yield)
-			}
-		} else {
-			for _, bucket := range g.byAttr {
-				candidates += yieldSatisfiable(bucket, attrs, m, yield)
-			}
-		}
-	}
-	return candidates, total - candidates
-}
-
-// yieldSatisfiable yields the bucket entries whose every exact requirement
-// is satisfied by the event's attributes, returning the yielded count.
-func yieldSatisfiable[T any](bucket []*entry[T], attrs map[string]string, m int, yield func(T)) int {
-	n := 0
-	for _, en := range bucket {
-		if en.npreds > m || !satisfies(en.reqs, attrs) {
+		if len(g.anchorTerms) == 0 {
 			continue
 		}
-		yield(en.payload)
-		n++
-	}
-	return n
-}
-
-func satisfies(reqs []req, attrs map[string]string) bool {
-	for _, r := range reqs {
-		v, ok := attrs[r.attr]
-		if !ok || (r.value != "" && v != r.value) {
-			return false
+		hits = intersect2(hits[:0], terms, g.anchorTerms)
+		for _, t := range hits {
+			for _, d := range g.posts[t] {
+				if ix.npreds[d] <= m32 && containsAll(ix.reqs[d], terms) {
+					yield(ix.payloads[d])
+					candidates++
+				}
+			}
 		}
 	}
-	return true
+	ix.mu.RUnlock()
+	buf.terms = terms[:0]
+	buf.hits = hits[:0]
+	return candidates, total - candidates
 }

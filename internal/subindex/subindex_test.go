@@ -56,8 +56,8 @@ func TestExactValueRequirement(t *testing.T) {
 
 func TestAllExactAttrsRequired(t *testing.T) {
 	ix := New[string]()
-	// Two exact attrs; the witness bucket holds only the first, but
-	// candidate verification must check both.
+	// Two exact attrs; the anchor posting files the sub under only one
+	// term, but candidate verification must check the full requirement row.
 	ix.Add("s", &event.Subscription{Predicates: []event.Predicate{
 		{Attr: "type", Value: "v", ApproxValue: true},
 		{Attr: "room", Value: "v", ApproxValue: true},

@@ -1,0 +1,236 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"thematicep/internal/event"
+	"thematicep/internal/vocab"
+)
+
+// ScaleConfig controls the Internet-scale synthetic workload tier: a
+// subscription population orders of magnitude beyond the paper's 94,
+// drawn from a bounded shared vocabulary so the pruning index and the
+// batch scorer see realistic term overlap. The zero value is invalid; use
+// DefaultScaleConfig.
+type ScaleConfig struct {
+	// Seed drives all random choices; identical configs yield identical
+	// workloads.
+	Seed int64
+	// Subscriptions is the population size (the scale axis: 1k-1M).
+	Subscriptions int
+	// Events is how many publishable events to synthesize.
+	Events int
+	// Attrs is the attribute vocabulary size shared by subscriptions and
+	// events.
+	Attrs int
+	// ValuesPerAttr is each attribute's value vocabulary size.
+	ValuesPerAttr int
+	// MaxPredicates bounds predicates per subscription (at least 1).
+	MaxPredicates int
+	// EventTuples is the tuple count per event.
+	EventTuples int
+	// Themes is the number of distinct theme tags; each subscription and
+	// event carries 0-2 of them.
+	Themes int
+	// ExactFraction is the probability an attribute or value slot stays
+	// exact (non-~). Exact slots are what the inverted index prunes on.
+	ExactFraction float64
+	// ApproxOnlyFraction is the fraction of subscriptions with every slot
+	// approximated — the never-prunable population.
+	ApproxOnlyFraction float64
+	// Zipf is the skew exponent (> 1) of attribute and value draws; 0
+	// draws uniformly. Real subscription populations are heavily skewed
+	// toward a few hot terms, which is exactly what stresses posting-list
+	// occupancy.
+	Zipf float64
+}
+
+// DefaultScaleConfig is the scale tier used by `repro -exp scale`: n
+// subscriptions over a 64-attribute vocabulary with zipfian skew.
+func DefaultScaleConfig(n int) ScaleConfig {
+	return ScaleConfig{
+		Seed:               7,
+		Subscriptions:      n,
+		Events:             200,
+		Attrs:              64,
+		ValuesPerAttr:      32,
+		MaxPredicates:      4,
+		EventTuples:        8,
+		Themes:             6,
+		ExactFraction:      0.8,
+		ApproxOnlyFraction: 0.01,
+		Zipf:               1.2,
+	}
+}
+
+// ScaleWorkload is a generated scale-tier workload.
+type ScaleWorkload struct {
+	Subs   []*event.Subscription
+	Events []*event.Event
+}
+
+// scaleVocab is the shared attribute/value vocabulary of one scale
+// workload. Terms reuse the evaluation datasets' words so approximate
+// predicates still project onto non-zero semantic vectors.
+type scaleVocab struct {
+	attrs  []string
+	values [][]string // values[i] is attrs[i]'s value pool
+}
+
+func buildScaleVocab(cfg ScaleConfig) scaleVocab {
+	baseAttrs := []string{
+		"type", "device", "room", "desk", "floor", "zone", "street", "city",
+		"country", "measurement unit", "vehicle", "capability", "trend", "site",
+	}
+	words := append([]string{}, vocab.SensorCapabilities()...)
+	words = append(words, vocab.Appliances()...)
+	words = append(words, vocab.Rooms()...)
+	words = append(words, vocab.Zones()...)
+	words = append(words, vocab.Streets()...)
+	words = append(words, vocab.Cities()...)
+	words = append(words, vocab.Trends()...)
+	words = append(words, vocab.CarBrands()...)
+
+	v := scaleVocab{}
+	for i := 0; i < cfg.Attrs; i++ {
+		if i < len(baseAttrs) {
+			v.attrs = append(v.attrs, baseAttrs[i])
+		} else {
+			v.attrs = append(v.attrs, fmt.Sprintf("%s sensor %d", words[i%len(words)], i))
+		}
+		pool := make([]string, 0, cfg.ValuesPerAttr)
+		for j := 0; j < cfg.ValuesPerAttr; j++ {
+			w := words[(i*7+j*3)%len(words)]
+			if j < len(words)/cfg.Attrs {
+				pool = append(pool, w)
+			} else {
+				pool = append(pool, fmt.Sprintf("%s %d", w, j))
+			}
+		}
+		v.values = append(v.values, pool)
+	}
+	return v
+}
+
+func scaleThemePool(n int) []string {
+	tags := []string{"energy", "transport", "environment", "water supply",
+		"waste management", "parking", "public lighting", "public safety"}
+	for len(tags) < n {
+		tags = append(tags, fmt.Sprintf("district %d", len(tags)))
+	}
+	return tags[:n]
+}
+
+// sampler draws vocabulary indices, zipfian when cfg.Zipf > 1.
+type sampler struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	n    int
+}
+
+func newSampler(rng *rand.Rand, cfg ScaleConfig, n int) *sampler {
+	s := &sampler{rng: rng, n: n}
+	if cfg.Zipf > 1 {
+		s.zipf = rand.NewZipf(rng, cfg.Zipf, 1, uint64(n-1))
+	}
+	return s
+}
+
+func (s *sampler) draw() int {
+	if s.zipf != nil {
+		return int(s.zipf.Uint64())
+	}
+	return s.rng.Intn(s.n)
+}
+
+// GenerateScale synthesizes a scale-tier workload: cfg.Subscriptions
+// subscriptions and cfg.Events events over a shared zipf-skewed
+// vocabulary, with a controlled exact/approximate mix. Subscriptions and
+// events overlap in hot terms, so a fraction of every event's candidates
+// genuinely match — the end-to-end pipeline (index, batch scorer,
+// delivery) is exercised, not just the pruning path.
+func GenerateScale(cfg ScaleConfig) *ScaleWorkload {
+	if cfg.Subscriptions <= 0 {
+		cfg = DefaultScaleConfig(1000)
+	}
+	if cfg.MaxPredicates < 1 {
+		cfg.MaxPredicates = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	v := buildScaleVocab(cfg)
+	themes := scaleThemePool(cfg.Themes)
+	attrDraw := newSampler(rng, cfg, cfg.Attrs)
+
+	pickTheme := func() []string {
+		switch rng.Intn(4) {
+		case 0:
+			return nil
+		case 1, 2:
+			return []string{themes[rng.Intn(len(themes))]}
+		default:
+			return []string{themes[rng.Intn(len(themes))], themes[rng.Intn(len(themes))]}
+		}
+	}
+
+	w := &ScaleWorkload{}
+	for i := 0; i < cfg.Subscriptions; i++ {
+		approxOnly := rng.Float64() < cfg.ApproxOnlyFraction
+		np := 1 + rng.Intn(cfg.MaxPredicates)
+		sub := &event.Subscription{
+			ID:    fmt.Sprintf("scale-sub-%06d", i),
+			Theme: pickTheme(),
+		}
+		seen := make(map[int]bool, np)
+		for p := 0; p < np; p++ {
+			ai := attrDraw.draw()
+			if seen[ai] {
+				continue // canonical-duplicate attrs would never all match
+			}
+			seen[ai] = true
+			pred := event.Predicate{
+				Attr:  v.attrs[ai],
+				Value: v.values[ai][rng.Intn(len(v.values[ai]))],
+			}
+			// Attributes are approximated half as often as values: a sub with
+			// every attribute fuzzed has no exact requirement at all and can
+			// never be pruned, so attr-approx rate directly sets the
+			// enumeration floor.
+			if approxOnly || rng.Float64() < (1-cfg.ExactFraction)/2 {
+				pred.ApproxAttr = true
+			}
+			if approxOnly || rng.Float64() >= cfg.ExactFraction {
+				pred.ApproxValue = true
+			}
+			sub.Predicates = append(sub.Predicates, pred)
+		}
+		if len(sub.Predicates) == 0 {
+			ai := attrDraw.draw()
+			sub.Predicates = append(sub.Predicates, event.Predicate{
+				Attr: v.attrs[ai], Value: v.values[ai][0], ApproxValue: true,
+			})
+		}
+		w.Subs = append(w.Subs, sub)
+	}
+
+	for i := 0; i < cfg.Events; i++ {
+		e := &event.Event{
+			ID:    fmt.Sprintf("scale-ev-%04d", i),
+			Theme: pickTheme(),
+		}
+		seen := make(map[int]bool, cfg.EventTuples)
+		for len(e.Tuples) < cfg.EventTuples {
+			ai := attrDraw.draw()
+			if seen[ai] {
+				continue // events must have unique canonical attributes
+			}
+			seen[ai] = true
+			e.Tuples = append(e.Tuples, event.Tuple{
+				Attr:  v.attrs[ai],
+				Value: v.values[ai][rng.Intn(len(v.values[ai]))],
+			})
+		}
+		w.Events = append(w.Events, e)
+	}
+	return w
+}

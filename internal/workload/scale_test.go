@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"testing"
+
+	"thematicep/internal/text"
+)
+
+func TestGenerateScaleDeterministic(t *testing.T) {
+	cfg := DefaultScaleConfig(2000)
+	a := GenerateScale(cfg)
+	b := GenerateScale(cfg)
+	if len(a.Subs) != cfg.Subscriptions || len(a.Events) != cfg.Events {
+		t.Fatalf("got %d subs / %d events, want %d / %d",
+			len(a.Subs), len(a.Events), cfg.Subscriptions, cfg.Events)
+	}
+	for i := range a.Subs {
+		if a.Subs[i].String() != b.Subs[i].String() {
+			t.Fatalf("sub %d differs across runs:\n%s\n%s", i, a.Subs[i], b.Subs[i])
+		}
+	}
+	for i := range a.Events {
+		if a.Events[i].String() != b.Events[i].String() {
+			t.Fatalf("event %d differs across runs", i)
+		}
+	}
+}
+
+func TestGenerateScaleValid(t *testing.T) {
+	w := GenerateScale(DefaultScaleConfig(5000))
+	for _, s := range w.Subs {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("invalid subscription %q: %v", s.ID, err)
+		}
+	}
+	for _, e := range w.Events {
+		if err := e.Validate(); err != nil {
+			t.Fatalf("invalid event %q: %v", e.ID, err)
+		}
+		if len(e.Tuples) != 8 {
+			t.Fatalf("event %q has %d tuples, want 8", e.ID, len(e.Tuples))
+		}
+	}
+}
+
+func TestGenerateScaleMix(t *testing.T) {
+	cfg := DefaultScaleConfig(20000)
+	w := GenerateScale(cfg)
+	approxOnly, exactPreds, totalPreds := 0, 0, 0
+	for _, s := range w.Subs {
+		all := true
+		for _, p := range s.Predicates {
+			totalPreds++
+			if !p.ApproxAttr && !p.ApproxValue {
+				exactPreds++
+			}
+			if !p.ApproxAttr || !p.ApproxValue {
+				all = false
+			}
+		}
+		if all {
+			approxOnly++
+		}
+	}
+	// ApproxOnlyFraction=0.02 plus random all-approx draws: the
+	// never-prunable population should be a small minority.
+	if approxOnly == 0 || approxOnly > cfg.Subscriptions/5 {
+		t.Errorf("approx-only subs = %d of %d, want small non-zero minority",
+			approxOnly, cfg.Subscriptions)
+	}
+	// ExactFraction=0.7 per slot → ~half of predicates fully exact.
+	if exactPreds*3 < totalPreds {
+		t.Errorf("only %d/%d predicates fully exact; pruning would be toothless",
+			exactPreds, totalPreds)
+	}
+}
+
+// TestGenerateScaleSkew asserts the zipf draw concentrates load: the
+// hottest attribute should dwarf a uniform share.
+func TestGenerateScaleSkew(t *testing.T) {
+	cfg := DefaultScaleConfig(20000)
+	w := GenerateScale(cfg)
+	counts := map[string]int{}
+	total := 0
+	for _, s := range w.Subs {
+		for _, p := range s.Predicates {
+			counts[p.Attr]++
+			total++
+		}
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	uniform := total / cfg.Attrs
+	if max < 4*uniform {
+		t.Errorf("hottest attr %d vs uniform share %d; zipf skew missing", max, uniform)
+	}
+}
+
+// TestGenerateScaleOverlap checks subscriptions and events share hot
+// vocabulary so candidate sets are non-empty and matches occur.
+func TestGenerateScaleOverlap(t *testing.T) {
+	w := GenerateScale(DefaultScaleConfig(2000))
+	evTerms := map[string]bool{}
+	for _, e := range w.Events {
+		for _, tu := range e.Tuples {
+			evTerms[text.Canonical(tu.Attr)+"\x00"+text.Canonical(tu.Value)] = true
+		}
+	}
+	hits := 0
+	for _, s := range w.Subs {
+		for _, p := range s.Predicates {
+			if evTerms[text.Canonical(p.Attr)+"\x00"+text.Canonical(p.Value)] {
+				hits++
+				break
+			}
+		}
+	}
+	if hits*20 < len(w.Subs) {
+		t.Errorf("only %d/%d subs share an exact (attr,value) with any event", hits, len(w.Subs))
+	}
+}
