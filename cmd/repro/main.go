@@ -324,7 +324,10 @@ func (e *env0) brokerPass(pruning bool) (brokerRun, error) {
 	e.space.ResetCaches()
 	m := matcher.New(e.space)
 	b := broker.New(
-		broker.PreparedBatch(m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared, m.ScoreBatch),
+		broker.PreparedStream(
+			m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared, m.ScoreBatch,
+			m.NewEventBatch, m.PrepareEventInBatch, m.NewBatchArena, m.ScoreBatchInArena,
+			m.FinishEventBatch),
 		broker.WithPruning(pruning),
 		broker.WithReplayBuffer(0),
 		broker.WithQueueSize(1),

@@ -66,6 +66,7 @@ func run(args []string) error {
 		traceN    = fs.Int("trace-sample", 0, "record a pipeline trace for 1 in N published events (0 disables; see /debug/traces)")
 		drainT    = fs.Duration("drain-timeout", 5*time.Second, "max time to flush subscriber queues on SIGTERM before closing anyway")
 		shedMark  = fs.Int("shed-watermark", 0, "shed publishes with an overload error when the match pipeline is saturated and this many are in flight (0 disables)")
+		maxBatch  = fs.Int("max-batch", broker.DefaultMaxBatch, "largest event batch accepted per publishb frame; oversized batches are rejected whole (<=0 disables the cap)")
 		chaos     = fs.String("chaos", "", "fault injection on peer links, e.g. seed=42,latency=2ms,stall=0.01,stallfor=250ms,reset=0.005,corrupt=0.01 (testing only)")
 		queryTick = fs.Duration("query-tick", time.Second, "continuous-query flush interval: quiet streams fire pending negation/aggregate windows this often (<=0 disables)")
 	)
@@ -95,14 +96,19 @@ func run(args []string) error {
 	if *shedMark > 0 {
 		opts = append(opts, broker.WithShedWatermark(*shedMark))
 	}
-	// The PreparedBatch adapter turns on the broker's prepare-once fast
+	// The PreparedStream adapter turns on the broker's prepare-once fast
 	// path (subscriptions canonicalized and theme-compiled at Subscribe
-	// time, events once per publish) plus columnar batch scoring of each
-	// event's candidate set.
-	b := broker.New(broker.PreparedBatch(m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared, m.ScoreBatch), opts...)
+	// time, events once per publish), columnar batch scoring of each
+	// event's candidate set, and the batch-scope interning/memo contexts
+	// behind PublishBatch.
+	b := broker.New(broker.PreparedStream(
+		m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared, m.ScoreBatch,
+		m.NewEventBatch, m.PrepareEventInBatch, m.NewBatchArena, m.ScoreBatchInArena,
+		m.FinishEventBatch), opts...)
 	defer b.Close()
 
 	srv := broker.NewServer(b)
+	srv.SetMaxBatch(*maxBatch)
 
 	var node *cluster.Node
 	var collectors []broker.Collector

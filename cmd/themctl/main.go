@@ -3,6 +3,7 @@
 // Usage:
 //
 //	themctl publish -addr 127.0.0.1:7070 '<event>'
+//	themctl publish -addr 127.0.0.1:7070 -batch -f events.txt [-batch-size 256]
 //	themctl subscribe -addr 127.0.0.1:7070 [-replay] '<subscription>'
 //	themctl query -addr 127.0.0.1:7070 -name surge -kind count -window 30s -min 3 '<subscription>'
 //	themctl match '<subscription>' '<event>'
@@ -27,6 +28,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -72,8 +74,23 @@ func runPublish(args []string) error {
 	fs := flag.NewFlagSet("publish", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7070", "broker address")
 	timeout := fs.Duration("timeout", 0, "per-request timeout; fail fast instead of hanging on a wedged daemon (0 = wait forever)")
+	batch := fs.Bool("batch", false, "batched ingest: read events from -f and publish them as publishb frames")
+	file := fs.String("f", "", "with -batch: file of events, one per line in the paper's notation (- for stdin)")
+	batchSize := fs.Int("batch-size", 256, "with -batch: events per publishb frame (capped by the daemon's -max-batch)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *batch {
+		if fs.NArg() != 0 {
+			return fmt.Errorf("publish -batch: events come from -f, not arguments")
+		}
+		if *file == "" {
+			return fmt.Errorf("publish -batch: -f <file> is required (- for stdin)")
+		}
+		if *batchSize < 1 {
+			return fmt.Errorf("publish -batch: -batch-size must be >= 1")
+		}
+		return publishBatchFile(*addr, *timeout, *file, *batchSize)
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("publish: exactly one event argument expected")
@@ -91,6 +108,53 @@ func runPublish(args []string) error {
 		return err
 	}
 	fmt.Println("published:", ev)
+	return nil
+}
+
+// publishBatchFile streams a file of line-delimited events (the paper's
+// notation, blank lines and #-comments skipped) to the broker as publishb
+// frames of batchSize events each. The whole file is parsed before the
+// first frame goes out, so a syntax error publishes nothing.
+func publishBatchFile(addr string, timeout time.Duration, path string, batchSize int) error {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	var events []*event.Event
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ev, err := event.ParseEvent(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", i+1, err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("publish -batch: no events in %s", path)
+	}
+	c, err := broker.DialTimeout(addr, timeout)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	batches := 0
+	for lo := 0; lo < len(events); lo += batchSize {
+		hi := min(lo+batchSize, len(events))
+		if err := c.PublishBatch(events[lo:hi]); err != nil {
+			return fmt.Errorf("batch %d (events %d-%d): %w", batches+1, lo+1, hi, err)
+		}
+		batches++
+	}
+	fmt.Printf("published %d events in %d batches\n", len(events), batches)
 	return nil
 }
 

@@ -132,6 +132,32 @@ func printSummary(body []byte) error {
 			time.Duration(p95*float64(time.Second)).Round(time.Microsecond), count)
 	}
 
+	// Batched ingest: how much of the stream arrives through PublishBatch
+	// and how much work the batch-scope interners and row memos amortize
+	// away.
+	if batches := counter("thematicep_broker_batches_total"); batches > 0 {
+		fmt.Println("batching:")
+		fmt.Printf("  %-14s %.0f\n", "batches", batches)
+		if f := byName["thematicep_publish_batch_size"]; f != nil && f.Type == "histogram" {
+			count, p50, p95 := histogramQuantiles(f)
+			if count > 0 {
+				fmt.Printf("  %-14s p50 %.0f / p95 %.0f\n", "batch size", p50, p95)
+			}
+		}
+		ti := counter("thematicep_broker_batch_terms_interned_total")
+		tr := counter("thematicep_broker_batch_terms_reused_total")
+		rc := counter("thematicep_broker_batch_rows_computed_total")
+		rr := counter("thematicep_broker_batch_rows_reused_total")
+		pct := func(hit, miss float64) float64 {
+			if hit+miss == 0 {
+				return 0
+			}
+			return 100 * hit / (hit + miss)
+		}
+		fmt.Printf("  %-14s %.0f reused / %.0f interned (%.1f%% amortized)\n", "terms", tr, ti, pct(tr, ti))
+		fmt.Printf("  %-14s %.0f reused / %.0f computed (%.1f%% amortized)\n", "sim rows", rr, rc, pct(rr, rc))
+	}
+
 	// Subscription-index occupancy and the candidates-per-event
 	// distribution: the inverted index's pruning effectiveness at a glance.
 	gauge := func(name string) (float64, bool) {

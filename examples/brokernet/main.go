@@ -29,10 +29,14 @@ func run() error {
 	// Broker side: the thematic matcher is the broker's matching engine.
 	space := semantics.NewSpace(index.Build(corpus.GenerateDefault()))
 	m := matcher.New(space)
-	// PreparedBatch adapter: the broker compiles each subscription once and
+	// PreparedStream adapter: the broker compiles each subscription once and
 	// each event once per publish instead of per (event, subscription)
-	// pair, and scores each event's candidates in one columnar sweep.
-	b := broker.New(broker.PreparedBatch(m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared, m.ScoreBatch),
+	// pair, scores each event's candidates in one columnar sweep, and
+	// amortizes whole PublishBatch calls through batch-scope interning.
+	b := broker.New(broker.PreparedStream(
+		m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared, m.ScoreBatch,
+		m.NewEventBatch, m.PrepareEventInBatch, m.NewBatchArena, m.ScoreBatchInArena,
+		m.FinishEventBatch),
 		broker.WithThreshold(0.2))
 	defer b.Close()
 

@@ -15,7 +15,7 @@ func preparedBatchThematic(t testing.TB) PreparedMatcher {
 
 // runBrokerWith is runBroker with an explicit matcher: subscribe all,
 // publish all (unsubscribing a third halfway), return delivery set + stats.
-func runBrokerWith(t *testing.T, pm PreparedMatcher, subs []*event.Subscription, events []*event.Event, opts ...Option) (map[deliveryKey]bool, Stats) {
+func runBrokerWith(t *testing.T, pm Matcher, subs []*event.Subscription, events []*event.Event, opts ...Option) (map[deliveryKey]bool, Stats) {
 	t.Helper()
 	base := []Option{
 		WithQueueSize(len(events) + 1),

@@ -201,6 +201,17 @@ type Stats struct {
 	Delivered   uint64 // deliveries handed to subscriber queues
 	Dropped     uint64 // deliveries dropped due to full subscriber queues
 	Subscribers int    // currently active subscriptions
+
+	// Batched-publish amortization counters (PublishBatch only). Terms
+	// counts are raw-term canonicalizations served from the batch interner
+	// (reused) vs computed fresh (interned); rows counts are similarity
+	// rows served from the batch-scope arena memo vs computed through the
+	// semantic kernel. High reuse ratios are the whole point of batching.
+	Batches            uint64 // PublishBatch calls accepted
+	BatchTermsInterned uint64 // distinct raw terms canonicalized fresh
+	BatchTermsReused   uint64 // raw-term canonicalizations served from the interner
+	BatchRowsComputed  uint64 // similarity rows computed through the kernel
+	BatchRowsReused    uint64 // similarity rows served from the batch memo
 }
 
 // Option configures a Broker.
@@ -319,6 +330,8 @@ type Broker struct {
 	matcher Matcher
 	prep    PreparedMatcher // non-nil when matcher supports prepare-once
 	batch   BatchMatcher    // non-nil when matcher also supports batch scoring
+	stream  StreamMatcher   // non-nil when matcher also supports batch-scope contexts
+	streamT targetScorer    // non-nil when stream also scores []*Subscriber directly
 	cfg     config
 
 	// index prunes the per-publish candidate set (WithPruning); non-nil
@@ -330,6 +343,12 @@ type Broker struct {
 	// degrades to publisher-goroutine matching, never to deadlock.
 	sem chan struct{}
 
+	// pubBufs is the free list of batch-publish buffers (see
+	// acquirePubBuf): broker-owned rather than a sync.Pool so the large
+	// per-batch scratch survives GC cycles instead of being regrown —
+	// and re-collected — every batch.
+	pubBufs chan *pubBatchBuf
+
 	// Cumulative counters; atomics so the match hot loop takes no lock
 	// (and offer cannot deadlock against b.mu).
 	published atomic.Uint64
@@ -339,6 +358,13 @@ type Broker struct {
 	matched   atomic.Uint64
 	delivered atomic.Uint64
 	dropped   atomic.Uint64
+
+	// Batched-publish counters (see Stats for semantics).
+	batches            atomic.Uint64
+	batchTermsInterned atomic.Uint64
+	batchTermsReused   atomic.Uint64
+	batchRowsComputed  atomic.Uint64
+	batchRowsReused    atomic.Uint64
 
 	// Drain/shutdown coordination: draining refuses new publishes while
 	// inflight tracks the Publish calls still running, so Drain can wait
@@ -357,6 +383,7 @@ type Broker struct {
 	scoreHist     *telemetry.Histogram // matching fan-out (score stage)
 	deliverHist   *telemetry.Histogram // per-delivery queue handoff
 	candHist      *telemetry.Histogram // candidate-set size distribution
+	batchSizeHist *telemetry.Histogram // PublishBatch batch-size distribution
 
 	mu     sync.RWMutex
 	subs   map[string]*Subscriber
@@ -411,6 +438,7 @@ func New(m Matcher, opts ...Option) *Broker {
 		matcher: m,
 		cfg:     cfg,
 		subs:    make(map[string]*Subscriber),
+		pubBufs: make(chan *pubBatchBuf, pubBufLimit),
 		clock:   cfg.clock,
 		tracer: telemetry.NewTracer(cfg.traceEvery,
 			append([]telemetry.TracerOption{telemetry.WithClock(cfg.clock)}, cfg.traceOpts...)...),
@@ -426,12 +454,20 @@ func New(m Matcher, opts ...Option) *Broker {
 			"Per-delivery queue handoff latency.", lat),
 		candHist: telemetry.NewHistogram("thematicep_subindex_candidates_per_event",
 			"Candidates enumerated per published event (after pruning).", telemetry.SizeBuckets()),
+		batchSizeHist: telemetry.NewHistogram("thematicep_publish_batch_size",
+			"Events per accepted PublishBatch call.", telemetry.SizeBuckets()),
 	}
 	if pm, ok := m.(PreparedMatcher); ok {
 		b.prep = pm
 	}
 	if bm, ok := m.(BatchMatcher); ok {
 		b.batch = bm
+	}
+	if sm, ok := m.(StreamMatcher); ok {
+		b.stream = sm
+		if ts, ok := m.(targetScorer); ok {
+			b.streamT = ts
+		}
 	}
 	if cfg.pruning && b.prep != nil {
 		b.index = subindex.New[*Subscriber]()
@@ -901,6 +937,12 @@ func (b *Broker) Stats() Stats {
 		Delivered:   delivered,
 		Dropped:     dropped,
 		Subscribers: subscribers,
+
+		Batches:            b.batches.Load(),
+		BatchTermsInterned: b.batchTermsInterned.Load(),
+		BatchTermsReused:   b.batchTermsReused.Load(),
+		BatchRowsComputed:  b.batchRowsComputed.Load(),
+		BatchRowsReused:    b.batchRowsReused.Load(),
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"testing"
+	"unicode/utf8"
 
 	"thematicep/internal/event"
 )
@@ -30,6 +31,12 @@ func FuzzReadFrame(f *testing.F) {
 		{Type: FrameSubscribe, Replay: true, Subscription: &event.Subscription{
 			Predicates: []event.Predicate{{Attr: "type", Value: "parking event"}},
 		}},
+		{Type: FramePublishBatch, Events: []*event.Event{
+			{ID: "b1", Theme: []string{"land transport"},
+				Tuples: []event.Tuple{{Attr: "type", Value: "parking event"}}},
+			{ID: "b2", Tuples: []event.Tuple{{Attr: "area", Value: "downtown"}}},
+		}},
+		{Type: FrameOK, Count: 2},
 	} {
 		var buf bytes.Buffer
 		if err := WriteFrame(&buf, fr); err != nil {
@@ -67,8 +74,72 @@ func FuzzReadFrame(f *testing.F) {
 			t.Fatalf("re-encoded frame does not decode: %v", err)
 		}
 		if back.Type != fr.Type || back.SubscriptionID != fr.SubscriptionID ||
-			back.NodeID != fr.NodeID || back.Addr != fr.Addr || back.Error != fr.Error {
+			back.NodeID != fr.NodeID || back.Addr != fr.Addr || back.Error != fr.Error ||
+			back.Count != fr.Count || len(back.Events) != len(fr.Events) {
 			t.Fatalf("round-trip mismatch: %+v vs %+v", fr, back)
+		}
+	})
+}
+
+// FuzzPublishBatchFrame round-trips fuzzer-shaped publishb frames through
+// the wire codec: every event of the batch must survive encode/decode with
+// its ID, theme, and tuples intact, in order — the batched transport must
+// never reorder, merge, or drop events within a frame.
+func FuzzPublishBatchFrame(f *testing.F) {
+	f.Add(2, "e", "land transport\x1furban mobility", "type", "parking event")
+	f.Add(0, "", "", "", "")
+	f.Add(9, "burst", "", "room temperature", "20\x00c")
+	f.Add(1, "uid", "\x1f\x1f", "attr\nwith\nnewlines", `va"lue`)
+	f.Fuzz(func(t *testing.T, n int, id, themes, attr, value string) {
+		if n < 0 || n > 64 {
+			return
+		}
+		// JSON replaces invalid UTF-8 with U+FFFD; only valid strings are
+		// expected to round-trip byte-identically.
+		if !utf8.ValidString(id) || !utf8.ValidString(themes) ||
+			!utf8.ValidString(attr) || !utf8.ValidString(value) {
+			return
+		}
+		var theme []string
+		if themes != "" {
+			for _, tag := range bytes.Split([]byte(themes), []byte{0x1f}) {
+				theme = append(theme, string(tag))
+			}
+		}
+		evs := make([]*event.Event, n)
+		for i := range evs {
+			evs[i] = &event.Event{
+				ID:     id + string(rune('0'+i%10)),
+				Theme:  theme,
+				Tuples: []event.Tuple{{Attr: attr, Value: value}},
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, &Frame{Type: FramePublishBatch, Events: evs}); err != nil {
+			return // oversized batches may exceed MaxFrameSize; rejection is fine
+		}
+		back, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("encoded publishb frame does not decode: %v", err)
+		}
+		if back.Type != FramePublishBatch || len(back.Events) != n {
+			t.Fatalf("batch shape lost: type %q, %d events, want %d", back.Type, len(back.Events), n)
+		}
+		for i, e := range back.Events {
+			want := evs[i]
+			if e.ID != want.ID || len(e.Theme) != len(want.Theme) || len(e.Tuples) != len(want.Tuples) {
+				t.Fatalf("event %d mutated: %+v vs %+v", i, e, want)
+			}
+			for j := range e.Theme {
+				if e.Theme[j] != want.Theme[j] {
+					t.Fatalf("event %d theme %d mutated: %q vs %q", i, j, e.Theme[j], want.Theme[j])
+				}
+			}
+			for j := range e.Tuples {
+				if e.Tuples[j] != want.Tuples[j] {
+					t.Fatalf("event %d tuple %d mutated: %+v vs %+v", i, j, e.Tuples[j], want.Tuples[j])
+				}
+			}
 		}
 	})
 }

@@ -1,0 +1,689 @@
+package broker
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"thematicep/internal/event"
+)
+
+// StreamMatcher extends BatchMatcher with batch-scope matching contexts:
+// one opaque context prepares every event of a publish batch (interning
+// each distinct term once), and opaque per-worker arenas persist the
+// similarity-row memo across all chunks and events of the batch. Scores
+// must remain bit-identical to ScorePrepared — the contexts are purely an
+// amortization capability. FinishBatch releases the context and reports
+// the batch's amortization counters. matcher.Matcher satisfies it through
+// the PreparedStream adapter.
+type StreamMatcher interface {
+	BatchMatcher
+	// NewBatchContext returns an opaque batch-prepare context. Contexts
+	// are single-goroutine; arenas drawn from one may then be used
+	// concurrently (one goroutine each).
+	NewBatchContext() any
+	// PrepareEvBatch is PrepareEv through the context: canonical terms
+	// are interned batch-wide. The result is invalid after FinishBatch.
+	PrepareEvBatch(ctx any, e *event.Event) any
+	// NewBatchArena draws a scoring arena from the context (call on the
+	// context-owning goroutine, before handing the arena to a worker).
+	NewBatchArena(ctx any) any
+	// ScoreBatchArena is ScoreBatchPrepared with the row memo held in the
+	// arena, persisting across calls within the batch.
+	ScoreBatchArena(arena any, subs []any, ev any, out []float64) []float64
+	// FinishBatch invalidates the context and everything drawn from it,
+	// reporting terms interned vs reused and rows computed vs reused.
+	FinishBatch(ctx any) (termsInterned, termsReused, rowsComputed, rowsReused uint64)
+}
+
+// preparedStream adapts typed batch-context methods to StreamMatcher,
+// following the preparedBatch pattern: a distinct type so matchers adapted
+// through Prepared/PreparedBatch never spuriously satisfy the assertion.
+type preparedStream[PS, PE, BC, BA any] struct {
+	preparedBatch[PS, PE]
+	newBatch       func() BC
+	prepareEvBatch func(BC, *event.Event) PE
+	newArena       func(BC) BA
+	scoreArena     func(BA, []PS, PE, []float64) []float64
+	finishBatch    func(BC) (uint64, uint64, uint64, uint64)
+}
+
+func (p *preparedStream[PS, PE, BC, BA]) NewBatchContext() any { return p.newBatch() }
+func (p *preparedStream[PS, PE, BC, BA]) PrepareEvBatch(ctx any, e *event.Event) any {
+	return p.prepareEvBatch(ctx.(BC), e)
+}
+func (p *preparedStream[PS, PE, BC, BA]) NewBatchArena(ctx any) any {
+	return p.newArena(ctx.(BC))
+}
+func (p *preparedStream[PS, PE, BC, BA]) ScoreBatchArena(arena any, subs []any, ev any, out []float64) []float64 {
+	bufp, _ := p.subsPool.Get().(*[]PS)
+	if bufp == nil {
+		bufp = new([]PS)
+	}
+	typed := (*bufp)[:0]
+	for _, s := range subs {
+		typed = append(typed, s.(PS))
+	}
+	out = p.scoreArena(arena.(BA), typed, ev.(PE), out)
+	clear(typed) // drop prepared-subscription references before pooling
+	*bufp = typed[:0]
+	p.subsPool.Put(bufp)
+	return out
+}
+func (p *preparedStream[PS, PE, BC, BA]) FinishBatch(ctx any) (uint64, uint64, uint64, uint64) {
+	return p.finishBatch(ctx.(BC))
+}
+
+// targetScorer is an internal fast path of the batched pipeline: the
+// adapter converts straight from the broker's subscriber slice to its
+// typed prepared subscriptions, skipping the intermediate []any staging
+// that ScoreBatchArena requires (one full pass over every candidate of
+// every chunk). Only the adapters defined in this package can implement it
+// — Subscriber is a broker type — so it is a structural optimization, not
+// part of the public matcher capability ladder.
+type targetScorer interface {
+	ScoreBatchTargets(arena any, targets []*Subscriber, ev any, out []float64) []float64
+}
+
+func (p *preparedStream[PS, PE, BC, BA]) ScoreBatchTargets(arena any, targets []*Subscriber, ev any, out []float64) []float64 {
+	bufp, _ := p.subsPool.Get().(*[]PS)
+	if bufp == nil {
+		bufp = new([]PS)
+	}
+	typed := (*bufp)[:0]
+	for _, s := range targets {
+		typed = append(typed, s.prepared.(PS))
+	}
+	out = p.scoreArena(arena.(BA), typed, ev.(PE), out)
+	clear(typed) // drop prepared-subscription references before pooling
+	*bufp = typed[:0]
+	p.subsPool.Put(bufp)
+	return out
+}
+
+// PreparedStream is PreparedBatch plus the typed batch-context methods
+// (for example *matcher.Matcher's EventBatch machinery):
+//
+//	m := matcher.New(space)
+//	b := broker.New(broker.PreparedStream(
+//		m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared, m.ScoreBatch,
+//		m.NewEventBatch, m.PrepareEventInBatch, m.NewBatchArena, m.ScoreBatchInArena,
+//		m.FinishEventBatch))
+func PreparedStream[PS, PE, BC, BA any](
+	score func(*event.Subscription, *event.Event) float64,
+	prepareSub func(*event.Subscription) PS,
+	prepareEv func(*event.Event) PE,
+	scorePrepared func(PS, PE) float64,
+	scoreBatch func([]PS, PE, []float64) []float64,
+	newBatch func() BC,
+	prepareEvBatch func(BC, *event.Event) PE,
+	newArena func(BC) BA,
+	scoreBatchArena func(BA, []PS, PE, []float64) []float64,
+	finishBatch func(BC) (termsInterned, termsReused, rowsComputed, rowsReused uint64),
+) PreparedMatcher {
+	return &preparedStream[PS, PE, BC, BA]{
+		preparedBatch: preparedBatch[PS, PE]{
+			prepared: prepared[PS, PE]{
+				score:         score,
+				prepareSub:    prepareSub,
+				prepareEv:     prepareEv,
+				scorePrepared: scorePrepared,
+			},
+			scoreBatch: scoreBatch,
+		},
+		newBatch:       newBatch,
+		prepareEvBatch: prepareEvBatch,
+		newArena:       newArena,
+		scoreArena:     scoreBatchArena,
+		finishBatch:    finishBatch,
+	}
+}
+
+// batchWindowCands bounds how many candidate pointers one PublishBatch
+// window stages at once: large enough that most windows hold many events
+// (so enumeration and chunking amortize), small enough that the staging
+// buffer (8 bytes per candidate) stays cache-resident instead of growing
+// to events × candidates pointers the GC must scan per batch.
+const batchWindowCands = 32 * 1024
+
+// batchHit is one above-threshold (subscriber, event) match produced by a
+// scoring worker, buffered so deliveries can be coalesced per subscriber.
+type batchHit struct {
+	s     *Subscriber
+	ei    int32 // index into the batch's event slice
+	score float64
+}
+
+// chunkRef is one unit of scoring work: a contiguous candidate range of
+// one event.
+type chunkRef struct {
+	ei     int32
+	lo, hi int32
+}
+
+// pubBatchBuf is the pooled whole-batch state of one PublishBatch call.
+// Everything a batch touches — prepared events, the flat candidate arena,
+// chunk descriptors, per-worker hit lists, the per-subscriber grouping
+// chains — lives here, so a warm batch allocates nothing. The scoring
+// workers run as a method on this buffer rather than a closure for the
+// same reason.
+type pubBatchBuf struct {
+	b        *Broker
+	events   []*event.Event
+	pes      []any           // prepared events, index-aligned with events
+	flat     []*Subscriber   // window candidate buffer (index path) or snapshot (scan path)
+	perEvent [][]*Subscriber // per-event candidate views of the current window
+	ends     []int
+	chunks   []chunkRef
+	winStart int32 // global index of the current window's first event
+	cursor   atomic.Int64
+	arenas   []any // per-worker scoring arenas (stream matchers)
+	hits     [][]batchHit
+	merged   []batchHit
+	head     map[*Subscriber]int32 // subscriber -> last hit index in merged
+	prev     []int32               // hit index -> previous hit of same subscriber
+	group    []batchHit            // per-subscriber delivery scratch
+	add      func(*Subscriber)     // enumeration sink, bound to flat once
+}
+
+func newPubBatchBuf() *pubBatchBuf {
+	buf := &pubBatchBuf{head: make(map[*Subscriber]int32)}
+	buf.add = func(s *Subscriber) { buf.flat = append(buf.flat, s) }
+	return buf
+}
+
+// pubBufLimit bounds each broker's free list of batch buffers. Batch
+// buffers are few but large (hit lists and grouping chains scale with
+// matches per batch), which is exactly the population sync.Pool serves
+// worst: every GC cycle empties the pool, and regrowing tens of megabytes
+// of scratch per batch is itself what forces the next GC cycle. A small
+// broker-owned free list keeps the scratch alive across collections;
+// buffers beyond the limit (briefly needed only under concurrent
+// publishes) still fall back to the allocator.
+const pubBufLimit = 4
+
+// acquirePubBuf pops a warm batch buffer off the broker's free list, or
+// builds a fresh one when the list is empty.
+func (b *Broker) acquirePubBuf() *pubBatchBuf {
+	select {
+	case buf := <-b.pubBufs:
+		return buf
+	default:
+		return newPubBatchBuf()
+	}
+}
+
+// release drops every pointer the batch held and returns the buffer to its
+// broker's free list; capacities (and the grouping map's buckets) are kept
+// warm.
+func (buf *pubBatchBuf) release() {
+	b := buf.b
+	buf.b = nil
+	buf.events = nil
+	clear(buf.pes)
+	buf.pes = buf.pes[:0]
+	clear(buf.flat)
+	buf.flat = buf.flat[:0]
+	clear(buf.perEvent)
+	buf.perEvent = buf.perEvent[:0]
+	buf.ends = buf.ends[:0]
+	buf.chunks = buf.chunks[:0]
+	clear(buf.arenas)
+	buf.arenas = buf.arenas[:0]
+	for i := range buf.hits {
+		clear(buf.hits[i])
+		buf.hits[i] = buf.hits[i][:0]
+	}
+	clear(buf.merged)
+	buf.merged = buf.merged[:0]
+	clear(buf.head)
+	buf.prev = buf.prev[:0]
+	clear(buf.group)
+	buf.group = buf.group[:0]
+	select {
+	case b.pubBufs <- buf:
+	default: // free list full; let the GC have this one
+	}
+}
+
+// abort unwinds a PublishBatch that failed validation: the batch context
+// is discarded without crediting its counters (nothing was admitted) and
+// the buffer returns to the pool.
+func (buf *pubBatchBuf) abort(ctx any, pes []any, err error) error {
+	if ctx != nil {
+		buf.b.stream.FinishBatch(ctx)
+	}
+	buf.pes = pes
+	buf.release()
+	return fmt.Errorf("broker: publish batch: %w", err)
+}
+
+// validateCanonical checks the event-model invariants from already
+// canonicalized tuple terms — the batched path's allocation-free
+// equivalent of Event.Validate (tuple counts are small, so the quadratic
+// duplicate scan beats a map).
+func validateCanonical(e *event.Event, attrs, values []string) error {
+	for i, a := range attrs {
+		if a == "" || values[i] == "" {
+			return fmt.Errorf("%w: %q", event.ErrEmptyTerm, e.Tuples[i])
+		}
+		for j := 0; j < i; j++ {
+			if attrs[j] == a {
+				return fmt.Errorf("%w: %q", event.ErrDuplicateAttr, e.Tuples[i].Attr)
+			}
+		}
+	}
+	return nil
+}
+
+// PublishBatch publishes a batch of events through one amortized pipeline
+// pass: every distinct term is canonicalized once, candidate enumeration
+// shares its scratch across the batch, scoring workers pull (event, chunk)
+// work items from one cursor with batch-scope similarity-row memos, and
+// deliveries are coalesced so each matched subscriber's queue lock is
+// taken once per batch instead of once per match. Delivery sets — which
+// subscriber receives which events with which scores, and the per-
+// subscriber event order — are identical to calling Publish serially over
+// the slice (scores bit-identical, same scoring code); see DESIGN.md §14
+// for the argument and for what is intentionally coarser (stage
+// histograms observe per batch, deliveries share one admission timestamp
+// per subscriber group, batches are not trace-sampled).
+//
+// Admission is all-or-nothing: the batch is validated up front and either
+// every event is admitted (nil return) or none is. Like Publish it never
+// blocks on slow consumers.
+func (b *Broker) PublishBatch(events []*event.Event) error {
+	t0 := b.clock.Now()
+	n := len(events)
+	if n == 0 {
+		return nil
+	}
+	for _, e := range events {
+		if e == nil {
+			return ErrNilEvent
+		}
+	}
+
+	buf := b.acquirePubBuf()
+	buf.b = b
+	buf.events = events
+
+	// Prepare and validate in one pass: the batch context's interner
+	// yields the canonical terms validation needs, so the batched path
+	// never canonicalizes a term twice. (Cleanup on failure goes through
+	// the abort method, not a closure — closures capturing batch state
+	// would cost the warm path its zero-allocation property.)
+	var ctx any
+	pes := buf.pes[:0]
+	if b.prep != nil {
+		if b.stream != nil {
+			ctx = b.stream.NewBatchContext()
+			for _, e := range events {
+				pe := b.stream.PrepareEvBatch(ctx, e)
+				if ct, ok := pe.(canonicalTupler); ok {
+					attrs, values := ct.CanonicalTuples()
+					if len(attrs) == 0 {
+						return buf.abort(ctx, pes, event.ErrNoTuples)
+					}
+					if err := validateCanonical(e, attrs, values); err != nil {
+						return buf.abort(ctx, pes, err)
+					}
+				} else if err := e.Validate(); err != nil {
+					return buf.abort(ctx, pes, err)
+				}
+				pes = append(pes, pe)
+			}
+		} else {
+			for _, e := range events {
+				if err := e.Validate(); err != nil {
+					return buf.abort(ctx, pes, err)
+				}
+				pes = append(pes, b.prep.PrepareEv(e))
+			}
+		}
+	} else {
+		for _, e := range events {
+			if err := e.Validate(); err != nil {
+				return buf.abort(ctx, pes, err)
+			}
+		}
+	}
+	buf.pes = pes
+
+	// Admission control, one decision for the whole batch (see Publish for
+	// the inflight/draining ordering argument). A shed batch counts every
+	// event in Stats.Shed so event-granularity accounting stays comparable
+	// with the serial path.
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
+	if b.draining.Load() {
+		if ctx != nil {
+			b.stream.FinishBatch(ctx)
+		}
+		buf.release()
+		return ErrDraining
+	}
+	if w := b.cfg.shedWatermark; w > 0 && b.sem != nil &&
+		len(b.sem) == cap(b.sem) && b.inflight.Load() > int64(w) {
+		b.shed.Add(uint64(n))
+		if ctx != nil {
+			b.stream.FinishBatch(ctx)
+		}
+		buf.release()
+		return ErrOverloaded
+	}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		if ctx != nil {
+			b.stream.FinishBatch(ctx)
+		}
+		buf.release()
+		return ErrClosed
+	}
+	if b.cfg.replaySize > 0 {
+		b.replay = append(b.replay, events...)
+		if len(b.replay) > b.cfg.replaySize {
+			b.replay = b.replay[len(b.replay)-b.cfg.replaySize:]
+		}
+	}
+	empty := len(b.subs) == 0
+	if b.index == nil && !empty {
+		// Full-scan matchers share one subscription snapshot across the
+		// whole batch (one lock acquisition, one copy).
+		for _, s := range b.subs {
+			buf.flat = append(buf.flat, s)
+		}
+	}
+	b.mu.Unlock()
+
+	b.published.Add(uint64(n))
+	b.batches.Add(1)
+	b.batchSizeHist.Observe(float64(n))
+	tEnum := b.clock.Now()
+	b.compileHist.ObserveDuration(tEnum.Sub(t0))
+
+	// Candidate enumeration and scoring, interleaved over windows of
+	// consecutive events. A whole-batch candidate arena at the 100k tier
+	// holds millions of *Subscriber pointers — tens of megabytes the GC
+	// must scan and the caches cannot hold — so events are staged in
+	// windows whose candidate sets fit batchWindowCands, reusing one small
+	// flat buffer. Everything that amortizes — the batch context, interned
+	// terms, per-worker arenas and their row memos, hit lists, delivery
+	// coalescing — still spans the whole batch; only the staging of
+	// candidate pointers is windowed. Within a window, workers pull
+	// (event, chunk) items off one cursor with no per-event barrier.
+	nw := b.cfg.parallelism
+	if nw < 1 {
+		nw = 1
+	}
+	for len(buf.hits) < nw {
+		buf.hits = append(buf.hits, nil)
+	}
+	if b.stream != nil && ctx != nil {
+		// Arenas must be drawn on the context-owning goroutine, before any
+		// workers start; they persist across every window of the batch.
+		for w := 0; w < nw; w++ {
+			buf.arenas = append(buf.arenas, b.stream.NewBatchArena(ctx))
+		}
+	}
+	fullScan := b.index == nil || empty
+	var enumDur, scoreDur time.Duration
+	totalCands := 0
+	for lo := 0; lo < n; {
+		tEnum := b.clock.Now()
+		perEvent := buf.perEvent[:0]
+		ends := buf.ends[:0]
+		hi := lo
+		if !fullScan {
+			buf.flat = buf.flat[:0] // window staging buffer, reused
+			for hi < n && (hi == lo || len(buf.flat) < batchWindowCands) {
+				start := len(buf.flat)
+				var pruned int
+				if ct, ok := pes[hi].(canonicalTupler); ok {
+					attrs, values := ct.CanonicalTuples()
+					_, pruned = b.index.CandidatesPrepared(attrs, values, buf.add)
+				} else {
+					_, pruned = b.index.Candidates(events[hi], buf.add)
+				}
+				b.pruned.Add(uint64(pruned))
+				ends = append(ends, len(buf.flat))
+				b.candHist.Observe(float64(len(buf.flat) - start))
+				hi++
+			}
+			// Views into the buffer are derived only after every append of
+			// the window, since growth moves it.
+			prev := 0
+			for _, end := range ends {
+				perEvent = append(perEvent, buf.flat[prev:end])
+				prev = end
+			}
+			totalCands += len(buf.flat)
+		} else {
+			// Full-scan matchers share one subscription snapshot (already
+			// staged in flat) across every event; the window only bounds how
+			// many events' chunks are in flight at once.
+			for hi < n && (hi == lo || (hi-lo)*len(buf.flat) < batchWindowCands) {
+				perEvent = append(perEvent, buf.flat)
+				b.candHist.Observe(float64(len(buf.flat)))
+				hi++
+			}
+			totalCands += len(buf.flat) * (hi - lo)
+		}
+		buf.perEvent = perEvent
+		buf.ends = ends
+		tScore := b.clock.Now()
+		enumDur += tScore.Sub(tEnum)
+
+		chunks := buf.chunks[:0]
+		for i := range perEvent {
+			m := len(perEvent[i])
+			for clo := 0; clo < m; clo += batchChunkSize {
+				chunks = append(chunks, chunkRef{ei: int32(lo + i), lo: int32(clo), hi: int32(min(clo+batchChunkSize, m))})
+			}
+		}
+		buf.chunks = chunks
+		buf.winStart = int32(lo)
+		buf.cursor.Store(0)
+		nww := nw
+		if nww > len(chunks) {
+			nww = len(chunks)
+		}
+		if nww <= 1 || b.sem == nil {
+			buf.work(0)
+		} else {
+			var wg sync.WaitGroup
+		spawn:
+			for w := 1; w < nww; w++ {
+				select {
+				case b.sem <- struct{}{}:
+					wg.Add(1)
+					go func(wid int) {
+						defer wg.Done()
+						defer func() { <-b.sem }()
+						buf.work(wid)
+					}(w)
+				default:
+					// Helper budget exhausted by concurrent publishes: the
+					// publisher goroutine absorbs the remainder.
+					break spawn
+				}
+			}
+			buf.work(0)
+			wg.Wait()
+		}
+		scoreDur += b.clock.Now().Sub(tScore)
+		lo = hi
+	}
+	b.scanned.Add(uint64(totalCands))
+	b.enumerateHist.ObserveDuration(enumDur)
+	b.scoreHist.ObserveDuration(scoreDur)
+	tDeliver := b.clock.Now()
+
+	// Coalesced delivery: bucket the hits per subscriber (chained through
+	// prev/head, no per-subscriber allocation), restore per-subscriber
+	// event order, and take each subscriber's queue lock exactly once.
+	merged := buf.merged[:0]
+	for w := 0; w < nw; w++ {
+		merged = append(merged, buf.hits[w]...)
+	}
+	buf.merged = merged
+	b.matched.Add(uint64(len(merged)))
+	prevIdx := buf.prev[:0]
+	for i := range merged {
+		if j, ok := buf.head[merged[i].s]; ok {
+			prevIdx = append(prevIdx, j)
+		} else {
+			prevIdx = append(prevIdx, -1)
+		}
+		buf.head[merged[i].s] = int32(i)
+	}
+	buf.prev = prevIdx
+	for s, last := range buf.head {
+		g := buf.group[:0]
+		for i := last; i >= 0; i = prevIdx[i] {
+			g = append(g, merged[i])
+		}
+		sortHitsByEvent(g)
+		buf.group = g
+		b.offerBatch(s, events, g)
+	}
+
+	if ctx != nil {
+		ti, tr, rc, rr := b.stream.FinishBatch(ctx)
+		b.batchTermsInterned.Add(ti)
+		b.batchTermsReused.Add(tr)
+		b.batchRowsComputed.Add(rc)
+		b.batchRowsReused.Add(rr)
+	}
+	end := b.clock.Now()
+	b.deliverHist.ObserveDuration(end.Sub(tDeliver))
+	b.publishHist.ObserveDuration(end.Sub(t0))
+	buf.release()
+	return nil
+}
+
+// work is one scoring worker: it pulls chunk descriptors off the shared
+// cursor and appends above-threshold scores to its private hit list. It is
+// called once per window — hit lists accumulate across windows and are
+// only reset when the buffer is released. Workers with a stream arena keep
+// their row memo across every chunk they touch; otherwise scoring falls
+// back to the per-chunk batch scorer or the serial prepared/plain scorers,
+// exactly as dispatch does.
+func (buf *pubBatchBuf) work(wid int) {
+	b := buf.b
+	hits := buf.hits[wid]
+	var arena any
+	if wid < len(buf.arenas) {
+		arena = buf.arenas[wid]
+	}
+	sb := batchScorePool.Get().(*batchScoreBuf)
+	for {
+		c := int(buf.cursor.Add(1)) - 1
+		if c >= len(buf.chunks) {
+			break
+		}
+		ch := buf.chunks[c]
+		targets := buf.perEvent[ch.ei-buf.winStart][ch.lo:ch.hi]
+		threshold := b.cfg.threshold
+		if len(buf.pes) > 0 {
+			pe := buf.pes[ch.ei]
+			var scores []float64
+			if arena != nil && b.streamT != nil {
+				// Fast path: the adapter reads the subscriber slice
+				// directly, skipping the []any staging pass.
+				scores = b.streamT.ScoreBatchTargets(arena, targets, pe, sb.scores[:0])
+			} else {
+				subs := sb.subs[:0]
+				for _, s := range targets {
+					subs = append(subs, s.prepared)
+				}
+				switch {
+				case arena != nil:
+					scores = b.stream.ScoreBatchArena(arena, subs, pe, sb.scores[:0])
+				case b.batch != nil:
+					scores = b.batch.ScoreBatchPrepared(subs, pe, sb.scores[:0])
+				default:
+					scores = sb.scores[:0]
+					for _, sp := range subs {
+						scores = append(scores, b.prep.ScorePrepared(sp, pe))
+					}
+				}
+				clear(subs)
+				sb.subs = subs[:0]
+			}
+			for k, s := range targets {
+				if sc := scores[k]; sc >= threshold && sc > 0 {
+					hits = append(hits, batchHit{s: s, ei: ch.ei, score: sc})
+				}
+			}
+			sb.scores = scores[:0]
+		} else {
+			e := buf.events[ch.ei]
+			for _, s := range targets {
+				if sc := b.matcher.Score(s.sub, e); sc >= threshold && sc > 0 {
+					hits = append(hits, batchHit{s: s, ei: ch.ei, score: sc})
+				}
+			}
+		}
+	}
+	batchScorePool.Put(sb)
+	buf.hits[wid] = hits
+}
+
+// sortHitsByEvent restores ascending event order within one subscriber's
+// hit group (insertion sort: groups are at most batch-sized, event indexes
+// distinct, and the hot path must not allocate).
+func sortHitsByEvent(g []batchHit) {
+	for i := 1; i < len(g); i++ {
+		h := g[i]
+		j := i - 1
+		for j >= 0 && g[j].ei > h.ei {
+			g[j+1] = g[j]
+			j--
+		}
+		g[j+1] = h
+	}
+}
+
+// offerBatch enqueues one subscriber's deliveries for a whole batch under
+// a single queue-lock acquisition, with the same drop-oldest overflow
+// policy as offer. All deliveries of the group share one admission
+// timestamp, and the deliver histogram observes the group handoff, not
+// each delivery.
+func (b *Broker) offerBatch(s *Subscriber, events []*event.Event, hits []batchHit) {
+	if len(hits) == 0 {
+		return
+	}
+	t0 := b.clock.Now()
+	var delivered, dropped uint64
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	for _, h := range hits {
+		d := Delivery{Event: events[h.ei], SubscriptionID: s.id, Score: h.score, At: t0}
+	enqueue:
+		for {
+			select {
+			case s.ch <- d:
+				delivered++
+				break enqueue
+			default:
+				select {
+				case <-s.ch:
+					dropped++
+				default:
+				}
+			}
+		}
+	}
+	s.mu.Unlock()
+	b.delivered.Add(delivered)
+	if dropped > 0 {
+		b.dropped.Add(dropped)
+	}
+}

@@ -1,0 +1,339 @@
+package broker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"thematicep/internal/event"
+	"thematicep/internal/matcher"
+	"thematicep/internal/workload"
+)
+
+func preparedStreamThematic(t testing.TB) PreparedMatcher {
+	m := matcher.New(evalSpace(t))
+	return PreparedStream(
+		m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared, m.ScoreBatch,
+		m.NewEventBatch, m.PrepareEventInBatch, m.NewBatchArena, m.ScoreBatchInArena,
+		m.FinishEventBatch)
+}
+
+// runBrokerBatched mirrors runBrokerWith — same subscription churn at the
+// same midpoint — but publishes through PublishBatch in batches of bs, so
+// its delivery set must be bit-identical to the serial Publish loop.
+func runBrokerBatched(t *testing.T, pm Matcher, subs []*event.Subscription, events []*event.Event, bs int, opts ...Option) (map[deliveryKey]bool, Stats) {
+	t.Helper()
+	base := []Option{
+		WithQueueSize(len(events) + 1),
+		WithReplayBuffer(0),
+	}
+	b := New(pm, append(base, opts...)...)
+
+	handles := make([]*Subscriber, len(subs))
+	for i, s := range subs {
+		h, err := b.Subscribe(s)
+		if err != nil {
+			t.Fatalf("subscribe %q: %v", s.ID, err)
+		}
+		handles[i] = h
+	}
+	publishAll := func(evs []*event.Event) {
+		for lo := 0; lo < len(evs); lo += bs {
+			hi := min(lo+bs, len(evs))
+			if err := b.PublishBatch(evs[lo:hi]); err != nil {
+				t.Fatalf("publish batch [%d:%d]: %v", lo, hi, err)
+			}
+		}
+	}
+	mid := len(events) / 2
+	publishAll(events[:mid])
+	for j := 0; j < len(handles); j += 3 {
+		handles[j].Close()
+	}
+	publishAll(events[mid:])
+	st := b.Stats()
+	b.Close()
+
+	got := make(map[deliveryKey]bool)
+	for _, h := range handles {
+		for d := range h.C() {
+			got[deliveryKey{d.SubscriptionID, d.Event.ID, d.Score}] = true
+		}
+	}
+	return got, st
+}
+
+// TestPublishBatchEquivalence is the batched-pipeline acceptance
+// criterion: PublishBatch must produce the exact delivery set — including
+// bit-identical scores — of the serial Publish loop, across every matcher
+// capability tier (stream context, plain batch scorer, prepared-only,
+// plain Matcher), serial and parallel dispatch, pruned and full-scan.
+func TestPublishBatchEquivalence(t *testing.T) {
+	for _, seed := range []int64{3, 42} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			subs, events := mixedThemeWorkload(t, seed)
+			serial, serialStats := runBrokerWith(t, preparedThematic(t), subs, events, WithMatchParallelism(1))
+
+			stream, streamStats := runBrokerBatched(t, preparedStreamThematic(t), subs, events, 7, WithMatchParallelism(1))
+			diffDeliveries(t, "stream serial-dispatch", serial, stream)
+
+			streamPar, _ := runBrokerBatched(t, preparedStreamThematic(t), subs, events, 7, WithMatchParallelism(4))
+			diffDeliveries(t, "stream parallel", serial, streamPar)
+
+			streamFull, _ := runBrokerBatched(t, preparedStreamThematic(t), subs, events, 7, WithMatchParallelism(4), WithPruning(false))
+			diffDeliveries(t, "stream full-scan", serial, streamFull)
+
+			// Whole run as one batch per half: maximal cross-event sharing.
+			streamBig, _ := runBrokerBatched(t, preparedStreamThematic(t), subs, events, len(events), WithMatchParallelism(4))
+			diffDeliveries(t, "stream one-batch", serial, streamBig)
+
+			// Capability fallbacks: batch scorer without stream contexts,
+			// prepared-only, and the plain Matcher path.
+			batchOnly, _ := runBrokerBatched(t, preparedBatchThematic(t), subs, events, 7, WithMatchParallelism(4))
+			diffDeliveries(t, "batch fallback", serial, batchOnly)
+
+			prepOnly, _ := runBrokerBatched(t, preparedThematic(t), subs, events, 7, WithMatchParallelism(4))
+			diffDeliveries(t, "prepared fallback", serial, prepOnly)
+
+			m := matcher.New(evalSpace(t))
+			plainSerial, _ := runBrokerWith(t, Prepared(m.Score, m.PrepareSubscription, m.PrepareEvent, m.ScorePrepared), subs, events, WithMatchParallelism(1))
+			_ = plainSerial
+			plainBatch, _ := runBrokerBatched(t, MatchFunc(m.Score), subs, events, 7, WithMatchParallelism(4))
+			plainLoop, _ := runBrokerWith(t, plainAdapter{m}, subs, events, WithMatchParallelism(1))
+			diffDeliveries(t, "plain matcher", plainLoop, plainBatch)
+
+			if streamStats.Matched != serialStats.Matched || streamStats.Scanned != serialStats.Scanned ||
+				streamStats.Published != serialStats.Published || streamStats.Delivered != serialStats.Delivered {
+				t.Errorf("stats differ: stream %+v, serial %+v", streamStats, serialStats)
+			}
+			if streamStats.Batches == 0 {
+				t.Error("stream broker recorded no batches")
+			}
+			if streamStats.BatchRowsReused == 0 {
+				t.Error("batch-scope memo reused no rows over a term-skewed workload")
+			}
+		})
+	}
+}
+
+// plainAdapter exposes only the plain Matcher interface so the serial
+// broker exercises the unprepared Score path for comparison with the
+// batched plain path.
+type plainAdapter struct{ m *matcher.Matcher }
+
+func (p plainAdapter) Score(s *event.Subscription, e *event.Event) float64 { return p.m.Score(s, e) }
+
+// TestPublishBatchValidation: admission is all-or-nothing, and the
+// batched path enforces exactly Event.Validate's invariants (through the
+// interner, not a per-event map).
+func TestPublishBatchValidation(t *testing.T) {
+	b := New(preparedStreamThematic(t), WithReplayBuffer(0))
+	defer b.Close()
+	good := &event.Event{ID: "ok", Tuples: []event.Tuple{{Attr: "type", Value: "car"}}}
+
+	cases := []struct {
+		name string
+		evs  []*event.Event
+		want error
+	}{
+		{"nil event", []*event.Event{good, nil}, ErrNilEvent},
+		{"no tuples", []*event.Event{good, {ID: "empty"}}, event.ErrNoTuples},
+		{"duplicate canonical attr", []*event.Event{good, {ID: "dup", Tuples: []event.Tuple{
+			{Attr: "Room", Value: "a"}, {Attr: "room", Value: "b"}}}}, event.ErrDuplicateAttr},
+		{"empty term", []*event.Event{good, {ID: "blank", Tuples: []event.Tuple{
+			{Attr: "  ", Value: "x"}}}}, event.ErrEmptyTerm},
+	}
+	for _, tc := range cases {
+		if err := b.PublishBatch(tc.evs); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	if st := b.Stats(); st.Published != 0 || st.Batches != 0 {
+		t.Errorf("rejected batches were partially admitted: %+v", st)
+	}
+	if err := b.PublishBatch(nil); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+	if err := b.PublishBatch([]*event.Event{good}); err != nil {
+		t.Errorf("valid batch: %v", err)
+	}
+	if st := b.Stats(); st.Published != 1 || st.Batches != 1 {
+		t.Errorf("valid batch not counted: %+v", st)
+	}
+}
+
+// TestPublishBatchChurn races PublishBatch against concurrent Subscribe,
+// Unsubscribe, and a final Drain — the batched path must stay data-race
+// free and the counters consistent when the subscription set shifts under
+// a running batch. (Delivery sets are necessarily nondeterministic here;
+// determinism is covered by the quiescent equivalence tests.)
+func TestPublishBatchChurn(t *testing.T) {
+	subs, events := mixedThemeWorkload(t, 7)
+	b := New(preparedStreamThematic(t), WithReplayBuffer(0), WithMatchParallelism(4), WithQueueSize(8))
+
+	var consumers sync.WaitGroup
+	for _, s := range subs[:len(subs)/2] {
+		h, err := b.Subscribe(s)
+		if err != nil {
+			t.Fatalf("subscribe: %v", err)
+		}
+		consumers.Add(1)
+		go func() { // keep queues draining so Drain can quiesce
+			defer consumers.Done()
+			for range h.C() {
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // churner: subscribe / consume a little / unsubscribe
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := *subs[len(subs)/2+i%(len(subs)/2)]
+			s.ID = fmt.Sprintf("churn-%d", i)
+			h, err := b.Subscribe(&s)
+			if err != nil {
+				continue
+			}
+			select {
+			case <-h.C():
+			default:
+			}
+			h.Close()
+			i++
+		}
+	}()
+	go func() { // publisher: batched publishes until stopped
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := b.PublishBatch(events[:min(16, len(events))]); err != nil &&
+				!errors.Is(err, ErrDraining) && !errors.Is(err, ErrClosed) {
+				t.Errorf("publish batch: %v", err)
+				return
+			}
+		}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// Mid-batch Drain: start a batch, drain concurrently; the admitted
+	// batch must complete (Drain waits on inflight) and later batches must
+	// bounce.
+	done := make(chan error, 1)
+	go func() { done <- b.PublishBatch(events) }()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := b.Drain(ctx); err != nil {
+		t.Errorf("drain: %v", err)
+	}
+	if err := <-done; err != nil && !errors.Is(err, ErrDraining) && !errors.Is(err, ErrClosed) {
+		t.Errorf("in-flight batch: %v", err)
+	}
+	if err := b.PublishBatch(events[:1]); !errors.Is(err, ErrDraining) && !errors.Is(err, ErrClosed) {
+		t.Errorf("post-drain batch admitted: %v", err)
+	}
+	st := b.Stats()
+	if st.Delivered > st.Matched {
+		t.Errorf("delivered %d exceeds matched %d", st.Delivered, st.Matched)
+	}
+	b.Close()
+	consumers.Wait()
+}
+
+// TestPublishBatchZeroAlloc gates the warm batched publish path at zero
+// allocations per batch: interners, arenas, candidate buffers, hit lists,
+// and grouping chains are all pooled, so a steady stream of batches over a
+// stable vocabulary allocates nothing at any batch size.
+func TestPublishBatchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race mode: sync.Pool drops Puts at random, warm path is not alloc-free")
+	}
+	w := workload.GenerateScale(workload.ScaleConfig{
+		Seed: 7, Subscriptions: 300, Events: 32, Attrs: 32, ValuesPerAttr: 16,
+		MaxPredicates: 3, EventTuples: 6, Themes: 4, ExactFraction: 0.8, Zipf: 1.2,
+	})
+	b := New(preparedStreamThematic(t),
+		WithReplayBuffer(0), WithMatchParallelism(1), WithQueueSize(16))
+	defer b.Close()
+	for _, s := range w.Subs {
+		if _, err := b.Subscribe(s); err != nil {
+			t.Fatalf("subscribe: %v", err)
+		}
+	}
+	for i := 0; i < 3; i++ { // warm interners, memos, pools, map buckets
+		if err := b.PublishBatch(w.Events); err != nil {
+			t.Fatalf("warmup publish: %v", err)
+		}
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		if err := b.PublishBatch(w.Events); err != nil {
+			t.Fatalf("publish: %v", err)
+		}
+	}); allocs != 0 {
+		t.Errorf("warm PublishBatch: %v allocs/op, want 0", allocs)
+	}
+	if st := b.Stats(); st.Matched == 0 {
+		t.Fatal("workload produced no matches; the gate is vacuous")
+	}
+}
+
+// BenchmarkBrokerPublishBatch measures end-to-end batched publishing
+// against the serial Publish loop over the same scale-tier population.
+func BenchmarkBrokerPublishBatch(b *testing.B) {
+	w := workload.GenerateScale(workload.ScaleConfig{
+		Seed: 7, Subscriptions: 2000, Events: 64, Attrs: 64, ValuesPerAttr: 32,
+		MaxPredicates: 4, EventTuples: 8, Themes: 6, ExactFraction: 0.8,
+		ApproxOnlyFraction: 0.01, Zipf: 1.2,
+	})
+	newBroker := func() *Broker {
+		br := New(preparedStreamThematic(b), WithReplayBuffer(0), WithQueueSize(1))
+		for _, s := range w.Subs {
+			if _, err := br.Subscribe(s); err != nil {
+				b.Fatalf("subscribe: %v", err)
+			}
+		}
+		return br
+	}
+	b.Run("serial", func(b *testing.B) {
+		br := newBroker()
+		defer br.Close()
+		for _, e := range w.Events {
+			_ = br.Publish(e)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, e := range w.Events {
+				_ = br.Publish(e)
+			}
+		}
+		b.ReportMetric(float64(b.N*len(w.Events))/b.Elapsed().Seconds(), "ev/s")
+	})
+	b.Run("batched", func(b *testing.B) {
+		br := newBroker()
+		defer br.Close()
+		_ = br.PublishBatch(w.Events)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = br.PublishBatch(w.Events)
+		}
+		b.ReportMetric(float64(b.N*len(w.Events))/b.Elapsed().Seconds(), "ev/s")
+	})
+}

@@ -32,6 +32,20 @@ type Backend interface {
 	SubscribeHandle(sub *event.Subscription, opts ...SubscribeOption) (SubHandle, error)
 }
 
+// BatchBackend is the optional batched-ingest extension of Backend: a
+// backend implementing it receives publishb frames as whole batches
+// (all-or-nothing admission); otherwise the server falls back to a serial
+// Publish loop that stops at the first error.
+type BatchBackend interface {
+	PublishBatch(events []*event.Event) error
+}
+
+// DefaultMaxBatch caps how many events one publishb frame may carry unless
+// overridden with SetMaxBatch. The cap bounds the per-frame work a single
+// client can force on the matching pipeline; MaxFrameSize already bounds
+// the bytes.
+const DefaultMaxBatch = 4096
+
 // SubscribeHandle implements Backend over the local broker.
 func (b *Broker) SubscribeHandle(sub *event.Subscription, opts ...SubscribeOption) (SubHandle, error) {
 	s, err := b.Subscribe(sub, opts...)
@@ -85,6 +99,7 @@ type Server struct {
 	peerHandler      PeerHandler
 	queries          QueryRegistrar
 	handshakeTimeout time.Duration
+	maxBatch         int
 	wg               sync.WaitGroup
 	closed           bool
 }
@@ -96,7 +111,23 @@ func NewServer(b *Broker) *Server {
 		backend:          b,
 		conns:            make(map[net.Conn]struct{}),
 		handshakeTimeout: DefaultHandshakeTimeout,
+		maxBatch:         DefaultMaxBatch,
 	}
+}
+
+// SetMaxBatch overrides the largest batch one publishb frame may carry
+// (DefaultMaxBatch). Oversized batches are rejected whole with an error
+// frame. Zero or negative disables the cap. Call before traffic arrives.
+func (s *Server) SetMaxBatch(n int) {
+	s.mu.Lock()
+	s.maxBatch = n
+	s.mu.Unlock()
+}
+
+func (s *Server) getMaxBatch() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxBatch
 }
 
 // SetHandshakeTimeout overrides how long a new connection may wait before
@@ -269,6 +300,29 @@ func (s *Server) serveConn(conn net.Conn) {
 				continue
 			}
 			cs.write(&Frame{Type: FrameOK})
+
+		case FramePublishBatch:
+			if mb := s.getMaxBatch(); mb > 0 && len(f.Events) > mb {
+				cs.write(&Frame{Type: FrameError,
+					Error: fmt.Sprintf("batch of %d events exceeds server cap %d", len(f.Events), mb)})
+				continue
+			}
+			be := s.getBackend()
+			var err error
+			if bb, ok := be.(BatchBackend); ok {
+				err = bb.PublishBatch(f.Events)
+			} else {
+				for _, e := range f.Events {
+					if err = be.Publish(e); err != nil {
+						break
+					}
+				}
+			}
+			if err != nil {
+				cs.write(&Frame{Type: FrameError, Error: err.Error()})
+				continue
+			}
+			cs.write(&Frame{Type: FrameOK, Count: len(f.Events)})
 
 		case FrameSubscribe:
 			be := s.getBackend()

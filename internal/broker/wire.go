@@ -25,6 +25,12 @@ const (
 	FrameOK          = "ok"
 	FrameError       = "error"
 
+	// FramePublishBatch carries many events in one frame (in Events) and is
+	// acknowledged by a single ok frame whose Count echoes how many events
+	// were admitted — admission is all-or-nothing, so an error frame means
+	// none were.
+	FramePublishBatch = "publishb"
+
 	// Federation frames (internal/cluster). A peer broker opens a
 	// connection with a hello identifying its node; forward carries an
 	// event from the publishing broker to the shard owners of its theme
@@ -33,6 +39,11 @@ const (
 	FrameHello    = "hello"
 	FrameForward  = "forward"
 	FrameRedirect = "redirect"
+
+	// FrameForwardBatch is the federation analogue of publishb: one frame
+	// carrying a whole re-batched forward (in Events) from the publishing
+	// broker to one shard owner.
+	FrameForwardBatch = "forwardb"
 
 	// Liveness frames for federation links: each side pings on an
 	// interval and answers pings with pongs, so a silent (stalled or
@@ -77,8 +88,11 @@ type Frame struct {
 	// QueryName names the continuous query on detect frames, on query
 	// acknowledgements, and on unsubscribe frames that cancel a query.
 	QueryName string `json:"queryName,omitempty"`
-	// Events are a detection's constituent events on detect frames.
+	// Events are a detection's constituent events on detect frames, and the
+	// batch payload on publishb frames.
 	Events []*event.Event `json:"events,omitempty"`
+	// Count echoes the admitted batch size on publishb acknowledgements.
+	Count int `json:"count,omitempty"`
 	// Probability is the detection's combined probability on detect frames.
 	Probability float64 `json:"probability,omitempty"`
 }

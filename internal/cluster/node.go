@@ -250,6 +250,68 @@ func (n *Node) Publish(e *event.Event) error {
 	return nil
 }
 
+// maxForwardBatch caps one forwardb frame's event count: a re-batched
+// forward larger than this is split, bounding frame size and the work one
+// queue item represents.
+const maxForwardBatch = 256
+
+// PublishBatch accepts a batch locally through the broker's batched
+// pipeline, then re-batches the admitted events per owning peer shard: one
+// forwardb frame per destination (split at maxForwardBatch) instead of one
+// forward frame per event. Admission is all-or-nothing, matching
+// broker.PublishBatch; forwarding inherits Publish's shed/drop policy with
+// whole sub-batches counted event-by-event.
+func (n *Node) PublishBatch(events []*event.Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	evs := events
+	var copied []*event.Event
+	for i, e := range events {
+		if e == nil {
+			return broker.ErrNilEvent
+		}
+		if e.ID == "" {
+			if copied == nil {
+				copied = append([]*event.Event(nil), events...)
+			}
+			cp := *e
+			cp.ID = fmt.Sprintf("%s/e%d", n.id, n.nextEvent.Add(1))
+			copied[i] = &cp
+		}
+	}
+	if copied != nil {
+		evs = copied
+	}
+	if err := n.broker.PublishBatch(evs); err != nil {
+		return err
+	}
+	var groups map[string][]*event.Event
+	for _, ev := range evs {
+		for _, owner := range n.ring.Owners(ev.Theme) {
+			if owner == n.id || n.peers[owner] == nil {
+				continue
+			}
+			if groups == nil {
+				groups = make(map[string][]*event.Event)
+			}
+			groups[owner] = append(groups[owner], ev)
+		}
+	}
+	for owner, g := range groups {
+		p := n.peers[owner]
+		for lo := 0; lo < len(g); lo += maxForwardBatch {
+			hi := min(lo+maxForwardBatch, len(g))
+			if p.enqueueBatch(g[lo:hi]) {
+				n.ctrForwarded.Add(uint64(hi - lo))
+			} else {
+				n.ctrShed.Add(uint64(hi - lo))
+			}
+		}
+	}
+	return nil
+}
+
 // SubscribeHandle registers a subscription locally and on every remote
 // shard owning one of its themes; remote matches flow back over the peer
 // links and are de-duplicated against local matches by event ID. It
@@ -421,6 +483,15 @@ func (n *Node) ServePeer(conn net.Conn, hello *broker.Frame) {
 			// Publish locally only: forwarded events are never
 			// re-forwarded, so federation traffic is a single hop.
 			n.broker.Publish(f.Event)
+
+		case broker.FrameForwardBatch:
+			if len(f.Events) == 0 {
+				continue
+			}
+			n.ctrReceived.Add(uint64(len(f.Events)))
+			// Single hop, batched: the whole forward lands in the local
+			// broker through the batched pipeline.
+			n.broker.PublishBatch(f.Events)
 
 		case broker.FrameSubscribe:
 			if f.Subscription == nil || f.Subscription.ID == "" {

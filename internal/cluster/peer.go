@@ -12,10 +12,21 @@ import (
 )
 
 // forwardItem is one queued forward with its enqueue timestamp, so the hop
-// latency (enqueue to successful wire write) is measurable per peer.
+// latency (enqueue to successful wire write) is measurable per peer. A
+// batched forward carries its events in evs (ev nil) and goes out as one
+// forwardb frame.
 type forwardItem struct {
 	ev  *event.Event
+	evs []*event.Event
 	enq time.Time
+}
+
+// count is how many events the item represents, for drop/shed accounting.
+func (it forwardItem) count() uint64 {
+	if it.evs != nil {
+		return uint64(len(it.evs))
+	}
+	return 1
 }
 
 // peer is one outbound federation link. The run loop owns the connection:
@@ -76,18 +87,27 @@ func newPeer(n *Node, addr string) *peer {
 // queue is full (the broker's overflow policy: publishers never block on a
 // slow or dead peer).
 func (p *peer) enqueue(e *event.Event) bool {
+	return p.offer(forwardItem{ev: e, enq: p.n.broker.Clock().Now()})
+}
+
+// enqueueBatch offers a re-batched forward as one queue item; the whole
+// sub-batch is shed or dropped together (accounted per event).
+func (p *peer) enqueueBatch(evs []*event.Event) bool {
+	return p.offer(forwardItem{evs: evs, enq: p.n.broker.Clock().Now()})
+}
+
+func (p *peer) offer(item forwardItem) bool {
 	if p.bk.State() != BreakerClosed {
 		return false
 	}
-	item := forwardItem{ev: e, enq: p.n.broker.Clock().Now()}
 	for {
 		select {
 		case p.queue <- item:
 			return true
 		default:
 			select {
-			case <-p.queue:
-				p.n.ctrQueueDrops.Add(1)
+			case old := <-p.queue:
+				p.n.ctrQueueDrops.Add(old.count())
 			default:
 			}
 		}
@@ -287,16 +307,24 @@ func (p *peer) run() {
 					alive, linkFailed = false, true
 				}
 			case item := <-p.queue:
-				if p.writeFrame(conn, &broker.Frame{Type: broker.FrameForward, Event: item.ev, NodeID: p.n.id}) != nil {
+				fr := &broker.Frame{Type: broker.FrameForward, Event: item.ev, NodeID: p.n.id}
+				if item.evs != nil {
+					fr = &broker.Frame{Type: broker.FrameForwardBatch, Events: item.evs, NodeID: p.n.id}
+				}
+				if p.writeFrame(conn, fr) != nil {
 					alive, linkFailed = false, true
 					break
 				}
 				// The hop is done once the frame is on the wire; attach it
 				// to the event's sampled trace (if any) as a late span so
-				// /debug/traces shows the federation leg.
+				// /debug/traces shows the federation leg. Batched forwards
+				// observe one hop per frame and skip tracing (batches are
+				// not trace-sampled).
 				hop := p.n.broker.Clock().Now().Sub(item.enq)
 				p.hop.ObserveDuration(hop)
-				p.n.broker.Tracer().AppendSpan(item.ev.ID, "forward:"+p.id, item.enq, hop)
+				if item.evs == nil {
+					p.n.broker.Tracer().AppendSpan(item.ev.ID, "forward:"+p.id, item.enq, hop)
+				}
 			}
 		}
 		hb.Stop()

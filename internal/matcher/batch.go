@@ -5,7 +5,6 @@ import (
 	"sync"
 
 	"thematicep/internal/event"
-	"thematicep/internal/semantics"
 )
 
 // The batch scorer exploits what row-at-a-time ScorePrepared cannot: the
@@ -26,68 +25,160 @@ const (
 	rowValue
 )
 
-// rowKey identifies one memoizable similarity row. The compiled theme is
-// interned (pointer identity) and the term canonical, so the key is a flat
-// comparable struct — no composite string building on the warm path.
-type rowKey struct {
-	kind   rowKind
-	approx bool
-	theme  *semantics.CompiledTheme
-	term   string
+// rowKeyOf packs one row identity — term ordinal, subscription theme
+// ordinal, row kind, approximate flag — into a flat integer, the key of
+// the matcher's rowID interner (see matcher.go). The event-side identity
+// is NOT part of the key: the memo's lifetime is bounded to one event's
+// term vectors by its owner (per-call ScoreBatch invalidates on return;
+// BatchArena invalidates whenever the event vector changes, see
+// publishbatch.go), so every live entry already refers to the current
+// event. Theme ordinals stay far below 2^30 (bounded by distinct themes),
+// term ordinals below 2^32 (bounded by vocabulary).
+func rowKeyOf(kind rowKind, approx bool, themeOrd, termOrd uint32) uint64 {
+	k := uint64(termOrd)<<32 | uint64(themeOrd)<<2 | uint64(kind)<<1
+	if approx {
+		k |= 1
+	}
+	return k
 }
 
-// batchBuf is the pooled per-call state of ScoreBatch: the row memo table,
-// the row arena (stride = event tuple count), and the usual similarity
-// matrix buffers. Rows live as arena offsets, not slices, so arena growth
-// never invalidates them.
+// rowSlot is one entry of the dense row memo: the arena offset of the row,
+// the memo generation that wrote it, and the row's support mask (bit j set
+// when cell j may be nonzero; all-ones when the event is wider than 64
+// tuples). Slots from older generations are stale; the zero value (epoch 0)
+// never matches a live generation.
+type rowSlot struct {
+	off   int32
+	epoch uint32
+	mask  uint64
+}
+
+// batchBuf is the pooled per-call state of ScoreBatch: the row memo, the
+// row arena (stride = event tuple count), and the usual similarity matrix
+// buffers. The memo is a flat table indexed by the matcher's interned row
+// ids — a candidate's predicates carry their ids inline (predDesc), so a
+// memo probe is one array read, no hashing. Invalidation bumps a
+// generation counter instead of clearing the table, so moving to the next
+// event costs O(1) regardless of how many rows the previous event touched.
+// Rows live as arena offsets, not slices, so arena growth never
+// invalidates them. computed/reused count row memo misses and hits for the
+// batch-amortization telemetry; the per-call ScoreBatch resets them with
+// the memo, BatchArena accumulates them across a whole publish batch.
 type batchBuf struct {
-	sim   simBuf
-	rows  map[rowKey]int
-	arena []float64
+	sim      simBuf
+	dense    []rowSlot    // indexed by matcher rowID
+	scores   []sigSlot    // indexed by matcher sigID
+	slots    [][2]rowSlot // per-candidate row-slot scratch (attr, value)
+	epoch    uint32       // current memo generation
+	arena    []float64
+	computed uint64
+	reused   uint64
 }
 
-var batchPool = sync.Pool{New: func() any { return &batchBuf{rows: make(map[rowKey]int)} }}
+// sigSlot is one entry of the score memo: the finished score of an
+// all-equality predicate signature against the current event. Its validity
+// domain is exactly the row memo's — such a score is a pure function of the
+// memoized rows — so it shares the same generation counter.
+type sigSlot struct {
+	score float64
+	epoch uint32
+}
 
-// termRow returns the arena offset of the similarity row for one
-// subscription term against the event's terms, computing and memoizing it
-// on first sight. The row semantics are exactly termSimilarity's: canonical
-// equality always scores 1 (even across themes), exact terms otherwise 0,
-// approximate terms the parametric measure — swept column-wise through
-// semantics.RelatednessRow.
-func (m *Matcher) termRow(bb *batchBuf, kind rowKind, term string, approx bool, subTheme *semantics.CompiledTheme, pe *PreparedEvent) int {
-	key := rowKey{kind: kind, approx: approx, theme: subTheme, term: term}
-	if off, ok := bb.rows[key]; ok {
-		return off
+// invalidate retires every memoized row in O(1) by advancing the memo
+// generation. On the (4-billion-invalidation) wraparound the table is
+// cleared for real, so a stale slot can never alias a new generation.
+func (bb *batchBuf) invalidate() {
+	bb.arena = bb.arena[:0]
+	bb.epoch++
+	if bb.epoch == 0 {
+		clear(bb.dense)
+		clear(bb.scores)
+		bb.epoch = 1
 	}
-	evTerms := pe.attrs
+}
+
+var batchPool = sync.Pool{New: func() any { return &batchBuf{epoch: 1} }}
+
+// termRowMiss computes and memoizes the similarity row for predicate i's
+// attribute or value term against the event's terms, returning the row's
+// memo slot. Callers probe the dense memo inline first (see
+// scoreBatchInto) — this is the miss path only. The row semantics are
+// exactly termSimilarity's: canonical equality always scores 1 (even
+// across themes), exact terms otherwise 0, approximate terms the
+// parametric measure — swept column-wise through the semantics row
+// kernels, with pre-resolved unit projections on whichever sides carry
+// them.
+func (m *Matcher) termRowMiss(bb *batchBuf, kind rowKind, i int, ps *PreparedSubscription, pe *PreparedEvent) rowSlot {
+	pd := ps.pred(i)
+	rowID, term, ord, approx := pd.attrRow, ps.attrs[i], ps.attrOrds[i], pd.approxA
 	if kind == rowValue {
-		evTerms = pe.values
+		rowID, term, ord, approx = pd.valueRow, ps.values[i], ps.valueOrds[i], pd.approxV
 	}
-	off := len(bb.arena)
+	if int(rowID) >= len(bb.dense) {
+		bb.dense = append(bb.dense, make([]rowSlot, int(rowID)+1-len(bb.dense))...)
+	}
+	bb.computed++
+	evTerms, evOrds := pe.attrs, pe.attrOrds
+	if kind == rowValue {
+		evTerms, evOrds = pe.values, pe.valueOrds
+	}
+	off := int32(len(bb.arena))
 	mm := len(evTerms)
-	bb.arena = slices.Grow(bb.arena, mm)[:off+mm]
-	row := bb.arena[off : off+mm]
+	bb.arena = slices.Grow(bb.arena, mm)[:int(off)+mm]
+	row := bb.arena[off : int(off)+mm]
+	// Term identity is compared through interned ordinals (ordinal equality
+	// is canonical-string equality by TermOrd's construction) — rows are
+	// recomputed thousands of times per event at scale and the string
+	// compares were a measured cost.
 	if !approx {
-		for j, et := range evTerms {
-			if term == et {
+		for j, eo := range evOrds {
+			if ord == eo {
 				row[j] = 1
 			} else {
 				row[j] = 0
 			}
 		}
 	} else {
-		m.space.RelatednessRow(term, subTheme, evTerms, pe.theme, row)
+		switch {
+		case pe.hasUnits && ps.hasUnits:
+			// Both sides resolved their unit projections up front
+			// (subscription at preparation, event at batch prepare): the
+			// row is pure dot products, no cache lookups at all.
+			units, su := pe.attrUnits, ps.attrUnits[i]
+			if kind == rowValue {
+				units, su = pe.valueUnits, ps.valueUnits[i]
+			}
+			m.space.RelatednessRowPreUnits(su, ord, ps.theme, evOrds, units, pe.theme, row)
+		case pe.hasUnits:
+			units := pe.attrUnits
+			if kind == rowValue {
+				units = pe.valueUnits
+			}
+			m.space.RelatednessRowUnits(term, ps.theme, evTerms, units, pe.theme, row)
+		default:
+			m.space.RelatednessRow(term, ps.theme, evTerms, pe.theme, row)
+		}
 		// termSimilarity scores canonically equal terms 1 regardless of
-		// theme; RelatednessRow's identity rule is narrower (same compiled
+		// theme; the row kernels' identity rule is narrower (same compiled
 		// theme), so restore the broader contract here.
-		for j, et := range evTerms {
-			if term == et {
+		for j, eo := range evOrds {
+			if ord == eo {
 				row[j] = 1
 			}
 		}
 	}
-	bb.rows[key] = off
-	return off
+	mask := ^uint64(0)
+	if mm <= 64 {
+		mask = 0
+		for j, v := range row {
+			if v != 0 {
+				mask |= 1 << uint(j)
+			}
+		}
+	}
+	slot := rowSlot{off: off, epoch: bb.epoch, mask: mask}
+	bb.dense[rowID] = slot
+	return slot
 }
 
 // ScoreBatch scores one prepared event against a batch of prepared
@@ -95,49 +186,131 @@ func (m *Matcher) termRow(bb *batchBuf, kind rowKind, term string, approx bool, 
 // and returning it. Scores are bit-identical to calling ScorePrepared per
 // subscription: the similarity cells come from the same termSimilarity /
 // EvalOp semantics in the same combination order, and the mapping search
-// is the same bestScore. With warm semantic caches and ≤3-predicate
+// is the same bestScore. With warm semantic caches and ≤4-predicate
 // subscriptions the whole sweep is allocation-free (asserted in
 // batch_test.go); only the Hungarian path beyond allocates, inside the
 // solver, exactly as ScorePrepared does.
 func (m *Matcher) ScoreBatch(subs []*PreparedSubscription, pe *PreparedEvent, out []float64) []float64 {
 	bb := batchPool.Get().(*batchBuf)
+	out = m.scoreBatchInto(bb, subs, pe, out)
+	bb.invalidate()
+	bb.computed, bb.reused = 0, 0
+	batchPool.Put(bb)
+	return out
+}
+
+// scoreBatchInto is the columnar sweep proper, shared by the per-call
+// ScoreBatch (memo cleared on return) and the batch-scope BatchArena path
+// (memo persists across every chunk of one event, and across consecutive
+// events sharing term vectors). Row keys carry no event identity; each
+// owner clears the memo before it can ever span two distinct event
+// vectors.
+func (m *Matcher) scoreBatchInto(bb *batchBuf, subs []*PreparedSubscription, pe *PreparedEvent, out []float64) []float64 {
 	mm := len(pe.attrs)
 	for _, ps := range subs {
-		n := len(ps.attrs)
+		n := int(ps.np)
 		if n == 0 || n > mm {
 			// No feasible injective mapping; ScorePrepared's bestScore
 			// returns 0 for the same shapes.
 			out = append(out, 0)
 			continue
 		}
-		sim := bb.sim.matrix(n, mm)
+		if s := ps.sig; s != 0 && int(s) < len(bb.scores) && bb.scores[s].epoch == bb.epoch {
+			// Duplicate of an already-scored subscription: an identical
+			// descriptor sequence against the same event vectors builds the
+			// same matrix, so the memoized score is bit-identical.
+			out = append(out, bb.scores[s].score)
+			continue
+		}
+		// Phase 1: resolve the candidate's row slots and check feasibility
+		// from their support masks. A predicate whose matrix row has empty
+		// support (for equality ops, empty attr∧value support) forces a
+		// zero cell into every injective mapping, so the score is exactly 0
+		// — the common case at scale, where most candidates survive pruning
+		// but match nothing — and the matrix fill and mapping search are
+		// skipped entirely.
+		if cap(bb.slots) < n {
+			bb.slots = make([][2]rowSlot, n)
+		}
+		sl := bb.slots[:n]
+		feasible := true
 		for i := 0; i < n; i++ {
-			pred := ps.sub.Predicates[i]
-			aOff := m.termRow(bb, rowAttr, ps.attrs[i], pred.ApproxAttr, ps.theme, pe)
-			row := sim[i]
-			if pred.Op == event.OpEq {
-				vOff := m.termRow(bb, rowValue, ps.values[i], pred.ApproxValue, ps.theme, pe)
-				arow := bb.arena[aOff : aOff+mm]
-				vrow := bb.arena[vOff : vOff+mm]
-				for j := 0; j < mm; j++ {
-					row[j] = arow[j] * vrow[j]
-				}
+			pd := ps.pred(i)
+			// Memo probes are inlined (termRowMiss is too big to inline and
+			// ~90% of probes hit at scale, so the call itself was measurable).
+			var as rowSlot
+			if r := pd.attrRow; int(r) < len(bb.dense) && bb.dense[r].epoch == bb.epoch {
+				as = bb.dense[r]
+				bb.reused++
 			} else {
-				arow := bb.arena[aOff : aOff+mm]
-				for j := 0; j < mm; j++ {
-					// Comparison predicates contribute the attribute
-					// similarity when satisfied over raw values, exactly as
-					// fillSimilarity does.
-					if arow[j] != 0 && event.EvalOp(pred.Op, pe.ev.Tuples[j].Value, pred.Value) {
-						row[j] = arow[j]
+				as = m.termRowMiss(bb, rowAttr, i, ps, pe)
+			}
+			if pd.op == event.OpEq {
+				var vs rowSlot
+				if r := pd.valueRow; int(r) < len(bb.dense) && bb.dense[r].epoch == bb.epoch {
+					vs = bb.dense[r]
+					bb.reused++
+				} else {
+					vs = m.termRowMiss(bb, rowValue, i, ps, pe)
+				}
+				if as.mask&vs.mask == 0 {
+					feasible = false
+					break
+				}
+				sl[i] = [2]rowSlot{as, vs}
+			} else {
+				// Comparison ops only filter the attr row, so its support
+				// bounds the matrix row's.
+				if as.mask == 0 {
+					feasible = false
+					break
+				}
+				sl[i] = [2]rowSlot{as, as}
+			}
+		}
+		var sc float64
+		if feasible {
+			var sim [][]float64
+			if ps.allEq {
+				// Equality rows overwrite every cell, so skip the zeroing.
+				sim = bb.sim.shape(n, mm)
+			} else {
+				sim = bb.sim.matrix(n, mm)
+			}
+			for i := 0; i < n; i++ {
+				pd := ps.pred(i)
+				row := sim[i]
+				aOff := sl[i][0].off
+				arow := bb.arena[aOff : int(aOff)+mm]
+				if pd.op == event.OpEq {
+					vOff := sl[i][1].off
+					vrow := bb.arena[vOff : int(vOff)+mm]
+					for j := 0; j < mm; j++ {
+						row[j] = arow[j] * vrow[j]
+					}
+				} else {
+					// Cold branch: comparison predicates need the raw (non-
+					// canonical) value, which only the subscription holds.
+					pred := ps.sub.Predicates[i]
+					for j := 0; j < mm; j++ {
+						// Comparison predicates contribute the attribute
+						// similarity when satisfied over raw values, exactly
+						// as fillSimilarity does.
+						if arow[j] != 0 && event.EvalOp(pd.op, pe.ev.Tuples[j].Value, pred.Value) {
+							row[j] = arow[j]
+						}
 					}
 				}
 			}
+			sc = m.bestScore(&bb.sim, sim)
 		}
-		out = append(out, m.bestScore(&bb.sim, sim))
+		if s := ps.sig; s != 0 {
+			if int(s) >= len(bb.scores) {
+				bb.scores = append(bb.scores, make([]sigSlot, int(s)+1-len(bb.scores))...)
+			}
+			bb.scores[s] = sigSlot{score: sc, epoch: bb.epoch}
+		}
+		out = append(out, sc)
 	}
-	clear(bb.rows)
-	bb.arena = bb.arena[:0]
-	batchPool.Put(bb)
 	return out
 }

@@ -30,6 +30,7 @@ package matcher
 
 import (
 	"math"
+	"sync"
 
 	"thematicep/internal/assign"
 	"thematicep/internal/event"
@@ -94,6 +95,22 @@ func WithThematic(enabled bool) Option { return thematicOption(enabled) }
 type Matcher struct {
 	space *semantics.Space
 	opts  options
+
+	// rowIDs interns each distinct similarity-row identity — (kind, approx,
+	// subscription theme, term) — appearing in prepared subscriptions to a
+	// dense id, so the batch scorer's row memo is a small flat table indexed
+	// by id instead of a hash map (see batch.go). Ids start at 1.
+	rowIDsMu sync.Mutex
+	rowIDs   map[uint64]uint32
+
+	// sigs interns all-equality predicate signatures — the ordered
+	// (attrRow, valueRow) id sequence of a subscription — to a dense id, so
+	// the batch scorer can serve duplicate subscriptions (identical
+	// predicate sets are common in large populations) from a score memo
+	// instead of re-sweeping identical similarity matrices (see batch.go).
+	// Ids start at 1.
+	sigsMu sync.Mutex
+	sigs   map[string]uint32
 }
 
 // New builds a matcher over a semantic space.
@@ -102,7 +119,44 @@ func New(space *semantics.Space, opts ...Option) *Matcher {
 	for _, opt := range opts {
 		opt.apply(&o)
 	}
-	return &Matcher{space: space, opts: o}
+	return &Matcher{
+		space:  space,
+		opts:   o,
+		rowIDs: make(map[uint64]uint32),
+		sigs:   make(map[string]uint32),
+	}
+}
+
+// rowID interns one similarity-row identity to its dense id. The id space
+// grows with the distinct (kind, approx, theme, term) combinations of the
+// prepared subscription population — the same order of growth as the
+// prepared subscriptions themselves.
+func (m *Matcher) rowID(kind rowKind, approx bool, themeOrd, termOrd uint32) uint32 {
+	key := rowKeyOf(kind, approx, themeOrd, termOrd)
+	m.rowIDsMu.Lock()
+	id, ok := m.rowIDs[key]
+	if !ok {
+		id = uint32(len(m.rowIDs)) + 1
+		m.rowIDs[key] = id
+	}
+	m.rowIDsMu.Unlock()
+	return id
+}
+
+// sigID interns one all-equality predicate signature to its dense id. Two
+// subscriptions share an id exactly when their predicate descriptor
+// sequences are identical — same row ids in the same order — which makes
+// their batch-scored similarity matrices, and therefore their scores,
+// bit-identical against any event.
+func (m *Matcher) sigID(key []byte) uint32 {
+	m.sigsMu.Lock()
+	id, ok := m.sigs[string(key)]
+	if !ok {
+		id = uint32(len(m.sigs)) + 1
+		m.sigs[string(key)] = id
+	}
+	m.sigsMu.Unlock()
+	return id
 }
 
 // Thematic reports whether the matcher passes themes to the measure.

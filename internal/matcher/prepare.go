@@ -1,22 +1,89 @@
 package matcher
 
 import (
+	"encoding/binary"
 	"sync"
 
 	"thematicep/internal/assign"
 	"thematicep/internal/event"
 	"thematicep/internal/semantics"
+	"thematicep/internal/sparse"
 	"thematicep/internal/text"
 )
 
 // PreparedSubscription caches a subscription's canonical terms and compiled
 // theme. Subscriptions are long-lived in a broker; preparing them once
 // removes canonicalization from the per-event hot path.
+//
+// Field order matters: the batch scorer visits millions of these as
+// scattered heap objects per publish batch, and everything its warm path
+// reads — the predicate count, the all-equality flag, and the first four
+// predicate descriptors — is packed at the front so one cache line serves
+// the whole candidate when every row is memoized.
 type PreparedSubscription struct {
+	// np is the predicate count (== len(attrs)).
+	np int32
+	// allEq means every predicate is an equality op: those similarity rows
+	// write all of their cells, so the batch scorer can skip zeroing the
+	// matrix for this subscription.
+	allEq bool
+	// sig is the interned id of the predicate descriptor sequence for
+	// all-equality subscriptions (0 otherwise): equal sigs guarantee
+	// bit-identical scores against any event, so the batch scorer memoizes
+	// one score per signature per event (see Matcher.sigID).
+	sig uint32
+
+	// preds holds the first four predicates' hot scoring fields inline
+	// (spill holds all of them when np > 4 — beyond the exhaustive-search
+	// mapping sizes, scoring goes through the allocating Hungarian solver
+	// anyway). The batch scorer reads only these per predicate — chasing
+	// ps.sub.Predicates per (candidate, predicate) was a measured top cost
+	// of the batched pipeline; the raw comparison value for non-equality
+	// ops is the one exception and takes the cold branch.
+	preds [4]predDesc
+	spill []predDesc
+
 	sub    *event.Subscription
 	theme  *semantics.CompiledTheme
 	attrs  []string // canonical predicate attributes
 	values []string // canonical predicate values
+
+	// attrOrds/valueOrds are the terms' interned ordinals
+	// (semantics.TermOrd): ordinal equality is canonical-string equality,
+	// so the batch scorer's identity rules compare integers, not strings.
+	attrOrds  []uint32
+	valueOrds []uint32
+
+	// attrUnits/valueUnits are the predicate terms' unit projections under
+	// the subscription's theme, resolved once at preparation time (hasUnits
+	// true) so a row-memo miss goes straight to the dot products — the
+	// subscription-side twin of PreparedEvent's unit columns. Unit values
+	// are deterministic for a (term, theme) pair, so they stay valid across
+	// space cache resets; they are simply unused when the event side wasn't
+	// resolved under the current scoring configuration.
+	attrUnits  []sparse.Unit
+	valueUnits []sparse.Unit
+	hasUnits   bool
+}
+
+// pred returns predicate i's descriptor (small enough to inline into the
+// scoring loops).
+func (p *PreparedSubscription) pred(i int) predDesc {
+	if p.np <= 4 {
+		return p.preds[i]
+	}
+	return p.spill[i]
+}
+
+// predDesc is one predicate's inlined scoring descriptor: the row ids the
+// batch scorer's dense row memo is indexed by (see Matcher.rowID), plus the
+// operator and approx flags.
+type predDesc struct {
+	attrRow  uint32
+	valueRow uint32
+	op       event.Op
+	approxA  bool
+	approxV  bool
 }
 
 // Subscription returns the underlying subscription.
@@ -30,6 +97,28 @@ type PreparedEvent struct {
 	theme  *semantics.CompiledTheme
 	attrs  []string
 	values []string
+
+	// attrOrds/valueOrds are the tuples' interned term ordinals
+	// (semantics.TermOrd), the integer twins of attrs/values for the batch
+	// scorer's identity rules.
+	attrOrds  []uint32
+	valueOrds []uint32
+
+	// attrsVec/valuesVec are the EventBatch-interned identities of the
+	// canonical term vectors (plus compiled theme): equal ids mean the
+	// similarity rows computed against this event apply verbatim to the
+	// other event. Zero for events prepared outside a batch — the
+	// batch-scope row memo never engages for those (see publishbatch.go).
+	attrsVec  uint32
+	valuesVec uint32
+
+	// attrUnits/valueUnits are the tuples' unit projections under the
+	// event's own theme, resolved once per event on the batch-prepare path
+	// (hasUnits true) so the row kernel skips the per-pair projection-cache
+	// lookup. Events prepared outside a batch leave them empty.
+	attrUnits  []sparse.Unit
+	valueUnits []sparse.Unit
+	hasUnits   bool
 }
 
 // Event returns the underlying event.
@@ -44,16 +133,67 @@ func (p *PreparedEvent) CanonicalTuples() (attrs, values []string) { return p.at
 // space. The preparation is only valid for matchers sharing the space.
 func (m *Matcher) PrepareSubscription(s *event.Subscription) *PreparedSubscription {
 	p := &PreparedSubscription{
-		sub:    s,
-		attrs:  make([]string, len(s.Predicates)),
-		values: make([]string, len(s.Predicates)),
+		np:        int32(len(s.Predicates)),
+		sub:       s,
+		attrs:     make([]string, len(s.Predicates)),
+		values:    make([]string, len(s.Predicates)),
+		attrOrds:  make([]uint32, len(s.Predicates)),
+		valueOrds: make([]uint32, len(s.Predicates)),
+	}
+	if len(s.Predicates) > 4 {
+		p.spill = make([]predDesc, len(s.Predicates))
 	}
 	if m.opts.thematic {
 		p.theme = m.space.Compile(s.Theme)
 	}
+	themeOrd := p.theme.Ord()
+	p.allEq = true
 	for i, pred := range s.Predicates {
+		if pred.Op != event.OpEq {
+			p.allEq = false
+		}
 		p.attrs[i] = text.Canonical(pred.Attr)
 		p.values[i] = text.Canonical(pred.Value)
+		p.attrOrds[i] = m.space.TermOrd(p.attrs[i])
+		p.valueOrds[i] = m.space.TermOrd(p.values[i])
+		d := predDesc{
+			attrRow:  m.rowID(rowAttr, pred.ApproxAttr, themeOrd, p.attrOrds[i]),
+			valueRow: m.rowID(rowValue, pred.ApproxValue, themeOrd, p.valueOrds[i]),
+			op:       pred.Op,
+			approxA:  pred.ApproxAttr,
+			approxV:  pred.ApproxValue,
+		}
+		if p.spill != nil {
+			p.spill[i] = d
+		} else {
+			p.preds[i] = d
+		}
+	}
+	if p.allEq && p.np > 0 {
+		// All-equality scores are a pure function of the descriptor
+		// sequence and the event's term vectors, so identical sequences
+		// share one interned signature (and one score per event).
+		key := make([]byte, 0, 8*p.np)
+		for i := 0; i < int(p.np); i++ {
+			d := p.pred(i)
+			key = binary.LittleEndian.AppendUint32(key, d.attrRow)
+			key = binary.LittleEndian.AppendUint32(key, d.valueRow)
+		}
+		p.sig = m.sigID(key)
+	}
+	if len(p.attrs) > 0 {
+		p.attrUnits = make([]sparse.Unit, len(p.attrs))
+		p.valueUnits = make([]sparse.Unit, len(p.attrs))
+		p.hasUnits = true
+		for i := range p.attrs {
+			au, ok := m.space.ResolveUnit(p.attrs[i], p.theme)
+			if !ok {
+				p.hasUnits = false
+				break
+			}
+			vu, _ := m.space.ResolveUnit(p.values[i], p.theme)
+			p.attrUnits[i], p.valueUnits[i] = au, vu
+		}
 	}
 	return p
 }
@@ -61,9 +201,11 @@ func (m *Matcher) PrepareSubscription(s *event.Subscription) *PreparedSubscripti
 // PrepareEvent canonicalizes an event against this matcher's space.
 func (m *Matcher) PrepareEvent(e *event.Event) *PreparedEvent {
 	p := &PreparedEvent{
-		ev:     e,
-		attrs:  make([]string, len(e.Tuples)),
-		values: make([]string, len(e.Tuples)),
+		ev:        e,
+		attrs:     make([]string, len(e.Tuples)),
+		values:    make([]string, len(e.Tuples)),
+		attrOrds:  make([]uint32, len(e.Tuples)),
+		valueOrds: make([]uint32, len(e.Tuples)),
 	}
 	if m.opts.thematic {
 		p.theme = m.space.Compile(e.Theme)
@@ -71,6 +213,8 @@ func (m *Matcher) PrepareEvent(e *event.Event) *PreparedEvent {
 	for j, t := range e.Tuples {
 		p.attrs[j] = text.Canonical(t.Attr)
 		p.values[j] = text.Canonical(t.Value)
+		p.attrOrds[j] = m.space.TermOrd(p.attrs[j])
+		p.valueOrds[j] = m.space.TermOrd(p.values[j])
 	}
 	return p
 }
@@ -83,6 +227,10 @@ func (m *Matcher) PrepareEvent(e *event.Event) *PreparedEvent {
 type simBuf struct {
 	rows  [][]float64
 	cells []float64
+	// lastN/lastM memoize the shape the row headers were last built for:
+	// batch scoring hands the same buffer thousands of same-shaped
+	// candidates in a row, so header rebuilds are skipped between them.
+	lastN, lastM int
 
 	logRows  [][]float64
 	logCells []float64
@@ -90,11 +238,35 @@ type simBuf struct {
 
 var simPool = sync.Pool{New: func() any { return new(simBuf) }}
 
+// shape returns an n×m matrix backed by the buffer WITHOUT zeroing the
+// cells — for callers that overwrite every cell (all-equality predicate
+// rows). Headers are rebuilt only when the shape changes or the backing
+// storage is regrown.
+func (b *simBuf) shape(n, m int) [][]float64 {
+	if cap(b.cells) < n*m {
+		b.cells = make([]float64, n*m)
+		b.lastN = 0 // headers point into the old storage
+	}
+	b.cells = b.cells[:n*m]
+	if b.lastN != n || b.lastM != m {
+		if cap(b.rows) < n {
+			b.rows = make([][]float64, n)
+		}
+		b.rows = b.rows[:n]
+		for i := range b.rows {
+			b.rows[i] = b.cells[i*m : (i+1)*m]
+		}
+		b.lastN, b.lastM = n, m
+	}
+	return b.rows
+}
+
 // matrix returns an n×m zeroed matrix backed by the buffer, growing the
 // backing storage only when the shape outgrows it.
 func (b *simBuf) matrix(n, m int) [][]float64 {
-	b.rows, b.cells = growMatrix(b.rows, b.cells, n, m)
-	return b.rows
+	rows := b.shape(n, m)
+	clear(b.cells)
+	return rows
 }
 
 // logMatrix returns the log-weight form of sim (see logWeights) backed by
@@ -180,7 +352,7 @@ func (m *Matcher) MatchPrepared(ps *PreparedSubscription, pe *PreparedEvent) (Ma
 
 // ScorePrepared is Score over prepared inputs — the broker's innermost hot
 // loop. Unlike MatchPrepared it never materializes the Mapping (no Pairs
-// slice), so with warm semantic caches and the common ≤3-predicate
+// slice), so with warm semantic caches and the common ≤4-predicate
 // subscriptions it performs zero allocations per call (asserted in
 // bench_test.go); the Hungarian path beyond allocates only inside the
 // solver.
@@ -199,7 +371,7 @@ func (m *Matcher) bestScore(buf *simBuf, sim [][]float64) float64 {
 	if n == 0 || n > len(sim[0]) {
 		return 0
 	}
-	if n <= 3 {
+	if n <= 4 {
 		_, score := bestSmall(sim)
 		return score
 	}
@@ -226,7 +398,7 @@ func (m *Matcher) bestMapping(buf *simBuf, sim [][]float64) (Mapping, bool) {
 	if n > mm {
 		return Mapping{}, false
 	}
-	if n <= 3 {
+	if n <= 4 {
 		cols, score := bestSmall(sim)
 		if score <= 0 {
 			return Mapping{}, false
@@ -236,14 +408,17 @@ func (m *Matcher) bestMapping(buf *simBuf, sim [][]float64) (Mapping, bool) {
 	return m.bestMappingHungarian(buf, sim)
 }
 
-// bestSmall exhaustively maximizes the similarity product for n <= 3
+// bestSmall exhaustively maximizes the similarity product for n <= 4
 // predicates; returns score 0 when no positive-product assignment exists.
 // The column choice comes back in a fixed-size array (use cols[:n]) so the
-// score-only hot path allocates nothing.
-func bestSmall(sim [][]float64) ([3]int, float64) {
+// score-only hot path allocates nothing. Similarities lie in [0, 1]
+// (termSimilarity's range), so a partial product at or below the best full
+// product can never be extended past it — the n = 4 sweep prunes on that
+// monotonicity and in practice visits a small fraction of the m⁴ space.
+func bestSmall(sim [][]float64) ([4]int, float64) {
 	n, m := len(sim), len(sim[0])
 	best := 0.0
-	var bestCols [3]int
+	var bestCols [4]int
 	switch n {
 	case 1:
 		bj := -1
@@ -265,7 +440,7 @@ func bestSmall(sim [][]float64) ([3]int, float64) {
 				}
 				if p := sim[0][j] * sim[1][k]; p > best {
 					best = p
-					bestCols = [3]int{j, k, 0}
+					bestCols = [4]int{j, k, 0, 0}
 				}
 			}
 		}
@@ -285,7 +460,41 @@ func bestSmall(sim [][]float64) ([3]int, float64) {
 					}
 					if p := pjk * sim[2][l]; p > best {
 						best = p
-						bestCols = [3]int{j, k, l}
+						bestCols = [4]int{j, k, l, 0}
+					}
+				}
+			}
+		}
+	case 4:
+		for j := 0; j < m; j++ {
+			s0 := sim[0][j]
+			if s0 <= best {
+				continue
+			}
+			for k := 0; k < m; k++ {
+				if k == j {
+					continue
+				}
+				p1 := s0 * sim[1][k]
+				if p1 <= best {
+					continue
+				}
+				for l := 0; l < m; l++ {
+					if l == j || l == k {
+						continue
+					}
+					p2 := p1 * sim[2][l]
+					if p2 <= best {
+						continue
+					}
+					for q := 0; q < m; q++ {
+						if q == j || q == k || q == l {
+							continue
+						}
+						if p := p2 * sim[3][q]; p > best {
+							best = p
+							bestCols = [4]int{j, k, l, q}
+						}
 					}
 				}
 			}

@@ -14,7 +14,7 @@ import (
 func TestBestSmallMatchesHungarian(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	for trial := 0; trial < 500; trial++ {
-		n := 1 + rng.Intn(3)
+		n := 1 + rng.Intn(4)
 		m := n + rng.Intn(8)
 		sim := make([][]float64, n)
 		for i := range sim {

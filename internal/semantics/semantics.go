@@ -118,6 +118,12 @@ type Space struct {
 	themesRaw map[string]*CompiledTheme // raw joined tags -> compiled theme
 	themesKey map[string]*CompiledTheme // canonical key -> compiled theme
 
+	// termOrds interns canonical terms to dense ordinals (starting at 1)
+	// so hot-path memo keys can be flat integers instead of strings. The
+	// ordinals are only coherent within one Space.
+	termOrdsMu sync.RWMutex
+	termOrds   map[string]uint32
+
 	// Computation counters: how many times the expensive cold paths
 	// actually ran. They certify the single-flight property (computations
 	// == cache entries under concurrent load) and feed cold-start
@@ -135,7 +141,8 @@ type CompiledTheme struct {
 	// Tags are the original tags.
 	Tags []string
 
-	id string // short interned id, stable within one Space
+	id  string // short interned id, stable within one Space
+	ord uint32 // dense ordinal (≥1), stable within one Space
 
 	// units caches the unit-normalized projections of this theme, keyed by
 	// canonical term alone. Hanging the cache off the compiled theme keeps
@@ -161,6 +168,7 @@ func NewSpace(ix *index.Index, opts ...Option) *Space {
 		opts:      o,
 		themesRaw: make(map[string]*CompiledTheme),
 		themesKey: make(map[string]*CompiledTheme),
+		termOrds:  make(map[string]uint32),
 	}
 	s.scoreCache.Store(o.scoreCache)
 	return s
@@ -200,6 +208,7 @@ func (s *Space) Compile(theme []string) *CompiledTheme {
 			Key:  key,
 			Tags: append([]string(nil), theme...),
 			id:   "t" + itoa(len(s.themesKey)),
+			ord:  uint32(len(s.themesKey)) + 1,
 		}
 		s.themesKey[key] = t
 	}
@@ -225,6 +234,37 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return string(buf[i:])
+}
+
+// Ord returns the theme's dense ordinal, unique and stable within the
+// Space that compiled it (≥ 1; by convention 0 denotes the nil theme /
+// full space). Hot-path memo tables use it as a flat integer key.
+func (t *CompiledTheme) Ord() uint32 {
+	if t == nil {
+		return 0
+	}
+	return t.ord
+}
+
+// TermOrd interns a canonical term to a dense ordinal (≥ 1), unique and
+// stable within this Space. Like theme ordinals it exists so per-event memo
+// keys can be flat integers — two terms are canonically equal iff their
+// ordinals are equal. Safe for concurrent use.
+func (s *Space) TermOrd(term string) uint32 {
+	s.termOrdsMu.RLock()
+	ord, ok := s.termOrds[term]
+	s.termOrdsMu.RUnlock()
+	if ok {
+		return ord
+	}
+	s.termOrdsMu.Lock()
+	ord, ok = s.termOrds[term]
+	if !ok {
+		ord = uint32(len(s.termOrds)) + 1
+		s.termOrds[term] = ord
+	}
+	s.termOrdsMu.Unlock()
+	return ord
 }
 
 // Index returns the underlying inverted index.
@@ -531,6 +571,103 @@ func (s *Space) RelatednessRow(subTerm string, subTheme *CompiledTheme, eventTer
 			continue
 		}
 		b := s.unitProjection(et, eventTheme)
+		if b.IsZero() {
+			out[j] = 0
+			continue
+		}
+		out[j] = 1 / (sparse.NormalizedEuclidean(a, b) + 1)
+	}
+}
+
+// ResolveUnits fills out[j] with the unit-normalized thematic projection
+// of each canonical term — the event-side column of the Euclidean row
+// kernel, resolved once per event instead of once per row. It returns
+// false (leaving out untouched) when the space scores through the scalar
+// path (cosine distance or an active score cache), where pre-resolved
+// units are unused. len(out) must be at least len(terms).
+func (s *Space) ResolveUnits(terms []string, t *CompiledTheme, out []sparse.Unit) bool {
+	if s.opts.distance != Euclidean || s.scoreCache.Load() {
+		return false
+	}
+	for j, term := range terms {
+		out[j] = s.unitProjection(term, t)
+	}
+	return true
+}
+
+// RelatednessRowUnits is RelatednessRow with the event terms' unit
+// projections already resolved (by ResolveUnits, against the same
+// eventTheme): the sweep skips the per-pair projection-cache lookup and
+// goes straight to the dot product. eventTerms is still consulted for the
+// exact-identity rule, so the row is bit-identical to RelatednessRow. The
+// scalar fallback configurations ignore units entirely.
+func (s *Space) RelatednessRowUnits(subTerm string, subTheme *CompiledTheme, eventTerms []string, eventUnits []sparse.Unit, eventTheme *CompiledTheme, out []float64) {
+	if s.opts.distance != Euclidean || s.scoreCache.Load() {
+		for j, et := range eventTerms {
+			out[j] = s.RelatednessCompiled(subTerm, subTheme, et, eventTheme)
+		}
+		return
+	}
+	a := s.unitProjection(subTerm, subTheme)
+	aZero := a.IsZero()
+	for j, et := range eventTerms {
+		if subTerm == et && subTheme == eventTheme {
+			if aZero {
+				out[j] = 0
+			} else {
+				out[j] = 1
+			}
+			continue
+		}
+		if aZero {
+			out[j] = 0
+			continue
+		}
+		b := eventUnits[j]
+		if b.IsZero() {
+			out[j] = 0
+			continue
+		}
+		out[j] = 1 / (sparse.NormalizedEuclidean(a, b) + 1)
+	}
+}
+
+// ResolveUnit is the scalar form of ResolveUnits: the unit-normalized
+// thematic projection of one canonical term, or ok=false when the space
+// scores through the scalar path and pre-resolved units are unused.
+// Prepared subscriptions resolve their predicate terms once through this at
+// preparation time (see matcher.PrepareSubscription).
+func (s *Space) ResolveUnit(term string, t *CompiledTheme) (sparse.Unit, bool) {
+	if s.opts.distance != Euclidean || s.scoreCache.Load() {
+		return sparse.Unit{}, false
+	}
+	return s.unitProjection(term, t), true
+}
+
+// RelatednessRowPreUnits is RelatednessRowUnits with the subscription
+// term's unit projection also pre-resolved (by ResolveUnit, against the
+// same subTheme) — the fully resolved row kernel: no cache lookup on
+// either side, straight to the dot products. Term identity runs on
+// interned ordinals (TermOrd), whose equality is canonical-string
+// equality, so the row stays bit-identical to RelatednessRow. Callers
+// must have resolved a under the space's current scoring configuration
+// (ResolveUnit returned ok).
+func (s *Space) RelatednessRowPreUnits(a sparse.Unit, subOrd uint32, subTheme *CompiledTheme, eventOrds []uint32, eventUnits []sparse.Unit, eventTheme *CompiledTheme, out []float64) {
+	aZero := a.IsZero()
+	for j, et := range eventOrds {
+		if subOrd == et && subTheme == eventTheme {
+			if aZero {
+				out[j] = 0
+			} else {
+				out[j] = 1
+			}
+			continue
+		}
+		if aZero {
+			out[j] = 0
+			continue
+		}
+		b := eventUnits[j]
 		if b.IsZero() {
 			out[j] = 0
 			continue

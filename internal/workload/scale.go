@@ -173,7 +173,12 @@ func GenerateScale(cfg ScaleConfig) *ScaleWorkload {
 		}
 	}
 
-	w := &ScaleWorkload{}
+	// Preallocate for the population: at the 1M tier incremental append
+	// growth would briefly hold ~2x the final slice footprint.
+	w := &ScaleWorkload{
+		Subs:   make([]*event.Subscription, 0, cfg.Subscriptions),
+		Events: make([]*event.Event, 0, cfg.Events),
+	}
 	for i := 0; i < cfg.Subscriptions; i++ {
 		approxOnly := rng.Float64() < cfg.ApproxOnlyFraction
 		np := 1 + rng.Intn(cfg.MaxPredicates)
