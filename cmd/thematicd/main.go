@@ -18,6 +18,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
@@ -38,6 +39,7 @@ import (
 	"thematicep/internal/matcher"
 	"thematicep/internal/query"
 	"thematicep/internal/semantics"
+	"thematicep/internal/telemetry"
 	"thematicep/internal/vocab"
 )
 
@@ -69,9 +71,21 @@ func run(args []string) error {
 		maxBatch  = fs.Int("max-batch", broker.DefaultMaxBatch, "largest event batch accepted per publishb frame; oversized batches are rejected whole (<=0 disables the cap)")
 		chaos     = fs.String("chaos", "", "fault injection on peer links, e.g. seed=42,latency=2ms,stall=0.01,stallfor=250ms,reset=0.005,corrupt=0.01 (testing only)")
 		queryTick = fs.Duration("query-tick", time.Second, "continuous-query flush interval: quiet streams fire pending negation/aggregate windows this often (<=0 disables)")
+		sloT      = fs.Duration("slo", 0, "latency SLO threshold: publishes (and CEP detections) slower than this burn error budget, exposed as thematicep_slo_* (0 disables)")
+		sloObj    = fs.Float64("slo-objective", 0.99, "with -slo: fraction of observations that must meet the threshold")
+		profDir   = fs.String("prof-dir", "", "continuous profiling: directory for the bounded ring of CPU/heap pprof captures, served at /debug/prof/ring (empty disables)")
+		profEvery = fs.Duration("prof-interval", 0, "with -prof-dir: capture cadence (0 = only on SLO burn or manual trigger)")
+		profKeep  = fs.Int("prof-keep", 16, "with -prof-dir: max profile files kept on disk")
+		profCPU   = fs.Duration("prof-cpu", 2*time.Second, "with -prof-dir: CPU sampling duration per capture")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// The shard identity doubles as the tracer's node label, so trace
+	// fragments merged across the federation stay attributable.
+	self := *advertise
+	if self == "" {
+		self = *addr
 	}
 
 	ix, err := loadOrBuildIndex(*indexPath, *seed)
@@ -91,10 +105,16 @@ func run(args []string) error {
 		opts = append(opts, broker.WithMatchParallelism(*parallel))
 	}
 	if *traceN > 0 {
-		opts = append(opts, broker.WithTraceSampling(*traceN))
+		opts = append(opts, broker.WithTraceSampling(*traceN, telemetry.WithNode(self)))
 	}
 	if *shedMark > 0 {
 		opts = append(opts, broker.WithShedWatermark(*shedMark))
+	}
+	var deliverySLO, detectionSLO *telemetry.SLO
+	if *sloT > 0 {
+		deliverySLO = telemetry.NewSLO("delivery", *sloObj, *sloT)
+		detectionSLO = telemetry.NewSLO("detection", *sloObj, *sloT)
+		opts = append(opts, broker.WithDeliverySLO(deliverySLO))
 	}
 	// The PreparedStream adapter turns on the broker's prepare-once fast
 	// path (subscriptions canonicalized and theme-compiled at Subscribe
@@ -113,17 +133,13 @@ func run(args []string) error {
 	var node *cluster.Node
 	var collectors []broker.Collector
 	if *peers != "" {
-		self := *advertise
-		if self == "" {
-			self = *addr
-		}
 		var peerList []string
 		for _, p := range strings.Split(*peers, ",") {
 			if p = strings.TrimSpace(p); p != "" {
 				peerList = append(peerList, p)
 			}
 		}
-		ccfg := cluster.Config{Self: self, Peers: peerList}
+		ccfg := cluster.Config{Self: self, Peers: peerList, MetricsAddr: *metrics}
 		if *chaos != "" {
 			fcfg, err := faultinject.ParseSpec(*chaos)
 			if err != nil {
@@ -155,6 +171,7 @@ func run(args []string) error {
 	eng := query.New(backend,
 		query.WithFlushInterval(*queryTick),
 		query.WithTracer(b.Tracer()),
+		query.WithDetectionSLO(detectionSLO),
 	)
 	defer eng.Close()
 	srv.SetQueryRegistrar(eng)
@@ -174,12 +191,65 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "federation: shard %s peering with %s\n", node.ID(), *peers)
 	}
 
+	// Continuous profiling: a bounded on-disk ring of CPU/heap captures,
+	// filled on cadence and whenever an SLO pages (red status), so the
+	// profile of an incident is on disk before anyone starts debugging it.
+	var prof *telemetry.Profiler
+	if *profDir != "" {
+		prof, err = telemetry.NewProfiler(*profDir, *profKeep, *profCPU)
+		if err != nil {
+			return err
+		}
+		profCtx, profCancel := context.WithCancel(context.Background())
+		defer profCancel()
+		go prof.Run(profCtx, *profEvery)
+		if deliverySLO != nil {
+			go func() {
+				t := time.NewTicker(15 * time.Second)
+				defer t.Stop()
+				for {
+					select {
+					case <-profCtx.Done():
+						return
+					case <-t.C:
+						if deliverySLO.Status() == telemetry.SLORed {
+							prof.Trigger("slo-burn:delivery")
+						} else if detectionSLO.Status() == telemetry.SLORed {
+							prof.Trigger("slo-burn:detection")
+						}
+					}
+				}
+			}()
+		}
+		fmt.Fprintf(os.Stderr, "profiling into %s (keep %d, cadence %s)\n", *profDir, *profKeep, *profEvery)
+	}
+
 	if *metrics != "" {
+		// Process runtime health and the SLO burn state ride the same scrape
+		// as the pipeline families.
+		collectors = append(collectors, telemetry.NewRuntimeCollector(""))
+		if deliverySLO != nil {
+			collectors = append(collectors, deliverySLO, detectionSLO)
+		}
 		mux := http.NewServeMux()
 		// The space is a collector too: cache hit/miss/occupancy and
 		// single-flight coalescing land on the same scrape.
 		mux.Handle("/metrics", broker.MetricsHandler(b, append(collectors, space)...))
 		mux.Handle("/debug/traces", b.TracesHandler())
+		// /debug/peers is the cluster scrape directory themctl's -cluster
+		// and trace modes discover the federation from; a single node serves
+		// a one-row directory so the same tooling works unclustered.
+		if node != nil {
+			mux.Handle("/debug/peers", node.PeersHandler())
+		} else {
+			mux.HandleFunc("/debug/peers", func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				json.NewEncoder(w).Encode([]cluster.PeerInfo{{Node: self, Metrics: *metrics, Self: true}})
+			})
+		}
+		if prof != nil {
+			mux.Handle("/debug/prof/ring", prof.Handler())
+		}
 		mux.Handle("/debug/vars", expvar.Handler())
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -193,7 +263,7 @@ func run(args []string) error {
 			}
 		}()
 		defer msrv.Close()
-		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics (traces: /debug/traces, pprof: /debug/pprof/, expvar: /debug/vars)\n", *metrics)
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics (traces: /debug/traces, peers: /debug/peers, pprof: /debug/pprof/, expvar: /debug/vars)\n", *metrics)
 	}
 
 	sig := make(chan os.Signal, 1)

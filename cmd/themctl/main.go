@@ -7,7 +7,8 @@
 //	themctl subscribe -addr 127.0.0.1:7070 [-replay] '<subscription>'
 //	themctl query -addr 127.0.0.1:7070 -name surge -kind count -window 30s -min 3 '<subscription>'
 //	themctl match '<subscription>' '<event>'
-//	themctl stats -metrics http://127.0.0.1:9090 [-lint] [-traces] [-raw]
+//	themctl stats -metrics http://127.0.0.1:9090 [-lint] [-traces] [-raw] [-cluster] [-watch 2s]
+//	themctl trace -metrics http://127.0.0.1:9090 '<event-id or trace-id>'
 //
 // Events and subscriptions use the paper's notation, e.g.
 //
@@ -21,7 +22,11 @@
 // match runs a local one-shot match (no broker needed) and prints the
 // top-1 mapping.
 // stats scrapes a daemon's metrics endpoint and prints pipeline counters,
-// latency quantiles, cache hit rates, and recent pipeline traces.
+// latency quantiles, SLO burn state, runtime health, cache hit rates, and
+// recent pipeline traces; -cluster merges every federation member's scrape
+// and -watch streams per-second rate deltas.
+// trace reassembles a sampled publish's span tree across the whole
+// federation by trace ID or any member event ID.
 package main
 
 import (
@@ -65,8 +70,10 @@ func run(args []string) error {
 		return runQuery(args[1:])
 	case "stats":
 		return runStats(args[1:])
+	case "trace":
+		return runTrace(args[1:])
 	default:
-		return fmt.Errorf("unknown command %q (want publish, subscribe, query, match, or stats)", args[0])
+		return fmt.Errorf("unknown command %q (want publish, subscribe, query, match, stats, or trace)", args[0])
 	}
 }
 

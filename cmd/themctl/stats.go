@@ -9,30 +9,47 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"thematicep/internal/telemetry"
 )
 
 // runStats scrapes a thematicd metrics endpoint and prints a runtime
-// summary: pipeline counters, latency histogram quantiles, cache hit
-// rates, and (with -traces) recent sampled pipeline traces. With -lint the
-// scrape is validated against the exposition-format invariants and the
-// command fails on any violation, so it doubles as a health check in CI.
+// summary: pipeline counters, latency histogram quantiles, SLO burn state,
+// process runtime health, cache hit rates, and (with -traces) recent
+// sampled pipeline traces. With -lint the scrape is validated against the
+// exposition-format invariants and the command fails on any violation, so
+// it doubles as a health check in CI.
+//
+// With -cluster the federation is discovered through /debug/peers and every
+// member's /metrics is scraped and merged (histograms bucket-wise, counters
+// summed), rendering cluster-wide quantiles plus a per-node breakdown. With
+// -watch the scrape repeats on an interval and prints per-second deltas.
 func runStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	url := fs.String("metrics", "http://127.0.0.1:9090", "metrics endpoint base URL (scheme://host:port)")
 	lint := fs.Bool("lint", false, "validate the exposition format and fail on violations")
 	traces := fs.Bool("traces", false, "also fetch and print /debug/traces")
 	raw := fs.Bool("raw", false, "dump the raw exposition instead of the summary")
+	cluster := fs.Bool("cluster", false, "discover the federation via /debug/peers and merge every member's scrape")
+	watch := fs.Duration("watch", 0, "re-scrape on this interval and print per-second rate deltas (interrupt to stop)")
 	timeout := fs.Duration("timeout", 10*time.Second, "HTTP timeout per scrape; fail fast instead of hanging on a wedged daemon")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	base := strings.TrimSuffix(*url, "/")
 	base = strings.TrimSuffix(base, "/metrics")
+
+	if *watch > 0 {
+		return watchStats(base, *cluster, *watch, *timeout)
+	}
+	if *cluster {
+		return clusterStats(base, *lint, *timeout)
+	}
 
 	body, err := httpGet(base+"/metrics", *timeout)
 	if err != nil {
@@ -62,6 +79,177 @@ func runStats(args []string) error {
 	return nil
 }
 
+// nodeScrape is one member's parsed exposition.
+type nodeScrape struct {
+	node string
+	fams []*telemetry.Family
+}
+
+// scrapeCluster discovers the federation and scrapes every member with a
+// known metrics address. Unreachable members are reported and skipped — a
+// partial cluster view beats no view during an incident.
+func scrapeCluster(base string, lint bool, timeout time.Duration) ([]nodeScrape, error) {
+	peers := discoverPeers(base, timeout)
+	var scrapes []nodeScrape
+	for _, p := range peers {
+		mb := metricsBase(p)
+		if mb == "" {
+			fmt.Fprintf(os.Stderr, "stats: %s advertises no metrics address, skipping\n", p.Node)
+			continue
+		}
+		body, err := httpGet(mb+"/metrics", timeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stats: skipping %s: %v\n", p.Node, err)
+			continue
+		}
+		if lint {
+			if err := telemetry.Lint(bytes.NewReader(body)); err != nil {
+				return nil, fmt.Errorf("exposition lint (%s): %w", p.Node, err)
+			}
+		}
+		fams, err := telemetry.ParseExposition(bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Node, err)
+		}
+		scrapes = append(scrapes, nodeScrape{node: p.Node, fams: fams})
+	}
+	if len(scrapes) == 0 {
+		return nil, fmt.Errorf("no reachable /metrics endpoint among %d directory entries", len(peers))
+	}
+	return scrapes, nil
+}
+
+// clusterStats merges every member's families (histograms bucket-wise,
+// counters summed — merged quantiles are exactly the quantiles of the union
+// stream) and prints the cluster summary plus per-node breakdowns for the
+// publish path and the SLOs.
+func clusterStats(base string, lint bool, timeout time.Duration) error {
+	scrapes, err := scrapeCluster(base, lint, timeout)
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	sets := make([][]*telemetry.Family, len(scrapes))
+	names := make([]string, len(scrapes))
+	for i, s := range scrapes {
+		sets[i], names[i] = s.fams, s.node
+	}
+	merged, err := telemetry.MergeFamilies(sets...)
+	if err != nil {
+		return fmt.Errorf("stats: merge: %w", err)
+	}
+	fmt.Printf("cluster: %d node(s) merged (%s)\n", len(scrapes), strings.Join(names, ", "))
+	summarize(merged)
+
+	fmt.Println("per-node publish latency (p50 / p95 / p99 / count):")
+	for _, s := range scrapes {
+		line := "(no observations)"
+		for _, f := range s.fams {
+			if f.Name == "thematicep_broker_publish_seconds" && f.Type == "histogram" {
+				if count, p50, p95, p99 := histogramQuantiles(f); count > 0 {
+					line = fmt.Sprintf("%s / %s / %s / %.0f",
+						secs(p50), secs(p95), secs(p99), count)
+				}
+			}
+		}
+		fmt.Printf("  %-24s %s\n", s.node, line)
+	}
+	// SLO status is a per-node judgment (a red member must not hide inside
+	// a cluster-wide average), so the burn lines print per member.
+	for _, s := range scrapes {
+		printSLO(familyIndex(s.fams), "  ["+s.node+"] ")
+	}
+	return nil
+}
+
+// watchStats re-scrapes on an interval and prints per-second deltas of the
+// headline counters: event throughput, deliveries, load shedding, drops,
+// and breaker flips. Rates come from counter differences, so a restarted
+// daemon shows one negative-free resync line rather than garbage.
+func watchStats(base string, cluster bool, interval, timeout time.Duration) error {
+	type snap struct {
+		published, delivered, shed, dropped, trips float64
+	}
+	scrape := func() (snap, error) {
+		var fams []*telemetry.Family
+		if cluster {
+			scrapes, err := scrapeCluster(base, false, timeout)
+			if err != nil {
+				return snap{}, err
+			}
+			sets := make([][]*telemetry.Family, len(scrapes))
+			for i, s := range scrapes {
+				sets[i] = s.fams
+			}
+			if fams, err = telemetry.MergeFamilies(sets...); err != nil {
+				return snap{}, err
+			}
+		} else {
+			body, err := httpGet(base+"/metrics", timeout)
+			if err != nil {
+				return snap{}, err
+			}
+			if fams, err = telemetry.ParseExposition(bytes.NewReader(body)); err != nil {
+				return snap{}, err
+			}
+		}
+		byName := familyIndex(fams)
+		total := func(name string) float64 {
+			f := byName[name]
+			if f == nil {
+				return 0
+			}
+			v := 0.0
+			for _, s := range f.Samples {
+				v += s.Value
+			}
+			return v
+		}
+		return snap{
+			published: total("thematicep_broker_published_total"),
+			delivered: total("thematicep_broker_delivered_total"),
+			shed:      total("thematicep_broker_shed_total") + total("thematicep_cluster_forwards_shed_total"),
+			dropped:   total("thematicep_broker_dropped_total") + total("thematicep_cluster_peer_queue_drops_total"),
+			trips:     total("thematicep_cluster_breaker_trips_total"),
+		}, nil
+	}
+
+	prev, err := scrape()
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	fmt.Printf("%-10s %10s %10s %10s %10s %8s\n", "time", "ev/s", "deliver/s", "shed/s", "drop/s", "flips")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sig:
+			return nil
+		case <-tick.C:
+			cur, err := scrape()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "stats: %v\n", err)
+				continue
+			}
+			rate := func(now, was float64) float64 {
+				if d := now - was; d > 0 {
+					return d / interval.Seconds()
+				}
+				return 0
+			}
+			fmt.Printf("%-10s %10.1f %10.1f %10.1f %10.1f %8.0f\n",
+				time.Now().Format("15:04:05"),
+				rate(cur.published, prev.published),
+				rate(cur.delivered, prev.delivered),
+				rate(cur.shed, prev.shed),
+				rate(cur.dropped, prev.dropped),
+				cur.trips-prev.trips)
+			prev = cur
+		}
+	}
+}
+
 func httpGet(url string, timeout time.Duration) ([]byte, error) {
 	c := &http.Client{Timeout: timeout}
 	resp, err := c.Get(url)
@@ -80,10 +268,26 @@ func printSummary(body []byte) error {
 	if err != nil {
 		return err
 	}
+	summarize(families)
+	printSLO(familyIndex(families), "  ")
+	return nil
+}
+
+func familyIndex(families []*telemetry.Family) map[string]*telemetry.Family {
 	byName := make(map[string]*telemetry.Family, len(families))
 	for _, f := range families {
 		byName[f.Name] = f
 	}
+	return byName
+}
+
+// secs renders a quantile in seconds as a rounded duration.
+func secs(v float64) time.Duration {
+	return time.Duration(v * float64(time.Second)).Round(time.Microsecond)
+}
+
+func summarize(families []*telemetry.Family) {
+	byName := familyIndex(families)
 	counter := func(name string) float64 {
 		f := byName[name]
 		if f == nil {
@@ -108,7 +312,7 @@ func printSummary(body []byte) error {
 		fmt.Printf("  %-10s %.0f\n", c.label, counter(c.name))
 	}
 
-	fmt.Println("latency (p50 / p95 / count):")
+	fmt.Println("latency (p50 / p95 / p99 / count):")
 	for _, h := range []struct{ label, name string }{
 		{"publish", "thematicep_broker_publish_seconds"},
 		{"compile", "thematicep_broker_compile_seconds"},
@@ -122,14 +326,13 @@ func printSummary(body []byte) error {
 		if f == nil || f.Type != "histogram" {
 			continue
 		}
-		count, p50, p95 := histogramQuantiles(f)
+		count, p50, p95, p99 := histogramQuantiles(f)
 		if count == 0 {
 			fmt.Printf("  %-10s (no observations)\n", h.label)
 			continue
 		}
-		fmt.Printf("  %-10s %s / %s / %.0f\n", h.label,
-			time.Duration(p50*float64(time.Second)).Round(time.Microsecond),
-			time.Duration(p95*float64(time.Second)).Round(time.Microsecond), count)
+		fmt.Printf("  %-10s %s / %s / %s / %.0f\n", h.label,
+			secs(p50), secs(p95), secs(p99), count)
 	}
 
 	// Batched ingest: how much of the stream arrives through PublishBatch
@@ -139,7 +342,7 @@ func printSummary(body []byte) error {
 		fmt.Println("batching:")
 		fmt.Printf("  %-14s %.0f\n", "batches", batches)
 		if f := byName["thematicep_publish_batch_size"]; f != nil && f.Type == "histogram" {
-			count, p50, p95 := histogramQuantiles(f)
+			count, p50, p95, _ := histogramQuantiles(f)
 			if count > 0 {
 				fmt.Printf("  %-14s p50 %.0f / p95 %.0f\n", "batch size", p50, p95)
 			}
@@ -186,7 +389,7 @@ func printSummary(body []byte) error {
 			fmt.Printf("  %-14s %.2f\n", "avg bucket", v)
 		}
 		if f := byName["thematicep_subindex_candidates_per_event"]; f != nil && f.Type == "histogram" {
-			count, p50, p95 := histogramQuantiles(f)
+			count, p50, p95, _ := histogramQuantiles(f)
 			if count > 0 {
 				fmt.Printf("  %-14s p50 %.0f / p95 %.0f over %.0f events", "candidates", p50, p95, count)
 				if subs > 0 {
@@ -194,6 +397,28 @@ func printSummary(body []byte) error {
 				}
 				fmt.Println()
 			}
+		}
+	}
+
+	// Process runtime health: a slow pipeline with a pinned heap or a
+	// goroutine pileup is a different incident than a slow matcher.
+	if v, ok := gauge("thematicep_runtime_goroutines"); ok {
+		fmt.Println("runtime:")
+		fmt.Printf("  %-14s %.0f\n", "goroutines", v)
+		if h, ok := gauge("thematicep_runtime_heap_inuse_bytes"); ok {
+			fmt.Printf("  %-14s %.1f MiB\n", "heap in-use", h/(1<<20))
+		}
+		if o, ok := gauge("thematicep_runtime_heap_objects"); ok {
+			fmt.Printf("  %-14s %.0f\n", "heap objects", o)
+		}
+		fmt.Printf("  %-14s %.0f\n", "gc cycles", counter("thematicep_runtime_gc_total"))
+		if f := byName["thematicep_runtime_gc_pause_seconds"]; f != nil && f.Type == "histogram" {
+			if count, p50, p95, _ := histogramQuantiles(f); count > 0 {
+				fmt.Printf("  %-14s p50 %s / p95 %s\n", "gc pause", secs(p50), secs(p95))
+			}
+		}
+		if fds, ok := gauge("thematicep_runtime_open_fds"); ok {
+			fmt.Printf("  %-14s %.0f\n", "open fds", fds)
 		}
 	}
 
@@ -243,13 +468,67 @@ func printSummary(body []byte) error {
 			fmt.Printf("  %-12s %.0f / %.0f\n", s.Labels["cache"], s.Value, missFor(s.Labels["cache"]))
 		}
 	}
-	return nil
+}
+
+// printSLO renders each SLO's red/yellow/green burn state from the
+// thematicep_slo_* families of one node's scrape. The status gauge is a
+// per-node judgment and is never merged across members (summing statuses
+// is meaningless), which is why cluster mode calls this per member.
+func printSLO(byName map[string]*telemetry.Family, pad string) {
+	status := byName["thematicep_slo_status"]
+	if status == nil || len(status.Samples) == 0 {
+		return
+	}
+	labeled := func(name, slo string) float64 {
+		f := byName[name]
+		if f == nil {
+			return 0
+		}
+		for _, s := range f.Samples {
+			if s.Labels["slo"] == slo {
+				return s.Value
+			}
+		}
+		return 0
+	}
+	burn := func(slo, window string) float64 {
+		f := byName["thematicep_slo_burn_rate"]
+		if f == nil {
+			return 0
+		}
+		for _, s := range f.Samples {
+			if s.Labels["slo"] == slo && s.Labels["window"] == window {
+				return s.Value
+			}
+		}
+		return 0
+	}
+	if pad == "  " {
+		fmt.Println("slo:")
+	}
+	sorted := append([]telemetry.Sample(nil), status.Samples...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Labels["slo"] < sorted[j].Labels["slo"]
+	})
+	for _, s := range sorted {
+		name := s.Labels["slo"]
+		light := map[float64]string{0: "GREEN", 1: "YELLOW", 2: "RED"}[s.Value]
+		if light == "" {
+			light = fmt.Sprintf("status=%g", s.Value)
+		}
+		good := labeled("thematicep_slo_window_good", name)
+		bad := labeled("thematicep_slo_window_bad", name)
+		fmt.Printf("%s%-10s %-6s burn %.2f short / %.2f long (objective %g, threshold %s, window %.0f good / %.0f bad)\n",
+			pad, name, light, burn(name, "short"), burn(name, "long"),
+			labeled("thematicep_slo_objective", name),
+			secs(labeled("thematicep_slo_threshold_seconds", name)), good, bad)
+	}
 }
 
 // histogramQuantiles aggregates every label set of a histogram family into
-// one distribution and estimates p50/p95 by linear interpolation within
+// one distribution and estimates p50/p95/p99 by linear interpolation within
 // the containing bucket.
-func histogramQuantiles(f *telemetry.Family) (count, p50, p95 float64) {
+func histogramQuantiles(f *telemetry.Family) (count, p50, p95, p99 float64) {
 	type bucket struct{ le, cum float64 }
 	sums := map[float64]float64{}
 	for _, s := range f.Samples {
@@ -268,7 +547,7 @@ func histogramQuantiles(f *telemetry.Family) (count, p50, p95 float64) {
 	}
 	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
 	if len(buckets) == 0 {
-		return 0, 0, 0
+		return 0, 0, 0, 0
 	}
 	count = buckets[len(buckets)-1].cum
 	quantile := func(q float64) float64 {
@@ -289,9 +568,9 @@ func histogramQuantiles(f *telemetry.Family) (count, p50, p95 float64) {
 		return prevLe
 	}
 	if count > 0 {
-		p50, p95 = quantile(0.5), quantile(0.95)
+		p50, p95, p99 = quantile(0.5), quantile(0.95), quantile(0.99)
 	}
-	return count, p50, p95
+	return count, p50, p95, p99
 }
 
 func parseLe(s string) (float64, error) {

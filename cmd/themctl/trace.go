@@ -1,0 +1,197 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"thematicep/internal/telemetry"
+)
+
+// peerInfo mirrors one row of a daemon's /debug/peers directory (see
+// cluster.PeerInfo); themctl decodes it structurally so the CLI works
+// against any daemon serving the same JSON shape.
+type peerInfo struct {
+	Node    string `json:"node"`
+	Metrics string `json:"metrics"`
+	Self    bool   `json:"self"`
+}
+
+// discoverPeers fetches the cluster scrape directory from one member's
+// metrics endpoint. A daemon without /debug/peers (or an unreachable one)
+// yields a single-entry directory pointing back at base, so every cluster
+// command degrades to single-node behavior.
+func discoverPeers(base string, timeout time.Duration) []peerInfo {
+	body, err := httpGet(base+"/debug/peers", timeout)
+	if err == nil {
+		var peers []peerInfo
+		if json.Unmarshal(body, &peers) == nil && len(peers) > 0 {
+			return peers
+		}
+	}
+	return []peerInfo{{Node: base, Metrics: strings.TrimPrefix(base, "http://"), Self: true}}
+}
+
+// metricsBase turns a directory row's advertised metrics address into a
+// scrape base URL.
+func metricsBase(p peerInfo) string {
+	if p.Metrics == "" {
+		return ""
+	}
+	if strings.Contains(p.Metrics, "://") {
+		return strings.TrimSuffix(p.Metrics, "/")
+	}
+	return "http://" + p.Metrics
+}
+
+// fragment is one node's trace fragment, tagged with where it was scraped.
+type fragment struct {
+	node string
+	tr   telemetry.Trace
+}
+
+// runTrace reassembles a cross-cluster trace: it discovers the federation
+// through /debug/peers, pulls every member's /debug/traces ring, resolves
+// the argument (an event ID or a trace ID) to a trace ID, and renders the
+// merged span tree ordered by the fragments' parent relation — the origin
+// fragment first, each forwarded continuation indented under the node that
+// forwarded it.
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	url := fs.String("metrics", "http://127.0.0.1:9090", "metrics endpoint of any cluster member")
+	timeout := fs.Duration("timeout", 10*time.Second, "HTTP timeout per request")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("trace: exactly one event ID or trace ID argument expected")
+	}
+	id := fs.Arg(0)
+	base := strings.TrimSuffix(strings.TrimSuffix(*url, "/"), "/metrics")
+
+	peers := discoverPeers(base, *timeout)
+	var frags []fragment
+	scraped := 0
+	for _, p := range peers {
+		mb := metricsBase(p)
+		if mb == "" {
+			continue
+		}
+		body, err := httpGet(mb+"/debug/traces", *timeout)
+		if err != nil {
+			fmt.Fprintf(fs.Output(), "trace: skipping %s: %v\n", p.Node, err)
+			continue
+		}
+		var traces []telemetry.Trace
+		if err := json.Unmarshal(body, &traces); err != nil {
+			return fmt.Errorf("trace: %s: bad JSON: %w", p.Node, err)
+		}
+		scraped++
+		for _, tr := range traces {
+			node := tr.Node
+			if node == "" {
+				node = p.Node
+			}
+			frags = append(frags, fragment{node: node, tr: tr})
+		}
+	}
+	if scraped == 0 {
+		return fmt.Errorf("trace: no reachable /debug/traces endpoint among %d directory entries", len(peers))
+	}
+
+	// The argument may name the trace directly or any member event of one
+	// of its fragments.
+	traceID := ""
+	for _, f := range frags {
+		if f.tr.TraceID == id || f.tr.Member(id) {
+			traceID = f.tr.TraceID
+			break
+		}
+	}
+	if traceID == "" {
+		return fmt.Errorf("trace: %q not found in the trace rings of %d node(s) (rings are bounded; is -trace-sample enabled?)", id, scraped)
+	}
+	var tree []fragment
+	for _, f := range frags {
+		if f.tr.TraceID == traceID {
+			tree = append(tree, f)
+		}
+	}
+	printTraceTree(traceID, tree)
+	return nil
+}
+
+// printTraceTree renders the fragments of one trace as a tree: origin
+// fragments (no parent) at the root, each remaining fragment under the
+// node named by its Parent. Offsets are fragment-local — no cross-node
+// clock synchronization is assumed, so the causal order comes from the
+// parent relation, never from wall clocks.
+func printTraceTree(traceID string, frags []fragment) {
+	nodes := map[string]bool{}
+	for _, f := range frags {
+		nodes[f.node] = true
+	}
+	fmt.Printf("trace %s: %d fragment(s) across %d node(s)\n", traceID, len(frags), len(nodes))
+
+	children := map[string][]fragment{}
+	for _, f := range frags {
+		children[f.tr.Parent] = append(children[f.tr.Parent], f)
+	}
+	for _, fs := range children {
+		sort.Slice(fs, func(i, j int) bool { return fs[i].node < fs[j].node })
+	}
+
+	printed := map[int]bool{}
+	indexOf := func(f fragment) int {
+		for i := range frags {
+			if frags[i].node == f.node && frags[i].tr.EventID == f.tr.EventID &&
+				frags[i].tr.Start.Equal(f.tr.Start) {
+				return i
+			}
+		}
+		return -1
+	}
+	var render func(f fragment, depth int)
+	render = func(f fragment, depth int) {
+		i := indexOf(f)
+		if i < 0 || printed[i] {
+			return
+		}
+		printed[i] = true
+		printFragment(f, depth)
+		for _, c := range children[f.node] {
+			render(c, depth+1)
+		}
+	}
+	for _, f := range children[""] {
+		render(f, 0)
+	}
+	// Fragments whose parent never showed up (evicted origin, partial
+	// scrape) still print, flat, so nothing recorded is hidden.
+	for i, f := range frags {
+		if !printed[i] {
+			printFragment(f, 0)
+		}
+	}
+}
+
+func printFragment(f fragment, depth int) {
+	pad := strings.Repeat("  ", depth)
+	role := "origin"
+	if f.tr.Parent != "" {
+		role = "forwarded by " + f.tr.Parent
+	}
+	events := ""
+	if n := len(f.tr.Events); n > 0 {
+		events = fmt.Sprintf(" (batch of %d)", n)
+	}
+	fmt.Printf("%s[%s] event %s%s total=%s (%s)\n", pad, f.node, f.tr.EventID, events,
+		f.tr.Total.Round(time.Microsecond), role)
+	for _, sp := range f.tr.Spans {
+		fmt.Printf("%s    %-20s +%-12s %s\n", pad, sp.Stage,
+			sp.Offset.Round(time.Microsecond), sp.Duration.Round(time.Microsecond))
+	}
+}

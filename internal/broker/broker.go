@@ -229,6 +229,7 @@ type config struct {
 	clock         telemetry.Clock
 	traceEvery    int
 	traceOpts     []telemetry.TracerOption
+	deliverySLO   *telemetry.SLO
 }
 
 type thresholdOption float64
@@ -298,6 +299,19 @@ func (o traceSamplingOption) apply(c *config) {
 func WithTraceSampling(n int, opts ...telemetry.TracerOption) Option {
 	return traceSamplingOption{n, opts}
 }
+
+type deliverySLOOption struct{ s *telemetry.SLO }
+
+func (o deliverySLOOption) apply(c *config) { c.deliverySLO = o.s }
+
+// WithDeliverySLO tracks publish-to-deliver latency against a service
+// level objective: every admitted event (single or batched) is counted
+// good or bad against the SLO's latency threshold when its publish
+// completes. The record path is two atomic adds, so the SLO sits on the
+// hot path next to the stage histograms without disturbing the 0-alloc
+// gates. The caller owns the SLO (typically also registering it as a
+// metrics collector); nil disables tracking.
+func WithDeliverySLO(s *telemetry.SLO) Option { return deliverySLOOption{s} }
 
 type shedWatermarkOption int
 
@@ -377,6 +391,7 @@ type Broker struct {
 	// WithTraceSampling enabled it.
 	clock         telemetry.Clock
 	tracer        *telemetry.Tracer
+	deliverySLO   *telemetry.SLO       // nil unless WithDeliverySLO enabled it
 	publishHist   *telemetry.Histogram // end-to-end Publish latency
 	compileHist   *telemetry.Histogram // event preparation (theme compile)
 	enumerateHist *telemetry.Histogram // candidate enumeration
@@ -438,8 +453,9 @@ func New(m Matcher, opts ...Option) *Broker {
 		matcher: m,
 		cfg:     cfg,
 		subs:    make(map[string]*Subscriber),
-		pubBufs: make(chan *pubBatchBuf, pubBufLimit),
-		clock:   cfg.clock,
+		pubBufs:     make(chan *pubBatchBuf, pubBufLimit),
+		clock:       cfg.clock,
+		deliverySLO: cfg.deliverySLO,
 		tracer: telemetry.NewTracer(cfg.traceEvery,
 			append([]telemetry.TracerOption{telemetry.WithClock(cfg.clock)}, cfg.traceOpts...)...),
 		publishHist: telemetry.NewHistogram("thematicep_broker_publish_seconds",
@@ -704,6 +720,7 @@ func (b *Broker) Publish(e *event.Event) error {
 	b.scoreHist.ObserveDuration(end.Sub(tScore))
 	trace.AddSpanDuration("score", tScore, end.Sub(tScore))
 	b.publishHist.ObserveDuration(end.Sub(t0))
+	b.deliverySLO.Observe(end.Sub(t0))
 	trace.Finish()
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"unicode/utf8"
 
 	"thematicep/internal/event"
+	"thematicep/internal/telemetry"
 )
 
 // FuzzReadFrame asserts the wire decoder never panics or over-allocates on
@@ -28,6 +29,10 @@ func FuzzReadFrame(f *testing.F) {
 			ID:     "n1/e1",
 			Tuples: []event.Tuple{{Attr: "a", Value: "b"}},
 		}},
+		{Type: FrameForward, NodeID: "n1",
+			Trace: &telemetry.TraceContext{TraceID: "n1.1a2b.3", Parent: "n1", Sampled: true},
+			Event: &event.Event{ID: "n1/e2", Tuples: []event.Tuple{{Attr: "a", Value: "b"}}}},
+		{Type: FrameHello, NodeID: "n2", MetricsAddr: "10.0.0.2:9090"},
 		{Type: FrameSubscribe, Replay: true, Subscription: &event.Subscription{
 			Predicates: []event.Predicate{{Attr: "type", Value: "parking event"}},
 		}},
@@ -75,8 +80,63 @@ func FuzzReadFrame(f *testing.F) {
 		}
 		if back.Type != fr.Type || back.SubscriptionID != fr.SubscriptionID ||
 			back.NodeID != fr.NodeID || back.Addr != fr.Addr || back.Error != fr.Error ||
-			back.Count != fr.Count || len(back.Events) != len(fr.Events) {
+			back.Count != fr.Count || len(back.Events) != len(fr.Events) ||
+			back.MetricsAddr != fr.MetricsAddr {
 			t.Fatalf("round-trip mismatch: %+v vs %+v", fr, back)
+		}
+		if (back.Trace == nil) != (fr.Trace == nil) {
+			t.Fatalf("trace context presence lost: %+v vs %+v", fr.Trace, back.Trace)
+		}
+		if back.Trace != nil && *back.Trace != *fr.Trace {
+			t.Fatalf("trace context mutated: %+v vs %+v", fr.Trace, back.Trace)
+		}
+	})
+}
+
+// FuzzTraceContextFrame round-trips fuzzer-shaped trace contexts through
+// forward and publishb frames: the propagated trace ID, parent, and
+// sampled bit must survive the codec byte-identically, and an absent
+// context must stay absent (the omitempty contract — an unsampled event
+// carries zero trace bytes on the wire).
+func FuzzTraceContextFrame(f *testing.F) {
+	f.Add("n1.1a2b.3", "n1", true, true)
+	f.Add("", "", false, false)
+	f.Add("node-with-ünïcode.ff.1", "peer:7070", true, false)
+	f.Add(`id"with{json}`, "p\n", false, true)
+	f.Fuzz(func(t *testing.T, id, parent string, sampled, batch bool) {
+		if !utf8.ValidString(id) || !utf8.ValidString(parent) {
+			return
+		}
+		tc := &telemetry.TraceContext{TraceID: id, Parent: parent, Sampled: sampled}
+		fr := &Frame{Type: FrameForward, NodeID: "n1", Trace: tc,
+			Event: &event.Event{ID: "e1", Tuples: []event.Tuple{{Attr: "a", Value: "b"}}}}
+		if batch {
+			fr = &Frame{Type: FramePublishBatch, Trace: tc,
+				Events: []*event.Event{{ID: "e1", Tuples: []event.Tuple{{Attr: "a", Value: "b"}}}}}
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, fr); err != nil {
+			return // oversized fuzz strings may exceed MaxFrameSize
+		}
+		back, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("traced frame does not decode: %v", err)
+		}
+		if back.Trace == nil || *back.Trace != *tc {
+			t.Fatalf("trace context mutated: %+v vs %+v", tc, back.Trace)
+		}
+		// The no-context case stays absent on the wire and after decode.
+		var plain bytes.Buffer
+		fr.Trace = nil
+		if err := WriteFrame(&plain, fr); err != nil {
+			return
+		}
+		if bytes.Contains(plain.Bytes(), []byte(`"trace"`)) {
+			t.Fatal("untraced frame carries trace bytes")
+		}
+		back, err = ReadFrame(&plain)
+		if err != nil || back.Trace != nil {
+			t.Fatalf("untraced frame decoded with a context: %+v err %v", back.Trace, err)
 		}
 	})
 }

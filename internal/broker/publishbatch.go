@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"thematicep/internal/event"
+	"thematicep/internal/telemetry"
 )
 
 // StreamMatcher extends BatchMatcher with batch-scope matching contexts:
@@ -288,7 +289,9 @@ func validateCanonical(e *event.Event, attrs, values []string) error {
 // the slice (scores bit-identical, same scoring code); see DESIGN.md §14
 // for the argument and for what is intentionally coarser (stage
 // histograms observe per batch, deliveries share one admission timestamp
-// per subscriber group, batches are not trace-sampled).
+// per subscriber group, and the whole batch is one trace-sampling unit —
+// a sampled batch records one trace with aggregate stage spans plus
+// per-event child spans, indexed by every member event ID).
 //
 // Admission is all-or-nothing: the batch is validated up front and either
 // every event is admitted (nil return) or none is. Like Publish it never
@@ -374,6 +377,18 @@ func (b *Broker) PublishBatch(events []*event.Event) error {
 		return ErrOverloaded
 	}
 
+	// The whole batch is one sampling unit; member event IDs are collected
+	// only when tracing is enabled at all, keeping the default batch path
+	// free of trace work (and of this one slice allocation).
+	var trace *telemetry.ActiveTrace
+	if b.tracer != nil {
+		ids := make([]string, n)
+		for i, e := range events {
+			ids[i] = e.ID
+		}
+		trace = b.tracer.StartBatchAt(ids, t0)
+	}
+
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -404,6 +419,7 @@ func (b *Broker) PublishBatch(events []*event.Event) error {
 	b.batchSizeHist.Observe(float64(n))
 	tEnum := b.clock.Now()
 	b.compileHist.ObserveDuration(tEnum.Sub(t0))
+	trace.AddSpanDuration("compile", t0, tEnum.Sub(t0))
 
 	// Candidate enumeration and scoring, interleaved over windows of
 	// consecutive events. A whole-batch candidate arena at the 100k tier
@@ -520,6 +536,10 @@ func (b *Broker) PublishBatch(events []*event.Event) error {
 	b.scanned.Add(uint64(totalCands))
 	b.enumerateHist.ObserveDuration(enumDur)
 	b.scoreHist.ObserveDuration(scoreDur)
+	// Enumeration and scoring interleave per window; the spans carry the
+	// aggregate durations laid end to end from the enumeration start.
+	trace.AddSpanDuration("enumerate", tEnum, enumDur)
+	trace.AddSpanDuration("score", tEnum.Add(enumDur), scoreDur)
 	tDeliver := b.clock.Now()
 
 	// Coalesced delivery: bucket the hits per subscriber (chained through
@@ -561,6 +581,21 @@ func (b *Broker) PublishBatch(events []*event.Event) error {
 	end := b.clock.Now()
 	b.deliverHist.ObserveDuration(end.Sub(tDeliver))
 	b.publishHist.ObserveDuration(end.Sub(t0))
+	b.deliverySLO.ObserveN(end.Sub(t0), n)
+	if trace != nil {
+		trace.AddSpanDuration("deliver", tDeliver, end.Sub(tDeliver))
+		// Per-event child spans: each member shares the batch's amortized
+		// admission-to-delivery latency. Capped so a huge batch cannot
+		// bloat the trace ring; the Events list still names every member.
+		const maxChildSpans = 64
+		for i, e := range events {
+			if i == maxChildSpans {
+				break
+			}
+			trace.AddSpanDuration("event:"+e.ID, t0, end.Sub(t0))
+		}
+		trace.Finish()
+	}
 	buf.release()
 	return nil
 }

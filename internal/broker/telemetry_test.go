@@ -133,6 +133,98 @@ func TestTraceSamplingOffByDefault(t *testing.T) {
 	}
 }
 
+func TestBatchTraceWithChildSpans(t *testing.T) {
+	b := New(exactMatcher(), WithTraceSampling(1))
+	defer b.Close()
+	if _, err := b.Subscribe(parkingSub()); err != nil {
+		t.Fatal(err)
+	}
+	evs := make([]*event.Event, 5)
+	for i := range evs {
+		evs[i] = parkingEvent(fmt.Sprintf("b%d", i))
+		evs[i].ID = fmt.Sprintf("batch-ev-%d", i)
+	}
+	if err := b.PublishBatch(evs); err != nil {
+		t.Fatal(err)
+	}
+	traces := b.Tracer().Recent()
+	if len(traces) != 1 {
+		t.Fatalf("batch produced %d traces, want 1 (the batch is one sampling unit)", len(traces))
+	}
+	tr := traces[0]
+	if tr.EventID != evs[0].ID || len(tr.Events) != 5 {
+		t.Fatalf("batch trace = id %q, %d members", tr.EventID, len(tr.Events))
+	}
+	stages := map[string]bool{}
+	for _, sp := range tr.Spans {
+		stages[sp.Stage] = true
+	}
+	for _, stage := range []string{"compile", "enumerate", "score", "deliver"} {
+		if !stages[stage] {
+			t.Errorf("batch trace missing stage %q (spans %v)", stage, tr.Spans)
+		}
+	}
+	for _, e := range evs {
+		if !stages["event:"+e.ID] {
+			t.Errorf("batch trace missing child span for %s", e.ID)
+		}
+	}
+	// Every member ID resolves to the batch trace for late forward spans.
+	if !b.Tracer().AppendSpan(evs[3].ID, "forward:p1", time.Now(), time.Millisecond) {
+		t.Error("batch member not attachable by event ID")
+	}
+}
+
+func TestDeliverySLOObservesPublishes(t *testing.T) {
+	clk := telemetry.NewManual(time.Unix(10000, 0))
+	slo := telemetry.NewSLO("delivery", 0.99, 10*time.Millisecond,
+		telemetry.WithSLOClock(clk), telemetry.WithSLOWindow(time.Hour))
+	// 20ms per score: every publish misses the 10ms threshold.
+	b := New(advancingMatcher(clk, 20*time.Millisecond),
+		WithClock(clk), WithMatchParallelism(1), WithDeliverySLO(slo))
+	defer b.Close()
+	if _, err := b.Subscribe(parkingSub()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := b.Publish(parkingEvent(fmt.Sprintf("a%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if br := slo.BurnRate(slo.LongWindow()); br < 99 {
+		t.Errorf("all-bad publish stream burn rate = %g, want ~100", br)
+	}
+	// Batches count every member against the objective.
+	evs := make([]*event.Event, 7)
+	for i := range evs {
+		evs[i] = parkingEvent(fmt.Sprintf("b%d", i))
+	}
+	before, beforeBad := sloCounts(slo)
+	if err := b.PublishBatch(evs); err != nil {
+		t.Fatal(err)
+	}
+	after, afterBad := sloCounts(slo)
+	if after-before != 7 {
+		t.Errorf("batch observed %d events against the SLO, want 7 (bad %d -> %d)",
+			after-before, beforeBad, afterBad)
+	}
+}
+
+func sloCounts(s *telemetry.SLO) (total, bad uint64) {
+	var sb strings.Builder
+	s.WriteMetrics(telemetry.NewExpo(&sb))
+	var good uint64
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(line, "thematicep_slo_window_good") {
+			fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &good)
+		}
+		if strings.HasPrefix(line, "thematicep_slo_window_bad") {
+			fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &bad)
+		}
+	}
+	return good + bad, bad
+}
+
 // TestStatsSnapshotInvariant hammers Publish from several goroutines while
 // scraping Stats, asserting the documented snapshot guarantee: without
 // replay, Delivered <= Matched <= Scanned in every snapshot.

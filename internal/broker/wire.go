@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"thematicep/internal/event"
+	"thematicep/internal/telemetry"
 )
 
 // The wire protocol is length-prefixed JSON: a 4-byte big-endian frame
@@ -95,6 +96,17 @@ type Frame struct {
 	Count int `json:"count,omitempty"`
 	// Probability is the detection's combined probability on detect frames.
 	Probability float64 `json:"probability,omitempty"`
+	// Trace is the propagated trace context on forward/forwardb (and
+	// client publishb) frames: present only when the carried event is
+	// trace-sampled at the sender, so the receiving broker continues the
+	// same cross-peer trace instead of making an independent sampling
+	// decision. On batch frames it applies to the whole batch, keyed by
+	// the first event.
+	Trace *telemetry.TraceContext `json:"trace,omitempty"`
+	// MetricsAddr advertises the sending node's metrics listen address on
+	// hello frames, so peers can serve a cluster-wide scrape map
+	// (/debug/peers) without extra configuration.
+	MetricsAddr string `json:"metricsAddr,omitempty"`
 }
 
 // QuerySpec defines one continuous query: a named CEP pattern over the

@@ -1,9 +1,11 @@
 package cluster
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -59,6 +61,11 @@ type Config struct {
 	// Dial overrides the peer dialer (tests, fault injection); default is
 	// net.DialTimeout("tcp", addr, WriteTimeout).
 	Dial func(addr string) (net.Conn, error)
+	// MetricsAddr is this node's metrics/debug HTTP address (host:port),
+	// advertised to peers in hello frames so every member can serve a
+	// cluster scrape directory (/debug/peers) that themctl's -cluster
+	// mode discovers the federation from. Empty means not advertised.
+	MetricsAddr string
 }
 
 func (c *Config) withDefaults() Config {
@@ -131,6 +138,9 @@ type Node struct {
 	edges   map[string]*edgeSub
 	started bool
 	closed  bool
+	// peerMetrics maps peer node IDs to their advertised metrics
+	// addresses, learned from inbound hello frames (see Config.MetricsAddr).
+	peerMetrics map[string]string
 
 	nextSub   atomic.Uint64
 	nextEvent atomic.Uint64
@@ -158,8 +168,9 @@ func New(b *broker.Broker, cfg Config) (*Node, error) {
 		id:     c.Self,
 		ring:   NewRing(members, c.VirtualNodes),
 		broker: b,
-		peers:  make(map[string]*peer),
-		edges:  make(map[string]*edgeSub),
+		peers:       make(map[string]*peer),
+		edges:       make(map[string]*edgeSub),
+		peerMetrics: make(map[string]string),
 	}
 	for _, addr := range c.Peers {
 		if addr == "" || addr == c.Self {
@@ -232,12 +243,19 @@ func (n *Node) Publish(e *event.Event) error {
 	if err := n.broker.Publish(ev); err != nil {
 		return err
 	}
+	// If the local publish sampled a trace, forward its context so the
+	// owning peers continue the same span tree. Publish is synchronous, so
+	// the trace is already in the ring and ContextFor resolves it.
+	var tc *telemetry.TraceContext
+	if c, ok := n.broker.Tracer().ContextFor(ev.ID); ok {
+		tc = &c
+	}
 	for _, owner := range n.ring.Owners(ev.Theme) {
 		if owner == n.id {
 			continue
 		}
 		if p := n.peers[owner]; p != nil {
-			if p.enqueue(ev) {
+			if p.enqueue(ev, tc) {
 				n.ctrForwarded.Add(1)
 			} else {
 				// The peer's breaker is open (or probing): shed now rather
@@ -302,7 +320,14 @@ func (n *Node) PublishBatch(events []*event.Event) error {
 		p := n.peers[owner]
 		for lo := 0; lo < len(g); lo += maxForwardBatch {
 			hi := min(lo+maxForwardBatch, len(g))
-			if p.enqueueBatch(g[lo:hi]) {
+			// Batch traces index every member event, so the sub-batch's
+			// first event resolves the batch's context; the receiving peer
+			// adopts it keyed by the same convention.
+			var tc *telemetry.TraceContext
+			if c, ok := n.broker.Tracer().ContextFor(g[lo].ID); ok {
+				tc = &c
+			}
+			if p.enqueueBatch(g[lo:hi], tc) {
 				n.ctrForwarded.Add(uint64(hi - lo))
 			} else {
 				n.ctrShed.Add(uint64(hi - lo))
@@ -440,6 +465,13 @@ func (n *Node) handleRemoteDelivery(f *broker.Frame) {
 // and hosts the peer's remote subscription registrations, streaming their
 // matches back on the same connection. It implements broker.PeerHandler.
 func (n *Node) ServePeer(conn net.Conn, hello *broker.Frame) {
+	if hello != nil && hello.NodeID != "" && hello.MetricsAddr != "" {
+		// The peer advertised where it serves /metrics: remember it for
+		// the cluster scrape directory (/debug/peers).
+		n.mu.Lock()
+		n.peerMetrics[hello.NodeID] = hello.MetricsAddr
+		n.mu.Unlock()
+	}
 	var writeMu sync.Mutex
 	write := func(f *broker.Frame) error {
 		writeMu.Lock()
@@ -480,6 +512,10 @@ func (n *Node) ServePeer(conn net.Conn, hello *broker.Frame) {
 				continue
 			}
 			n.ctrReceived.Add(1)
+			// A propagated trace context forces sampling of this publish
+			// under the originating trace ID, so the remote fragment joins
+			// the sender's span tree when themctl trace merges the ring.
+			n.broker.Tracer().Adopt(f.Event.ID, f.Trace)
 			// Publish locally only: forwarded events are never
 			// re-forwarded, so federation traffic is a single hop.
 			n.broker.Publish(f.Event)
@@ -489,6 +525,9 @@ func (n *Node) ServePeer(conn net.Conn, hello *broker.Frame) {
 				continue
 			}
 			n.ctrReceived.Add(uint64(len(f.Events)))
+			// Batch adoption keys on the first member, matching the
+			// sender's ContextFor convention and StartBatchAt's lookup.
+			n.broker.Tracer().Adopt(f.Events[0].ID, f.Trace)
 			// Single hop, batched: the whole forward lands in the local
 			// broker through the batched pipeline.
 			n.broker.PublishBatch(f.Events)
@@ -578,6 +617,56 @@ func (n *Node) PeerStates() map[string]BreakerState {
 		out[id] = p.bk.State()
 	}
 	return out
+}
+
+// PeerInfo is one row of the cluster scrape directory: a member's shard
+// identity and its advertised metrics/debug HTTP address.
+type PeerInfo struct {
+	Node    string `json:"node"`
+	Metrics string `json:"metrics,omitempty"`
+	Self    bool   `json:"self,omitempty"`
+}
+
+// PeerDirectory lists this node (first) and every peer whose metrics
+// address is known — configured links always appear (address empty until
+// their hello arrives), so the directory doubles as a membership view.
+func (n *Node) PeerDirectory() []PeerInfo {
+	out := []PeerInfo{{Node: n.id, Metrics: n.cfg.MetricsAddr, Self: true}}
+	n.mu.Lock()
+	learned := make(map[string]string, len(n.peerMetrics))
+	for id, addr := range n.peerMetrics {
+		learned[id] = addr
+	}
+	n.mu.Unlock()
+	ids := make([]string, 0, len(n.peers)+len(learned))
+	for id := range n.peers {
+		ids = append(ids, id)
+	}
+	for id := range learned {
+		if _, configured := n.peers[id]; !configured && id != n.id {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		out = append(out, PeerInfo{Node: id, Metrics: learned[id]})
+	}
+	return out
+}
+
+// PeersHandler serves the peer directory as JSON (the /debug/peers
+// endpoint themctl's -cluster mode discovers the federation from).
+func (n *Node) PeersHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(n.PeerDirectory())
+	})
 }
 
 // WriteMetrics implements broker.Collector, appending the cluster counter

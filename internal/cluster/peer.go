@@ -14,11 +14,14 @@ import (
 // forwardItem is one queued forward with its enqueue timestamp, so the hop
 // latency (enqueue to successful wire write) is measurable per peer. A
 // batched forward carries its events in evs (ev nil) and goes out as one
-// forwardb frame.
+// forwardb frame. tc is the propagated trace context, set only when the
+// event (or batch) is trace-sampled at this node — it rides the frame so
+// the receiving peer continues the same cross-cluster trace.
 type forwardItem struct {
 	ev  *event.Event
 	evs []*event.Event
 	enq time.Time
+	tc  *telemetry.TraceContext
 }
 
 // count is how many events the item represents, for drop/shed accounting.
@@ -86,14 +89,14 @@ func newPeer(n *Node, addr string) *peer {
 // hold memory), otherwise the oldest queued event is dropped when the
 // queue is full (the broker's overflow policy: publishers never block on a
 // slow or dead peer).
-func (p *peer) enqueue(e *event.Event) bool {
-	return p.offer(forwardItem{ev: e, enq: p.n.broker.Clock().Now()})
+func (p *peer) enqueue(e *event.Event, tc *telemetry.TraceContext) bool {
+	return p.offer(forwardItem{ev: e, enq: p.n.broker.Clock().Now(), tc: tc})
 }
 
 // enqueueBatch offers a re-batched forward as one queue item; the whole
 // sub-batch is shed or dropped together (accounted per event).
-func (p *peer) enqueueBatch(evs []*event.Event) bool {
-	return p.offer(forwardItem{evs: evs, enq: p.n.broker.Clock().Now()})
+func (p *peer) enqueueBatch(evs []*event.Event, tc *telemetry.TraceContext) bool {
+	return p.offer(forwardItem{evs: evs, enq: p.n.broker.Clock().Now(), tc: tc})
 }
 
 func (p *peer) offer(item forwardItem) bool {
@@ -243,7 +246,8 @@ func (p *peer) run() {
 		// Hello, then an immediate ping: the breaker closes only when the
 		// peer answers (first frame received), so an accepting-but-dead
 		// endpoint cannot reset the failure streak by merely accepting.
-		if p.writeFrame(conn, &broker.Frame{Type: broker.FrameHello, NodeID: p.n.id}) != nil ||
+		if p.writeFrame(conn, &broker.Frame{Type: broker.FrameHello, NodeID: p.n.id,
+			MetricsAddr: p.n.cfg.MetricsAddr}) != nil ||
 			p.writeFrame(conn, &broker.Frame{Type: broker.FramePing, NodeID: p.n.id}) != nil {
 			conn.Close()
 			p.bk.Failure()
@@ -307,23 +311,26 @@ func (p *peer) run() {
 					alive, linkFailed = false, true
 				}
 			case item := <-p.queue:
-				fr := &broker.Frame{Type: broker.FrameForward, Event: item.ev, NodeID: p.n.id}
+				fr := &broker.Frame{Type: broker.FrameForward, Event: item.ev, NodeID: p.n.id, Trace: item.tc}
 				if item.evs != nil {
-					fr = &broker.Frame{Type: broker.FrameForwardBatch, Events: item.evs, NodeID: p.n.id}
+					fr = &broker.Frame{Type: broker.FrameForwardBatch, Events: item.evs, NodeID: p.n.id, Trace: item.tc}
 				}
 				if p.writeFrame(conn, fr) != nil {
 					alive, linkFailed = false, true
 					break
 				}
 				// The hop is done once the frame is on the wire; attach it
-				// to the event's sampled trace (if any) as a late span so
-				// /debug/traces shows the federation leg. Batched forwards
-				// observe one hop per frame and skip tracing (batches are
-				// not trace-sampled).
+				// to the sampled trace (if any) as a late span so
+				// /debug/traces shows the federation leg. A batched
+				// forward observes one hop per frame and attaches through
+				// its first event — any member ID resolves to the batch
+				// trace.
 				hop := p.n.broker.Clock().Now().Sub(item.enq)
 				p.hop.ObserveDuration(hop)
 				if item.evs == nil {
 					p.n.broker.Tracer().AppendSpan(item.ev.ID, "forward:"+p.id, item.enq, hop)
+				} else {
+					p.n.broker.Tracer().AppendSpan(item.evs[0].ID, "forward:"+p.id, item.enq, hop)
 				}
 			}
 		}

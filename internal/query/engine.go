@@ -70,6 +70,12 @@ func WithClock(c telemetry.Clock) Option { return func(e *Engine) { e.clock = c 
 // "query:<name>" spans to sampled event traces.
 func WithTracer(tr *telemetry.Tracer) Option { return func(e *Engine) { e.tracer = tr } }
 
+// WithDetectionSLO attaches a latency SLO fed by every detection's
+// event-to-detection latency (the same measurement as the detect
+// histogram), so burn-rate alerting covers the CEP path alongside
+// delivery. A nil SLO is ignored.
+func WithDetectionSLO(s *telemetry.SLO) Option { return func(e *Engine) { e.detectSLO = s } }
+
 // WithFlushInterval overrides how often pattern windows are flushed on a
 // quiet stream (DefaultFlushInterval); d <= 0 disables the ticker, leaving
 // flushing to FlushExpired callers and Drain.
@@ -91,6 +97,7 @@ type Engine struct {
 	buf        int
 
 	detectHist *telemetry.Histogram // event-to-detection latency
+	detectSLO  *telemetry.SLO       // nil unless WithDetectionSLO enabled it
 
 	mu      sync.Mutex
 	queries map[string]*Query
@@ -503,6 +510,7 @@ func (q *Query) emit(det cep.Detection, now time.Time) {
 	}
 	if !newest.IsZero() {
 		q.eng.detectHist.ObserveDuration(now.Sub(newest))
+		q.eng.detectSLO.Observe(now.Sub(newest))
 	}
 	q.detections.Add(1)
 	d := broker.QueryDetection{

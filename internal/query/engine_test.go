@@ -233,6 +233,100 @@ func TestNegationFiresOnQuietStreamViaFlush(t *testing.T) {
 	}
 }
 
+func TestDetectionSLOObservesLatency(t *testing.T) {
+	clk := telemetry.NewManual(t0)
+	slo := telemetry.NewSLO("detection", 0.99, 10*time.Millisecond,
+		telemetry.WithSLOClock(clk), telemetry.WithSLOWindow(time.Hour))
+	b := broker.New(exactMatcher(), broker.WithClock(clk))
+	defer b.Close()
+	e := New(b, WithClock(clk), WithFlushInterval(-1), WithDetectionSLO(slo))
+	defer e.Close()
+
+	// A count query fires on the publish carrying its newest constituent:
+	// zero manual time between admission and detection, a good observation.
+	q, err := e.Register(countSpec("slo-burst", time.Minute, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := b.Publish(typedEvent("", "spike")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recvDetection(t, q.C())
+	if good, bad := sloWindow(t, slo); good != 1 || bad != 0 {
+		t.Fatalf("after inline detection: good %d bad %d, want 1/0", good, bad)
+	}
+
+	// An absence detection on a quiet stream is emitted two minutes after
+	// its trigger's admission — far past the 10ms threshold, a bad one.
+	nq, err := e.Register(&broker.QuerySpec{
+		Name:         "slo-quiet",
+		Kind:         KindNegation,
+		Subscription: typedSub("overload"),
+		Window:       time.Minute,
+		Steps: []broker.QueryStep{
+			{Attr: "type", Value: "overload"},
+			{Attr: "type", Value: "shutdown"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish(typedEvent("e1", "overload")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for fed(e, "slo-quiet") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("trigger never fed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	clk.Advance(2 * time.Minute)
+	if n := e.FlushExpired(); n != 1 {
+		t.Fatalf("flush emissions = %d, want 1", n)
+	}
+	recvDetection(t, nq.C())
+	if good, bad := sloWindow(t, slo); good != 1 || bad != 1 {
+		t.Fatalf("after late detection: good %d bad %d, want 1/1", good, bad)
+	}
+	if slo.BurnRate(slo.LongWindow()) <= 1 {
+		t.Errorf("burn rate = %g, want > 1 with half the window bad", slo.BurnRate(slo.LongWindow()))
+	}
+}
+
+func fed(e *Engine, name string) uint64 {
+	for _, st := range e.Stats() {
+		if st.Name == name {
+			return st.Fed
+		}
+	}
+	return 0
+}
+
+// sloWindow reads the SLO's window counters back through its exposition.
+func sloWindow(t *testing.T, s *telemetry.SLO) (good, bad uint64) {
+	t.Helper()
+	var sb strings.Builder
+	s.WriteMetrics(telemetry.NewExpo(&sb))
+	fams, err := telemetry.ParseExposition(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fams {
+		for _, smp := range f.Samples {
+			switch f.Name {
+			case "thematicep_slo_window_good":
+				good = uint64(smp.Value)
+			case "thematicep_slo_window_bad":
+				bad = uint64(smp.Value)
+			}
+		}
+	}
+	return good, bad
+}
+
 func TestTickerDrivesQuietStreamEmissions(t *testing.T) {
 	b := broker.New(exactMatcher())
 	defer b.Close()

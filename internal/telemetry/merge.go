@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// MergeSnapshots folds histogram snapshots from several shards of one
+// logical distribution into the distribution itself: bucket-wise count
+// sums plus summed totals. Because fixed-bucket histograms are a
+// commutative monoid under this merge (associativity and commutativity
+// are tested), scraping N nodes and merging is exactly equivalent to one
+// node having observed the union stream — quantiles computed on the merge
+// equal single-node quantiles bit-for-bit. All snapshots must share the
+// same bucket bounds.
+func MergeSnapshots(snaps ...HistogramSnapshot) (HistogramSnapshot, error) {
+	var out HistogramSnapshot
+	for _, s := range snaps {
+		if out.Counts == nil {
+			out = HistogramSnapshot{
+				Bounds: append([]float64(nil), s.Bounds...),
+				Counts: append([]uint64(nil), s.Counts...),
+				Count:  s.Count,
+				Sum:    s.Sum,
+			}
+			continue
+		}
+		if len(s.Bounds) != len(out.Bounds) {
+			return out, fmt.Errorf("telemetry: merge: bucket count mismatch (%d vs %d)", len(s.Bounds), len(out.Bounds))
+		}
+		for i, b := range s.Bounds {
+			if b != out.Bounds[i] {
+				return out, fmt.Errorf("telemetry: merge: bucket bound mismatch at %d (%g vs %g)", i, b, out.Bounds[i])
+			}
+		}
+		for i, c := range s.Counts {
+			out.Counts[i] += c
+		}
+		out.Count += s.Count
+		out.Sum += s.Sum
+	}
+	return out, nil
+}
+
+// seriesKey canonicalizes a sample identity (series name + sorted labels)
+// so the same series scraped from different nodes merges into one.
+func seriesKey(name string, labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString(name)
+	for _, k := range keys {
+		sb.WriteByte('{')
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(labels[k])
+		sb.WriteByte('}')
+	}
+	return sb.String()
+}
+
+// MergeFamilies merges parsed expositions scraped from several nodes into
+// one cluster-wide exposition: samples with the same series identity
+// (name + label set) are summed, family order and first-seen metadata are
+// preserved, and a family typed differently on different nodes is an
+// error. Summation is the cluster semantics for every family this repo
+// exports — counters and histogram series accumulate, and the exported
+// gauges are occupancy numbers (subscriptions, goroutines, heap bytes)
+// whose cluster meaning is the total. Non-additive gauges (configuration
+// echoes such as an SLO objective) are identical on every node, so
+// consumers read them from any single scrape rather than the merge.
+func MergeFamilies(sets ...[]*Family) ([]*Family, error) {
+	byName := make(map[string]*Family)
+	sampleIdx := make(map[string]map[string]int) // family -> seriesKey -> index
+	var order []*Family
+	for _, set := range sets {
+		for _, f := range set {
+			m, ok := byName[f.Name]
+			if !ok {
+				m = &Family{Name: f.Name, Type: f.Type, Help: f.Help}
+				byName[f.Name] = m
+				sampleIdx[f.Name] = make(map[string]int)
+				order = append(order, m)
+			} else {
+				if m.Type == "untyped" {
+					m.Type = f.Type
+				} else if f.Type != "untyped" && f.Type != m.Type {
+					return nil, fmt.Errorf("telemetry: merge: family %s typed %s and %s across nodes", f.Name, m.Type, f.Type)
+				}
+				if m.Help == "" {
+					m.Help = f.Help
+				}
+			}
+			idx := sampleIdx[f.Name]
+			for _, s := range f.Samples {
+				k := seriesKey(s.Name, s.Labels)
+				if i, ok := idx[k]; ok {
+					m.Samples[i].Value += s.Value
+				} else {
+					idx[k] = len(m.Samples)
+					labels := make(map[string]string, len(s.Labels))
+					for lk, lv := range s.Labels {
+						labels[lk] = lv
+					}
+					m.Samples = append(m.Samples, Sample{Name: s.Name, Labels: labels, Value: s.Value})
+				}
+			}
+		}
+	}
+	return order, nil
+}
+
+// FamilySnapshot reconstructs a HistogramSnapshot from a parsed histogram
+// family, aggregating every label set into one distribution (the
+// exposition's cumulative buckets are de-cumulated back into per-bucket
+// counts). It returns false when the family carries no histogram series.
+func FamilySnapshot(f *Family) (HistogramSnapshot, bool) {
+	type bucket struct {
+		le  float64
+		cum float64
+	}
+	sums := map[float64]float64{}
+	var sum, count float64
+	for _, s := range f.Samples {
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			le, err := parseValue(s.Labels["le"])
+			if err != nil {
+				continue
+			}
+			sums[le] += s.Value
+		case strings.HasSuffix(s.Name, "_sum"):
+			sum += s.Value
+		case strings.HasSuffix(s.Name, "_count"):
+			count += s.Value
+		}
+	}
+	if len(sums) == 0 {
+		return HistogramSnapshot{}, false
+	}
+	buckets := make([]bucket, 0, len(sums))
+	for le, cum := range sums {
+		buckets = append(buckets, bucket{le, cum})
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	snap := HistogramSnapshot{Sum: sum, Count: uint64(count)}
+	prev := 0.0
+	for _, b := range buckets {
+		c := b.cum - prev
+		if c < 0 {
+			c = 0
+		}
+		prev = b.cum
+		if !math.IsInf(b.le, 1) {
+			snap.Bounds = append(snap.Bounds, b.le)
+		}
+		snap.Counts = append(snap.Counts, uint64(c))
+	}
+	return snap, true
+}

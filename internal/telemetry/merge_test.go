@@ -1,0 +1,224 @@
+package telemetry
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// observeStream fills a histogram from a deterministic latency stream.
+func observeStream(h *Histogram, rng *rand.Rand, n int) {
+	for i := 0; i < n; i++ {
+		// Log-uniform-ish spread across the bucket range: 1µs..~1s.
+		d := time.Duration(float64(time.Microsecond) * float64(uint64(1)<<uint(rng.Intn(20))))
+		h.ObserveDuration(d + time.Duration(rng.Intn(1000)))
+	}
+}
+
+func TestMergeSnapshotsEqualsSingleNode(t *testing.T) {
+	// The same stream observed by one node vs. split across random shards:
+	// the merged snapshot must match the single node exactly, bucket for
+	// bucket, so merged quantiles equal single-node quantiles.
+	const n = 10000
+	for _, shards := range []int{2, 3, 7} {
+		single := NewHistogram("m", "", LatencyBuckets())
+		parts := make([]*Histogram, shards)
+		for i := range parts {
+			parts[i] = NewHistogram("m", "", LatencyBuckets())
+		}
+		rng := rand.New(rand.NewSource(42))
+		route := rand.New(rand.NewSource(7))
+		for i := 0; i < n; i++ {
+			d := time.Duration(float64(time.Microsecond) * float64(uint64(1)<<uint(rng.Intn(20))))
+			single.ObserveDuration(d)
+			parts[route.Intn(shards)].ObserveDuration(d)
+		}
+		snaps := make([]HistogramSnapshot, shards)
+		for i, p := range parts {
+			snaps[i] = p.Snapshot()
+		}
+		merged, err := MergeSnapshots(snaps...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := single.Snapshot()
+		if merged.Count != want.Count {
+			t.Fatalf("shards=%d: merged count %d, single %d", shards, merged.Count, want.Count)
+		}
+		for i := range want.Counts {
+			if merged.Counts[i] != want.Counts[i] {
+				t.Fatalf("shards=%d: bucket %d merged %d single %d", shards, i, merged.Counts[i], want.Counts[i])
+			}
+		}
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			if got, want := merged.Quantile(q), want.Quantile(q); got != want {
+				t.Errorf("shards=%d: q%.2f merged %g single %g", shards, q, got, want)
+			}
+		}
+	}
+}
+
+func TestMergeSnapshotsAssociativeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	hs := make([]HistogramSnapshot, 4)
+	for i := range hs {
+		h := NewHistogram("m", "", LatencyBuckets())
+		observeStream(h, rng, 500+100*i)
+		hs[i] = h.Snapshot()
+	}
+	eq := func(a, b HistogramSnapshot) bool {
+		if a.Count != b.Count || a.Sum != b.Sum || len(a.Counts) != len(b.Counts) {
+			return false
+		}
+		for i := range a.Counts {
+			if a.Counts[i] != b.Counts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	m := func(snaps ...HistogramSnapshot) HistogramSnapshot {
+		out, err := MergeSnapshots(snaps...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	// Associative: (a+b)+c+d == a+(b+(c+d)).
+	left := m(m(hs[0], hs[1]), hs[2], hs[3])
+	right := m(hs[0], m(hs[1], m(hs[2], hs[3])))
+	if !eq(left, right) {
+		t.Error("merge is not associative")
+	}
+	// Commutative: any permutation merges identically.
+	perm := m(hs[3], hs[1], hs[0], hs[2])
+	if !eq(left, perm) {
+		t.Error("merge is not commutative")
+	}
+}
+
+func TestMergeSnapshotsBoundsMismatch(t *testing.T) {
+	a := NewHistogram("a", "", LatencyBuckets()).Snapshot()
+	b := NewHistogram("b", "", SizeBuckets()).Snapshot()
+	if _, err := MergeSnapshots(a, b); err == nil {
+		t.Fatal("merging mismatched bounds did not error")
+	}
+}
+
+func TestMergeFamilies(t *testing.T) {
+	nodeA := `# HELP thematicep_broker_published_total Events.
+# TYPE thematicep_broker_published_total counter
+thematicep_broker_published_total 10
+# HELP thematicep_broker_publish_seconds Publish latency.
+# TYPE thematicep_broker_publish_seconds histogram
+thematicep_broker_publish_seconds_bucket{le="0.001"} 4
+thematicep_broker_publish_seconds_bucket{le="+Inf"} 10
+thematicep_broker_publish_seconds_sum 0.5
+thematicep_broker_publish_seconds_count 10
+`
+	nodeB := `# HELP thematicep_broker_published_total Events.
+# TYPE thematicep_broker_published_total counter
+thematicep_broker_published_total 5
+# HELP thematicep_broker_publish_seconds Publish latency.
+# TYPE thematicep_broker_publish_seconds histogram
+thematicep_broker_publish_seconds_bucket{le="0.001"} 1
+thematicep_broker_publish_seconds_bucket{le="+Inf"} 5
+thematicep_broker_publish_seconds_sum 0.25
+thematicep_broker_publish_seconds_count 5
+# HELP thematicep_cluster_forwards_total Only node B forwards.
+# TYPE thematicep_cluster_forwards_total counter
+thematicep_cluster_forwards_total 3
+`
+	fa, err := ParseExposition(strings.NewReader(nodeA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := ParseExposition(strings.NewReader(nodeB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeFamilies(fa, fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*Family{}
+	for _, f := range merged {
+		byName[f.Name] = f
+	}
+	if got := byName["thematicep_broker_published_total"].Samples[0].Value; got != 15 {
+		t.Errorf("merged counter = %v, want 15", got)
+	}
+	if got := byName["thematicep_cluster_forwards_total"].Samples[0].Value; got != 3 {
+		t.Errorf("one-node-only counter = %v, want 3", got)
+	}
+	h := byName["thematicep_broker_publish_seconds"]
+	snap, ok := FamilySnapshot(h)
+	if !ok {
+		t.Fatal("no snapshot from merged histogram family")
+	}
+	if snap.Count != 15 || snap.Sum != 0.75 {
+		t.Errorf("merged histogram count=%d sum=%g, want 15/0.75", snap.Count, snap.Sum)
+	}
+	// De-cumulated buckets: le=0.001 got 4+1=5, +Inf remainder 10.
+	if snap.Counts[0] != 5 || snap.Counts[1] != 10 {
+		t.Errorf("merged buckets = %v, want [5 10]", snap.Counts)
+	}
+
+	// Type conflict across nodes is an error.
+	conflict := `# HELP thematicep_broker_published_total Events.
+# TYPE thematicep_broker_published_total gauge
+thematicep_broker_published_total 5
+`
+	fc, err := ParseExposition(strings.NewReader(conflict))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeFamilies(fa, fc); err == nil {
+		t.Error("type conflict did not error")
+	}
+}
+
+func TestMergeFamiliesQuantilesMatchSingleNode(t *testing.T) {
+	// End-to-end through the text format: one stream observed whole vs.
+	// split across two nodes, scraped, parsed, merged — identical
+	// quantiles within float parsing (counts are integers, so exact).
+	single := NewHistogram("thematicep_broker_publish_seconds", "Publish latency.", LatencyBuckets())
+	a := NewHistogram("thematicep_broker_publish_seconds", "Publish latency.", LatencyBuckets())
+	b := NewHistogram("thematicep_broker_publish_seconds", "Publish latency.", LatencyBuckets())
+	rng := rand.New(rand.NewSource(1))
+	route := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		d := time.Duration(float64(time.Microsecond) * float64(uint64(1)<<uint(rng.Intn(20))))
+		single.ObserveDuration(d)
+		if route.Intn(2) == 0 {
+			a.ObserveDuration(d)
+		} else {
+			b.ObserveDuration(d)
+		}
+	}
+	scrape := func(h *Histogram) []*Family {
+		var buf bytes.Buffer
+		h.WriteMetrics(NewExpo(&buf))
+		fams, err := ParseExposition(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fams
+	}
+	merged, err := MergeFamilies(scrape(a), scrape(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := FamilySnapshot(merged[0])
+	if !ok {
+		t.Fatal("no histogram in merged scrape")
+	}
+	want := single.Snapshot()
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if g, w := got.Quantile(q), want.Quantile(q); g != w {
+			t.Errorf("q%.2f merged-scrape %g single %g", q, g, w)
+		}
+	}
+}

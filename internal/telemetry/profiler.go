@@ -1,0 +1,229 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// ProfileEntry is one captured profile in the on-disk ring.
+type ProfileEntry struct {
+	File   string    `json:"file"` // base name within the ring directory
+	Kind   string    `json:"kind"` // cpu | heap
+	Reason string    `json:"reason"`
+	Start  time.Time `json:"start"`
+	Bytes  int64     `json:"bytes"`
+}
+
+// Profiler captures CPU and heap pprof profiles on a cadence or on demand
+// (an SLO burn trip) into a bounded on-disk ring: the newest keep captures
+// survive, older profile files are deleted. The ring manifest is served as
+// JSON at /debug/prof/ring; individual profiles download via ?file=.
+// Captures are serialized — a trigger that lands during a capture is
+// coalesced into it.
+type Profiler struct {
+	dir     string
+	keep    int
+	cpuDur  time.Duration
+	trigger chan string
+
+	mu      sync.Mutex
+	running bool
+	seq     uint64
+	ring    []ProfileEntry // oldest first; one entry per capture kind
+}
+
+// NewProfiler builds a profiler writing into dir (created if absent),
+// keeping at most keep profile files on disk and sampling cpuDur of CPU
+// per capture (default 2s when <= 0).
+func NewProfiler(dir string, keep int, cpuDur time.Duration) (*Profiler, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("telemetry: profiler: %w", err)
+	}
+	if keep <= 0 {
+		keep = 16
+	}
+	if cpuDur <= 0 {
+		cpuDur = 2 * time.Second
+	}
+	return &Profiler{dir: dir, keep: keep, cpuDur: cpuDur, trigger: make(chan string, 1)}, nil
+}
+
+// Run captures on the given cadence (no cadence captures when every <= 0)
+// and on Trigger, until the context ends. Call in its own goroutine.
+func (p *Profiler) Run(ctx context.Context, every time.Duration) {
+	if p == nil {
+		return
+	}
+	var tick <-chan time.Time
+	if every > 0 {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick:
+			p.Capture("cadence")
+		case reason := <-p.trigger:
+			p.Capture(reason)
+		}
+	}
+}
+
+// Trigger requests an out-of-cadence capture (e.g. an SLO burn trip).
+// Non-blocking: a request arriving while one is already pending or a
+// capture is running is coalesced.
+func (p *Profiler) Trigger(reason string) {
+	if p == nil {
+		return
+	}
+	select {
+	case p.trigger <- reason:
+	default:
+	}
+}
+
+// Capture synchronously records one CPU profile (blocking for the CPU
+// sample duration) and one heap profile, rotating the ring. Overlapping
+// captures are rejected (the second returns nil immediately).
+func (p *Profiler) Capture(reason string) error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	if p.running {
+		p.mu.Unlock()
+		return nil
+	}
+	p.running = true
+	p.seq++
+	seq := p.seq
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.running = false
+		p.mu.Unlock()
+	}()
+
+	start := time.Now()
+	var firstErr error
+	if e, err := p.captureCPU(seq, reason, start); err != nil {
+		firstErr = err
+	} else {
+		p.push(e)
+	}
+	if e, err := p.captureHeap(seq, reason, start); err != nil {
+		if firstErr == nil {
+			firstErr = err
+		}
+	} else {
+		p.push(e)
+	}
+	return firstErr
+}
+
+func (p *Profiler) captureCPU(seq uint64, reason string, start time.Time) (ProfileEntry, error) {
+	name := fmt.Sprintf("cpu-%06d.pprof", seq)
+	f, err := os.Create(filepath.Join(p.dir, name))
+	if err != nil {
+		return ProfileEntry{}, err
+	}
+	defer f.Close()
+	if err := pprof.StartCPUProfile(f); err != nil {
+		// Another subsystem (a bench, an ad-hoc /debug capture) holds the
+		// CPU profiler; skip the CPU half rather than fight over it.
+		os.Remove(f.Name())
+		return ProfileEntry{}, err
+	}
+	time.Sleep(p.cpuDur)
+	pprof.StopCPUProfile()
+	st, _ := f.Stat()
+	var size int64
+	if st != nil {
+		size = st.Size()
+	}
+	return ProfileEntry{File: name, Kind: "cpu", Reason: reason, Start: start, Bytes: size}, nil
+}
+
+func (p *Profiler) captureHeap(seq uint64, reason string, start time.Time) (ProfileEntry, error) {
+	name := fmt.Sprintf("heap-%06d.pprof", seq)
+	f, err := os.Create(filepath.Join(p.dir, name))
+	if err != nil {
+		return ProfileEntry{}, err
+	}
+	defer f.Close()
+	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		os.Remove(f.Name())
+		return ProfileEntry{}, err
+	}
+	st, _ := f.Stat()
+	var size int64
+	if st != nil {
+		size = st.Size()
+	}
+	return ProfileEntry{File: name, Kind: "heap", Reason: reason, Start: start, Bytes: size}, nil
+}
+
+// push appends a ring entry and deletes the files that fall off the tail.
+func (p *Profiler) push(e ProfileEntry) {
+	p.mu.Lock()
+	p.ring = append(p.ring, e)
+	var evicted []string
+	for len(p.ring) > p.keep {
+		evicted = append(evicted, p.ring[0].File)
+		p.ring = p.ring[1:]
+	}
+	p.mu.Unlock()
+	for _, f := range evicted {
+		os.Remove(filepath.Join(p.dir, f))
+	}
+}
+
+// Ring returns the current manifest, oldest first.
+func (p *Profiler) Ring() []ProfileEntry {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]ProfileEntry(nil), p.ring...)
+}
+
+// Handler serves the ring: GET → JSON manifest; GET ?file=<name> → the
+// raw profile, only for names present in the manifest (no path traversal).
+func (p *Profiler) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if name := r.URL.Query().Get("file"); name != "" {
+			for _, e := range p.Ring() {
+				if e.File == name {
+					w.Header().Set("Content-Type", "application/octet-stream")
+					http.ServeFile(w, r, filepath.Join(p.dir, name))
+					return
+				}
+			}
+			http.Error(w, "profile not in ring", http.StatusNotFound)
+			return
+		}
+		ring := p.Ring()
+		if ring == nil {
+			ring = []ProfileEntry{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(ring)
+	})
+}

@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+)
+
+func TestProfilerRingBounded(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewProfiler(dir, 4, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ { // 4 captures × 2 kinds = 8 entries, keep 4
+		if err := p.Capture("cadence"); err != nil {
+			t.Fatalf("capture %d: %v", i, err)
+		}
+	}
+	ring := p.Ring()
+	if len(ring) != 4 {
+		t.Fatalf("ring holds %d entries, want 4", len(ring))
+	}
+	// On-disk files match the manifest exactly: evicted profiles deleted.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk := map[string]bool{}
+	for _, e := range ents {
+		onDisk[e.Name()] = true
+	}
+	if len(onDisk) != len(ring) {
+		t.Fatalf("%d files on disk, %d in ring", len(onDisk), len(ring))
+	}
+	for _, e := range ring {
+		if !onDisk[e.File] {
+			t.Errorf("ring entry %s missing on disk", e.File)
+		}
+		if e.Bytes <= 0 {
+			t.Errorf("entry %s has %d bytes", e.File, e.Bytes)
+		}
+		if e.Kind != "cpu" && e.Kind != "heap" {
+			t.Errorf("entry kind %q", e.Kind)
+		}
+	}
+}
+
+func TestProfilerHandler(t *testing.T) {
+	p, err := NewProfiler(t.TempDir(), 8, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Capture("slo-burn"); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	p.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/prof/ring", nil))
+	var ring []ProfileEntry
+	if err := json.Unmarshal(rec.Body.Bytes(), &ring); err != nil {
+		t.Fatalf("manifest JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(ring) != 2 || ring[0].Reason != "slo-burn" {
+		t.Fatalf("manifest = %+v", ring)
+	}
+
+	rec = httptest.NewRecorder()
+	p.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/prof/ring?file="+ring[1].File, nil))
+	if rec.Code != 200 || rec.Body.Len() == 0 {
+		t.Errorf("profile download: status %d, %d bytes", rec.Code, rec.Body.Len())
+	}
+	// Only ring members are servable — no traversal.
+	rec = httptest.NewRecorder()
+	p.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/prof/ring?file=../../etc/passwd", nil))
+	if rec.Code != 404 {
+		t.Errorf("traversal attempt: status %d, want 404", rec.Code)
+	}
+}
+
+func TestProfilerTriggerCoalesces(t *testing.T) {
+	p, err := NewProfiler(t.TempDir(), 8, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both land without a Run loop: the channel holds one, the second is
+	// dropped, nothing blocks.
+	p.Trigger("burn-1")
+	p.Trigger("burn-2")
+	var nilP *Profiler
+	nilP.Trigger("x")
+	if err := nilP.Capture("x"); err != nil {
+		t.Error("nil profiler capture errored")
+	}
+}

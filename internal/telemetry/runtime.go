@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RuntimeCollector exports Go runtime health as thematicep_runtime_*
+// families: goroutine count, heap occupancy, a GC pause-latency histogram,
+// and the process's open file descriptors (the federation's dominant
+// kernel resource — one FD per peer link plus one per client). It does no
+// background work: every scrape reads runtime counters, folds the GC
+// pauses that completed since the previous scrape into the pause
+// histogram, and counts /proc/self/fd entries (skipped silently on
+// platforms without procfs).
+type RuntimeCollector struct {
+	fdDir string
+
+	mu        sync.Mutex
+	lastNumGC uint32
+	gcPause   *Histogram
+}
+
+// NewRuntimeCollector builds the collector. fdDir overrides the proc fd
+// directory for tests; empty means /proc/self/fd.
+func NewRuntimeCollector(fdDir string) *RuntimeCollector {
+	if fdDir == "" {
+		fdDir = "/proc/self/fd"
+	}
+	return &RuntimeCollector{
+		fdDir: fdDir,
+		gcPause: NewHistogram("thematicep_runtime_gc_pause_seconds",
+			"Stop-the-world GC pause latency.",
+			// GC pauses live well under the default latency buckets'
+			// multi-second tail: 10µs..~40ms in powers of four.
+			[]float64{10e-6, 40e-6, 160e-6, 640e-6, 2.56e-3, 10.24e-3, 40.96e-3}),
+	}
+}
+
+// WriteMetrics emits the runtime families. Safe for concurrent scrapes.
+func (c *RuntimeCollector) WriteMetrics(w io.Writer) {
+	if c == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	c.mu.Lock()
+	// PauseNs is a circular buffer of the last 256 pause durations,
+	// indexed by GC cycle number; fold in only the cycles since the last
+	// scrape so each pause is observed exactly once.
+	n := ms.NumGC - c.lastNumGC
+	if n > uint32(len(ms.PauseNs)) {
+		n = uint32(len(ms.PauseNs))
+	}
+	for i := uint32(0); i < n; i++ {
+		cycle := ms.NumGC - i
+		c.gcPause.ObserveDuration(time.Duration(ms.PauseNs[(cycle+255)%256]))
+	}
+	c.lastNumGC = ms.NumGC
+	c.mu.Unlock()
+
+	header(w, "thematicep_runtime_goroutines", "gauge", "Live goroutines.")
+	fmt.Fprintf(w, "thematicep_runtime_goroutines %d\n", runtime.NumGoroutine())
+	header(w, "thematicep_runtime_heap_inuse_bytes", "gauge", "Bytes in in-use heap spans.")
+	fmt.Fprintf(w, "thematicep_runtime_heap_inuse_bytes %d\n", ms.HeapInuse)
+	header(w, "thematicep_runtime_heap_objects", "gauge", "Live heap objects.")
+	fmt.Fprintf(w, "thematicep_runtime_heap_objects %d\n", ms.HeapObjects)
+	header(w, "thematicep_runtime_gc_total", "counter", "Completed GC cycles.")
+	fmt.Fprintf(w, "thematicep_runtime_gc_total %d\n", ms.NumGC)
+	c.gcPause.WriteMetrics(w)
+
+	if ents, err := os.ReadDir(c.fdDir); err == nil {
+		header(w, "thematicep_runtime_open_fds", "gauge", "Open file descriptors.")
+		fmt.Fprintf(w, "thematicep_runtime_open_fds %d\n", len(ents))
+	}
+}

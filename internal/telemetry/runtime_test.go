@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeCollector(t *testing.T) {
+	c := NewRuntimeCollector(t.TempDir()) // any readable dir stands in for /proc/self/fd
+	runtime.GC()                          // guarantee at least one pause to fold in
+	var buf bytes.Buffer
+	c.WriteMetrics(NewExpo(&buf))
+	if err := Lint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("runtime exposition fails lint: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"thematicep_runtime_goroutines ",
+		"thematicep_runtime_heap_inuse_bytes ",
+		"thematicep_runtime_gc_total ",
+		"thematicep_runtime_gc_pause_seconds_count ",
+		"thematicep_runtime_open_fds 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// GC pauses fold in exactly once per cycle: with no new GC between
+	// scrapes, the pause count must not grow.
+	var a bytes.Buffer
+	c.WriteMetrics(NewExpo(&a))
+	countOf := func(body string) string {
+		for _, line := range strings.Split(body, "\n") {
+			if strings.HasPrefix(line, "thematicep_runtime_gc_pause_seconds_count") {
+				return line
+			}
+		}
+		return ""
+	}
+	runtime.GC()
+	var b bytes.Buffer
+	c.WriteMetrics(NewExpo(&b))
+	if countOf(a.String()) == "" || countOf(a.String()) == countOf(b.String()) {
+		t.Errorf("pause count did not advance across a GC: %q vs %q",
+			countOf(a.String()), countOf(b.String()))
+	}
+
+	// A missing fd dir drops the gauge instead of failing the scrape.
+	c2 := NewRuntimeCollector("/nonexistent/fd/dir")
+	var buf2 bytes.Buffer
+	c2.WriteMetrics(NewExpo(&buf2))
+	if strings.Contains(buf2.String(), "open_fds") {
+		t.Error("open_fds emitted despite unreadable fd dir")
+	}
+	if err := Lint(bytes.NewReader(buf2.Bytes())); err != nil {
+		t.Fatalf("lint without fd gauge: %v", err)
+	}
+
+	var nilC *RuntimeCollector
+	var buf3 bytes.Buffer
+	nilC.WriteMetrics(&buf3)
+	if buf3.Len() != 0 {
+		t.Error("nil collector wrote metrics")
+	}
+}

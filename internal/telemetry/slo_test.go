@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func newTestSLO(clk Clock) *SLO {
+	// 1h window → 1m slots, 5m short window; objective 99% under 10ms.
+	return NewSLO("delivery", 0.99, 10*time.Millisecond,
+		WithSLOClock(clk), WithSLOWindow(time.Hour))
+}
+
+func TestSLOGreenUnderObjective(t *testing.T) {
+	clk := NewManual(time.Unix(10000, 0))
+	s := newTestSLO(clk)
+	for i := 0; i < 1000; i++ {
+		s.Observe(time.Millisecond)
+		clk.Advance(time.Second)
+	}
+	if got := s.Status(); got != SLOGreen {
+		t.Errorf("all-good stream status = %s, want green", got)
+	}
+	if br := s.BurnRate(s.LongWindow()); br != 0 {
+		t.Errorf("burn rate = %g, want 0", br)
+	}
+}
+
+func TestSLOBurnEscalates(t *testing.T) {
+	clk := NewManual(time.Unix(10000, 0))
+	s := newTestSLO(clk)
+	// 100% bad → burn = 1/0.01 = 100× on both windows → red.
+	for i := 0; i < 600; i++ {
+		s.Observe(time.Second)
+		clk.Advance(time.Second)
+	}
+	if br := s.BurnRate(s.ShortWindow()); br < 99 || br > 101 {
+		t.Errorf("short burn = %g, want ~100", br)
+	}
+	if got := s.Status(); got != SLORed {
+		t.Errorf("saturated-bad status = %s, want red", got)
+	}
+
+	// ~8% bad → burn 8×: warn but not page.
+	clk2 := NewManual(time.Unix(10000, 0))
+	s2 := newTestSLO(clk2)
+	for i := 0; i < 1200; i++ {
+		if i%12 == 0 {
+			s2.Observe(time.Second)
+		} else {
+			s2.Observe(time.Millisecond)
+		}
+		clk2.Advance(time.Second / 2)
+	}
+	if got := s2.Status(); got != SLOYellow {
+		t.Errorf("8%%-bad status = %s (long burn %g short %g), want yellow",
+			got, s2.BurnRate(s2.LongWindow()), s2.BurnRate(s2.ShortWindow()))
+	}
+}
+
+func TestSLOShortWindowRecovers(t *testing.T) {
+	clk := NewManual(time.Unix(10000, 0))
+	s := newTestSLO(clk)
+	// A burst of bad, then a long good stretch: the short window drains,
+	// so the status must drop out of red even while the long window still
+	// remembers the burst.
+	for i := 0; i < 300; i++ {
+		s.Observe(time.Second)
+		clk.Advance(time.Second)
+	}
+	for i := 0; i < 900; i++ {
+		s.Observe(time.Millisecond)
+		clk.Advance(time.Second)
+	}
+	if short := s.BurnRate(s.ShortWindow()); short != 0 {
+		t.Errorf("short burn after recovery = %g, want 0", short)
+	}
+	if long := s.BurnRate(s.LongWindow()); long == 0 {
+		t.Error("long burn forgot the burst inside its window")
+	}
+	if got := s.Status(); got != SLOGreen {
+		t.Errorf("recovered status = %s, want green", got)
+	}
+}
+
+func TestSLOWindowExpiry(t *testing.T) {
+	clk := NewManual(time.Unix(10000, 0))
+	s := newTestSLO(clk)
+	s.ObserveN(time.Second, 50)
+	// Jump past the whole window: everything expires.
+	clk.Advance(2 * time.Hour)
+	s.Observe(time.Millisecond)
+	if br := s.BurnRate(s.LongWindow()); br != 0 {
+		t.Errorf("burn after window expiry = %g, want 0", br)
+	}
+}
+
+func TestSLONilSafe(t *testing.T) {
+	var s *SLO
+	s.Observe(time.Second)
+	s.ObserveN(time.Second, 10)
+	if s.BurnRate(time.Hour) != 0 || s.Status() != SLOGreen || s.Name() != "" {
+		t.Error("nil SLO not inert")
+	}
+	var buf bytes.Buffer
+	s.WriteMetrics(&buf)
+	if buf.Len() != 0 {
+		t.Error("nil SLO wrote metrics")
+	}
+}
+
+func TestSLOWriteMetricsLints(t *testing.T) {
+	clk := NewManual(time.Unix(10000, 0))
+	s := newTestSLO(clk)
+	cep := NewSLO("detection", 0.95, 100*time.Millisecond,
+		WithSLOClock(clk), WithSLOWindow(time.Hour))
+	for i := 0; i < 100; i++ {
+		s.Observe(time.Millisecond)
+		cep.Observe(time.Second)
+		clk.Advance(time.Second)
+	}
+	var buf bytes.Buffer
+	e := NewExpo(&buf)
+	s.WriteMetrics(e)
+	cep.WriteMetrics(e)
+	if err := Lint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("SLO exposition fails lint: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`thematicep_slo_objective{slo="delivery"} 0.99`,
+		`thematicep_slo_burn_rate{slo="delivery",window="short"}`,
+		`thematicep_slo_burn_rate{slo="detection",window="long"}`,
+		`thematicep_slo_status{slo="detection"} 2`,
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func BenchmarkSLOObserve(b *testing.B) {
+	s := NewSLO("bench", 0.99, 10*time.Millisecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Observe(time.Millisecond)
+	}
+}

@@ -171,6 +171,175 @@ func TestTracerSlogSink(t *testing.T) {
 	}
 }
 
+// Regression: a late span for an evicted trace must be dropped, never
+// attached to a newer trace that reuses the same event ID, and eviction
+// must remove the whole trace atomically (ring entry + every index key).
+func TestTracerEvictionAtomic(t *testing.T) {
+	clk := NewManual(time.Unix(1000, 0))
+	tr := NewTracer(1, WithClock(clk), WithRingSize(2))
+
+	a := tr.Start("ev-old")
+	clk.Advance(time.Millisecond)
+	a.Finish()
+	hop := clk.Now()
+
+	// Overflow the ring so ev-old is evicted.
+	for i := 0; i < 3; i++ {
+		tr.Start(fmt.Sprintf("fill-%d", i)).Finish()
+	}
+	if tr.AppendSpan("ev-old", "forward:late", hop, time.Millisecond) {
+		t.Fatal("late span attached to an evicted trace")
+	}
+	for _, got := range tr.Recent() {
+		for _, s := range got.Spans {
+			if s.Stage == "forward:late" {
+				t.Fatalf("evicted trace's late span leaked into %q", got.EventID)
+			}
+		}
+	}
+
+	// A batch trace spanning several event IDs is evicted wholesale: no
+	// member ID remains attachable.
+	b := tr.StartBatchAt([]string{"b-1", "b-2", "b-3"}, clk.Now())
+	b.Finish()
+	for i := 0; i < 2; i++ {
+		tr.Start(fmt.Sprintf("fill2-%d", i)).Finish()
+	}
+	for _, id := range []string{"b-1", "b-2", "b-3"} {
+		if tr.AppendSpan(id, "forward:late", clk.Now(), time.Millisecond) {
+			t.Fatalf("member %s of an evicted batch trace still attachable", id)
+		}
+	}
+
+	// A newer trace reusing an evicted event ID owns the index entry; the
+	// older trace (if still ringed) must not receive its spans.
+	tr2 := NewTracer(1, WithRingSize(4))
+	tr2.Start("dup").Finish()
+	tr2.Start("dup").Finish()
+	if !tr2.AppendSpan("dup", "hop", time.Now(), time.Millisecond) {
+		t.Fatal("live trace rejected a late span")
+	}
+	recent := tr2.Recent()
+	if len(recent[0].Spans) != 1 || len(recent[1].Spans) != 0 {
+		t.Fatalf("late span went to the wrong dup trace: newest=%d oldest=%d spans",
+			len(recent[0].Spans), len(recent[1].Spans))
+	}
+}
+
+func TestTracerAdoptContinuesTrace(t *testing.T) {
+	// every=1<<30: nothing samples organically, only adoption forces it.
+	tr := NewTracer(1<<30, WithNode("node-b"))
+	tr.Start("warm").Finish() // consume the first-event sample
+	if tr.Start("organic") != nil {
+		t.Fatal("tracer sampled organically with a huge interval")
+	}
+	tr.Adopt("ev-f", &TraceContext{TraceID: "node-a.1.2", Parent: "node-a", Sampled: true})
+	a := tr.Start("ev-f")
+	if a == nil {
+		t.Fatal("adopted event was not sampled")
+	}
+	a.Finish()
+	got := tr.Recent()[0]
+	if got.TraceID != "node-a.1.2" || got.Parent != "node-a" || got.Node != "node-b" {
+		t.Errorf("adopted trace = %+v, want trace node-a.1.2 parent node-a node node-b", got)
+	}
+	// Adoption is one-shot.
+	if tr.Start("ev-f") != nil {
+		t.Error("adoption was not consumed")
+	}
+	// Unsampled contexts are ignored.
+	tr.Adopt("ev-g", &TraceContext{TraceID: "x", Sampled: false})
+	if tr.Start("ev-g") != nil {
+		t.Error("unsampled context forced sampling")
+	}
+}
+
+func TestTracerContextFor(t *testing.T) {
+	tr := NewTracer(1, WithNode("node-a"))
+	a := tr.Start("ev-1")
+	a.Finish()
+	tc, ok := tr.ContextFor("ev-1")
+	if !ok || !tc.Sampled || tc.Parent != "node-a" || tc.TraceID == "" {
+		t.Fatalf("ContextFor = %+v %v", tc, ok)
+	}
+	if tc.TraceID != tr.Recent()[0].TraceID {
+		t.Error("context trace ID does not match the recorded trace")
+	}
+	if _, ok := tr.ContextFor("ev-missing"); ok {
+		t.Error("ContextFor matched a nonexistent event")
+	}
+	// An in-flight ActiveTrace exposes the same context before Finish.
+	b := tr.Start("ev-2")
+	if c := b.Context(); !c.Sampled || c.Parent != "node-a" || c.TraceID == "" {
+		t.Errorf("ActiveTrace.Context = %+v", c)
+	}
+	b.Finish()
+	var nilActive *ActiveTrace
+	if c := nilActive.Context(); c.Sampled {
+		t.Error("nil ActiveTrace context is sampled")
+	}
+}
+
+func TestTracerBatchTrace(t *testing.T) {
+	clk := NewManual(time.Unix(1000, 0))
+	tr := NewTracer(1, WithClock(clk), WithNode("n1"))
+	ids := []string{"e1", "e2", "e3"}
+	a := tr.StartBatchAt(ids, clk.Now())
+	if a == nil {
+		t.Fatal("batch not sampled with every=1")
+	}
+	s := clk.Now()
+	clk.Advance(2 * time.Millisecond)
+	a.AddSpan("score", s)
+	a.Finish()
+
+	got := tr.Recent()[0]
+	if got.EventID != "e1" || len(got.Events) != 3 {
+		t.Fatalf("batch trace = %+v", got)
+	}
+	// Every member resolves to the same trace for late spans and context.
+	for _, id := range ids {
+		if !tr.AppendSpan(id, "forward:"+id, clk.Now(), time.Millisecond) {
+			t.Errorf("member %s not attachable", id)
+		}
+		if _, ok := tr.ContextFor(id); !ok {
+			t.Errorf("member %s has no context", id)
+		}
+	}
+	if got := tr.Recent()[0]; len(got.Spans) != 4 {
+		t.Errorf("batch has %d spans, want 4", len(got.Spans))
+	}
+
+	// Batch adoption keys on the first member.
+	tr2 := NewTracer(1<<30, WithNode("n2"))
+	tr2.StartBatchAt([]string{"warm"}, clk.Now()).Finish()
+	tr2.Adopt("e1", &TraceContext{TraceID: "n1.1.1", Parent: "n1", Sampled: true})
+	b := tr2.StartBatchAt(ids, clk.Now())
+	if b == nil {
+		t.Fatal("adopted batch not sampled")
+	}
+	b.Finish()
+	if got := tr2.Recent()[0]; got.TraceID != "n1.1.1" || got.Parent != "n1" {
+		t.Errorf("adopted batch trace = %+v", got)
+	}
+	if tr.StartBatchAt(nil, clk.Now()) != nil {
+		t.Error("empty batch produced a trace")
+	}
+}
+
+func TestTracerAdoptBounded(t *testing.T) {
+	tr := NewTracer(1 << 30)
+	for i := 0; i < adoptLimit+10; i++ {
+		tr.Adopt(fmt.Sprintf("ev-%d", i), &TraceContext{TraceID: "t", Sampled: true})
+	}
+	tr.mu.Lock()
+	n := len(tr.adopted)
+	tr.mu.Unlock()
+	if n > adoptLimit {
+		t.Errorf("adoption map grew to %d, limit %d", n, adoptLimit)
+	}
+}
+
 func TestManualClock(t *testing.T) {
 	clk := NewManual(time.Unix(42, 0))
 	t0 := clk.Now()
