@@ -41,6 +41,7 @@ import (
 	"thematicep/internal/semantics"
 	"thematicep/internal/telemetry"
 	"thematicep/internal/vocab"
+	"thematicep/internal/wal"
 )
 
 func main() {
@@ -61,7 +62,12 @@ func run(args []string) error {
 		seed      = fs.Int64("seed", 42, "corpus generation seed")
 		indexPath = fs.String("index", "", "index cache file: loaded when present, written after indexing")
 		metrics   = fs.String("metrics", "", "optional HTTP address serving /metrics (Prometheus text format)")
-		peers     = fs.String("peers", "", "comma-separated peer broker addresses (enables theme-sharded federation)")
+		peers     = fs.String("peers", "", "comma-separated peer broker addresses, kept as static seed links for the gossiped membership (enables theme-sharded federation)")
+		seeds     = fs.String("seeds", "", "comma-separated seed broker addresses to join an existing federation through gossip (enables federation; the rest of the membership is discovered)")
+		suspectT  = fs.Duration("suspect-timeout", 10*time.Second, "membership: how long an unreachable member stays suspect before it is declared dead and its shards rebalance")
+		dataDir   = fs.String("data-dir", "", "durable state directory: subscription/query registrations are journaled (WAL + snapshot) and replayed on restart (empty disables durability)")
+		fsyncPol  = fs.String("fsync", "always", "with -data-dir: WAL fsync policy — always, never, or a flush interval like 100ms")
+		walSnap   = fs.Int("wal-snapshot", 4096, "with -data-dir: snapshot and truncate the WAL after this many appended records")
 		advertise = fs.String("advertise", "", "address peers dial for this broker (shard identity; defaults to -addr)")
 		parallel  = fs.Int("match-parallelism", 0, "matching worker pool size per publish (0 = GOMAXPROCS, 1 = serial)")
 		pruning   = fs.Bool("pruning", true, "prune per-publish candidates via the subscription index (recall-preserving)")
@@ -88,6 +94,31 @@ func run(args []string) error {
 		self = *addr
 	}
 
+	// Open the durability layer first: the WAL replays under the previous
+	// run's registrations so they can be re-registered before the listener
+	// accepts traffic, and the broker journals through it from its first
+	// subscribe.
+	var wlog *wal.Log
+	var recovered wal.State
+	if *dataDir != "" {
+		pol, err := wal.ParseFsyncPolicy(*fsyncPol)
+		if err != nil {
+			return err
+		}
+		wlog, recovered, err = wal.Open(*dataDir, wal.Options{Fsync: pol, SnapshotEvery: *walSnap})
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		defer wlog.Close()
+		ws := wlog.Stats()
+		fmt.Fprintf(os.Stderr, "wal: %s replayed %d record(s) (%d subscription(s), %d query(ies))",
+			*dataDir, ws.Replayed, len(recovered.Subs), len(recovered.Queries))
+		if ws.Truncated > 0 {
+			fmt.Fprintf(os.Stderr, "; truncated %d byte(s) of torn tail", ws.Truncated)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+
 	ix, err := loadOrBuildIndex(*indexPath, *seed)
 	if err != nil {
 		return err
@@ -110,6 +141,9 @@ func run(args []string) error {
 	if *shedMark > 0 {
 		opts = append(opts, broker.WithShedWatermark(*shedMark))
 	}
+	if wlog != nil {
+		opts = append(opts, broker.WithJournal(wlog))
+	}
 	var deliverySLO, detectionSLO *telemetry.SLO
 	if *sloT > 0 {
 		deliverySLO = telemetry.NewSLO("delivery", *sloObj, *sloT)
@@ -130,16 +164,25 @@ func run(args []string) error {
 	srv := broker.NewServer(b)
 	srv.SetMaxBatch(*maxBatch)
 
-	var node *cluster.Node
-	var collectors []broker.Collector
-	if *peers != "" {
-		var peerList []string
-		for _, p := range strings.Split(*peers, ",") {
+	splitAddrs := func(s string) []string {
+		var out []string
+		for _, p := range strings.Split(s, ",") {
 			if p = strings.TrimSpace(p); p != "" {
-				peerList = append(peerList, p)
+				out = append(out, p)
 			}
 		}
-		ccfg := cluster.Config{Self: self, Peers: peerList, MetricsAddr: *metrics}
+		return out
+	}
+	var node *cluster.Node
+	var collectors []broker.Collector
+	if *peers != "" || *seeds != "" {
+		ccfg := cluster.Config{
+			Self:           self,
+			Peers:          splitAddrs(*peers),
+			Seeds:          splitAddrs(*seeds),
+			SuspectTimeout: *suspectT,
+			MetricsAddr:    *metrics,
+		}
 		if *chaos != "" {
 			fcfg, err := faultinject.ParseSpec(*chaos)
 			if err != nil {
@@ -168,15 +211,52 @@ func run(args []string) error {
 	if node != nil {
 		backend = node
 	}
-	eng := query.New(backend,
+	qopts := []query.Option{
 		query.WithFlushInterval(*queryTick),
 		query.WithTracer(b.Tracer()),
 		query.WithDetectionSLO(detectionSLO),
-	)
+	}
+	if wlog != nil {
+		qopts = append(qopts, query.WithJournal(wlog))
+	}
+	eng := query.New(backend, qopts...)
 	defer eng.Close()
 	srv.SetQueryRegistrar(eng)
 	b.OnDrain(eng.Drain)
 	collectors = append(collectors, eng)
+
+	// Recovery: re-register everything the WAL says we hosted, parked for
+	// adoption by reconnecting clients, before the listener accepts traffic
+	// — a crashed broker serves its pre-crash registrations (matching,
+	// federation handoff, CEP windows) without anyone re-subscribing.
+	if wlog != nil {
+		rec := broker.NewRecovered()
+		for id, sub := range recovered.Subs {
+			h, err := backend.SubscribeHandle(sub)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wal: re-register subscription %s: %v\n", id, err)
+				continue
+			}
+			rec.ParkSub(h)
+		}
+		for name, spec := range recovered.Queries {
+			q, err := eng.Register(spec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wal: re-register query %s: %v\n", name, err)
+				continue
+			}
+			rec.ParkQuery(q)
+		}
+		srv.SetRecovered(rec)
+		// Collapse the re-registration appends back into one snapshot.
+		if err := wlog.Snapshot(); err != nil {
+			return fmt.Errorf("wal: snapshot after recovery: %w", err)
+		}
+		collectors = append(collectors, wlog)
+		if subs, queries := rec.Counts(); subs+queries > 0 {
+			fmt.Fprintf(os.Stderr, "wal: serving %d recovered subscription(s) and %d query(ies), awaiting client re-attach\n", subs, queries)
+		}
+	}
 
 	bound, err := srv.Listen(*addr)
 	if err != nil {
@@ -188,7 +268,8 @@ func run(args []string) error {
 	if node != nil {
 		node.Start()
 		defer node.Close()
-		fmt.Fprintf(os.Stderr, "federation: shard %s peering with %s\n", node.ID(), *peers)
+		fmt.Fprintf(os.Stderr, "federation: shard %s (peers=%s seeds=%s suspect-timeout=%s)\n",
+			node.ID(), *peers, *seeds, *suspectT)
 	}
 
 	// Continuous profiling: a bounded on-disk ring of CPU/heap captures,
@@ -269,6 +350,18 @@ func run(args []string) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+
+	// Freeze the durable state at the moment shutdown begins: snapshot the
+	// live registrations, then seal the log so the teardown's unsubscribe
+	// storm (every connection closing) cannot erase registrations a restart
+	// must recover. Clients connected right now expect to find their
+	// subscriptions after a rolling restart.
+	if wlog != nil {
+		if err := wlog.Snapshot(); err != nil {
+			fmt.Fprintf(os.Stderr, "wal: shutdown snapshot: %v\n", err)
+		}
+		wlog.Seal()
+	}
 
 	// Graceful drain: refuse new publishes, flush what subscribers already
 	// have queued, then close — bounded by -drain-timeout so a stuck

@@ -169,6 +169,7 @@ func runSubscribe(args []string) error {
 	fs := flag.NewFlagSet("subscribe", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7070", "broker address")
 	replay := fs.Bool("replay", false, "replay buffered past events first")
+	subID := fs.String("id", "", "subscription ID to register under; after a broker restart with -data-dir, re-subscribing with the old ID adopts the recovered registration")
 	timeout := fs.Duration("timeout", 0, "timeout for dial and the subscribe handshake; deliveries still stream indefinitely (0 = wait forever)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -180,6 +181,7 @@ func runSubscribe(args []string) error {
 	if err != nil {
 		return err
 	}
+	sub.ID = *subID
 	// A clustered broker redirects subscriptions whose theme shard it does
 	// not own; follow the redirect to the owning broker (bounded hops in
 	// case of a misconfigured ring).

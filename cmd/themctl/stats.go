@@ -86,37 +86,49 @@ type nodeScrape struct {
 }
 
 // scrapeCluster discovers the federation and scrapes every member with a
-// known metrics address. Unreachable members are reported and skipped — a
-// partial cluster view beats no view during an incident.
-func scrapeCluster(base string, lint bool, timeout time.Duration) ([]nodeScrape, error) {
+// known metrics address. Unreachable members come back in the second return
+// as "node: reason" lines instead of failing the scrape — a partial cluster
+// view beats no view during an incident, and the caller renders the holes in
+// the report itself so a missing member is visible in the output a human (or
+// CI) actually reads, not just on stderr. The error return fires only when
+// no member at all could be scraped.
+func scrapeCluster(base string, lint bool, timeout time.Duration) ([]nodeScrape, []string, error) {
 	peers := discoverPeers(base, timeout)
 	var scrapes []nodeScrape
+	var down []string
+	skip := func(p peerInfo, reason string) {
+		if p.State != "" && p.State != "alive" {
+			reason = fmt.Sprintf("%s (membership says %s)", reason, p.State)
+		}
+		down = append(down, fmt.Sprintf("%s: %s", p.Node, reason))
+	}
 	for _, p := range peers {
 		mb := metricsBase(p)
 		if mb == "" {
-			fmt.Fprintf(os.Stderr, "stats: %s advertises no metrics address, skipping\n", p.Node)
+			skip(p, "no metrics address advertised")
 			continue
 		}
 		body, err := httpGet(mb+"/metrics", timeout)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "stats: skipping %s: %v\n", p.Node, err)
+			skip(p, err.Error())
 			continue
 		}
 		if lint {
 			if err := telemetry.Lint(bytes.NewReader(body)); err != nil {
-				return nil, fmt.Errorf("exposition lint (%s): %w", p.Node, err)
+				return nil, down, fmt.Errorf("exposition lint (%s): %w", p.Node, err)
 			}
 		}
 		fams, err := telemetry.ParseExposition(bytes.NewReader(body))
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.Node, err)
+			skip(p, fmt.Sprintf("bad exposition: %v", err))
+			continue
 		}
 		scrapes = append(scrapes, nodeScrape{node: p.Node, fams: fams})
 	}
 	if len(scrapes) == 0 {
-		return nil, fmt.Errorf("no reachable /metrics endpoint among %d directory entries", len(peers))
+		return nil, down, fmt.Errorf("no reachable /metrics endpoint among %d directory entries", len(peers))
 	}
-	return scrapes, nil
+	return scrapes, down, nil
 }
 
 // clusterStats merges every member's families (histograms bucket-wise,
@@ -124,8 +136,11 @@ func scrapeCluster(base string, lint bool, timeout time.Duration) ([]nodeScrape,
 // stream) and prints the cluster summary plus per-node breakdowns for the
 // publish path and the SLOs.
 func clusterStats(base string, lint bool, timeout time.Duration) error {
-	scrapes, err := scrapeCluster(base, lint, timeout)
+	scrapes, down, err := scrapeCluster(base, lint, timeout)
 	if err != nil {
+		for _, d := range down {
+			fmt.Fprintf(os.Stderr, "stats: %s\n", d)
+		}
 		return fmt.Errorf("stats: %w", err)
 	}
 	sets := make([][]*telemetry.Family, len(scrapes))
@@ -133,11 +148,27 @@ func clusterStats(base string, lint bool, timeout time.Duration) error {
 	for i, s := range scrapes {
 		sets[i], names[i] = s.fams, s.node
 	}
+	// Membership metrics are each node's VIEW of the ring: summing views
+	// triple-counts a healthy 3-node cluster and hides the one signal that
+	// matters — members disagreeing. Exclude them from the merge and render
+	// them per node below.
+	for i := range sets {
+		filtered := make([]*telemetry.Family, 0, len(sets[i]))
+		for _, f := range sets[i] {
+			if !membershipFamily(f.Name) {
+				filtered = append(filtered, f)
+			}
+		}
+		sets[i] = filtered
+	}
 	merged, err := telemetry.MergeFamilies(sets...)
 	if err != nil {
 		return fmt.Errorf("stats: merge: %w", err)
 	}
 	fmt.Printf("cluster: %d node(s) merged (%s)\n", len(scrapes), strings.Join(names, ", "))
+	for _, d := range down {
+		fmt.Printf("  unreachable: %s\n", d)
+	}
 	summarize(merged)
 
 	fmt.Println("per-node publish latency (p50 / p95 / p99 / count):")
@@ -153,12 +184,59 @@ func clusterStats(base string, lint bool, timeout time.Duration) error {
 		}
 		fmt.Printf("  %-24s %s\n", s.node, line)
 	}
+	// Membership, like SLO status, is a per-node judgment: a partition shows
+	// up as members whose ring views disagree, which a merged total erases.
+	header := false
+	for _, s := range scrapes {
+		byName := familyIndex(s.fams)
+		f := byName["thematicep_cluster_members"]
+		if f == nil || len(f.Samples) == 0 {
+			continue
+		}
+		if !header {
+			fmt.Println("per-node membership view (alive / suspect / dead; joins / leaves / suspicions):")
+			header = true
+		}
+		byState := map[string]float64{}
+		for _, smp := range f.Samples {
+			byState[smp.Labels["state"]] += smp.Value
+		}
+		churn := func(name string) float64 {
+			cf := byName[name]
+			if cf == nil {
+				return 0
+			}
+			v := 0.0
+			for _, smp := range cf.Samples {
+				v += smp.Value
+			}
+			return v
+		}
+		fmt.Printf("  %-24s %.0f / %.0f / %.0f; %.0f / %.0f / %.0f\n", s.node,
+			byState["alive"], byState["suspect"], byState["dead"],
+			churn("thematicep_cluster_member_join_total"),
+			churn("thematicep_cluster_member_leave_total"),
+			churn("thematicep_cluster_member_suspect_total"))
+	}
 	// SLO status is a per-node judgment (a red member must not hide inside
 	// a cluster-wide average), so the burn lines print per member.
 	for _, s := range scrapes {
 		printSLO(familyIndex(s.fams), "  ["+s.node+"] ")
 	}
 	return nil
+}
+
+// membershipFamily reports whether a family is a per-node ring view that
+// must never be summed across members.
+func membershipFamily(name string) bool {
+	switch name {
+	case "thematicep_cluster_members",
+		"thematicep_cluster_member_join_total",
+		"thematicep_cluster_member_leave_total",
+		"thematicep_cluster_member_suspect_total":
+		return true
+	}
+	return false
 }
 
 // watchStats re-scrapes on an interval and prints per-second deltas of the
@@ -172,7 +250,7 @@ func watchStats(base string, cluster bool, interval, timeout time.Duration) erro
 	scrape := func() (snap, error) {
 		var fams []*telemetry.Family
 		if cluster {
-			scrapes, err := scrapeCluster(base, false, timeout)
+			scrapes, _, err := scrapeCluster(base, false, timeout)
 			if err != nil {
 				return snap{}, err
 			}
@@ -398,6 +476,37 @@ func summarize(families []*telemetry.Family) {
 				fmt.Println()
 			}
 		}
+	}
+
+	// Cluster membership: one line for the ring's shape, one for churn.
+	// Suspect or dead counts above zero during steady state mean the gossip
+	// layer is mid-incident even if the pipeline numbers still look fine.
+	if f := byName["thematicep_cluster_members"]; f != nil && len(f.Samples) > 0 {
+		byState := map[string]float64{}
+		total := 0.0
+		for _, s := range f.Samples {
+			byState[s.Labels["state"]] += s.Value
+			total += s.Value
+		}
+		fmt.Println("membership:")
+		fmt.Printf("  %-14s %.0f (%.0f alive / %.0f suspect / %.0f dead)\n",
+			"members", total, byState["alive"], byState["suspect"], byState["dead"])
+		fmt.Printf("  %-14s %.0f joins / %.0f leaves / %.0f suspicions\n", "churn",
+			counter("thematicep_cluster_member_join_total"),
+			counter("thematicep_cluster_member_leave_total"),
+			counter("thematicep_cluster_member_suspect_total"))
+	}
+
+	// Subscription durability: WAL activity on the scraped member(s).
+	if appends := counter("thematicep_wal_appends_total"); appends > 0 || counter("thematicep_wal_replayed_records") > 0 {
+		fmt.Println("wal:")
+		fmt.Printf("  %-14s %.0f appends / %.0f snapshots / %.0f fsyncs\n", "activity",
+			appends, counter("thematicep_wal_snapshots_total"), counter("thematicep_wal_fsyncs_total"))
+		fmt.Printf("  %-14s %.0f records", "replayed", counter("thematicep_wal_replayed_records"))
+		if tb := counter("thematicep_wal_truncated_bytes"); tb > 0 {
+			fmt.Printf(" (%.0f torn-tail bytes truncated)", tb)
+		}
+		fmt.Println()
 	}
 
 	// Process runtime health: a slow pipeline with a pinned heap or a

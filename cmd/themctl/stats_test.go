@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeMember serves a minimal /metrics exposition and, when given a
+// directory, /debug/peers — enough for scrapeCluster to treat it as a live
+// federation member.
+func fakeMember(t *testing.T, directory func() []peerInfo) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "# TYPE thematicep_broker_published_total counter\nthematicep_broker_published_total 5\n")
+	})
+	if directory != nil {
+		mux.HandleFunc("/debug/peers", func(w http.ResponseWriter, r *http.Request) {
+			json.NewEncoder(w).Encode(directory())
+		})
+	}
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// deadAddr returns a URL nothing listens on: a server is started to reserve
+// a port and immediately closed.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	srv := httptest.NewServer(http.NotFoundHandler())
+	url := srv.URL
+	srv.Close()
+	return url
+}
+
+// A cluster scrape with unreachable members must still succeed on the
+// reachable ones, returning the holes as report lines rather than failing —
+// that is the whole point of `themctl stats -cluster` during an incident.
+func TestScrapeClusterPartial(t *testing.T) {
+	var dir []peerInfo
+	seedB := fakeMember(t, nil)
+	seedA := fakeMember(t, func() []peerInfo { return dir })
+	dead := deadAddr(t)
+	dir = []peerInfo{
+		{Node: "node-a", Metrics: seedA.URL, Self: true, State: "alive"},
+		{Node: "node-b", Metrics: seedB.URL, State: "alive"},
+		{Node: "node-c", Metrics: dead, State: "dead"},
+		{Node: "node-d", Metrics: "", State: "alive"},
+	}
+
+	scrapes, down, err := scrapeCluster(seedA.URL, false, 2*time.Second)
+	if err != nil {
+		t.Fatalf("scrapeCluster: %v", err)
+	}
+	if len(scrapes) != 2 {
+		t.Fatalf("got %d scrapes, want 2 (a and b)", len(scrapes))
+	}
+	got := map[string]bool{}
+	for _, s := range scrapes {
+		got[s.node] = true
+	}
+	if !got["node-a"] || !got["node-b"] {
+		t.Fatalf("scraped %v, want node-a and node-b", got)
+	}
+	if len(down) != 2 {
+		t.Fatalf("got %d down lines %q, want 2", len(down), down)
+	}
+	joined := strings.Join(down, "\n")
+	if !strings.Contains(joined, "node-c") || !strings.Contains(joined, "membership says dead") {
+		t.Errorf("down lines should name node-c with its membership state, got %q", down)
+	}
+	if !strings.Contains(joined, "node-d") || !strings.Contains(joined, "no metrics address") {
+		t.Errorf("down lines should name node-d as address-less, got %q", down)
+	}
+}
+
+// When no member at all is reachable the scrape must fail loudly instead of
+// printing an empty report.
+func TestScrapeClusterAllDown(t *testing.T) {
+	dead := deadAddr(t)
+	dir := []peerInfo{
+		{Node: "node-a", Metrics: dead, State: "suspect"},
+		{Node: "node-b", Metrics: dead, State: "dead"},
+	}
+	seed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/debug/peers" {
+			json.NewEncoder(w).Encode(dir)
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer seed.Close()
+
+	scrapes, down, err := scrapeCluster(seed.URL, false, 2*time.Second)
+	if err == nil {
+		t.Fatalf("want error when every member is unreachable, got %d scrapes", len(scrapes))
+	}
+	if len(down) != 2 {
+		t.Fatalf("got %d down lines %q, want 2", len(down), down)
+	}
+}
+
+// A daemon without /debug/peers degrades to scraping base itself.
+func TestScrapeClusterSingleNodeFallback(t *testing.T) {
+	solo := fakeMember(t, nil)
+	scrapes, down, err := scrapeCluster(solo.URL, false, 2*time.Second)
+	if err != nil {
+		t.Fatalf("scrapeCluster: %v", err)
+	}
+	if len(scrapes) != 1 || len(down) != 0 {
+		t.Fatalf("got %d scrapes / %d down, want 1 / 0", len(scrapes), len(down))
+	}
+}

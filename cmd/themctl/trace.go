@@ -18,6 +18,7 @@ type peerInfo struct {
 	Node    string `json:"node"`
 	Metrics string `json:"metrics"`
 	Self    bool   `json:"self"`
+	State   string `json:"state"`
 }
 
 // discoverPeers fetches the cluster scrape directory from one member's

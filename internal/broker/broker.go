@@ -230,7 +230,26 @@ type config struct {
 	traceEvery    int
 	traceOpts     []telemetry.TracerOption
 	deliverySLO   *telemetry.SLO
+	journal       Journal
 }
+
+// Journal records durable registration changes (implemented by wal.Log):
+// every non-ephemeral Subscribe and Unsubscribe is appended so a crashed
+// broker can re-register its subscriptions on restart. Hooks are called
+// outside the broker's lock, after the operation has taken effect.
+type Journal interface {
+	Subscribed(id string, sub *event.Subscription)
+	Unsubscribed(id string)
+}
+
+type journalOption struct{ j Journal }
+
+func (o journalOption) apply(c *config) { c.journal = o.j }
+
+// WithJournal installs a registration journal. Registrations marked
+// Ephemeral — federation-internal copies and query feeds, both
+// reconstructed by their owners on restart — bypass it.
+func WithJournal(j Journal) Option { return journalOption{j} }
 
 type thresholdOption float64
 
@@ -450,9 +469,9 @@ func New(m Matcher, opts ...Option) *Broker {
 	}
 	lat := telemetry.LatencyBuckets()
 	b := &Broker{
-		matcher: m,
-		cfg:     cfg,
-		subs:    make(map[string]*Subscriber),
+		matcher:     m,
+		cfg:         cfg,
+		subs:        make(map[string]*Subscriber),
 		pubBufs:     make(chan *pubBatchBuf, pubBufLimit),
 		clock:       cfg.clock,
 		deliverySLO: cfg.deliverySLO,
@@ -502,6 +521,9 @@ type Subscriber struct {
 	ch       chan Delivery
 	broker   *Broker
 
+	// ephemeral registrations bypass the journal (see Ephemeral).
+	ephemeral bool
+
 	mu     sync.Mutex
 	closed bool
 }
@@ -524,7 +546,8 @@ type SubscribeOption interface {
 }
 
 type subConfig struct {
-	replay bool
+	replay    bool
+	ephemeral bool
 }
 
 type replayOption bool
@@ -534,6 +557,18 @@ func (o replayOption) applySub(c *subConfig) { c.replay = bool(o) }
 // WithReplay requests that buffered past events be matched and delivered to
 // the new subscriber before live events (time decoupling).
 func WithReplay(enabled bool) SubscribeOption { return replayOption(enabled) }
+
+type ephemeralOption struct{}
+
+func (ephemeralOption) applySub(c *subConfig) { c.ephemeral = true }
+
+// Ephemeral marks a registration as connection-scoped state that must
+// never reach the registration journal: remote copies hosted for a
+// federation peer (the peer's reconcile loop re-creates them on
+// reconnect) and continuous-query feeds (re-created when the recovered
+// query re-registers). Journaling them would resurrect registrations
+// whose owner is responsible for rebuilding them.
+func Ephemeral() SubscribeOption { return ephemeralOption{} }
 
 // Subscribe registers a subscription. If sub.ID is empty the broker assigns
 // one. The returned Subscriber's channel receives matching deliveries until
@@ -570,11 +605,12 @@ func (b *Broker) Subscribe(sub *event.Subscription, opts ...SubscribeOption) (*S
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateSub, id)
 	}
 	s := &Subscriber{
-		id:       id,
-		sub:      sub,
-		prepared: prep,
-		ch:       make(chan Delivery, b.cfg.queueSize),
-		broker:   b,
+		id:        id,
+		sub:       sub,
+		prepared:  prep,
+		ch:        make(chan Delivery, b.cfg.queueSize),
+		broker:    b,
+		ephemeral: sc.ephemeral,
 	}
 	b.subs[id] = s
 	if b.index != nil {
@@ -587,6 +623,14 @@ func (b *Broker) Subscribe(sub *event.Subscription, opts ...SubscribeOption) (*S
 		backlog = append(backlog, b.replay...)
 	}
 	b.mu.Unlock()
+
+	if b.cfg.journal != nil && !sc.ephemeral {
+		// Journal with the final ID stamped in so a recovered registration
+		// re-registers under the identity the client knows.
+		cp := *sub
+		cp.ID = id
+		b.cfg.journal.Subscribed(id, &cp)
+	}
 
 	// Replay outside the lock: matching may be expensive.
 	for _, e := range backlog {
@@ -620,6 +664,9 @@ func (b *Broker) unsubscribe(id string) {
 			close(s.ch)
 		}
 		s.mu.Unlock()
+		if b.cfg.journal != nil && !s.ephemeral {
+			b.cfg.journal.Unsubscribed(id)
+		}
 	}
 }
 

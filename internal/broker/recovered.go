@@ -1,0 +1,67 @@
+package broker
+
+import "sync"
+
+// Recovered parks the registrations a restarted broker replayed from its
+// WAL: the broker re-registers them before accepting traffic (so matching
+// and federation behave as if nothing happened), and each one waits here
+// for its client to reconnect. A subscribe frame naming a parked
+// subscription ID — or a query frame naming a parked query — adopts the
+// live handle instead of creating a fresh registration, so deliveries
+// buffered while the client was away flow to it on attach.
+type Recovered struct {
+	mu      sync.Mutex
+	subs    map[string]SubHandle
+	queries map[string]QueryHandle
+}
+
+// NewRecovered returns an empty registry.
+func NewRecovered() *Recovered {
+	return &Recovered{
+		subs:    make(map[string]SubHandle),
+		queries: make(map[string]QueryHandle),
+	}
+}
+
+// ParkSub parks a recovered subscription handle for adoption.
+func (r *Recovered) ParkSub(h SubHandle) {
+	r.mu.Lock()
+	r.subs[h.ID()] = h
+	r.mu.Unlock()
+}
+
+// ParkQuery parks a recovered query handle for adoption.
+func (r *Recovered) ParkQuery(q QueryHandle) {
+	r.mu.Lock()
+	r.queries[q.Name()] = q
+	r.mu.Unlock()
+}
+
+// AttachSub removes and returns the parked subscription with the given ID.
+func (r *Recovered) AttachSub(id string) (SubHandle, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.subs[id]
+	if ok {
+		delete(r.subs, id)
+	}
+	return h, ok
+}
+
+// AttachQuery removes and returns the parked query with the given name.
+func (r *Recovered) AttachQuery(name string) (QueryHandle, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	q, ok := r.queries[name]
+	if ok {
+		delete(r.queries, name)
+	}
+	return q, ok
+}
+
+// Counts reports how many registrations are still parked.
+func (r *Recovered) Counts() (subs, queries int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.subs), len(r.queries)
+}

@@ -98,6 +98,7 @@ type Server struct {
 	conns            map[net.Conn]struct{}
 	peerHandler      PeerHandler
 	queries          QueryRegistrar
+	recovered        *Recovered
 	handshakeTimeout time.Duration
 	maxBatch         int
 	wg               sync.WaitGroup
@@ -172,6 +173,21 @@ func (s *Server) getQueryRegistrar() QueryRegistrar {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.queries
+}
+
+// SetRecovered installs the WAL-recovered registration registry: subscribe
+// and query frames naming a parked registration adopt it instead of
+// re-registering. Call before traffic arrives.
+func (s *Server) SetRecovered(r *Recovered) {
+	s.mu.Lock()
+	s.recovered = r
+	s.mu.Unlock()
+}
+
+func (s *Server) getRecovered() *Recovered {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovered
 }
 
 func (s *Server) getBackend() Backend {
@@ -325,6 +341,18 @@ func (s *Server) serveConn(conn net.Conn) {
 			cs.write(&Frame{Type: FrameOK, Count: len(f.Events)})
 
 		case FrameSubscribe:
+			// A reconnecting client that survived our restart adopts its
+			// WAL-recovered registration by ID — before the redirect check,
+			// because the registration already lives on this node.
+			if rec := s.getRecovered(); rec != nil && f.Subscription != nil && f.Subscription.ID != "" {
+				if sub, ok := rec.AttachSub(f.Subscription.ID); ok {
+					cs.subs[sub.ID()] = sub
+					cs.write(&Frame{Type: FrameOK, SubscriptionID: sub.ID()})
+					cs.wg.Add(1)
+					go forwardDeliveries(cs, sub)
+					continue
+				}
+			}
 			be := s.getBackend()
 			if r, ok := be.(SubscribeRedirector); ok {
 				if addr := r.Redirect(f.Subscription); addr != "" {
@@ -357,6 +385,15 @@ func (s *Server) serveConn(conn net.Conn) {
 			if f.Query == nil {
 				cs.write(&Frame{Type: FrameError, Error: "query frame without spec"})
 				continue
+			}
+			if rec := s.getRecovered(); rec != nil && f.Query.Name != "" {
+				if q, ok := rec.AttachQuery(f.Query.Name); ok {
+					cs.queries[q.Name()] = q
+					cs.write(&Frame{Type: FrameOK, QueryName: q.Name()})
+					cs.wg.Add(1)
+					go forwardDetections(cs, q)
+					continue
+				}
 			}
 			// Shard placement: the query's feeding subscription decides the
 			// owner, exactly like a plain subscribe — window state must live

@@ -107,6 +107,23 @@ type Frame struct {
 	// hello frames, so peers can serve a cluster-wide scrape map
 	// (/debug/peers) without extra configuration.
 	MetricsAddr string `json:"metricsAddr,omitempty"`
+	// Members piggybacks the sender's full membership view on hello, ping,
+	// and pong frames: the SWIM-style gossip exchange that keeps every
+	// federation member's ring converging on the same live member set
+	// without a separate gossip transport.
+	Members []MemberInfo `json:"members,omitempty"`
+}
+
+// MemberInfo is one row of the gossiped membership view. State uses the
+// cluster package's encoding: 0 alive, 1 suspect, 2 dead. Incarnation is
+// the member's self-asserted epoch — a member refutes a suspect/dead rumor
+// about itself by re-announcing alive under a higher incarnation, and
+// receivers resolve conflicting rumors by (incarnation, state) precedence.
+type MemberInfo struct {
+	Node        string `json:"node"`
+	Metrics     string `json:"metrics,omitempty"`
+	Incarnation uint64 `json:"inc"`
+	State       uint8  `json:"state,omitempty"`
 }
 
 // QuerySpec defines one continuous query: a named CEP pattern over the

@@ -1,0 +1,276 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"thematicep/internal/broker"
+)
+
+// MemberState is a member's position in the SWIM-style failure-detection
+// lifecycle. Suspect members stay on the ring (a blip should not reshuffle
+// shard ownership); only dead members leave it.
+type MemberState uint8
+
+const (
+	MemberAlive MemberState = iota
+	MemberSuspect
+	MemberDead
+)
+
+func (s MemberState) String() string {
+	switch s {
+	case MemberAlive:
+		return "alive"
+	case MemberSuspect:
+		return "suspect"
+	case MemberDead:
+		return "dead"
+	}
+	return "unknown"
+}
+
+// Member is one row of the membership view.
+type Member struct {
+	Node        string
+	Metrics     string
+	Incarnation uint64
+	State       MemberState
+	// Seed marks a configured bootstrap member: its peer link is kept
+	// dialing even while dead, so a restarted seed is rediscovered without
+	// waiting for it to dial us.
+	Seed bool
+}
+
+type memberEntry struct {
+	Member
+	// since is when State last changed, aging suspects toward dead.
+	since time.Time
+}
+
+// membership is the gossiped member table: this node's view of who is in
+// the federation, in which state, and at which incarnation. All rumors
+// merge under the SWIM precedence rule — a higher incarnation always wins;
+// at equal incarnation the stronger claim (dead > suspect > alive) wins —
+// and a node refutes rumors about itself by bumping its own incarnation.
+type membership struct {
+	self        string
+	selfMetrics string
+
+	mu      sync.Mutex
+	inc     uint64 // this node's incarnation
+	members map[string]*memberEntry
+	version uint64 // bumped on every effective change
+
+	joins    uint64 // members first seen (or revived from dead)
+	leaves   uint64 // transitions to dead
+	suspects uint64 // transitions to suspect
+}
+
+func newMembership(self, metricsAddr string, seeds []string) *membership {
+	m := &membership{
+		self:        self,
+		selfMetrics: metricsAddr,
+		inc:         1,
+		members:     make(map[string]*memberEntry),
+	}
+	for _, addr := range seeds {
+		if addr == "" || addr == self {
+			continue
+		}
+		if _, dup := m.members[addr]; dup {
+			continue
+		}
+		// Seeds start alive at incarnation 0: any claim the member makes
+		// about itself supersedes the bootstrap assumption.
+		m.members[addr] = &memberEntry{Member: Member{Node: addr, Seed: true}}
+		m.joins++
+	}
+	if len(m.members) > 0 {
+		m.version++
+	}
+	return m
+}
+
+// supersedes reports whether a claim (incB, sB) overrides the currently
+// held (incA, sA) for the same member.
+func supersedes(incB uint64, sB MemberState, incA uint64, sA MemberState) bool {
+	if incB != incA {
+		return incB > incA
+	}
+	return sB > sA
+}
+
+// Version returns the view's change counter; callers cache it to detect
+// when the ring needs rebuilding.
+func (m *membership) Version() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.version
+}
+
+// Snapshot returns every known member (self first, then sorted by ID).
+func (m *membership) Snapshot() []Member {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Member, 0, len(m.members)+1)
+	out = append(out, Member{Node: m.self, Metrics: m.selfMetrics, Incarnation: m.inc})
+	rest := make([]Member, 0, len(m.members))
+	for _, e := range m.members {
+		rest = append(rest, e.Member)
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i].Node < rest[j].Node })
+	return append(out, rest...)
+}
+
+// RingMembers returns the IDs that belong on the shard ring: self plus
+// every alive or suspect member. Suspects keep their shards — transient
+// unreachability must not reshuffle ownership — and only confirmed-dead
+// members are removed.
+func (m *membership) RingMembers() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := []string{m.self}
+	for id, e := range m.members {
+		if e.State != MemberDead {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Gossip renders the view (including self, always alive) in wire form for
+// piggybacking on hello/ping/pong frames.
+func (m *membership) Gossip() []broker.MemberInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]broker.MemberInfo, 0, len(m.members)+1)
+	out = append(out, broker.MemberInfo{Node: m.self, Metrics: m.selfMetrics, Incarnation: m.inc})
+	for _, e := range m.members {
+		out = append(out, broker.MemberInfo{
+			Node:        e.Node,
+			Metrics:     e.Metrics,
+			Incarnation: e.Incarnation,
+			State:       uint8(e.State),
+		})
+	}
+	return out
+}
+
+// Merge folds a received gossip payload into the view and reports whether
+// anything effective changed (membership, state, incarnation, or metrics
+// address). Rumors about self in a non-alive state are refuted by bumping
+// our incarnation past the rumor's — the next gossip round re-announces us
+// alive under the higher epoch, which supersedes the rumor everywhere.
+func (m *membership) Merge(infos []broker.MemberInfo, now time.Time) bool {
+	if len(infos) == 0 {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	changed := false
+	for _, in := range infos {
+		if in.Node == "" {
+			continue
+		}
+		st := MemberState(in.State)
+		if st > MemberDead {
+			continue
+		}
+		if in.Node == m.self {
+			if st != MemberAlive && in.Incarnation >= m.inc {
+				m.inc = in.Incarnation + 1
+				changed = true
+			}
+			continue
+		}
+		e := m.members[in.Node]
+		if e == nil {
+			e = &memberEntry{
+				Member: Member{Node: in.Node, Metrics: in.Metrics, Incarnation: in.Incarnation, State: st},
+				since:  now,
+			}
+			m.members[in.Node] = e
+			if st != MemberDead {
+				m.joins++
+			} else {
+				m.leaves++
+			}
+			changed = true
+			continue
+		}
+		if in.Metrics != "" && in.Metrics != e.Metrics {
+			e.Metrics = in.Metrics
+			changed = true
+		}
+		if !supersedes(in.Incarnation, st, e.Incarnation, e.State) {
+			continue
+		}
+		if st != e.State {
+			switch st {
+			case MemberAlive:
+				if e.State == MemberDead {
+					m.joins++
+				}
+			case MemberSuspect:
+				m.suspects++
+			case MemberDead:
+				m.leaves++
+			}
+			e.since = now
+		}
+		e.Incarnation, e.State = in.Incarnation, st
+		changed = true
+	}
+	if changed {
+		m.version++
+	}
+	return changed
+}
+
+// ObserveDown records direct local evidence that a member is unreachable
+// (its circuit breaker opened): an alive member becomes suspect at its
+// current incarnation. The suspect rumor gossips out; if the member is in
+// fact fine it will hear the rumor and refute it.
+func (m *membership) ObserveDown(id string, now time.Time) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.members[id]
+	if e == nil || e.State != MemberAlive {
+		return false
+	}
+	e.State = MemberSuspect
+	e.since = now
+	m.suspects++
+	m.version++
+	return true
+}
+
+// Reap promotes suspects older than timeout to dead. It returns whether
+// any member died (the caller rebuilds the ring and drops non-seed links).
+func (m *membership) Reap(timeout time.Duration, now time.Time) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	changed := false
+	for _, e := range m.members {
+		if e.State == MemberSuspect && now.Sub(e.since) >= timeout {
+			e.State = MemberDead
+			e.since = now
+			m.leaves++
+			changed = true
+		}
+	}
+	if changed {
+		m.version++
+	}
+	return changed
+}
+
+// Counters returns the cumulative join/leave/suspect transition counts.
+func (m *membership) Counters() (joins, leaves, suspects uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.joins, m.leaves, m.suspects
+}

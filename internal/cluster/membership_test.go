@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"thematicep/internal/broker"
+)
+
+func member(m *membership, id string) (Member, bool) {
+	for _, e := range m.Snapshot() {
+		if e.Node == id {
+			return e, true
+		}
+	}
+	return Member{}, false
+}
+
+func TestMembershipSupersedes(t *testing.T) {
+	cases := []struct {
+		incB   uint64
+		sB     MemberState
+		incA   uint64
+		sA     MemberState
+		expect bool
+	}{
+		{2, MemberAlive, 1, MemberDead, true},    // higher incarnation always wins
+		{1, MemberDead, 2, MemberAlive, false},   // even dead loses to a newer epoch
+		{1, MemberSuspect, 1, MemberAlive, true}, // equal epoch: stronger claim wins
+		{1, MemberDead, 1, MemberSuspect, true},
+		{1, MemberAlive, 1, MemberSuspect, false}, // alive cannot refute at the same epoch
+		{1, MemberAlive, 1, MemberAlive, false},   // identical claim is not a change
+	}
+	for _, c := range cases {
+		if got := supersedes(c.incB, c.sB, c.incA, c.sA); got != c.expect {
+			t.Errorf("supersedes(inc%d %v over inc%d %v) = %v, want %v",
+				c.incB, c.sB, c.incA, c.sA, got, c.expect)
+		}
+	}
+}
+
+func TestMembershipMergePrecedence(t *testing.T) {
+	now := time.Now()
+	m := newMembership("self", "", nil)
+
+	// New member joins alive.
+	if !m.Merge([]broker.MemberInfo{{Node: "b", Incarnation: 1}}, now) {
+		t.Fatal("first sighting of b should change the view")
+	}
+	// Suspect rumor at the same incarnation supersedes alive.
+	if !m.Merge([]broker.MemberInfo{{Node: "b", Incarnation: 1, State: uint8(MemberSuspect)}}, now) {
+		t.Fatal("suspect@1 should supersede alive@1")
+	}
+	// A stale alive at the same incarnation does not clear the suspicion...
+	if m.Merge([]broker.MemberInfo{{Node: "b", Incarnation: 1}}, now) {
+		t.Fatal("alive@1 must not supersede suspect@1")
+	}
+	// ...but the member's own refutation at a higher incarnation does.
+	if !m.Merge([]broker.MemberInfo{{Node: "b", Incarnation: 2}}, now) {
+		t.Fatal("alive@2 should refute suspect@1")
+	}
+	if got, _ := member(m, "b"); got.State != MemberAlive || got.Incarnation != 2 {
+		t.Fatalf("b = %+v, want alive@2", got)
+	}
+}
+
+func TestMembershipSelfRefutation(t *testing.T) {
+	now := time.Now()
+	m := newMembership("self", "", nil)
+	before, _ := member(m, "self")
+
+	// A rumor that we are dead must bump our incarnation past the rumor's
+	// so the next gossip round re-announces us alive under a newer epoch.
+	m.Merge([]broker.MemberInfo{{Node: "self", Incarnation: 7, State: uint8(MemberDead)}}, now)
+	after, _ := member(m, "self")
+	if after.Incarnation <= 7 || after.Incarnation <= before.Incarnation {
+		t.Fatalf("self incarnation %d, want > 7 (refutation)", after.Incarnation)
+	}
+	if after.State != MemberAlive {
+		t.Fatalf("self state %v, want alive", after.State)
+	}
+
+	// A stale rumor below our incarnation is ignored.
+	cur := after.Incarnation
+	m.Merge([]broker.MemberInfo{{Node: "self", Incarnation: 2, State: uint8(MemberSuspect)}}, now)
+	if got, _ := member(m, "self"); got.Incarnation != cur {
+		t.Fatalf("stale rumor bumped incarnation to %d", got.Incarnation)
+	}
+}
+
+func TestMembershipReap(t *testing.T) {
+	now := time.Now()
+	m := newMembership("self", "", []string{"b"})
+	if !m.ObserveDown("b", now) {
+		t.Fatal("ObserveDown on an alive member should change the view")
+	}
+	if m.ObserveDown("b", now) {
+		t.Fatal("ObserveDown on a suspect is a no-op")
+	}
+	if m.Reap(time.Second, now.Add(500*time.Millisecond)) {
+		t.Fatal("suspect younger than the timeout must not be reaped")
+	}
+	if !m.Reap(time.Second, now.Add(2*time.Second)) {
+		t.Fatal("suspect older than the timeout should die")
+	}
+	if got, _ := member(m, "b"); got.State != MemberDead {
+		t.Fatalf("b = %v, want dead", got.State)
+	}
+	if rm := m.RingMembers(); len(rm) != 1 || rm[0] != "self" {
+		t.Fatalf("ring members %v, want [self] after b died", rm)
+	}
+
+	// A restarted member with a reset incarnation cannot revive itself
+	// directly (dead@0 holds higher precedence at the same epoch is moot —
+	// the recorded death is at incarnation 0 too, and dead > alive)...
+	if m.Merge([]broker.MemberInfo{{Node: "b", Incarnation: 0}}, now) {
+		t.Fatal("alive@0 must not supersede dead@0")
+	}
+	// ...until it hears the death rumor and bumps past it.
+	if !m.Merge([]broker.MemberInfo{{Node: "b", Incarnation: 1}}, now) {
+		t.Fatal("alive@1 should revive dead@0")
+	}
+	joins, leaves, suspects := m.Counters()
+	if joins != 2 || leaves != 1 || suspects != 1 {
+		t.Fatalf("counters joins=%d leaves=%d suspects=%d, want 2/1/1", joins, leaves, suspects)
+	}
+}
+
+func TestMembershipGossipRoundtrip(t *testing.T) {
+	now := time.Now()
+	a := newMembership("a", "ma", []string{"b"})
+	b := newMembership("b", "mb", []string{"a"})
+	c := newMembership("c", "mc", []string{"a"})
+
+	// c introduces itself to a; a relays everyone to b; b now knows c
+	// without ever being configured with it.
+	a.Merge(c.Gossip(), now)
+	b.Merge(a.Gossip(), now)
+	if got, ok := member(b, "c"); !ok || got.Metrics != "mc" {
+		t.Fatalf("b's view of c = %+v, want alive with metrics mc", got)
+	}
+	if got, _ := member(b, "a"); got.Metrics != "ma" {
+		t.Fatalf("b's view of a lost its metrics address: %+v", got)
+	}
+}

@@ -21,9 +21,22 @@ type Config struct {
 	// Self is this node's identity: the wire address its peers dial
 	// (host:port). It doubles as the shard ID on the ring.
 	Self string
-	// Peers are the other members' wire addresses. Every member must be
-	// configured with the same total membership for the rings to agree.
+	// Peers are other members' wire addresses, honored as static seeds:
+	// the node keeps a link to every configured peer for its whole life
+	// (even through death rumors), and the rest of the federation is
+	// discovered from them by gossip. Members no longer need identical
+	// peer lists — the rings converge through the membership exchange.
 	Peers []string
+	// Seeds are additional bootstrap addresses, merged with Peers. A node
+	// needs at least one reachable seed to join an existing federation; a
+	// node with none starts a federation of one and waits to be dialed.
+	Seeds []string
+	// SuspectTimeout is how long an unreachable member stays suspect
+	// before it is declared dead and removed from the ring (default 10s).
+	// Suspects keep their shards — only confirmed-dead members trigger a
+	// rebalance — so the timeout trades failover latency against ring
+	// stability under transient partitions.
+	SuspectTimeout time.Duration
 	// VirtualNodes per member on the ring (DefaultVirtualNodes when 0).
 	VirtualNodes int
 	// ForwardQueue bounds each peer's outbound event queue (default 256).
@@ -100,6 +113,9 @@ func (c *Config) withDefaults() Config {
 	if out.BreakerCooldown <= 0 {
 		out.BreakerCooldown = time.Second
 	}
+	if out.SuspectTimeout <= 0 {
+		out.SuspectTimeout = 10 * time.Second
+	}
 	if out.Dial == nil {
 		timeout := out.WriteTimeout
 		out.Dial = func(addr string) (net.Conn, error) { return net.DialTimeout("tcp", addr, timeout) }
@@ -130,17 +146,28 @@ type Stats struct {
 type Node struct {
 	cfg    Config
 	id     string
-	ring   *Ring
 	broker *broker.Broker
-	peers  map[string]*peer // immutable after New
+	ms     *membership
 
-	mu      sync.Mutex
-	edges   map[string]*edgeSub
-	started bool
-	closed  bool
-	// peerMetrics maps peer node IDs to their advertised metrics
-	// addresses, learned from inbound hello frames (see Config.MetricsAddr).
-	peerMetrics map[string]string
+	// ringPtr holds the current shard ring, rebuilt and swapped whole on
+	// every membership change; readers load it lock-free.
+	ringPtr atomic.Pointer[Ring]
+
+	// pmu guards the live peer-link table: links are added when gossip
+	// discovers a member and removed when a non-seed member dies.
+	pmu   sync.RWMutex
+	peers map[string]*peer
+
+	// applyMu serializes applyMembership so ring swap and link reconcile
+	// stay a single logical step.
+	applyMu        sync.Mutex
+	appliedVersion atomic.Uint64
+
+	mu         sync.Mutex
+	edges      map[string]*edgeSub
+	started    bool
+	closed     bool
+	reaperDone chan struct{}
 
 	nextSub   atomic.Uint64
 	nextEvent atomic.Uint64
@@ -162,44 +189,194 @@ func New(b *broker.Broker, cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("cluster: Self identity required")
 	}
 	c := cfg.withDefaults()
-	members := append([]string{c.Self}, c.Peers...)
+	seeds := append(append([]string(nil), c.Peers...), c.Seeds...)
 	n := &Node{
-		cfg:    c,
-		id:     c.Self,
-		ring:   NewRing(members, c.VirtualNodes),
-		broker: b,
-		peers:       make(map[string]*peer),
-		edges:       make(map[string]*edgeSub),
-		peerMetrics: make(map[string]string),
+		cfg:        c,
+		id:         c.Self,
+		broker:     b,
+		ms:         newMembership(c.Self, c.MetricsAddr, seeds),
+		peers:      make(map[string]*peer),
+		edges:      make(map[string]*edgeSub),
+		reaperDone: make(chan struct{}),
 	}
-	for _, addr := range c.Peers {
-		if addr == "" || addr == c.Self {
-			continue
+	n.ringPtr.Store(NewRing(n.ms.RingMembers(), c.VirtualNodes))
+	for _, m := range n.ms.Snapshot() {
+		if m.Node != c.Self {
+			n.peers[m.Node] = newPeer(n, m.Node)
 		}
-		if _, dup := n.peers[addr]; dup {
-			continue
-		}
-		n.peers[addr] = newPeer(n, addr)
 	}
 	return n, nil
 }
 
-// Start opens the outbound peer links. Links that cannot connect retry
-// forever with exponential backoff, so peers may start in any order.
+// Start opens the outbound peer links and the membership reaper. Links
+// that cannot connect retry forever with exponential backoff, so peers may
+// start in any order.
 func (n *Node) Start() {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if n.started || n.closed {
+		n.mu.Unlock()
 		return
 	}
 	n.started = true
+	n.mu.Unlock()
+	n.pmu.RLock()
 	for _, p := range n.peers {
 		go p.run()
 	}
+	n.pmu.RUnlock()
+	go n.reaper()
 }
 
-// Ring exposes the node's view of the shard ring.
-func (n *Node) Ring() *Ring { return n.ring }
+// reaper ages suspect members toward dead and re-applies the membership
+// view whenever its version has drifted past what the ring reflects (a
+// catch-all for merge paths racing each other).
+func (n *Node) reaper() {
+	tick := n.cfg.SuspectTimeout / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	if tick > time.Second {
+		tick = time.Second
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.reaperDone:
+			return
+		case now := <-t.C:
+			if n.ms.Reap(n.cfg.SuspectTimeout, now) || n.ms.Version() != n.appliedVersion.Load() {
+				n.applyMembership()
+			}
+		}
+	}
+}
+
+// Ring exposes the node's current view of the shard ring.
+func (n *Node) Ring() *Ring { return n.ringPtr.Load() }
+
+// Members returns the node's membership view (self first).
+func (n *Node) Members() []Member { return n.ms.Snapshot() }
+
+// gossip renders the membership view for piggybacking on link frames.
+func (n *Node) gossip() []broker.MemberInfo { return n.ms.Gossip() }
+
+// mergeGossip folds a received membership payload into the view and
+// rebuilds the ring if anything changed.
+func (n *Node) mergeGossip(infos []broker.MemberInfo) {
+	if len(infos) == 0 {
+		return
+	}
+	if n.ms.Merge(infos, time.Now()) {
+		n.applyMembership()
+	}
+}
+
+// observeDown records direct evidence (an opened circuit breaker) that a
+// member is unreachable, moving it alive -> suspect.
+func (n *Node) observeDown(id string) {
+	if n.ms.ObserveDown(id, time.Now()) {
+		n.applyMembership()
+	}
+}
+
+// applyMembership makes the node's runtime state match the membership
+// view: rebuild the ring from the live members, open links to newly
+// discovered members, drop links to dead non-seed members, recompute every
+// federated subscription's owning shards, and nudge all links so the
+// desired-vs-sent reconcile loops hand registrations off to their new
+// owners. Idempotent; safe to call from any goroutine.
+func (n *Node) applyMembership() {
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
+
+	version := n.ms.Version()
+	ring := NewRing(n.ms.RingMembers(), n.cfg.VirtualNodes)
+	n.ringPtr.Store(ring)
+
+	n.mu.Lock()
+	started, closed := n.started, n.closed
+	n.mu.Unlock()
+	if closed {
+		return
+	}
+
+	// Reconcile links: every non-dead member keeps (or gains) a link;
+	// seeds additionally keep theirs while dead so a restarted seed is
+	// redialed without waiting for it to find us.
+	var opened []*peer
+	var dropped []*peer
+	n.pmu.Lock()
+	for _, m := range n.ms.Snapshot() {
+		if m.Node == n.id {
+			continue
+		}
+		if m.State == MemberDead && !m.Seed {
+			if p := n.peers[m.Node]; p != nil {
+				dropped = append(dropped, p)
+				delete(n.peers, m.Node)
+			}
+			continue
+		}
+		if n.peers[m.Node] == nil {
+			p := newPeer(n, m.Node)
+			n.peers[m.Node] = p
+			opened = append(opened, p)
+		}
+	}
+	n.pmu.Unlock()
+	for _, p := range dropped {
+		p.stop()
+	}
+	if started {
+		for _, p := range opened {
+			go p.run()
+		}
+	}
+
+	// Re-own every federated subscription under the new ring; the nudged
+	// reconcile loops subscribe on new owners and unsubscribe from old.
+	n.mu.Lock()
+	for _, e := range n.edges {
+		var owners []string
+		for _, o := range ring.Owners(e.sub.Theme) {
+			if o != n.id {
+				owners = append(owners, o)
+			}
+		}
+		e.owners = owners
+	}
+	n.mu.Unlock()
+	n.appliedVersion.Store(version)
+	n.nudgeAll()
+}
+
+// nudgeAll asks every peer link to reconcile remote registrations.
+func (n *Node) nudgeAll() {
+	n.pmu.RLock()
+	defer n.pmu.RUnlock()
+	for _, p := range n.peers {
+		p.requestReconcile()
+	}
+}
+
+// getPeer returns the live link to a member, if any.
+func (n *Node) getPeer(id string) *peer {
+	n.pmu.RLock()
+	defer n.pmu.RUnlock()
+	return n.peers[id]
+}
+
+// peersSnapshot copies the live link table.
+func (n *Node) peersSnapshot() map[string]*peer {
+	n.pmu.RLock()
+	defer n.pmu.RUnlock()
+	out := make(map[string]*peer, len(n.peers))
+	for id, p := range n.peers {
+		out[id] = p
+	}
+	return out
+}
 
 // ID returns the node's shard identity (its advertised address).
 func (n *Node) ID() string { return n.id }
@@ -213,13 +390,17 @@ func (n *Node) Close() {
 		return
 	}
 	n.closed = true
+	started := n.started
 	edges := make([]*edgeSub, 0, len(n.edges))
 	for _, e := range n.edges {
 		edges = append(edges, e)
 	}
 	n.mu.Unlock()
 
-	for _, p := range n.peers {
+	if started {
+		close(n.reaperDone)
+	}
+	for _, p := range n.peersSnapshot() {
 		p.stop()
 	}
 	for _, e := range edges {
@@ -250,11 +431,11 @@ func (n *Node) Publish(e *event.Event) error {
 	if c, ok := n.broker.Tracer().ContextFor(ev.ID); ok {
 		tc = &c
 	}
-	for _, owner := range n.ring.Owners(ev.Theme) {
+	for _, owner := range n.Ring().Owners(ev.Theme) {
 		if owner == n.id {
 			continue
 		}
-		if p := n.peers[owner]; p != nil {
+		if p := n.getPeer(owner); p != nil {
 			if p.enqueue(ev, tc) {
 				n.ctrForwarded.Add(1)
 			} else {
@@ -304,10 +485,11 @@ func (n *Node) PublishBatch(events []*event.Event) error {
 	if err := n.broker.PublishBatch(evs); err != nil {
 		return err
 	}
+	ring, peers := n.Ring(), n.peersSnapshot()
 	var groups map[string][]*event.Event
 	for _, ev := range evs {
-		for _, owner := range n.ring.Owners(ev.Theme) {
-			if owner == n.id || n.peers[owner] == nil {
+		for _, owner := range ring.Owners(ev.Theme) {
+			if owner == n.id || peers[owner] == nil {
 				continue
 			}
 			if groups == nil {
@@ -317,7 +499,7 @@ func (n *Node) PublishBatch(events []*event.Event) error {
 		}
 	}
 	for owner, g := range groups {
-		p := n.peers[owner]
+		p := peers[owner]
 		for lo := 0; lo < len(g); lo += maxForwardBatch {
 			hi := min(lo+maxForwardBatch, len(g))
 			// Batch traces index every member event, so the sub-batch's
@@ -354,28 +536,32 @@ func (n *Node) SubscribeHandle(sub *event.Subscription, opts ...broker.Subscribe
 		return nil, err
 	}
 
-	var owners []string
-	for _, o := range n.ring.Owners(cp.Theme) {
-		if o != n.id {
-			owners = append(owners, o)
-		}
-	}
 	e := &edgeSub{
-		node:   n,
-		id:     cp.ID,
-		sub:    &cp,
-		owners: owners,
-		local:  local,
-		ch:     make(chan broker.Delivery, n.cfg.QueueSize),
-		seen:   make(map[string]bool, n.cfg.DedupWindow),
+		node:  n,
+		id:    cp.ID,
+		sub:   &cp,
+		local: local,
+		ch:    make(chan broker.Delivery, n.cfg.QueueSize),
+		seen:  make(map[string]bool, n.cfg.DedupWindow),
 	}
 
+	// Owners are computed under n.mu against the current ring: a
+	// subscribe racing a membership change either sees the new ring here,
+	// or is already in n.edges when applyMembership re-owns every edge —
+	// either way the registration lands on the post-change owners.
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
 		local.Close()
 		return nil, broker.ErrClosed
 	}
+	var owners []string
+	for _, o := range n.Ring().Owners(cp.Theme) {
+		if o != n.id {
+			owners = append(owners, o)
+		}
+	}
+	e.owners = owners
 	n.edges[cp.ID] = e
 	n.mu.Unlock()
 
@@ -391,7 +577,7 @@ func (n *Node) Redirect(sub *event.Subscription) string {
 	if sub == nil || len(sub.Theme) == 0 {
 		return ""
 	}
-	owners := n.ring.Owners(sub.Theme)
+	owners := n.Ring().Owners(sub.Theme)
 	for _, o := range owners {
 		if o == n.id {
 			return ""
@@ -407,7 +593,7 @@ func (n *Node) Redirect(sub *event.Subscription) string {
 // reconnect with backoff. It returns whether a live link was dropped.
 // Exposed for fault injection in tests and operational drills.
 func (n *Node) DropPeer(id string) bool {
-	p := n.peers[id]
+	p := n.getPeer(id)
 	if p == nil {
 		return false
 	}
@@ -417,7 +603,7 @@ func (n *Node) DropPeer(id string) bool {
 // nudgePeers asks the named peer links to reconcile remote registrations.
 func (n *Node) nudgePeers(ids []string) {
 	for _, id := range ids {
-		if p := n.peers[id]; p != nil {
+		if p := n.getPeer(id); p != nil {
 			p.requestReconcile()
 		}
 	}
@@ -465,12 +651,14 @@ func (n *Node) handleRemoteDelivery(f *broker.Frame) {
 // and hosts the peer's remote subscription registrations, streaming their
 // matches back on the same connection. It implements broker.PeerHandler.
 func (n *Node) ServePeer(conn net.Conn, hello *broker.Frame) {
-	if hello != nil && hello.NodeID != "" && hello.MetricsAddr != "" {
-		// The peer advertised where it serves /metrics: remember it for
-		// the cluster scrape directory (/debug/peers).
-		n.mu.Lock()
-		n.peerMetrics[hello.NodeID] = hello.MetricsAddr
-		n.mu.Unlock()
+	if hello != nil && hello.NodeID != "" {
+		// The hello doubles as a gossip exchange: merge the dialer's view,
+		// plus a synthesized alive row for the dialer itself so nodes that
+		// predate the membership payload (or raw test frames) still join
+		// the view with their advertised metrics address.
+		infos := append(append([]broker.MemberInfo(nil), hello.Members...),
+			broker.MemberInfo{Node: hello.NodeID, Metrics: hello.MetricsAddr})
+		n.mergeGossip(infos)
 	}
 	var writeMu sync.Mutex
 	write := func(f *broker.Frame) error {
@@ -505,7 +693,13 @@ func (n *Node) ServePeer(conn net.Conn, hello *broker.Frame) {
 		}
 		switch f.Type {
 		case broker.FramePing:
-			write(&broker.Frame{Type: broker.FramePong, NodeID: n.id})
+			// Pings carry the sender's membership view; the pong answers
+			// with ours. This inbound/outbound pair is the periodic
+			// SWIM-style state exchange — rumors (suspect/dead claims and
+			// their refutations) spread along every live link at the
+			// heartbeat cadence.
+			n.mergeGossip(f.Members)
+			write(&broker.Frame{Type: broker.FramePong, NodeID: n.id, Members: n.gossip()})
 
 		case broker.FrameForward:
 			if f.Event == nil {
@@ -543,7 +737,9 @@ func (n *Node) ServePeer(conn net.Conn, hello *broker.Frame) {
 			}
 			cp := *f.Subscription
 			cp.ID = "" // let the broker pick a conn-local ID
-			s, err := n.broker.Subscribe(&cp)
+			// Ephemeral: remote copies are connection state, rebuilt by the
+			// origin's reconcile loop — never journaled here.
+			s, err := n.broker.Subscribe(&cp, broker.Ephemeral())
 			if err != nil {
 				continue
 			}
@@ -583,7 +779,8 @@ func (n *Node) ServePeer(conn net.Conn, hello *broker.Frame) {
 func (n *Node) Stats() Stats {
 	connected, open := 0, 0
 	var trips uint64
-	for _, p := range n.peers {
+	peers := n.peersSnapshot()
+	for _, p := range peers {
 		if p.isConnected() {
 			connected++
 		}
@@ -602,7 +799,7 @@ func (n *Node) Stats() Stats {
 		BreakerTrips:     trips,
 		RemoteDeliveries: n.ctrRemoteDel.Load(),
 		RemoteSubs:       int(n.remoteSubs.Load()),
-		Peers:            len(n.peers),
+		Peers:            len(peers),
 		PeersConnected:   connected,
 		PeersOpen:        open,
 	}
@@ -612,44 +809,39 @@ func (n *Node) Stats() Stats {
 // peer ID. Used by tests and operational drills to assert recovery (all
 // breakers back to closed after a partition heals).
 func (n *Node) PeerStates() map[string]BreakerState {
-	out := make(map[string]BreakerState, len(n.peers))
-	for id, p := range n.peers {
+	peers := n.peersSnapshot()
+	out := make(map[string]BreakerState, len(peers))
+	for id, p := range peers {
 		out[id] = p.bk.State()
 	}
 	return out
 }
 
 // PeerInfo is one row of the cluster scrape directory: a member's shard
-// identity and its advertised metrics/debug HTTP address.
+// identity, its advertised metrics/debug HTTP address, and its live
+// membership state ("alive", "suspect", or "dead").
 type PeerInfo struct {
-	Node    string `json:"node"`
-	Metrics string `json:"metrics,omitempty"`
-	Self    bool   `json:"self,omitempty"`
+	Node        string `json:"node"`
+	Metrics     string `json:"metrics,omitempty"`
+	Self        bool   `json:"self,omitempty"`
+	State       string `json:"state,omitempty"`
+	Incarnation uint64 `json:"inc,omitempty"`
 }
 
-// PeerDirectory lists this node (first) and every peer whose metrics
-// address is known — configured links always appear (address empty until
-// their hello arrives), so the directory doubles as a membership view.
+// PeerDirectory lists this node (first) and every member of the gossiped
+// membership view, sorted by ID — the live view behind /debug/peers, so
+// the directory tracks joins, suspicion, and deaths as they propagate.
 func (n *Node) PeerDirectory() []PeerInfo {
-	out := []PeerInfo{{Node: n.id, Metrics: n.cfg.MetricsAddr, Self: true}}
-	n.mu.Lock()
-	learned := make(map[string]string, len(n.peerMetrics))
-	for id, addr := range n.peerMetrics {
-		learned[id] = addr
-	}
-	n.mu.Unlock()
-	ids := make([]string, 0, len(n.peers)+len(learned))
-	for id := range n.peers {
-		ids = append(ids, id)
-	}
-	for id := range learned {
-		if _, configured := n.peers[id]; !configured && id != n.id {
-			ids = append(ids, id)
-		}
-	}
-	sort.Strings(ids)
-	for _, id := range ids {
-		out = append(out, PeerInfo{Node: id, Metrics: learned[id]})
+	members := n.ms.Snapshot()
+	out := make([]PeerInfo, 0, len(members))
+	for _, m := range members {
+		out = append(out, PeerInfo{
+			Node:        m.Node,
+			Metrics:     m.Metrics,
+			Self:        m.Node == n.id,
+			State:       m.State.String(),
+			Incarnation: m.Incarnation,
+		})
 	}
 	return out
 }
@@ -685,27 +877,44 @@ func (n *Node) WriteMetrics(w io.Writer) {
 	broker.WriteCounter(w, "thematicep_cluster_breaker_trips_total", "Peer circuit-breaker transitions to open.", st.BreakerTrips)
 	broker.WriteCounter(w, "thematicep_cluster_remote_deliveries_total", "Matches streamed back to peer subscribers.", st.RemoteDeliveries)
 	broker.WriteGauge(w, "thematicep_cluster_remote_subscriptions", "Remote registrations currently hosted.", st.RemoteSubs)
-	broker.WriteGauge(w, "thematicep_cluster_peers", "Configured peer links.", st.Peers)
+	broker.WriteGauge(w, "thematicep_cluster_peers", "Live peer links.", st.Peers)
 	broker.WriteGauge(w, "thematicep_cluster_peers_connected", "Peer links currently established.", st.PeersConnected)
 
-	ids := make([]string, 0, len(n.peers))
-	for id := range n.peers {
+	// Membership view: member counts by state plus the cumulative
+	// transition counters, so dashboards see joins, suspicion, and deaths
+	// as first-class series.
+	counts := map[MemberState]int{}
+	for _, m := range n.ms.Snapshot() {
+		counts[m.State]++
+	}
+	for _, s := range []MemberState{MemberAlive, MemberSuspect, MemberDead} {
+		broker.WriteGaugeVec(w, "thematicep_cluster_members",
+			"Federation members known to this node, by membership state.",
+			[]telemetry.Label{{Key: "state", Value: s.String()}}, float64(counts[s]))
+	}
+	joins, leaves, suspects := n.ms.Counters()
+	broker.WriteCounter(w, "thematicep_cluster_member_join_total", "Members discovered or revived from dead.", joins)
+	broker.WriteCounter(w, "thematicep_cluster_member_leave_total", "Members declared dead.", leaves)
+	broker.WriteCounter(w, "thematicep_cluster_member_suspect_total", "Member transitions to suspect.", suspects)
+
+	peers := n.peersSnapshot()
+	ids := make([]string, 0, len(peers))
+	for id := range peers {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
 	for _, id := range ids {
-		p := n.peers[id]
 		broker.WriteGaugeVec(w, "thematicep_cluster_forward_queue_depth",
 			"Forwards waiting in a peer link's bounded queue.",
-			[]telemetry.Label{{Key: "peer", Value: id}}, float64(len(p.queue)))
+			[]telemetry.Label{{Key: "peer", Value: id}}, float64(len(peers[id].queue)))
 	}
 	for _, id := range ids {
 		broker.WriteGaugeVec(w, "thematicep_cluster_breaker_state",
 			"Peer circuit-breaker position (0 closed, 1 half-open, 2 open).",
-			[]telemetry.Label{{Key: "peer", Value: id}}, float64(n.peers[id].bk.State()))
+			[]telemetry.Label{{Key: "peer", Value: id}}, float64(peers[id].bk.State()))
 	}
 	for _, id := range ids {
-		n.peers[id].hop.WriteMetrics(w)
+		peers[id].hop.WriteMetrics(w)
 	}
 }
 
@@ -751,7 +960,10 @@ func (e *edgeSub) Close() {
 	e.mu.Lock()
 	close(e.ch)
 	e.mu.Unlock()
-	n.nudgePeers(e.owners) // reconcile: peers unsubscribe the remote copy
+	// Reconcile everywhere: the current owners unsubscribe the remote
+	// copy, and any former owner still holding a pre-rebalance copy in its
+	// link's sent set cleans up on the same nudge.
+	n.nudgeAll()
 }
 
 // drainLocal feeds local broker matches through the dedup filter.

@@ -141,6 +141,16 @@ func (p *peer) stop() {
 	}
 }
 
+// fail records one link-level failure; if the streak opens the breaker,
+// the peer becomes a membership suspect (direct evidence it is down) and
+// the suspicion gossips out from the next heartbeat exchange.
+func (p *peer) fail() {
+	p.bk.Failure()
+	if p.bk.State() != BreakerClosed {
+		p.n.observeDown(p.id)
+	}
+}
+
 // dropConn severs the live connection (fault injection / admin drain);
 // the run loop reconnects with backoff.
 func (p *peer) dropConn() bool {
@@ -237,7 +247,7 @@ func (p *peer) run() {
 
 		conn, err := p.n.cfg.Dial(p.addr)
 		if err != nil {
-			p.bk.Failure()
+			p.fail()
 			if !p.sleepBackoff(&backoff) {
 				return
 			}
@@ -246,11 +256,13 @@ func (p *peer) run() {
 		// Hello, then an immediate ping: the breaker closes only when the
 		// peer answers (first frame received), so an accepting-but-dead
 		// endpoint cannot reset the failure streak by merely accepting.
+		// Both frames carry the membership view — the hello introduces us
+		// (and everyone we know about) to the peer.
 		if p.writeFrame(conn, &broker.Frame{Type: broker.FrameHello, NodeID: p.n.id,
-			MetricsAddr: p.n.cfg.MetricsAddr}) != nil ||
-			p.writeFrame(conn, &broker.Frame{Type: broker.FramePing, NodeID: p.n.id}) != nil {
+			MetricsAddr: p.n.cfg.MetricsAddr, Members: p.n.gossip()}) != nil ||
+			p.writeFrame(conn, &broker.Frame{Type: broker.FramePing, NodeID: p.n.id, Members: p.n.gossip()}) != nil {
 			conn.Close()
-			p.bk.Failure()
+			p.fail()
 			if !p.sleepBackoff(&backoff) {
 				return
 			}
@@ -285,7 +297,10 @@ func (p *peer) run() {
 				case broker.FrameDelivery:
 					p.n.handleRemoteDelivery(f)
 				case broker.FramePong:
-					// Liveness only; the refreshed read deadline is the effect.
+					// Pongs answer our pings with the peer's membership
+					// view: fold it in (this is where suspect rumors about
+					// us arrive, triggering incarnation-bump refutation).
+					p.n.mergeGossip(f.Members)
 				}
 			}
 		}()
@@ -303,7 +318,7 @@ func (p *peer) run() {
 			case <-readErr:
 				alive, linkFailed = false, true
 			case <-hb.C:
-				if p.writeFrame(conn, &broker.Frame{Type: broker.FramePing, NodeID: p.n.id}) != nil {
+				if p.writeFrame(conn, &broker.Frame{Type: broker.FramePing, NodeID: p.n.id, Members: p.n.gossip()}) != nil {
 					alive, linkFailed = false, true
 				}
 			case <-p.nudge:
@@ -343,7 +358,7 @@ func (p *peer) run() {
 			case <-p.done:
 				// Shutting down: the severed link is ours, not a peer fault.
 			default:
-				p.bk.Failure()
+				p.fail()
 			}
 		}
 

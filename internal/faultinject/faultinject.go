@@ -57,10 +57,10 @@ type Config struct {
 
 // Stats counts injected faults by class; all values are cumulative.
 type Stats struct {
-	Latencies  uint64 // operations delayed
-	Stalls     uint64 // writes stalled for StallFor
-	Partials   uint64 // writes truncated mid-payload
-	Resets     uint64 // connections reset mid-operation
+	Latencies   uint64 // operations delayed
+	Stalls      uint64 // writes stalled for StallFor
+	Partials    uint64 // writes truncated mid-payload
+	Resets      uint64 // connections reset mid-operation
 	Corruptions uint64 // payload bytes flipped
 	Partitioned uint64 // operations refused by an engaged partition
 }

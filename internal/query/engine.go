@@ -86,6 +86,20 @@ func WithFlushInterval(d time.Duration) Option { return func(e *Engine) { e.flus
 // pending detection, mirroring the broker's delivery policy.
 func WithDetectionBuffer(n int) Option { return func(e *Engine) { e.buf = n } }
 
+// Journal records durable query registration changes (implemented by
+// wal.Log): every Register and client-initiated Close is appended so a
+// crashed broker re-registers its continuous queries on restart. The
+// window state itself is not journaled — a recovered query restarts with
+// an empty window, trading a partial pattern re-warm for a log that stays
+// proportional to registrations, not traffic.
+type Journal interface {
+	QueryRegistered(spec *broker.QuerySpec)
+	QueryUnregistered(name string)
+}
+
+// WithJournal installs a query registration journal.
+func WithJournal(j Journal) Option { return func(e *Engine) { e.journal = j } }
+
 // Engine owns named continuous queries over one backend (a local broker or
 // a cluster node). It implements broker.QueryRegistrar for the wire server
 // and broker.Collector for /metrics.
@@ -98,6 +112,7 @@ type Engine struct {
 
 	detectHist *telemetry.Histogram // event-to-detection latency
 	detectSLO  *telemetry.SLO       // nil unless WithDetectionSLO enabled it
+	journal    Journal              // nil unless WithJournal enabled it
 
 	mu      sync.Mutex
 	queries map[string]*Query
@@ -167,7 +182,9 @@ func (e *Engine) Register(spec *broker.QuerySpec) (*Query, error) {
 	e.queries[spec.Name] = nil
 	e.mu.Unlock()
 
-	sub, err := e.be.SubscribeHandle(spec.Subscription)
+	// The feed is ephemeral: recovery re-creates it by re-registering the
+	// journaled query, so it must not be journaled as a plain subscription.
+	sub, err := e.be.SubscribeHandle(spec.Subscription, broker.Ephemeral())
 	if err != nil {
 		e.mu.Lock()
 		delete(e.queries, spec.Name)
@@ -196,6 +213,9 @@ func (e *Engine) Register(spec *broker.QuerySpec) (*Query, error) {
 
 	q.wg.Add(1)
 	go q.run()
+	if e.journal != nil {
+		e.journal.QueryRegistered(spec)
+	}
 	return q, nil
 }
 
@@ -292,10 +312,18 @@ func (e *Engine) Close() {
 // holder of its name.
 func (e *Engine) unregister(q *Query) {
 	e.mu.Lock()
+	removed := false
 	if cur, ok := e.queries[q.name]; ok && cur == q {
 		delete(e.queries, q.name)
+		removed = true
 	}
 	e.mu.Unlock()
+	// Only a client-initiated Close reaches here; engine shutdown goes
+	// through q.shutdown() directly, so a graceful daemon stop never
+	// erases journaled queries (and the daemon seals the log first anyway).
+	if removed && e.journal != nil {
+		e.journal.QueryUnregistered(q.name)
+	}
 }
 
 // QueryStats is one query's counters.

@@ -1,0 +1,121 @@
+package query
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"thematicep/internal/broker"
+	"thematicep/internal/event"
+)
+
+// recordingJournal implements both broker.Journal and query.Journal,
+// mirroring how wal.Log is wired into the daemon.
+type recordingJournal struct {
+	mu         sync.Mutex
+	subs       []string
+	registered []string
+	unreg      []string
+}
+
+func (j *recordingJournal) Subscribed(id string, sub *event.Subscription) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.subs = append(j.subs, id)
+}
+
+func (j *recordingJournal) Unsubscribed(id string) {}
+
+func (j *recordingJournal) QueryRegistered(spec *broker.QuerySpec) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.registered = append(j.registered, spec.Name)
+}
+
+func (j *recordingJournal) QueryUnregistered(name string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.unreg = append(j.unreg, name)
+}
+
+func (j *recordingJournal) snapshot() (subs, registered, unreg []string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]string(nil), j.subs...),
+		append([]string(nil), j.registered...),
+		append([]string(nil), j.unreg...)
+}
+
+// Register journals the query spec — and ONLY the spec: the feeding
+// subscription is ephemeral, because replaying the query re-creates its
+// feed. Journaling both would leak an orphan subscription every restart.
+func TestEngineJournalsRegistration(t *testing.T) {
+	j := &recordingJournal{}
+	b := broker.New(exactMatcher(), broker.WithJournal(j))
+	defer b.Close()
+	e := New(b, WithJournal(j))
+	defer e.Close()
+
+	q, err := e.Register(countSpec("spikes", time.Second, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, registered, unreg := j.snapshot()
+	if len(registered) != 1 || registered[0] != "spikes" {
+		t.Fatalf("journal saw query registrations %v, want [spikes]", registered)
+	}
+	if len(subs) != 0 {
+		t.Fatalf("the query feed was journaled as a plain subscription: %v", subs)
+	}
+	if len(unreg) != 0 {
+		t.Fatalf("unexpected unregistrations %v", unreg)
+	}
+
+	// A client-initiated Close is durable intent: journaled.
+	q.Close()
+	_, _, unreg = j.snapshot()
+	if len(unreg) != 1 || unreg[0] != "spikes" {
+		t.Fatalf("journal saw unregistrations %v, want [spikes]", unreg)
+	}
+}
+
+// Engine shutdown is not unregistration: a daemon restart must recover
+// every live query, so Close leaves the journal untouched.
+func TestEngineCloseDoesNotEraseJournal(t *testing.T) {
+	j := &recordingJournal{}
+	b := broker.New(exactMatcher())
+	defer b.Close()
+	e := New(b, WithJournal(j))
+
+	if _, err := e.Register(countSpec("spikes", time.Second, 1)); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	_, registered, unreg := j.snapshot()
+	if len(registered) != 1 {
+		t.Fatalf("registrations %v, want [spikes]", registered)
+	}
+	if len(unreg) != 0 {
+		t.Fatalf("engine close journaled unregistrations %v — restart would lose the query", unreg)
+	}
+}
+
+// A failed Register must not reach the journal.
+func TestEngineJournalSkipsFailedRegister(t *testing.T) {
+	j := &recordingJournal{}
+	b := broker.New(exactMatcher())
+	defer b.Close()
+	e := New(b, WithJournal(j))
+	defer e.Close()
+
+	if _, err := e.Register(countSpec("dup", time.Second, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Register(countSpec("dup", time.Second, 1)); err == nil {
+		t.Fatal("duplicate register succeeded")
+	}
+	_, registered, _ := j.snapshot()
+	if len(registered) != 1 {
+		t.Fatalf("failed register reached the journal: %v", registered)
+	}
+}
